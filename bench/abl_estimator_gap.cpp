@@ -1,0 +1,72 @@
+// §2.3 vs §4.3: how optimistic is the back-of-the-envelope lifetime estimate?
+//
+// For each device with health reporting, compares the datasheet-style
+// estimate (capacity x rated P/E cycles) against the measured write budget
+// (I/O actually absorbed before the indicator passes level 10), and converts
+// both into "days under a 16 GiB/day heavy user" and "hours under attack".
+// The paper's finding: the envelope is ~3x optimistic, and the absolute
+// number is small enough for an unprivileged app to exhaust in days.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/device/catalog.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/lifetime_estimator.h"
+#include "src/wearlab/report.h"
+#include "src/wearlab/wearout_experiment.h"
+
+using namespace flashsim;
+
+namespace {
+
+constexpr SimScale kScale{32, 32};
+
+struct DeviceCase {
+  const CatalogEntry* entry;
+  uint64_t full_capacity;
+  uint32_t datasheet_pe;
+  WearType type;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Back-of-the-envelope vs measured lifetime (sim scale %ux/%ux) "
+              "===\n\n",
+              kScale.capacity_div, kScale.endurance_div);
+
+  const std::vector<DeviceCase> cases = {
+      {&DeviceCatalog()[1], 8 * kGiB, 3000, WearType::kSinglePool},
+      {&DeviceCatalog()[2], 16 * kGiB, 3000, WearType::kTypeB},
+      {&DeviceCatalog()[4], 32 * kGiB, 3000, WearType::kSinglePool},
+  };
+
+  TableReporter table({"Device", "Envelope (TiB)", "Measured (TiB)", "Optimism",
+                       "Envelope @16GiB/day", "Attack time (days)"});
+  for (const DeviceCase& c : cases) {
+    auto device = c.entry->make(kScale, /*seed=*/13);
+    WearWorkloadConfig workload;
+    workload.footprint_bytes = (400 * kMiB) / kScale.capacity_div;
+    WearOutExperiment experiment(*device, workload);
+    const WearRunOutcome out = experiment.RunUntilLevel(c.type, 11, 1 * kTiB);
+
+    const double measured_bytes =
+        static_cast<double>(out.total_host_bytes) * kScale.VolumeFactor();
+    const double attack_days = out.total_hours * kScale.VolumeFactor() / 24.0;
+
+    LifetimeEstimator envelope(c.full_capacity, c.datasheet_pe);
+    const LifetimeEstimate est = envelope.Estimate(16.0 * kGiB);
+    table.AddRow({c.entry->name,
+                  Fmt(est.total_write_bytes / kTiB, 1),
+                  Fmt(measured_bytes / kTiB, 1),
+                  Fmt(envelope.OptimismFactor(measured_bytes), 1) + "x",
+                  Fmt(est.years_at_workload, 1) + " years",
+                  Fmt(attack_days, 1)});
+  }
+  table.Print(std::cout);
+  std::printf("\nShape: the envelope promises years even for heavy users, but is "
+              "~2.5-3x optimistic about the\nwrite budget — and that budget is "
+              "exhaustible by an unprivileged app in days (§4.3).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// FTL design-choice ablations (DESIGN.md §4): how the device-firmware knobs
+// the paper can only speculate about ("part of the problem may be in the
+// device firmware") change the wear-out picture.
+//
+// Sweeps, on the eMMC 8GB model under the paper's attack workload:
+//  * over-provisioning 2% / 7% / 15% / 28%,
+//  * GC policy greedy vs cost-benefit,
+//  * static wear leveling on vs off,
+//  * request size 4 KiB vs 64 KiB vs 512 KiB,
+// reporting GiB-per-level, write amplification, and attack throughput.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/device/catalog.h"
+#include "src/ftl/page_map_ftl.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/report.h"
+#include "src/wearlab/wearout_experiment.h"
+
+using namespace flashsim;
+
+namespace {
+
+constexpr SimScale kScale{32, 32};
+
+struct AblationResult {
+  double gib_per_level = 0.0;
+  double wa = 0.0;
+  double mib_per_sec = 0.0;
+  double spread = 0.0;  // max-min P/E at end
+};
+
+std::unique_ptr<FlashDevice> MakeDevice(double op, GcPolicy policy, bool wear_level) {
+  NandChipConfig nand = MakeMlcConfig();
+  nand.name = "ablation-mlc";
+  nand.channels = 2;
+  nand.dies_per_channel = 2;
+  nand.blocks_per_die = 4096 / kScale.capacity_div;
+  nand.pages_per_block = 128;
+  nand.page_size_bytes = 4096;
+  nand.rated_pe_cycles = std::max(20u, 3000 / kScale.endurance_div);
+  FtlConfig ftl;
+  ftl.over_provisioning = op;
+  ftl.spare_blocks = 24;
+  ftl.health_rated_pe = std::max(20u, 1100 / kScale.endurance_div);
+  ftl.gc_policy = policy;
+  ftl.wear_level_threshold = wear_level ? std::max(2u, ftl.health_rated_pe / 50) : 0;
+  ftl.wear_level_check_interval = 16;
+  FlashDeviceConfig dev;
+  dev.name = "ablation";
+  dev.perf.per_request_overhead = SimDuration::Micros(100);
+  dev.perf.bus_mib_per_sec = 100.0;
+  dev.perf.effective_parallelism = 8;
+  auto impl = std::make_unique<PageMapFtl>(nand, ftl, /*seed=*/17);
+  return std::make_unique<FlashDevice>(std::move(dev), std::move(impl));
+}
+
+AblationResult RunOne(std::unique_ptr<FlashDevice> device, uint64_t request_bytes,
+                      double utilization, bool rewrite_utilized = false) {
+  WearWorkloadConfig workload;
+  workload.request_bytes = request_bytes;
+  workload.rewrite_utilized = rewrite_utilized;
+  workload.footprint_bytes = (400 * kMiB) / kScale.capacity_div;
+  WearOutExperiment experiment(*device, workload);
+  (void)experiment.SetUtilization(utilization);
+  const WearRunOutcome out =
+      experiment.RunUntilLevel(WearType::kSinglePool, 5, 256 * kGiB);
+  AblationResult r;
+  uint32_t levels = 0;
+  for (const WearTransition& t : out.transitions) {
+    r.gib_per_level += static_cast<double>(t.host_bytes) * kScale.VolumeFactor() / kGiB;
+    r.wa += t.write_amplification;
+    ++levels;
+  }
+  if (levels > 0) {
+    r.gib_per_level /= levels;
+    r.wa /= levels;
+  }
+  r.mib_per_sec = out.total_hours > 0
+                      ? static_cast<double>(out.total_host_bytes) / kMiB /
+                            (out.total_hours * 3600.0)
+                      : 0.0;
+  const auto* ftl = dynamic_cast<const PageMapFtl*>(&device->ftl());
+  const WearSummary wear = ftl->chip().ComputeWearSummary();
+  r.spread = wear.max_pe - wear.min_pe;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== FTL design ablations on the eMMC 8GB model (attack workload, "
+              "55%% static utilization) ===\n\n");
+
+  TableReporter table({"Configuration", "GiB/level", "WA", "Attack MiB/s",
+                       "P/E spread"});
+  auto add = [&](const std::string& label, AblationResult r) {
+    table.AddRow({label, Fmt(r.gib_per_level, 1), Fmt(r.wa), Fmt(r.mib_per_sec),
+                  Fmt(r.spread, 0)});
+  };
+
+  // OP matters when the device is nearly full and writes hit live data, so
+  // the OP sweep rewrites utilized space at 85% utilization.
+  for (double op : {0.02, 0.07, 0.15, 0.28}) {
+    add("over-provisioning " + FmtPercent(op) + " (85% util rewrite)",
+        RunOne(MakeDevice(op, GcPolicy::kGreedy, true), 4096, 0.85, true));
+  }
+  add("GC greedy (baseline)",
+      RunOne(MakeDevice(0.07, GcPolicy::kGreedy, true), 4096, 0.55));
+  add("GC cost-benefit",
+      RunOne(MakeDevice(0.07, GcPolicy::kCostBenefit, true), 4096, 0.55));
+  add("wear leveling OFF",
+      RunOne(MakeDevice(0.07, GcPolicy::kGreedy, false), 4096, 0.55));
+  for (uint64_t req : {uint64_t{4096}, uint64_t{64 * 1024}, uint64_t{512 * 1024}}) {
+    add("request size " + FormatBytes(req),
+        RunOne(MakeDevice(0.07, GcPolicy::kGreedy, true), req, 0.55));
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nReadings: more OP lowers WA (more GiB of app writes per level, but the\n"
+      "device dies after the same physical P/E budget); disabling wear leveling\n"
+      "blows up the P/E spread so blocks start dying long before the average\n"
+      "reaches rated life; larger requests raise attack throughput — the paper's\n"
+      "point that *no* firmware configuration escapes the fundamental budget.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// §2.2 what-if: heat-accelerated self-healing ("this technology is not yet
+// widely used"). If the firmware could periodically anneal the array and
+// recover a fraction of accumulated wear, how much longer would the device
+// survive the paper's attack?
+//
+// Method: eMMC 8GB model under 4 KiB random rewrites; an anneal pass runs
+// after every N GiB of host writes (standing in for idle maintenance
+// windows), recovering a fraction of each good block's P/E count. Reported:
+// I/O volume and time to end of life vs the no-healing baseline.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/device/catalog.h"
+#include "src/ftl/page_map_ftl.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/report.h"
+#include "src/wearlab/wearout_experiment.h"
+
+using namespace flashsim;
+
+namespace {
+
+constexpr SimScale kScale{32, 32};
+
+struct HealingResult {
+  double tib_to_eol = 0.0;
+  double days_to_eol = 0.0;
+  bool reached_eol = false;
+};
+
+HealingResult RunWithHealing(double recovery_fraction, uint64_t anneal_every_bytes,
+                             uint64_t volume_cap) {
+  auto device = MakeEmmc8(kScale, /*seed=*/19);
+  auto* ftl = dynamic_cast<PageMapFtl*>(&device->mutable_ftl());
+  WearWorkloadConfig w;
+  w.footprint_bytes = (400 * kMiB) / kScale.capacity_div;
+  WearOutExperiment exp(*device, w);
+
+  HealingResult result;
+  uint64_t written = 0;
+  while (written < volume_cap) {
+    // Pace strictly by byte volume (healing makes the indicator oscillate,
+    // so level transitions are not a usable pacing signal here).
+    const WearRunOutcome out = exp.Run(1000000, anneal_every_bytes);
+    written += out.total_host_bytes;
+    result.days_to_eol += out.total_hours * kScale.VolumeFactor() / 24.0;
+    if (out.bricked || device->QueryHealth().life_time_est_a >= 11) {
+      result.reached_eol = true;
+      break;
+    }
+    if (recovery_fraction > 0.0) {
+      // Idle-window anneal: wear partially recovers; the pass itself costs
+      // time (the device is offline for it).
+      const SimDuration pass = ftl->mutable_chip().AnnealAll(
+          recovery_fraction, SimDuration::Millis(2));
+      device->clock().AdvanceWithCategory(pass, "anneal");
+      result.days_to_eol += pass.ToHoursF() * kScale.VolumeFactor() / 24.0;
+    }
+  }
+  result.tib_to_eol =
+      static_cast<double>(written) * kScale.VolumeFactor() / kTiB;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Self-healing ablation (§2.2 future work): anneal passes vs "
+              "attack lifetime ===\n\n");
+  TableReporter table({"Healing policy", "I/O to EOL (TiB)", "Attack days to EOL",
+                       "Extension"});
+  // Anneal after every ~16 full-device rewrites (a periodic maintenance
+  // window); cap runs at ~7x the baseline budget. Healing creates a wear
+  // *equilibrium*: if a pass recovers more wear than a window adds, the
+  // device never reaches EOL under this attack — the interesting threshold.
+  const uint64_t anneal_every = 1 * kGiB;
+  const uint64_t cap = 64 * kGiB;
+
+  const HealingResult baseline = RunWithHealing(0.0, anneal_every, cap);
+  struct Policy {
+    const char* label;
+    double fraction;
+  };
+  table.AddRow({"none (today's devices)", Fmt(baseline.tib_to_eol, 2),
+                Fmt(baseline.days_to_eol, 1), "1.0x"});
+  for (const Policy& p : {Policy{"anneal, 2% recovery", 0.02},
+                          Policy{"anneal, 5% recovery", 0.05},
+                          Policy{"anneal, 10% recovery", 0.10},
+                          Policy{"anneal, 15% recovery", 0.15}}) {
+    const HealingResult r = RunWithHealing(p.fraction, anneal_every, cap);
+    std::string extension =
+        r.reached_eol ? Fmt(r.tib_to_eol / baseline.tib_to_eol, 1) + "x"
+                      : "> " + Fmt(r.tib_to_eol / baseline.tib_to_eol, 1) + "x (cap)";
+    table.AddRow({p.label, Fmt(r.tib_to_eol, 2), Fmt(r.days_to_eol, 1), extension});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: light annealing stretches the write budget; past the\n"
+      "equilibrium threshold (recovery per window > wear per window) the\n"
+      "device outlives the volume cap entirely. Healing hardware would blunt\n"
+      "this attack — but it is 'not yet widely used' (§2.2), and the budget\n"
+      "for any real anneal rate stays finite.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// §4.5 defense evaluation: wear-budget rate limiting and per-app accounting.
+//
+// The paper proposes (a) exposing the wear indicator, (b) per-app I/O
+// accounting, and (c) rate-limiting writes to guarantee a lifespan target —
+// warning that naive limiting hurts benign bursty apps. This bench runs a
+// benign bursty app (camera: periodic 300 MB bursts) alongside the wear
+// attack, with the limiter off / naive (global bucket) / selective (per-app
+// bucket), and reports attacker throughput, benign-app burst latency, and
+// the projected device lifetime under each regime.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/device/catalog.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/phone.h"
+#include "src/wearlab/report.h"
+
+using namespace flashsim;
+
+namespace {
+
+constexpr SimScale kScale{32, 1};
+constexpr AppId kCameraApp = 7;
+constexpr uint64_t kBurstBytes = 300 * kMiB / kScale.capacity_div;
+
+struct RunResult {
+  double attacker_mib_per_sec = 0.0;
+  double camera_burst_seconds = 0.0;
+  // Attacker write rate over the rate that would make the device last the
+  // 3-year target ("1.0" = exactly on budget). Scale-free.
+  double budget_overuse = 0.0;
+  uint64_t attacker_gib = 0;
+};
+
+RunResult RunScenario(bool limiter, bool selective) {
+  AndroidSystemConfig sys_cfg;
+  sys_cfg.enable_rate_limiter = limiter;
+  sys_cfg.rate_limiter.selective = selective;
+  sys_cfg.rate_limiter.target_lifetime_days = 3 * 365.0;
+  sys_cfg.rate_limiter.rated_rewrites = 1100.0;
+  sys_cfg.rate_limiter.burst_bytes = 2 * kGiB / kScale.capacity_div;
+
+  Phone phone(MakeMotoE8(kScale, /*seed=*/33), PhoneFsType::kExtFs, sys_cfg);
+  (void)phone.FillStaticData(0.40);
+
+  AttackAppConfig attack;
+  attack.file_count = 4;
+  attack.file_bytes = (100 * kMiB) / kScale.capacity_div;
+  attack.write_bytes = 64 * 1024;  // bigger chunks: keeps the bench quick
+  WearAttackApp app(phone.system(), attack);
+  if (!app.Install().ok()) {
+    return {};
+  }
+
+  RunResult result;
+  (void)phone.system().AppCreate(kCameraApp, "video.mp4");
+  const SimTime start = phone.system().Now();
+  double burst_seconds_total = 0.0;
+  int bursts = 0;
+  // 12 simulated hours: attack runs flat out; camera fires a burst per hour.
+  for (int hour = 0; hour < 12; ++hour) {
+    AttackProgress progress =
+        app.RunUntil(phone.system().Now() + SimDuration::Minutes(60));
+    result.attacker_gib += progress.bytes_written;
+    // Camera burst (new footage appended each hour).
+    const SimTime burst_start = phone.system().Now();
+    Result<SimDuration> burst = phone.system().AppWrite(
+        kCameraApp, "video.mp4", static_cast<uint64_t>(hour) * kBurstBytes,
+        kBurstBytes, /*sync=*/false);
+    if (burst.ok()) {
+      burst_seconds_total += (phone.system().Now() - burst_start).ToSecondsF();
+      ++bursts;
+    }
+  }
+  const double hours = (phone.system().Now() - start).ToHoursF();
+  result.attacker_mib_per_sec =
+      BytesToMiB(result.attacker_gib) / (hours * 3600.0);
+  result.camera_burst_seconds = bursts > 0 ? burst_seconds_total / bursts : 0.0;
+
+  // Sustainable rate for the 3-year target on THIS device (scale-free ratio).
+  const double sustainable_bytes_per_sec =
+      static_cast<double>(phone.device().CapacityBytes()) * 1100.0 /
+      (3 * 365.0 * 86400.0);
+  result.budget_overuse =
+      result.attacker_mib_per_sec * kMiB / sustainable_bytes_per_sec;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Rate-limit defense (§4.5): benign camera app vs wear attack "
+              "===\n\n");
+  TableReporter table({"Limiter", "Attacker MiB/s", "Budget overuse",
+                       "Camera 300MB burst (s)"});
+  struct Scenario {
+    const char* label;
+    bool limiter;
+    bool selective;
+  };
+  for (const Scenario& s : {Scenario{"off (stock Android)", false, false},
+                            Scenario{"naive (global budget)", true, false},
+                            Scenario{"selective (per-app)", true, true}}) {
+    const RunResult r = RunScenario(s.limiter, s.selective);
+    table.AddRow({s.label, Fmt(r.attacker_mib_per_sec, 3),
+                  Fmt(r.budget_overuse, 1) + "x", Fmt(r.camera_burst_seconds, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nShape: without limiting the attacker kills the device in days; a naive\n"
+      "global budget saves the flash but makes the camera burst crawl once the\n"
+      "attacker drains the bucket; the selective limiter preserves both the\n"
+      "lifespan target and benign burst latency (the paper's preferred design).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 1 reproduction: sequential and random write bandwidth vs I/O block
+// size (0.5 KiB .. 16 MiB) for the five devices of §4.2.
+//
+// Paper shape to match: eMMC chips beat the MicroSD card everywhere
+// (especially random I/O); eMMC random ~= sequential; throughput scales
+// ~linearly with request size until internal parallelism saturates.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/device/catalog.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/bandwidth_probe.h"
+#include "src/wearlab/report.h"
+
+using namespace flashsim;
+
+namespace {
+
+// Capacity scaled 16x (no endurance scaling needed: probes barely wear).
+constexpr SimScale kScale{16, 1};
+
+void RunPattern(AccessPattern pattern, const char* title) {
+  std::vector<std::string> headers = {"I/O Block Size"};
+  for (const CatalogEntry& entry : Figure1Devices()) {
+    headers.push_back(entry.name);
+  }
+  TableReporter table(std::move(headers));
+
+  for (uint64_t size : Figure1RequestSizes()) {
+    std::vector<std::string> row = {FormatBytes(size)};
+    for (const CatalogEntry& entry : Figure1Devices()) {
+      auto device = entry.make(kScale, /*seed=*/1);
+      BandwidthProbeConfig cfg;
+      cfg.pattern = pattern;
+      cfg.request_bytes = size;
+      cfg.region_bytes = device->CapacityBytes() / 4;
+      cfg.total_bytes = std::max<uint64_t>(16 * kMiB, 4 * size);
+      const BandwidthResult result = RunBandwidthProbe(*device, cfg);
+      row.push_back(result.status.ok() ? Fmt(result.mib_per_sec) : "FAIL");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("\n%s (MiB/s)\n", title);
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1: write performance of external and smartphone "
+              "storage (sim scale %ux capacity) ===\n",
+              kScale.capacity_div);
+  RunPattern(AccessPattern::kSequential, "Figure 1a: Sequential Write");
+  RunPattern(AccessPattern::kRandom, "Figure 1b: Random Write");
+  std::printf("\nExpected shape: uSD slowest (random << sequential); eMMC/UFS "
+              "random ~= sequential;\nbandwidth grows with request size then "
+              "plateaus (internal parallelism saturated).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 4 reproduction: application-level I/O needed to increment the wear
+// indicator on two Moto E 8GB phones, one running Ext4 and one F2FS.
+//
+// Paper shape: the Ext4 phone tracks the raw eMMC 8GB chip of Figure 2
+// (in-place writes, FS write amplification ~1); the F2FS phone needs about
+// HALF the app-level I/O per level, because F2FS's node/NAT mapping updates
+// double the device I/O of 4 KiB synchronous writes — a flash-friendly file
+// system does not save the flash.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "src/device/catalog.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/phone.h"
+#include "src/wearlab/report.h"
+
+using namespace flashsim;
+
+namespace {
+
+constexpr SimScale kScale{32, 32};
+constexpr uint32_t kTargetLevel = 11;
+
+std::map<uint32_t, PhoneWearRow> RunFs(PhoneFsType fs_type, FsStats* fs_stats,
+                                       FtlStats* dev_stats) {
+  Phone phone(MakeMotoE8(kScale, /*seed=*/7), fs_type);
+  Status fill = phone.FillStaticData(0.55);
+  if (!fill.ok()) {
+    std::fprintf(stderr, "fill failed: %s\n", fill.ToString().c_str());
+    return {};
+  }
+  AttackAppConfig attack;
+  attack.file_count = 4;
+  attack.file_bytes = (100 * kMiB) / kScale.capacity_div;
+  attack.write_bytes = 4096;
+  attack.sync = true;
+  const PhoneWearOutcome out =
+      RunPhoneWearExperiment(phone, attack, kTargetLevel, SimDuration::Hours(8000));
+  std::map<uint32_t, PhoneWearRow> rows;
+  for (const PhoneWearRow& row : out.rows) {
+    rows[row.from_level] = row;
+  }
+  *fs_stats = phone.fs().stats();
+  *dev_stats = phone.device().ftl().Stats();
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 4: app-level I/O per wear level, Moto E 8GB, Ext4 vs "
+              "F2FS (sim scale %ux cap, %ux endurance) ===\n\n",
+              kScale.capacity_div, kScale.endurance_div);
+
+  FsStats ext_fs, log_fs;
+  FtlStats ext_dev, log_dev;
+  const auto ext_rows = RunFs(PhoneFsType::kExtFs, &ext_fs, &ext_dev);
+  const auto log_rows = RunFs(PhoneFsType::kLogFs, &log_fs, &log_dev);
+
+  TableReporter table({"Wear-out Indicator", "Ext4 I/O (GiB)", "F2FS I/O (GiB)",
+                       "Ext4 (h)", "F2FS (h)"});
+  for (uint32_t level = 1; level < kTargetLevel; ++level) {
+    auto e = ext_rows.find(level);
+    auto f = log_rows.find(level);
+    if (e == ext_rows.end() && f == log_rows.end()) {
+      continue;
+    }
+    auto gib = [](const PhoneWearRow& r) {
+      return Fmt(static_cast<double>(r.app_bytes) * kScale.VolumeFactor() / kGiB, 1);
+    };
+    auto hrs = [](const PhoneWearRow& r) {
+      return Fmt(r.hours * kScale.VolumeFactor(), 1);
+    };
+    table.AddRow({std::to_string(level) + "-" + std::to_string(level + 1),
+                  e != ext_rows.end() ? gib(e->second) : "-",
+                  f != log_rows.end() ? gib(f->second) : "-",
+                  e != ext_rows.end() ? hrs(e->second) : "-",
+                  f != log_rows.end() ? hrs(f->second) : "-"});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nFile-system write amplification (device bytes per app byte):\n");
+  std::printf("  Ext4: %.2f (journal batched, data in place)\n",
+              ext_fs.FsWriteAmplification());
+  std::printf("  F2FS: %.2f (node block per 4 KiB sync write)\n",
+              log_fs.FsWriteAmplification());
+  std::printf("Device-level FTL write amplification: Ext4 %.2f vs F2FS %.2f "
+              "(log-structuring + TRIM help the FTL,\nbut that only means MORE "
+              "device I/O fits per level — the phone still dies).\n",
+              ext_dev.WriteAmplification(), log_dev.WriteAmplification());
+  std::printf("\nPaper shape: F2FS needs ~half the app I/O per level; Ext4 "
+              "matches the raw chip in Figure 2.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Google-benchmark microbenchmarks for the simulator's hot paths: FTL page
+// writes (with and without GC pressure), reads, device-level request
+// submission, file-system write paths, and the RNG/ECC substrate. These
+// guard the simulator's own performance — wear-out runs push hundreds of
+// millions of page operations.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/device/catalog.h"
+#include "src/fs/extfs.h"
+#include "src/fs/logfs.h"
+#include "src/ftl/page_map_ftl.h"
+#include "src/nand/error_model.h"
+#include "src/simcore/rng.h"
+#include "src/simcore/units.h"
+
+namespace flashsim {
+namespace {
+
+NandChipConfig SmallChip() {
+  NandChipConfig nand = MakeMlcConfig();
+  nand.channels = 2;
+  nand.dies_per_channel = 2;
+  nand.blocks_per_die = 64;
+  nand.pages_per_block = 128;
+  nand.rated_pe_cycles = 1000000;  // wear out of scope here
+  return nand;
+}
+
+void BM_FtlWriteSequential(benchmark::State& state) {
+  FtlConfig cfg;
+  cfg.health_rated_pe = 1000000;
+  PageMapFtl ftl(SmallChip(), cfg, 1);
+  uint64_t lpn = 0;
+  const uint64_t logical = ftl.LogicalPageCount();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.WritePage(lpn));
+    lpn = (lpn + 1) % logical;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FtlWriteSequential);
+
+void BM_FtlWriteRandomWithGc(benchmark::State& state) {
+  FtlConfig cfg;
+  cfg.health_rated_pe = 1000000;
+  cfg.over_provisioning = 0.07;
+  PageMapFtl ftl(SmallChip(), cfg, 1);
+  Rng rng(2);
+  const uint64_t logical = ftl.LogicalPageCount();
+  // Fill to 85% so GC is active during the measurement.
+  for (uint64_t i = 0; i < logical * 85 / 100; ++i) {
+    (void)ftl.WritePage(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.WritePage(rng.UniformU64(logical * 85 / 100)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FtlWriteRandomWithGc);
+
+void BM_FtlRead(benchmark::State& state) {
+  FtlConfig cfg;
+  cfg.health_rated_pe = 1000000;
+  PageMapFtl ftl(SmallChip(), cfg, 1);
+  for (uint64_t i = 0; i < 1024; ++i) {
+    (void)ftl.WritePage(i);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.ReadPage(rng.UniformU64(1024)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FtlRead);
+
+void BM_Device4KWrite(benchmark::State& state) {
+  auto device = MakeEmmc8(SimScale{64, 1}, 1);
+  Rng rng(4);
+  const uint64_t slots = device->CapacityBytes() / 4096 / 2;
+  for (auto _ : state) {
+    IoRequest req{IoKind::kWrite, rng.UniformU64(slots) * 4096, 4096};
+    benchmark::DoNotOptimize(device->Submit(req));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Device4KWrite);
+
+void BM_ExtFsSyncWrite(benchmark::State& state) {
+  auto device = MakeEmmc8(SimScale{64, 1}, 1);
+  ExtFs fs(*device);
+  (void)fs.Create("bench.dat");
+  Rng rng(5);
+  const uint64_t file_bytes = 8 * kMiB;
+  for (auto _ : state) {
+    const uint64_t off = rng.UniformU64(file_bytes / 4096) * 4096;
+    benchmark::DoNotOptimize(fs.Write("bench.dat", off, 4096, true));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_ExtFsSyncWrite);
+
+void BM_LogFsSyncWrite(benchmark::State& state) {
+  auto device = MakeEmmc8(SimScale{64, 1}, 1);
+  LogFs fs(*device);
+  (void)fs.Create("bench.dat");
+  Rng rng(6);
+  const uint64_t file_bytes = 8 * kMiB;
+  for (auto _ : state) {
+    const uint64_t off = rng.UniformU64(file_bytes / 4096) * 4096;
+    benchmark::DoNotOptimize(fs.Write("bench.dat", off, 4096, true));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_LogFsSyncWrite);
+
+void BM_RngU64(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_RngU64);
+
+void BM_EccDecodePage(benchmark::State& state) {
+  EccConfig cfg;
+  EccEngine ecc(cfg, 4096);
+  Rng rng(8);
+  const double rber = 1e-5 * static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecc.DecodePage(rber, rng));
+  }
+}
+BENCHMARK(BM_EccDecodePage)->Arg(1)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace flashsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Table 1 reproduction: eMMC 16GB (hybrid) wear-out indicators over a staged
+// schedule of I/O patterns and space utilizations.
+//
+// Paper shape to match:
+//  * Type B advances steadily (~2.2-2.3 TiB per level) under every pattern
+//    (4 KiB rand and 128 KiB seq alike) and utilization.
+//  * Type A needs ~6x more I/O per level at low utilization (11.9 TiB for
+//    level 1-2) — the small, high-endurance cache barely wears.
+//  * Under 90%+ utilization with rewrites aimed at the utilized space, the
+//    firmware merges the pools: Type A collapses to ~439 GiB/level while
+//    Type B keeps its volume but takes ~3.7x longer per level (GC overhead
+//    crushes throughput).
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/device/catalog.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/report.h"
+#include "src/wearlab/wearout_experiment.h"
+
+using namespace flashsim;
+
+namespace {
+
+constexpr SimScale kScale{32, 32};
+
+struct Stage {
+  AccessPattern pattern;
+  uint64_t request_bytes;
+  double utilization;
+  bool rewrite_utilized;
+  uint32_t b_transitions;  // run until this many Type B transitions
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: eMMC 16GB hybrid wear-out indicators over time "
+              "(sim scale %ux cap, %ux endurance; volumes re-scaled) ===\n",
+              kScale.capacity_div, kScale.endurance_div);
+
+  auto device = MakeEmmc16(kScale, /*seed=*/5);
+  WearWorkloadConfig workload;
+  workload.footprint_bytes = (400 * kMiB) / kScale.capacity_div;
+  WearOutExperiment experiment(*device, workload);
+
+  const std::vector<Stage> schedule = {
+      {AccessPattern::kRandom, 4096, 0.0, false, 2},        // B 1-2, 2-3
+      {AccessPattern::kSequential, 128 * 1024, 0.0, false, 2},  // B 3-4, 4-5
+      {AccessPattern::kRandom, 4096, 0.0, false, 1},        // B 5-6
+      {AccessPattern::kRandom, 4096, 0.90, false, 1},       // B 6-7 @ 90%
+      {AccessPattern::kRandom, 4096, 0.50, false, 1},       // B 7-8 @ 50%
+      {AccessPattern::kRandom, 4096, 0.90, true, 2},        // B 8-10 rewrite @ 90%+
+  };
+
+  TableReporter table_a({"Indic.", "I/O Vol. (GiB)", "Incr. Time (h)", "I/O Pattern",
+                         "Space Util.", "WA"});
+  TableReporter table_b({"Indic.", "I/O Vol. (GiB)", "Incr. Time (h)", "I/O Pattern",
+                         "Space Util.", "WA"});
+
+  for (const Stage& stage : schedule) {
+    WearWorkloadConfig cfg = experiment.workload();
+    cfg.pattern = stage.pattern;
+    cfg.request_bytes = stage.request_bytes;
+    cfg.rewrite_utilized = stage.rewrite_utilized;
+    experiment.SetWorkload(cfg);
+    Status util_ok = experiment.SetUtilization(stage.utilization);
+    if (!util_ok.ok()) {
+      std::printf("utilization setup failed: %s\n", util_ok.ToString().c_str());
+      return 1;
+    }
+    uint32_t b_seen = 0;
+    while (b_seen < stage.b_transitions) {
+      const WearRunOutcome out = experiment.Run(1, 2 * kTiB);
+      if (out.transitions.empty()) {
+        std::printf("stage ended early (bricked=%d cap=%d %s)\n", out.bricked,
+                    out.volume_cap_hit, out.status.ToString().c_str());
+        break;
+      }
+      for (const WearTransition& t : out.transitions) {
+        TableReporter& table = t.type == WearType::kTypeB ? table_b : table_a;
+        std::string util_label = FmtPercent(t.utilization);
+        if (t.rewrite_utilized) {
+          util_label += "+";
+        }
+        table.AddRow({std::to_string(t.from_level) + "-" + std::to_string(t.to_level),
+                      Fmt(static_cast<double>(t.host_bytes) * kScale.VolumeFactor() /
+                              kGiB, 1),
+                      Fmt(t.hours * kScale.VolumeFactor(), 2), t.pattern_label,
+                      util_label, Fmt(t.write_amplification)});
+        if (t.type == WearType::kTypeB) {
+          ++b_seen;
+        }
+      }
+      if (out.bricked || !out.status.ok()) {
+        break;
+      }
+    }
+  }
+
+  std::printf("\nType A flash cell (SLC-mode cache region)\n");
+  table_a.Print(std::cout);
+  std::printf("\nType B flash cell (MLC main pool)\n");
+  table_b.Print(std::cout);
+  std::printf(
+      "\nPaper shape: B ~2.2 TiB/level under all patterns; A 1-2 needs ~11.9 TiB\n"
+      "(~6x more than a B level); under 90%%+ utilization rewrites A collapses to\n"
+      "~439 GiB/level (pool merge, MLC-mode cycling) while B keeps its volume but\n"
+      "slows ~3.7x in wall-clock.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The §4.5 defense stack in action: per-app I/O accounting pinpointing the
+// abuser, wear-indicator alerts, and the selective rate limiter protecting
+// the flash without hurting benign apps.
+//
+//   $ ./build/examples/defense_playground
+
+#include <cstdio>
+
+#include "src/android/benign_apps.h"
+#include "src/device/catalog.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/phone.h"
+
+using namespace flashsim;
+
+namespace {
+
+void RunScenario(bool defended) {
+  std::printf("=== %s ===\n", defended ? "WITH selective rate limiter (§4.5)"
+                                       : "Stock Android (no defenses)");
+  AndroidSystemConfig sys;
+  sys.enable_rate_limiter = defended;
+  sys.rate_limiter.selective = true;
+  sys.rate_limiter.burst_bytes = 64 * kMiB;  // bursts this size stay fast
+
+  const SimScale scale{32, 1};
+  Phone phone(MakeMotoE8(scale, /*seed=*/3), PhoneFsType::kExtFs, sys);
+  (void)phone.FillStaticData(0.40);
+
+  // Cast: a camera (benign bursts), a messaging app (benign trickle), the
+  // Spotify cache bug (pathological but not malicious), and the wear attack.
+  CameraAppConfig cam_cfg;
+  cam_cfg.burst_bytes = (300 * kMiB) / scale.capacity_div;
+  CameraApp camera(phone.system(), cam_cfg);
+  MessagingApp messaging(phone.system(), MessagingAppConfig{});
+  SpotifyBugAppConfig bug_cfg;
+  bug_cfg.cache_bytes = (128 * kMiB) / scale.capacity_div;
+  SpotifyBugApp spotify(phone.system(), bug_cfg);
+  AttackAppConfig attack_cfg;
+  attack_cfg.file_count = 2;
+  attack_cfg.file_bytes = (100 * kMiB) / scale.capacity_div;
+  attack_cfg.write_bytes = 256 * 1024;
+  WearAttackApp attacker(phone.system(), attack_cfg);
+  (void)attacker.Install();
+
+  // Interleave six hours of phone life in 30-minute slices.
+  for (int slice = 0; slice < 12; ++slice) {
+    const SimTime until = phone.system().Now() + SimDuration::Minutes(6);
+    (void)attacker.RunUntil(until);
+    (void)spotify.RunUntil(until + SimDuration::Minutes(2));
+    (void)messaging.RunUntil(until + SimDuration::Minutes(3));
+    (void)camera.RunUntil(until + SimDuration::Minutes(4));
+    phone.system().AdvanceIdle(SimDuration::Minutes(15));
+    phone.system().PollWearIndicator();
+  }
+
+  std::printf("Per-app I/O accounting (the 'storage usage' view a user would "
+              "check):\n");
+  for (const auto& [app, usage] : phone.system().accountant().TopWriters()) {
+    const char* who = app == attack_cfg.app_id      ? "wear-attack app"
+                      : app == bug_cfg.app_id        ? "spotify (cache bug)"
+                      : app == cam_cfg.app_id        ? "camera"
+                      : app == MessagingAppConfig{}.app_id ? "messaging"
+                                                           : "system";
+    std::printf("  app %3u (%-19s)  wrote %9.2f GiB in %llu ops\n", app, who,
+                BytesToGiB(usage.bytes_written),
+                static_cast<unsigned long long>(usage.write_ops));
+  }
+  std::printf("Camera burst latency: %.2f s for a %s clip\n",
+              camera.last_burst_seconds(), FormatBytes(cam_cfg.burst_bytes).c_str());
+  const HealthReport h = phone.device().QueryHealth();
+  std::printf("Wear after 6h: level %u/11 (alerts fired: %zu)\n\n",
+              h.life_time_est_a, phone.system().wear_service().alerts().size());
+}
+
+}  // namespace
+
+int main() {
+  RunScenario(/*defended=*/false);
+  RunScenario(/*defended=*/true);
+  std::printf("Takeaway: accounting makes the abuser obvious; the selective\n"
+              "limiter freezes the attacker's throughput while the camera's\n"
+              "bursts stay fast — the design the paper argues for.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Explores the hybrid (Type A / Type B) device of Table 1: how utilization
+// and access pattern move the two wear indicators, and when the firmware's
+// pool-merge heuristic engages.
+//
+//   $ ./build/examples/hybrid_wear_explorer
+
+#include <cstdio>
+
+#include "src/device/catalog.h"
+#include "src/ftl/hybrid_ftl.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/wearout_experiment.h"
+
+using namespace flashsim;
+
+namespace {
+
+constexpr SimScale kScale{32, 32};
+
+void Report(const char* stage, FlashDevice& device) {
+  const auto* hybrid = dynamic_cast<const HybridFtl*>(&device.ftl());
+  const HealthReport h = device.QueryHealth();
+  std::printf("%-44s A: pe=%7.1f (level %2u)   B: pe=%6.1f (level %2u)   "
+              "merged=%s  WA=%.2f\n",
+              stage, h.avg_pe_a, h.life_time_est_a, h.avg_pe_b, h.life_time_est_b,
+              hybrid->InMergedMode() ? "YES" : "no ",
+              device.ftl().Stats().WriteAmplification());
+}
+
+}  // namespace
+
+int main() {
+  auto device = MakeEmmc16(kScale, /*seed=*/11);
+  std::printf("eMMC 16GB hybrid explorer (scale %ux/%ux). Type A = 1 GiB "
+              "SLC-mode cache, Type B = MLC pool.\n\n",
+              kScale.capacity_div, kScale.endurance_div);
+
+  WearWorkloadConfig w;
+  w.footprint_bytes = (400 * kMiB) / kScale.capacity_div;
+  WearOutExperiment exp(*device, w);
+  Report("fresh device", *device);
+
+  // Stage 1: the paper's default workload at an empty device.
+  (void)exp.Run(1, 4 * kGiB);
+  Report("after 4 TiB-equiv of 4 KiB rand @ 0% util", *device);
+
+  // Stage 2: large sequential writes — same Type B slope.
+  WearWorkloadConfig seq = w;
+  seq.pattern = AccessPattern::kSequential;
+  seq.request_bytes = 128 * 1024;
+  exp.SetWorkload(seq);
+  (void)exp.Run(1, 4 * kGiB);
+  Report("after 4 TiB-equiv of 128 KiB seq", *device);
+
+  // Stage 3: fill to 90% — utilization alone does NOT merge the pools.
+  exp.SetWorkload(w);
+  (void)exp.SetUtilization(0.90);
+  (void)exp.Run(1, 2 * kGiB);
+  Report("at 90% util, writes to FREE space", *device);
+
+  // Stage 4: rewrite the utilized space — pressure + utilization = merge,
+  // and Type A wear takes off (the Table 1 collapse).
+  WearWorkloadConfig rewrite = w;
+  rewrite.rewrite_utilized = true;
+  exp.SetWorkload(rewrite);
+  (void)exp.Run(1, 2 * kGiB);
+  Report("at 90% util, REWRITING utilized space", *device);
+
+  (void)exp.Run(2, 4 * kGiB);
+  Report("...continuing the rewrite workload", *device);
+
+  std::printf("\nWatch the A column: flat for the first stages (tiny cache wear\n"
+              "against a 120K rating), then the merged-mode draft cycles it in\n"
+              "MLC mode and its level climbs ~27x faster — Table 1's story.\n");
+  return 0;
+}

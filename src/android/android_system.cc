@@ -1,0 +1,93 @@
+#include "src/android/android_system.h"
+
+namespace flashsim {
+
+AndroidSystem::AndroidSystem(Filesystem& fs, AndroidSystemConfig config)
+    : fs_(fs),
+      config_(config),
+      schedule_(config.schedule),
+      power_(config.power),
+      process_(config.process),
+      thermal_(config.thermal) {
+  if (config_.enable_rate_limiter) {
+    limiter_.emplace(config_.rate_limiter, fs_.device().CapacityBytes());
+  }
+}
+
+SimTime AndroidSystem::Now() { return fs_.device().clock().Now(); }
+
+PhoneState AndroidSystem::StateNow() { return schedule_.StateAt(Now()); }
+
+void AndroidSystem::AdvanceIdle(SimDuration d) {
+  fs_.device().clock().AdvanceWithCategory(d, "idle");
+}
+
+std::string AndroidSystem::SandboxPath(AppId app, const std::string& name) {
+  return "data/app" + std::to_string(app) + "/" + name;
+}
+
+Status AndroidSystem::AppCreate(AppId app, const std::string& name) {
+  return fs_.Create(SandboxPath(app, name));
+}
+
+Result<SimDuration> AndroidSystem::AppWrite(AppId app, const std::string& name,
+                                            uint64_t offset, uint64_t length,
+                                            bool sync) {
+  SimDuration throttle_delay;
+  if (limiter_.has_value()) {
+    const ThrottleDecision decision = limiter_->Admit(app, length, Now());
+    if (decision.throttled) {
+      // The app blocks until its budget refills; the wait is real wall-clock
+      // time during which the flash is *not* being written.
+      AdvanceIdle(decision.delay);
+      throttle_delay = decision.delay;
+    }
+  }
+  const SimTime start = Now();
+  const PhoneState state = schedule_.StateAt(start);
+  Result<SimDuration> io = fs_.Write(SandboxPath(app, name), offset, length, sync);
+  if (!io.ok()) {
+    return io.status();
+  }
+  const SimTime end = Now();
+  accountant_.RecordWrite(app, length);
+  power_.RecordIo(app, length, start, state);
+  process_.ObserveIo(app, start, end, schedule_);
+  thermal_.RecordIo(length, end);
+  return throttle_delay + io.value();
+}
+
+Result<SimDuration> AndroidSystem::AppRead(AppId app, const std::string& name,
+                                           uint64_t offset, uint64_t length) {
+  const SimTime start = Now();
+  const PhoneState state = schedule_.StateAt(start);
+  Result<SimDuration> io = fs_.Read(SandboxPath(app, name), offset, length);
+  if (!io.ok()) {
+    return io.status();
+  }
+  accountant_.RecordRead(app, length);
+  power_.RecordIo(app, length, start, state);
+  process_.ObserveIo(app, start, Now(), schedule_);
+  return io.value();
+}
+
+Status AndroidSystem::AppUnlink(AppId app, const std::string& name) {
+  return fs_.Unlink(SandboxPath(app, name));
+}
+
+DetectionSummary AndroidSystem::Detection(AppId app) {
+  DetectionSummary summary;
+  const SimTime now = Now();
+  summary.power_flagged = power_.IsFlagged(app, now);
+  summary.process_flagged = process_.IsFlagged(app);
+  summary.thermal_suspicion = thermal_.IsSuspicious(now, StateNow());
+  summary.attributed_joules = power_.AttributedJoules(app);
+  summary.process_samples_caught = process_.SamplesCaught(app);
+  return summary;
+}
+
+void AndroidSystem::PollWearIndicator() {
+  wear_service_.Poll(fs_.device(), Now());
+}
+
+}  // namespace flashsim

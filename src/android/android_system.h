@@ -1,0 +1,96 @@
+// AndroidSystem: the OS layer between unprivileged apps and the file system.
+//
+// Mirrors the properties the paper exploits: every app gets a private
+// directory it can write without any permission; the system meters power,
+// shows running apps, and (optionally, as a defense) accounts and rate-limits
+// per-app I/O. The attack app never needs anything beyond this interface —
+// exactly the "963 LoC, no special permissions" app of §4.4.
+
+#ifndef SRC_ANDROID_ANDROID_SYSTEM_H_
+#define SRC_ANDROID_ANDROID_SYSTEM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/android/defense.h"
+#include "src/android/monitors.h"
+#include "src/android/phone_state.h"
+#include "src/fs/filesystem.h"
+
+namespace flashsim {
+
+struct AndroidSystemConfig {
+  UsageScheduleConfig schedule;
+  PowerMonitorConfig power;
+  ProcessMonitorConfig process;
+  ThermalModelConfig thermal;
+  // Defenses are off by default (stock Android, as measured by the paper).
+  bool enable_rate_limiter = false;
+  RateLimiterConfig rate_limiter;
+};
+
+// What the user could have noticed about an app so far.
+struct DetectionSummary {
+  bool power_flagged = false;
+  bool process_flagged = false;
+  bool thermal_suspicion = false;
+  double attributed_joules = 0.0;
+  uint64_t process_samples_caught = 0;
+};
+
+class AndroidSystem {
+ public:
+  // `fs` must outlive the system. The device clock behind `fs` is the
+  // system's notion of time.
+  AndroidSystem(Filesystem& fs, AndroidSystemConfig config = {});
+
+  // Current simulated time and phone state.
+  SimTime Now();
+  PhoneState StateNow();
+  const UsageSchedule& schedule() const { return schedule_; }
+
+  // Lets simulated wall-clock pass with no I/O (phone idle / app sleeping).
+  void AdvanceIdle(SimDuration d);
+
+  // --- App-facing storage API (sandboxed, no permissions needed) ----------
+
+  // Private-directory path for an app's file.
+  static std::string SandboxPath(AppId app, const std::string& name);
+
+  Status AppCreate(AppId app, const std::string& name);
+  // Writes through the sandbox; applies rate limiting (if enabled), meters
+  // power/process/thermal channels, and advances the clock.
+  Result<SimDuration> AppWrite(AppId app, const std::string& name, uint64_t offset,
+                               uint64_t length, bool sync);
+  Result<SimDuration> AppRead(AppId app, const std::string& name, uint64_t offset,
+                              uint64_t length);
+  Status AppUnlink(AppId app, const std::string& name);
+
+  // --- Telemetry / defenses ------------------------------------------------
+
+  DetectionSummary Detection(AppId app);
+  const IoAccountant& accountant() const { return accountant_; }
+  WearIndicatorService& wear_service() { return wear_service_; }
+
+  // Polls the wear indicator (as a background service would).
+  void PollWearIndicator();
+
+  Filesystem& fs() { return fs_; }
+  bool rate_limiter_enabled() const { return limiter_.has_value(); }
+
+ private:
+  Filesystem& fs_;
+  AndroidSystemConfig config_;
+  UsageSchedule schedule_;
+  PowerMonitor power_;
+  ProcessMonitor process_;
+  ThermalModel thermal_;
+  IoAccountant accountant_;
+  WearIndicatorService wear_service_;
+  std::optional<WearRateLimiter> limiter_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_ANDROID_ANDROID_SYSTEM_H_

@@ -1,0 +1,129 @@
+#include "src/android/attack_app.h"
+
+#include <algorithm>
+
+namespace flashsim {
+
+namespace {
+// Installation writes in large chunks — the app only needs the files to
+// exist; the attack proper uses the configured write size.
+constexpr uint64_t kInstallChunk = 4ull * 1024 * 1024;
+// Granularity of the stealth sleep loop.
+constexpr int64_t kSleepStepNanos = 60ll * 1000000000;  // one minute
+}  // namespace
+
+const char* AttackPolicyName(AttackPolicy policy) {
+  switch (policy) {
+    case AttackPolicy::kAggressive:
+      return "aggressive";
+    case AttackPolicy::kStealth:
+      return "stealth";
+  }
+  return "unknown";
+}
+
+WearAttackApp::WearAttackApp(AndroidSystem& system, AttackAppConfig config,
+                             uint64_t seed)
+    : system_(system), config_(config), rng_(seed) {}
+
+std::string WearAttackApp::FileName(uint32_t index) const {
+  return "wear" + std::to_string(index) + ".dat";
+}
+
+Status WearAttackApp::Install() {
+  for (uint32_t f = 0; f < config_.file_count; ++f) {
+    FLASHSIM_RETURN_IF_ERROR(system_.AppCreate(config_.app_id, FileName(f)));
+    for (uint64_t off = 0; off < config_.file_bytes; off += kInstallChunk) {
+      const uint64_t len = std::min(kInstallChunk, config_.file_bytes - off);
+      Result<SimDuration> w =
+          system_.AppWrite(config_.app_id, FileName(f), off, len, /*sync=*/false);
+      if (!w.ok()) {
+        return w.status();
+      }
+    }
+    Result<SimDuration> sync = system_.fs().Fsync(
+        AndroidSystem::SandboxPath(config_.app_id, FileName(f)));
+    if (!sync.ok()) {
+      return sync.status();
+    }
+  }
+  installed_ = true;
+  return Status::Ok();
+}
+
+bool WearAttackApp::AllowedNow() {
+  if (config_.policy == AttackPolicy::kAggressive) {
+    return true;
+  }
+  const PhoneState state = system_.StateNow();
+  return state.charging && !state.screen_on;
+}
+
+void WearAttackApp::SleepUntilAllowed(SimTime deadline, AttackProgress& progress) {
+  while (!AllowedNow() && system_.Now() < deadline) {
+    system_.AdvanceIdle(SimDuration(kSleepStepNanos));
+    ++progress.idle_skips;
+  }
+}
+
+AttackProgress WearAttackApp::RunUntil(SimTime deadline) {
+  return RunSlice(UINT64_MAX, deadline);
+}
+
+AttackProgress WearAttackApp::RunSlice(uint64_t max_bytes, SimTime deadline) {
+  AttackProgress progress;
+  if (!installed_) {
+    progress.last_error = FailedPreconditionError("attack app not installed");
+    return progress;
+  }
+  const uint64_t writes_per_file = config_.file_bytes / config_.write_bytes;
+  while (system_.Now() < deadline && progress.bytes_written < max_bytes) {
+    if (!AllowedNow()) {
+      SleepUntilAllowed(deadline, progress);
+      continue;
+    }
+    const uint32_t file = static_cast<uint32_t>(
+        config_.random_offsets ? rng_.UniformU64(config_.file_count)
+                               : (sweep_cursor_ / writes_per_file) % config_.file_count);
+    const uint64_t slot = config_.random_offsets
+                              ? rng_.UniformU64(writes_per_file)
+                              : sweep_cursor_ % writes_per_file;
+    ++sweep_cursor_;
+    Result<SimDuration> w =
+        system_.AppWrite(config_.app_id, FileName(file), slot * config_.write_bytes,
+                         config_.write_bytes, config_.sync);
+    if (!w.ok()) {
+      progress.last_error = w.status();
+      if (w.status().code() == StatusCode::kUnavailable) {
+        progress.device_bricked = true;  // flash refused the write: dead phone
+      }
+      return progress;
+    }
+    progress.bytes_written += config_.write_bytes;
+    total_bytes_ += config_.write_bytes;
+    ++progress.writes_issued;
+  }
+  return progress;
+}
+
+AttackProgress WearAttackApp::RunUntilBricked(SimDuration max_sim_time) {
+  AttackProgress total;
+  const SimTime deadline = system_.Now() + max_sim_time;
+  while (system_.Now() < deadline) {
+    AttackProgress slice = RunUntil(deadline);
+    total.bytes_written += slice.bytes_written;
+    total.writes_issued += slice.writes_issued;
+    total.idle_skips += slice.idle_skips;
+    total.last_error = slice.last_error;
+    if (slice.device_bricked) {
+      total.device_bricked = true;
+      return total;
+    }
+    if (!slice.last_error.ok()) {
+      return total;  // non-brick error: stop rather than loop forever
+    }
+  }
+  return total;
+}
+
+}  // namespace flashsim

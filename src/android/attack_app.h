@@ -1,0 +1,89 @@
+// WearAttackApp: the paper's trivial, unprivileged wear-out app (§4.4).
+//
+// The real app was 963 lines, "mostly UI and Android hooks"; the essence is
+// a loop that rewrites 100 MB files in the app's private storage. Two
+// scheduling policies are modelled:
+//
+//  * kAggressive — write whenever the process is scheduled (the bench that
+//    bricked the paper's phones).
+//  * kStealth    — write only while charging with the screen off, evading
+//    both the power monitor and the process monitor.
+
+#ifndef SRC_ANDROID_ATTACK_APP_H_
+#define SRC_ANDROID_ATTACK_APP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/android/android_system.h"
+#include "src/simcore/rng.h"
+
+namespace flashsim {
+
+enum class AttackPolicy { kAggressive, kStealth };
+
+const char* AttackPolicyName(AttackPolicy policy);
+
+struct AttackAppConfig {
+  AppId app_id = 100;
+  uint32_t file_count = 4;
+  uint64_t file_bytes = 100ull * 1024 * 1024;
+  // I/O unit per write call; 4 KiB sync rewrites are the paper's workload.
+  uint64_t write_bytes = 4096;
+  bool sync = true;
+  // Random offsets within the files (vs. sequential sweep).
+  bool random_offsets = true;
+  AttackPolicy policy = AttackPolicy::kAggressive;
+};
+
+// Progress report from a run slice.
+struct AttackProgress {
+  uint64_t bytes_written = 0;
+  uint64_t writes_issued = 0;
+  uint64_t idle_skips = 0;    // times the stealth policy paused the attack
+  bool device_bricked = false;
+  Status last_error;
+};
+
+class WearAttackApp {
+ public:
+  WearAttackApp(AndroidSystem& system, AttackAppConfig config, uint64_t seed = 7);
+
+  // Creates and fills the working files (the app's steady-state footprint —
+  // under 3% of an 16 GB device, as the paper stresses).
+  Status Install();
+
+  // Runs the attack until `deadline` (simulated) or until the device bricks,
+  // whichever comes first. Respects the scheduling policy: outside the
+  // allowed window the app sleeps and the clock advances without I/O.
+  AttackProgress RunUntil(SimTime deadline);
+
+  // Like RunUntil, but also stops after `max_bytes` of writes — used by
+  // experiment drivers that must poll the wear indicator at byte granularity.
+  AttackProgress RunSlice(uint64_t max_bytes, SimTime deadline);
+
+  // Runs until the device bricks (device read-only / write failure), with a
+  // safety cap. Returns total progress.
+  AttackProgress RunUntilBricked(SimDuration max_sim_time);
+
+  uint64_t total_bytes_written() const { return total_bytes_; }
+  const AttackAppConfig& config() const { return config_; }
+
+ private:
+  bool AllowedNow();
+  // Sleeps (simulated) until the policy allows running again.
+  void SleepUntilAllowed(SimTime deadline, AttackProgress& progress);
+  std::string FileName(uint32_t index) const;
+
+  AndroidSystem& system_;
+  AttackAppConfig config_;
+  Rng rng_;
+  uint64_t total_bytes_ = 0;
+  uint64_t sweep_cursor_ = 0;
+  bool installed_ = false;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_ANDROID_ATTACK_APP_H_

@@ -1,0 +1,105 @@
+#include "src/android/benign_apps.h"
+
+#include <algorithm>
+
+namespace flashsim {
+
+// --- CameraApp ---------------------------------------------------------------
+
+CameraApp::CameraApp(AndroidSystem& system, CameraAppConfig config)
+    : system_(system), config_(config) {
+  next_burst_ = system_.Now();
+}
+
+Status CameraApp::RunUntil(SimTime deadline) {
+  while (next_burst_ < deadline) {
+    // Idle until the next clip.
+    if (system_.Now() < next_burst_) {
+      system_.AdvanceIdle(next_burst_ - system_.Now());
+    }
+    const std::string clip = "clip" + std::to_string(clips_++) + ".mp4";
+    FLASHSIM_RETURN_IF_ERROR(system_.AppCreate(config_.app_id, clip));
+    const SimTime burst_start = system_.Now();
+    for (uint64_t off = 0; off < config_.burst_bytes; off += config_.chunk_bytes) {
+      const uint64_t len = std::min(config_.chunk_bytes, config_.burst_bytes - off);
+      Result<SimDuration> w =
+          system_.AppWrite(config_.app_id, clip, off, len, /*sync=*/false);
+      if (!w.ok()) {
+        return w.status();
+      }
+      bytes_written_ += len;
+    }
+    last_burst_seconds_ = (system_.Now() - burst_start).ToSecondsF();
+    next_burst_ += config_.burst_interval;
+  }
+  if (system_.Now() < deadline) {
+    system_.AdvanceIdle(deadline - system_.Now());
+  }
+  return Status::Ok();
+}
+
+// --- SpotifyBugApp -----------------------------------------------------------
+
+SpotifyBugApp::SpotifyBugApp(AndroidSystem& system, SpotifyBugAppConfig config,
+                             uint64_t seed)
+    : system_(system), config_(config), rng_(seed) {}
+
+Status SpotifyBugApp::RunUntil(SimTime deadline) {
+  if (!installed_) {
+    FLASHSIM_RETURN_IF_ERROR(system_.AppCreate(config_.app_id, "mercury.db"));
+    installed_ = true;
+  }
+  const uint64_t slots = config_.cache_bytes / config_.write_bytes;
+  while (system_.Now() < deadline) {
+    const uint64_t slot = rng_.UniformU64(slots);
+    const SimTime io_start = system_.Now();
+    Result<SimDuration> w = system_.AppWrite(
+        config_.app_id, "mercury.db", slot * config_.write_bytes, config_.write_bytes,
+        /*sync=*/false);
+    if (!w.ok()) {
+      return w.status();
+    }
+    bytes_written_ += config_.write_bytes;
+    // Duty cycle: idle in proportion to the I/O time just spent.
+    const double io_seconds = (system_.Now() - io_start).ToSecondsF();
+    const double idle_seconds = io_seconds * (1.0 - config_.duty_cycle) /
+                                std::max(config_.duty_cycle, 1e-6);
+    if (idle_seconds > 0) {
+      system_.AdvanceIdle(SimDuration::FromSecondsF(idle_seconds));
+    }
+  }
+  return Status::Ok();
+}
+
+// --- MessagingApp ------------------------------------------------------------
+
+MessagingApp::MessagingApp(AndroidSystem& system, MessagingAppConfig config,
+                           uint64_t seed)
+    : system_(system), config_(config), rng_(seed) {}
+
+Status MessagingApp::RunUntil(SimTime deadline) {
+  if (!installed_) {
+    FLASHSIM_RETURN_IF_ERROR(system_.AppCreate(config_.app_id, "messages.db"));
+    installed_ = true;
+  }
+  const uint64_t slots = config_.db_bytes / config_.write_bytes;
+  while (system_.Now() < deadline) {
+    const uint64_t slot = rng_.UniformU64(slots);
+    Result<SimDuration> w = system_.AppWrite(
+        config_.app_id, "messages.db", slot * config_.write_bytes, config_.write_bytes,
+        /*sync=*/true);
+    if (!w.ok()) {
+      return w.status();
+    }
+    bytes_written_ += config_.write_bytes;
+    const SimTime next = system_.Now() + config_.write_interval;
+    if (next > deadline) {
+      system_.AdvanceIdle(deadline - system_.Now());
+      break;
+    }
+    system_.AdvanceIdle(config_.write_interval);
+  }
+  return Status::Ok();
+}
+
+}  // namespace flashsim

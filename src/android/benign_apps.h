@@ -1,0 +1,118 @@
+// Benign application workload models, used to evaluate the §4.5 defenses
+// against realistic non-malicious I/O:
+//
+//  * CameraApp    — large sequential bursts (shoot a video, dump photos);
+//                   the workload a naive rate limiter would hurt most.
+//  * SpotifyBugApp— the real-world pathological case the paper cites (§3,
+//                   ref [26]): a buggy app rewriting large volumes of junk
+//                   cache data continuously. Not malicious, same effect.
+//  * MessagingApp — trickle of small sync writes (databases, logs); the
+//                   everyday background load on a phone.
+
+#ifndef SRC_ANDROID_BENIGN_APPS_H_
+#define SRC_ANDROID_BENIGN_APPS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/android/android_system.h"
+#include "src/simcore/rng.h"
+
+namespace flashsim {
+
+// Common interface: apps run in simulated-time slices.
+class BenignApp {
+ public:
+  virtual ~BenignApp() = default;
+
+  // Performs the app's activity up to `deadline`. Returns OK unless the
+  // storage failed underneath it.
+  virtual Status RunUntil(SimTime deadline) = 0;
+
+  virtual AppId app_id() const = 0;
+  virtual const char* name() const = 0;
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ protected:
+  uint64_t bytes_written_ = 0;
+};
+
+struct CameraAppConfig {
+  AppId app_id = 201;
+  uint64_t burst_bytes = 300ull * 1024 * 1024;
+  SimDuration burst_interval = SimDuration::Hours(1);
+  uint64_t chunk_bytes = 4 * 1024 * 1024;
+};
+
+// Writes one `burst_bytes` clip every `burst_interval`, then idles.
+class CameraApp : public BenignApp {
+ public:
+  CameraApp(AndroidSystem& system, CameraAppConfig config);
+
+  Status RunUntil(SimTime deadline) override;
+  AppId app_id() const override { return config_.app_id; }
+  const char* name() const override { return "camera"; }
+
+  // Wall-clock seconds the most recent burst took (benign-app latency — the
+  // defense metric).
+  double last_burst_seconds() const { return last_burst_seconds_; }
+
+ private:
+  AndroidSystem& system_;
+  CameraAppConfig config_;
+  uint64_t clips_ = 0;
+  SimTime next_burst_;
+  double last_burst_seconds_ = 0.0;
+};
+
+struct SpotifyBugAppConfig {
+  AppId app_id = 202;
+  // The bug rewrote the same cache files continuously; observed rates were
+  // tens of GB/hour.
+  uint64_t cache_bytes = 128ull * 1024 * 1024;
+  uint64_t write_bytes = 256 * 1024;
+  double duty_cycle = 0.5;  // fraction of wall-clock spent writing
+};
+
+// Continuously rewrites its cache file at the configured duty cycle.
+class SpotifyBugApp : public BenignApp {
+ public:
+  SpotifyBugApp(AndroidSystem& system, SpotifyBugAppConfig config, uint64_t seed = 21);
+
+  Status RunUntil(SimTime deadline) override;
+  AppId app_id() const override { return config_.app_id; }
+  const char* name() const override { return "spotify-bug"; }
+
+ private:
+  AndroidSystem& system_;
+  SpotifyBugAppConfig config_;
+  Rng rng_;
+  bool installed_ = false;
+};
+
+struct MessagingAppConfig {
+  AppId app_id = 203;
+  uint64_t db_bytes = 16 * 1024 * 1024;
+  uint64_t write_bytes = 4096;
+  SimDuration write_interval = SimDuration::Seconds(5);
+};
+
+// Small synchronous database-style updates on a timer.
+class MessagingApp : public BenignApp {
+ public:
+  MessagingApp(AndroidSystem& system, MessagingAppConfig config, uint64_t seed = 22);
+
+  Status RunUntil(SimTime deadline) override;
+  AppId app_id() const override { return config_.app_id; }
+  const char* name() const override { return "messaging"; }
+
+ private:
+  AndroidSystem& system_;
+  MessagingAppConfig config_;
+  Rng rng_;
+  bool installed_ = false;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_ANDROID_BENIGN_APPS_H_

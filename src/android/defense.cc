@@ -1,0 +1,87 @@
+#include "src/android/defense.h"
+
+#include <algorithm>
+
+namespace flashsim {
+
+void WearIndicatorService::Poll(BlockDevice& device, SimTime now) {
+  const HealthReport health = device.QueryHealth();
+  if (!health.supported) {
+    return;
+  }
+  const uint32_t level = std::max(health.life_time_est_a, health.life_time_est_b);
+  for (uint32_t threshold : alert_levels_) {
+    if (level >= threshold && last_seen_level_ < threshold) {
+      WearAlert alert;
+      alert.time = now;
+      alert.level = level;
+      alert.message = "storage lifetime estimate reached level " +
+                      std::to_string(level) + "/11";
+      alerts_.push_back(std::move(alert));
+    }
+  }
+  last_seen_level_ = std::max(last_seen_level_, level);
+}
+
+void IoAccountant::RecordWrite(AppId app, uint64_t bytes) {
+  AppIoUsage& u = usage_[app];
+  u.bytes_written += bytes;
+  ++u.write_ops;
+}
+
+void IoAccountant::RecordRead(AppId app, uint64_t bytes) {
+  usage_[app].bytes_read += bytes;
+}
+
+AppIoUsage IoAccountant::Usage(AppId app) const {
+  auto it = usage_.find(app);
+  return it == usage_.end() ? AppIoUsage{} : it->second;
+}
+
+std::vector<std::pair<AppId, AppIoUsage>> IoAccountant::TopWriters() const {
+  std::vector<std::pair<AppId, AppIoUsage>> out(usage_.begin(), usage_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.bytes_written > b.second.bytes_written;
+  });
+  return out;
+}
+
+WearRateLimiter::WearRateLimiter(RateLimiterConfig config, uint64_t device_capacity_bytes)
+    : config_(config) {
+  const double lifetime_seconds = config_.target_lifetime_days * 86400.0;
+  budget_bytes_per_sec_ = static_cast<double>(device_capacity_bytes) *
+                          config_.rated_rewrites / lifetime_seconds;
+}
+
+ThrottleDecision WearRateLimiter::Admit(AppId app, uint64_t bytes, SimTime now) {
+  // Selective mode keys buckets per app, so a well-behaved app never pays for
+  // an abusive one; non-selective mode shares one global budget (the naive
+  // design §4.5 warns would hurt benign bursty apps).
+  Bucket& bucket = buckets_[config_.selective ? app : 0];
+  if (!bucket.initialized) {
+    bucket.tokens = static_cast<double>(config_.burst_bytes);
+    bucket.last_refill = now;
+    bucket.initialized = true;
+  }
+  // Refill at the budget rate (per-app fair share is the whole budget here;
+  // contention between apps is resolved by the device queue anyway).
+  const double dt = (now - bucket.last_refill).ToSecondsF();
+  if (dt > 0) {
+    bucket.tokens = std::min(static_cast<double>(config_.burst_bytes),
+                             bucket.tokens + dt * budget_bytes_per_sec_);
+    bucket.last_refill = now;
+  }
+  ThrottleDecision decision;
+  if (bucket.tokens >= static_cast<double>(bytes)) {
+    bucket.tokens -= static_cast<double>(bytes);
+    return decision;  // within burst allowance
+  }
+  // Not enough tokens: the app must wait for the deficit to refill.
+  const double deficit = static_cast<double>(bytes) - bucket.tokens;
+  bucket.tokens = 0.0;
+  decision.throttled = true;
+  decision.delay = SimDuration::FromSecondsF(deficit / budget_bytes_per_sec_);
+  return decision;
+}
+
+}  // namespace flashsim

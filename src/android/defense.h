@@ -1,0 +1,123 @@
+// Defenses sketched in §4.5 of the paper, made concrete:
+//
+//  * WearIndicatorService — expose the JEDEC wear indicator to the user,
+//    S.M.A.R.T.-style, with alert thresholds.
+//  * IoAccountant — per-app storage-I/O accounting, like the cellular data
+//    usage UI, so the user can find the app squandering the flash.
+//  * WearRateLimiter — a token-bucket write budget derived from the device's
+//    rated endurance and a target lifespan. A burst allowance keeps benign
+//    bursty apps (file transfers) usable while capping sustained abuse; a
+//    selective mode only throttles apps exceeding their fair share.
+
+#ifndef SRC_ANDROID_DEFENSE_H_
+#define SRC_ANDROID_DEFENSE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/android/monitors.h"
+#include "src/blockdev/block_device.h"
+#include "src/simcore/sim_time.h"
+
+namespace flashsim {
+
+// --- Wear indicator exposure -------------------------------------------------
+
+struct WearAlert {
+  SimTime time;
+  uint32_t level = 0;   // JEDEC level that triggered the alert
+  std::string message;
+};
+
+class WearIndicatorService {
+ public:
+  // Alerts fire when LIFE_TIME_EST (max of A/B) reaches each threshold.
+  explicit WearIndicatorService(std::vector<uint32_t> alert_levels = {8, 10, 11})
+      : alert_levels_(std::move(alert_levels)) {}
+
+  // Polls the device and records alerts for newly crossed thresholds.
+  void Poll(BlockDevice& device, SimTime now);
+
+  const std::vector<WearAlert>& alerts() const { return alerts_; }
+  uint32_t last_seen_level() const { return last_seen_level_; }
+
+ private:
+  std::vector<uint32_t> alert_levels_;
+  std::vector<WearAlert> alerts_;
+  uint32_t last_seen_level_ = 0;
+};
+
+// --- Per-app I/O accounting --------------------------------------------------
+
+struct AppIoUsage {
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t write_ops = 0;
+};
+
+class IoAccountant {
+ public:
+  void RecordWrite(AppId app, uint64_t bytes);
+  void RecordRead(AppId app, uint64_t bytes);
+
+  AppIoUsage Usage(AppId app) const;
+
+  // Apps sorted by bytes written, descending — the "which app is killing my
+  // flash" view.
+  std::vector<std::pair<AppId, AppIoUsage>> TopWriters() const;
+
+ private:
+  std::map<AppId, AppIoUsage> usage_;
+};
+
+// --- Write rate limiting -----------------------------------------------------
+
+struct RateLimiterConfig {
+  // Target device lifespan the budget must guarantee.
+  double target_lifetime_days = 3 * 365.0;
+  // Full-device rewrites the device is rated for (endurance / WA margin).
+  double rated_rewrites = 1000.0;
+  // Token bucket burst: how many bytes an app may write at full speed before
+  // throttling kicks in. Sized to keep file transfers unharmed.
+  uint64_t burst_bytes = 2ull * 1024 * 1024 * 1024;
+  // Selective mode: throttle only apps whose sustained rate exceeds their
+  // fair share; non-selective throttles everyone proportionally.
+  bool selective = true;
+};
+
+// Decision for one write: how long the writer must wait before the write may
+// proceed (zero = no throttling).
+struct ThrottleDecision {
+  SimDuration delay;
+  bool throttled = false;
+};
+
+class WearRateLimiter {
+ public:
+  // `device_capacity_bytes` sizes the lifetime budget.
+  WearRateLimiter(RateLimiterConfig config, uint64_t device_capacity_bytes);
+
+  // Sustainable device-wide write rate implied by the lifespan target.
+  double BudgetBytesPerSec() const { return budget_bytes_per_sec_; }
+
+  // Accounts a write of `bytes` by `app` at `now` and returns the delay the
+  // system must impose on the app before admitting it.
+  ThrottleDecision Admit(AppId app, uint64_t bytes, SimTime now);
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;   // bytes of accumulated allowance
+    SimTime last_refill;
+    bool initialized = false;
+  };
+
+  RateLimiterConfig config_;
+  double budget_bytes_per_sec_;
+  std::map<AppId, Bucket> buckets_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_ANDROID_DEFENSE_H_

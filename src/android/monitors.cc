@@ -1,0 +1,79 @@
+#include "src/android/monitors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+void PowerMonitor::RecordIo(AppId app, uint64_t bytes, SimTime now,
+                            const PhoneState& state) {
+  (void)now;
+  if (state.charging) {
+    return;  // battery stats do not attribute while charging
+  }
+  joules_[app] += BytesToGiB(bytes) * config_.joules_per_gib;
+}
+
+double PowerMonitor::AttributedJoules(AppId app) const {
+  auto it = joules_.find(app);
+  return it == joules_.end() ? 0.0 : it->second;
+}
+
+bool PowerMonitor::IsFlagged(AppId app, SimTime now) const {
+  const double days = std::max(now.ToHoursF() / 24.0, 1e-9);
+  // Within the first day, compare against the full-day budget rather than
+  // extrapolating a few minutes of burst into a huge daily rate.
+  const double daily = AttributedJoules(app) / std::max(days, 1.0);
+  return daily > config_.flag_threshold_joules_per_day;
+}
+
+void ProcessMonitor::ObserveIo(AppId app, SimTime start, SimTime end,
+                               const UsageSchedule& schedule) {
+  if (next_sample_ < start) {
+    const int64_t period = config_.sample_period.nanos();
+    const int64_t k = (start.nanos() - next_sample_.nanos() + period - 1) / period;
+    next_sample_ = SimTime(next_sample_.nanos() + k * period);
+  }
+  while (next_sample_ < end) {
+    if (schedule.StateAt(next_sample_).screen_on) {
+      ++caught_[app];
+    }
+    next_sample_ += config_.sample_period;
+  }
+}
+
+uint64_t ProcessMonitor::SamplesCaught(AppId app) const {
+  auto it = caught_.find(app);
+  return it == caught_.end() ? 0 : it->second;
+}
+
+bool ProcessMonitor::IsFlagged(AppId app) const {
+  return SamplesCaught(app) >= config_.flag_after_samples;
+}
+
+void ThermalModel::RecordIo(uint64_t bytes, SimTime now) {
+  const double dt = (now - last_update_).ToSecondsF();
+  if (dt > 0) {
+    excess_celsius_ *= std::exp2(-dt / config_.cooldown_half_life_seconds);
+    last_update_ = now;
+  }
+  excess_celsius_ += BytesToGiB(bytes) * config_.celsius_per_gib;
+}
+
+double ThermalModel::TemperatureAt(SimTime now) const {
+  const double dt = std::max(0.0, (now - last_update_).ToSecondsF());
+  const double excess =
+      excess_celsius_ * std::exp2(-dt / config_.cooldown_half_life_seconds);
+  return config_.ambient_celsius + excess;
+}
+
+bool ThermalModel::IsSuspicious(SimTime now, const PhoneState& state) const {
+  if (state.charging) {
+    return false;  // heat attributed to the charging process (§4.4)
+  }
+  return TemperatureAt(now) > config_.suspicion_celsius;
+}
+
+}  // namespace flashsim

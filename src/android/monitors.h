@@ -1,0 +1,104 @@
+// The two detection channels the paper evaluates (§4.4 "Detection"), plus a
+// thermal channel it mentions as future work.
+//
+//  * PowerMonitor — Android's battery attribution: charges an app for I/O
+//    energy only while the phone is on battery. An app whose daily battery
+//    share crosses a threshold shows up in the battery-usage UI.
+//  * ProcessMonitor — the running-apps view: samples roughly once per second
+//    while the screen is on; an app repeatedly seen doing I/O is flagged.
+//  * ThermalModel — sustained writes heat the device; heat while charging is
+//    commonly attributed to the charger itself, so the monitor discounts it.
+
+#ifndef SRC_ANDROID_MONITORS_H_
+#define SRC_ANDROID_MONITORS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/android/phone_state.h"
+#include "src/simcore/sim_time.h"
+
+namespace flashsim {
+
+using AppId = uint32_t;
+
+struct PowerMonitorConfig {
+  // Energy cost of storage I/O attributed to the issuing app.
+  double joules_per_gib = 40.0;
+  // Daily battery-energy threshold above which the app is surfaced to the
+  // user as a top consumer.
+  double flag_threshold_joules_per_day = 50.0;
+};
+
+class PowerMonitor {
+ public:
+  explicit PowerMonitor(PowerMonitorConfig config = {}) : config_(config) {}
+
+  // Records `bytes` of I/O by `app` at time `now` under phone state `state`.
+  // Only on-battery I/O is attributed (the evasion the paper demonstrates).
+  void RecordIo(AppId app, uint64_t bytes, SimTime now, const PhoneState& state);
+
+  // Attributed on-battery energy for the app, in joules.
+  double AttributedJoules(AppId app) const;
+
+  // True if the app's average daily attributed energy crossed the threshold.
+  bool IsFlagged(AppId app, SimTime now) const;
+
+ private:
+  PowerMonitorConfig config_;
+  std::map<AppId, double> joules_;
+};
+
+struct ProcessMonitorConfig {
+  // Sampling period of the running-apps view.
+  SimDuration sample_period = SimDuration::Seconds(1);
+  // Number of screen-on samples catching the app doing I/O before the user
+  // is assumed to notice it.
+  uint32_t flag_after_samples = 10;
+};
+
+class ProcessMonitor {
+ public:
+  explicit ProcessMonitor(ProcessMonitorConfig config = {}) : config_(config) {}
+
+  // Called for each I/O burst; samples the interval [start, end) and counts
+  // screen-on samples during which `app` was actively doing I/O.
+  void ObserveIo(AppId app, SimTime start, SimTime end, const UsageSchedule& schedule);
+
+  uint64_t SamplesCaught(AppId app) const;
+  bool IsFlagged(AppId app) const;
+
+ private:
+  ProcessMonitorConfig config_;
+  std::map<AppId, uint64_t> caught_;
+  SimTime next_sample_;
+};
+
+struct ThermalModelConfig {
+  // Temperature rise per GiB written, and exponential cool-down constant.
+  double celsius_per_gib = 0.8;
+  double cooldown_half_life_seconds = 600.0;
+  double ambient_celsius = 25.0;
+  // User notices an abnormally hot phone above this, unless charging (heat
+  // is then attributed to the charger).
+  double suspicion_celsius = 41.0;
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalModelConfig config = {}) : config_(config) {}
+
+  void RecordIo(uint64_t bytes, SimTime now);
+  double TemperatureAt(SimTime now) const;
+  bool IsSuspicious(SimTime now, const PhoneState& state) const;
+
+ private:
+  ThermalModelConfig config_;
+  double excess_celsius_ = 0.0;
+  SimTime last_update_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_ANDROID_MONITORS_H_

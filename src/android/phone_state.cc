@@ -1,0 +1,43 @@
+#include "src/android/phone_state.h"
+
+namespace flashsim {
+
+PhoneState UsageSchedule::StateAt(SimTime t) const {
+  const int64_t seconds_of_day = (t.nanos() / 1000000000) % 86400;
+  const uint32_t hour = static_cast<uint32_t>(seconds_of_day / 3600);
+  const uint32_t minute_of_day = static_cast<uint32_t>(seconds_of_day / 60);
+
+  PhoneState state;
+  // Overnight charging window may wrap midnight.
+  if (config_.charge_start_hour > config_.charge_end_hour) {
+    state.charging = hour >= config_.charge_start_hour || hour < config_.charge_end_hour;
+  } else {
+    state.charging = hour >= config_.charge_start_hour && hour < config_.charge_end_hour;
+  }
+
+  if (state.charging) {
+    // Asleep except a short morning session just after the alarm.
+    const uint32_t charge_end_minute = config_.charge_end_hour * 60;
+    state.screen_on = minute_of_day >= charge_end_minute - config_.morning_use_minutes &&
+                      minute_of_day < charge_end_minute;
+  } else {
+    // Waking hours: periodic screen-on bursts.
+    state.screen_on =
+        (minute_of_day % config_.screen_cycle_minutes) < config_.screen_on_minutes;
+  }
+  return state;
+}
+
+double UsageSchedule::StealthWindowFraction() const {
+  // Integrate the schedule over one day at minute resolution.
+  uint32_t stealth_minutes = 0;
+  for (uint32_t m = 0; m < 24 * 60; ++m) {
+    const PhoneState s = StateAt(SimTime(static_cast<int64_t>(m) * 60 * 1000000000));
+    if (s.charging && !s.screen_on) {
+      ++stealth_minutes;
+    }
+  }
+  return static_cast<double>(stealth_minutes) / (24.0 * 60.0);
+}
+
+}  // namespace flashsim

@@ -1,0 +1,55 @@
+// Phone usage model: charging and screen state over simulated time.
+//
+// The paper's stealth analysis (§4.4) hinges on two observations: Android
+// only attributes energy while on battery, and the process monitor is only
+// in front of the user's eyes while the screen is lit. A deterministic daily
+// schedule gives the attack app exactly those signals.
+
+#ifndef SRC_ANDROID_PHONE_STATE_H_
+#define SRC_ANDROID_PHONE_STATE_H_
+
+#include <cstdint>
+
+#include "src/simcore/sim_time.h"
+
+namespace flashsim {
+
+// Instantaneous phone state.
+struct PhoneState {
+  bool charging = false;
+  bool screen_on = false;
+};
+
+// Configurable deterministic daily schedule.
+struct UsageScheduleConfig {
+  // Overnight charging window [start, end) in hours-of-day.
+  uint32_t charge_start_hour = 23;
+  uint32_t charge_end_hour = 7;
+  // During waking hours the screen lights for `screen_on_minutes` out of
+  // every `screen_cycle_minutes`.
+  uint32_t screen_cycle_minutes = 30;
+  uint32_t screen_on_minutes = 6;
+  // Brief morning screen-on session while still on the charger.
+  uint32_t morning_use_minutes = 30;
+};
+
+// Maps a simulated instant to phone state. Day 0 starts at midnight.
+class UsageSchedule {
+ public:
+  explicit UsageSchedule(UsageScheduleConfig config = {}) : config_(config) {}
+
+  PhoneState StateAt(SimTime t) const;
+
+  // Fraction of each day that is charging with the screen off — the stealth
+  // attack's usable window.
+  double StealthWindowFraction() const;
+
+  const UsageScheduleConfig& config() const { return config_; }
+
+ private:
+  UsageScheduleConfig config_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_ANDROID_PHONE_STATE_H_

@@ -1,0 +1,17 @@
+#include "src/blockdev/block_device.h"
+
+namespace flashsim {
+
+const char* IoKindName(IoKind kind) {
+  switch (kind) {
+    case IoKind::kRead:
+      return "read";
+    case IoKind::kWrite:
+      return "write";
+    case IoKind::kDiscard:
+      return "discard";
+  }
+  return "unknown";
+}
+
+}  // namespace flashsim

@@ -1,0 +1,63 @@
+// Host-visible block device abstraction.
+//
+// File systems and raw workloads submit byte-addressed requests; the device
+// translates them to logical pages, drives its FTL, computes a service time
+// from its performance model, and advances the shared simulated clock.
+
+#ifndef SRC_BLOCKDEV_BLOCK_DEVICE_H_
+#define SRC_BLOCKDEV_BLOCK_DEVICE_H_
+
+#include <cstdint>
+
+#include "src/ftl/health.h"
+#include "src/simcore/clock.h"
+#include "src/simcore/sim_time.h"
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+enum class IoKind { kRead, kWrite, kDiscard };
+
+const char* IoKindName(IoKind kind);
+
+// One I/O request. Offsets and lengths are in bytes; writes shorter than a
+// device page incur read-modify-write amplification, as on real hardware.
+struct IoRequest {
+  IoKind kind = IoKind::kWrite;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+// Completion record for a request.
+struct IoCompletion {
+  SimDuration service_time;
+  uint64_t bytes_transferred = 0;
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Submits a synchronous request; on success the device clock has advanced
+  // by the returned service time.
+  virtual Result<IoCompletion> Submit(const IoRequest& request) = 0;
+
+  // Device capacity visible to the host, in bytes.
+  virtual uint64_t CapacityBytes() const = 0;
+
+  // Native page size (optimal write granularity), in bytes.
+  virtual uint32_t PageSizeBytes() const = 0;
+
+  // JEDEC-style health registers; `supported == false` on budget devices.
+  virtual HealthReport QueryHealth() const = 0;
+
+  // True once the device has worn out and rejects writes.
+  virtual bool IsReadOnly() const = 0;
+
+  // The simulated clock this device advances.
+  virtual SimClock& clock() = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_BLOCKDEV_BLOCK_DEVICE_H_

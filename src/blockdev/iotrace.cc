@@ -1,0 +1,88 @@
+#include "src/blockdev/iotrace.h"
+
+#include <cstdio>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+void TraceRecorder::Record(const IoRequest& request, SimTime issue_time,
+                           SimDuration service_time) {
+  ++total_;
+  const uint64_t latency_us =
+      static_cast<uint64_t>(service_time.nanos() / 1000);
+  if (request.kind == IoKind::kWrite) {
+    bytes_written_ += request.length;
+    write_latency_us_.Add(latency_us);
+  } else if (request.kind == IoKind::kRead) {
+    bytes_read_ += request.length;
+    read_latency_us_.Add(latency_us);
+  }
+  size_bytes_.Add(request.length);
+  if (entries_.size() < max_entries_) {
+    entries_.push_back(
+        TraceEntry{request.kind, request.offset, request.length, issue_time,
+                   service_time});
+  }
+}
+
+std::string TraceRecorder::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%llu reqs, %s written, %s read, write p50/p99 = %llu/%llu us",
+                static_cast<unsigned long long>(total_),
+                FormatBytes(bytes_written_).c_str(), FormatBytes(bytes_read_).c_str(),
+                static_cast<unsigned long long>(write_latency_us_.ApproxQuantile(0.5)),
+                static_cast<unsigned long long>(write_latency_us_.ApproxQuantile(0.99)));
+  return buf;
+}
+
+void TraceRecorder::Clear() {
+  entries_.clear();
+  total_ = 0;
+  bytes_written_ = 0;
+  bytes_read_ = 0;
+  write_latency_us_.Reset();
+  read_latency_us_.Reset();
+  size_bytes_.Reset();
+}
+
+ReplayResult ReplayTrace(const std::vector<TraceEntry>& trace, BlockDevice& device) {
+  ReplayResult result;
+  const uint64_t capacity = device.CapacityBytes();
+  SimTime prev_completion_in_trace;
+  for (const TraceEntry& entry : trace) {
+    // Preserve recorded think time between requests.
+    if (entry.issue_time > prev_completion_in_trace) {
+      device.clock().AdvanceWithCategory(entry.issue_time - prev_completion_in_trace,
+                                         "replay-idle");
+    }
+    prev_completion_in_trace = entry.issue_time + entry.service_time;
+    result.trace_io_time += entry.service_time;
+
+    IoRequest req;
+    req.kind = entry.kind;
+    req.length = entry.length;
+    req.offset = entry.length <= capacity
+                     ? entry.offset % (capacity - entry.length + 1)
+                     : 0;
+    if (entry.length > capacity) {
+      ++result.requests_failed;
+      continue;
+    }
+    Result<IoCompletion> done = device.Submit(req);
+    if (!done.ok()) {
+      ++result.requests_failed;
+      if (done.status().code() == StatusCode::kUnavailable) {
+        result.status = done.status();
+        break;  // target device died under the workload
+      }
+      continue;
+    }
+    ++result.requests_replayed;
+    result.total_io_time += done.value().service_time;
+  }
+  return result;
+}
+
+}  // namespace flashsim

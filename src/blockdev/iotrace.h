@@ -1,0 +1,92 @@
+// I/O tracing and replay.
+//
+// TraceRecorder captures the request stream a device serves (kind, offset,
+// length, issue time, service time) with per-kind latency/size histograms.
+// TraceReplayer re-issues a captured stream against another device,
+// preserving idle gaps — the standard methodology for asking "what would
+// this workload do to that hardware?", and the tool a §4.5-style defense
+// would use to build its model of expected application I/O behaviour.
+
+#ifndef SRC_BLOCKDEV_IOTRACE_H_
+#define SRC_BLOCKDEV_IOTRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/simcore/stats.h"
+
+namespace flashsim {
+
+struct TraceEntry {
+  IoKind kind = IoKind::kWrite;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  SimTime issue_time;
+  SimDuration service_time;
+};
+
+// Bounded in-memory trace with streaming statistics (the statistics keep
+// counting after the entry buffer fills).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t max_entries = 1 << 20) : max_entries_(max_entries) {}
+
+  void Record(const IoRequest& request, SimTime issue_time, SimDuration service_time);
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  uint64_t total_recorded() const { return total_; }
+  uint64_t dropped() const { return total_ - entries_.size(); }
+
+  // Latency distribution (microseconds) per request kind.
+  const LogHistogram& WriteLatencyUs() const { return write_latency_us_; }
+  const LogHistogram& ReadLatencyUs() const { return read_latency_us_; }
+  // Request-size distribution (bytes) across all kinds.
+  const LogHistogram& SizeBytes() const { return size_bytes_; }
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+  // One-line human summary ("N reqs, X GiB written, p50/p99 write latency").
+  std::string Summary() const;
+
+  void Clear();
+
+ private:
+  size_t max_entries_;
+  std::vector<TraceEntry> entries_;
+  uint64_t total_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t bytes_read_ = 0;
+  LogHistogram write_latency_us_;
+  LogHistogram read_latency_us_;
+  LogHistogram size_bytes_;
+};
+
+// Outcome of replaying a trace.
+struct ReplayResult {
+  uint64_t requests_replayed = 0;
+  uint64_t requests_failed = 0;
+  SimDuration total_io_time;     // sum of service times on the target
+  SimDuration trace_io_time;     // sum of service times in the recording
+  Status status;                 // first hard failure (device gone)
+
+  // Target service time over recorded service time; > 1 means the target is
+  // slower for this workload.
+  double SlowdownFactor() const {
+    return trace_io_time.nanos() == 0
+               ? 0.0
+               : static_cast<double>(total_io_time.nanos()) /
+                     static_cast<double>(trace_io_time.nanos());
+  }
+};
+
+// Replays `trace` onto `device`, preserving recorded idle gaps (time between
+// a request's issue and the previous request's completion). Offsets beyond
+// the target's capacity wrap modulo capacity.
+ReplayResult ReplayTrace(const std::vector<TraceEntry>& trace, BlockDevice& device);
+
+}  // namespace flashsim
+
+#endif  // SRC_BLOCKDEV_IOTRACE_H_

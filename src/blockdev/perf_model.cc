@@ -1,0 +1,33 @@
+#include "src/blockdev/perf_model.h"
+
+#include <algorithm>
+
+namespace flashsim {
+
+SimDuration PerfModel::ServiceTime(uint64_t bytes, SimDuration array_time,
+                                   bool sequential) const {
+  const double transfer_seconds =
+      static_cast<double>(bytes) / (config_.bus_mib_per_sec * 1024.0 * 1024.0);
+  // Bus transfer and array programming pipeline: data for the next die
+  // transfers while the previous one programs, so the slower of the two
+  // stages dominates rather than their sum.
+  const SimDuration transfer = SimDuration::FromSecondsF(transfer_seconds);
+  const SimDuration array(array_time.nanos() /
+                          static_cast<int64_t>(std::max(1u, config_.effective_parallelism)));
+  SimDuration t = config_.per_request_overhead;
+  t += std::max(transfer, array);
+  if (!sequential) {
+    t += config_.random_write_penalty;
+  }
+  return t;
+}
+
+double PerfModel::PlateauMiBPerSec(uint32_t page_bytes, SimDuration program_time) const {
+  // Array-side limit: parallel pages per program time.
+  const double array_limit =
+      static_cast<double>(page_bytes) * config_.effective_parallelism /
+      (1024.0 * 1024.0) / program_time.ToSecondsF();
+  return std::min(array_limit, config_.bus_mib_per_sec);
+}
+
+}  // namespace flashsim

@@ -1,0 +1,65 @@
+// Device-level service-time model.
+//
+// Mobile flash throughput hinges on request size (§4.2 of the paper): small
+// requests pay a fixed per-command overhead, larger requests exploit internal
+// parallelism (channels × dies × planes) until the interface or the array
+// saturates. The model composes:
+//
+//   service = per_request_overhead
+//           + max(transfer(bytes / bus_bandwidth),
+//                 array_time / effective_parallelism)   // stages pipeline
+//           + random_access_penalty (simple controllers only)
+//
+// where array_time is the serial NAND time the FTL reports (programs, reads,
+// erases, GC work). This reproduces the near-linear-then-plateau bandwidth
+// curves of Figure 1 and, because GC time flows through `array_time`,
+// throughput degrades mechanically as write amplification rises.
+
+#ifndef SRC_BLOCKDEV_PERF_MODEL_H_
+#define SRC_BLOCKDEV_PERF_MODEL_H_
+
+#include <cstdint>
+
+#include "src/simcore/sim_time.h"
+
+namespace flashsim {
+
+struct PerfModelConfig {
+  // Fixed controller + interface command overhead per request.
+  SimDuration per_request_overhead = SimDuration::Micros(120);
+
+  // Interface transfer bandwidth (eMMC HS200/HS400, UFS gear speed).
+  double bus_mib_per_sec = 200.0;
+
+  // Effective parallel NAND operations (channels × dies × planes, including
+  // cache-program pipelining). Divides serial array time.
+  uint32_t effective_parallelism = 8;
+
+  // Extra penalty charged when a write is not sequential to the previous one
+  // — models block-mapped/simple-controller devices (MicroSD) whose random
+  // writes trigger partial-block merges. Zero for page-mapped eMMC/UFS.
+  SimDuration random_write_penalty = SimDuration::Nanos(0);
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(PerfModelConfig config) : config_(config) {}
+
+  const PerfModelConfig& config() const { return config_; }
+
+  // Service time for a request of `bytes` whose serial NAND/array time was
+  // `array_time`. `sequential` reports whether the request starts where the
+  // previous one ended.
+  SimDuration ServiceTime(uint64_t bytes, SimDuration array_time, bool sequential) const;
+
+  // The model's asymptotic sequential-write bandwidth for a page of
+  // `page_bytes` programmed in `program_time` (useful for tests).
+  double PlateauMiBPerSec(uint32_t page_bytes, SimDuration program_time) const;
+
+ private:
+  PerfModelConfig config_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_BLOCKDEV_PERF_MODEL_H_

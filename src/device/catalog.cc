@@ -1,0 +1,219 @@
+#include "src/device/catalog.h"
+
+#include <algorithm>
+
+#include "src/ftl/block_map_ftl.h"
+#include "src/ftl/hybrid_ftl.h"
+#include "src/ftl/page_map_ftl.h"
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+namespace {
+
+// Shared mobile-NAND geometry: 4 KiB pages, 512 KiB blocks.
+constexpr uint32_t kPageSize = 4096;
+constexpr uint32_t kPagesPerBlock = 128;
+
+uint32_t ScaledBlocks(uint32_t blocks, uint32_t divisor) {
+  return std::max(16u, blocks / std::max(1u, divisor));
+}
+
+uint32_t ScaledEndurance(uint32_t cycles, uint32_t divisor) {
+  return std::max(20u, cycles / std::max(1u, divisor));
+}
+
+// Builds the MLC NAND config for a device of `total_blocks` blocks.
+NandChipConfig MlcArray(const std::string& name, uint32_t channels,
+                        uint32_t dies_per_channel, uint32_t total_blocks,
+                        uint32_t rated_pe, SimScale scale) {
+  NandChipConfig nand = MakeMlcConfig();
+  nand.name = name;
+  nand.channels = channels;
+  nand.dies_per_channel = dies_per_channel;
+  const uint32_t dies = channels * dies_per_channel;
+  nand.blocks_per_die = ScaledBlocks(total_blocks / dies, scale.capacity_div);
+  nand.pages_per_block = kPagesPerBlock;
+  nand.page_size_bytes = kPageSize;
+  nand.rated_pe_cycles = ScaledEndurance(rated_pe, scale.endurance_div);
+  return nand;
+}
+
+FtlConfig StandardFtl(uint32_t health_rated_pe, SimScale scale) {
+  FtlConfig ftl;
+  ftl.over_provisioning = 0.07;
+  ftl.spare_blocks = 24;
+  ftl.gc_free_block_watermark = 4;
+  ftl.health_rated_pe = ScaledEndurance(health_rated_pe, scale.endurance_div);
+  // Wear-leveling aggressiveness scales with the (possibly scaled) endurance
+  // so the P/E spread stays a fixed ~2% of rated life at any sim scale.
+  ftl.wear_level_threshold = std::max(2u, ftl.health_rated_pe / 50);
+  ftl.wear_level_check_interval = 16;
+  return ftl;
+}
+
+std::unique_ptr<FlashDevice> BuildSinglePool(FlashDeviceConfig dev,
+                                             NandChipConfig nand, FtlConfig ftl,
+                                             uint64_t seed) {
+  auto ftl_impl = std::make_unique<PageMapFtl>(nand, ftl, seed);
+  return std::make_unique<FlashDevice>(std::move(dev), std::move(ftl_impl));
+}
+
+}  // namespace
+
+std::unique_ptr<FlashDevice> MakeUsd16(SimScale scale, uint64_t seed) {
+  // Kingston SDC4/16GB. Simple controller with a block-mapped log-block FTL:
+  // one channel, a handful of log blocks, and full-block merges on random
+  // writes — which is mechanically where the order-of-magnitude random/
+  // sequential gap of Figure 1 comes from. Health reporting is not part of
+  // the SD interface.
+  NandChipConfig nand = MlcArray("usd-16g-mlc", 1, 1, 32768, 1500, scale);
+  BlockMapFtlConfig ftl;
+  ftl.log_blocks = 6;
+  ftl.spare_blocks = 16;
+  ftl.health_rated_pe = ScaledEndurance(750, scale.endurance_div);
+  FlashDeviceConfig dev;
+  dev.name = "uSD 16GB";
+  dev.health_supported = false;
+  dev.perf.per_request_overhead = SimDuration::Micros(300);
+  dev.perf.bus_mib_per_sec = 45.0;
+  dev.perf.effective_parallelism = 3;
+  auto ftl_impl = std::make_unique<BlockMapFtl>(nand, ftl, seed);
+  return std::make_unique<FlashDevice>(std::move(dev), std::move(ftl_impl));
+}
+
+std::unique_ptr<FlashDevice> MakeEmmc8(SimScale scale, uint64_t seed) {
+  // Toshiba 8 GB eMMC: single MLC pool. Calibration target: <= 992 GiB of
+  // 4 KiB random rewrites per 10% wear level, ~20 MiB/s at 4 KiB.
+  NandChipConfig nand = MlcArray("emmc8-mlc", 2, 2, 16384, 3000, scale);
+  FtlConfig ftl = StandardFtl(1100, scale);
+  FlashDeviceConfig dev;
+  dev.name = "eMMC 8GB";
+  dev.perf.per_request_overhead = SimDuration::Micros(100);
+  dev.perf.bus_mib_per_sec = 100.0;
+  dev.perf.effective_parallelism = 8;
+  return BuildSinglePool(std::move(dev), nand, ftl, seed);
+}
+
+std::unique_ptr<FlashDevice> MakeEmmc16(SimScale scale, uint64_t seed) {
+  // SanDisk iNAND 7030 16 GB: hybrid. Type B = 16 GiB MLC pool; Type A =
+  // 1 GiB SLC-mode cache (so one Type A level needs cap_A x E_A / 10 ~ 12 TiB
+  // of host writes at low utilization — the paper measured 11.9 TiB).
+  NandChipConfig nand = MlcArray("emmc16-mlc-typeB", 2, 4, 32768, 3000, scale);
+  FtlConfig ftl = StandardFtl(1500, scale);
+
+  NandChipConfig slc = MakeSlcConfig();
+  slc.name = "emmc16-slc-typeA";
+  slc.channels = 1;
+  slc.dies_per_channel = 1;
+  slc.pages_per_block = kPagesPerBlock;
+  slc.page_size_bytes = kPageSize;
+  slc.blocks_per_die = ScaledBlocks(2048, scale.capacity_div);  // 1 GiB
+  slc.rated_pe_cycles = ScaledEndurance(150000, scale.endurance_div);
+
+  HybridConfig hybrid;
+  hybrid.cache_blocks = slc.blocks_per_die;
+  // The cache is a staging buffer, not a dedup cache: it drains to the MLC
+  // pool almost as fast as it fills (real firmware flushes during idle), so
+  // the Type B pool absorbs ~1x host traffic (Table 1 shape).
+  hybrid.cache_free_watermark =
+      hybrid.cache_blocks > 4 ? hybrid.cache_blocks - 2 : 2;
+  hybrid.merge_utilization_threshold = 0.85;
+  hybrid.mlc_mode_wear_weight = 8;
+  hybrid.health_rated_pe_a = ScaledEndurance(120000, scale.endurance_div);
+
+  FlashDeviceConfig dev;
+  dev.name = "eMMC 16GB";
+  dev.perf.per_request_overhead = SimDuration::Micros(100);
+  dev.perf.bus_mib_per_sec = 150.0;
+  dev.perf.effective_parallelism = 16;
+
+  auto ftl_impl = std::make_unique<HybridFtl>(nand, ftl, slc, hybrid, seed);
+  return std::make_unique<FlashDevice>(std::move(dev), std::move(ftl_impl));
+}
+
+std::unique_ptr<FlashDevice> MakeMotoE8(SimScale scale, uint64_t seed) {
+  // Moto E 2nd Gen internal eMMC: same class of part as the external 8 GB
+  // chip, slightly slower controller path, less over-provisioning.
+  NandChipConfig nand = MlcArray("motoe-mlc", 2, 2, 16384, 3000, scale);
+  FtlConfig ftl = StandardFtl(1100, scale);
+  ftl.over_provisioning = 0.05;
+  FlashDeviceConfig dev;
+  dev.name = "Moto E 8GB";
+  dev.perf.per_request_overhead = SimDuration::Micros(130);
+  dev.perf.bus_mib_per_sec = 100.0;
+  dev.perf.effective_parallelism = 8;
+  return BuildSinglePool(std::move(dev), nand, ftl, seed);
+}
+
+std::unique_ptr<FlashDevice> MakeSamsungS6(SimScale scale, uint64_t seed) {
+  // Samsung S6 32 GB UFS: deepest parallelism and fastest interface of the
+  // set — which is exactly why it can be worn out *faster* (Figure 3).
+  NandChipConfig nand = MlcArray("s6-ufs-mlc", 4, 2, 65536, 3000, scale);
+  FtlConfig ftl = StandardFtl(1500, scale);
+  FlashDeviceConfig dev;
+  dev.name = "Samsung S6 32GB";
+  dev.perf.per_request_overhead = SimDuration::Micros(80);
+  dev.perf.bus_mib_per_sec = 350.0;
+  dev.perf.effective_parallelism = 32;
+  return BuildSinglePool(std::move(dev), nand, ftl, seed);
+}
+
+std::unique_ptr<FlashDevice> MakeBlu512(SimScale scale, uint64_t seed) {
+  // BLU Dash 512 MB: bottom-of-market TLC with a handful of spares and no
+  // health reporting; bricks quickly and silently.
+  NandChipConfig nand = MlcArray("blu512-tlc", 1, 1, 1024, 1000, scale);
+  nand.cell_type = CellType::kTlc;
+  nand.timings = DefaultTimingsFor(CellType::kTlc);
+  nand.rber.growth_rber = 8e-4;
+  FtlConfig ftl = StandardFtl(500, scale);
+  ftl.spare_blocks = 8;
+  ftl.over_provisioning = 0.05;
+  FlashDeviceConfig dev;
+  dev.name = "BLU 512MB";
+  dev.health_supported = false;
+  dev.perf.per_request_overhead = SimDuration::Micros(500);
+  dev.perf.bus_mib_per_sec = 25.0;
+  dev.perf.effective_parallelism = 1;
+  return BuildSinglePool(std::move(dev), nand, ftl, seed);
+}
+
+std::unique_ptr<FlashDevice> MakeBlu4(SimScale scale, uint64_t seed) {
+  NandChipConfig nand = MlcArray("blu4-tlc", 1, 2, 8192, 1000, scale);
+  nand.cell_type = CellType::kTlc;
+  nand.timings = DefaultTimingsFor(CellType::kTlc);
+  nand.rber.growth_rber = 8e-4;
+  FtlConfig ftl = StandardFtl(500, scale);
+  ftl.spare_blocks = 12;
+  ftl.over_provisioning = 0.05;
+  FlashDeviceConfig dev;
+  dev.name = "BLU 4GB";
+  dev.health_supported = false;
+  dev.perf.per_request_overhead = SimDuration::Micros(400);
+  dev.perf.bus_mib_per_sec = 50.0;
+  dev.perf.effective_parallelism = 2;
+  return BuildSinglePool(std::move(dev), nand, ftl, seed);
+}
+
+const std::vector<CatalogEntry>& DeviceCatalog() {
+  static const std::vector<CatalogEntry>* entries = new std::vector<CatalogEntry>{
+      {"uSD 16GB", MakeUsd16},       {"eMMC 8GB", MakeEmmc8},
+      {"eMMC 16GB", MakeEmmc16},     {"Moto E 8GB", MakeMotoE8},
+      {"Samsung S6 32GB", MakeSamsungS6}, {"BLU 512MB", MakeBlu512},
+      {"BLU 4GB", MakeBlu4},
+  };
+  return *entries;
+}
+
+const std::vector<CatalogEntry>& Figure1Devices() {
+  static const std::vector<CatalogEntry>* entries = new std::vector<CatalogEntry>{
+      {"uSD 16GB", MakeUsd16},
+      {"eMMC 8GB", MakeEmmc8},
+      {"eMMC 16GB", MakeEmmc16},
+      {"Moto E 8GB", MakeMotoE8},
+      {"Samsung S6 32GB", MakeSamsungS6},
+  };
+  return *entries;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,68 @@
+// Calibrated device catalog: one factory per device the paper evaluates.
+//
+// Each factory assembles a FlashDevice whose NAND geometry, FTL policy, and
+// performance model are calibrated so that the paper's headline numbers fall
+// out of the simulation mechanically (see DESIGN.md §5 for targets):
+//
+//   uSD 16 GB       Kingston SDC4/16GB — simple controller, big random penalty
+//   eMMC 8 GB       Toshiba THGBMBG6D1KBAIL — single-pool MLC
+//   eMMC 16 GB      SanDisk iNAND 7030 — hybrid Type A (SLC cache) / Type B
+//   Moto E 8 GB     phone-internal eMMC (like eMMC 8 GB, busier controller)
+//   Samsung S6 32GB UFS — deep parallelism, fastest
+//   BLU 512 MB/4 GB budget phones — TLC, tiny spares, no health reporting
+//
+// A SimScale shrinks capacity and rated endurance together so benches finish
+// in seconds; ratios (utilization, OP, request/block size) are preserved, so
+// write amplification — and thus every *shape* the paper reports — is scale-
+// invariant (tested). Reported volumes/times must be multiplied back by
+// SimScale::VolumeFactor().
+
+#ifndef SRC_DEVICE_CATALOG_H_
+#define SRC_DEVICE_CATALOG_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/device/flash_device.h"
+
+namespace flashsim {
+
+// Scaling applied to a catalog device. Capacity and endurance are divided by
+// the respective factors; both reduce the I/O needed to wear the device out
+// by the same multiplicative amount, so simulated volumes/times are re-scaled
+// by VolumeFactor() when reporting full-device-equivalent numbers.
+struct SimScale {
+  uint32_t capacity_div = 1;
+  uint32_t endurance_div = 1;
+
+  double VolumeFactor() const {
+    return static_cast<double>(capacity_div) * static_cast<double>(endurance_div);
+  }
+};
+
+std::unique_ptr<FlashDevice> MakeUsd16(SimScale scale = {}, uint64_t seed = 1);
+std::unique_ptr<FlashDevice> MakeEmmc8(SimScale scale = {}, uint64_t seed = 1);
+std::unique_ptr<FlashDevice> MakeEmmc16(SimScale scale = {}, uint64_t seed = 1);
+std::unique_ptr<FlashDevice> MakeMotoE8(SimScale scale = {}, uint64_t seed = 1);
+std::unique_ptr<FlashDevice> MakeSamsungS6(SimScale scale = {}, uint64_t seed = 1);
+std::unique_ptr<FlashDevice> MakeBlu512(SimScale scale = {}, uint64_t seed = 1);
+std::unique_ptr<FlashDevice> MakeBlu4(SimScale scale = {}, uint64_t seed = 1);
+
+// A named factory, for sweeping benches/tests over the whole catalog.
+struct CatalogEntry {
+  std::string name;
+  std::function<std::unique_ptr<FlashDevice>(SimScale, uint64_t)> make;
+};
+
+// All seven devices, in the order the paper introduces them.
+const std::vector<CatalogEntry>& DeviceCatalog();
+
+// The five devices of Figure 1 (both external chips, the uSD card, and the
+// two phones' internal storage).
+const std::vector<CatalogEntry>& Figure1Devices();
+
+}  // namespace flashsim
+
+#endif  // SRC_DEVICE_CATALOG_H_

@@ -1,0 +1,134 @@
+#include "src/device/flash_device.h"
+
+#include <cassert>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+FlashDevice::FlashDevice(FlashDeviceConfig config, std::unique_ptr<FtlInterface> ftl)
+    : config_(std::move(config)), ftl_(std::move(ftl)), perf_(config_.perf) {
+  assert(ftl_ != nullptr);
+}
+
+uint64_t FlashDevice::CapacityBytes() const {
+  return ftl_->LogicalPageCount() * ftl_->PageSizeBytes();
+}
+
+Status FlashDevice::CheckRange(const IoRequest& request) const {
+  if (request.length == 0) {
+    return InvalidArgumentError("zero-length request");
+  }
+  if (request.offset + request.length > CapacityBytes()) {
+    return OutOfRangeError("request beyond device capacity");
+  }
+  return Status::Ok();
+}
+
+Result<SimDuration> FlashDevice::WritePages(const IoRequest& request) {
+  const uint32_t page = ftl_->PageSizeBytes();
+  const uint64_t first = request.offset / page;
+  const uint64_t last = (request.offset + request.length - 1) / page;
+  SimDuration array_time;
+  for (uint64_t lpn = first; lpn <= last; ++lpn) {
+    // Sub-page head/tail: read-modify-write if the page holds data.
+    const uint64_t page_start = lpn * page;
+    const bool partial = request.offset > page_start ||
+                         request.offset + request.length < page_start + page;
+    if (partial) {
+      Result<SimDuration> read = ftl_->ReadPage(lpn);
+      if (read.ok()) {
+        array_time += read.value();
+      }
+      // NotFound (never written) needs no merge; real errors surface below
+      // on the write path if the device is gone.
+    }
+    Result<SimDuration> write = ftl_->WritePage(lpn);
+    if (!write.ok()) {
+      return write.status();
+    }
+    array_time += write.value();
+  }
+  return array_time;
+}
+
+Result<SimDuration> FlashDevice::ReadPages(const IoRequest& request) {
+  const uint32_t page = ftl_->PageSizeBytes();
+  const uint64_t first = request.offset / page;
+  const uint64_t last = (request.offset + request.length - 1) / page;
+  SimDuration array_time;
+  for (uint64_t lpn = first; lpn <= last; ++lpn) {
+    Result<SimDuration> read = ftl_->ReadPage(lpn);
+    if (read.ok()) {
+      array_time += read.value();
+      continue;
+    }
+    if (read.status().code() == StatusCode::kNotFound) {
+      continue;  // unwritten region reads as zeros, no array work
+    }
+    return read.status();
+  }
+  return array_time;
+}
+
+Result<SimDuration> FlashDevice::DiscardPages(const IoRequest& request) {
+  const uint32_t page = ftl_->PageSizeBytes();
+  // Only discard pages fully covered by the range (real devices round in).
+  const uint64_t first = CeilDiv(request.offset, page);
+  const uint64_t last_exclusive = RoundDown(request.offset + request.length, page) / page;
+  for (uint64_t lpn = first; lpn < last_exclusive; ++lpn) {
+    FLASHSIM_RETURN_IF_ERROR(ftl_->TrimPage(lpn));
+  }
+  return SimDuration();
+}
+
+Result<IoCompletion> FlashDevice::Submit(const IoRequest& request) {
+  FLASHSIM_RETURN_IF_ERROR(CheckRange(request));
+  Result<SimDuration> array_time = [&]() -> Result<SimDuration> {
+    switch (request.kind) {
+      case IoKind::kWrite:
+        return WritePages(request);
+      case IoKind::kRead:
+        return ReadPages(request);
+      case IoKind::kDiscard:
+        return DiscardPages(request);
+    }
+    return InvalidArgumentError("unknown request kind");
+  }();
+  if (!array_time.ok()) {
+    return array_time.status();
+  }
+
+  const bool sequential =
+      request.kind != IoKind::kWrite || request.offset == last_write_end_;
+  if (request.kind == IoKind::kWrite) {
+    last_write_end_ = request.offset + request.length;
+  }
+  const SimDuration service =
+      perf_.ServiceTime(request.length, array_time.value(), sequential);
+  if (trace_ != nullptr) {
+    trace_->Record(request, clock_.Now(), service);
+  }
+  clock_.AdvanceWithCategory(service, IoKindName(request.kind));
+
+  if (request.kind == IoKind::kWrite) {
+    write_meter_.Record(request.length, service);
+  } else if (request.kind == IoKind::kRead) {
+    read_meter_.Record(request.length, service);
+  }
+  return IoCompletion{service, request.length};
+}
+
+HealthReport FlashDevice::QueryHealth() const {
+  if (!config_.health_supported) {
+    HealthReport unsupported;
+    unsupported.supported = false;
+    unsupported.life_time_est_a = 0;
+    unsupported.life_time_est_b = 0;
+    unsupported.pre_eol = PreEolInfo::kNotDefined;
+    return unsupported;
+  }
+  return ftl_->Health();
+}
+
+}  // namespace flashsim

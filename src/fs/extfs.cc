@@ -1,0 +1,297 @@
+#include "src/fs/extfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+ExtFs::ExtFs(BlockDevice& device, ExtFsConfig config)
+    : device_(device), config_(config), block_size_(device.PageSizeBytes()) {
+  total_blocks_ = device_.CapacityBytes() / block_size_;
+  const uint64_t metadata_blocks = std::max<uint64_t>(
+      8, static_cast<uint64_t>(std::ceil(static_cast<double>(total_blocks_) *
+                                         config_.metadata_fraction)));
+  journal_start_block_ = metadata_blocks;
+  data_start_block_ = journal_start_block_ + config_.journal_blocks;
+  assert(data_start_block_ < total_blocks_);
+  const uint64_t data_blocks = total_blocks_ - data_start_block_;
+  data_bitmap_.assign(data_blocks, false);
+  free_data_blocks_ = data_blocks;
+}
+
+Result<uint64_t> ExtFs::AllocateBlock() {
+  if (free_data_blocks_ == 0) {
+    return ResourceExhaustedError("extfs: no free blocks");
+  }
+  const uint64_t n = data_bitmap_.size();
+  for (uint64_t probe = 0; probe < n; ++probe) {
+    const uint64_t idx = (alloc_cursor_ + probe) % n;
+    if (!data_bitmap_[idx]) {
+      data_bitmap_[idx] = true;
+      --free_data_blocks_;
+      alloc_cursor_ = (idx + 1) % n;
+      return data_start_block_ + idx;
+    }
+  }
+  return InternalError("extfs: bitmap inconsistent with free count");
+}
+
+void ExtFs::FreeBlock(uint64_t block) {
+  assert(block >= data_start_block_ && block < total_blocks_);
+  const uint64_t idx = block - data_start_block_;
+  assert(data_bitmap_[idx]);
+  data_bitmap_[idx] = false;
+  ++free_data_blocks_;
+}
+
+Result<SimDuration> ExtFs::SubmitBlocks(IoKind kind, const std::vector<uint64_t>& blocks,
+                                        uint64_t* bytes_out) {
+  SimDuration total;
+  uint64_t bytes = 0;
+  size_t i = 0;
+  while (i < blocks.size()) {
+    // Coalesce a contiguous run into one device request.
+    size_t j = i + 1;
+    while (j < blocks.size() && blocks[j] == blocks[j - 1] + 1) {
+      ++j;
+    }
+    IoRequest req;
+    req.kind = kind;
+    req.offset = blocks[i] * block_size_;
+    req.length = (j - i) * block_size_;
+    Result<IoCompletion> done = device_.Submit(req);
+    if (!done.ok()) {
+      return done.status();
+    }
+    total += done.value().service_time;
+    bytes += req.length;
+    i = j;
+  }
+  if (bytes_out != nullptr) {
+    *bytes_out = bytes;
+  }
+  return total;
+}
+
+Result<SimDuration> ExtFs::CommitJournal() {
+  // Descriptor + dirty metadata blocks + commit block, sequential in the ring.
+  const uint64_t blocks_to_write = 2 + std::max<uint64_t>(1, dirty_metadata_blocks_);
+  std::vector<uint64_t> blocks;
+  blocks.reserve(blocks_to_write);
+  for (uint64_t k = 0; k < blocks_to_write; ++k) {
+    blocks.push_back(journal_start_block_ + (journal_head_ + k) % config_.journal_blocks);
+  }
+  journal_head_ = (journal_head_ + blocks_to_write) % config_.journal_blocks;
+  uint64_t bytes = 0;
+  Result<SimDuration> t = SubmitBlocks(IoKind::kWrite, blocks, &bytes);
+  if (!t.ok()) {
+    return t.status();
+  }
+  stats_.device_journal_bytes += bytes;
+  dirty_metadata_blocks_ = 0;
+  synced_since_commit_ = 0;
+  ++commits_;
+  SimDuration total = t.value();
+  if (commits_ % config_.checkpoint_interval_commits == 0) {
+    Result<SimDuration> cp = CheckpointMetadata();
+    if (!cp.ok()) {
+      return cp.status();
+    }
+    total += cp.value();
+  }
+  return total;
+}
+
+Result<SimDuration> ExtFs::CheckpointMetadata() {
+  // Write back a couple of inode-table/bitmap blocks in place.
+  std::vector<uint64_t> blocks = {0, 1};
+  uint64_t bytes = 0;
+  Result<SimDuration> t = SubmitBlocks(IoKind::kWrite, blocks, &bytes);
+  if (!t.ok()) {
+    return t.status();
+  }
+  stats_.device_metadata_bytes += bytes;
+  return t.value();
+}
+
+Status ExtFs::Create(const std::string& path) {
+  if (files_.count(path) != 0) {
+    return AlreadyExistsError("extfs: file exists: " + path);
+  }
+  files_[path] = Inode{};
+  ++dirty_metadata_blocks_;
+  return Status::Ok();
+}
+
+Result<SimDuration> ExtFs::Write(const std::string& path, uint64_t offset,
+                                 uint64_t length, bool sync) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("extfs: no such file: " + path);
+  }
+  if (length == 0) {
+    return InvalidArgumentError("extfs: zero-length write");
+  }
+  Inode& inode = it->second;
+  const uint64_t first = offset / block_size_;
+  const uint64_t last = (offset + length - 1) / block_size_;
+
+  std::vector<uint64_t> device_blocks;
+  device_blocks.reserve(last - first + 1);
+  bool allocated = false;
+  for (uint64_t fb = first; fb <= last; ++fb) {
+    if (fb >= inode.blocks.size()) {
+      inode.blocks.resize(fb + 1, 0);
+    }
+    if (inode.blocks[fb] == 0) {
+      Result<uint64_t> blk = AllocateBlock();
+      if (!blk.ok()) {
+        return blk.status();
+      }
+      inode.blocks[fb] = blk.value();
+      allocated = true;
+    }
+    device_blocks.push_back(inode.blocks[fb]);
+  }
+
+  uint64_t data_bytes = 0;
+  Result<SimDuration> t = SubmitBlocks(IoKind::kWrite, device_blocks, &data_bytes);
+  if (!t.ok()) {
+    return t.status();
+  }
+  stats_.device_data_bytes += data_bytes;
+  stats_.app_bytes_written += length;
+
+  inode.size = std::max(inode.size, offset + length);
+  if (allocated) {
+    ++dirty_metadata_blocks_;  // bitmap + inode extent tree changed
+  }
+
+  SimDuration total = t.value();
+  synced_since_commit_ += sync ? length : 0;
+  if (sync && synced_since_commit_ >= config_.journal_batch_bytes) {
+    Result<SimDuration> commit = CommitJournal();
+    if (!commit.ok()) {
+      return commit.status();
+    }
+    total += commit.value();
+  }
+  return total;
+}
+
+Result<SimDuration> ExtFs::Fsync(const std::string& path) {
+  if (files_.count(path) == 0) {
+    return NotFoundError("extfs: no such file: " + path);
+  }
+  ++stats_.fsyncs;
+  ++dirty_metadata_blocks_;  // mtime/size persisted with the commit
+  return CommitJournal();
+}
+
+Result<SimDuration> ExtFs::Read(const std::string& path, uint64_t offset,
+                                uint64_t length) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("extfs: no such file: " + path);
+  }
+  if (offset + length > it->second.size) {
+    return OutOfRangeError("extfs: read past end of file");
+  }
+  const uint64_t first = offset / block_size_;
+  const uint64_t last = (offset + length - 1) / block_size_;
+  std::vector<uint64_t> blocks;
+  for (uint64_t fb = first; fb <= last; ++fb) {
+    blocks.push_back(it->second.blocks[fb]);
+  }
+  return SubmitBlocks(IoKind::kRead, blocks, nullptr);
+}
+
+Status ExtFs::Unlink(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("extfs: no such file: " + path);
+  }
+  std::vector<uint64_t> blocks;
+  for (uint64_t blk : it->second.blocks) {
+    if (blk != 0) {
+      FreeBlock(blk);
+      blocks.push_back(blk);
+    }
+  }
+  files_.erase(it);
+  ++dirty_metadata_blocks_;
+  // Discard freed space so the device-level FTL can reclaim it.
+  std::sort(blocks.begin(), blocks.end());
+  Result<SimDuration> t = SubmitBlocks(IoKind::kDiscard, blocks, nullptr);
+  if (!t.ok()) {
+    return t.status();
+  }
+  return Status::Ok();
+}
+
+Status ExtFs::Truncate(const std::string& path, uint64_t new_size) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("extfs: no such file: " + path);
+  }
+  Inode& inode = it->second;
+  if (new_size >= inode.size) {
+    inode.size = new_size;  // sparse extension costs nothing now
+    ++dirty_metadata_blocks_;
+    return Status::Ok();
+  }
+  const uint64_t keep_blocks = CeilDiv(new_size, block_size_);
+  std::vector<uint64_t> dropped;
+  for (uint64_t fb = keep_blocks; fb < inode.blocks.size(); ++fb) {
+    if (inode.blocks[fb] != 0) {
+      FreeBlock(inode.blocks[fb]);
+      dropped.push_back(inode.blocks[fb]);
+    }
+  }
+  inode.blocks.resize(keep_blocks);
+  inode.size = new_size;
+  ++dirty_metadata_blocks_;
+  std::sort(dropped.begin(), dropped.end());
+  Result<SimDuration> t = SubmitBlocks(IoKind::kDiscard, dropped, nullptr);
+  return t.ok() ? Status::Ok() : t.status();
+}
+
+Status ExtFs::Rename(const std::string& from, const std::string& to) {
+  if (files_.count(to) != 0) {
+    return AlreadyExistsError("extfs: destination exists: " + to);
+  }
+  auto node = files_.extract(from);
+  if (node.empty()) {
+    return NotFoundError("extfs: no such file: " + from);
+  }
+  node.key() = to;
+  files_.insert(std::move(node));
+  ++dirty_metadata_blocks_;
+  return Status::Ok();
+}
+
+Result<uint64_t> ExtFs::FileSize(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("extfs: no such file: " + path);
+  }
+  return it->second.size;
+}
+
+bool ExtFs::Exists(const std::string& path) const { return files_.count(path) != 0; }
+
+std::vector<std::string> ExtFs::List() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, inode] : files_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+uint64_t ExtFs::FreeBytes() const { return free_data_blocks_ * block_size_; }
+
+}  // namespace flashsim

@@ -1,0 +1,338 @@
+#include "src/ftl/block_map_ftl.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flashsim {
+
+namespace {
+// OOB tag for filler pages programmed to satisfy the in-order rule when a
+// merge has to skip never-written offsets.
+constexpr uint64_t kPadTag = 0xfffffffffffffffeull;
+constexpr int kMaxMergeRetries = 3;
+}  // namespace
+
+Status BlockMapFtlConfig::Validate() const {
+  if (log_blocks == 0) {
+    return InvalidArgumentError("log_blocks must be nonzero");
+  }
+  if (health_rated_pe == 0) {
+    return InvalidArgumentError("health_rated_pe must be nonzero");
+  }
+  return Status::Ok();
+}
+
+BlockMapFtl::BlockMapFtl(NandChipConfig nand_config, BlockMapFtlConfig config,
+                         uint64_t seed)
+    : nand_config_(nand_config), config_(config), chip_(nand_config, seed) {
+  assert(config_.Validate().ok());
+  const uint32_t total = nand_config_.total_blocks();
+  const uint32_t reserved = config_.spare_blocks + config_.log_blocks + 2;
+  assert(total > reserved);
+  logical_blocks_ = total - reserved;
+  data_blocks_.assign(logical_blocks_, kInvalidBlockId);
+  written_.assign(LogicalPageCount(), false);
+  for (BlockId b = 0; b < total; ++b) {
+    free_blocks_.insert({0, b});
+  }
+}
+
+uint64_t BlockMapFtl::LogicalPageCount() const {
+  return logical_blocks_ * nand_config_.pages_per_block;
+}
+
+double BlockMapFtl::Utilization() const {
+  const uint64_t logical = LogicalPageCount();
+  return logical == 0 ? 0.0
+                      : static_cast<double>(valid_pages_) / static_cast<double>(logical);
+}
+
+void BlockMapFtl::RetireBlock(BlockId block) {
+  (void)block;  // already marked bad at the chip level; tracked via spares
+  ++spares_used_;
+  if (spares_used_ > config_.spare_blocks) {
+    read_only_ = true;
+  }
+}
+
+Result<BlockId> BlockMapFtl::AllocateBlock(SimDuration& time_acc) {
+  (void)time_acc;
+  while (!free_blocks_.empty()) {
+    const auto it = free_blocks_.begin();
+    const BlockId id = it->second;
+    free_blocks_.erase(it);
+    if (chip_.block(id).is_bad()) {
+      continue;
+    }
+    return id;
+  }
+  read_only_ = true;
+  return ResourceExhaustedError("block-map FTL out of free blocks");
+}
+
+void BlockMapFtl::ReleaseBlock(BlockId block, SimDuration& time_acc) {
+  if (block == kInvalidBlockId || chip_.block(block).is_bad()) {
+    return;
+  }
+  if (chip_.block(block).IsErased()) {
+    free_blocks_.insert({chip_.block(block).pe_cycles(), block});
+    return;
+  }
+  ++stats_.erases;
+  Result<SimDuration> erase = chip_.EraseBlock(block);
+  if (!erase.ok()) {
+    RetireBlock(block);
+    return;
+  }
+  time_acc += erase.value();
+  free_blocks_.insert({chip_.block(block).pe_cycles(), block});
+}
+
+Status BlockMapFtl::Merge(uint64_t logical_block, SimDuration& time_acc) {
+  auto log_it = logs_.find(logical_block);
+  LogBlock* log = log_it == logs_.end() ? nullptr : &log_it->second;
+  const BlockId old_data = data_blocks_[logical_block];
+  const uint32_t ppb = nand_config_.pages_per_block;
+
+  // Switch merge: an in-order, full log block simply becomes the data block.
+  if (log != nullptr && log->strictly_sequential && log->newest.size() == ppb) {
+    data_blocks_[logical_block] = log->phys;
+    logs_.erase(log_it);
+    ReleaseBlock(old_data, time_acc);
+    ++switch_merges_;
+    return Status::Ok();
+  }
+
+  // Full merge: copy the newest copy of every live page into a fresh block.
+  for (int attempt = 0; attempt < kMaxMergeRetries; ++attempt) {
+    Result<BlockId> dest = AllocateBlock(time_acc);
+    if (!dest.ok()) {
+      return dest.status();
+    }
+    // Find the highest live offset so trailing unwritten pages are skipped.
+    const uint64_t first_lpn = logical_block * ppb;
+    uint32_t last_live = 0;
+    bool any_live = false;
+    for (uint32_t off = 0; off < ppb; ++off) {
+      const bool in_log = log != nullptr && log->newest.count(off) != 0;
+      const bool in_data =
+          old_data != kInvalidBlockId && chip_.block(old_data).IsProgrammed(off);
+      if ((in_log || in_data) && written_[first_lpn + off]) {
+        last_live = off;
+        any_live = true;
+      }
+    }
+    bool failed = false;
+    for (uint32_t off = 0; any_live && off <= last_live; ++off) {
+      const bool live = written_[first_lpn + off];
+      uint64_t tag = kPadTag;
+      if (live) {
+        // Prefer the log copy (newest), fall back to the data block.
+        PhysPageAddr src = kInvalidPageAddr;
+        if (log != nullptr) {
+          auto n = log->newest.find(off);
+          if (n != log->newest.end()) {
+            src = PhysPageAddr{log->phys, n->second};
+          }
+        }
+        if (!src.IsValid() && old_data != kInvalidBlockId &&
+            chip_.block(old_data).IsProgrammed(off)) {
+          src = PhysPageAddr{old_data, off};
+        }
+        if (src.IsValid()) {
+          Result<NandReadOutcome> read = chip_.ReadPage(src);
+          if (read.ok()) {
+            time_acc += read.value().latency;
+          }
+          // Uncorrectable reads lose data but the merge must still proceed.
+          tag = first_lpn + off;
+          ++stats_.gc_pages_migrated;
+        }
+      }
+      Result<SimDuration> prog =
+          chip_.ProgramPage({dest.value(), chip_.block(dest.value()).write_pointer()},
+                            tag);
+      if (!prog.ok()) {
+        RetireBlock(dest.value());
+        failed = true;
+        break;
+      }
+      time_acc += prog.value();
+      ++stats_.nand_pages_written;
+    }
+    if (failed) {
+      if (read_only_) {
+        return UnavailableError("device worn out during merge");
+      }
+      continue;  // retry with a fresh destination
+    }
+    data_blocks_[logical_block] = any_live ? dest.value() : kInvalidBlockId;
+    if (!any_live) {
+      ReleaseBlock(dest.value(), time_acc);
+    }
+    if (log != nullptr) {
+      const BlockId log_phys = log->phys;
+      logs_.erase(log_it);
+      ReleaseBlock(log_phys, time_acc);
+    }
+    ReleaseBlock(old_data, time_acc);
+    ++full_merges_;
+    return Status::Ok();
+  }
+  read_only_ = true;  // repeated failures: treat the device as dead
+  return UnavailableError("repeated merge failures; device at end of life");
+}
+
+Result<BlockMapFtl::LogBlock*> BlockMapFtl::GetLogBlock(uint64_t logical_block,
+                                                        SimDuration& time_acc) {
+  auto it = logs_.find(logical_block);
+  if (it != logs_.end()) {
+    return &it->second;
+  }
+  if (logs_.size() >= config_.log_blocks) {
+    // Evict the least-recently-used log via a merge.
+    uint64_t victim = 0;
+    uint64_t oldest = UINT64_MAX;
+    for (const auto& [lb, log] : logs_) {
+      if (log.last_use_seq < oldest) {
+        oldest = log.last_use_seq;
+        victim = lb;
+      }
+    }
+    FLASHSIM_RETURN_IF_ERROR(Merge(victim, time_acc));
+    if (read_only_) {
+      return UnavailableError("device worn out");
+    }
+  }
+  Result<BlockId> phys = AllocateBlock(time_acc);
+  if (!phys.ok()) {
+    return phys.status();
+  }
+  LogBlock log;
+  log.phys = phys.value();
+  auto [inserted, ok] = logs_.emplace(logical_block, std::move(log));
+  return &inserted->second;
+}
+
+Result<SimDuration> BlockMapFtl::WritePage(uint64_t lpn) {
+  if (read_only_) {
+    return UnavailableError("device is read-only (worn out)");
+  }
+  if (lpn >= LogicalPageCount()) {
+    return OutOfRangeError("LPN beyond logical capacity");
+  }
+  const uint32_t ppb = nand_config_.pages_per_block;
+  const uint64_t logical_block = lpn / ppb;
+  const uint32_t offset = static_cast<uint32_t>(lpn % ppb);
+  SimDuration time_acc;
+
+  for (int attempt = 0; attempt < kMaxMergeRetries; ++attempt) {
+    Result<LogBlock*> log_result = GetLogBlock(logical_block, time_acc);
+    if (!log_result.ok()) {
+      return log_result.status();
+    }
+    LogBlock* log = log_result.value();
+    const uint32_t wp = chip_.block(log->phys).write_pointer();
+    Result<SimDuration> prog = chip_.ProgramPage({log->phys, wp}, lpn);
+    if (!prog.ok()) {
+      // Log block went bad: its content merges out via the data block copies
+      // it still holds are lost; retire and retry on a fresh log.
+      RetireBlock(log->phys);
+      logs_.erase(logical_block);
+      if (read_only_) {
+        return UnavailableError("device worn out (spares exhausted)");
+      }
+      continue;
+    }
+    time_acc += prog.value();
+    ++stats_.nand_pages_written;
+    ++stats_.host_pages_written;
+    log->newest[offset] = wp;
+    if (log->strictly_sequential && offset == log->next_expected_offset) {
+      ++log->next_expected_offset;
+    } else {
+      log->strictly_sequential = false;
+    }
+    log->last_use_seq = ++use_seq_;
+    if (!written_[lpn]) {
+      written_[lpn] = true;
+      ++valid_pages_;
+    }
+    if (chip_.block(log->phys).IsFull()) {
+      FLASHSIM_RETURN_IF_ERROR(Merge(logical_block, time_acc));
+      if (read_only_) {
+        return UnavailableError("device worn out during merge");
+      }
+    }
+    return time_acc;
+  }
+  read_only_ = true;  // repeated failures: treat the device as dead
+  return UnavailableError("repeated log-block failures");
+}
+
+Result<SimDuration> BlockMapFtl::ReadPage(uint64_t lpn) {
+  if (lpn >= LogicalPageCount()) {
+    return OutOfRangeError("LPN beyond logical capacity");
+  }
+  if (!written_[lpn]) {
+    return NotFoundError("read of unwritten LPN");
+  }
+  const uint32_t ppb = nand_config_.pages_per_block;
+  const uint64_t logical_block = lpn / ppb;
+  const uint32_t offset = static_cast<uint32_t>(lpn % ppb);
+  PhysPageAddr src = kInvalidPageAddr;
+  auto it = logs_.find(logical_block);
+  if (it != logs_.end()) {
+    auto n = it->second.newest.find(offset);
+    if (n != it->second.newest.end()) {
+      src = PhysPageAddr{it->second.phys, n->second};
+    }
+  }
+  if (!src.IsValid()) {
+    const BlockId data = data_blocks_[logical_block];
+    if (data == kInvalidBlockId || !chip_.block(data).IsProgrammed(offset)) {
+      return NotFoundError("mapping hole (data lost in log failure)");
+    }
+    src = PhysPageAddr{data, offset};
+  }
+  Result<NandReadOutcome> read = chip_.ReadPage(src);
+  if (!read.ok()) {
+    return read.status();
+  }
+  ++stats_.host_pages_read;
+  return read.value().latency;
+}
+
+Status BlockMapFtl::TrimPage(uint64_t lpn) {
+  if (lpn >= LogicalPageCount()) {
+    return OutOfRangeError("LPN beyond logical capacity");
+  }
+  if (written_[lpn]) {
+    written_[lpn] = false;
+    --valid_pages_;
+  }
+  return Status::Ok();
+}
+
+HealthReport BlockMapFtl::Health() const {
+  HealthReport report;
+  const WearSummary wear = chip_.ComputeWearSummary();
+  report.avg_pe_a = wear.avg_pe;
+  report.rated_pe_a = config_.health_rated_pe;
+  report.life_time_est_a = LifeFractionToLevel(
+      wear.avg_pe / static_cast<double>(config_.health_rated_pe));
+  report.life_time_est_b = 0;
+  report.spare_blocks_total = config_.spare_blocks;
+  report.spare_blocks_used = spares_used_;
+  report.pre_eol = ComputePreEol(spares_used_, config_.spare_blocks);
+  return report;
+}
+
+FtlStats BlockMapFtl::Stats() const {
+  FtlStats s = stats_;
+  s.free_blocks = static_cast<uint32_t>(free_blocks_.size());
+  s.valid_pages = valid_pages_;
+  return s;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,40 @@
+#include "src/ftl/config.h"
+
+namespace flashsim {
+
+Status FtlConfig::Validate() const {
+  if (over_provisioning < 0.0 || over_provisioning >= 0.5) {
+    return InvalidArgumentError("over_provisioning must be in [0, 0.5)");
+  }
+  if (gc_free_block_watermark < 2) {
+    return InvalidArgumentError("gc_free_block_watermark must be >= 2");
+  }
+  if (health_rated_pe == 0) {
+    return InvalidArgumentError("health_rated_pe must be nonzero");
+  }
+  if (wear_level_threshold != 0 && wear_level_check_interval == 0) {
+    return InvalidArgumentError("wear_level_check_interval must be nonzero");
+  }
+  return Status::Ok();
+}
+
+Status HybridConfig::Validate() const {
+  if (cache_blocks < 4) {
+    return InvalidArgumentError("hybrid cache needs at least 4 blocks");
+  }
+  if (cache_free_watermark < 1 || cache_free_watermark >= cache_blocks) {
+    return InvalidArgumentError("cache_free_watermark out of range");
+  }
+  if (merge_utilization_threshold <= 0.0 || merge_utilization_threshold > 1.0) {
+    return InvalidArgumentError("merge_utilization_threshold out of range");
+  }
+  if (mlc_mode_wear_weight == 0) {
+    return InvalidArgumentError("mlc_mode_wear_weight must be nonzero");
+  }
+  if (health_rated_pe_a == 0) {
+    return InvalidArgumentError("health_rated_pe_a must be nonzero");
+  }
+  return Status::Ok();
+}
+
+}  // namespace flashsim

@@ -1,0 +1,82 @@
+// FTL configuration knobs.
+
+#ifndef SRC_FTL_CONFIG_H_
+#define SRC_FTL_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+// Garbage-collection victim selection policy.
+enum class GcPolicy {
+  kGreedy,       // fewest valid pages
+  kCostBenefit,  // (1 - u) / (1 + u) weighted by block age
+};
+
+struct FtlConfig {
+  // Fraction of physical capacity withheld from the logical space for GC
+  // headroom. Consumer eMMC is typically ~7%.
+  double over_provisioning = 0.07;
+
+  // Blocks reserved for bad-block replacement. When the bad-block count
+  // exceeds this pool the device transitions to read-only ("bricked").
+  uint32_t spare_blocks = 16;
+
+  // GC starts when the free pool drops to this many blocks and runs until the
+  // pool is back above it. Must be >= 2 (one host-active, one GC-active).
+  uint32_t gc_free_block_watermark = 4;
+
+  GcPolicy gc_policy = GcPolicy::kGreedy;
+
+  // Static wear leveling: when (max - min) P/E exceeds this threshold the FTL
+  // migrates the coldest block's data so the cold block rejoins the hot pool.
+  // 0 disables static wear leveling.
+  uint32_t wear_level_threshold = 32;
+  // Check the wear-leveling condition every N erases.
+  uint32_t wear_level_check_interval = 64;
+
+  // Rated endurance used by the firmware's *health estimate*. Vendors keep a
+  // margin below the physical rating (this gap is exactly the "back of the
+  // envelope is ~3x optimistic" effect the paper measures), so this is
+  // typically ~half of NandChipConfig::rated_pe_cycles.
+  uint32_t health_rated_pe = 1500;
+
+  Status Validate() const;
+};
+
+// Hybrid (two-flash-type) front end, as in the paper's eMMC 16 GB chip: a
+// small, high-endurance "Type A" region caches writes in front of the main
+// "Type B" pool; under high utilization the firmware merges the pools.
+struct HybridConfig {
+  // Type A geometry is a fraction of sizing below; endurance per its chip cfg.
+  uint32_t cache_blocks = 64;
+
+  // Evict cache blocks when fewer than this many are free.
+  uint32_t cache_free_watermark = 2;
+
+  // Pool-merge heuristic: Type A blocks are drafted as GC staging when the
+  // device is both highly utilized AND fragmented — i.e. utilization exceeds
+  // this fraction and recent GC traffic exceeds gc_pressure_ratio of host
+  // traffic. (The paper infers exactly this dual trigger from Table 1: at
+  // 90% utilization with writes aimed at *free* space Type A stays slow; only
+  // rewrites of the utilized space collapse it.)
+  double merge_utilization_threshold = 0.85;
+  double gc_pressure_ratio = 1.0;
+  // Host-pages window over which GC pressure is evaluated.
+  uint32_t pressure_window_pages = 2048;
+
+  // Wear multiplier applied to drafted Type A blocks (cycled in MLC mode,
+  // which stresses the cells far beyond their SLC-mode rating).
+  uint32_t mlc_mode_wear_weight = 20;
+
+  // Health rating for the Type A region (SLC-mode cycles).
+  uint32_t health_rated_pe_a = 120000;
+
+  Status Validate() const;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_FTL_CONFIG_H_

@@ -1,0 +1,69 @@
+// Abstract logical-page interface every FTL variant implements.
+//
+// Devices (src/device) talk to an FtlInterface; PageMapFtl and HybridFtl are
+// the two implementations. All I/O is in units of one logical page (the NAND
+// page size); devices split larger requests.
+
+#ifndef SRC_FTL_FTL_INTERFACE_H_
+#define SRC_FTL_FTL_INTERFACE_H_
+
+#include <cstdint>
+
+#include "src/ftl/health.h"
+#include "src/simcore/sim_time.h"
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+// Aggregate FTL statistics, primarily for write-amplification analysis.
+struct FtlStats {
+  uint64_t host_pages_written = 0;
+  uint64_t nand_pages_written = 0;   // host + GC + wear-leveling + migration
+  uint64_t gc_pages_migrated = 0;
+  uint64_t erases = 0;
+  uint64_t host_pages_read = 0;
+  uint32_t free_blocks = 0;
+  uint64_t valid_pages = 0;
+
+  // nand writes / host writes; 1.0 when no host writes yet.
+  double WriteAmplification() const {
+    return host_pages_written == 0
+               ? 1.0
+               : static_cast<double>(nand_pages_written) /
+                     static_cast<double>(host_pages_written);
+  }
+};
+
+class FtlInterface {
+ public:
+  virtual ~FtlInterface() = default;
+
+  // Writes one logical page. Returns total NAND/array time consumed,
+  // including any GC work triggered by this write.
+  virtual Result<SimDuration> WritePage(uint64_t lpn) = 0;
+
+  // Reads one logical page. Reading a never-written page is an error.
+  virtual Result<SimDuration> ReadPage(uint64_t lpn) = 0;
+
+  // Discards a logical page (TRIM), freeing its physical page for GC.
+  virtual Status TrimPage(uint64_t lpn) = 0;
+
+  // Logical address space, in pages.
+  virtual uint64_t LogicalPageCount() const = 0;
+  virtual uint32_t PageSizeBytes() const = 0;
+
+  // JEDEC-style health registers.
+  virtual HealthReport Health() const = 0;
+
+  virtual FtlStats Stats() const = 0;
+
+  // True once the device has exhausted its spare pool and refuses writes.
+  virtual bool IsReadOnly() const = 0;
+
+  // Fraction of the logical space currently holding valid data.
+  virtual double Utilization() const = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_FTL_FTL_INTERFACE_H_

@@ -1,0 +1,57 @@
+#include "src/ftl/health.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace flashsim {
+
+const char* PreEolInfoName(PreEolInfo info) {
+  switch (info) {
+    case PreEolInfo::kNotDefined:
+      return "NOT_DEFINED";
+    case PreEolInfo::kNormal:
+      return "NORMAL";
+    case PreEolInfo::kWarning:
+      return "WARNING";
+    case PreEolInfo::kUrgent:
+      return "URGENT";
+  }
+  return "UNKNOWN";
+}
+
+uint32_t LifeFractionToLevel(double fraction) {
+  if (fraction < 0.0) {
+    fraction = 0.0;
+  }
+  // Level 1 covers [0%,10%), ..., level 10 covers [90%,100%), level 11 beyond.
+  const uint32_t level = static_cast<uint32_t>(std::floor(fraction * 10.0)) + 1;
+  return level > 11 ? 11 : level;
+}
+
+PreEolInfo ComputePreEol(uint32_t spares_used, uint32_t spares_total) {
+  if (spares_total == 0) {
+    return PreEolInfo::kNotDefined;
+  }
+  const double used = static_cast<double>(spares_used) / spares_total;
+  if (used >= 0.98) {
+    return PreEolInfo::kUrgent;
+  }
+  if (used >= 0.80) {
+    return PreEolInfo::kWarning;
+  }
+  return PreEolInfo::kNormal;
+}
+
+std::string HealthReport::ToString() const {
+  if (!supported) {
+    return "health reporting unsupported";
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "LIFE_TIME_EST A=%u B=%u PRE_EOL=%s (avg P/E A=%.1f/%u B=%.1f/%u)",
+                life_time_est_a, life_time_est_b, PreEolInfoName(pre_eol), avg_pe_a,
+                rated_pe_a, avg_pe_b, rated_pe_b);
+  return buf;
+}
+
+}  // namespace flashsim

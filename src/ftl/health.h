@@ -1,0 +1,54 @@
+// JEDEC eMMC 5.1-style device health reporting (the "wear-out indicator"
+// central to the paper's measurements).
+//
+// DEVICE_LIFE_TIME_EST_TYP_A / _B: 11-level estimate of consumed lifetime.
+// Level n means (n-1)*10%..n*10% of the rated endurance has been used; level
+// 11 means the estimate is exceeded and the device may corrupt data (§4.3).
+// PRE_EOL_INFO: coarse state of the reserved-block pool.
+
+#ifndef SRC_FTL_HEALTH_H_
+#define SRC_FTL_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flashsim {
+
+// PRE_EOL_INFO values per JEDEC: consumption of reserved (spare) blocks.
+enum class PreEolInfo {
+  kNotDefined = 0,
+  kNormal = 1,    // < 80% of spares consumed
+  kWarning = 2,   // >= 80% of spares consumed
+  kUrgent = 3,    // spares (almost) exhausted; device near read-only
+};
+
+const char* PreEolInfoName(PreEolInfo info);
+
+// Snapshot of the health registers a host can query.
+struct HealthReport {
+  bool supported = true;       // budget devices may not implement reporting
+  uint32_t life_time_est_a = 1;  // 1..11
+  uint32_t life_time_est_b = 0;  // 0 when the device has no Type B region
+  PreEolInfo pre_eol = PreEolInfo::kNormal;
+
+  // Raw model state backing the registers (not host-visible on real devices,
+  // exposed here for experiments and tests).
+  double avg_pe_a = 0.0;
+  double avg_pe_b = 0.0;
+  uint32_t rated_pe_a = 0;
+  uint32_t rated_pe_b = 0;
+  uint32_t spare_blocks_total = 0;
+  uint32_t spare_blocks_used = 0;
+
+  std::string ToString() const;
+};
+
+// Maps a consumed-life fraction to the 1..11 JEDEC level.
+uint32_t LifeFractionToLevel(double fraction);
+
+// Computes PRE_EOL_INFO from spare-pool consumption.
+PreEolInfo ComputePreEol(uint32_t spares_used, uint32_t spares_total);
+
+}  // namespace flashsim
+
+#endif  // SRC_FTL_HEALTH_H_

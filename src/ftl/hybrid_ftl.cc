@@ -1,0 +1,282 @@
+#include "src/ftl/hybrid_ftl.h"
+
+#include <cassert>
+
+namespace flashsim {
+
+namespace {
+// Below this many good cache blocks the cache is disabled and writes bypass
+// straight to the MLC pool.
+constexpr uint32_t kMinCacheBlocks = 4;
+}  // namespace
+
+HybridFtl::HybridFtl(NandChipConfig mlc_config, FtlConfig ftl_config,
+                     NandChipConfig slc_config, HybridConfig hybrid_config,
+                     uint64_t seed, EventLog* event_log)
+    : mlc_(mlc_config, ftl_config, seed, event_log),
+      cache_chip_(slc_config, seed ^ 0xa5a5a5a5a5a5a5a5ull),
+      hybrid_config_(hybrid_config),
+      event_log_(event_log) {
+  assert(hybrid_config_.Validate().ok());
+  assert(slc_config.page_size_bytes == mlc_config.page_size_bytes);
+  const uint32_t blocks = cache_chip_.config().total_blocks();
+  cache_states_.assign(blocks, CacheBlockState::kFree);
+  cache_valid_.assign(blocks, 0);
+  cache_free_.reserve(blocks);
+  for (BlockId b = 0; b < blocks; ++b) {
+    cache_free_.push_back(b);
+  }
+}
+
+void HybridFtl::UpdateMergedMode() {
+  const uint64_t window = hybrid_config_.pressure_window_pages;
+  if (host_pages_written_ - window_host_baseline_ < window) {
+    return;
+  }
+  const uint64_t gc_now = mlc_.Stats().gc_pages_migrated;
+  const double gc_ratio =
+      static_cast<double>(gc_now - window_gc_baseline_) /
+      static_cast<double>(host_pages_written_ - window_host_baseline_);
+  merged_mode_ = mlc_.Utilization() >= hybrid_config_.merge_utilization_threshold &&
+                 gc_ratio >= hybrid_config_.gc_pressure_ratio;
+  mlc_.SetDivertGcWear(merged_mode_);
+  window_host_baseline_ = host_pages_written_;
+  window_gc_baseline_ = gc_now;
+}
+
+void HybridFtl::RetireCacheBlock(BlockId block) {
+  cache_states_[block] = CacheBlockState::kBad;
+  ++cache_bad_blocks_;
+  const uint32_t good = cache_chip_.config().total_blocks() - cache_bad_blocks_;
+  if (good < kMinCacheBlocks) {
+    cache_enabled_ = false;
+    if (event_log_ != nullptr) {
+      event_log_->Append(SimTime(), EventSeverity::kWarning, "ftl.hybrid",
+                         "Type A cache exhausted; bypassing to Type B pool");
+    }
+  }
+}
+
+Result<BlockId> HybridFtl::OpenCacheBlock() {
+  if (cache_free_.empty()) {
+    return ResourceExhaustedError("no free cache blocks");
+  }
+  const BlockId id = cache_free_.back();
+  cache_free_.pop_back();
+  cache_states_[id] = CacheBlockState::kOpen;
+  return id;
+}
+
+Status HybridFtl::EvictOldestCacheBlock(SimDuration& time_acc) {
+  if (cache_fifo_.empty()) {
+    return ResourceExhaustedError("no closed cache blocks to evict");
+  }
+  const BlockId victim = cache_fifo_.front();
+  cache_fifo_.pop_front();
+  const uint32_t wp = cache_chip_.block(victim).write_pointer();
+  for (uint32_t page = 0; page < wp; ++page) {
+    const PhysPageAddr src{victim, page};
+    Result<uint64_t> tag = cache_chip_.block(victim).ReadTag(page);
+    if (!tag.ok()) {
+      return tag.status();
+    }
+    const uint64_t lpn = tag.value();
+    auto it = cache_map_.find(lpn);
+    if (it == cache_map_.end() || it->second != src) {
+      continue;  // superseded by a newer cache copy
+    }
+    Result<NandReadOutcome> read = cache_chip_.ReadPage(src);
+    if (read.ok()) {
+      time_acc += read.value().latency;
+    }
+    Result<SimDuration> write = mlc_.WritePageInternal(lpn, /*count_as_host=*/false);
+    if (!write.ok()) {
+      return write.status();
+    }
+    time_acc += write.value();
+    cache_map_.erase(it);
+    --cache_valid_[victim];
+  }
+  const uint32_t wear_weight = InMergedMode() ? hybrid_config_.mlc_mode_wear_weight : 1;
+  Result<SimDuration> erase = cache_chip_.EraseBlock(victim, wear_weight);
+  if (!erase.ok()) {
+    RetireCacheBlock(victim);
+    return Status::Ok();
+  }
+  time_acc += erase.value();
+  cache_states_[victim] = CacheBlockState::kFree;
+  cache_valid_[victim] = 0;
+  cache_free_.push_back(victim);
+  return Status::Ok();
+}
+
+void HybridFtl::ChargeStagingWear(SimDuration& time_acc) {
+  const uint64_t migrated_now = mlc_.Stats().gc_pages_migrated;
+  const uint64_t delta = migrated_now - gc_staged_baseline_;
+  gc_staged_baseline_ = migrated_now;
+  if (!InMergedMode() || !cache_enabled_ || delta == 0) {
+    return;
+  }
+  // Drafted-block model: GC migrations stream through Type A staging blocks,
+  // cycling them in MLC mode. We charge whole staging-block cycles as the
+  // staged page count crosses block boundaries.
+  staging_page_credit_ += delta;
+  const uint32_t ppb = cache_chip_.config().pages_per_block;
+  while (staging_page_credit_ >= ppb) {
+    staging_page_credit_ -= ppb;
+    // Cycle the least-recently-used free cache block as the staging buffer.
+    if (cache_free_.empty()) {
+      // All cache blocks busy with host data; stage through the oldest
+      // closed block by evicting it first.
+      if (EvictOldestCacheBlock(time_acc).ok() && !cache_free_.empty()) {
+        // fall through to cycle a free block below
+      } else {
+        return;
+      }
+    }
+    const BlockId staging = cache_free_.back();
+    Result<SimDuration> erase =
+        cache_chip_.EraseBlock(staging, hybrid_config_.mlc_mode_wear_weight);
+    if (!erase.ok()) {
+      cache_free_.pop_back();
+      RetireCacheBlock(staging);
+      continue;
+    }
+    time_acc += erase.value();
+    // Staging writes + erase: charge program time for a full block pass.
+    time_acc += cache_chip_.config().timings.program_page * ppb;
+  }
+}
+
+Status HybridFtl::EnsureCacheSpace(SimDuration& time_acc) {
+  while (cache_free_.size() < hybrid_config_.cache_free_watermark &&
+         !cache_fifo_.empty()) {
+    FLASHSIM_RETURN_IF_ERROR(EvictOldestCacheBlock(time_acc));
+  }
+  return Status::Ok();
+}
+
+Result<SimDuration> HybridFtl::WritePage(uint64_t lpn) {
+  if (mlc_.IsReadOnly()) {
+    return UnavailableError("device is read-only (worn out)");
+  }
+  if (lpn >= mlc_.LogicalPageCount()) {
+    return OutOfRangeError("LPN beyond logical capacity");
+  }
+  SimDuration time_acc;
+  if (!cache_enabled_) {
+    Result<SimDuration> direct = mlc_.WritePageInternal(lpn, /*count_as_host=*/false);
+    if (!direct.ok()) {
+      return direct.status();
+    }
+    ++host_pages_written_;
+    return direct.value();
+  }
+  FLASHSIM_RETURN_IF_ERROR(EnsureCacheSpace(time_acc));
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    if (cache_active_ == kInvalidBlockId) {
+      Result<BlockId> open = OpenCacheBlock();
+      if (!open.ok()) {
+        // Cache full beyond eviction (e.g. tiny cache): bypass this write.
+        Result<SimDuration> direct =
+            mlc_.WritePageInternal(lpn, /*count_as_host=*/false);
+        if (!direct.ok()) {
+          return direct.status();
+        }
+        ++host_pages_written_;
+        return time_acc + direct.value();
+      }
+      cache_active_ = open.value();
+    }
+    const uint32_t wp = cache_chip_.block(cache_active_).write_pointer();
+    const PhysPageAddr addr{cache_active_, wp};
+    Result<SimDuration> prog = cache_chip_.ProgramPage(addr, lpn);
+    if (!prog.ok()) {
+      RetireCacheBlock(cache_active_);
+      cache_active_ = kInvalidBlockId;
+      if (!cache_enabled_) {
+        continue;  // next attempt takes the bypass path
+      }
+      continue;
+    }
+    time_acc += prog.value();
+    // Supersede any older cache copy, then install the new mapping.
+    auto it = cache_map_.find(lpn);
+    if (it != cache_map_.end()) {
+      --cache_valid_[it->second.block];
+      it->second = addr;
+    } else {
+      cache_map_.emplace(lpn, addr);
+    }
+    ++cache_valid_[cache_active_];
+    if (cache_chip_.block(cache_active_).IsFull()) {
+      cache_states_[cache_active_] = CacheBlockState::kClosed;
+      cache_fifo_.push_back(cache_active_);
+      cache_active_ = kInvalidBlockId;
+    }
+    ++host_pages_written_;
+    UpdateMergedMode();
+    ChargeStagingWear(time_acc);
+    return time_acc;
+  }
+  return UnavailableError("repeated cache program failures");
+}
+
+Result<SimDuration> HybridFtl::ReadPage(uint64_t lpn) {
+  if (lpn >= mlc_.LogicalPageCount()) {
+    return OutOfRangeError("LPN beyond logical capacity");
+  }
+  auto it = cache_map_.find(lpn);
+  if (it != cache_map_.end()) {
+    Result<NandReadOutcome> read = cache_chip_.ReadPage(it->second);
+    if (!read.ok()) {
+      return read.status();
+    }
+    ++host_pages_read_;
+    return read.value().latency;
+  }
+  Result<SimDuration> read = mlc_.ReadPage(lpn);
+  if (!read.ok()) {
+    return read.status();
+  }
+  ++host_pages_read_;
+  return read.value();
+}
+
+Status HybridFtl::TrimPage(uint64_t lpn) {
+  if (lpn >= mlc_.LogicalPageCount()) {
+    return OutOfRangeError("LPN beyond logical capacity");
+  }
+  auto it = cache_map_.find(lpn);
+  if (it != cache_map_.end()) {
+    --cache_valid_[it->second.block];
+    cache_map_.erase(it);
+  }
+  return mlc_.TrimPage(lpn);
+}
+
+HealthReport HybridFtl::Health() const {
+  HealthReport report = mlc_.Health();
+  // The MLC pool is the *Type B* region of this device; its own "A" slot
+  // holds that data, so move it over and fill A from the cache chip.
+  report.life_time_est_b = report.life_time_est_a;
+  report.avg_pe_b = report.avg_pe_a;
+  report.rated_pe_b = report.rated_pe_a;
+  const WearSummary cache_wear = cache_chip_.ComputeWearSummary();
+  report.avg_pe_a = cache_wear.avg_pe;
+  report.rated_pe_a = hybrid_config_.health_rated_pe_a;
+  report.life_time_est_a = LifeFractionToLevel(
+      cache_wear.avg_pe / static_cast<double>(hybrid_config_.health_rated_pe_a));
+  return report;
+}
+
+FtlStats HybridFtl::Stats() const {
+  FtlStats s = mlc_.Stats();
+  s.host_pages_written = host_pages_written_;
+  s.host_pages_read = host_pages_read_;
+  // Cache programs are NAND writes too.
+  s.nand_pages_written += cache_chip_.counters().Get("nand.programs");
+  return s;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,437 @@
+#include "src/ftl/page_map_ftl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+namespace {
+// Give up on a write after this many fresh-block retries; in practice a write
+// only fails repeatedly when the whole array is at end of life.
+constexpr int kMaxProgramRetries = 4;
+}  // namespace
+
+PageMapFtl::PageMapFtl(NandChipConfig nand_config, FtlConfig ftl_config, uint64_t seed,
+                       EventLog* event_log)
+    : nand_config_(nand_config),
+      ftl_config_(ftl_config),
+      chip_(nand_config, seed),
+      event_log_(event_log) {
+  assert(ftl_config_.Validate().ok());
+  const uint32_t total_blocks = nand_config_.total_blocks();
+  assert(total_blocks > ftl_config_.spare_blocks + ftl_config_.gc_free_block_watermark);
+
+  const uint32_t usable_blocks = total_blocks - ftl_config_.spare_blocks;
+  const double logical_fraction = 1.0 - ftl_config_.over_provisioning;
+  logical_pages_ = static_cast<uint64_t>(
+      std::floor(static_cast<double>(usable_blocks) * logical_fraction)) *
+      nand_config_.pages_per_block;
+
+  map_.assign(logical_pages_, kInvalidPageAddr);
+  valid_counts_.assign(total_blocks, 0);
+  block_states_.assign(total_blocks, BlockState::kFree);
+  close_seq_.assign(total_blocks, 0);
+  gc_origin_.assign(total_blocks, 0);
+  for (BlockId b = 0; b < total_blocks; ++b) {
+    free_blocks_.insert({0, b});
+  }
+}
+
+void PageMapFtl::LogEvent(EventSeverity severity, const std::string& message) {
+  if (event_log_ != nullptr) {
+    event_log_->Append(SimTime(), severity, "ftl", message);
+  }
+}
+
+bool PageMapFtl::IsMapped(uint64_t lpn) const {
+  return lpn < logical_pages_ && map_[lpn].IsValid();
+}
+
+double PageMapFtl::Utilization() const {
+  return logical_pages_ == 0
+             ? 0.0
+             : static_cast<double>(valid_total_) / static_cast<double>(logical_pages_);
+}
+
+void PageMapFtl::RetireBlock(BlockId block) {
+  block_states_[block] = BlockState::kBad;
+  ++spares_used_;
+  LogEvent(EventSeverity::kWarning, "block retired; spares used " +
+                                        std::to_string(spares_used_) + "/" +
+                                        std::to_string(ftl_config_.spare_blocks));
+  if (spares_used_ > ftl_config_.spare_blocks) {
+    read_only_ = true;
+    LogEvent(EventSeverity::kError, "spare pool exhausted; device is read-only");
+  }
+}
+
+Result<BlockId> PageMapFtl::AllocateBlock(BlockState stream, bool allow_gc,
+                                          SimDuration& time_acc) {
+  if (allow_gc) {
+    FLASHSIM_RETURN_IF_ERROR(RunGcIfNeeded(time_acc));
+  }
+  while (!free_blocks_.empty()) {
+    // Dynamic wear leveling: hand out the least-worn free block.
+    const auto it = free_blocks_.begin();
+    const BlockId id = it->second;
+    free_blocks_.erase(it);
+    // Free blocks are kept erased; a block that was closed and reclaimed was
+    // erased during reclaim. Blocks here are always erasable targets.
+    block_states_[id] = stream;
+    gc_origin_[id] = stream == BlockState::kOpenGc ? 1 : 0;
+    return id;
+  }
+  return ResourceExhaustedError("no free blocks");
+}
+
+Result<PhysPageAddr> PageMapFtl::ProgramIntoStream(uint64_t lpn, BlockState stream,
+                                                   bool allow_gc,
+                                                   SimDuration& time_acc) {
+  BlockId& active = stream == BlockState::kOpenHost ? host_active_ : gc_active_;
+  for (int attempt = 0; attempt < kMaxProgramRetries; ++attempt) {
+    if (active == kInvalidBlockId) {
+      Result<BlockId> alloc = AllocateBlock(stream, allow_gc, time_acc);
+      if (!alloc.ok()) {
+        return alloc.status();
+      }
+      active = alloc.value();
+    }
+    const uint32_t wp = chip_.block(active).write_pointer();
+    const PhysPageAddr addr{active, wp};
+    Result<SimDuration> prog = chip_.ProgramPage(addr, lpn);
+    if (prog.ok()) {
+      time_acc += prog.value();
+      ++stats_.nand_pages_written;
+      CloseIfFull(active);
+      return addr;
+    }
+    if (prog.status().code() == StatusCode::kDataLoss) {
+      // Program-verify failure: the block is now bad; move to a fresh block.
+      RetireBlock(active);
+      active = kInvalidBlockId;
+      if (read_only_) {
+        return UnavailableError("device worn out (spares exhausted)");
+      }
+      continue;
+    }
+    return prog.status();
+  }
+  return UnavailableError("repeated program failures; array at end of life");
+}
+
+void PageMapFtl::CloseIfFull(BlockId block) {
+  if (chip_.block(block).IsFull()) {
+    block_states_[block] = BlockState::kClosed;
+    close_seq_[block] = erase_seq_;
+    if (host_active_ == block) {
+      host_active_ = kInvalidBlockId;
+    }
+    if (gc_active_ == block) {
+      gc_active_ = kInvalidBlockId;
+    }
+  }
+}
+
+void PageMapFtl::InvalidateMapping(uint64_t lpn) {
+  const PhysPageAddr old = map_[lpn];
+  if (old.IsValid()) {
+    assert(valid_counts_[old.block] > 0);
+    --valid_counts_[old.block];
+    --valid_total_;
+    map_[lpn] = kInvalidPageAddr;
+    if (valid_counts_[old.block] == 0 && block_states_[old.block] == BlockState::kClosed) {
+      dead_blocks_.push_back(old.block);
+    }
+  }
+}
+
+BlockId PageMapFtl::PickVictim() const {
+  BlockId best = kInvalidBlockId;
+  double best_score = -1.0;
+  const uint32_t ppb = nand_config_.pages_per_block;
+  for (BlockId b = 0; b < block_states_.size(); ++b) {
+    if (block_states_[b] != BlockState::kClosed) {
+      continue;
+    }
+    const uint32_t valid = valid_counts_[b];
+    if (valid == ppb) {
+      continue;  // nothing reclaimable
+    }
+    double score;
+    if (ftl_config_.gc_policy == GcPolicy::kGreedy) {
+      score = static_cast<double>(ppb - valid);
+    } else {
+      const double u = static_cast<double>(valid) / ppb;
+      const double age = static_cast<double>(erase_seq_ - close_seq_[b]) + 1.0;
+      score = (1.0 - u) / (1.0 + u) * age;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = b;
+    }
+  }
+  return best;
+}
+
+Status PageMapFtl::ReclaimBlock(BlockId victim, SimDuration& time_acc) {
+  const uint32_t wp = chip_.block(victim).write_pointer();
+  for (uint32_t page = 0; page < wp; ++page) {
+    const PhysPageAddr src{victim, page};
+    // Check the forward map via the OOB tag: the page is live only if the
+    // map still points at it.
+    Result<uint64_t> tag = chip_.block(victim).ReadTag(page);
+    if (!tag.ok()) {
+      return tag.status();
+    }
+    const uint64_t lpn = tag.value();
+    if (lpn >= logical_pages_ || map_[lpn] != src) {
+      continue;  // stale copy
+    }
+    // Live page: read it out (charges read latency + ECC) and rewrite it.
+    Result<NandReadOutcome> read = chip_.ReadPage(src);
+    if (!read.ok() && read.status().code() != StatusCode::kDataLoss) {
+      return read.status();
+    }
+    if (read.ok()) {
+      time_acc += read.value().latency;
+    }
+    // Even if the copy had an uncorrectable error we must move the mapping
+    // (data loss is recorded by the chip counters).
+    Result<PhysPageAddr> dst =
+        ProgramIntoStream(lpn, BlockState::kOpenGc, /*allow_gc=*/false, time_acc);
+    if (!dst.ok()) {
+      return dst.status();
+    }
+    --valid_counts_[victim];
+    ++valid_counts_[dst.value().block];
+    map_[lpn] = dst.value();
+    ++stats_.gc_pages_migrated;
+  }
+  // All live data moved; erase and return to the free pool. When merged-pool
+  // diversion is active, erasing a GC-destination block is wear-free here:
+  // that churn physically runs on drafted Type A blocks (charged by the
+  // hybrid front end).
+  ++erase_seq_;
+  ++stats_.erases;
+  const uint32_t wear_weight = divert_gc_wear_ && gc_origin_[victim] ? 0 : 1;
+  Result<SimDuration> erase = chip_.EraseBlock(victim, wear_weight);
+  if (!erase.ok()) {
+    RetireBlock(victim);
+    return Status::Ok();  // reclaim succeeded logically; block just retired
+  }
+  time_acc += erase.value();
+  block_states_[victim] = BlockState::kFree;
+  free_blocks_.insert({chip_.block(victim).pe_cycles(), victim});
+  return Status::Ok();
+}
+
+Status PageMapFtl::RunGcIfNeeded(SimDuration& time_acc) {
+  // Background reclaim: erase blocks that have become fully invalid so they
+  // rejoin the wear-ordered free pool immediately. Without this, a hot
+  // working set would cycle through a handful of blocks at the GC watermark
+  // and wear them out far ahead of the rest of the array.
+  while (!dead_blocks_.empty()) {
+    const BlockId dead = dead_blocks_.back();
+    dead_blocks_.pop_back();
+    if (block_states_[dead] != BlockState::kClosed || valid_counts_[dead] != 0) {
+      continue;  // stale entry (state changed since it was queued)
+    }
+    FLASHSIM_RETURN_IF_ERROR(ReclaimBlock(dead, time_acc));
+    if (read_only_) {
+      return UnavailableError("device worn out during GC");
+    }
+  }
+  while (free_blocks_.size() < ftl_config_.gc_free_block_watermark) {
+    const BlockId victim = PickVictim();
+    if (victim == kInvalidBlockId) {
+      if (free_blocks_.empty()) {
+        return ResourceExhaustedError("no reclaimable blocks and free pool empty");
+      }
+      return Status::Ok();  // nothing reclaimable but we still have headroom
+    }
+    FLASHSIM_RETURN_IF_ERROR(ReclaimBlock(victim, time_acc));
+    if (read_only_) {
+      return UnavailableError("device worn out during GC");
+    }
+  }
+  return Status::Ok();
+}
+
+void PageMapFtl::MaybeStaticWearLevel(SimDuration& time_acc) {
+  if (ftl_config_.wear_level_threshold == 0 ||
+      erase_seq_ % ftl_config_.wear_level_check_interval != 0 || erase_seq_ == 0) {
+    return;
+  }
+  // Find the wear spread and collect the coldest closed blocks in one scan.
+  uint32_t min_pe = 0xffffffffu;
+  uint32_t max_pe = 0;
+  for (BlockId b = 0; b < block_states_.size(); ++b) {
+    if (block_states_[b] == BlockState::kBad) {
+      continue;
+    }
+    const uint32_t pe = chip_.block(b).pe_cycles();
+    if (pe > max_pe) {
+      max_pe = pe;
+    }
+    if (pe < min_pe) {
+      min_pe = pe;
+    }
+  }
+  if (max_pe - min_pe <= ftl_config_.wear_level_threshold) {
+    return;
+  }
+  // Migrate a batch of cold closed blocks (P/E within a quarter threshold of
+  // the minimum); they rejoin the free pool and, being the least worn, are
+  // handed out first by dynamic wear leveling. A batch per check keeps the
+  // spread bounded even under a fully skewed hot workload.
+  const uint32_t cold_cutoff = min_pe + ftl_config_.wear_level_threshold / 4;
+  uint32_t migrated = 0;
+  for (BlockId b = 0; b < block_states_.size() && migrated < 8; ++b) {
+    if (block_states_[b] != BlockState::kClosed ||
+        chip_.block(b).pe_cycles() > cold_cutoff) {
+      continue;
+    }
+    SimDuration wl_time;
+    if (ReclaimBlock(b, wl_time).ok()) {
+      time_acc += wl_time;
+      ++migrated;
+    }
+    if (read_only_) {
+      return;
+    }
+  }
+  if (migrated > 0) {
+    LogEvent(EventSeverity::kDebug,
+             "static wear-level migrated " + std::to_string(migrated) + " blocks");
+  }
+}
+
+Result<SimDuration> PageMapFtl::WritePageInternal(uint64_t lpn, bool count_as_host) {
+  if (read_only_) {
+    return UnavailableError("device is read-only (worn out)");
+  }
+  if (lpn >= logical_pages_) {
+    return OutOfRangeError("LPN beyond logical capacity");
+  }
+  SimDuration time_acc;
+  Result<PhysPageAddr> addr =
+      ProgramIntoStream(lpn, BlockState::kOpenHost, /*allow_gc=*/true, time_acc);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  InvalidateMapping(lpn);
+  map_[lpn] = addr.value();
+  ++valid_counts_[addr.value().block];
+  ++valid_total_;
+  if (count_as_host) {
+    ++stats_.host_pages_written;
+  }
+  MaybeStaticWearLevel(time_acc);
+  return time_acc;
+}
+
+Result<SimDuration> PageMapFtl::WritePage(uint64_t lpn) {
+  return WritePageInternal(lpn, /*count_as_host=*/true);
+}
+
+Result<SimDuration> PageMapFtl::ReadPage(uint64_t lpn) {
+  if (lpn >= logical_pages_) {
+    return OutOfRangeError("LPN beyond logical capacity");
+  }
+  const PhysPageAddr addr = map_[lpn];
+  if (!addr.IsValid()) {
+    return NotFoundError("read of unmapped LPN");
+  }
+  Result<NandReadOutcome> read = chip_.ReadPage(addr);
+  if (!read.ok()) {
+    return read.status();
+  }
+  ++stats_.host_pages_read;
+  return read.value().latency;
+}
+
+Status PageMapFtl::TrimPage(uint64_t lpn) {
+  if (lpn >= logical_pages_) {
+    return OutOfRangeError("LPN beyond logical capacity");
+  }
+  InvalidateMapping(lpn);
+  return Status::Ok();
+}
+
+HealthReport PageMapFtl::Health() const {
+  HealthReport report;
+  const WearSummary wear = chip_.ComputeWearSummary();
+  report.avg_pe_a = wear.avg_pe;
+  report.rated_pe_a = ftl_config_.health_rated_pe;
+  report.life_time_est_a =
+      LifeFractionToLevel(wear.avg_pe / static_cast<double>(ftl_config_.health_rated_pe));
+  report.life_time_est_b = 0;  // single-pool device
+  report.spare_blocks_total = ftl_config_.spare_blocks;
+  report.spare_blocks_used = spares_used_;
+  report.pre_eol = ComputePreEol(spares_used_, ftl_config_.spare_blocks);
+  return report;
+}
+
+Status PageMapFtl::ValidateInvariants() const {
+  std::vector<uint32_t> counted(block_states_.size(), 0);
+  uint64_t mapped_total = 0;
+  for (uint64_t lpn = 0; lpn < logical_pages_; ++lpn) {
+    const PhysPageAddr addr = map_[lpn];
+    if (!addr.IsValid()) {
+      continue;
+    }
+    ++mapped_total;
+    if (addr.block >= block_states_.size()) {
+      return InternalError("map entry points beyond the array");
+    }
+    ++counted[addr.block];
+    if (!chip_.block(addr.block).IsProgrammed(addr.page)) {
+      return InternalError("map entry points at an unprogrammed page");
+    }
+    Result<uint64_t> tag = chip_.block(addr.block).ReadTag(addr.page);
+    if (!tag.ok() || tag.value() != lpn) {
+      return InternalError("OOB tag does not match the forward map");
+    }
+  }
+  if (mapped_total != valid_total_) {
+    return InternalError("valid-page total out of sync with the map");
+  }
+  for (BlockId b = 0; b < block_states_.size(); ++b) {
+    if (counted[b] != valid_counts_[b]) {
+      return InternalError("per-block valid count out of sync at block " +
+                           std::to_string(b));
+    }
+    if (block_states_[b] == BlockState::kBad && !chip_.block(b).is_bad()) {
+      return InternalError("state says bad but chip disagrees");
+    }
+  }
+  uint64_t free_seen = 0;
+  for (const auto& [pe, id] : free_blocks_) {
+    ++free_seen;
+    if (block_states_[id] != BlockState::kFree) {
+      return InternalError("free-pool entry not in kFree state");
+    }
+    if (!chip_.block(id).IsErased()) {
+      return InternalError("free block is not erased");
+    }
+    if (valid_counts_[id] != 0) {
+      return InternalError("free block has valid pages");
+    }
+  }
+  if (free_seen != free_blocks_.size()) {
+    return InternalError("free pool size mismatch");
+  }
+  return Status::Ok();
+}
+
+FtlStats PageMapFtl::Stats() const {
+  FtlStats s = stats_;
+  s.free_blocks = static_cast<uint32_t>(free_blocks_.size());
+  s.valid_pages = valid_total_;
+  return s;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,138 @@
+// Page-mapped flash translation layer.
+//
+// Classic page-level FTL: a full logical-to-physical page map, separate host
+// and GC write streams, greedy or cost-benefit garbage collection, dynamic
+// wear leveling at allocation time (coldest free block first), optional
+// static wear leveling (cold-data migration), bad-block replacement from a
+// spare pool, and JEDEC-style health reporting. When the spare pool is
+// exhausted the device turns read-only — the "bricked phone" end state of the
+// paper's experiments.
+
+#ifndef SRC_FTL_PAGE_MAP_FTL_H_
+#define SRC_FTL_PAGE_MAP_FTL_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/ftl/config.h"
+#include "src/ftl/ftl_interface.h"
+#include "src/nand/chip.h"
+#include "src/simcore/event_log.h"
+
+namespace flashsim {
+
+class PageMapFtl : public FtlInterface {
+ public:
+  // `nand_config` and `ftl_config` must validate. `event_log` may be null.
+  PageMapFtl(NandChipConfig nand_config, FtlConfig ftl_config, uint64_t seed,
+             EventLog* event_log = nullptr);
+
+  // FtlInterface:
+  Result<SimDuration> WritePage(uint64_t lpn) override;
+  Result<SimDuration> ReadPage(uint64_t lpn) override;
+  Status TrimPage(uint64_t lpn) override;
+  uint64_t LogicalPageCount() const override { return logical_pages_; }
+  uint32_t PageSizeBytes() const override { return chip_.config().page_size_bytes; }
+  HealthReport Health() const override;
+  FtlStats Stats() const override;
+  bool IsReadOnly() const override { return read_only_; }
+  double Utilization() const override;
+
+  // Internal write entry point also used by HybridFtl for migrations: writes
+  // a page whose content belongs to `lpn` without counting it as host I/O.
+  Result<SimDuration> WritePageInternal(uint64_t lpn, bool count_as_host);
+
+  // Direct access for tests and the hybrid front end.
+  const NandChip& chip() const { return chip_; }
+  // Mutable access for maintenance operations (annealing/self-healing).
+  NandChip& mutable_chip() { return chip_; }
+  uint32_t free_block_count() const { return static_cast<uint32_t>(free_blocks_.size()); }
+  const FtlConfig& config() const { return ftl_config_; }
+
+  // True when `lpn` currently maps to a physical page.
+  bool IsMapped(uint64_t lpn) const;
+
+  // Exhaustive internal-consistency check (O(logical pages + blocks)):
+  //  * every mapped LPN points at a programmed page whose OOB tag is the LPN;
+  //  * per-block valid counts equal the number of map entries per block;
+  //  * the valid-page total matches;
+  //  * free blocks are erased, and block states partition the array.
+  // Returns the first violation found. Meant for tests and debug builds.
+  Status ValidateInvariants() const;
+
+  // Merged-pool support (hybrid devices): while enabled, erases of blocks
+  // that served as GC destinations are wear-free in THIS pool — the churn is
+  // physically absorbed by drafted Type A staging blocks, whose wear the
+  // hybrid front end charges separately (HybridFtl::ChargeStagingWear).
+  void SetDivertGcWear(bool divert) { divert_gc_wear_ = divert; }
+  bool divert_gc_wear() const { return divert_gc_wear_; }
+
+ private:
+  enum class BlockState : uint8_t { kFree, kOpenHost, kOpenGc, kClosed, kBad };
+
+  // Allocates the lowest-wear free block for the given stream. When
+  // `allow_gc` and the pool is at the watermark, runs GC first.
+  Result<BlockId> AllocateBlock(BlockState stream, bool allow_gc,
+                                SimDuration& time_acc);
+
+  // Runs GC until the free pool is above the watermark (or nothing more can
+  // be reclaimed). Accumulates NAND time into `time_acc`.
+  Status RunGcIfNeeded(SimDuration& time_acc);
+
+  // Picks a GC victim among closed blocks; kInvalidBlockId if none eligible.
+  BlockId PickVictim() const;
+
+  // Migrates all still-valid pages out of `victim` and erases it.
+  Status ReclaimBlock(BlockId victim, SimDuration& time_acc);
+
+  // Programs `lpn` into the active block of `stream`, handling program
+  // failures by retiring the block and retrying on a fresh one.
+  Result<PhysPageAddr> ProgramIntoStream(uint64_t lpn, BlockState stream,
+                                         bool allow_gc, SimDuration& time_acc);
+
+  // Static wear-leveling check; migrates the coldest closed block when the
+  // P/E spread exceeds the configured threshold.
+  void MaybeStaticWearLevel(SimDuration& time_acc);
+
+  // Removes `block` from service after a failure, updating spare accounting
+  // and possibly transitioning the device to read-only.
+  void RetireBlock(BlockId block);
+
+  void InvalidateMapping(uint64_t lpn);
+  void CloseIfFull(BlockId block);
+  void LogEvent(EventSeverity severity, const std::string& message);
+
+  NandChipConfig nand_config_;
+  FtlConfig ftl_config_;
+  NandChip chip_;
+  EventLog* event_log_;
+
+  uint64_t logical_pages_ = 0;
+  std::vector<PhysPageAddr> map_;          // lpn -> physical page
+  std::vector<uint32_t> valid_counts_;     // per block
+  std::vector<BlockState> block_states_;   // per block
+  std::vector<uint64_t> close_seq_;        // erase sequence at close (for CB age)
+  std::vector<uint8_t> gc_origin_;         // block was last filled by the GC stream
+  std::set<std::pair<uint32_t, BlockId>> free_blocks_;  // (pe, id), min-wear first
+
+  BlockId host_active_ = kInvalidBlockId;
+  BlockId gc_active_ = kInvalidBlockId;
+
+  // Closed blocks whose last valid page was just invalidated; reclaimed
+  // eagerly (background GC) so they re-enter the wear-ordered free pool.
+  std::vector<BlockId> dead_blocks_;
+
+  uint64_t valid_total_ = 0;
+  uint64_t erase_seq_ = 0;
+  uint32_t spares_used_ = 0;
+  bool read_only_ = false;
+  bool divert_gc_wear_ = false;
+
+  FtlStats stats_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_FTL_PAGE_MAP_FTL_H_

@@ -1,0 +1,41 @@
+// Physical addressing within a NAND chip.
+//
+// Blocks are identified by a flat global index; a page address is a (block,
+// page-in-block) pair. Die/channel coordinates are derived from the block
+// index, matching how real FTLs stripe blocks across dies.
+
+#ifndef SRC_NAND_ADDRESS_H_
+#define SRC_NAND_ADDRESS_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace flashsim {
+
+using BlockId = uint32_t;
+inline constexpr BlockId kInvalidBlockId = 0xffffffffu;
+
+// Physical page address: global block index + page offset within the block.
+struct PhysPageAddr {
+  BlockId block = kInvalidBlockId;
+  uint32_t page = 0;
+
+  constexpr bool IsValid() const { return block != kInvalidBlockId; }
+  constexpr auto operator<=>(const PhysPageAddr&) const = default;
+};
+
+inline constexpr PhysPageAddr kInvalidPageAddr{};
+
+// Flat physical page number for use as map keys / array indexes.
+constexpr uint64_t LinearizePageAddr(PhysPageAddr addr, uint32_t pages_per_block) {
+  return static_cast<uint64_t>(addr.block) * pages_per_block + addr.page;
+}
+
+constexpr PhysPageAddr DelinearizePageAddr(uint64_t ppn, uint32_t pages_per_block) {
+  return PhysPageAddr{static_cast<BlockId>(ppn / pages_per_block),
+                      static_cast<uint32_t>(ppn % pages_per_block)};
+}
+
+}  // namespace flashsim
+
+#endif  // SRC_NAND_ADDRESS_H_

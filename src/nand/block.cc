@@ -1,0 +1,59 @@
+#include "src/nand/block.h"
+
+#include <cmath>
+
+namespace flashsim {
+
+void NandBlock::Heal(double recovery_fraction) {
+  if (bad_ || recovery_fraction <= 0.0) {
+    return;
+  }
+  if (recovery_fraction > 1.0) {
+    recovery_fraction = 1.0;
+  }
+  pe_cycles_ -= static_cast<uint32_t>(
+      std::floor(static_cast<double>(pe_cycles_) * recovery_fraction));
+}
+
+Status NandBlock::ProgramPage(uint32_t page, uint64_t tag) {
+  if (bad_) {
+    return UnavailableError("program to bad block");
+  }
+  if (page >= pages_per_block()) {
+    return OutOfRangeError("page index out of range");
+  }
+  if (page != write_pointer_) {
+    return FailedPreconditionError("NAND pages must be programmed in order");
+  }
+  tags_[page] = tag;
+  ++write_pointer_;
+  return Status::Ok();
+}
+
+Result<uint64_t> NandBlock::ReadTag(uint32_t page) const {
+  if (page >= pages_per_block()) {
+    return OutOfRangeError("page index out of range");
+  }
+  if (page >= write_pointer_) {
+    return FailedPreconditionError("read of unprogrammed page");
+  }
+  return tags_[page];
+}
+
+bool NandBlock::IsProgrammed(uint32_t page) const {
+  return page < write_pointer_;
+}
+
+Status NandBlock::Erase(uint32_t wear_weight) {
+  if (bad_) {
+    return UnavailableError("erase of bad block");
+  }
+  for (uint32_t i = 0; i < write_pointer_; ++i) {
+    tags_[i] = kUnwrittenTag;
+  }
+  write_pointer_ = 0;
+  pe_cycles_ += wear_weight;
+  return Status::Ok();
+}
+
+}  // namespace flashsim

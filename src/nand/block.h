@@ -1,0 +1,67 @@
+// A single NAND erase block.
+//
+// Pages within a block must be programmed strictly in order (the in-order
+// program rule of real NAND) and can only be reset by erasing the whole
+// block, which costs one P/E cycle. A block stores no user data in this
+// simulator — only a per-page 64-bit out-of-band tag, which the FTL uses for
+// its reverse map — keeping memory per simulated terabyte small.
+
+#ifndef SRC_NAND_BLOCK_H_
+#define SRC_NAND_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+inline constexpr uint64_t kUnwrittenTag = 0xffffffffffffffffull;
+
+class NandBlock {
+ public:
+  explicit NandBlock(uint32_t pages_per_block)
+      : tags_(pages_per_block, kUnwrittenTag) {}
+
+  // Number of P/E cycles this block has absorbed.
+  uint32_t pe_cycles() const { return pe_cycles_; }
+
+  // Next page index to be programmed; == pages_per_block() when full.
+  uint32_t write_pointer() const { return write_pointer_; }
+  uint32_t pages_per_block() const { return static_cast<uint32_t>(tags_.size()); }
+  bool IsFull() const { return write_pointer_ == pages_per_block(); }
+  bool IsErased() const { return write_pointer_ == 0; }
+
+  bool is_bad() const { return bad_; }
+  void MarkBad() { bad_ = true; }
+
+  // Programs the next page with `tag`. Fails if the block is bad, full, or
+  // `page` is not the current write pointer (in-order rule).
+  Status ProgramPage(uint32_t page, uint64_t tag);
+
+  // Reads the tag of a programmed page.
+  Result<uint64_t> ReadTag(uint32_t page) const;
+
+  // True if `page` has been programmed since the last erase.
+  bool IsProgrammed(uint32_t page) const;
+
+  // Erases the block: clears all pages and charges `wear_weight` P/E cycles.
+  // A weight > 1 models cells being cycled in a more stressful mode (e.g. an
+  // SLC-rated block programmed in MLC mode during hybrid pool merging).
+  Status Erase(uint32_t wear_weight = 1);
+
+  // Heat-accelerated self-healing (§2.2 of the paper, after Wu et al. /
+  // Chen et al.): annealing frees trapped charge, recovering a fraction of
+  // the accumulated wear. Does not revive bad blocks.
+  void Heal(double recovery_fraction);
+
+ private:
+  std::vector<uint64_t> tags_;
+  uint32_t write_pointer_ = 0;
+  uint32_t pe_cycles_ = 0;
+  bool bad_ = false;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_NAND_BLOCK_H_

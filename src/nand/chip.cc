@@ -1,0 +1,164 @@
+#include "src/nand/chip.h"
+
+#include <cassert>
+
+namespace flashsim {
+
+namespace {
+// Read disturb adds ~1% RBER inflation per 10K reads of a block between
+// erases — a secondary effect, modelled coarsely.
+constexpr double kReadDisturbPerRead = 1e-6;
+// Program failures are rarer than erase failures on worn blocks.
+constexpr double kProgramFailureScale = 0.25;
+}  // namespace
+
+NandChip::NandChip(NandChipConfig config, uint64_t seed)
+    : config_(std::move(config)),
+      rber_model_(config_.rber, config_.rated_pe_cycles),
+      ecc_(config_.ecc, config_.page_size_bytes),
+      rng_(seed) {
+  assert(config_.Validate().ok());
+  blocks_.reserve(config_.total_blocks());
+  for (uint32_t i = 0; i < config_.total_blocks(); ++i) {
+    blocks_.emplace_back(config_.pages_per_block);
+  }
+  reads_since_erase_.assign(config_.total_blocks(), 0);
+}
+
+double NandChip::WearFailureProbability(uint32_t pe_cycles, double scale) const {
+  const double rated = static_cast<double>(config_.rated_pe_cycles);
+  const double onset = config_.failure_onset * rated;
+  const double pe = static_cast<double>(pe_cycles);
+  if (pe <= onset) {
+    return 0.0;
+  }
+  // Linear ramp from onset to 1.5x rated, then keep climbing to a 0.5 cap so a
+  // device pushed far past EOL fails fast.
+  const double ramp_end = 1.5 * rated;
+  double p;
+  if (pe < ramp_end) {
+    p = config_.failure_ceiling * (pe - onset) / (ramp_end - onset);
+  } else {
+    p = config_.failure_ceiling + (pe - ramp_end) / rated * config_.failure_ceiling;
+  }
+  p *= scale;
+  return p > 0.5 ? 0.5 : p;
+}
+
+Status NandChip::CheckAddr(PhysPageAddr addr) const {
+  if (addr.block >= blocks_.size()) {
+    return OutOfRangeError("block index out of range");
+  }
+  if (addr.page >= config_.pages_per_block) {
+    return OutOfRangeError("page index out of range");
+  }
+  return Status::Ok();
+}
+
+Result<SimDuration> NandChip::EraseBlock(BlockId id, uint32_t wear_weight) {
+  if (id >= blocks_.size()) {
+    return OutOfRangeError("block index out of range");
+  }
+  NandBlock& blk = blocks_[id];
+  if (blk.is_bad()) {
+    return UnavailableError("erase of bad block");
+  }
+  counters_.Increment("nand.erases");
+  // The erase itself always consumes the cycle; failure is detected by the
+  // erase-verify step afterwards.
+  FLASHSIM_RETURN_IF_ERROR(blk.Erase(wear_weight));
+  reads_since_erase_[id] = 0;
+  if (rng_.Bernoulli(WearFailureProbability(blk.pe_cycles(), /*scale=*/1.0))) {
+    blk.MarkBad();
+    counters_.Increment("nand.erase_failures");
+    return UnavailableError("erase-verify failed; block retired");
+  }
+  return config_.timings.erase_block;
+}
+
+Result<SimDuration> NandChip::ProgramPage(PhysPageAddr addr, uint64_t tag) {
+  FLASHSIM_RETURN_IF_ERROR(CheckAddr(addr));
+  NandBlock& blk = blocks_[addr.block];
+  FLASHSIM_RETURN_IF_ERROR(blk.ProgramPage(addr.page, tag));
+  counters_.Increment("nand.programs");
+  if (rng_.Bernoulli(
+          WearFailureProbability(blk.pe_cycles(), kProgramFailureScale))) {
+    blk.MarkBad();
+    counters_.Increment("nand.program_failures");
+    return DataLossError("program-verify failed; block retired");
+  }
+  return config_.timings.program_page;
+}
+
+double NandChip::BlockRber(BlockId id) const {
+  const double base = rber_model_.RberAt(blocks_[id].pe_cycles());
+  const double disturb =
+      1.0 + kReadDisturbPerRead * static_cast<double>(reads_since_erase_[id]);
+  const double rber = base * disturb;
+  return rber > 1.0 ? 1.0 : rber;
+}
+
+Result<NandReadOutcome> NandChip::ReadPage(PhysPageAddr addr) {
+  FLASHSIM_RETURN_IF_ERROR(CheckAddr(addr));
+  const NandBlock& blk = blocks_[addr.block];
+  Result<uint64_t> tag = blk.ReadTag(addr.page);
+  if (!tag.ok()) {
+    return tag.status();
+  }
+  counters_.Increment("nand.reads");
+  ++reads_since_erase_[addr.block];
+  const EccOutcome ecc = ecc_.DecodePage(BlockRber(addr.block), rng_);
+  if (!ecc.correctable) {
+    counters_.Increment("nand.uncorrectable_reads");
+    return DataLossError("uncorrectable ECC error");
+  }
+  NandReadOutcome out;
+  out.tag = tag.value();
+  out.latency = config_.timings.read_page;
+  out.corrected_bits = ecc.corrected_bits;
+  return out;
+}
+
+SimDuration NandChip::AnnealAll(double recovery_fraction, SimDuration per_block_cost) {
+  SimDuration total;
+  for (NandBlock& blk : blocks_) {
+    if (blk.is_bad()) {
+      continue;
+    }
+    blk.Heal(recovery_fraction);
+    total += per_block_cost;
+  }
+  counters_.Increment("nand.anneals");
+  return total;
+}
+
+WearSummary NandChip::ComputeWearSummary() const {
+  WearSummary s;
+  s.total_blocks = static_cast<uint32_t>(blocks_.size());
+  bool first = true;
+  for (const NandBlock& blk : blocks_) {
+    if (blk.is_bad()) {
+      ++s.bad_blocks;
+    }
+    const uint32_t pe = blk.pe_cycles();
+    s.total_pe += pe;
+    if (first) {
+      s.min_pe = pe;
+      s.max_pe = pe;
+      first = false;
+    } else {
+      if (pe < s.min_pe) {
+        s.min_pe = pe;
+      }
+      if (pe > s.max_pe) {
+        s.max_pe = pe;
+      }
+    }
+  }
+  s.avg_pe = s.total_blocks == 0
+                 ? 0.0
+                 : static_cast<double>(s.total_pe) / static_cast<double>(s.total_blocks);
+  return s;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,96 @@
+// NandChip: the full NAND array of a storage device.
+//
+// The chip owns blocks (flat-indexed, striped across dies/channels), applies
+// the wear-dependent failure and raw-bit-error models to every operation, and
+// reports per-operation array latencies. It does NOT advance any clock — the
+// device-level performance model composes these latencies with bus transfer
+// and parallelism (src/blockdev/perf_model.h).
+
+#ifndef SRC_NAND_CHIP_H_
+#define SRC_NAND_CHIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nand/address.h"
+#include "src/nand/block.h"
+#include "src/nand/config.h"
+#include "src/nand/error_model.h"
+#include "src/simcore/rng.h"
+#include "src/simcore/sim_time.h"
+#include "src/simcore/stats.h"
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+// Result of a page read: the OOB tag plus array latency and ECC statistics.
+struct NandReadOutcome {
+  uint64_t tag = kUnwrittenTag;
+  SimDuration latency;
+  uint32_t corrected_bits = 0;
+};
+
+// Aggregate wear state across the array.
+struct WearSummary {
+  uint32_t min_pe = 0;
+  uint32_t max_pe = 0;
+  double avg_pe = 0.0;
+  uint64_t total_pe = 0;
+  uint32_t bad_blocks = 0;
+  uint32_t total_blocks = 0;
+};
+
+class NandChip {
+ public:
+  // `config` must be valid (see NandChipConfig::Validate); `seed` fixes the
+  // error-injection stream.
+  NandChip(NandChipConfig config, uint64_t seed);
+
+  const NandChipConfig& config() const { return config_; }
+
+  // Erases `block`, charging `wear_weight` P/E cycles (see NandBlock::Erase).
+  // Wear-dependent chance of failure; on failure the block is marked bad and
+  // kUnavailable is returned.
+  Result<SimDuration> EraseBlock(BlockId block, uint32_t wear_weight = 1);
+
+  // Programs the page at `addr` with OOB tag `tag` (in-order within block).
+  // Wear-dependent chance of program failure; on failure the block is marked
+  // bad and kDataLoss is returned (content is lost, caller must re-issue).
+  Result<SimDuration> ProgramPage(PhysPageAddr addr, uint64_t tag);
+
+  // Reads the page at `addr`, running the ECC model. Returns kDataLoss when
+  // raw bit errors exceed the correction budget.
+  Result<NandReadOutcome> ReadPage(PhysPageAddr addr);
+
+  // Accessors.
+  const NandBlock& block(BlockId id) const { return blocks_[id]; }
+  uint32_t DieOfBlock(BlockId id) const { return id % config_.dies(); }
+  uint32_t ChannelOfBlock(BlockId id) const { return DieOfBlock(id) % config_.channels; }
+
+  // Current raw bit error rate of `block`, including read-disturb inflation.
+  double BlockRber(BlockId id) const;
+
+  // Anneals every good block, recovering `recovery_fraction` of accumulated
+  // wear (heat-accelerated self-healing, §2.2). Returns the time the anneal
+  // pass takes; the device is unavailable for I/O during it.
+  SimDuration AnnealAll(double recovery_fraction, SimDuration per_block_cost);
+
+  WearSummary ComputeWearSummary() const;
+  const CounterSet& counters() const { return counters_; }
+
+ private:
+  double WearFailureProbability(uint32_t pe_cycles, double scale) const;
+  Status CheckAddr(PhysPageAddr addr) const;
+
+  NandChipConfig config_;
+  RberModel rber_model_;
+  EccEngine ecc_;
+  Rng rng_;
+  std::vector<NandBlock> blocks_;
+  std::vector<uint32_t> reads_since_erase_;
+  CounterSet counters_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_NAND_CHIP_H_

@@ -1,0 +1,92 @@
+#include "src/nand/config.h"
+
+namespace flashsim {
+
+const char* CellTypeName(CellType type) {
+  switch (type) {
+    case CellType::kSlc:
+      return "SLC";
+    case CellType::kMlc:
+      return "MLC";
+    case CellType::kTlc:
+      return "TLC";
+  }
+  return "UNKNOWN";
+}
+
+NandTimings DefaultTimingsFor(CellType type) {
+  NandTimings t;
+  switch (type) {
+    case CellType::kSlc:
+      t.read_page = SimDuration::Micros(25);
+      t.program_page = SimDuration::Micros(220);
+      t.erase_block = SimDuration::Micros(1500);
+      break;
+    case CellType::kMlc:
+      t.read_page = SimDuration::Micros(50);
+      t.program_page = SimDuration::Micros(800);
+      t.erase_block = SimDuration::Millis(3);
+      break;
+    case CellType::kTlc:
+      t.read_page = SimDuration::Micros(75);
+      t.program_page = SimDuration::Micros(1500);
+      t.erase_block = SimDuration::Millis(4);
+      break;
+  }
+  return t;
+}
+
+Status NandChipConfig::Validate() const {
+  if (channels == 0 || dies_per_channel == 0 || blocks_per_die == 0 ||
+      pages_per_block == 0 || page_size_bytes == 0) {
+    return InvalidArgumentError("NAND geometry fields must all be nonzero");
+  }
+  if (!IsPowerOfTwo(page_size_bytes)) {
+    return InvalidArgumentError("page_size_bytes must be a power of two");
+  }
+  if (rated_pe_cycles == 0) {
+    return InvalidArgumentError("rated_pe_cycles must be nonzero");
+  }
+  if (ecc.codeword_bytes == 0 || ecc.codeword_bytes > page_size_bytes) {
+    return InvalidArgumentError("ECC codeword must be nonzero and fit in a page");
+  }
+  if (rber.base_rber < 0 || rber.growth_rber < 0 || rber.exponent <= 0) {
+    return InvalidArgumentError("RBER model parameters out of range");
+  }
+  if (failure_ceiling < 0 || failure_ceiling > 1 || failure_onset < 0) {
+    return InvalidArgumentError("failure model parameters out of range");
+  }
+  return Status::Ok();
+}
+
+NandChipConfig MakeSlcConfig() {
+  NandChipConfig c;
+  c.name = "generic-slc";
+  c.cell_type = CellType::kSlc;
+  c.rated_pe_cycles = 100000;
+  c.timings = DefaultTimingsFor(CellType::kSlc);
+  c.rber.base_rber = 1e-8;
+  c.rber.growth_rber = 1e-4;
+  return c;
+}
+
+NandChipConfig MakeMlcConfig() {
+  NandChipConfig c;
+  c.name = "generic-mlc";
+  c.cell_type = CellType::kMlc;
+  c.rated_pe_cycles = 3000;
+  c.timings = DefaultTimingsFor(CellType::kMlc);
+  return c;
+}
+
+NandChipConfig MakeTlcConfig() {
+  NandChipConfig c;
+  c.name = "generic-tlc";
+  c.cell_type = CellType::kTlc;
+  c.rated_pe_cycles = 1000;
+  c.timings = DefaultTimingsFor(CellType::kTlc);
+  c.rber.growth_rber = 8e-4;
+  return c;
+}
+
+}  // namespace flashsim

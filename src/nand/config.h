@@ -1,0 +1,102 @@
+// NAND flash chip configuration: cell technology, geometry, timing, and the
+// parameters of the wear/error model.
+//
+// The model follows the standard structure of mobile NAND (cf. §2.1 of the
+// paper): a chip is a set of dies on channels; dies contain blocks; blocks
+// contain pages that must be programmed in order and erased as a unit. Cell
+// technology (SLC/MLC/TLC) sets rated endurance and raw-bit-error behaviour.
+
+#ifndef SRC_NAND_CONFIG_H_
+#define SRC_NAND_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/simcore/sim_time.h"
+#include "src/simcore/status.h"
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+// Bits stored per cell. Denser cells are slower and endure fewer P/E cycles.
+enum class CellType { kSlc = 1, kMlc = 2, kTlc = 3 };
+
+const char* CellTypeName(CellType type);
+
+// Per-operation NAND array timings (exclusive of bus transfer and controller
+// overhead, which belong to the device-level performance model).
+struct NandTimings {
+  SimDuration read_page = SimDuration::Micros(50);
+  SimDuration program_page = SimDuration::Micros(800);
+  SimDuration erase_block = SimDuration::Millis(3);
+};
+
+// Returns typical array timings for a cell technology.
+NandTimings DefaultTimingsFor(CellType type);
+
+// Raw bit error rate model:
+//   rber(pe) = base + growth * (pe / rated_endurance)^exponent
+// This captures the empirical shape of NAND wear curves: near-flat while
+// young, polynomial blow-up approaching and past rated endurance.
+struct RberModelParams {
+  double base_rber = 1e-7;
+  double growth_rber = 4e-4;
+  double exponent = 3.0;
+};
+
+// ECC configuration: a BCH-like code protecting `codeword_bytes` chunks and
+// correcting up to `correctable_bits` errors per codeword.
+struct EccConfig {
+  uint32_t codeword_bytes = 1024;
+  uint32_t correctable_bits = 40;
+};
+
+// Full chip configuration.
+struct NandChipConfig {
+  std::string name = "generic-mlc";
+  CellType cell_type = CellType::kMlc;
+
+  // Geometry. Total capacity = channels * dies_per_channel * blocks_per_die *
+  // pages_per_block * page_size_bytes.
+  uint32_t channels = 2;
+  uint32_t dies_per_channel = 2;
+  uint32_t blocks_per_die = 512;
+  uint32_t pages_per_block = 128;
+  uint32_t page_size_bytes = 4096;
+
+  // Rated program/erase cycles before the block is expected to become
+  // unreliable. 100K for SLC, 3K for typical mobile MLC, ~1K for TLC (§2.1).
+  uint32_t rated_pe_cycles = 3000;
+
+  // Erase/program failures ramp from zero at `failure_onset` * rated cycles to
+  // `failure_ceiling` probability at 1.5x rated cycles.
+  double failure_onset = 1.0;
+  double failure_ceiling = 0.05;
+
+  NandTimings timings = DefaultTimingsFor(CellType::kMlc);
+  RberModelParams rber;
+  EccConfig ecc;
+
+  uint32_t dies() const { return channels * dies_per_channel; }
+  uint32_t total_blocks() const { return dies() * blocks_per_die; }
+  uint64_t block_size_bytes() const {
+    return static_cast<uint64_t>(pages_per_block) * page_size_bytes;
+  }
+  uint64_t total_bytes() const { return total_blocks() * block_size_bytes(); }
+  uint64_t total_pages() const {
+    return static_cast<uint64_t>(total_blocks()) * pages_per_block;
+  }
+
+  // Checks geometry and model parameters for consistency.
+  Status Validate() const;
+};
+
+// Convenience constructors for the three cell technologies, with endurance and
+// timings set to representative values.
+NandChipConfig MakeSlcConfig();
+NandChipConfig MakeMlcConfig();
+NandChipConfig MakeTlcConfig();
+
+}  // namespace flashsim
+
+#endif  // SRC_NAND_CONFIG_H_

@@ -1,0 +1,42 @@
+#include "src/nand/error_model.h"
+
+#include <cmath>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+double RberModel::RberAt(uint32_t pe_cycles) const {
+  const double wear_ratio =
+      static_cast<double>(pe_cycles) / static_cast<double>(rated_pe_cycles_);
+  const double rber = params_.base_rber +
+                      params_.growth_rber * std::pow(wear_ratio, params_.exponent);
+  return rber > 1.0 ? 1.0 : rber;
+}
+
+EccEngine::EccEngine(EccConfig config, uint32_t page_size_bytes)
+    : config_(config),
+      codewords_per_page_(static_cast<uint32_t>(
+          CeilDiv(page_size_bytes, config.codeword_bytes))),
+      bits_per_codeword_(static_cast<uint64_t>(config.codeword_bytes) * 8) {}
+
+EccOutcome EccEngine::DecodePage(double rber, Rng& rng) const {
+  EccOutcome outcome;
+  for (uint32_t cw = 0; cw < codewords_per_page_; ++cw) {
+    const uint64_t errors = rng.Binomial(bits_per_codeword_, rber);
+    outcome.raw_bit_errors += static_cast<uint32_t>(errors);
+    if (errors > config_.correctable_bits) {
+      outcome.correctable = false;
+    } else {
+      outcome.corrected_bits += static_cast<uint32_t>(errors);
+    }
+  }
+  return outcome;
+}
+
+double EccEngine::SaturationRber() const {
+  return static_cast<double>(config_.correctable_bits) /
+         static_cast<double>(bits_per_codeword_);
+}
+
+}  // namespace flashsim

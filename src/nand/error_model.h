@@ -1,0 +1,64 @@
+// Raw-bit-error-rate model and ECC engine.
+//
+// RberModel maps a block's accumulated P/E cycles to a raw bit error rate.
+// EccEngine samples the number of raw bit errors in a page read and decides
+// whether the configured code can correct them. Together they provide the
+// mechanism by which worn blocks start producing uncorrectable errors —
+// exactly the failure mode §2.1 of the paper describes.
+
+#ifndef SRC_NAND_ERROR_MODEL_H_
+#define SRC_NAND_ERROR_MODEL_H_
+
+#include <cstdint>
+
+#include "src/nand/config.h"
+#include "src/simcore/rng.h"
+
+namespace flashsim {
+
+// Deterministic RBER curve: rber(pe) = base + growth * (pe/rated)^exponent.
+class RberModel {
+ public:
+  RberModel(RberModelParams params, uint32_t rated_pe_cycles)
+      : params_(params), rated_pe_cycles_(rated_pe_cycles) {}
+
+  // Raw bit error rate for a block that has seen `pe_cycles` program/erase
+  // cycles. Monotonically nondecreasing in pe_cycles.
+  double RberAt(uint32_t pe_cycles) const;
+
+ private:
+  RberModelParams params_;
+  uint32_t rated_pe_cycles_;
+};
+
+// Outcome of running ECC decode over one page.
+struct EccOutcome {
+  bool correctable = true;
+  uint32_t raw_bit_errors = 0;   // sampled raw errors across the page
+  uint32_t corrected_bits = 0;   // bits fixed (== raw errors when correctable)
+};
+
+// Samples raw errors per codeword and applies the correction budget.
+class EccEngine {
+ public:
+  EccEngine(EccConfig config, uint32_t page_size_bytes);
+
+  // Decodes one page read at raw bit error rate `rber`. A page is
+  // uncorrectable if any of its codewords exceeds the per-codeword budget.
+  EccOutcome DecodePage(double rber, Rng& rng) const;
+
+  // RBER at which the *expected* raw errors per codeword equal the correction
+  // budget — a useful threshold for tests and health heuristics.
+  double SaturationRber() const;
+
+  uint32_t codewords_per_page() const { return codewords_per_page_; }
+
+ private:
+  EccConfig config_;
+  uint32_t codewords_per_page_;
+  uint64_t bits_per_codeword_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_NAND_ERROR_MODEL_H_

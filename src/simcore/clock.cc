@@ -1,0 +1,27 @@
+#include "src/simcore/clock.h"
+
+#include <cassert>
+
+namespace flashsim {
+
+void SimClock::Advance(SimDuration d) {
+  assert(d.nanos() >= 0);
+  now_ += d;
+}
+
+void SimClock::AdvanceWithCategory(SimDuration d, const std::string& category) {
+  Advance(d);
+  category_totals_[category] += d;
+}
+
+SimDuration SimClock::CategoryTotal(const std::string& category) const {
+  auto it = category_totals_.find(category);
+  return it == category_totals_.end() ? SimDuration() : it->second;
+}
+
+void SimClock::Reset() {
+  now_ = SimTime();
+  category_totals_.clear();
+}
+
+}  // namespace flashsim

@@ -1,0 +1,47 @@
+// Discrete simulated clock.
+//
+// The simulation is service-time driven rather than event-queue driven: each
+// device operation computes its service time and advances the shared clock.
+// A SimClock is therefore just a monotonically advancing instant plus
+// bookkeeping for how much time was spent in named categories.
+
+#ifndef SRC_SIMCORE_CLOCK_H_
+#define SRC_SIMCORE_CLOCK_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/simcore/sim_time.h"
+
+namespace flashsim {
+
+// Monotonic simulated clock shared by a device stack.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  // Current simulated instant.
+  SimTime Now() const { return now_; }
+
+  // Advances the clock by `d` (which must be non-negative).
+  void Advance(SimDuration d);
+
+  // Advances the clock and attributes the time to `category` for reporting
+  // (e.g. "program", "erase", "bus").
+  void AdvanceWithCategory(SimDuration d, const std::string& category);
+
+  // Total simulated time attributed to `category` so far.
+  SimDuration CategoryTotal(const std::string& category) const;
+
+  // Resets the clock to zero and clears category accounting.
+  void Reset();
+
+ private:
+  SimTime now_;
+  std::map<std::string, SimDuration> category_totals_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_CLOCK_H_

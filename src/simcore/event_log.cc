@@ -1,0 +1,54 @@
+#include "src/simcore/event_log.h"
+
+namespace flashsim {
+
+const char* EventSeverityName(EventSeverity severity) {
+  switch (severity) {
+    case EventSeverity::kDebug:
+      return "DEBUG";
+    case EventSeverity::kInfo:
+      return "INFO";
+    case EventSeverity::kWarning:
+      return "WARNING";
+    case EventSeverity::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+void EventLog::Append(SimTime time, EventSeverity severity, std::string component,
+                      std::string message) {
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(Event{time, severity, std::move(component), std::move(message)});
+}
+
+std::vector<Event> EventLog::Filter(const std::string& component,
+                                    EventSeverity min_severity) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.component == component && e.severity >= min_severity) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+uint64_t EventLog::CountAtSeverity(EventSeverity severity) const {
+  uint64_t n = 0;
+  for (const Event& e : events_) {
+    if (e.severity == severity) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void EventLog::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace flashsim

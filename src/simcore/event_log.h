@@ -1,0 +1,58 @@
+// Bounded in-memory event log for device/FTL/OS events.
+//
+// Components append timestamped events; tests and tools inspect or dump them.
+// The log is a ring: when full, the oldest events are dropped (and counted),
+// so long experiments cannot exhaust memory.
+
+#ifndef SRC_SIMCORE_EVENT_LOG_H_
+#define SRC_SIMCORE_EVENT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/simcore/sim_time.h"
+
+namespace flashsim {
+
+enum class EventSeverity { kDebug, kInfo, kWarning, kError };
+
+const char* EventSeverityName(EventSeverity severity);
+
+struct Event {
+  SimTime time;
+  EventSeverity severity = EventSeverity::kInfo;
+  std::string component;  // e.g. "ftl", "emmc", "fs.logfs"
+  std::string message;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Append(SimTime time, EventSeverity severity, std::string component,
+              std::string message);
+
+  size_t size() const { return events_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  const std::deque<Event>& events() const { return events_; }
+
+  // Events from `component` at `min_severity` or above, oldest first.
+  std::vector<Event> Filter(const std::string& component,
+                            EventSeverity min_severity = EventSeverity::kDebug) const;
+
+  // Count of events at exactly `severity`.
+  uint64_t CountAtSeverity(EventSeverity severity) const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::deque<Event> events_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_EVENT_LOG_H_

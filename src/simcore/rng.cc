@@ -1,0 +1,125 @@
+#include "src/simcore/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace flashsim {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) { Reseed(seed); }
+
+void Rng::Reseed(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(s);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+uint64_t Rng::UniformInRange(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  return lo + UniformU64(hi - lo + 1);
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return UniformDouble() < p;
+}
+
+uint64_t Rng::Binomial(uint64_t trials, double p) {
+  if (trials == 0 || p <= 0.0) {
+    return 0;
+  }
+  if (p >= 1.0) {
+    return trials;
+  }
+  const double mean = static_cast<double>(trials) * p;
+  if (mean < 16.0) {
+    // Poisson-like regime: inversion by sequential search on the CDF is O(mean).
+    // For very small p over huge `trials` this is both exact enough and fast.
+    // Draw from Poisson(mean) as the standard small-p approximation, clamped.
+    double l = std::exp(-mean);
+    uint64_t k = 0;
+    double prod = UniformDouble();
+    while (prod > l && k < trials) {
+      ++k;
+      prod *= UniformDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction.
+  const double variance = mean * (1.0 - p);
+  double sample = mean + std::sqrt(variance) * Gaussian() + 0.5;
+  if (sample < 0.0) {
+    return 0;
+  }
+  const uint64_t value = static_cast<uint64_t>(sample);
+  return value > trials ? trials : value;
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  double u = UniformDouble();
+  if (u < 1e-300) {
+    u = 1e-300;
+  }
+  return -mean * std::log(u);
+}
+
+}  // namespace flashsim

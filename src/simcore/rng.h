@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We use xoshiro256** — fast, high quality, and trivially seedable — so every
+// experiment is reproducible from a single uint64 seed. Distribution helpers
+// cover the needs of the flash model: uniform ints/doubles, Bernoulli trials,
+// and an efficient binomial sampler for bit-error injection over large
+// codewords (exact for small n, normal approximation for large n).
+
+#ifndef SRC_SIMCORE_RNG_H_
+#define SRC_SIMCORE_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+namespace flashsim {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  // Seeds the state via splitmix64 so any seed (including 0) is usable.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Next raw 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform integer in [0, bound). Requires bound > 0. Uses rejection
+  // sampling, so the result is unbiased.
+  uint64_t UniformU64(uint64_t bound);
+
+  // Uniform integer in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Number of successes among `trials` independent trials of probability `p`.
+  // Exact inversion for small `trials * p`, Gaussian approximation otherwise;
+  // always clamped to [0, trials].
+  uint64_t Binomial(uint64_t trials, double p);
+
+  // Standard normal variate (Box-Muller).
+  double Gaussian();
+
+  // Exponentially distributed variate with the given mean. Requires mean > 0.
+  double Exponential(double mean);
+
+  // Re-seeds the generator, resetting its stream.
+  void Reseed(uint64_t seed);
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_RNG_H_

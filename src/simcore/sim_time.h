@@ -1,0 +1,80 @@
+// Simulated-time types.
+//
+// The simulator keeps time as integer nanoseconds since simulation start.
+// Strong typedefs keep durations and instants from mixing with byte counts,
+// while staying trivially copyable and cheap.
+
+#ifndef SRC_SIMCORE_SIM_TIME_H_
+#define SRC_SIMCORE_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace flashsim {
+
+// A span of simulated time, in nanoseconds. Value type; supports arithmetic.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr SimDuration Nanos(int64_t n) { return SimDuration(n); }
+  static constexpr SimDuration Micros(int64_t n) { return SimDuration(n * 1000); }
+  static constexpr SimDuration Millis(int64_t n) { return SimDuration(n * 1000000); }
+  static constexpr SimDuration Seconds(int64_t n) { return SimDuration(n * 1000000000); }
+  static constexpr SimDuration Minutes(int64_t n) { return Seconds(n * 60); }
+  static constexpr SimDuration Hours(int64_t n) { return Seconds(n * 3600); }
+
+  // Builds a duration from a fractional second count (rounded to nanoseconds).
+  static constexpr SimDuration FromSecondsF(double seconds) {
+    return SimDuration(static_cast<int64_t>(seconds * 1e9));
+  }
+
+  constexpr int64_t nanos() const { return nanos_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(nanos_) / 1e9; }
+  constexpr double ToHoursF() const { return ToSecondsF() / 3600.0; }
+
+  constexpr SimDuration operator+(SimDuration other) const {
+    return SimDuration(nanos_ + other.nanos_);
+  }
+  constexpr SimDuration operator-(SimDuration other) const {
+    return SimDuration(nanos_ - other.nanos_);
+  }
+  constexpr SimDuration operator*(int64_t k) const { return SimDuration(nanos_ * k); }
+  constexpr SimDuration& operator+=(SimDuration other) {
+    nanos_ += other.nanos_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+ private:
+  int64_t nanos_ = 0;
+};
+
+// An instant on the simulated clock, nanoseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(int64_t nanos) : nanos_(nanos) {}
+
+  constexpr int64_t nanos() const { return nanos_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(nanos_) / 1e9; }
+  constexpr double ToHoursF() const { return ToSecondsF() / 3600.0; }
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(nanos_ + d.nanos()); }
+  constexpr SimDuration operator-(SimTime other) const {
+    return SimDuration(nanos_ - other.nanos_);
+  }
+  constexpr SimTime& operator+=(SimDuration d) {
+    nanos_ += d.nanos();
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  int64_t nanos_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_SIM_TIME_H_

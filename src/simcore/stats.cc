@@ -1,0 +1,97 @@
+#include "src/simcore/stats.h"
+
+#include <bit>
+#include <cmath>
+
+namespace flashsim {
+
+void RunningStats::Add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    if (sample < min_) {
+      min_ = sample;
+    }
+    if (sample > max_) {
+      max_ = sample;
+    }
+  }
+  ++count_;
+  sum_ += sample;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+void LogHistogram::Add(uint64_t sample) {
+  const int bucket = sample == 0 ? 0 : 63 - std::countl_zero(sample);
+  buckets_[static_cast<size_t>(bucket)] += 1;
+  ++total_;
+}
+
+uint64_t LogHistogram::ApproxQuantile(double q) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return i == 0 ? 0 : (1ull << i);
+    }
+  }
+  return 1ull << 63;
+}
+
+void LogHistogram::Reset() {
+  buckets_.fill(0);
+  total_ = 0;
+}
+
+void RateMeter::Record(uint64_t bytes, SimDuration elapsed) {
+  total_bytes_ += bytes;
+  total_time_ += elapsed;
+  ++operations_;
+}
+
+double RateMeter::MiBPerSec() const {
+  const double seconds = total_time_.ToSecondsF();
+  if (seconds <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_bytes_) / (1024.0 * 1024.0) / seconds;
+}
+
+void RateMeter::Reset() { *this = RateMeter(); }
+
+void CounterSet::Increment(const std::string& name, uint64_t delta) {
+  counters_[name] += delta;
+}
+
+uint64_t CounterSet::Get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterSet::Reset() { counters_.clear(); }
+
+}  // namespace flashsim

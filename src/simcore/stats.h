@@ -1,0 +1,101 @@
+// Streaming statistics containers used across the simulator:
+//  - RunningStats: count/mean/variance/min/max without storing samples.
+//  - LogHistogram: power-of-two bucketed histogram for latencies/sizes.
+//  - RateMeter: bytes-over-simulated-time bandwidth accounting.
+//  - Counter: named monotonic counters grouped in a CounterSet.
+
+#ifndef SRC_SIMCORE_STATS_H_
+#define SRC_SIMCORE_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/simcore/sim_time.h"
+
+namespace flashsim {
+
+// Welford-style running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void Add(double sample);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  void Reset();
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Histogram with 64 power-of-two buckets: bucket i counts samples in
+// [2^i, 2^(i+1)). Sample 0 lands in bucket 0.
+class LogHistogram {
+ public:
+  void Add(uint64_t sample);
+
+  uint64_t TotalCount() const { return total_; }
+  uint64_t BucketCount(int bucket) const { return buckets_.at(static_cast<size_t>(bucket)); }
+
+  // Approximate quantile (q in [0,1]): returns the lower bound of the bucket
+  // containing the q-th sample. Returns 0 when empty.
+  uint64_t ApproxQuantile(double q) const;
+
+  void Reset();
+
+ private:
+  std::array<uint64_t, 64> buckets_ = {};
+  uint64_t total_ = 0;
+};
+
+// Accumulates bytes transferred against simulated elapsed time and reports
+// mean bandwidth. The caller supplies both sides explicitly, so the meter is
+// independent of any particular clock instance.
+class RateMeter {
+ public:
+  void Record(uint64_t bytes, SimDuration elapsed);
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  SimDuration total_time() const { return total_time_; }
+  uint64_t operations() const { return operations_; }
+
+  // Mean bandwidth in MiB per simulated second; 0 if no time has elapsed.
+  double MiBPerSec() const;
+
+  void Reset();
+
+ private:
+  uint64_t total_bytes_ = 0;
+  uint64_t operations_ = 0;
+  SimDuration total_time_;
+};
+
+// A set of named monotonic counters, for device/FTL introspection dumps.
+class CounterSet {
+ public:
+  void Increment(const std::string& name, uint64_t delta = 1);
+  uint64_t Get(const std::string& name) const;
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  void Reset();
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_STATS_H_

@@ -1,0 +1,110 @@
+// Lightweight error propagation without exceptions.
+//
+// Device operations can fail for reasons the caller must handle (device worn
+// out, out of space, I/O rejected). Status carries a code and message;
+// Result<T> carries either a value or a Status. Modeled on absl::Status but
+// self-contained.
+
+#ifndef SRC_SIMCORE_STATUS_H_
+#define SRC_SIMCORE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace flashsim {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,    // no free space / no free blocks
+  kFailedPrecondition,   // e.g. file not open
+  kDataLoss,             // uncorrectable ECC error
+  kUnavailable,          // device is read-only or bricked
+  kPermissionDenied,     // sandbox / rate-limit rejection
+  kInternal,
+};
+
+// Human-readable name for a status code, e.g. "DATA_LOSS".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status OutOfRangeError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status DataLossError(std::string message);
+Status UnavailableError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status InternalError(std::string message);
+
+// Either a T or an error Status. Access to value() requires ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagates a non-OK status from an expression to the caller.
+#define FLASHSIM_RETURN_IF_ERROR(expr)          \
+  do {                                          \
+    ::flashsim::Status _st = (expr);            \
+    if (!_st.ok()) {                            \
+      return _st;                               \
+    }                                           \
+  } while (false)
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_STATUS_H_

@@ -1,0 +1,29 @@
+#include "src/simcore/units.h"
+
+#include <cstdio>
+
+namespace flashsim {
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kTiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f TiB", static_cast<double>(bytes) / kTiB);
+  } else if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", static_cast<double>(bytes) / kGiB);
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", static_cast<double>(bytes) / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatBandwidthMiBps(double mib_per_sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f MiB/s", mib_per_sec);
+  return buf;
+}
+
+}  // namespace flashsim

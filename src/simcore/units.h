@@ -1,0 +1,59 @@
+// Byte-count units and human-readable formatting helpers.
+//
+// Everything in the simulator that measures data volume uses plain uint64_t
+// byte counts; this header supplies the constants and conversion/formatting
+// utilities so call sites can say `4 * kKiB` instead of magic numbers.
+
+#ifndef SRC_SIMCORE_UNITS_H_
+#define SRC_SIMCORE_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flashsim {
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+inline constexpr uint64_t kTiB = 1024ull * kGiB;
+
+// Converts a byte count to fractional GiB (for reporting).
+constexpr double BytesToGiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGiB);
+}
+
+// Converts a byte count to fractional MiB (for reporting).
+constexpr double BytesToMiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+// Renders a byte count with an adaptive unit suffix, e.g. "512 B", "4.0 KiB",
+// "992.4 GiB". Two decimal places above KiB.
+std::string FormatBytes(uint64_t bytes);
+
+// Renders a bandwidth figure in MiB/s with two decimal places.
+std::string FormatBandwidthMiBps(double mib_per_sec);
+
+// Integer ceiling division. Requires divisor != 0.
+constexpr uint64_t CeilDiv(uint64_t dividend, uint64_t divisor) {
+  return (dividend + divisor - 1) / divisor;
+}
+
+// Rounds `value` up to the next multiple of `multiple`. Requires multiple != 0.
+constexpr uint64_t RoundUp(uint64_t value, uint64_t multiple) {
+  return CeilDiv(value, multiple) * multiple;
+}
+
+// Rounds `value` down to a multiple of `multiple`. Requires multiple != 0.
+constexpr uint64_t RoundDown(uint64_t value, uint64_t multiple) {
+  return (value / multiple) * multiple;
+}
+
+// True iff `value` is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_UNITS_H_

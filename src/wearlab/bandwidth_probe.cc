@@ -1,0 +1,74 @@
+#include "src/wearlab/bandwidth_probe.h"
+
+#include <algorithm>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+const char* AccessPatternName(AccessPattern pattern) {
+  return pattern == AccessPattern::kSequential ? "sequential" : "random";
+}
+
+std::vector<uint64_t> Figure1RequestSizes() {
+  // 0.5 KiB to 16 MiB, powers of two — the x-axis of Figure 1.
+  std::vector<uint64_t> sizes;
+  for (uint64_t s = 512; s <= 16 * kMiB; s *= 2) {
+    sizes.push_back(s);
+  }
+  return sizes;
+}
+
+BandwidthResult RunBandwidthProbe(BlockDevice& device, const BandwidthProbeConfig& cfg) {
+  BandwidthResult result;
+  const uint64_t region =
+      std::min(cfg.region_bytes, RoundDown(device.CapacityBytes(), cfg.request_bytes));
+  if (region < cfg.request_bytes) {
+    result.status = InvalidArgumentError("probe region smaller than one request");
+    return result;
+  }
+  Rng rng(cfg.seed);
+  const uint64_t slots = region / cfg.request_bytes;
+
+  // For read probes, populate the region first (off the clock budget: we
+  // measure from after the prefill).
+  if (cfg.kind == IoKind::kRead) {
+    for (uint64_t off = 0; off < region; off += 16 * kMiB) {
+      IoRequest fill{IoKind::kWrite, off, std::min<uint64_t>(16 * kMiB, region - off)};
+      Result<IoCompletion> done = device.Submit(fill);
+      if (!done.ok()) {
+        result.status = done.status();
+        return result;
+      }
+    }
+  }
+
+  const SimTime start = device.clock().Now();
+  uint64_t issued = 0;
+  uint64_t seq_cursor = 0;
+  while (issued < cfg.total_bytes) {
+    uint64_t slot;
+    if (cfg.pattern == AccessPattern::kSequential) {
+      slot = seq_cursor++ % slots;
+    } else {
+      slot = rng.UniformU64(slots);
+    }
+    IoRequest req{cfg.kind, slot * cfg.request_bytes, cfg.request_bytes};
+    Result<IoCompletion> done = device.Submit(req);
+    if (!done.ok()) {
+      result.status = done.status();
+      return result;
+    }
+    issued += cfg.request_bytes;
+  }
+  const SimDuration elapsed = device.clock().Now() - start;
+  result.bytes_moved = issued;
+  result.elapsed = elapsed;
+  result.mib_per_sec =
+      elapsed.ToSecondsF() > 0
+          ? static_cast<double>(issued) / (1024.0 * 1024.0) / elapsed.ToSecondsF()
+          : 0.0;
+  return result;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,49 @@
+// BandwidthProbe: the Figure 1 micro-benchmark harness.
+//
+// Measures sustained synchronous write (or read) bandwidth of a device for a
+// given request size and access pattern, by issuing enough requests over a
+// bounded region to reach steady state and dividing bytes by simulated time.
+
+#ifndef SRC_WEARLAB_BANDWIDTH_PROBE_H_
+#define SRC_WEARLAB_BANDWIDTH_PROBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/simcore/rng.h"
+
+namespace flashsim {
+
+enum class AccessPattern { kSequential, kRandom };
+
+const char* AccessPatternName(AccessPattern pattern);
+
+struct BandwidthProbeConfig {
+  IoKind kind = IoKind::kWrite;
+  AccessPattern pattern = AccessPattern::kSequential;
+  uint64_t request_bytes = 4096;
+  // Bounded working region (like the paper's test files).
+  uint64_t region_bytes = 256ull * 1024 * 1024;
+  // Total volume to push through before measuring stops.
+  uint64_t total_bytes = 64ull * 1024 * 1024;
+  uint64_t seed = 42;
+};
+
+struct BandwidthResult {
+  double mib_per_sec = 0.0;
+  uint64_t bytes_moved = 0;
+  SimDuration elapsed;
+  Status status;  // non-OK if the device failed mid-probe
+};
+
+// Runs one probe. The region is clamped to the device capacity; for reads
+// the region is written once first so reads hit mapped pages.
+BandwidthResult RunBandwidthProbe(BlockDevice& device, const BandwidthProbeConfig& cfg);
+
+// The request-size sweep of Figure 1 (0.5 KiB ... 16 MiB by default).
+std::vector<uint64_t> Figure1RequestSizes();
+
+}  // namespace flashsim
+
+#endif  // SRC_WEARLAB_BANDWIDTH_PROBE_H_

@@ -1,0 +1,78 @@
+#include "src/wearlab/csv.h"
+
+#include <cstdio>
+
+namespace flashsim {
+
+std::string CsvEscape(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) {
+    return value;
+  }
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void WriteCsvRow(std::ostream& os, const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    os << CsvEscape(cells[i]);
+  }
+  os << '\n';
+}
+
+namespace {
+std::string FmtF(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+}  // namespace
+
+void WriteTransitionsCsv(std::ostream& os, const std::string& device_name,
+                         const std::vector<WearTransition>& transitions,
+                         double volume_factor) {
+  WriteCsvRow(os, {"device", "type", "from_level", "to_level", "host_bytes",
+                   "hours", "write_amplification", "pattern", "utilization",
+                   "rewrite_utilized"});
+  for (const WearTransition& t : transitions) {
+    WriteCsvRow(os, {device_name, WearTypeName(t.type), std::to_string(t.from_level),
+                     std::to_string(t.to_level),
+                     FmtF(static_cast<double>(t.host_bytes) * volume_factor),
+                     FmtF(t.hours * volume_factor), FmtF(t.write_amplification),
+                     t.pattern_label, FmtF(t.utilization),
+                     t.rewrite_utilized ? "1" : "0"});
+  }
+}
+
+void WritePhoneRowsCsv(std::ostream& os, const std::string& device_name,
+                       const std::string& fs_name,
+                       const std::vector<PhoneWearRow>& rows, double volume_factor) {
+  WriteCsvRow(os, {"device", "fs", "from_level", "to_level", "app_bytes", "hours"});
+  for (const PhoneWearRow& row : rows) {
+    WriteCsvRow(os, {device_name, fs_name, std::to_string(row.from_level),
+                     std::to_string(row.to_level),
+                     FmtF(static_cast<double>(row.app_bytes) * volume_factor),
+                     FmtF(row.hours * volume_factor)});
+  }
+}
+
+void WriteBandwidthCsv(std::ostream& os, const std::string& device_name,
+                       const std::string& pattern,
+                       const std::vector<std::pair<uint64_t, double>>& series) {
+  WriteCsvRow(os, {"device", "pattern", "request_bytes", "mib_per_sec"});
+  for (const auto& [size, bw] : series) {
+    WriteCsvRow(os, {device_name, pattern, std::to_string(size), FmtF(bw)});
+  }
+}
+
+}  // namespace flashsim

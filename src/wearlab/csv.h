@@ -1,0 +1,41 @@
+// CSV serialization for experiment results, so bench output can be piped
+// into plotting tools to regenerate the paper's figures graphically.
+
+#ifndef SRC_WEARLAB_CSV_H_
+#define SRC_WEARLAB_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/wearlab/phone.h"
+#include "src/wearlab/wearout_experiment.h"
+
+namespace flashsim {
+
+// Escapes a value for CSV (quotes fields containing commas/quotes/newlines).
+std::string CsvEscape(const std::string& value);
+
+// Writes one CSV row from raw cells.
+void WriteCsvRow(std::ostream& os, const std::vector<std::string>& cells);
+
+// Wear transitions (Figure 2 / Table 1 rows):
+//   device,type,from_level,to_level,host_bytes,hours,wa,pattern,utilization
+void WriteTransitionsCsv(std::ostream& os, const std::string& device_name,
+                         const std::vector<WearTransition>& transitions,
+                         double volume_factor);
+
+// Phone wear rows (Figure 3/4):
+//   device,fs,from_level,to_level,app_bytes,hours
+void WritePhoneRowsCsv(std::ostream& os, const std::string& device_name,
+                       const std::string& fs_name,
+                       const std::vector<PhoneWearRow>& rows, double volume_factor);
+
+// Bandwidth series (Figure 1): size_bytes,mib_per_sec per row.
+void WriteBandwidthCsv(std::ostream& os, const std::string& device_name,
+                       const std::string& pattern,
+                       const std::vector<std::pair<uint64_t, double>>& series);
+
+}  // namespace flashsim
+
+#endif  // SRC_WEARLAB_CSV_H_

@@ -1,0 +1,36 @@
+#include "src/wearlab/lifetime_estimator.h"
+
+namespace flashsim {
+
+LifetimeEstimate LifetimeEstimator::Estimate(double daily_write_bytes) const {
+  LifetimeEstimate est;
+  est.total_write_bytes =
+      static_cast<double>(capacity_bytes_) * static_cast<double>(rated_pe_cycles_);
+  est.full_rewrites = static_cast<double>(rated_pe_cycles_);
+  if (daily_write_bytes > 0) {
+    est.days_at_workload = est.total_write_bytes / daily_write_bytes;
+    est.years_at_workload = est.days_at_workload / 365.0;
+  }
+  return est;
+}
+
+double LifetimeEstimator::HoursToExhaust(double mib_per_sec) const {
+  if (mib_per_sec <= 0) {
+    return 0.0;
+  }
+  const double budget =
+      static_cast<double>(capacity_bytes_) * static_cast<double>(rated_pe_cycles_);
+  const double bytes_per_hour = mib_per_sec * 1024.0 * 1024.0 * 3600.0;
+  return budget / bytes_per_hour;
+}
+
+double LifetimeEstimator::OptimismFactor(double observed_total_write_bytes) const {
+  if (observed_total_write_bytes <= 0) {
+    return 0.0;
+  }
+  const double budget =
+      static_cast<double>(capacity_bytes_) * static_cast<double>(rated_pe_cycles_);
+  return budget / observed_total_write_bytes;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,52 @@
+// Back-of-the-envelope SSD lifetime estimation (§2.3) — the calculation the
+// paper shows to be dangerously optimistic for mobile flash.
+//
+// The folk formula: a device of capacity C rated for E P/E cycles absorbs
+// about C*E bytes of writes (assuming the firmware balances ill-behaved
+// workloads), so at W bytes/day it lasts C*E/W days. The estimator also
+// computes the attacker's view: at sustained throughput T, how long until
+// the quota is gone.
+
+#ifndef SRC_WEARLAB_LIFETIME_ESTIMATOR_H_
+#define SRC_WEARLAB_LIFETIME_ESTIMATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flashsim {
+
+struct LifetimeEstimate {
+  double total_write_bytes = 0.0;   // lifetime write budget
+  double full_rewrites = 0.0;       // budget / capacity
+  double days_at_workload = 0.0;    // under the assumed daily volume
+  double years_at_workload = 0.0;
+};
+
+class LifetimeEstimator {
+ public:
+  // `capacity_bytes` and the datasheet `rated_pe_cycles` drive the estimate.
+  LifetimeEstimator(uint64_t capacity_bytes, uint32_t rated_pe_cycles)
+      : capacity_bytes_(capacity_bytes), rated_pe_cycles_(rated_pe_cycles) {}
+
+  // The folk estimate at `daily_write_bytes` of host writes per day.
+  LifetimeEstimate Estimate(double daily_write_bytes) const;
+
+  // Time for a malicious writer at `mib_per_sec` to exhaust the quota — the
+  // "how fast can an app brick this phone" inverse.
+  double HoursToExhaust(double mib_per_sec) const;
+
+  // Ratio between this estimate's write budget and an observed budget; > 1
+  // means the envelope was optimistic (the paper measures ~3x).
+  double OptimismFactor(double observed_total_write_bytes) const;
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint32_t rated_pe_cycles() const { return rated_pe_cycles_; }
+
+ private:
+  uint64_t capacity_bytes_;
+  uint32_t rated_pe_cycles_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_WEARLAB_LIFETIME_ESTIMATOR_H_

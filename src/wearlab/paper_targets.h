@@ -1,0 +1,64 @@
+// The paper's reported numbers, as machine-checkable constants.
+//
+// These are the calibration targets of DESIGN.md §5 in code form, used by
+// the golden reproduction test (tests/paper_targets_test.cc) to pin the
+// simulator to the published results: if a refactor drifts a headline
+// figure, a test fails rather than a bench silently printing the wrong
+// story.
+
+#ifndef SRC_WEARLAB_PAPER_TARGETS_H_
+#define SRC_WEARLAB_PAPER_TARGETS_H_
+
+#include <cstdint>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+struct PaperTargets {
+  // §4.3 / Figure 2.
+  // "it takes a maximum of 992GiB to increment the wear-out level by 10%
+  //  in the 8GB eMMC chip"
+  static constexpr double kEmmc8MaxGiBPerLevel = 992.0;
+  // "roughly three times lower than the back-of-the-envelope three thousand
+  //  or more complete rewrites"
+  static constexpr double kEnvelopeOptimismMin = 2.0;
+  static constexpr double kEnvelopeOptimismMax = 4.0;
+  // "For the 16GB eMMC chip, 23 TiB of writes are required to reach
+  //  end-of-life"
+  static constexpr double kEmmc16TiBToEol = 23.0;
+
+  // Table 1 (eMMC 16GB hybrid).
+  static constexpr double kTypeALevel12GiB = 11936.0;   // A 1-2 at low util
+  static constexpr double kTypeACollapseGiB = 439.0;    // A per level, merged
+  static constexpr double kTypeBLevelGiBLow = 2151.0;   // B per level, min
+  static constexpr double kTypeBLevelGiBHigh = 2304.0;  // B per level, max
+
+  // Figure 4: "wearing out the phone's storage requires about half of the
+  // I/O volume" on F2FS.
+  static constexpr double kF2fsOverExt4RatioMax = 0.75;
+  static constexpr double kF2fsOverExt4RatioMin = 0.30;
+
+  // §4.4: both budget phones "were bricked within two weeks".
+  static constexpr double kBudgetPhoneBrickDaysMax = 14.0;
+
+  // §1: the attack uses "less than 3% of the system's storage capacity"
+  // (four 100 MB files on a 16 GB device).
+  static constexpr double kAttackFootprintFraction = 0.03;
+
+  // §2.1: endurance by cell technology.
+  static constexpr uint32_t kSlcRatedPe = 100000;
+  static constexpr uint32_t kMlcRatedPeLow = 3000;
+  static constexpr uint32_t kTlcRatedPe = 1000;
+};
+
+// Loose two-sided check helper: is `measured` within `rel_tol` of `target`?
+constexpr bool WithinRel(double measured, double target, double rel_tol) {
+  const double lo = target * (1.0 - rel_tol);
+  const double hi = target * (1.0 + rel_tol);
+  return measured >= lo && measured <= hi;
+}
+
+}  // namespace flashsim
+
+#endif  // SRC_WEARLAB_PAPER_TARGETS_H_

@@ -1,0 +1,148 @@
+#include "src/wearlab/phone.h"
+
+#include <algorithm>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+namespace {
+constexpr uint64_t kStaticChunk = 4 * kMiB;
+// Health polling cadence for phone experiments, in simulated time.
+constexpr int64_t kPollMinutes = 10;
+}  // namespace
+
+const char* PhoneFsTypeName(PhoneFsType type) {
+  return type == PhoneFsType::kExtFs ? "Ext4" : "F2FS";
+}
+
+Phone::Phone(std::unique_ptr<FlashDevice> device, PhoneFsType fs_type,
+             AndroidSystemConfig system_config)
+    : device_(std::move(device)), fs_type_(fs_type) {
+  if (fs_type_ == PhoneFsType::kExtFs) {
+    fs_ = std::make_unique<ExtFs>(*device_);
+  } else {
+    fs_ = std::make_unique<LogFs>(*device_);
+  }
+  system_ = std::make_unique<AndroidSystem>(*fs_, system_config);
+}
+
+Status Phone::FillStaticData(double utilization) {
+  utilization = std::clamp(utilization, 0.0, 0.95);
+  const uint64_t target = std::min(
+      static_cast<uint64_t>(utilization * static_cast<double>(device_->CapacityBytes())),
+      fs_->FreeBytes() > kStaticChunk ? fs_->FreeBytes() - kStaticChunk : 0);
+  if (target == 0) {
+    return Status::Ok();
+  }
+  FLASHSIM_RETURN_IF_ERROR(fs_->Create("system/os.img"));
+  for (uint64_t off = 0; off < target; off += kStaticChunk) {
+    const uint64_t len = std::min(kStaticChunk, target - off);
+    Result<SimDuration> w = fs_->Write("system/os.img", off, len, /*sync=*/false);
+    if (!w.ok()) {
+      return w.status();
+    }
+  }
+  Result<SimDuration> sync = fs_->Fsync("system/os.img");
+  return sync.ok() ? Status::Ok() : sync.status();
+}
+
+PhoneWearOutcome RunPhoneWearExperiment(Phone& phone, AttackAppConfig attack_config,
+                                        uint32_t target_level, SimDuration max_sim) {
+  PhoneWearOutcome outcome;
+  WearAttackApp app(phone.system(), attack_config);
+  Status installed = app.Install();
+  if (!installed.ok()) {
+    outcome.status = installed;
+    return outcome;
+  }
+
+  const SimTime start = phone.system().Now();
+  const SimTime deadline = start + max_sim;
+
+  auto current_level = [&]() -> uint32_t {
+    const HealthReport h = phone.device().QueryHealth();
+    if (!h.supported) {
+      return 0;
+    }
+    return std::max(h.life_time_est_a, h.life_time_est_b);
+  };
+
+  uint32_t last_level = current_level();
+  uint64_t level_start_bytes = app.total_bytes_written();
+  SimTime level_start_time = phone.system().Now();
+
+  // Poll the indicator often enough to resolve levels even on heavily scaled
+  // devices: a level is ~a tenth of rated life, so 1/64 of capacity per slice
+  // gives dozens of polls per level at any scale.
+  const uint64_t slice_bytes =
+      std::max<uint64_t>(64 * 1024, phone.device().CapacityBytes() / 64);
+
+  while (phone.system().Now() < deadline) {
+    const uint32_t level_now = current_level();
+    if (phone.device().QueryHealth().supported && level_now >= target_level) {
+      break;
+    }
+    const SimTime slice_end = std::min(
+        deadline, phone.system().Now() + SimDuration::Minutes(kPollMinutes));
+    AttackProgress progress = app.RunSlice(slice_bytes, slice_end);
+    outcome.app_bytes_total += progress.bytes_written;
+    if (progress.device_bricked) {
+      outcome.bricked = true;
+      outcome.hours_to_brick = (phone.system().Now() - start).ToHoursF();
+      break;
+    }
+    if (!progress.last_error.ok()) {
+      outcome.status = progress.last_error;
+      break;
+    }
+    const uint32_t level_after = current_level();
+    if (level_after != last_level && last_level != 0) {
+      PhoneWearRow row;
+      row.from_level = last_level;
+      row.to_level = level_after;
+      row.app_bytes = app.total_bytes_written() - level_start_bytes;
+      row.hours = (phone.system().Now() - level_start_time).ToHoursF();
+      outcome.rows.push_back(row);
+      level_start_bytes = app.total_bytes_written();
+      level_start_time = phone.system().Now();
+      last_level = level_after;
+    }
+  }
+  return outcome;
+}
+
+DetectionOutcome RunDetectionExperiment(Phone& phone, AttackPolicy policy,
+                                        SimDuration duration) {
+  DetectionOutcome outcome;
+  outcome.policy = policy;
+  outcome.stealth_window_fraction = phone.system().schedule().StealthWindowFraction();
+
+  AttackAppConfig config;
+  config.policy = policy;
+  // Bigger chunks keep the detection run fast; the monitors only care about
+  // *when* the I/O happens, not its granularity.
+  config.write_bytes = 256 * 1024;
+  // Size the working files to the (possibly scaled) phone: the paper's four
+  // 100 MB files, shrunk when the simulated device is smaller.
+  config.file_bytes = std::min<uint64_t>(
+      config.file_bytes, phone.fs().FreeBytes() / (config.file_count * 2));
+  config.file_bytes = RoundDown(config.file_bytes, config.write_bytes);
+  WearAttackApp app(phone.system(), config);
+  Status installed = app.Install();
+  if (!installed.ok()) {
+    return outcome;
+  }
+  const SimTime start = phone.system().Now();
+  AttackProgress progress = app.RunUntil(start + duration);
+  outcome.bytes_written = progress.bytes_written;
+  outcome.hours = (phone.system().Now() - start).ToHoursF();
+  outcome.effective_mib_per_sec =
+      outcome.hours > 0
+          ? BytesToMiB(progress.bytes_written) / (outcome.hours * 3600.0)
+          : 0.0;
+  outcome.detection = phone.system().Detection(config.app_id);
+  return outcome;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,89 @@
+// Phone: a complete simulated smartphone storage stack — flash device, file
+// system (Ext4-like or F2FS-like), Android layer — plus drivers for the
+// paper's phone experiments (Figures 3 and 4, the §4.4 detection study, and
+// the BLU bricking runs).
+
+#ifndef SRC_WEARLAB_PHONE_H_
+#define SRC_WEARLAB_PHONE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/android/android_system.h"
+#include "src/android/attack_app.h"
+#include "src/device/flash_device.h"
+#include "src/fs/extfs.h"
+#include "src/fs/logfs.h"
+
+namespace flashsim {
+
+enum class PhoneFsType { kExtFs, kLogFs };
+
+const char* PhoneFsTypeName(PhoneFsType type);
+
+class Phone {
+ public:
+  // Takes ownership of `device`; mounts the requested file system on it and
+  // boots the Android layer.
+  Phone(std::unique_ptr<FlashDevice> device, PhoneFsType fs_type,
+        AndroidSystemConfig system_config = {});
+
+  // Writes the OS image + preinstalled data as a static file so the device
+  // starts at a realistic utilization (phones are never empty).
+  Status FillStaticData(double utilization);
+
+  FlashDevice& device() { return *device_; }
+  Filesystem& fs() { return *fs_; }
+  AndroidSystem& system() { return *system_; }
+  PhoneFsType fs_type() const { return fs_type_; }
+
+ private:
+  std::unique_ptr<FlashDevice> device_;
+  std::unique_ptr<Filesystem> fs_;
+  std::unique_ptr<AndroidSystem> system_;
+  PhoneFsType fs_type_;
+};
+
+// One wear-indicator transition observed from inside the phone (app-side I/O
+// volume, unlike the raw-device WearTransition).
+struct PhoneWearRow {
+  uint32_t from_level = 0;
+  uint32_t to_level = 0;
+  uint64_t app_bytes = 0;
+  double hours = 0.0;
+};
+
+struct PhoneWearOutcome {
+  std::vector<PhoneWearRow> rows;
+  bool bricked = false;
+  double hours_to_brick = 0.0;
+  uint64_t app_bytes_total = 0;
+  Status status;
+};
+
+// Runs the wear attack on the phone until the indicator reaches
+// `target_level` (or the device bricks / `max_sim` elapses), recording one
+// row per indicator transition. Devices without health reporting (the BLU
+// phones) produce no rows — only the brick outcome.
+PhoneWearOutcome RunPhoneWearExperiment(Phone& phone, AttackAppConfig attack_config,
+                                        uint32_t target_level, SimDuration max_sim);
+
+// Detection study (§4.4): runs the attack for `duration` under the given
+// policy and reports what the monitors saw and how much I/O got through.
+struct DetectionOutcome {
+  AttackPolicy policy = AttackPolicy::kAggressive;
+  uint64_t bytes_written = 0;
+  double hours = 0.0;
+  double effective_mib_per_sec = 0.0;
+  DetectionSummary detection;
+  double stealth_window_fraction = 0.0;
+};
+
+DetectionOutcome RunDetectionExperiment(Phone& phone, AttackPolicy policy,
+                                        SimDuration duration);
+
+}  // namespace flashsim
+
+#endif  // SRC_WEARLAB_PHONE_H_

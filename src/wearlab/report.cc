@@ -1,0 +1,64 @@
+#include "src/wearlab/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+TableReporter::TableReporter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableReporter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableReporter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << "  " << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        os << ' ';
+      }
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  size_t total = 2;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FmtGiB(uint64_t bytes, int precision) {
+  return Fmt(BytesToGiB(bytes), precision);
+}
+
+std::string FmtGiB(double bytes, int precision) {
+  return Fmt(bytes / static_cast<double>(kGiB), precision);
+}
+
+std::string FmtPercent(double fraction, int precision) {
+  return Fmt(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace flashsim

@@ -1,0 +1,37 @@
+// Plain-text table/series reporting for benches and examples, so every
+// reproduced table and figure prints in a paper-comparable layout.
+
+#ifndef SRC_WEARLAB_REPORT_H_
+#define SRC_WEARLAB_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flashsim {
+
+// Fixed-width text table.
+class TableReporter {
+ public:
+  explicit TableReporter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers for report cells.
+std::string Fmt(double value, int precision = 2);
+std::string FmtGiB(uint64_t bytes, int precision = 2);
+std::string FmtGiB(double bytes, int precision = 2);
+std::string FmtPercent(double fraction, int precision = 0);
+
+}  // namespace flashsim
+
+#endif  // SRC_WEARLAB_REPORT_H_

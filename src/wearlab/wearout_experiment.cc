@@ -1,0 +1,231 @@
+#include "src/wearlab/wearout_experiment.h"
+
+#include <algorithm>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+namespace {
+// Health registers are polled every this many bytes of workload writes.
+constexpr uint64_t kPollIntervalBytes = 2 * kMiB;
+// Prefill chunk size.
+constexpr uint64_t kPrefillChunk = 4 * kMiB;
+}  // namespace
+
+const char* WearTypeName(WearType type) {
+  switch (type) {
+    case WearType::kTypeA:
+      return "Type A";
+    case WearType::kTypeB:
+      return "Type B";
+    case WearType::kSinglePool:
+      return "device";
+  }
+  return "unknown";
+}
+
+WearOutExperiment::WearOutExperiment(FlashDevice& device, WearWorkloadConfig config)
+    : device_(device), config_(config), rng_(config.seed) {}
+
+void WearOutExperiment::SetWorkload(WearWorkloadConfig config) {
+  const uint64_t seed = config_.seed;
+  config_ = config;
+  config_.seed = seed;  // keep the RNG stream continuous across stages
+  seq_cursor_ = 0;
+}
+
+std::string WearOutExperiment::PatternLabel() const {
+  std::string label = FormatBytes(config_.request_bytes) + " " +
+                      (config_.pattern == AccessPattern::kRandom ? "rand" : "seq");
+  if (config_.rewrite_utilized) {
+    label += " rewrite";
+  }
+  return label;
+}
+
+Status WearOutExperiment::SetUtilization(double utilization) {
+  utilization = std::clamp(utilization, 0.0, 0.97);
+  const uint64_t capacity = device_.CapacityBytes();
+  const uint64_t target =
+      RoundDown(static_cast<uint64_t>(utilization * static_cast<double>(capacity)),
+                device_.PageSizeBytes());
+  if (target > static_bytes_) {
+    for (uint64_t off = static_bytes_; off < target; off += kPrefillChunk) {
+      IoRequest req{IoKind::kWrite, off, std::min(kPrefillChunk, target - off)};
+      Result<IoCompletion> done = device_.Submit(req);
+      if (!done.ok()) {
+        return done.status();
+      }
+    }
+  } else if (target < static_bytes_) {
+    IoRequest req{IoKind::kDiscard, target, static_bytes_ - target};
+    Result<IoCompletion> done = device_.Submit(req);
+    if (!done.ok()) {
+      return done.status();
+    }
+  }
+  static_bytes_ = target;
+  return Status::Ok();
+}
+
+void WearOutExperiment::ComputeTargetRegion(uint64_t* start, uint64_t* length) const {
+  const uint64_t capacity = device_.CapacityBytes();
+  if (config_.rewrite_utilized && static_bytes_ >= config_.request_bytes) {
+    *start = 0;
+    *length = static_bytes_;
+    return;
+  }
+  *start = static_bytes_;
+  *length = std::min(config_.footprint_bytes, capacity - static_bytes_);
+}
+
+Status WearOutExperiment::IssueOneWrite() {
+  uint64_t start = 0;
+  uint64_t length = 0;
+  ComputeTargetRegion(&start, &length);
+  if (length < config_.request_bytes) {
+    return FailedPreconditionError("workload region smaller than one request");
+  }
+  const uint64_t slots = length / config_.request_bytes;
+  const uint64_t slot = config_.pattern == AccessPattern::kRandom
+                            ? rng_.UniformU64(slots)
+                            : seq_cursor_++ % slots;
+  IoRequest req{IoKind::kWrite, start + slot * config_.request_bytes,
+                config_.request_bytes};
+  Result<IoCompletion> done = device_.Submit(req);
+  if (!done.ok()) {
+    return done.status();
+  }
+  workload_bytes_ += req.length;
+  workload_time_ += done.value().service_time;
+  return Status::Ok();
+}
+
+std::pair<uint32_t, uint32_t> WearOutExperiment::Levels() const {
+  const HealthReport health = device_.QueryHealth();
+  if (!health.supported) {
+    return {0, 0};
+  }
+  return {health.life_time_est_a, health.life_time_est_b};
+}
+
+void WearOutExperiment::ResetTracker(LevelTracker& tracker) {
+  tracker.start_bytes = workload_bytes_;
+  tracker.start_time = SimTime(workload_time_.nanos());
+  tracker.start_nand_pages = device_.ftl().Stats().nand_pages_written;
+  tracker.start_host_pages = device_.ftl().Stats().host_pages_written;
+}
+
+WearTransition WearOutExperiment::MakeTransition(const LevelTracker& tracker) const {
+  WearTransition t;
+  t.host_bytes = workload_bytes_ - tracker.start_bytes;
+  t.hours = (SimTime(workload_time_.nanos()) - tracker.start_time).ToHoursF();
+  const FtlStats stats = device_.ftl().Stats();
+  const uint64_t nand_delta = stats.nand_pages_written - tracker.start_nand_pages;
+  const uint64_t host_delta = stats.host_pages_written - tracker.start_host_pages;
+  t.write_amplification =
+      host_delta == 0 ? 0.0
+                      : static_cast<double>(nand_delta) / static_cast<double>(host_delta);
+  t.pattern_label = PatternLabel();
+  t.utilization =
+      static_cast<double>(static_bytes_) / static_cast<double>(device_.CapacityBytes());
+  t.rewrite_utilized = config_.rewrite_utilized;
+  return t;
+}
+
+WearRunOutcome WearOutExperiment::Run(uint32_t transitions, uint64_t max_host_bytes) {
+  WearRunOutcome outcome;
+  const uint64_t run_start_bytes = device_.HostBytesWritten();
+  const SimTime run_start_time = device_.clock().Now();
+
+  if (!tracking_initialized_) {
+    auto [a, b] = Levels();
+    last_level_a_ = a;
+    last_level_b_ = b;
+    ResetTracker(tracker_a_);
+    ResetTracker(tracker_b_);
+    tracking_initialized_ = true;
+  }
+
+  const uint64_t poll_every =
+      std::max<uint64_t>(1, kPollIntervalBytes / config_.request_bytes);
+  uint64_t writes_since_poll = 0;
+  uint32_t remaining = transitions;
+
+  while (remaining > 0) {
+    if (device_.HostBytesWritten() - run_start_bytes >= max_host_bytes) {
+      outcome.volume_cap_hit = true;
+      break;
+    }
+    Status st = IssueOneWrite();
+    if (!st.ok()) {
+      outcome.status = st;
+      outcome.bricked = st.code() == StatusCode::kUnavailable;
+      break;
+    }
+    if (++writes_since_poll < poll_every) {
+      continue;
+    }
+    writes_since_poll = 0;
+    auto [a, b] = Levels();
+    if (a != last_level_a_ && remaining > 0) {
+      WearTransition t = MakeTransition(tracker_a_);
+      t.type = last_level_b_ == 0 ? WearType::kSinglePool : WearType::kTypeA;
+      t.from_level = last_level_a_;
+      t.to_level = a;
+      outcome.transitions.push_back(std::move(t));
+      last_level_a_ = a;
+      ResetTracker(tracker_a_);
+      --remaining;
+    }
+    if (b != last_level_b_ && remaining > 0) {
+      WearTransition t = MakeTransition(tracker_b_);
+      t.type = WearType::kTypeB;
+      t.from_level = last_level_b_;
+      t.to_level = b;
+      outcome.transitions.push_back(std::move(t));
+      last_level_b_ = b;
+      ResetTracker(tracker_b_);
+      --remaining;
+    }
+  }
+
+  outcome.total_host_bytes = device_.HostBytesWritten() - run_start_bytes;
+  outcome.total_hours = (device_.clock().Now() - run_start_time).ToHoursF();
+  return outcome;
+}
+
+WearRunOutcome WearOutExperiment::RunUntilLevel(WearType type, uint32_t level,
+                                                uint64_t max_host_bytes) {
+  WearRunOutcome combined;
+  const uint64_t start_bytes = device_.HostBytesWritten();
+  const SimTime start_time = device_.clock().Now();
+  for (;;) {
+    auto [a, b] = Levels();
+    const uint32_t current = type == WearType::kTypeB ? b : a;
+    if (current >= level) {
+      break;
+    }
+    const uint64_t spent = device_.HostBytesWritten() - start_bytes;
+    if (spent >= max_host_bytes) {
+      combined.volume_cap_hit = true;
+      break;
+    }
+    WearRunOutcome step = Run(1, max_host_bytes - spent);
+    combined.transitions.insert(combined.transitions.end(), step.transitions.begin(),
+                                step.transitions.end());
+    combined.bricked = step.bricked;
+    combined.volume_cap_hit = step.volume_cap_hit;
+    combined.status = step.status;
+    if (step.bricked || !step.status.ok() || step.volume_cap_hit ||
+        step.transitions.empty()) {
+      break;
+    }
+  }
+  combined.total_host_bytes = device_.HostBytesWritten() - start_bytes;
+  combined.total_hours = (device_.clock().Now() - start_time).ToHoursF();
+  return combined;
+}
+
+}  // namespace flashsim

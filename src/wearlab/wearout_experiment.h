@@ -1,0 +1,130 @@
+// WearOutExperiment: the harness behind Figure 2, Table 1, and the raw-device
+// halves of Figures 3/4.
+//
+// Drives a configurable rewrite workload against a raw FlashDevice (the
+// paper's "repeatedly rewrote small, randomly-selected regions of four 100 MB
+// files"), polls the JEDEC wear indicators, and records one row per
+// indicator transition: host I/O volume, simulated hours, pattern,
+// utilization, and the FTL's write amplification during that level.
+
+#ifndef SRC_WEARLAB_WEAROUT_EXPERIMENT_H_
+#define SRC_WEARLAB_WEAROUT_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/device/flash_device.h"
+#include "src/simcore/rng.h"
+#include "src/wearlab/bandwidth_probe.h"
+
+namespace flashsim {
+
+// Which wear indicator a transition belongs to.
+enum class WearType { kTypeA, kTypeB, kSinglePool };
+
+const char* WearTypeName(WearType type);
+
+struct WearWorkloadConfig {
+  AccessPattern pattern = AccessPattern::kRandom;
+  uint64_t request_bytes = 4096;
+  // Size of the rewrite footprint (e.g. four 100 MB files = 400 MB). Scaled
+  // down alongside device capacity by benches.
+  uint64_t footprint_bytes = 400ull * 1024 * 1024;
+  // Aim rewrites at the utilized (static) data instead of the free footprint
+  // — the Table 1 "rand rewrite" rows.
+  bool rewrite_utilized = false;
+  uint64_t seed = 11;
+};
+
+// One indicator transition (a row of Table 1 / a bar of Figures 2-4).
+struct WearTransition {
+  WearType type = WearType::kSinglePool;
+  uint32_t from_level = 0;
+  uint32_t to_level = 0;
+  uint64_t host_bytes = 0;       // host I/O issued during the level
+  double hours = 0.0;            // simulated time spent in the level
+  double write_amplification = 0.0;
+  std::string pattern_label;     // e.g. "4 KiB rand", "128 KiB seq"
+  double utilization = 0.0;      // device utilization during the level
+  bool rewrite_utilized = false;
+};
+
+// Outcome of a run segment.
+struct WearRunOutcome {
+  std::vector<WearTransition> transitions;
+  bool bricked = false;
+  bool volume_cap_hit = false;
+  uint64_t total_host_bytes = 0;
+  double total_hours = 0.0;
+  Status status;
+};
+
+class WearOutExperiment {
+ public:
+  WearOutExperiment(FlashDevice& device, WearWorkloadConfig config);
+
+  // Fills the device with static data up to `utilization` of its logical
+  // space (sequential bulk writes), or trims static data back down when the
+  // target is below the current level.
+  Status SetUtilization(double utilization);
+
+  // Applies a new workload pattern for subsequent runs.
+  void SetWorkload(WearWorkloadConfig config);
+
+  // Runs until `transitions` additional indicator transitions (of any type)
+  // occur, the device bricks, or `max_host_bytes` have been written.
+  WearRunOutcome Run(uint32_t transitions, uint64_t max_host_bytes);
+
+  // Convenience: runs until the given indicator reaches `level` (or brick /
+  // volume cap). Collects every transition of both types along the way.
+  WearRunOutcome RunUntilLevel(WearType type, uint32_t level, uint64_t max_host_bytes);
+
+  const WearWorkloadConfig& workload() const { return config_; }
+  FlashDevice& device() { return device_; }
+
+  // Human label for the current workload, e.g. "4 KiB rand rewrite".
+  std::string PatternLabel() const;
+
+ private:
+  // Issues one workload write; returns false on brick.
+  Status IssueOneWrite();
+  // Current indicator levels (B == 0 for single-pool devices).
+  std::pair<uint32_t, uint32_t> Levels() const;
+  // Region the rewrites target, given utilization and rewrite_utilized.
+  void ComputeTargetRegion(uint64_t* start, uint64_t* length) const;
+
+  FlashDevice& device_;
+  WearWorkloadConfig config_;
+  Rng rng_;
+  uint64_t static_bytes_ = 0;  // current prefilled utilization, in bytes
+  uint64_t seq_cursor_ = 0;
+
+  // Workload-only accounting (excludes SetUtilization prefill/trim traffic),
+  // so per-level rows report what the paper reports: experiment I/O volume
+  // and experiment wall-clock.
+  uint64_t workload_bytes_ = 0;
+  SimDuration workload_time_;
+
+  // Per-type, per-level accounting carried across Run calls (Type A and
+  // Type B advance independently; each row measures from its own last
+  // transition).
+  struct LevelTracker {
+    uint64_t start_bytes = 0;
+    SimTime start_time;
+    uint64_t start_nand_pages = 0;
+    uint64_t start_host_pages = 0;
+  };
+  void ResetTracker(LevelTracker& tracker);
+  WearTransition MakeTransition(const LevelTracker& tracker) const;
+
+  LevelTracker tracker_a_;
+  LevelTracker tracker_b_;
+  bool tracking_initialized_ = false;
+  uint32_t last_level_a_ = 1;
+  uint32_t last_level_b_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_WEARLAB_WEAROUT_EXPERIMENT_H_

@@ -1,0 +1,110 @@
+#include "src/android/benign_apps.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fs/extfs.h"
+#include "src/simcore/units.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+class BenignAppsTest : public ::testing::Test {
+ protected:
+  BenignAppsTest() : device_(MakeDurableDevice()), fs_(*device_), system_(fs_) {}
+  std::unique_ptr<FlashDevice> device_;
+  ExtFs fs_;
+  AndroidSystem system_;
+};
+
+TEST_F(BenignAppsTest, CameraWritesBurstsOnSchedule) {
+  CameraAppConfig cfg;
+  cfg.burst_bytes = 4 * kMiB;
+  cfg.burst_interval = SimDuration::Hours(1);
+  CameraApp camera(system_, cfg);
+  ASSERT_TRUE(camera.RunUntil(system_.Now() + SimDuration::Hours(3)).ok());
+  // Bursts at t=0, 1h, 2h => 3 clips of 4 MiB.
+  EXPECT_EQ(camera.bytes_written(), 3u * 4 * kMiB);
+  EXPECT_TRUE(fs_.Exists("data/app201/clip0.mp4"));
+  EXPECT_TRUE(fs_.Exists("data/app201/clip2.mp4"));
+  EXPECT_GT(camera.last_burst_seconds(), 0.0);
+}
+
+TEST_F(BenignAppsTest, CameraIdlesBetweenBursts) {
+  CameraAppConfig cfg;
+  cfg.burst_bytes = 1 * kMiB;
+  cfg.burst_interval = SimDuration::Hours(1);
+  CameraApp camera(system_, cfg);
+  ASSERT_TRUE(camera.RunUntil(system_.Now() + SimDuration::Hours(2)).ok());
+  // The clock advanced the full two hours, nearly all idle.
+  EXPECT_GE(system_.Now().ToHoursF(), 2.0);
+}
+
+TEST_F(BenignAppsTest, SpotifyBugChurnsItsCache) {
+  SpotifyBugAppConfig cfg;
+  cfg.cache_bytes = 2 * kMiB;
+  cfg.write_bytes = 64 * 1024;
+  SpotifyBugApp spotify(system_, cfg);
+  ASSERT_TRUE(spotify.RunUntil(system_.Now() + SimDuration::Minutes(10)).ok());
+  EXPECT_GT(spotify.bytes_written(), 10u * kMiB)
+      << "the bug rewrites far more than the cache size";
+  // The cache footprint stays bounded even though writes are unbounded.
+  EXPECT_LE(fs_.FileSize("data/app202/mercury.db").value(), 2 * kMiB);
+}
+
+TEST_F(BenignAppsTest, SpotifyDutyCycleSlowsRate) {
+  SpotifyBugAppConfig fast;
+  fast.cache_bytes = 2 * kMiB;  // must fit the tiny test device
+  fast.duty_cycle = 1.0;
+  SpotifyBugAppConfig slow = fast;
+  slow.app_id = 204;
+  slow.duty_cycle = 0.25;
+  SpotifyBugApp fast_app(system_, fast);
+  SpotifyBugApp slow_app(system_, slow);
+  ASSERT_TRUE(fast_app.RunUntil(system_.Now() + SimDuration::Minutes(2)).ok());
+  const uint64_t fast_bytes = fast_app.bytes_written();
+  ASSERT_TRUE(slow_app.RunUntil(system_.Now() + SimDuration::Minutes(2)).ok());
+  EXPECT_LT(slow_app.bytes_written(), fast_bytes / 2);
+}
+
+TEST_F(BenignAppsTest, MessagingTrickleIsSlow) {
+  MessagingAppConfig cfg;
+  cfg.write_interval = SimDuration::Seconds(5);
+  MessagingApp messaging(system_, cfg);
+  ASSERT_TRUE(messaging.RunUntil(system_.Now() + SimDuration::Minutes(5)).ok());
+  // ~60 writes of 4 KiB in 5 minutes.
+  EXPECT_GE(messaging.bytes_written(), 55u * 4096);
+  EXPECT_LE(messaging.bytes_written(), 70u * 4096);
+}
+
+TEST_F(BenignAppsTest, AppsCoexistInOneSystem) {
+  CameraAppConfig cam;
+  cam.burst_bytes = 1 * kMiB;
+  CameraApp camera(system_, cam);
+  MessagingApp messaging(system_, MessagingAppConfig{});
+  SpotifyBugAppConfig bug;
+  bug.cache_bytes = 1 * kMiB;
+  SpotifyBugApp spotify(system_, bug);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(camera.RunUntil(system_.Now() + SimDuration::Minutes(1)).ok());
+    ASSERT_TRUE(messaging.RunUntil(system_.Now() + SimDuration::Minutes(1)).ok());
+    ASSERT_TRUE(spotify.RunUntil(system_.Now() + SimDuration::Minutes(1)).ok());
+  }
+  const auto top = system_.accountant().TopWriters();
+  EXPECT_EQ(top.size(), 3u);
+  EXPECT_EQ(top.front().first, bug.app_id) << "the cache bug dominates I/O";
+}
+
+TEST_F(BenignAppsTest, NamesAndIds) {
+  CameraApp camera(system_, CameraAppConfig{});
+  SpotifyBugApp spotify(system_, SpotifyBugAppConfig{});
+  MessagingApp messaging(system_, MessagingAppConfig{});
+  EXPECT_STREQ(camera.name(), "camera");
+  EXPECT_STREQ(spotify.name(), "spotify-bug");
+  EXPECT_STREQ(messaging.name(), "messaging");
+  EXPECT_NE(camera.app_id(), spotify.app_id());
+  EXPECT_NE(spotify.app_id(), messaging.app_id());
+}
+
+}  // namespace
+}  // namespace flashsim

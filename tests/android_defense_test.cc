@@ -1,0 +1,133 @@
+#include "src/android/defense.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fs/extfs.h"
+#include "src/simcore/units.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+TEST(IoAccountantTest, TracksPerAppUsage) {
+  IoAccountant acc;
+  acc.RecordWrite(1, 100);
+  acc.RecordWrite(1, 200);
+  acc.RecordRead(1, 50);
+  acc.RecordWrite(2, 1000);
+  EXPECT_EQ(acc.Usage(1).bytes_written, 300u);
+  EXPECT_EQ(acc.Usage(1).bytes_read, 50u);
+  EXPECT_EQ(acc.Usage(1).write_ops, 2u);
+  EXPECT_EQ(acc.Usage(2).bytes_written, 1000u);
+  EXPECT_EQ(acc.Usage(99).bytes_written, 0u);
+}
+
+TEST(IoAccountantTest, TopWritersSorted) {
+  IoAccountant acc;
+  acc.RecordWrite(1, 10);
+  acc.RecordWrite(2, 1000);
+  acc.RecordWrite(3, 100);
+  const auto top = acc.TopWriters();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 2u);
+  EXPECT_EQ(top[1].first, 3u);
+  EXPECT_EQ(top[2].first, 1u);
+}
+
+TEST(RateLimiterTest, BudgetFromLifespanTarget) {
+  RateLimiterConfig cfg;
+  cfg.target_lifetime_days = 1000.0;
+  cfg.rated_rewrites = 1000.0;
+  WearRateLimiter limiter(cfg, 1000 * kMiB);
+  // 1000 rewrites of 1000 MiB over 1000 days = 1000 MiB/day.
+  EXPECT_NEAR(limiter.BudgetBytesPerSec(), 1000.0 * kMiB / 86400.0, 1.0);
+}
+
+TEST(RateLimiterTest, BurstPassesUnthrottled) {
+  RateLimiterConfig cfg;
+  cfg.burst_bytes = 10 * kMiB;
+  WearRateLimiter limiter(cfg, kGiB);
+  const ThrottleDecision d = limiter.Admit(1, 5 * kMiB, SimTime());
+  EXPECT_FALSE(d.throttled);
+  EXPECT_EQ(d.delay.nanos(), 0);
+}
+
+TEST(RateLimiterTest, SustainedAbuseThrottled) {
+  RateLimiterConfig cfg;
+  cfg.burst_bytes = kMiB;
+  WearRateLimiter limiter(cfg, kGiB);
+  (void)limiter.Admit(1, kMiB, SimTime());  // drain the bucket
+  const ThrottleDecision d = limiter.Admit(1, kMiB, SimTime());
+  EXPECT_TRUE(d.throttled);
+  EXPECT_GT(d.delay.nanos(), 0);
+  // The imposed delay equals deficit / budget rate.
+  const double expected_seconds =
+      static_cast<double>(kMiB) / limiter.BudgetBytesPerSec();
+  EXPECT_NEAR(d.delay.ToSecondsF(), expected_seconds, expected_seconds * 0.01);
+}
+
+TEST(RateLimiterTest, TokensRefillOverTime) {
+  RateLimiterConfig cfg;
+  cfg.burst_bytes = kMiB;
+  WearRateLimiter limiter(cfg, kGiB);
+  (void)limiter.Admit(1, kMiB, SimTime());
+  // Wait long enough for a full refill.
+  const double refill_seconds =
+      static_cast<double>(kMiB) / limiter.BudgetBytesPerSec();
+  const SimTime later = SimTime() + SimDuration::FromSecondsF(refill_seconds * 1.1);
+  EXPECT_FALSE(limiter.Admit(1, kMiB, later).throttled);
+}
+
+TEST(RateLimiterTest, SelectiveIsolatesApps) {
+  RateLimiterConfig cfg;
+  cfg.selective = true;
+  cfg.burst_bytes = kMiB;
+  WearRateLimiter limiter(cfg, kGiB);
+  (void)limiter.Admit(1, kMiB, SimTime());             // app 1 drains its bucket
+  EXPECT_TRUE(limiter.Admit(1, kMiB, SimTime()).throttled);
+  EXPECT_FALSE(limiter.Admit(2, kMiB, SimTime()).throttled)
+      << "selective mode must not punish app 2 for app 1's abuse";
+}
+
+TEST(RateLimiterTest, GlobalBucketPunishesEveryone) {
+  RateLimiterConfig cfg;
+  cfg.selective = false;
+  cfg.burst_bytes = kMiB;
+  WearRateLimiter limiter(cfg, kGiB);
+  (void)limiter.Admit(1, kMiB, SimTime());
+  EXPECT_TRUE(limiter.Admit(2, kMiB, SimTime()).throttled)
+      << "naive global budget hits the benign app too (the paper's warning)";
+}
+
+TEST(WearIndicatorServiceTest, AlertsOnThresholds) {
+  auto device = MakeTinyDevice();
+  WearIndicatorService service({2, 3});
+  service.Poll(*device, SimTime());
+  EXPECT_TRUE(service.alerts().empty());
+  // Wear the device into level >= 2 (health_rated_pe=100 on the tiny FTL).
+  for (int round = 0; round < 16; ++round) {
+    for (uint64_t off = 0; off < device->CapacityBytes(); off += 256 * 1024) {
+      ASSERT_TRUE(device->Submit({IoKind::kWrite, off, 256 * 1024}).ok());
+    }
+  }
+  service.Poll(*device, SimTime(123));
+  ASSERT_FALSE(service.alerts().empty());
+  EXPECT_GE(service.alerts().front().level, 2u);
+  EXPECT_GE(service.last_seen_level(), 2u);
+  // Polling again must not duplicate the alert for the same threshold.
+  const size_t count = service.alerts().size();
+  service.Poll(*device, SimTime(456));
+  EXPECT_EQ(service.alerts().size(), count);
+}
+
+TEST(WearIndicatorServiceTest, SilentOnUnsupportedDevice) {
+  FlashDeviceConfig cfg;
+  cfg.health_supported = false;
+  FlashDevice device(cfg, MakeTinyFtl());
+  WearIndicatorService service({1});
+  service.Poll(device, SimTime());
+  EXPECT_TRUE(service.alerts().empty());
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,119 @@
+#include "src/android/monitors.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+namespace {
+
+constexpr AppId kApp = 42;
+
+TEST(PowerMonitorTest, AttributesOnBatteryOnly) {
+  PowerMonitor monitor;
+  PhoneState on_battery{false, true};
+  PhoneState charging{true, false};
+  monitor.RecordIo(kApp, kGiB, SimTime(), on_battery);
+  monitor.RecordIo(kApp, kGiB, SimTime(), charging);
+  // Only the on-battery GiB counts (40 J/GiB default).
+  EXPECT_NEAR(monitor.AttributedJoules(kApp), 40.0, 1e-9);
+}
+
+TEST(PowerMonitorTest, FlagsAboveDailyThreshold) {
+  PowerMonitorConfig cfg;
+  cfg.flag_threshold_joules_per_day = 50.0;
+  PowerMonitor monitor(cfg);
+  PhoneState on_battery{false, false};
+  const SimTime now = SimTime(3600ll * 1000000000);  // 1 hour in
+  monitor.RecordIo(kApp, kGiB, now, on_battery);
+  EXPECT_FALSE(monitor.IsFlagged(kApp, now)) << "40 J < 50 J/day";
+  monitor.RecordIo(kApp, kGiB, now, on_battery);
+  EXPECT_TRUE(monitor.IsFlagged(kApp, now)) << "80 J > 50 J/day";
+}
+
+TEST(PowerMonitorTest, DailyRateAveragesOverDays) {
+  PowerMonitor monitor;
+  PhoneState on_battery{false, false};
+  monitor.RecordIo(kApp, 2 * kGiB, SimTime(), on_battery);  // 80 J once
+  const SimTime after_ten_days = SimTime(10ll * 86400 * 1000000000);
+  EXPECT_FALSE(monitor.IsFlagged(kApp, after_ten_days)) << "8 J/day average";
+}
+
+TEST(PowerMonitorTest, UnknownAppHasZero) {
+  PowerMonitor monitor;
+  EXPECT_DOUBLE_EQ(monitor.AttributedJoules(7), 0.0);
+  EXPECT_FALSE(monitor.IsFlagged(7, SimTime()));
+}
+
+TEST(ProcessMonitorTest, CatchesScreenOnIo) {
+  ProcessMonitor monitor;
+  UsageSchedule schedule;  // 10:00-10:06 screen on
+  const SimTime start = SimTime(10ll * 3600 * 1000000000);
+  const SimTime end = start + SimDuration::Minutes(3);
+  monitor.ObserveIo(kApp, start, end, schedule);
+  // ~180 one-second samples, all screen-on.
+  EXPECT_GE(monitor.SamplesCaught(kApp), 170u);
+  EXPECT_TRUE(monitor.IsFlagged(kApp));
+}
+
+TEST(ProcessMonitorTest, MissesScreenOffIo) {
+  ProcessMonitor monitor;
+  UsageSchedule schedule;
+  const SimTime start = SimTime(2ll * 3600 * 1000000000);  // 02:00, asleep
+  monitor.ObserveIo(kApp, start, start + SimDuration::Minutes(30), schedule);
+  EXPECT_EQ(monitor.SamplesCaught(kApp), 0u);
+  EXPECT_FALSE(monitor.IsFlagged(kApp));
+}
+
+TEST(ProcessMonitorTest, FlagThresholdRespected) {
+  ProcessMonitorConfig cfg;
+  cfg.flag_after_samples = 100;
+  ProcessMonitor monitor(cfg);
+  UsageSchedule schedule;
+  const SimTime start = SimTime(10ll * 3600 * 1000000000);
+  monitor.ObserveIo(kApp, start, start + SimDuration::Seconds(50), schedule);
+  EXPECT_FALSE(monitor.IsFlagged(kApp)) << "~50 samples < 100";
+}
+
+TEST(ProcessMonitorTest, SamplingDoesNotDoubleCount) {
+  ProcessMonitor monitor;
+  UsageSchedule schedule;
+  const SimTime start = SimTime(10ll * 3600 * 1000000000);
+  // Two abutting bursts must sample each second at most once.
+  monitor.ObserveIo(kApp, start, start + SimDuration::Seconds(10), schedule);
+  monitor.ObserveIo(kApp, start + SimDuration::Seconds(10),
+                    start + SimDuration::Seconds(20), schedule);
+  EXPECT_LE(monitor.SamplesCaught(kApp), 21u);
+}
+
+TEST(ThermalModelTest, HeatsWithIoAndCools) {
+  ThermalModel thermal;
+  EXPECT_DOUBLE_EQ(thermal.TemperatureAt(SimTime()), 25.0);
+  thermal.RecordIo(10 * kGiB, SimTime());
+  const double hot = thermal.TemperatureAt(SimTime());
+  EXPECT_GT(hot, 30.0);
+  // After two half-lives the excess has quartered.
+  const SimTime later = SimTime() + SimDuration::Seconds(1200);
+  EXPECT_NEAR(thermal.TemperatureAt(later) - 25.0, (hot - 25.0) / 4.0, 0.1);
+}
+
+TEST(ThermalModelTest, SuspicionOnlyOffCharger) {
+  ThermalModel thermal;
+  thermal.RecordIo(50 * kGiB, SimTime());  // scorching
+  PhoneState charging{true, false};
+  PhoneState on_battery{false, false};
+  EXPECT_FALSE(thermal.IsSuspicious(SimTime(), charging))
+      << "heat attributed to the charger (§4.4)";
+  EXPECT_TRUE(thermal.IsSuspicious(SimTime(), on_battery));
+}
+
+TEST(ThermalModelTest, CoolPhoneNeverSuspicious) {
+  ThermalModel thermal;
+  PhoneState on_battery{false, false};
+  EXPECT_FALSE(thermal.IsSuspicious(SimTime(), on_battery));
+  thermal.RecordIo(kMiB, SimTime());
+  EXPECT_FALSE(thermal.IsSuspicious(SimTime(), on_battery));
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,80 @@
+#include "src/android/phone_state.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+SimTime AtClock(int64_t hour, int64_t minute = 0) {
+  return SimTime((hour * 3600 + minute * 60) * 1000000000ll);
+}
+
+TEST(UsageScheduleTest, OvernightCharging) {
+  UsageSchedule schedule;
+  EXPECT_TRUE(schedule.StateAt(AtClock(0)).charging);
+  EXPECT_TRUE(schedule.StateAt(AtClock(3)).charging);
+  EXPECT_TRUE(schedule.StateAt(AtClock(6, 59)).charging);
+  EXPECT_TRUE(schedule.StateAt(AtClock(23)).charging);
+  EXPECT_FALSE(schedule.StateAt(AtClock(7)).charging);
+  EXPECT_FALSE(schedule.StateAt(AtClock(12)).charging);
+  EXPECT_FALSE(schedule.StateAt(AtClock(22, 59)).charging);
+}
+
+TEST(UsageScheduleTest, AsleepScreenOff) {
+  UsageSchedule schedule;
+  EXPECT_FALSE(schedule.StateAt(AtClock(2)).screen_on);
+  EXPECT_FALSE(schedule.StateAt(AtClock(4, 30)).screen_on);
+}
+
+TEST(UsageScheduleTest, MorningSessionOnCharger) {
+  UsageSchedule schedule;  // morning use 06:30-07:00 by default
+  const PhoneState s = schedule.StateAt(AtClock(6, 45));
+  EXPECT_TRUE(s.charging);
+  EXPECT_TRUE(s.screen_on);
+}
+
+TEST(UsageScheduleTest, DaytimeScreenBursts) {
+  UsageSchedule schedule;  // 6 on / 24 off within each 30-minute cycle
+  EXPECT_TRUE(schedule.StateAt(AtClock(10, 2)).screen_on);
+  EXPECT_FALSE(schedule.StateAt(AtClock(10, 10)).screen_on);
+  EXPECT_TRUE(schedule.StateAt(AtClock(10, 31)).screen_on);
+}
+
+TEST(UsageScheduleTest, RepeatsDaily) {
+  UsageSchedule schedule;
+  for (int minute = 0; minute < 24 * 60; minute += 13) {
+    const SimTime day0 = SimTime(minute * 60ll * 1000000000);
+    const SimTime day3 = SimTime((minute * 60ll + 3 * 86400) * 1000000000);
+    EXPECT_EQ(schedule.StateAt(day0).charging, schedule.StateAt(day3).charging);
+    EXPECT_EQ(schedule.StateAt(day0).screen_on, schedule.StateAt(day3).screen_on);
+  }
+}
+
+TEST(UsageScheduleTest, StealthWindowFraction) {
+  UsageSchedule schedule;
+  // 8 charging hours minus 30 morning minutes = 7.5h of 24 => 31.25%.
+  EXPECT_NEAR(schedule.StealthWindowFraction(), 0.3125, 0.001);
+}
+
+TEST(UsageScheduleTest, NonWrappingChargeWindow) {
+  UsageScheduleConfig cfg;
+  cfg.charge_start_hour = 9;
+  cfg.charge_end_hour = 17;  // daytime desk charger
+  UsageSchedule schedule(cfg);
+  EXPECT_TRUE(schedule.StateAt(AtClock(12)).charging);
+  EXPECT_FALSE(schedule.StateAt(AtClock(20)).charging);
+  EXPECT_FALSE(schedule.StateAt(AtClock(2)).charging);
+}
+
+TEST(UsageScheduleTest, AlwaysScreenOffConfig) {
+  UsageScheduleConfig cfg;
+  cfg.screen_on_minutes = 0;
+  cfg.morning_use_minutes = 0;
+  UsageSchedule schedule(cfg);
+  for (int hour = 0; hour < 24; ++hour) {
+    EXPECT_FALSE(schedule.StateAt(AtClock(hour)).screen_on);
+  }
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,179 @@
+#include "src/android/android_system.h"
+
+#include <gtest/gtest.h>
+
+#include "src/android/attack_app.h"
+#include "src/fs/extfs.h"
+#include "src/simcore/units.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+class AndroidSystemTest : public ::testing::Test {
+ protected:
+  AndroidSystemTest()
+      : device_(MakeDurableDevice()), fs_(*device_), system_(fs_) {}
+  std::unique_ptr<FlashDevice> device_;
+  ExtFs fs_;
+  AndroidSystem system_;
+};
+
+TEST_F(AndroidSystemTest, SandboxPathsPerApp) {
+  EXPECT_EQ(AndroidSystem::SandboxPath(5, "a.dat"), "data/app5/a.dat");
+  EXPECT_NE(AndroidSystem::SandboxPath(5, "a.dat"), AndroidSystem::SandboxPath(6, "a.dat"));
+}
+
+TEST_F(AndroidSystemTest, AppIoFlowsThroughSandbox) {
+  ASSERT_TRUE(system_.AppCreate(1, "f").ok());
+  ASSERT_TRUE(system_.AppWrite(1, "f", 0, 4096, true).ok());
+  EXPECT_TRUE(fs_.Exists("data/app1/f"));
+  ASSERT_TRUE(system_.AppRead(1, "f", 0, 4096).ok());
+  ASSERT_TRUE(system_.AppUnlink(1, "f").ok());
+  EXPECT_FALSE(fs_.Exists("data/app1/f"));
+}
+
+TEST_F(AndroidSystemTest, AccountantSeesAppIo) {
+  ASSERT_TRUE(system_.AppCreate(3, "f").ok());
+  ASSERT_TRUE(system_.AppWrite(3, "f", 0, 8192, false).ok());
+  ASSERT_TRUE(system_.AppRead(3, "f", 0, 4096).ok());
+  EXPECT_EQ(system_.accountant().Usage(3).bytes_written, 8192u);
+  EXPECT_EQ(system_.accountant().Usage(3).bytes_read, 4096u);
+}
+
+TEST_F(AndroidSystemTest, ClockAdvancesWithIoAndIdle) {
+  const SimTime t0 = system_.Now();
+  ASSERT_TRUE(system_.AppCreate(1, "f").ok());
+  ASSERT_TRUE(system_.AppWrite(1, "f", 0, 1024 * 1024, true).ok());
+  const SimTime t1 = system_.Now();
+  EXPECT_GT(t1, t0);
+  system_.AdvanceIdle(SimDuration::Hours(2));
+  EXPECT_EQ((system_.Now() - t1).nanos(), SimDuration::Hours(2).nanos());
+}
+
+TEST_F(AndroidSystemTest, StateFollowsSchedule) {
+  EXPECT_TRUE(system_.StateNow().charging);  // midnight
+  system_.AdvanceIdle(SimDuration::Hours(12));
+  EXPECT_FALSE(system_.StateNow().charging);  // noon
+}
+
+TEST_F(AndroidSystemTest, DetectionSummaryForQuietApp) {
+  const DetectionSummary d = system_.Detection(1);
+  EXPECT_FALSE(d.power_flagged);
+  EXPECT_FALSE(d.process_flagged);
+  EXPECT_EQ(d.process_samples_caught, 0u);
+}
+
+TEST_F(AndroidSystemTest, RateLimiterEnforced) {
+  AndroidSystemConfig cfg;
+  cfg.enable_rate_limiter = true;
+  cfg.rate_limiter.burst_bytes = 64 * 1024;
+  cfg.rate_limiter.target_lifetime_days = 10000.0;
+  AndroidSystem limited(fs_, cfg);
+  EXPECT_TRUE(limited.rate_limiter_enabled());
+  ASSERT_TRUE(limited.AppCreate(1, "f").ok());
+  ASSERT_TRUE(limited.AppWrite(1, "f", 0, 64 * 1024, false).ok());
+  // Bucket drained: the next write must stall the app (idle time passes).
+  const SimTime before = limited.Now();
+  ASSERT_TRUE(limited.AppWrite(1, "f", 0, 64 * 1024, false).ok());
+  EXPECT_GT((limited.Now() - before).ToSecondsF(), 1.0);
+}
+
+TEST_F(AndroidSystemTest, WearServicePolling) {
+  system_.PollWearIndicator();
+  EXPECT_EQ(system_.wear_service().last_seen_level(), 1u);
+}
+
+TEST(AttackAppTest, InstallCreatesFiles) {
+  auto device = MakeDurableDevice();
+  ExtFs fs(*device);
+  AndroidSystem system(fs);
+  AttackAppConfig cfg;
+  cfg.file_count = 2;
+  cfg.file_bytes = 1 * kMiB;
+  WearAttackApp app(system, cfg);
+  ASSERT_TRUE(app.Install().ok());
+  EXPECT_TRUE(fs.Exists("data/app100/wear0.dat"));
+  EXPECT_TRUE(fs.Exists("data/app100/wear1.dat"));
+  EXPECT_EQ(fs.FileSize("data/app100/wear0.dat").value(), 1 * kMiB);
+}
+
+TEST(AttackAppTest, RunWithoutInstallFails) {
+  auto device = MakeDurableDevice();
+  ExtFs fs(*device);
+  AndroidSystem system(fs);
+  WearAttackApp app(system, AttackAppConfig{});
+  const AttackProgress p = app.RunUntil(system.Now() + SimDuration::Seconds(1));
+  EXPECT_EQ(p.last_error.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AttackAppTest, AggressivePolicyWritesContinuously) {
+  auto device = MakeDurableDevice();
+  ExtFs fs(*device);
+  AndroidSystem system(fs);
+  AttackAppConfig cfg;
+  cfg.file_count = 2;
+  cfg.file_bytes = 1 * kMiB;
+  WearAttackApp app(system, cfg);
+  ASSERT_TRUE(app.Install().ok());
+  const AttackProgress p = app.RunUntil(system.Now() + SimDuration::Seconds(10));
+  EXPECT_GT(p.bytes_written, 10u * kMiB);  // >1 MiB/s on any device here
+  EXPECT_EQ(p.idle_skips, 0u);
+  EXPECT_FALSE(p.device_bricked);
+}
+
+TEST(AttackAppTest, StealthPolicySleepsOffWindow) {
+  auto device = MakeDurableDevice();
+  ExtFs fs(*device);
+  AndroidSystem system(fs);
+  // Move to noon: not charging -> stealth app must not write.
+  system.AdvanceIdle(SimDuration::Hours(12));
+  AttackAppConfig cfg;
+  cfg.file_count = 1;
+  cfg.file_bytes = 1 * kMiB;
+  cfg.policy = AttackPolicy::kStealth;
+  WearAttackApp app(system, cfg);
+  ASSERT_TRUE(app.Install().ok());
+  const AttackProgress p = app.RunUntil(system.Now() + SimDuration::Hours(2));
+  EXPECT_EQ(p.bytes_written, 0u);
+  EXPECT_GT(p.idle_skips, 0u);
+}
+
+TEST(AttackAppTest, StealthPolicyWritesInWindow) {
+  auto device = MakeDurableDevice();
+  ExtFs fs(*device);
+  AndroidSystem system(fs);
+  // Midnight: charging, screen off -> stealth window open.
+  AttackAppConfig cfg;
+  cfg.file_count = 1;
+  cfg.file_bytes = 1 * kMiB;
+  cfg.policy = AttackPolicy::kStealth;
+  WearAttackApp app(system, cfg);
+  ASSERT_TRUE(app.Install().ok());
+  const AttackProgress p = app.RunUntil(system.Now() + SimDuration::Minutes(5));
+  EXPECT_GT(p.bytes_written, 0u);
+}
+
+TEST(AttackAppTest, BricksTinyDevice) {
+  auto device = MakeTinyDevice(5);  // rated 200 cycles; dies quickly
+  ExtFs fs(*device);
+  AndroidSystem system(fs);
+  AttackAppConfig cfg;
+  cfg.file_count = 1;
+  cfg.file_bytes = 1 * kMiB;
+  cfg.write_bytes = 64 * 1024;  // fast wear
+  WearAttackApp app(system, cfg);
+  ASSERT_TRUE(app.Install().ok());
+  const AttackProgress p = app.RunUntilBricked(SimDuration::Hours(1000));
+  EXPECT_TRUE(p.device_bricked);
+  EXPECT_TRUE(device->IsReadOnly());
+  EXPECT_EQ(p.last_error.code(), StatusCode::kUnavailable);
+}
+
+TEST(AttackAppTest, PolicyNames) {
+  EXPECT_STREQ(AttackPolicyName(AttackPolicy::kAggressive), "aggressive");
+  EXPECT_STREQ(AttackPolicyName(AttackPolicy::kStealth), "stealth");
+}
+
+}  // namespace
+}  // namespace flashsim

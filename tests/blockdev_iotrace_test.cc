@@ -1,0 +1,141 @@
+#include "src/blockdev/iotrace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/units.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+TEST(TraceRecorderTest, RecordsEntriesAndStats) {
+  TraceRecorder trace;
+  trace.Record({IoKind::kWrite, 0, 4096}, SimTime(0), SimDuration::Micros(200));
+  trace.Record({IoKind::kRead, 4096, 8192}, SimTime(1000), SimDuration::Micros(100));
+  EXPECT_EQ(trace.total_recorded(), 2u);
+  EXPECT_EQ(trace.entries().size(), 2u);
+  EXPECT_EQ(trace.bytes_written(), 4096u);
+  EXPECT_EQ(trace.bytes_read(), 8192u);
+  EXPECT_EQ(trace.WriteLatencyUs().TotalCount(), 1u);
+  EXPECT_EQ(trace.ReadLatencyUs().TotalCount(), 1u);
+  EXPECT_EQ(trace.SizeBytes().TotalCount(), 2u);
+}
+
+TEST(TraceRecorderTest, BoundedBufferKeepsCounting) {
+  TraceRecorder trace(/*max_entries=*/4);
+  for (int i = 0; i < 10; ++i) {
+    trace.Record({IoKind::kWrite, 0, 4096}, SimTime(i), SimDuration::Micros(10));
+  }
+  EXPECT_EQ(trace.entries().size(), 4u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  EXPECT_EQ(trace.bytes_written(), 10u * 4096);
+}
+
+TEST(TraceRecorderTest, SummaryMentionsVolume) {
+  TraceRecorder trace;
+  trace.Record({IoKind::kWrite, 0, kMiB}, SimTime(), SimDuration::Micros(500));
+  const std::string summary = trace.Summary();
+  EXPECT_NE(summary.find("1 reqs"), std::string::npos);
+  EXPECT_NE(summary.find("1.00 MiB written"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ClearResets) {
+  TraceRecorder trace;
+  trace.Record({IoKind::kWrite, 0, 4096}, SimTime(), SimDuration::Micros(10));
+  trace.Clear();
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_EQ(trace.bytes_written(), 0u);
+  EXPECT_EQ(trace.WriteLatencyUs().TotalCount(), 0u);
+}
+
+TEST(TraceIntegrationTest, DeviceRecordsItsRequests) {
+  auto device = MakeDurableDevice();
+  TraceRecorder trace;
+  device->SetTraceRecorder(&trace);
+  ASSERT_TRUE(device->Submit({IoKind::kWrite, 0, 64 * 1024}).ok());
+  ASSERT_TRUE(device->Submit({IoKind::kRead, 0, 4096}).ok());
+  device->SetTraceRecorder(nullptr);
+  ASSERT_TRUE(device->Submit({IoKind::kWrite, 0, 4096}).ok());  // not recorded
+  EXPECT_EQ(trace.total_recorded(), 2u);
+  EXPECT_EQ(trace.bytes_written(), 64u * 1024);
+  EXPECT_EQ(trace.entries()[0].kind, IoKind::kWrite);
+  EXPECT_GT(trace.entries()[0].service_time.nanos(), 0);
+}
+
+TEST(TraceReplayTest, ReplayReissuesSameBytes) {
+  auto source = MakeDurableDevice(1);
+  TraceRecorder trace;
+  source->SetTraceRecorder(&trace);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(source->Submit({IoKind::kWrite, static_cast<uint64_t>(i) * 8192,
+                                8192}).ok());
+  }
+  auto target = MakeDurableDevice(2);
+  const ReplayResult replay = ReplayTrace(trace.entries(), *target);
+  EXPECT_EQ(replay.requests_replayed, 32u);
+  EXPECT_EQ(replay.requests_failed, 0u);
+  EXPECT_EQ(target->HostBytesWritten(), 32u * 8192);
+  EXPECT_GT(replay.total_io_time.nanos(), 0);
+  EXPECT_GT(replay.trace_io_time.nanos(), 0);
+}
+
+TEST(TraceReplayTest, PreservesIdleGaps) {
+  auto source = MakeDurableDevice(1);
+  TraceRecorder trace;
+  source->SetTraceRecorder(&trace);
+  ASSERT_TRUE(source->Submit({IoKind::kWrite, 0, 4096}).ok());
+  source->clock().Advance(SimDuration::Seconds(10));  // think time
+  ASSERT_TRUE(source->Submit({IoKind::kWrite, 4096, 4096}).ok());
+
+  auto target = MakeDurableDevice(2);
+  (void)ReplayTrace(trace.entries(), *target);
+  // Target clock must include the ~10s gap.
+  EXPECT_GT(target->clock().Now().ToSecondsF(), 9.9);
+}
+
+TEST(TraceReplayTest, IdenticalDeviceReplaysAtUnitSlowdown) {
+  auto source = MakeDurableDevice(1);
+  TraceRecorder trace;
+  source->SetTraceRecorder(&trace);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(source->Submit({IoKind::kWrite, static_cast<uint64_t>(i) * 4096,
+                                4096}).ok());
+  }
+  auto twin = MakeDurableDevice(1);
+  const ReplayResult replay = ReplayTrace(trace.entries(), *twin);
+  EXPECT_NEAR(replay.SlowdownFactor(), 1.0, 0.05);
+}
+
+TEST(TraceReplayTest, OffsetsWrapOnSmallerTarget) {
+  auto source = MakeDurableDevice(1);
+  TraceRecorder trace;
+  source->SetTraceRecorder(&trace);
+  const uint64_t high = source->CapacityBytes() - 4096;
+  ASSERT_TRUE(source->Submit({IoKind::kWrite, high, 4096}).ok());
+
+  auto tiny = MakeTinyDevice(2);  // smaller than source
+  ASSERT_LT(tiny->CapacityBytes(), source->CapacityBytes());
+  const ReplayResult replay = ReplayTrace(trace.entries(), *tiny);
+  EXPECT_EQ(replay.requests_replayed, 1u);
+  EXPECT_EQ(replay.requests_failed, 0u);
+}
+
+TEST(TraceReplayTest, StopsWhenTargetBricks) {
+  auto source = MakeDurableDevice(1);
+  TraceRecorder trace;
+  source->SetTraceRecorder(&trace);
+  // A heavy write stream: ~12 GiB against the frail target's ~3 GiB budget.
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_TRUE(
+        source->Submit({IoKind::kWrite, (i % 128) * 256ull * 1024, 256 * 1024}).ok());
+  }
+  auto frail = MakeTinyDevice(3);  // 200-cycle NAND: will die mid-replay
+  const ReplayResult replay = ReplayTrace(trace.entries(), *frail);
+  EXPECT_EQ(replay.status.code(), StatusCode::kUnavailable);
+  EXPECT_LT(replay.requests_replayed, 50000u);
+  EXPECT_TRUE(frail->IsReadOnly());
+}
+
+}  // namespace
+}  // namespace flashsim

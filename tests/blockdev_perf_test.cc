@@ -1,0 +1,119 @@
+#include "src/blockdev/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/blockdev/block_device.h"
+
+namespace flashsim {
+namespace {
+
+PerfModelConfig BaseConfig() {
+  PerfModelConfig cfg;
+  cfg.per_request_overhead = SimDuration::Micros(100);
+  cfg.bus_mib_per_sec = 100.0;
+  cfg.effective_parallelism = 8;
+  return cfg;
+}
+
+TEST(PerfModelTest, OverheadDominatesTinyRequests) {
+  PerfModel model(BaseConfig());
+  const SimDuration t = model.ServiceTime(512, SimDuration::Micros(8), true);
+  // 100us overhead + max(~5us transfer, 1us array) => just over 100us.
+  EXPECT_GE(t, SimDuration::Micros(100));
+  EXPECT_LT(t, SimDuration::Micros(120));
+}
+
+TEST(PerfModelTest, TransferAndArrayPipeline) {
+  PerfModel model(BaseConfig());
+  // Array-bound: 8ms serial array / 8 = 1ms >> transfer of 4 KiB.
+  const SimDuration array_bound =
+      model.ServiceTime(4096, SimDuration::Millis(8), true);
+  EXPECT_GE(array_bound, SimDuration::Millis(1));
+  EXPECT_LT(array_bound, SimDuration::Micros(1200));
+  // Transfer-bound: 10 MiB at 100 MiB/s = 100ms >> tiny array time.
+  const SimDuration transfer_bound =
+      model.ServiceTime(10 * 1024 * 1024, SimDuration::Micros(10), true);
+  EXPECT_GE(transfer_bound, SimDuration::Millis(99));
+  EXPECT_LT(transfer_bound, SimDuration::Millis(110));
+}
+
+TEST(PerfModelTest, RandomPenaltyOnlyWhenNotSequential) {
+  PerfModelConfig cfg = BaseConfig();
+  cfg.random_write_penalty = SimDuration::Millis(3);
+  PerfModel model(cfg);
+  const SimDuration seq = model.ServiceTime(4096, SimDuration::Micros(100), true);
+  const SimDuration rand = model.ServiceTime(4096, SimDuration::Micros(100), false);
+  EXPECT_EQ((rand - seq).nanos(), SimDuration::Millis(3).nanos());
+}
+
+TEST(PerfModelTest, MonotonicInArrayTime) {
+  PerfModel model(BaseConfig());
+  SimDuration prev;
+  for (int ms = 1; ms <= 32; ms *= 2) {
+    const SimDuration t = model.ServiceTime(4096, SimDuration::Millis(ms), true);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PerfModelTest, ParallelismDividesArrayTime) {
+  PerfModelConfig one = BaseConfig();
+  one.effective_parallelism = 1;
+  PerfModelConfig eight = BaseConfig();
+  eight.effective_parallelism = 8;
+  const SimDuration array = SimDuration::Millis(8);
+  const SimDuration t1 = PerfModel(one).ServiceTime(4096, array, true);
+  const SimDuration t8 = PerfModel(eight).ServiceTime(4096, array, true);
+  // 8ms vs 1ms array component (plus equal overhead).
+  EXPECT_GT(t1.nanos(), t8.nanos() * 4);
+}
+
+TEST(PerfModelTest, ZeroParallelismTreatedAsOne) {
+  PerfModelConfig cfg = BaseConfig();
+  cfg.effective_parallelism = 0;
+  PerfModel model(cfg);
+  const SimDuration t = model.ServiceTime(4096, SimDuration::Millis(1), true);
+  EXPECT_GE(t, SimDuration::Millis(1));
+}
+
+TEST(PerfModelTest, PlateauIsMinOfArrayAndBus) {
+  // Array limit: 4 KiB * 8 / 800us = 39 MiB/s < bus 100 => array-limited.
+  PerfModel model(BaseConfig());
+  const double plateau = model.PlateauMiBPerSec(4096, SimDuration::Micros(800));
+  EXPECT_NEAR(plateau, 39.06, 0.5);
+  // Faster array: bus-limited.
+  PerfModelConfig wide = BaseConfig();
+  wide.effective_parallelism = 64;
+  EXPECT_DOUBLE_EQ(PerfModel(wide).PlateauMiBPerSec(4096, SimDuration::Micros(800)),
+                   100.0);
+}
+
+// Property: service time is monotone nondecreasing in request size when the
+// array time scales with the request (the realistic coupling).
+class PerfMonotoneSize : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PerfMonotoneSize, ServiceGrowsWithSize) {
+  PerfModelConfig cfg = BaseConfig();
+  cfg.effective_parallelism = GetParam();
+  PerfModel model(cfg);
+  SimDuration prev;
+  for (uint64_t bytes = 512; bytes <= 16 * 1024 * 1024; bytes *= 2) {
+    const uint64_t pages = (bytes + 4095) / 4096;
+    const SimDuration array = SimDuration::Micros(800) * static_cast<int64_t>(pages);
+    const SimDuration t = model.ServiceTime(bytes, array, true);
+    EXPECT_GE(t, prev) << "bytes=" << bytes;
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parallelism, PerfMonotoneSize,
+                         ::testing::Values(1u, 4u, 16u, 64u));
+
+TEST(BlockDeviceTest, IoKindNames) {
+  EXPECT_STREQ(IoKindName(IoKind::kRead), "read");
+  EXPECT_STREQ(IoKindName(IoKind::kWrite), "write");
+  EXPECT_STREQ(IoKindName(IoKind::kDiscard), "discard");
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,156 @@
+#include "src/device/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/units.h"
+#include "src/wearlab/bandwidth_probe.h"
+
+namespace flashsim {
+namespace {
+
+TEST(CatalogTest, SevenDevicesInOrder) {
+  const auto& catalog = DeviceCatalog();
+  ASSERT_EQ(catalog.size(), 7u);
+  EXPECT_EQ(catalog[0].name, "uSD 16GB");
+  EXPECT_EQ(catalog[1].name, "eMMC 8GB");
+  EXPECT_EQ(catalog[2].name, "eMMC 16GB");
+  EXPECT_EQ(catalog[3].name, "Moto E 8GB");
+  EXPECT_EQ(catalog[4].name, "Samsung S6 32GB");
+  EXPECT_EQ(catalog[5].name, "BLU 512MB");
+  EXPECT_EQ(catalog[6].name, "BLU 4GB");
+}
+
+TEST(CatalogTest, Figure1DevicesAreTheFive) {
+  ASSERT_EQ(Figure1Devices().size(), 5u);
+}
+
+// Every catalog device must construct and accept basic I/O at several scales.
+struct ScaleCase {
+  uint32_t cap_div;
+  uint32_t end_div;
+};
+
+class CatalogAtScale : public ::testing::TestWithParam<ScaleCase> {};
+
+TEST_P(CatalogAtScale, AllDevicesConstructAndWrite) {
+  const SimScale scale{GetParam().cap_div, GetParam().end_div};
+  for (const CatalogEntry& entry : DeviceCatalog()) {
+    auto device = entry.make(scale, /*seed=*/1);
+    ASSERT_NE(device, nullptr) << entry.name;
+    EXPECT_GT(device->CapacityBytes(), 0u) << entry.name;
+    EXPECT_TRUE(device->Submit({IoKind::kWrite, 0, 4096}).ok()) << entry.name;
+    EXPECT_TRUE(device->Submit({IoKind::kRead, 0, 4096}).ok()) << entry.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CatalogAtScale,
+                         ::testing::Values(ScaleCase{16, 1}, ScaleCase{32, 16},
+                                           ScaleCase{64, 32}));
+
+TEST(CatalogTest, CapacityOrderingAtFullScaleGeometry) {
+  // At scale 16, relative capacities still reflect the real devices.
+  const SimScale s{16, 1};
+  auto usd = MakeUsd16(s);
+  auto emmc8 = MakeEmmc8(s);
+  auto emmc16 = MakeEmmc16(s);
+  auto s6 = MakeSamsungS6(s);
+  auto blu512 = MakeBlu512(s);
+  EXPECT_GT(usd->CapacityBytes(), emmc8->CapacityBytes());
+  EXPECT_GT(emmc16->CapacityBytes(), emmc8->CapacityBytes());
+  EXPECT_GT(s6->CapacityBytes(), emmc16->CapacityBytes());
+  EXPECT_LT(blu512->CapacityBytes(), emmc8->CapacityBytes());
+}
+
+TEST(CatalogTest, HealthSupportMatchesPaper) {
+  const SimScale s{64, 32};
+  EXPECT_FALSE(MakeUsd16(s)->QueryHealth().supported);
+  EXPECT_TRUE(MakeEmmc8(s)->QueryHealth().supported);
+  EXPECT_TRUE(MakeEmmc16(s)->QueryHealth().supported);
+  EXPECT_TRUE(MakeMotoE8(s)->QueryHealth().supported);
+  EXPECT_TRUE(MakeSamsungS6(s)->QueryHealth().supported);
+  EXPECT_FALSE(MakeBlu512(s)->QueryHealth().supported);
+  EXPECT_FALSE(MakeBlu4(s)->QueryHealth().supported);
+}
+
+TEST(CatalogTest, Emmc16ReportsBothWearTypes) {
+  auto device = MakeEmmc16(SimScale{64, 32});
+  // Force the health path through some writes.
+  ASSERT_TRUE(device->Submit({IoKind::kWrite, 0, 64 * 1024}).ok());
+  const HealthReport h = device->ftl().Health();
+  EXPECT_GE(h.life_time_est_a, 1u);
+  EXPECT_GE(h.life_time_est_b, 1u);
+  EXPECT_GT(h.rated_pe_a, h.rated_pe_b) << "Type A is the high-endurance region";
+}
+
+TEST(CatalogTest, SimScaleVolumeFactor) {
+  EXPECT_DOUBLE_EQ((SimScale{1, 1}).VolumeFactor(), 1.0);
+  EXPECT_DOUBLE_EQ((SimScale{32, 16}).VolumeFactor(), 512.0);
+}
+
+// Figure 1 shape assertions (fast, small probes).
+TEST(CatalogShapeTest, EmmcBeatsUsdAtRandom4K) {
+  const SimScale s{64, 1};
+  auto usd = MakeUsd16(s, 1);
+  auto emmc = MakeEmmc8(s, 1);
+  BandwidthProbeConfig probe;
+  probe.pattern = AccessPattern::kRandom;
+  probe.request_bytes = 4096;
+  probe.total_bytes = 4 * kMiB;
+  probe.region_bytes = 32 * kMiB;
+  const double usd_bw = RunBandwidthProbe(*usd, probe).mib_per_sec;
+  const double emmc_bw = RunBandwidthProbe(*emmc, probe).mib_per_sec;
+  EXPECT_GT(emmc_bw, 5.0 * usd_bw);
+}
+
+TEST(CatalogShapeTest, EmmcRandomCloseToSequential) {
+  const SimScale s{64, 1};
+  BandwidthProbeConfig probe;
+  probe.request_bytes = 64 * 1024;
+  probe.total_bytes = 8 * kMiB;
+  probe.region_bytes = 32 * kMiB;
+  auto seq_dev = MakeEmmc8(s, 1);
+  probe.pattern = AccessPattern::kSequential;
+  const double seq = RunBandwidthProbe(*seq_dev, probe).mib_per_sec;
+  auto rand_dev = MakeEmmc8(s, 1);
+  probe.pattern = AccessPattern::kRandom;
+  const double rand = RunBandwidthProbe(*rand_dev, probe).mib_per_sec;
+  EXPECT_NEAR(rand / seq, 1.0, 0.1);
+}
+
+TEST(CatalogShapeTest, UsdRandomFarBelowSequential) {
+  const SimScale s{64, 1};
+  BandwidthProbeConfig probe;
+  probe.request_bytes = 4096;
+  probe.total_bytes = 2 * kMiB;
+  probe.region_bytes = 32 * kMiB;
+  auto seq_dev = MakeUsd16(s, 1);
+  probe.pattern = AccessPattern::kSequential;
+  const double seq = RunBandwidthProbe(*seq_dev, probe).mib_per_sec;
+  auto rand_dev = MakeUsd16(s, 1);
+  probe.pattern = AccessPattern::kRandom;
+  const double rand = RunBandwidthProbe(*rand_dev, probe).mib_per_sec;
+  EXPECT_LT(rand, seq / 3.0);
+}
+
+TEST(CatalogShapeTest, BandwidthGrowsThenPlateaus) {
+  const SimScale s{64, 1};
+  BandwidthProbeConfig probe;
+  probe.pattern = AccessPattern::kSequential;
+  probe.region_bytes = 32 * kMiB;
+  double bw_4k = 0;
+  double bw_1m = 0;
+  double bw_4m = 0;
+  for (auto [size, out] : {std::pair<uint64_t, double*>{4096, &bw_4k},
+                           {1 * kMiB, &bw_1m},
+                           {4 * kMiB, &bw_4m}}) {
+    auto device = MakeSamsungS6(s, 1);
+    probe.request_bytes = size;
+    probe.total_bytes = std::max<uint64_t>(8 * kMiB, 2 * size);
+    *out = RunBandwidthProbe(*device, probe).mib_per_sec;
+  }
+  EXPECT_GT(bw_1m, 2.0 * bw_4k);           // growth region
+  EXPECT_NEAR(bw_4m / bw_1m, 1.0, 0.15);   // plateau
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,139 @@
+#include "src/device/flash_device.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+TEST(FlashDeviceTest, CapacityMatchesFtl) {
+  auto device = MakeTinyDevice();
+  EXPECT_EQ(device->CapacityBytes(), 25u * 128 * 4096);
+  EXPECT_EQ(device->PageSizeBytes(), 4096u);
+  EXPECT_FALSE(device->IsReadOnly());
+}
+
+TEST(FlashDeviceTest, RejectsBadRequests) {
+  auto device = MakeTinyDevice();
+  EXPECT_EQ(device->Submit({IoKind::kWrite, 0, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(device->Submit({IoKind::kWrite, device->CapacityBytes(), 4096})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(device->Submit({IoKind::kWrite, device->CapacityBytes() - 4096, 8192})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(FlashDeviceTest, WriteAdvancesClockAndMeters) {
+  auto device = MakeTinyDevice();
+  const SimTime before = device->clock().Now();
+  Result<IoCompletion> done = device->Submit({IoKind::kWrite, 0, 4096});
+  ASSERT_TRUE(done.ok());
+  EXPECT_GT(device->clock().Now(), before);
+  EXPECT_EQ(device->clock().Now() - before, done.value().service_time);
+  EXPECT_EQ(device->HostBytesWritten(), 4096u);
+  EXPECT_EQ(device->write_meter().operations(), 1u);
+}
+
+TEST(FlashDeviceTest, ReadAfterWrite) {
+  auto device = MakeTinyDevice();
+  ASSERT_TRUE(device->Submit({IoKind::kWrite, 4096, 8192}).ok());
+  Result<IoCompletion> read = device->Submit({IoKind::kRead, 4096, 8192});
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(device->read_meter().total_bytes(), 8192u);
+}
+
+TEST(FlashDeviceTest, ReadOfUnwrittenRegionReturnsZeros) {
+  auto device = MakeTinyDevice();
+  // Reading a hole is not an error (acts as zero-fill) and costs no array time.
+  EXPECT_TRUE(device->Submit({IoKind::kRead, 0, 4096}).ok());
+}
+
+TEST(FlashDeviceTest, SubPageWriteCostsReadModifyWrite) {
+  auto device = MakeTinyDevice();
+  ASSERT_TRUE(device->Submit({IoKind::kWrite, 0, 4096}).ok());
+  const uint64_t reads_before = device->ftl().Stats().host_pages_read;
+  // 512-byte write into a mapped page: a read-modify-write.
+  ASSERT_TRUE(device->Submit({IoKind::kWrite, 512, 512}).ok());
+  EXPECT_GT(device->ftl().Stats().host_pages_read, reads_before);
+}
+
+TEST(FlashDeviceTest, UnalignedWriteSpanningPages) {
+  auto device = MakeTinyDevice();
+  // 6 KiB write starting at 2 KiB touches pages 0 and 1 and ends mid-page 2?
+  // offset 2048 length 6144 -> [2048, 8192): pages 0 and 1.
+  ASSERT_TRUE(device->Submit({IoKind::kWrite, 2048, 6144}).ok());
+  EXPECT_TRUE(device->ftl().Health().supported);
+  EXPECT_TRUE(device->Submit({IoKind::kRead, 4096, 4096}).ok());
+}
+
+TEST(FlashDeviceTest, DiscardOnlyFullPages) {
+  auto device = MakeTinyDevice();
+  ASSERT_TRUE(device->Submit({IoKind::kWrite, 0, 3 * 4096}).ok());
+  // Discard [2048, 10240): only page 1 ([4096,8192)) is fully covered.
+  ASSERT_TRUE(device->Submit({IoKind::kDiscard, 2048, 8192}).ok());
+  EXPECT_TRUE(device->Submit({IoKind::kRead, 0, 4096}).ok());       // page 0 intact
+  EXPECT_EQ(device->ftl().Stats().valid_pages, 2u);                 // page 1 gone
+}
+
+TEST(FlashDeviceTest, SequentialDetection) {
+  FlashDeviceConfig cfg;
+  cfg.name = "penalty-device";
+  cfg.perf.per_request_overhead = SimDuration::Micros(10);
+  cfg.perf.bus_mib_per_sec = 1000.0;
+  cfg.perf.effective_parallelism = 64;
+  cfg.perf.random_write_penalty = SimDuration::Millis(5);
+  FlashDevice device(cfg, MakeTinyFtl());
+  // First write (offset 0) counts as sequential (cursor starts at 0).
+  Result<IoCompletion> w0 = device.Submit({IoKind::kWrite, 0, 4096});
+  ASSERT_TRUE(w0.ok());
+  EXPECT_LT(w0.value().service_time, SimDuration::Millis(1));
+  // Next sequential write: no penalty.
+  Result<IoCompletion> w1 = device.Submit({IoKind::kWrite, 4096, 4096});
+  ASSERT_TRUE(w1.ok());
+  EXPECT_LT(w1.value().service_time, SimDuration::Millis(1));
+  // Jump: penalty applies.
+  Result<IoCompletion> w2 = device.Submit({IoKind::kWrite, 64 * 4096, 4096});
+  ASSERT_TRUE(w2.ok());
+  EXPECT_GE(w2.value().service_time, SimDuration::Millis(5));
+}
+
+TEST(FlashDeviceTest, HealthUnsupportedDevice) {
+  FlashDeviceConfig cfg;
+  cfg.name = "budget";
+  cfg.health_supported = false;
+  FlashDevice device(cfg, MakeTinyFtl());
+  const HealthReport h = device.QueryHealth();
+  EXPECT_FALSE(h.supported);
+  EXPECT_EQ(h.life_time_est_a, 0u);
+  EXPECT_EQ(h.pre_eol, PreEolInfo::kNotDefined);
+}
+
+TEST(FlashDeviceTest, HealthSupportedDevice) {
+  auto device = MakeTinyDevice();
+  const HealthReport h = device->QueryHealth();
+  EXPECT_TRUE(h.supported);
+  EXPECT_EQ(h.life_time_est_a, 1u);
+}
+
+TEST(FlashDeviceTest, LargeWriteCoalescesPages) {
+  auto device = MakeTinyDevice();
+  Result<IoCompletion> done = device->Submit({IoKind::kWrite, 0, 1024 * 1024});
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(device->ftl().Stats().host_pages_written, 256u);
+}
+
+TEST(FlashDeviceTest, ClockCategoriesTracked) {
+  auto device = MakeTinyDevice();
+  ASSERT_TRUE(device->Submit({IoKind::kWrite, 0, 4096}).ok());
+  ASSERT_TRUE(device->Submit({IoKind::kRead, 0, 4096}).ok());
+  EXPECT_GT(device->clock().CategoryTotal("write").nanos(), 0);
+  EXPECT_GT(device->clock().CategoryTotal("read").nanos(), 0);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,178 @@
+// Interface-contract tests run against BOTH file systems via TEST_P: any
+// Filesystem implementation must satisfy these.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "src/fs/extfs.h"
+#include "src/fs/logfs.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+struct FsFixture {
+  std::unique_ptr<FlashDevice> device;
+  std::unique_ptr<Filesystem> fs;
+};
+
+using FsFactory = std::function<FsFixture()>;
+
+FsFixture MakeExt() {
+  FsFixture f;
+  f.device = MakeDurableDevice();
+  f.fs = std::make_unique<ExtFs>(*f.device);
+  return f;
+}
+
+FsFixture MakeLog() {
+  FsFixture f;
+  f.device = MakeDurableDevice();
+  f.fs = std::make_unique<LogFs>(*f.device);
+  return f;
+}
+
+struct FsCase {
+  const char* name;
+  FsFactory factory;
+};
+
+class FsContract : public ::testing::TestWithParam<FsCase> {
+ protected:
+  void SetUp() override { fixture_ = GetParam().factory(); }
+  Filesystem& fs() { return *fixture_.fs; }
+  FsFixture fixture_;
+};
+
+TEST_P(FsContract, CreateAndExists) {
+  EXPECT_FALSE(fs().Exists("a.txt"));
+  ASSERT_TRUE(fs().Create("a.txt").ok());
+  EXPECT_TRUE(fs().Exists("a.txt"));
+  EXPECT_EQ(fs().Create("a.txt").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_P(FsContract, WriteExtendsFile) {
+  ASSERT_TRUE(fs().Create("f").ok());
+  ASSERT_TRUE(fs().Write("f", 0, 10000, false).ok());
+  Result<uint64_t> size = fs().FileSize("f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 10000u);
+  // Writing inside the file does not shrink it.
+  ASSERT_TRUE(fs().Write("f", 100, 200, false).ok());
+  EXPECT_EQ(fs().FileSize("f").value(), 10000u);
+  // Writing past the end extends it.
+  ASSERT_TRUE(fs().Write("f", 20000, 100, false).ok());
+  EXPECT_EQ(fs().FileSize("f").value(), 20100u);
+}
+
+TEST_P(FsContract, WriteToMissingFileFails) {
+  EXPECT_EQ(fs().Write("nope", 0, 10, false).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs().Read("nope", 0, 10).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs().Fsync("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs().Unlink("nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs().FileSize("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_P(FsContract, ZeroLengthWriteRejected) {
+  ASSERT_TRUE(fs().Create("f").ok());
+  EXPECT_EQ(fs().Write("f", 0, 0, false).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_P(FsContract, ReadWithinBounds) {
+  ASSERT_TRUE(fs().Create("f").ok());
+  ASSERT_TRUE(fs().Write("f", 0, 64 * 1024, false).ok());
+  EXPECT_TRUE(fs().Read("f", 0, 64 * 1024).ok());
+  EXPECT_TRUE(fs().Read("f", 1000, 5000).ok());
+  EXPECT_EQ(fs().Read("f", 0, 64 * 1024 + 1).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(fs().Read("f", 64 * 1024, 1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_P(FsContract, UnlinkRemovesAndFreesSpace) {
+  ASSERT_TRUE(fs().Create("f").ok());
+  const uint64_t before = fs().FreeBytes();
+  ASSERT_TRUE(fs().Write("f", 0, 1024 * 1024, false).ok());
+  EXPECT_LT(fs().FreeBytes(), before);
+  ASSERT_TRUE(fs().Unlink("f").ok());
+  EXPECT_FALSE(fs().Exists("f"));
+  // Space comes back, modulo log-structured lag: invalidated blocks are
+  // reclaimed by the cleaner segment-by-segment, so allow a segment or two.
+  EXPECT_GE(fs().FreeBytes() + 4 * 1024 * 1024, before);
+}
+
+TEST_P(FsContract, ListReturnsAllFiles) {
+  ASSERT_TRUE(fs().Create("a").ok());
+  ASSERT_TRUE(fs().Create("b").ok());
+  ASSERT_TRUE(fs().Create("c").ok());
+  EXPECT_EQ(fs().List().size(), 3u);
+}
+
+TEST_P(FsContract, FsyncSucceedsAndCounts) {
+  ASSERT_TRUE(fs().Create("f").ok());
+  ASSERT_TRUE(fs().Write("f", 0, 4096, false).ok());
+  ASSERT_TRUE(fs().Fsync("f").ok());
+  EXPECT_GE(fs().stats().fsyncs, 1u);
+}
+
+TEST_P(FsContract, AppBytesAccounted) {
+  ASSERT_TRUE(fs().Create("f").ok());
+  ASSERT_TRUE(fs().Write("f", 0, 123456, false).ok());
+  EXPECT_EQ(fs().stats().app_bytes_written, 123456u);
+}
+
+TEST_P(FsContract, DeviceSeesWrites) {
+  ASSERT_TRUE(fs().Create("f").ok());
+  ASSERT_TRUE(fs().Write("f", 0, 1024 * 1024, true).ok());
+  EXPECT_GE(fixture_.device->HostBytesWritten(), 1024u * 1024);
+}
+
+TEST_P(FsContract, WriteAmplificationAtLeastOne) {
+  ASSERT_TRUE(fs().Create("f").ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(fs().Write("f", static_cast<uint64_t>(i) * 4096, 4096, true).ok());
+  }
+  ASSERT_TRUE(fs().Fsync("f").ok());
+  EXPECT_GE(fs().stats().FsWriteAmplification(), 1.0);
+}
+
+TEST_P(FsContract, ManyFilesRoundtrip) {
+  for (int i = 0; i < 50; ++i) {
+    const std::string name = "file" + std::to_string(i);
+    ASSERT_TRUE(fs().Create(name).ok());
+    ASSERT_TRUE(fs().Write(name, 0, 4096 * (1 + i % 7), false).ok());
+  }
+  EXPECT_EQ(fs().List().size(), 50u);
+  for (int i = 0; i < 50; i += 2) {
+    ASSERT_TRUE(fs().Unlink("file" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(fs().List().size(), 25u);
+  for (int i = 1; i < 50; i += 2) {
+    EXPECT_TRUE(fs().Read("file" + std::to_string(i), 0, 4096).ok());
+  }
+}
+
+TEST_P(FsContract, OutOfSpaceSurfacesCleanly) {
+  ASSERT_TRUE(fs().Create("big").ok());
+  const uint64_t free = fs().FreeBytes();
+  // Try to write more than fits; must fail with RESOURCE_EXHAUSTED, not crash.
+  Status st = Status::Ok();
+  uint64_t off = 0;
+  while (st.ok() && off < free * 2) {
+    st = fs().Write("big", off, 4 * 1024 * 1024, false).status();
+    off += 4 * 1024 * 1024;
+  }
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFilesystems, FsContract,
+                         ::testing::Values(FsCase{"ExtFs", MakeExt},
+                                           FsCase{"LogFs", MakeLog}),
+                         [](const ::testing::TestParamInfo<FsCase>& param_info) {
+                           return param_info.param.name;
+                         });
+
+}  // namespace
+}  // namespace flashsim

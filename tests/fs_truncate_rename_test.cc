@@ -1,0 +1,123 @@
+// Truncate/rename contract, run against both file systems.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "src/fs/extfs.h"
+#include "src/fs/logfs.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+struct FsFixture {
+  std::unique_ptr<FlashDevice> device;
+  std::unique_ptr<Filesystem> fs;
+};
+
+struct FsCase {
+  const char* name;
+  std::function<FsFixture()> factory;
+};
+
+class FsTruncRename : public ::testing::TestWithParam<FsCase> {
+ protected:
+  void SetUp() override { fixture_ = GetParam().factory(); }
+  Filesystem& fs() { return *fixture_.fs; }
+  FsFixture fixture_;
+};
+
+TEST_P(FsTruncRename, ShrinkFreesSpace) {
+  ASSERT_TRUE(fs().Create("f").ok());
+  ASSERT_TRUE(fs().Write("f", 0, 2 * 1024 * 1024, true).ok());
+  ASSERT_TRUE(fs().Truncate("f", 64 * 1024).ok());
+  EXPECT_EQ(fs().FileSize("f").value(), 64u * 1024);
+  // The dropped space is reusable: a fresh 2 MiB file must fit. (In the
+  // log-structured FS the free count lags until the cleaner runs, so we
+  // check usability, not the instantaneous counter.)
+  ASSERT_TRUE(fs().Create("g").ok());
+  EXPECT_TRUE(fs().Write("g", 0, 2 * 1024 * 1024, true).ok());
+  // Data inside the kept prefix is still readable.
+  EXPECT_TRUE(fs().Read("f", 0, 64 * 1024).ok());
+  // Reads past the new size fail.
+  EXPECT_EQ(fs().Read("f", 64 * 1024, 4096).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_P(FsTruncRename, SparseExtendIsCheap) {
+  ASSERT_TRUE(fs().Create("f").ok());
+  ASSERT_TRUE(fs().Write("f", 0, 4096, true).ok());
+  const uint64_t free_before = fs().FreeBytes();
+  ASSERT_TRUE(fs().Truncate("f", 8 * 1024 * 1024).ok());
+  EXPECT_EQ(fs().FileSize("f").value(), 8u * 1024 * 1024);
+  EXPECT_EQ(fs().FreeBytes(), free_before) << "extension allocates nothing";
+}
+
+TEST_P(FsTruncRename, TruncateToZero) {
+  ASSERT_TRUE(fs().Create("f").ok());
+  ASSERT_TRUE(fs().Write("f", 0, 256 * 1024, true).ok());
+  ASSERT_TRUE(fs().Truncate("f", 0).ok());
+  EXPECT_EQ(fs().FileSize("f").value(), 0u);
+  // The file can be refilled afterwards.
+  ASSERT_TRUE(fs().Write("f", 0, 4096, true).ok());
+  EXPECT_TRUE(fs().Read("f", 0, 4096).ok());
+}
+
+TEST_P(FsTruncRename, TruncateMissingFileFails) {
+  EXPECT_EQ(fs().Truncate("nope", 0).code(), StatusCode::kNotFound);
+}
+
+TEST_P(FsTruncRename, RenameMovesFile) {
+  ASSERT_TRUE(fs().Create("old").ok());
+  ASSERT_TRUE(fs().Write("old", 0, 64 * 1024, true).ok());
+  ASSERT_TRUE(fs().Rename("old", "new").ok());
+  EXPECT_FALSE(fs().Exists("old"));
+  EXPECT_TRUE(fs().Exists("new"));
+  EXPECT_EQ(fs().FileSize("new").value(), 64u * 1024);
+  EXPECT_TRUE(fs().Read("new", 0, 64 * 1024).ok());
+}
+
+TEST_P(FsTruncRename, RenameRefusesToClobber) {
+  ASSERT_TRUE(fs().Create("a").ok());
+  ASSERT_TRUE(fs().Create("b").ok());
+  EXPECT_EQ(fs().Rename("a", "b").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(fs().Rename("missing", "c").code(), StatusCode::kNotFound);
+}
+
+TEST_P(FsTruncRename, RenamedFileSurvivesChurn) {
+  ASSERT_TRUE(fs().Create("keep").ok());
+  ASSERT_TRUE(fs().Write("keep", 0, 128 * 1024, true).ok());
+  ASSERT_TRUE(fs().Rename("keep", "kept").ok());
+  // Churn another file hard (drives the log-structured cleaner).
+  ASSERT_TRUE(fs().Create("churn").ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(fs().Write("churn", (i % 64) * 4096ull, 4096, i % 8 == 0).ok());
+  }
+  EXPECT_TRUE(fs().Read("kept", 0, 128 * 1024).ok());
+}
+
+FsFixture MakeExt() {
+  FsFixture f;
+  f.device = MakeDurableDevice();
+  f.fs = std::make_unique<ExtFs>(*f.device);
+  return f;
+}
+
+FsFixture MakeLog() {
+  FsFixture f;
+  f.device = MakeDurableDevice();
+  f.fs = std::make_unique<LogFs>(*f.device);
+  return f;
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFilesystems, FsTruncRename,
+                         ::testing::Values(FsCase{"ExtFs", MakeExt},
+                                           FsCase{"LogFs", MakeLog}),
+                         [](const ::testing::TestParamInfo<FsCase>& param_info) {
+                           return param_info.param.name;
+                         });
+
+}  // namespace
+}  // namespace flashsim

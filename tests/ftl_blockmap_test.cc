@@ -1,0 +1,178 @@
+#include "src/ftl/block_map_ftl.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/rng.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+BlockMapFtlConfig TinyBlockMapConfig() {
+  BlockMapFtlConfig cfg;
+  cfg.log_blocks = 4;
+  cfg.spare_blocks = 4;
+  cfg.health_rated_pe = 100;
+  return cfg;
+}
+
+std::unique_ptr<BlockMapFtl> MakeBlockMap(uint64_t seed = 1) {
+  NandChipConfig nand = TinyChipConfig();
+  nand.rated_pe_cycles = 100000;  // endurance out of scope for most tests
+  return std::make_unique<BlockMapFtl>(nand, TinyBlockMapConfig(), seed);
+}
+
+TEST(BlockMapFtlTest, ConfigValidation) {
+  BlockMapFtlConfig bad = TinyBlockMapConfig();
+  bad.log_blocks = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = TinyBlockMapConfig();
+  bad.health_rated_pe = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  EXPECT_TRUE(TinyBlockMapConfig().Validate().ok());
+}
+
+TEST(BlockMapFtlTest, LogicalCapacityReservesLogsAndSpares) {
+  auto ftl = MakeBlockMap();
+  // 32 total - 4 spares - 4 logs - 2 = 22 logical blocks.
+  EXPECT_EQ(ftl->LogicalPageCount(), 22u * 128);
+}
+
+TEST(BlockMapFtlTest, WriteReadRoundtrip) {
+  auto ftl = MakeBlockMap();
+  ASSERT_TRUE(ftl->WritePage(5).ok());
+  EXPECT_TRUE(ftl->ReadPage(5).ok());
+  EXPECT_EQ(ftl->ReadPage(6).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BlockMapFtlTest, OutOfRangeRejected) {
+  auto ftl = MakeBlockMap();
+  const uint64_t beyond = ftl->LogicalPageCount();
+  EXPECT_EQ(ftl->WritePage(beyond).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ftl->ReadPage(beyond).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ftl->TrimPage(beyond).code(), StatusCode::kOutOfRange);
+}
+
+TEST(BlockMapFtlTest, SequentialFillUsesSwitchMerges) {
+  auto ftl = MakeBlockMap();
+  // Write four full logical blocks strictly in order.
+  for (uint64_t lpn = 0; lpn < 4u * 128; ++lpn) {
+    ASSERT_TRUE(ftl->WritePage(lpn).ok());
+  }
+  EXPECT_EQ(ftl->switch_merges(), 4u);
+  EXPECT_EQ(ftl->full_merges(), 0u);
+  // WA is exactly 1: every NAND program was a host page.
+  EXPECT_DOUBLE_EQ(ftl->Stats().WriteAmplification(), 1.0);
+}
+
+TEST(BlockMapFtlTest, RandomWritesForceFullMerges) {
+  auto ftl = MakeBlockMap(7);
+  Rng rng(3);
+  const uint64_t logical = ftl->LogicalPageCount();
+  // Populate, then rewrite randomly: log pool thrashes, full merges follow.
+  for (uint64_t lpn = 0; lpn < logical; ++lpn) {
+    ASSERT_TRUE(ftl->WritePage(lpn).ok());
+  }
+  const uint64_t merges_before = ftl->full_merges();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(ftl->WritePage(rng.UniformU64(logical)).ok());
+  }
+  EXPECT_GT(ftl->full_merges(), merges_before + 50);
+  EXPECT_GT(ftl->Stats().WriteAmplification(), 3.0)
+      << "random writes on a block-mapped FTL amplify heavily";
+}
+
+TEST(BlockMapFtlTest, RandomSlowerThanSequential) {
+  // The Figure 1 uSD asymmetry, at the FTL level: simulated time per byte.
+  auto seq_ftl = MakeBlockMap(1);
+  SimDuration seq_time;
+  for (uint64_t lpn = 0; lpn < 1024; ++lpn) {
+    Result<SimDuration> w = seq_ftl->WritePage(lpn);
+    ASSERT_TRUE(w.ok());
+    seq_time += w.value();
+  }
+  auto rand_ftl = MakeBlockMap(1);
+  // Populate first so merges have content to copy.
+  for (uint64_t lpn = 0; lpn < rand_ftl->LogicalPageCount(); ++lpn) {
+    ASSERT_TRUE(rand_ftl->WritePage(lpn).ok());
+  }
+  Rng rng(5);
+  SimDuration rand_time;
+  for (int i = 0; i < 1024; ++i) {
+    Result<SimDuration> w = rand_ftl->WritePage(rng.UniformU64(rand_ftl->LogicalPageCount()));
+    ASSERT_TRUE(w.ok());
+    rand_time += w.value();
+  }
+  EXPECT_GT(rand_time.nanos(), 5 * seq_time.nanos());
+}
+
+TEST(BlockMapFtlTest, NewestLogCopyWins) {
+  auto ftl = MakeBlockMap();
+  ASSERT_TRUE(ftl->WritePage(10).ok());
+  ASSERT_TRUE(ftl->WritePage(10).ok());
+  ASSERT_TRUE(ftl->WritePage(10).ok());
+  EXPECT_TRUE(ftl->ReadPage(10).ok());
+  // Force the merge and re-read: the page must survive.
+  Rng rng(9);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(ftl->WritePage(rng.UniformU64(ftl->LogicalPageCount())).ok());
+  }
+  EXPECT_TRUE(ftl->ReadPage(10).ok());
+}
+
+TEST(BlockMapFtlTest, DataSurvivesLogEviction) {
+  auto ftl = MakeBlockMap();
+  // Touch more logical blocks than there are log blocks.
+  const uint32_t ppb = 128;
+  for (uint64_t lb = 0; lb < 10; ++lb) {
+    ASSERT_TRUE(ftl->WritePage(lb * ppb + 3).ok());
+  }
+  for (uint64_t lb = 0; lb < 10; ++lb) {
+    EXPECT_TRUE(ftl->ReadPage(lb * ppb + 3).ok()) << "lb " << lb;
+  }
+  EXPECT_LE(ftl->open_log_blocks(), 4u);
+}
+
+TEST(BlockMapFtlTest, TrimmedPagesSkippedAtMerge) {
+  auto ftl = MakeBlockMap();
+  ASSERT_TRUE(ftl->WritePage(0).ok());
+  ASSERT_TRUE(ftl->WritePage(1).ok());
+  ASSERT_TRUE(ftl->TrimPage(0).ok());
+  EXPECT_EQ(ftl->ReadPage(0).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(ftl->ReadPage(1).ok());
+  EXPECT_EQ(ftl->Stats().valid_pages, 1u);
+}
+
+TEST(BlockMapFtlTest, UtilizationCountsUniquePages) {
+  auto ftl = MakeBlockMap();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ftl->WritePage(0).ok());  // same page repeatedly
+  }
+  EXPECT_EQ(ftl->Stats().valid_pages, 1u);
+  EXPECT_LT(ftl->Utilization(), 0.01);
+}
+
+TEST(BlockMapFtlTest, HealthReportsSparePool) {
+  auto ftl = MakeBlockMap();
+  const HealthReport h = ftl->Health();
+  EXPECT_EQ(h.spare_blocks_total, 4u);
+  EXPECT_EQ(h.spare_blocks_used, 0u);
+  EXPECT_EQ(h.life_time_est_b, 0u);
+}
+
+TEST(BlockMapFtlTest, WearsOutAndBricks) {
+  NandChipConfig nand = TinyChipConfig();
+  nand.rated_pe_cycles = 20;
+  nand.failure_ceiling = 0.3;
+  BlockMapFtl ftl(nand, TinyBlockMapConfig(), 5);
+  Rng rng(6);
+  Status last = Status::Ok();
+  for (uint64_t i = 0; i < 20u * 1000 * 1000 && last.ok(); ++i) {
+    last = ftl.WritePage(rng.UniformU64(ftl.LogicalPageCount())).status();
+  }
+  EXPECT_EQ(last.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(ftl.IsReadOnly());
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,75 @@
+#include "src/ftl/health.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(HealthTest, LevelBoundaries) {
+  EXPECT_EQ(LifeFractionToLevel(0.0), 1u);
+  EXPECT_EQ(LifeFractionToLevel(0.0999), 1u);
+  EXPECT_EQ(LifeFractionToLevel(0.10), 2u);
+  EXPECT_EQ(LifeFractionToLevel(0.55), 6u);
+  EXPECT_EQ(LifeFractionToLevel(0.9999), 10u);
+  EXPECT_EQ(LifeFractionToLevel(1.0), 11u);
+}
+
+TEST(HealthTest, LevelClampsAtEleven) {
+  EXPECT_EQ(LifeFractionToLevel(1.5), 11u);
+  EXPECT_EQ(LifeFractionToLevel(100.0), 11u);
+}
+
+TEST(HealthTest, NegativeFractionIsLevelOne) {
+  EXPECT_EQ(LifeFractionToLevel(-0.5), 1u);
+}
+
+// Parameterized: every level n covers exactly [(n-1)*10%, n*10%).
+class LevelSemantics : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LevelSemantics, JedecWindow) {
+  const uint32_t level = GetParam();
+  const double low = (level - 1) * 0.10;
+  const double high = level * 0.10;
+  EXPECT_EQ(LifeFractionToLevel(low), level);
+  EXPECT_EQ(LifeFractionToLevel(high - 1e-9), level);
+  EXPECT_EQ(LifeFractionToLevel(high), level + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, LevelSemantics,
+                         ::testing::Values(1u, 2u, 5u, 9u, 10u));
+
+TEST(HealthTest, PreEolThresholds) {
+  EXPECT_EQ(ComputePreEol(0, 100), PreEolInfo::kNormal);
+  EXPECT_EQ(ComputePreEol(79, 100), PreEolInfo::kNormal);
+  EXPECT_EQ(ComputePreEol(80, 100), PreEolInfo::kWarning);
+  EXPECT_EQ(ComputePreEol(97, 100), PreEolInfo::kWarning);
+  EXPECT_EQ(ComputePreEol(98, 100), PreEolInfo::kUrgent);
+  EXPECT_EQ(ComputePreEol(100, 100), PreEolInfo::kUrgent);
+}
+
+TEST(HealthTest, PreEolUndefinedWithoutSpares) {
+  EXPECT_EQ(ComputePreEol(0, 0), PreEolInfo::kNotDefined);
+}
+
+TEST(HealthTest, PreEolNames) {
+  EXPECT_STREQ(PreEolInfoName(PreEolInfo::kNormal), "NORMAL");
+  EXPECT_STREQ(PreEolInfoName(PreEolInfo::kUrgent), "URGENT");
+}
+
+TEST(HealthTest, ReportToString) {
+  HealthReport r;
+  r.life_time_est_a = 3;
+  r.life_time_est_b = 1;
+  r.pre_eol = PreEolInfo::kNormal;
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("A=3"), std::string::npos);
+  EXPECT_NE(s.find("B=1"), std::string::npos);
+  EXPECT_NE(s.find("NORMAL"), std::string::npos);
+
+  HealthReport unsupported;
+  unsupported.supported = false;
+  EXPECT_EQ(unsupported.ToString(), "health reporting unsupported");
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,158 @@
+#include "src/ftl/hybrid_ftl.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/rng.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+TEST(HybridFtlTest, LogicalSpaceComesFromMlcPool) {
+  auto hybrid = MakeTinyHybrid();
+  auto plain = MakeTinyFtl();
+  EXPECT_EQ(hybrid->LogicalPageCount(), plain->LogicalPageCount());
+  EXPECT_EQ(hybrid->PageSizeBytes(), 4096u);
+}
+
+TEST(HybridFtlTest, WriteLandsInCacheFirst) {
+  auto hybrid = MakeTinyHybrid();
+  ASSERT_TRUE(hybrid->WritePage(0).ok());
+  EXPECT_EQ(hybrid->cache_resident_pages(), 1u);
+  EXPECT_GT(hybrid->cache_chip().counters().Get("nand.programs"), 0u);
+  // Nothing migrated to MLC yet.
+  EXPECT_EQ(hybrid->mlc_pool().Stats().nand_pages_written, 0u);
+}
+
+TEST(HybridFtlTest, ReadHitsCacheThenMlc) {
+  auto hybrid = MakeTinyHybrid();
+  ASSERT_TRUE(hybrid->WritePage(0).ok());
+  ASSERT_TRUE(hybrid->ReadPage(0).ok());
+  EXPECT_GT(hybrid->cache_chip().counters().Get("nand.reads"), 0u);
+  // Force eviction by writing a lot; then the read must come from MLC.
+  for (uint64_t i = 1; i < 2000; ++i) {
+    ASSERT_TRUE(hybrid->WritePage(i % hybrid->LogicalPageCount()).ok());
+  }
+  ASSERT_TRUE(hybrid->ReadPage(0).ok());
+}
+
+TEST(HybridFtlTest, EvictionMigratesToMlc) {
+  auto hybrid = MakeTinyHybrid();
+  // Write more than the cache pipeline holds (8 blocks x 128 pages = 1024).
+  for (uint64_t i = 0; i < 2048; ++i) {
+    ASSERT_TRUE(hybrid->WritePage(i % hybrid->LogicalPageCount()).ok());
+  }
+  EXPECT_GT(hybrid->mlc_pool().Stats().nand_pages_written, 0u);
+  // Cache stays bounded.
+  EXPECT_LE(hybrid->cache_resident_pages(), 8u * 128);
+}
+
+TEST(HybridFtlTest, ReadUnwrittenNotFound) {
+  auto hybrid = MakeTinyHybrid();
+  EXPECT_EQ(hybrid->ReadPage(0).status().code(), StatusCode::kNotFound);
+}
+
+TEST(HybridFtlTest, OutOfRangeRejected) {
+  auto hybrid = MakeTinyHybrid();
+  const uint64_t beyond = hybrid->LogicalPageCount();
+  EXPECT_EQ(hybrid->WritePage(beyond).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(hybrid->ReadPage(beyond).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(hybrid->TrimPage(beyond).code(), StatusCode::kOutOfRange);
+}
+
+TEST(HybridFtlTest, TrimDropsCacheAndMlcCopies) {
+  auto hybrid = MakeTinyHybrid();
+  ASSERT_TRUE(hybrid->WritePage(7).ok());
+  ASSERT_TRUE(hybrid->TrimPage(7).ok());
+  EXPECT_EQ(hybrid->ReadPage(7).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(hybrid->cache_resident_pages(), 0u);
+}
+
+TEST(HybridFtlTest, HealthReportsBothTypes) {
+  auto hybrid = MakeTinyHybrid();
+  const HealthReport h = hybrid->Health();
+  EXPECT_TRUE(h.supported);
+  EXPECT_GE(h.life_time_est_a, 1u);
+  EXPECT_GE(h.life_time_est_b, 1u);
+  EXPECT_EQ(h.rated_pe_a, TinyHybridConfig().health_rated_pe_a);
+  EXPECT_EQ(h.rated_pe_b, TinyFtlConfig().health_rated_pe);
+}
+
+TEST(HybridFtlTest, TypeAWearsSlowerThanTypeBAtLowUtilization) {
+  auto hybrid = MakeTinyHybrid();
+  // Rewrite a small region for a while (well below merge utilization).
+  for (int round = 0; round < 40; ++round) {
+    for (uint64_t lpn = 0; lpn < 512; ++lpn) {
+      ASSERT_TRUE(hybrid->WritePage(lpn).ok());
+    }
+  }
+  const HealthReport h = hybrid->Health();
+  const double frac_a = h.avg_pe_a / h.rated_pe_a;
+  const double frac_b = h.avg_pe_b / h.rated_pe_b;
+  EXPECT_GT(frac_b, frac_a) << "Type A (huge endurance) must age slower";
+}
+
+TEST(HybridFtlTest, MergedModeRequiresUtilizationAndPressure) {
+  auto hybrid = MakeTinyHybrid();
+  EXPECT_FALSE(hybrid->InMergedMode());
+  // Fill to ~90% of logical space.
+  const uint64_t logical = hybrid->LogicalPageCount();
+  for (uint64_t lpn = 0; lpn < logical * 9 / 10; ++lpn) {
+    ASSERT_TRUE(hybrid->WritePage(lpn).ok());
+  }
+  // Rewrite utilized space at random: GC pressure + utilization -> merge.
+  Rng rng(5);
+  for (int i = 0; i < 30000 && !hybrid->InMergedMode(); ++i) {
+    ASSERT_TRUE(hybrid->WritePage(rng.UniformU64(logical * 9 / 10)).ok());
+  }
+  EXPECT_TRUE(hybrid->InMergedMode());
+  EXPECT_TRUE(hybrid->mlc_pool().divert_gc_wear());
+}
+
+TEST(HybridFtlTest, MergedModeAcceleratesTypeAWear) {
+  auto hybrid = MakeTinyHybrid();
+  const uint64_t logical = hybrid->LogicalPageCount();
+  // Phase 1: low utilization baseline wear rate.
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(hybrid->WritePage(i % 512).ok());
+  }
+  const double wear_low = hybrid->Health().avg_pe_a;
+  // Phase 2: fill to 90% and rewrite utilized space.
+  for (uint64_t lpn = 0; lpn < logical * 9 / 10; ++lpn) {
+    ASSERT_TRUE(hybrid->WritePage(lpn).ok());
+  }
+  const double wear_before = hybrid->Health().avg_pe_a;
+  Rng rng(6);
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(hybrid->WritePage(rng.UniformU64(logical * 9 / 10)).ok());
+  }
+  const double wear_high = hybrid->Health().avg_pe_a;
+  // Same write count, far more Type A wear in the merged regime.
+  EXPECT_GT(wear_high - wear_before, 3.0 * (wear_low - 0.0));
+}
+
+TEST(HybridFtlTest, StatsCombineCacheAndPool) {
+  auto hybrid = MakeTinyHybrid();
+  for (uint64_t i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(hybrid->WritePage(i % 1024).ok());
+  }
+  const FtlStats s = hybrid->Stats();
+  EXPECT_EQ(s.host_pages_written, 3000u);
+  // Cache program + migration to MLC: WA close to 2 in steady state.
+  EXPECT_GT(s.WriteAmplification(), 1.3);
+  EXPECT_LT(s.WriteAmplification(), 3.0);
+}
+
+TEST(HybridFtlTest, SupersededCachePagesAreNotMigrated) {
+  auto hybrid = MakeTinyHybrid();
+  // Rewrite ONE page over and over: migrations should be far fewer than
+  // writes (most copies die in the cache pipeline).
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(hybrid->WritePage(0).ok());
+  }
+  EXPECT_LT(hybrid->mlc_pool().Stats().nand_pages_written, 4096u);
+  EXPECT_TRUE(hybrid->ReadPage(0).ok());
+}
+
+}  // namespace
+}  // namespace flashsim

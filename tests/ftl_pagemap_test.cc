@@ -1,0 +1,260 @@
+#include "src/ftl/page_map_ftl.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/simcore/rng.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+TEST(PageMapFtlTest, LogicalCapacityReflectsOverProvisioning) {
+  auto ftl = MakeTinyFtl();
+  // 32 blocks - 4 spares = 28 usable; 10% OP -> floor(28*0.9)=25 blocks.
+  EXPECT_EQ(ftl->LogicalPageCount(), 25u * 128);
+  EXPECT_EQ(ftl->PageSizeBytes(), 4096u);
+}
+
+TEST(PageMapFtlTest, ReadUnwrittenIsNotFound) {
+  auto ftl = MakeTinyFtl();
+  EXPECT_EQ(ftl->ReadPage(0).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(ftl->IsMapped(0));
+}
+
+TEST(PageMapFtlTest, WriteReadRoundtrip) {
+  auto ftl = MakeTinyFtl();
+  ASSERT_TRUE(ftl->WritePage(5).ok());
+  EXPECT_TRUE(ftl->IsMapped(5));
+  EXPECT_TRUE(ftl->ReadPage(5).ok());
+}
+
+TEST(PageMapFtlTest, OutOfRangeLpnRejected) {
+  auto ftl = MakeTinyFtl();
+  const uint64_t beyond = ftl->LogicalPageCount();
+  EXPECT_EQ(ftl->WritePage(beyond).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ftl->ReadPage(beyond).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ftl->TrimPage(beyond).code(), StatusCode::kOutOfRange);
+}
+
+TEST(PageMapFtlTest, TrimUnmapsPage) {
+  auto ftl = MakeTinyFtl();
+  ASSERT_TRUE(ftl->WritePage(3).ok());
+  ASSERT_TRUE(ftl->TrimPage(3).ok());
+  EXPECT_FALSE(ftl->IsMapped(3));
+  EXPECT_EQ(ftl->ReadPage(3).status().code(), StatusCode::kNotFound);
+  // Trimming an unmapped page is a no-op, not an error.
+  EXPECT_TRUE(ftl->TrimPage(3).ok());
+}
+
+TEST(PageMapFtlTest, UtilizationTracksValidPages) {
+  auto ftl = MakeTinyFtl();
+  EXPECT_DOUBLE_EQ(ftl->Utilization(), 0.0);
+  const uint64_t quarter = ftl->LogicalPageCount() / 4;
+  for (uint64_t lpn = 0; lpn < quarter; ++lpn) {
+    ASSERT_TRUE(ftl->WritePage(lpn).ok());
+  }
+  EXPECT_NEAR(ftl->Utilization(), 0.25, 0.01);
+  // Rewriting the same pages must not change utilization.
+  for (uint64_t lpn = 0; lpn < quarter; ++lpn) {
+    ASSERT_TRUE(ftl->WritePage(lpn).ok());
+  }
+  EXPECT_NEAR(ftl->Utilization(), 0.25, 0.01);
+}
+
+TEST(PageMapFtlTest, StatsCountHostAndNandWrites) {
+  auto ftl = MakeTinyFtl();
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ftl->WritePage(i).ok());
+  }
+  const FtlStats s = ftl->Stats();
+  EXPECT_EQ(s.host_pages_written, 100u);
+  EXPECT_GE(s.nand_pages_written, 100u);
+  EXPECT_GE(s.WriteAmplification(), 1.0);
+  EXPECT_EQ(s.valid_pages, 100u);
+}
+
+TEST(PageMapFtlTest, WriteAmplificationOneWithoutPressure) {
+  auto ftl = MakeTinyFtl();
+  // Write well under capacity once: no GC, WA exactly 1.
+  for (uint64_t i = 0; i < 256; ++i) {
+    ASSERT_TRUE(ftl->WritePage(i).ok());
+  }
+  EXPECT_DOUBLE_EQ(ftl->Stats().WriteAmplification(), 1.0);
+}
+
+TEST(PageMapFtlTest, FillEntireLogicalSpace) {
+  auto ftl = MakeTinyFtl();
+  for (uint64_t lpn = 0; lpn < ftl->LogicalPageCount(); ++lpn) {
+    ASSERT_TRUE(ftl->WritePage(lpn).ok()) << "lpn " << lpn;
+  }
+  EXPECT_NEAR(ftl->Utilization(), 1.0, 1e-9);
+  // Sequential full rewrite invalidates whole blocks: background reclaim
+  // keeps WA at exactly 1 even at 100% utilization.
+  for (uint64_t lpn = 0; lpn < ftl->LogicalPageCount(); ++lpn) {
+    ASSERT_TRUE(ftl->WritePage(lpn).ok()) << "rewrite lpn " << lpn;
+  }
+  EXPECT_DOUBLE_EQ(ftl->Stats().WriteAmplification(), 1.0);
+  // Random rewrites at full utilization fragment the blocks, so GC must
+  // migrate live pages: WA rises above 1.
+  Rng rng(4321);
+  for (uint64_t i = 0; i < 4 * ftl->LogicalPageCount(); ++i) {
+    ASSERT_TRUE(ftl->WritePage(rng.UniformU64(ftl->LogicalPageCount())).ok());
+  }
+  EXPECT_GT(ftl->Stats().WriteAmplification(), 1.2);
+}
+
+TEST(PageMapFtlTest, MappingConsistencyUnderRandomRewrites) {
+  // Shadow-model check: after arbitrary rewrites/trims, exactly the pages
+  // the model says are live are mapped.
+  auto ftl = MakeTinyFtl(99);
+  Rng rng(1234);
+  std::map<uint64_t, bool> shadow;
+  const uint64_t logical = ftl->LogicalPageCount();
+  for (int op = 0; op < 20000; ++op) {
+    const uint64_t lpn = rng.UniformU64(logical);
+    if (rng.Bernoulli(0.8)) {
+      ASSERT_TRUE(ftl->WritePage(lpn).ok());
+      shadow[lpn] = true;
+    } else {
+      ASSERT_TRUE(ftl->TrimPage(lpn).ok());
+      shadow[lpn] = false;
+    }
+  }
+  for (const auto& [lpn, live] : shadow) {
+    EXPECT_EQ(ftl->IsMapped(lpn), live) << "lpn " << lpn;
+  }
+}
+
+TEST(PageMapFtlTest, GcReclaimsInvalidatedSpace) {
+  auto ftl = MakeTinyFtl();
+  // Hammer a small set of pages far beyond physical capacity: only GC can
+  // make this succeed.
+  for (int round = 0; round < 200; ++round) {
+    for (uint64_t lpn = 0; lpn < 64; ++lpn) {
+      ASSERT_TRUE(ftl->WritePage(lpn).ok()) << "round " << round;
+    }
+  }
+  EXPECT_EQ(ftl->Stats().valid_pages, 64u);
+  EXPECT_GE(ftl->free_block_count(), ftl->config().gc_free_block_watermark - 1);
+}
+
+TEST(PageMapFtlTest, WearLevelingBoundsSpread) {
+  auto ftl = MakeTinyFtl();
+  // Skewed workload: a cold set pinning most of the device, plus a hot set.
+  for (uint64_t lpn = 64; lpn < ftl->LogicalPageCount(); ++lpn) {
+    ASSERT_TRUE(ftl->WritePage(lpn).ok());
+  }
+  for (int round = 0; round < 400; ++round) {
+    for (uint64_t lpn = 0; lpn < 32; ++lpn) {
+      ASSERT_TRUE(ftl->WritePage(lpn).ok());
+    }
+  }
+  const WearSummary wear = ftl->chip().ComputeWearSummary();
+  // Dynamic + static wear leveling must keep the P/E spread within a few
+  // multiples of the configured threshold.
+  EXPECT_LE(wear.max_pe - wear.min_pe, 4 * ftl->config().wear_level_threshold)
+      << "min=" << wear.min_pe << " max=" << wear.max_pe;
+}
+
+TEST(PageMapFtlTest, WearLevelingDisabledAllowsSpread) {
+  NandChipConfig nand = TinyChipConfig();
+  nand.rated_pe_cycles = 100000;  // keep failures out of this test
+  FtlConfig cfg = TinyFtlConfig();
+  cfg.wear_level_threshold = 0;  // static WL off
+  cfg.health_rated_pe = 100000;
+  PageMapFtl ftl(nand, cfg, 1);
+  // Cold data pins most of the device; dynamic WL alone cannot touch it.
+  const uint64_t logical = ftl.LogicalPageCount();
+  for (uint64_t lpn = 64; lpn < logical; ++lpn) {
+    ASSERT_TRUE(ftl.WritePage(lpn).ok());
+  }
+  for (int round = 0; round < 400; ++round) {
+    for (uint64_t lpn = 0; lpn < 32; ++lpn) {
+      ASSERT_TRUE(ftl.WritePage(lpn).ok());
+    }
+  }
+  const WearSummary wear = ftl.chip().ComputeWearSummary();
+  // Without static WL the cold blocks stay cold while the hot set spins.
+  EXPECT_EQ(wear.min_pe, 0u);
+  EXPECT_GT(wear.max_pe, 8u);
+}
+
+TEST(PageMapFtlTest, HealthAdvancesWithWear) {
+  auto ftl = MakeTinyFtl();
+  EXPECT_EQ(ftl->Health().life_time_est_a, 1u);
+  EXPECT_EQ(ftl->Health().life_time_est_b, 0u);  // single pool
+  // ~15 full-device rewrites at health_rated_pe=100 => ~15% life => level 2.
+  const uint64_t logical = ftl->LogicalPageCount();
+  for (int round = 0; round < 17; ++round) {
+    for (uint64_t lpn = 0; lpn < logical; ++lpn) {
+      ASSERT_TRUE(ftl->WritePage(lpn).ok());
+    }
+  }
+  EXPECT_GE(ftl->Health().life_time_est_a, 2u);
+  EXPECT_EQ(ftl->Health().pre_eol, PreEolInfo::kNormal);
+}
+
+TEST(PageMapFtlTest, DeviceBricksAtEndOfLife) {
+  NandChipConfig nand = TinyChipConfig();
+  nand.rated_pe_cycles = 30;   // die fast
+  nand.failure_ceiling = 0.3;  // and decisively
+  FtlConfig cfg = TinyFtlConfig();
+  cfg.health_rated_pe = 15;
+  PageMapFtl ftl(nand, cfg, 7);
+  Status last = Status::Ok();
+  for (uint64_t i = 0; i < 50u * 1000 * 1000 && last.ok(); ++i) {
+    last = ftl.WritePage(i % 64).status();
+  }
+  EXPECT_EQ(last.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(ftl.IsReadOnly());
+  // Once read-only, everything write-ish fails, reads of intact data work.
+  EXPECT_EQ(ftl.WritePage(0).status().code(), StatusCode::kUnavailable);
+  const HealthReport health = ftl.Health();
+  EXPECT_EQ(health.pre_eol, PreEolInfo::kUrgent);
+  EXPECT_GE(health.life_time_est_a, 11u);
+}
+
+TEST(PageMapFtlTest, WriteTimeIncludesGcWork) {
+  auto ftl = MakeTinyFtl();
+  // First pass: no GC.
+  Result<SimDuration> first = ftl->WritePage(0);
+  ASSERT_TRUE(first.ok());
+  // Fill the device and keep rewriting: some writes must carry GC time.
+  SimDuration max_seen;
+  for (int round = 0; round < 60; ++round) {
+    for (uint64_t lpn = 0; lpn < ftl->LogicalPageCount(); lpn += 1) {
+      Result<SimDuration> w = ftl->WritePage(lpn);
+      ASSERT_TRUE(w.ok());
+      if (w.value() > max_seen) {
+        max_seen = w.value();
+      }
+    }
+  }
+  EXPECT_GT(max_seen, first.value() * 2);
+}
+
+TEST(PageMapFtlTest, InternalWritesNotCountedAsHost) {
+  auto ftl = MakeTinyFtl();
+  ASSERT_TRUE(ftl->WritePageInternal(1, /*count_as_host=*/false).ok());
+  EXPECT_EQ(ftl->Stats().host_pages_written, 0u);
+  EXPECT_EQ(ftl->Stats().nand_pages_written, 1u);
+  EXPECT_TRUE(ftl->IsMapped(1));
+}
+
+TEST(PageMapFtlTest, GcPolicyCostBenefitAlsoWorks) {
+  NandChipConfig nand = TinyChipConfig();
+  FtlConfig cfg = TinyFtlConfig();
+  cfg.gc_policy = GcPolicy::kCostBenefit;
+  PageMapFtl ftl(nand, cfg, 3);
+  for (int round = 0; round < 100; ++round) {
+    for (uint64_t lpn = 0; lpn < 128; ++lpn) {
+      ASSERT_TRUE(ftl.WritePage(lpn).ok());
+    }
+  }
+  EXPECT_EQ(ftl.Stats().valid_pages, 128u);
+}
+
+}  // namespace
+}  // namespace flashsim

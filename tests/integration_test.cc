@@ -1,0 +1,158 @@
+// Cross-module integration tests: whole-stack behaviours the paper's story
+// depends on, checked end-to-end at small scale.
+
+#include <gtest/gtest.h>
+
+#include "src/device/catalog.h"
+#include "src/fs/extfs.h"
+#include "src/fs/logfs.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/bandwidth_probe.h"
+#include "src/wearlab/lifetime_estimator.h"
+#include "src/wearlab/phone.h"
+#include "src/wearlab/wearout_experiment.h"
+
+namespace flashsim {
+namespace {
+
+TEST(IntegrationTest, EnvelopeIsOptimisticAboutMeasuredWear) {
+  // The headline claim: measured write budget << capacity x datasheet P/E.
+  const SimScale scale{64, 64};
+  auto device = MakeEmmc8(scale, 3);
+  WearWorkloadConfig w;
+  w.footprint_bytes = 8 * kMiB;
+  WearOutExperiment exp(*device, w);
+  const WearRunOutcome out = exp.RunUntilLevel(WearType::kSinglePool, 11, 64 * kGiB);
+  ASSERT_FALSE(out.transitions.empty());
+  const double measured_full =
+      static_cast<double>(out.total_host_bytes) * scale.VolumeFactor();
+  LifetimeEstimator envelope(8 * kGiB, 3000);
+  const double optimism = envelope.OptimismFactor(measured_full);
+  EXPECT_GT(optimism, 2.0);
+  EXPECT_LT(optimism, 4.0);
+}
+
+TEST(IntegrationTest, AttackUsesUnder3PercentOfCapacity) {
+  // §1: the attack needs <3% of storage capacity. Verify the harness's
+  // footprint honours that and still kills the device.
+  const SimScale scale{64, 64};
+  auto device = MakeEmmc8(scale, 3);
+  WearWorkloadConfig w;
+  w.footprint_bytes = device->CapacityBytes() * 29 / 1000;
+  WearOutExperiment exp(*device, w);
+  const WearRunOutcome out = exp.RunUntilLevel(WearType::kSinglePool, 11, 64 * kGiB);
+  EXPECT_EQ(device->QueryHealth().life_time_est_a, 11u);
+}
+
+TEST(IntegrationTest, PhoneBricksThroughFullStack) {
+  // App -> Android -> FS -> device -> FTL -> NAND, all the way to the brick.
+  Phone phone(MakeMotoE8(SimScale{64, 16}, 5), PhoneFsType::kExtFs);
+  ASSERT_TRUE(phone.FillStaticData(0.4).ok());
+  AttackAppConfig cfg;
+  cfg.file_count = 2;
+  cfg.file_bytes = 2 * kMiB;
+  cfg.write_bytes = 64 * 1024;
+  WearAttackApp app(phone.system(), cfg);
+  ASSERT_TRUE(app.Install().ok());
+  const AttackProgress p = app.RunUntilBricked(SimDuration::Hours(10000));
+  EXPECT_TRUE(p.device_bricked);
+  EXPECT_TRUE(phone.device().IsReadOnly());
+  // Wear level telemetry saw it coming.
+  EXPECT_EQ(phone.device().QueryHealth().life_time_est_a, 11u);
+  EXPECT_EQ(phone.device().QueryHealth().pre_eol, PreEolInfo::kUrgent);
+}
+
+TEST(IntegrationTest, F2fsDoublesDeviceTrafficThroughWholeStack) {
+  auto run = [](PhoneFsType fs_type) {
+    Phone phone(MakeMotoE8(SimScale{64, 1}, 5), fs_type);
+    AttackAppConfig cfg;
+    cfg.file_count = 1;
+    cfg.file_bytes = 2 * kMiB;
+    cfg.write_bytes = 4096;
+    cfg.sync = true;
+    WearAttackApp app(phone.system(), cfg);
+    EXPECT_TRUE(app.Install().ok());
+    (void)app.RunUntil(phone.system().Now() + SimDuration::Seconds(30));
+    return phone.fs().stats().FsWriteAmplification();
+  };
+  const double ext_wa = run(PhoneFsType::kExtFs);
+  const double log_wa = run(PhoneFsType::kLogFs);
+  EXPECT_LT(ext_wa, 1.2);
+  EXPECT_GT(log_wa, 1.8);
+}
+
+TEST(IntegrationTest, WearIndicatorMostlyConstantVolumePerLevel) {
+  const SimScale scale{64, 64};
+  auto device = MakeEmmc8(scale, 9);
+  WearWorkloadConfig w;
+  w.footprint_bytes = 8 * kMiB;
+  WearOutExperiment exp(*device, w);
+  const WearRunOutcome out = exp.RunUntilLevel(WearType::kSinglePool, 11, 64 * kGiB);
+  ASSERT_GE(out.transitions.size(), 9u);
+  uint64_t min_bytes = UINT64_MAX;
+  uint64_t max_bytes = 0;
+  for (size_t i = 1; i < out.transitions.size(); ++i) {  // skip wear-in level
+    min_bytes = std::min(min_bytes, out.transitions[i].host_bytes);
+    max_bytes = std::max(max_bytes, out.transitions[i].host_bytes);
+  }
+  EXPECT_LT(static_cast<double>(max_bytes) / static_cast<double>(min_bytes), 1.4);
+}
+
+TEST(IntegrationTest, UfsOutpacesEmmcWhichOutpacesUsd) {
+  // Figure 1 + Figure 3 combined shape: faster device = faster to destroy.
+  const SimScale scale{64, 1};
+  BandwidthProbeConfig probe;
+  probe.request_bytes = 256 * 1024;
+  probe.total_bytes = 8 * kMiB;
+  probe.region_bytes = 16 * kMiB;
+  auto usd = MakeUsd16(scale, 1);
+  auto emmc = MakeEmmc8(scale, 1);
+  auto ufs = MakeSamsungS6(scale, 1);
+  const double usd_bw = RunBandwidthProbe(*usd, probe).mib_per_sec;
+  const double emmc_bw = RunBandwidthProbe(*emmc, probe).mib_per_sec;
+  const double ufs_bw = RunBandwidthProbe(*ufs, probe).mib_per_sec;
+  EXPECT_GT(emmc_bw, usd_bw);
+  EXPECT_GT(ufs_bw, emmc_bw);
+}
+
+TEST(IntegrationTest, RateLimiterDefendsDeviceLifetime) {
+  // With the §4.5 limiter on, the same attack cannot push meaningful volume.
+  auto make_phone = [](bool limiter) {
+    AndroidSystemConfig sys;
+    sys.enable_rate_limiter = limiter;
+    sys.rate_limiter.burst_bytes = 4 * kMiB;
+    return std::make_unique<Phone>(MakeMotoE8(SimScale{64, 1}, 5),
+                                   PhoneFsType::kExtFs, sys);
+  };
+  auto run_attack = [](Phone& phone) {
+    AttackAppConfig cfg;
+    cfg.file_count = 1;
+    cfg.file_bytes = 2 * kMiB;
+    cfg.write_bytes = 256 * 1024;
+    WearAttackApp app(phone.system(), cfg);
+    EXPECT_TRUE(app.Install().ok());
+    const AttackProgress p =
+        app.RunUntil(phone.system().Now() + SimDuration::Hours(1));
+    return p.bytes_written;
+  };
+  auto stock = make_phone(false);
+  auto defended = make_phone(true);
+  const uint64_t stock_bytes = run_attack(*stock);
+  const uint64_t defended_bytes = run_attack(*defended);
+  EXPECT_GT(stock_bytes, 50 * defended_bytes);
+}
+
+TEST(IntegrationTest, EventLogRecordsRetirementWarnings) {
+  auto device = MakeBlu512(SimScale{16, 16}, 7);
+  EventLog& unused = device->event_log();
+  (void)unused;
+  WearWorkloadConfig w;
+  w.footprint_bytes = 2 * kMiB;
+  w.request_bytes = 64 * 1024;
+  WearOutExperiment exp(*device, w);
+  (void)exp.Run(1, 1 * kTiB);  // runs to brick (no health reporting)
+  EXPECT_TRUE(device->IsReadOnly());
+}
+
+}  // namespace
+}  // namespace flashsim

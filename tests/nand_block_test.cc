@@ -1,0 +1,86 @@
+#include "src/nand/block.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(NandBlockTest, StartsErased) {
+  NandBlock blk(8);
+  EXPECT_TRUE(blk.IsErased());
+  EXPECT_FALSE(blk.IsFull());
+  EXPECT_EQ(blk.pe_cycles(), 0u);
+  EXPECT_EQ(blk.write_pointer(), 0u);
+  EXPECT_FALSE(blk.is_bad());
+}
+
+TEST(NandBlockTest, InOrderProgramming) {
+  NandBlock blk(4);
+  EXPECT_TRUE(blk.ProgramPage(0, 100).ok());
+  EXPECT_TRUE(blk.ProgramPage(1, 101).ok());
+  // Skipping ahead violates the in-order rule.
+  EXPECT_EQ(blk.ProgramPage(3, 103).code(), StatusCode::kFailedPrecondition);
+  // Rewriting a programmed page without erase is also rejected.
+  EXPECT_EQ(blk.ProgramPage(0, 200).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NandBlockTest, FillsUp) {
+  NandBlock blk(3);
+  for (uint32_t p = 0; p < 3; ++p) {
+    ASSERT_TRUE(blk.ProgramPage(p, p).ok());
+  }
+  EXPECT_TRUE(blk.IsFull());
+  EXPECT_EQ(blk.ProgramPage(3, 3).code(), StatusCode::kOutOfRange);
+}
+
+TEST(NandBlockTest, ReadTagRoundtrip) {
+  NandBlock blk(4);
+  ASSERT_TRUE(blk.ProgramPage(0, 0xdeadbeef).ok());
+  Result<uint64_t> tag = blk.ReadTag(0);
+  ASSERT_TRUE(tag.ok());
+  EXPECT_EQ(tag.value(), 0xdeadbeefu);
+}
+
+TEST(NandBlockTest, ReadUnprogrammedFails) {
+  NandBlock blk(4);
+  EXPECT_EQ(blk.ReadTag(0).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(blk.ReadTag(9).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(NandBlockTest, EraseResetsAndCharges) {
+  NandBlock blk(4);
+  ASSERT_TRUE(blk.ProgramPage(0, 1).ok());
+  ASSERT_TRUE(blk.Erase().ok());
+  EXPECT_TRUE(blk.IsErased());
+  EXPECT_EQ(blk.pe_cycles(), 1u);
+  EXPECT_FALSE(blk.IsProgrammed(0));
+  // Page 0 is programmable again after erase.
+  EXPECT_TRUE(blk.ProgramPage(0, 2).ok());
+}
+
+TEST(NandBlockTest, EraseWearWeight) {
+  NandBlock blk(4);
+  ASSERT_TRUE(blk.Erase(5).ok());
+  EXPECT_EQ(blk.pe_cycles(), 5u);
+  ASSERT_TRUE(blk.Erase(0).ok());
+  EXPECT_EQ(blk.pe_cycles(), 5u);  // wear-free erase (merged-pool diversion)
+}
+
+TEST(NandBlockTest, BadBlockRejectsEverything) {
+  NandBlock blk(4);
+  blk.MarkBad();
+  EXPECT_EQ(blk.ProgramPage(0, 1).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(blk.Erase().code(), StatusCode::kUnavailable);
+}
+
+TEST(NandBlockTest, IsProgrammedTracksWritePointer) {
+  NandBlock blk(4);
+  ASSERT_TRUE(blk.ProgramPage(0, 1).ok());
+  ASSERT_TRUE(blk.ProgramPage(1, 2).ok());
+  EXPECT_TRUE(blk.IsProgrammed(0));
+  EXPECT_TRUE(blk.IsProgrammed(1));
+  EXPECT_FALSE(blk.IsProgrammed(2));
+}
+
+}  // namespace
+}  // namespace flashsim

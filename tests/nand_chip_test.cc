@@ -1,0 +1,189 @@
+#include "src/nand/chip.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+NandChipConfig ChipConfig() { return TinyChipConfig(); }
+
+TEST(NandChipTest, GeometryAndAddressing) {
+  NandChip chip(ChipConfig(), 1);
+  EXPECT_EQ(chip.config().total_blocks(), 32u);
+  // Blocks stripe across dies round-robin.
+  EXPECT_EQ(chip.DieOfBlock(0), 0u);
+  EXPECT_EQ(chip.DieOfBlock(1), 1u);
+  EXPECT_EQ(chip.DieOfBlock(2), 0u);
+  EXPECT_EQ(chip.ChannelOfBlock(0), 0u);
+}
+
+TEST(NandChipTest, ProgramReadRoundtrip) {
+  NandChip chip(ChipConfig(), 1);
+  ASSERT_TRUE(chip.ProgramPage({0, 0}, 777).ok());
+  Result<NandReadOutcome> read = chip.ReadPage({0, 0});
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().tag, 777u);
+  EXPECT_EQ(read.value().latency, chip.config().timings.read_page);
+}
+
+TEST(NandChipTest, ProgramReturnsTiming) {
+  NandChip chip(ChipConfig(), 1);
+  Result<SimDuration> t = chip.ProgramPage({0, 0}, 1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), chip.config().timings.program_page);
+}
+
+TEST(NandChipTest, EraseReturnsTimingAndChargesCycle) {
+  NandChip chip(ChipConfig(), 1);
+  ASSERT_TRUE(chip.ProgramPage({3, 0}, 1).ok());
+  Result<SimDuration> t = chip.EraseBlock(3);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value(), chip.config().timings.erase_block);
+  EXPECT_EQ(chip.block(3).pe_cycles(), 1u);
+}
+
+TEST(NandChipTest, EraseWearWeight) {
+  NandChip chip(ChipConfig(), 1);
+  ASSERT_TRUE(chip.EraseBlock(0, 7).ok());
+  EXPECT_EQ(chip.block(0).pe_cycles(), 7u);
+}
+
+TEST(NandChipTest, OutOfRangeAddresses) {
+  NandChip chip(ChipConfig(), 1);
+  EXPECT_EQ(chip.ProgramPage({999, 0}, 1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(chip.ProgramPage({0, 999}, 1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(chip.EraseBlock(999).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(chip.ReadPage({999, 0}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(NandChipTest, ReadOfUnprogrammedPageFails) {
+  NandChip chip(ChipConfig(), 1);
+  EXPECT_EQ(chip.ReadPage({0, 0}).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NandChipTest, InOrderRuleEnforced) {
+  NandChip chip(ChipConfig(), 1);
+  EXPECT_EQ(chip.ProgramPage({0, 1}, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(NandChipTest, NoFailuresBelowOnset) {
+  NandChipConfig cfg = ChipConfig();
+  cfg.rated_pe_cycles = 50;
+  NandChip chip(cfg, 123);
+  // Cycle a block up to (but not past) rated life: no failures allowed.
+  for (uint32_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(chip.ProgramPage({5, 0}, i).ok()) << "cycle " << i;
+    ASSERT_TRUE(chip.EraseBlock(5).ok()) << "cycle " << i;
+  }
+  EXPECT_FALSE(chip.block(5).is_bad());
+  EXPECT_EQ(chip.counters().Get("nand.erase_failures"), 0u);
+}
+
+TEST(NandChipTest, WearEventuallyKillsBlock) {
+  NandChipConfig cfg = ChipConfig();
+  cfg.rated_pe_cycles = 20;
+  cfg.failure_ceiling = 0.2;
+  NandChip chip(cfg, 99);
+  // Push a block far past rated life; it must eventually fail.
+  bool died = false;
+  for (uint32_t i = 0; i < 2000 && !died; ++i) {
+    if (!chip.block(7).is_bad()) {
+      Status program = chip.ProgramPage({7, 0}, i).status();
+      died = !program.ok() && chip.block(7).is_bad();
+      if (!died) {
+        Status erase = chip.EraseBlock(7).status();
+        died = !erase.ok();
+      }
+    }
+  }
+  EXPECT_TRUE(died);
+  EXPECT_TRUE(chip.block(7).is_bad());
+}
+
+TEST(NandChipTest, RberGrowsWithWear) {
+  NandChip chip(ChipConfig(), 1);
+  const double fresh = chip.BlockRber(0);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(chip.EraseBlock(1).ok());
+  }
+  EXPECT_GT(chip.BlockRber(1), fresh);
+}
+
+TEST(NandChipTest, ReadDisturbInflatesRber) {
+  NandChip chip(ChipConfig(), 1);
+  ASSERT_TRUE(chip.ProgramPage({2, 0}, 1).ok());
+  const double before = chip.BlockRber(2);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(chip.ReadPage({2, 0}).ok());
+  }
+  const double disturbed = chip.BlockRber(2);
+  EXPECT_GT(disturbed, before);
+  // Erase resets the disturb counter (one extra P/E cycle notwithstanding,
+  // the disturb inflation must be gone).
+  ASSERT_TRUE(chip.EraseBlock(2).ok());
+  EXPECT_LT(chip.BlockRber(2), disturbed);
+}
+
+TEST(NandChipTest, WornPagesBecomeUncorrectable) {
+  NandChipConfig cfg = ChipConfig();
+  cfg.rated_pe_cycles = 10;
+  cfg.failure_onset = 100.0;  // disable program/erase failures
+  cfg.rber.growth_rber = 0.05;
+  cfg.rber.exponent = 2.0;
+  NandChip chip(cfg, 11);
+  // Wear block 0 to 10x rated: RBER = 0.05 * 100 = clamped huge.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(chip.EraseBlock(0).ok());
+  }
+  ASSERT_TRUE(chip.ProgramPage({0, 0}, 1).ok());
+  EXPECT_EQ(chip.ReadPage({0, 0}).status().code(), StatusCode::kDataLoss);
+  EXPECT_GT(chip.counters().Get("nand.uncorrectable_reads"), 0u);
+}
+
+TEST(NandChipTest, WearSummaryAggregates) {
+  NandChip chip(ChipConfig(), 1);
+  ASSERT_TRUE(chip.EraseBlock(0).ok());
+  ASSERT_TRUE(chip.EraseBlock(0).ok());
+  ASSERT_TRUE(chip.EraseBlock(1).ok());
+  const WearSummary s = chip.ComputeWearSummary();
+  EXPECT_EQ(s.total_blocks, 32u);
+  EXPECT_EQ(s.min_pe, 0u);
+  EXPECT_EQ(s.max_pe, 2u);
+  EXPECT_EQ(s.total_pe, 3u);
+  EXPECT_NEAR(s.avg_pe, 3.0 / 32.0, 1e-9);
+  EXPECT_EQ(s.bad_blocks, 0u);
+}
+
+TEST(NandChipTest, CountersTrackOperations) {
+  NandChip chip(ChipConfig(), 1);
+  ASSERT_TRUE(chip.ProgramPage({0, 0}, 1).ok());
+  ASSERT_TRUE(chip.ReadPage({0, 0}).ok());
+  ASSERT_TRUE(chip.EraseBlock(0).ok());
+  EXPECT_EQ(chip.counters().Get("nand.programs"), 1u);
+  EXPECT_EQ(chip.counters().Get("nand.reads"), 1u);
+  EXPECT_EQ(chip.counters().Get("nand.erases"), 1u);
+}
+
+TEST(NandChipTest, DeterministicAcrossSeeds) {
+  NandChip a(ChipConfig(), 55);
+  NandChip b(ChipConfig(), 55);
+  for (uint32_t i = 0; i < 64; ++i) {
+    const Status sa = a.ProgramPage({0, i % 128}, i).status();
+    const Status sb = b.ProgramPage({0, i % 128}, i).status();
+    EXPECT_EQ(sa.code(), sb.code());
+  }
+}
+
+TEST(AddressTest, LinearizeRoundtrip) {
+  const PhysPageAddr addr{17, 93};
+  const uint64_t ppn = LinearizePageAddr(addr, 128);
+  EXPECT_EQ(DelinearizePageAddr(ppn, 128), addr);
+  EXPECT_FALSE(kInvalidPageAddr.IsValid());
+  EXPECT_TRUE(addr.IsValid());
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,97 @@
+#include "src/nand/config.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(NandConfigTest, DefaultsValidate) {
+  EXPECT_TRUE(NandChipConfig{}.Validate().ok());
+  EXPECT_TRUE(MakeSlcConfig().Validate().ok());
+  EXPECT_TRUE(MakeMlcConfig().Validate().ok());
+  EXPECT_TRUE(MakeTlcConfig().Validate().ok());
+}
+
+TEST(NandConfigTest, GeometryMath) {
+  NandChipConfig c;
+  c.channels = 2;
+  c.dies_per_channel = 3;
+  c.blocks_per_die = 10;
+  c.pages_per_block = 4;
+  c.page_size_bytes = 4096;
+  EXPECT_EQ(c.dies(), 6u);
+  EXPECT_EQ(c.total_blocks(), 60u);
+  EXPECT_EQ(c.block_size_bytes(), 4u * 4096);
+  EXPECT_EQ(c.total_bytes(), 60ull * 4 * 4096);
+  EXPECT_EQ(c.total_pages(), 240u);
+}
+
+TEST(NandConfigTest, CellTypeNames) {
+  EXPECT_STREQ(CellTypeName(CellType::kSlc), "SLC");
+  EXPECT_STREQ(CellTypeName(CellType::kMlc), "MLC");
+  EXPECT_STREQ(CellTypeName(CellType::kTlc), "TLC");
+}
+
+TEST(NandConfigTest, EnduranceOrderingAcrossCellTypes) {
+  // §2.1: density costs endurance — SLC >> MLC >> TLC.
+  EXPECT_GT(MakeSlcConfig().rated_pe_cycles, MakeMlcConfig().rated_pe_cycles);
+  EXPECT_GT(MakeMlcConfig().rated_pe_cycles, MakeTlcConfig().rated_pe_cycles);
+}
+
+TEST(NandConfigTest, TimingOrderingAcrossCellTypes) {
+  // Denser cells program and read slower.
+  EXPECT_LT(DefaultTimingsFor(CellType::kSlc).program_page,
+            DefaultTimingsFor(CellType::kMlc).program_page);
+  EXPECT_LT(DefaultTimingsFor(CellType::kMlc).program_page,
+            DefaultTimingsFor(CellType::kTlc).program_page);
+  EXPECT_LT(DefaultTimingsFor(CellType::kSlc).read_page,
+            DefaultTimingsFor(CellType::kTlc).read_page);
+}
+
+// Parameterized invalid-config sweep.
+struct InvalidCase {
+  const char* label;
+  void (*mutate)(NandChipConfig&);
+};
+
+class NandConfigInvalid : public ::testing::TestWithParam<InvalidCase> {};
+
+TEST_P(NandConfigInvalid, RejectsBadField) {
+  NandChipConfig c;
+  GetParam().mutate(c);
+  EXPECT_FALSE(c.Validate().ok()) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadFields, NandConfigInvalid,
+    ::testing::Values(
+        InvalidCase{"zero channels", [](NandChipConfig& c) { c.channels = 0; }},
+        InvalidCase{"zero dies", [](NandChipConfig& c) { c.dies_per_channel = 0; }},
+        InvalidCase{"zero blocks", [](NandChipConfig& c) { c.blocks_per_die = 0; }},
+        InvalidCase{"zero pages", [](NandChipConfig& c) { c.pages_per_block = 0; }},
+        InvalidCase{"zero page size", [](NandChipConfig& c) { c.page_size_bytes = 0; }},
+        InvalidCase{"non-pow2 page size",
+                    [](NandChipConfig& c) { c.page_size_bytes = 5000; }},
+        InvalidCase{"zero endurance", [](NandChipConfig& c) { c.rated_pe_cycles = 0; }},
+        InvalidCase{"huge ECC codeword",
+                    [](NandChipConfig& c) { c.ecc.codeword_bytes = c.page_size_bytes * 2; }},
+        InvalidCase{"zero ECC codeword",
+                    [](NandChipConfig& c) { c.ecc.codeword_bytes = 0; }},
+        InvalidCase{"negative rber base",
+                    [](NandChipConfig& c) { c.rber.base_rber = -1.0; }},
+        InvalidCase{"zero rber exponent",
+                    [](NandChipConfig& c) { c.rber.exponent = 0.0; }},
+        InvalidCase{"failure ceiling > 1",
+                    [](NandChipConfig& c) { c.failure_ceiling = 1.5; }}),
+    [](const ::testing::TestParamInfo<InvalidCase>& param_info) {
+      std::string name = param_info.param.label;
+      for (char& ch : name) {
+        if (!isalnum(static_cast<unsigned char>(ch))) {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace flashsim

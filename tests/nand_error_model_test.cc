@@ -1,0 +1,130 @@
+#include "src/nand/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/rng.h"
+
+namespace flashsim {
+namespace {
+
+TEST(RberModelTest, BaseRateAtZeroWear) {
+  RberModelParams params;
+  params.base_rber = 1e-7;
+  params.growth_rber = 4e-4;
+  RberModel model(params, 3000);
+  EXPECT_DOUBLE_EQ(model.RberAt(0), 1e-7);
+}
+
+TEST(RberModelTest, MonotonicallyNondecreasing) {
+  RberModel model(RberModelParams{}, 3000);
+  double prev = 0.0;
+  for (uint32_t pe = 0; pe <= 9000; pe += 300) {
+    const double rber = model.RberAt(pe);
+    EXPECT_GE(rber, prev) << "pe=" << pe;
+    prev = rber;
+  }
+}
+
+TEST(RberModelTest, GrowthAtRatedLife) {
+  RberModelParams params;
+  params.base_rber = 1e-7;
+  params.growth_rber = 4e-4;
+  params.exponent = 3.0;
+  RberModel model(params, 1000);
+  // At rated life: base + growth.
+  EXPECT_NEAR(model.RberAt(1000), 1e-7 + 4e-4, 1e-9);
+  // At 2x rated: base + growth * 8.
+  EXPECT_NEAR(model.RberAt(2000), 1e-7 + 4e-4 * 8, 1e-8);
+}
+
+TEST(RberModelTest, ClampsAtOne) {
+  RberModelParams params;
+  params.growth_rber = 1.0;
+  params.exponent = 1.0;
+  RberModel model(params, 10);
+  EXPECT_DOUBLE_EQ(model.RberAt(1000), 1.0);
+}
+
+TEST(EccEngineTest, CodewordsPerPage) {
+  EccConfig cfg;
+  cfg.codeword_bytes = 1024;
+  EccEngine ecc(cfg, 4096);
+  EXPECT_EQ(ecc.codewords_per_page(), 4u);
+  EccEngine ecc2(EccConfig{4096, 40}, 4096);
+  EXPECT_EQ(ecc2.codewords_per_page(), 1u);
+}
+
+TEST(EccEngineTest, CleanPageAtZeroRber) {
+  EccEngine ecc(EccConfig{}, 4096);
+  Rng rng(1);
+  const EccOutcome out = ecc.DecodePage(0.0, rng);
+  EXPECT_TRUE(out.correctable);
+  EXPECT_EQ(out.raw_bit_errors, 0u);
+  EXPECT_EQ(out.corrected_bits, 0u);
+}
+
+TEST(EccEngineTest, LowRberAlwaysCorrectable) {
+  EccEngine ecc(EccConfig{}, 4096);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(ecc.DecodePage(1e-6, rng).correctable);
+  }
+}
+
+TEST(EccEngineTest, ExtremeRberUncorrectable) {
+  EccEngine ecc(EccConfig{}, 4096);
+  Rng rng(3);
+  // 10% raw error rate across 8 Kib codewords vastly exceeds a 40-bit budget.
+  EXPECT_FALSE(ecc.DecodePage(0.1, rng).correctable);
+}
+
+TEST(EccEngineTest, SaturationRberMatchesBudget) {
+  EccConfig cfg;
+  cfg.codeword_bytes = 1024;
+  cfg.correctable_bits = 40;
+  EccEngine ecc(cfg, 4096);
+  EXPECT_DOUBLE_EQ(ecc.SaturationRber(), 40.0 / (1024.0 * 8.0));
+}
+
+// Property: the uncorrectable fraction rises monotonically (within noise)
+// with RBER around the saturation point.
+class EccFailureCurve : public ::testing::TestWithParam<double> {};
+
+TEST_P(EccFailureCurve, FailureFractionSane) {
+  EccEngine ecc(EccConfig{}, 4096);
+  Rng rng(42);
+  const double rber_scale = GetParam();
+  const double rber = ecc.SaturationRber() * rber_scale;
+  int failures = 0;
+  const int kTrials = 400;
+  for (int i = 0; i < kTrials; ++i) {
+    failures += ecc.DecodePage(rber, rng).correctable ? 0 : 1;
+  }
+  const double fraction = static_cast<double>(failures) / kTrials;
+  if (rber_scale <= 0.5) {
+    EXPECT_LT(fraction, 0.01) << "well below saturation must be reliable";
+  }
+  if (rber_scale >= 1.5) {
+    EXPECT_GT(fraction, 0.95) << "well above saturation must fail";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundSaturation, EccFailureCurve,
+                         ::testing::Values(0.25, 0.5, 1.5, 2.0));
+
+TEST(EccEngineTest, CorrectedBitsReported) {
+  EccEngine ecc(EccConfig{}, 4096);
+  Rng rng(7);
+  // Moderate RBER: expect some corrected bits over many reads.
+  uint64_t corrected = 0;
+  for (int i = 0; i < 200; ++i) {
+    const EccOutcome out = ecc.DecodePage(1e-4, rng);
+    if (out.correctable) {
+      corrected += out.corrected_bits;
+    }
+  }
+  EXPECT_GT(corrected, 0u);
+}
+
+}  // namespace
+}  // namespace flashsim

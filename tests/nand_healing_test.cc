@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "src/nand/chip.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+TEST(HealingTest, HealRecoversFractionOfWear) {
+  NandBlock blk(8);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(blk.Erase().ok());
+  }
+  EXPECT_EQ(blk.pe_cycles(), 100u);
+  blk.Heal(0.3);
+  EXPECT_EQ(blk.pe_cycles(), 70u);
+  blk.Heal(1.0);
+  EXPECT_EQ(blk.pe_cycles(), 0u);
+}
+
+TEST(HealingTest, HealClampsFraction) {
+  NandBlock blk(8);
+  ASSERT_TRUE(blk.Erase(10).ok());
+  blk.Heal(5.0);  // clamped to 1.0
+  EXPECT_EQ(blk.pe_cycles(), 0u);
+  ASSERT_TRUE(blk.Erase(10).ok());
+  blk.Heal(-1.0);  // no-op
+  EXPECT_EQ(blk.pe_cycles(), 10u);
+  blk.Heal(0.0);  // no-op
+  EXPECT_EQ(blk.pe_cycles(), 10u);
+}
+
+TEST(HealingTest, BadBlocksStayBad) {
+  NandBlock blk(8);
+  ASSERT_TRUE(blk.Erase(50).ok());
+  blk.MarkBad();
+  blk.Heal(1.0);
+  EXPECT_TRUE(blk.is_bad());
+  EXPECT_EQ(blk.pe_cycles(), 50u) << "annealing does not revive dead blocks";
+}
+
+TEST(HealingTest, AnnealAllLowersAverageWear) {
+  NandChip chip(TinyChipConfig(), 1);
+  for (BlockId b = 0; b < 8; ++b) {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(chip.EraseBlock(b).ok());
+    }
+  }
+  const double before = chip.ComputeWearSummary().avg_pe;
+  const SimDuration cost = chip.AnnealAll(0.5, SimDuration::Millis(2));
+  const double after = chip.ComputeWearSummary().avg_pe;
+  EXPECT_NEAR(after, before / 2.0, 0.5);
+  // 32 good blocks at 2 ms each.
+  EXPECT_EQ(cost.nanos(), SimDuration::Millis(64).nanos());
+  EXPECT_EQ(chip.counters().Get("nand.anneals"), 1u);
+}
+
+TEST(HealingTest, AnnealLowersRber) {
+  NandChip chip(TinyChipConfig(), 1);
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(chip.EraseBlock(0).ok());
+  }
+  const double worn = chip.BlockRber(0);
+  (void)chip.AnnealAll(0.8, SimDuration::Millis(1));
+  EXPECT_LT(chip.BlockRber(0), worn);
+}
+
+TEST(HealingTest, AnnealedFtlEndsUpYounger) {
+  // Deterministic comparison: identical write volume, one FTL annealed
+  // midway; its final average wear (and health level) must be lower.
+  auto run = [](bool heal) {
+    auto ftl = MakeTinyFtl(3);
+    const uint64_t total_writes = 600000;
+    for (uint64_t i = 0; i < total_writes; ++i) {
+      EXPECT_TRUE(ftl->WritePage(i % 256).ok());
+      if (heal && i == total_writes / 2) {
+        ftl->mutable_chip().AnnealAll(0.5, SimDuration::Millis(1));
+      }
+    }
+    return ftl->chip().ComputeWearSummary().avg_pe;
+  };
+  const double baseline_pe = run(false);
+  const double healed_pe = run(true);
+  EXPECT_LT(healed_pe, baseline_pe * 0.85);
+  EXPECT_GT(healed_pe, baseline_pe * 0.4) << "only half the wear existed to heal";
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,109 @@
+// Golden reproduction tests: pin the simulator to the paper's headline
+// numbers (coarse sim scale for speed; scale invariance is tested
+// separately). If any of these fails after a change, a published result has
+// drifted — treat it as a calibration regression, not a flaky test.
+
+#include <gtest/gtest.h>
+
+#include "src/device/catalog.h"
+#include "src/nand/config.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/lifetime_estimator.h"
+#include "src/wearlab/paper_targets.h"
+#include "src/wearlab/wearout_experiment.h"
+
+namespace flashsim {
+namespace {
+
+constexpr SimScale kScale{32, 32};
+
+TEST(PaperTargetsTest, Emmc8GiBPerLevelUnderPaperMaximum) {
+  auto device = MakeEmmc8(kScale, 3);
+  WearWorkloadConfig w;
+  w.footprint_bytes = (400 * kMiB) / kScale.capacity_div;
+  WearOutExperiment exp(*device, w);
+  const WearRunOutcome out = exp.Run(3, 256 * kGiB);
+  ASSERT_GE(out.transitions.size(), 3u);
+  for (const WearTransition& t : out.transitions) {
+    const double gib = static_cast<double>(t.host_bytes) * kScale.VolumeFactor() / kGiB;
+    EXPECT_LE(gib, PaperTargets::kEmmc8MaxGiBPerLevel)
+        << "level " << t.from_level << "-" << t.to_level;
+    EXPECT_GE(gib, PaperTargets::kEmmc8MaxGiBPerLevel * 0.6)
+        << "suspiciously easy wear — calibration drifted the other way";
+  }
+}
+
+TEST(PaperTargetsTest, EnvelopeOptimismFactorInPaperBand) {
+  auto device = MakeEmmc8(kScale, 3);
+  WearWorkloadConfig w;
+  w.footprint_bytes = (400 * kMiB) / kScale.capacity_div;
+  WearOutExperiment exp(*device, w);
+  const WearRunOutcome out = exp.RunUntilLevel(WearType::kSinglePool, 11, 1 * kTiB);
+  const double measured =
+      static_cast<double>(out.total_host_bytes) * kScale.VolumeFactor();
+  LifetimeEstimator envelope(8 * kGiB, PaperTargets::kMlcRatedPeLow);
+  const double optimism = envelope.OptimismFactor(measured);
+  EXPECT_GE(optimism, PaperTargets::kEnvelopeOptimismMin);
+  EXPECT_LE(optimism, PaperTargets::kEnvelopeOptimismMax);
+}
+
+TEST(PaperTargetsTest, Emmc16TotalEolNearPaper) {
+  auto device = MakeEmmc16(kScale, 3);
+  WearWorkloadConfig w;
+  w.footprint_bytes = (400 * kMiB) / kScale.capacity_div;
+  WearOutExperiment exp(*device, w);
+  const WearRunOutcome out = exp.RunUntilLevel(WearType::kTypeB, 11, 1 * kTiB);
+  const double tib =
+      static_cast<double>(out.total_host_bytes) * kScale.VolumeFactor() / kTiB;
+  EXPECT_TRUE(WithinRel(tib, PaperTargets::kEmmc16TiBToEol, 0.15))
+      << "measured " << tib << " TiB vs paper " << PaperTargets::kEmmc16TiBToEol;
+}
+
+TEST(PaperTargetsTest, TypeALevel12MatchesPaper) {
+  auto device = MakeEmmc16(kScale, 5);
+  WearWorkloadConfig w;
+  w.footprint_bytes = (400 * kMiB) / kScale.capacity_div;
+  WearOutExperiment exp(*device, w);
+  // Run until the FIRST Type A transition (low utilization throughout).
+  WearRunOutcome out;
+  double a_gib = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    out = exp.Run(1, 64 * kGiB);
+    bool found = false;
+    for (const WearTransition& t : out.transitions) {
+      if (t.type == WearType::kTypeA) {
+        a_gib = static_cast<double>(t.host_bytes) * kScale.VolumeFactor() / kGiB;
+        found = true;
+      }
+    }
+    if (found) {
+      break;
+    }
+  }
+  ASSERT_GT(a_gib, 0.0) << "no Type A transition observed";
+  EXPECT_TRUE(WithinRel(a_gib, PaperTargets::kTypeALevel12GiB, 0.15))
+      << "measured " << a_gib << " GiB vs paper " << PaperTargets::kTypeALevel12GiB;
+}
+
+TEST(PaperTargetsTest, AttackFootprintUnderThreePercent) {
+  // The canonical workload: four 100 MB files on a 16 GB device.
+  const double footprint = 4.0 * 100 * kMiB;
+  const double capacity = 16.0 * kGiB;
+  EXPECT_LT(footprint / capacity, PaperTargets::kAttackFootprintFraction);
+}
+
+TEST(PaperTargetsTest, CellEnduranceConstantsMatchSection21) {
+  EXPECT_EQ(MakeSlcConfig().rated_pe_cycles, PaperTargets::kSlcRatedPe);
+  EXPECT_EQ(MakeMlcConfig().rated_pe_cycles, PaperTargets::kMlcRatedPeLow);
+  EXPECT_EQ(MakeTlcConfig().rated_pe_cycles, PaperTargets::kTlcRatedPe);
+}
+
+TEST(PaperTargetsTest, WithinRelHelper) {
+  EXPECT_TRUE(WithinRel(100.0, 100.0, 0.0));
+  EXPECT_TRUE(WithinRel(110.0, 100.0, 0.10));
+  EXPECT_FALSE(WithinRel(111.0, 100.0, 0.10));
+  EXPECT_FALSE(WithinRel(89.0, 100.0, 0.10));
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,71 @@
+// The sim-scale substitution argument (DESIGN.md §6), verified: dividing
+// capacity and endurance together must not change the *re-scaled* wear
+// figures, because write amplification depends on ratios, not absolute
+// counts. If this property broke, every scaled bench number would be suspect.
+
+#include <gtest/gtest.h>
+
+#include "src/device/catalog.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/wearout_experiment.h"
+
+namespace flashsim {
+namespace {
+
+struct ScaledLevel {
+  double gib_per_level_full = 0.0;  // re-scaled to full-device terms
+  double hours_per_level_full = 0.0;
+  double wa = 0.0;
+};
+
+ScaledLevel MeasureLevels(SimScale scale, uint64_t seed) {
+  auto device = MakeEmmc8(scale, seed);
+  WearWorkloadConfig w;
+  w.footprint_bytes = (400 * kMiB) / scale.capacity_div;
+  WearOutExperiment exp(*device, w);
+  const WearRunOutcome out = exp.Run(4, 1 * kTiB);
+  ScaledLevel result;
+  // Average levels 2..4 (skip wear-in).
+  int counted = 0;
+  for (size_t i = 1; i < out.transitions.size(); ++i) {
+    result.gib_per_level_full += static_cast<double>(out.transitions[i].host_bytes) *
+                                 scale.VolumeFactor() / kGiB;
+    result.hours_per_level_full += out.transitions[i].hours * scale.VolumeFactor();
+    result.wa += out.transitions[i].write_amplification;
+    ++counted;
+  }
+  EXPECT_GT(counted, 0);
+  result.gib_per_level_full /= counted;
+  result.hours_per_level_full /= counted;
+  result.wa /= counted;
+  return result;
+}
+
+TEST(ScaleInvarianceTest, GiBPerLevelStableAcrossScales) {
+  const ScaledLevel coarse = MeasureLevels(SimScale{32, 32}, 3);
+  const ScaledLevel fine = MeasureLevels(SimScale{16, 16}, 3);
+  EXPECT_NEAR(coarse.gib_per_level_full / fine.gib_per_level_full, 1.0, 0.10)
+      << "coarse=" << coarse.gib_per_level_full << " fine=" << fine.gib_per_level_full;
+}
+
+TEST(ScaleInvarianceTest, HoursPerLevelStableAcrossScales) {
+  const ScaledLevel coarse = MeasureLevels(SimScale{32, 32}, 3);
+  const ScaledLevel fine = MeasureLevels(SimScale{16, 16}, 3);
+  EXPECT_NEAR(coarse.hours_per_level_full / fine.hours_per_level_full, 1.0, 0.10);
+}
+
+TEST(ScaleInvarianceTest, WriteAmplificationStableAcrossScales) {
+  const ScaledLevel coarse = MeasureLevels(SimScale{32, 32}, 3);
+  const ScaledLevel fine = MeasureLevels(SimScale{16, 16}, 3);
+  EXPECT_NEAR(coarse.wa, fine.wa, 0.15);
+}
+
+TEST(ScaleInvarianceTest, SeedDoesNotMoveTheNumbers) {
+  // The result is a physical property, not an RNG artifact.
+  const ScaledLevel a = MeasureLevels(SimScale{32, 32}, 3);
+  const ScaledLevel b = MeasureLevels(SimScale{32, 32}, 1234);
+  EXPECT_NEAR(a.gib_per_level_full / b.gib_per_level_full, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,64 @@
+#include "src/simcore/event_log.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(EventLogTest, AppendAndSize) {
+  EventLog log;
+  log.Append(SimTime(1), EventSeverity::kInfo, "ftl", "hello");
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.events().front().message, "hello");
+  EXPECT_EQ(log.events().front().component, "ftl");
+}
+
+TEST(EventLogTest, RingDropsOldest) {
+  EventLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    log.Append(SimTime(i), EventSeverity::kInfo, "c", std::to_string(i));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(log.events().front().message, "2");
+  EXPECT_EQ(log.events().back().message, "4");
+}
+
+TEST(EventLogTest, FilterByComponentAndSeverity) {
+  EventLog log;
+  log.Append(SimTime(), EventSeverity::kDebug, "ftl", "d");
+  log.Append(SimTime(), EventSeverity::kWarning, "ftl", "w");
+  log.Append(SimTime(), EventSeverity::kError, "emmc", "e");
+  const auto ftl_warnings = log.Filter("ftl", EventSeverity::kWarning);
+  ASSERT_EQ(ftl_warnings.size(), 1u);
+  EXPECT_EQ(ftl_warnings[0].message, "w");
+  EXPECT_EQ(log.Filter("ftl").size(), 2u);
+  EXPECT_EQ(log.Filter("nope").size(), 0u);
+}
+
+TEST(EventLogTest, CountAtSeverity) {
+  EventLog log;
+  log.Append(SimTime(), EventSeverity::kError, "a", "1");
+  log.Append(SimTime(), EventSeverity::kError, "b", "2");
+  log.Append(SimTime(), EventSeverity::kInfo, "c", "3");
+  EXPECT_EQ(log.CountAtSeverity(EventSeverity::kError), 2u);
+  EXPECT_EQ(log.CountAtSeverity(EventSeverity::kDebug), 0u);
+}
+
+TEST(EventLogTest, ClearResets) {
+  EventLog log(2);
+  log.Append(SimTime(), EventSeverity::kInfo, "a", "1");
+  log.Append(SimTime(), EventSeverity::kInfo, "a", "2");
+  log.Append(SimTime(), EventSeverity::kInfo, "a", "3");
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLogTest, SeverityNames) {
+  EXPECT_STREQ(EventSeverityName(EventSeverity::kDebug), "DEBUG");
+  EXPECT_STREQ(EventSeverityName(EventSeverity::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace flashsim

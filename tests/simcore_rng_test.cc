@@ -1,0 +1,181 @@
+#include "src/simcore/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace flashsim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(7);
+  const uint64_t first = rng.NextU64();
+  rng.NextU64();
+  rng.Reseed(7);
+  EXPECT_EQ(rng.NextU64(), first);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng rng(0);
+  // splitmix64 seeding must not produce the all-zero state.
+  bool any_nonzero = false;
+  for (int i = 0; i < 8; ++i) {
+    any_nonzero |= rng.NextU64() != 0;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(3);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  Rng rng(5);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) {
+    ++seen[rng.UniformU64(8)];
+  }
+  for (int bucket = 0; bucket < 8; ++bucket) {
+    // Each bucket expects 500; allow generous slack.
+    EXPECT_GT(seen[bucket], 350) << "bucket " << bucket;
+    EXPECT_LT(seen[bucket], 650) << "bucket " << bucket;
+  }
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.UniformInRange(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(19);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.Binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.Binomial(100, 1.0), 100u);
+}
+
+// Parameterized property: Binomial sample mean tracks n*p in both the
+// small-mean (Poisson) and large-mean (Gaussian) regimes, and never exceeds n.
+struct BinomialCase {
+  uint64_t trials;
+  double p;
+};
+
+class BinomialProperty : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialProperty, MeanTracksNp) {
+  const BinomialCase c = GetParam();
+  Rng rng(23);
+  double sum = 0;
+  const int kSamples = 3000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t v = rng.Binomial(c.trials, c.p);
+    ASSERT_LE(v, c.trials);
+    sum += static_cast<double>(v);
+  }
+  const double expected = static_cast<double>(c.trials) * c.p;
+  const double tolerance = 5.0 * std::sqrt(expected + 1.0) / std::sqrt(kSamples) + 0.05;
+  EXPECT_NEAR(sum / kSamples, expected, expected * 0.1 + tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialProperty,
+    ::testing::Values(BinomialCase{100, 0.01}, BinomialCase{8192, 1e-4},
+                      BinomialCase{8192, 0.01}, BinomialCase{8192, 0.5},
+                      BinomialCase{100000, 0.001}));
+
+TEST(RngTest, GaussianMeanAndVariance) {
+  Rng rng(29);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(31);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Exponential(4.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,131 @@
+#include "src/simcore/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(LogHistogramTest, BucketsByPowerOfTwo) {
+  LogHistogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  h.Add(4);
+  EXPECT_EQ(h.TotalCount(), 5u);
+  EXPECT_EQ(h.BucketCount(0), 2u);  // 0 and 1
+  EXPECT_EQ(h.BucketCount(1), 2u);  // 2 and 3
+  EXPECT_EQ(h.BucketCount(2), 1u);  // 4
+}
+
+TEST(LogHistogramTest, QuantileEmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);
+}
+
+TEST(LogHistogramTest, QuantileFindsBucket) {
+  LogHistogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Add(100);  // bucket 6 (64..127)
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Add(100000);  // bucket 16
+  }
+  EXPECT_EQ(h.ApproxQuantile(0.5), 64u);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 65536u);
+}
+
+TEST(LogHistogramTest, QuantileClampsInput) {
+  LogHistogram h;
+  h.Add(10);
+  EXPECT_EQ(h.ApproxQuantile(-1.0), h.ApproxQuantile(0.0));
+  EXPECT_EQ(h.ApproxQuantile(2.0), h.ApproxQuantile(1.0));
+}
+
+TEST(LogHistogramTest, ResetClears) {
+  LogHistogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+}
+
+TEST(RateMeterTest, ComputesBandwidth) {
+  RateMeter m;
+  m.Record(1024 * 1024, SimDuration::Seconds(1));
+  EXPECT_DOUBLE_EQ(m.MiBPerSec(), 1.0);
+  m.Record(1024 * 1024, SimDuration::Seconds(1));
+  EXPECT_DOUBLE_EQ(m.MiBPerSec(), 1.0);
+  EXPECT_EQ(m.operations(), 2u);
+  EXPECT_EQ(m.total_bytes(), 2u * 1024 * 1024);
+}
+
+TEST(RateMeterTest, ZeroTimeIsZeroRate) {
+  RateMeter m;
+  m.Record(4096, SimDuration());
+  EXPECT_DOUBLE_EQ(m.MiBPerSec(), 0.0);
+}
+
+TEST(CounterSetTest, IncrementAndGet) {
+  CounterSet c;
+  EXPECT_EQ(c.Get("x"), 0u);
+  c.Increment("x");
+  c.Increment("x", 4);
+  c.Increment("y");
+  EXPECT_EQ(c.Get("x"), 5u);
+  EXPECT_EQ(c.Get("y"), 1u);
+  EXPECT_EQ(c.counters().size(), 2u);
+  c.Reset();
+  EXPECT_EQ(c.Get("x"), 0u);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "src/simcore/clock.h"
+#include "src/simcore/sim_time.h"
+
+namespace flashsim {
+namespace {
+
+TEST(SimDurationTest, FactoryUnits) {
+  EXPECT_EQ(SimDuration::Nanos(5).nanos(), 5);
+  EXPECT_EQ(SimDuration::Micros(2).nanos(), 2000);
+  EXPECT_EQ(SimDuration::Millis(2).nanos(), 2000000);
+  EXPECT_EQ(SimDuration::Seconds(1).nanos(), 1000000000);
+  EXPECT_EQ(SimDuration::Minutes(1).nanos(), 60ll * 1000000000);
+  EXPECT_EQ(SimDuration::Hours(1).nanos(), 3600ll * 1000000000);
+}
+
+TEST(SimDurationTest, Arithmetic) {
+  const SimDuration a = SimDuration::Micros(3);
+  const SimDuration b = SimDuration::Micros(2);
+  EXPECT_EQ((a + b).nanos(), 5000);
+  EXPECT_EQ((a - b).nanos(), 1000);
+  EXPECT_EQ((a * 4).nanos(), 12000);
+  SimDuration c = a;
+  c += b;
+  EXPECT_EQ(c.nanos(), 5000);
+}
+
+TEST(SimDurationTest, Comparisons) {
+  EXPECT_LT(SimDuration::Micros(1), SimDuration::Micros(2));
+  EXPECT_EQ(SimDuration::Millis(1), SimDuration::Micros(1000));
+}
+
+TEST(SimDurationTest, FractionalConversions) {
+  EXPECT_DOUBLE_EQ(SimDuration::Seconds(2).ToSecondsF(), 2.0);
+  EXPECT_DOUBLE_EQ(SimDuration::Hours(3).ToHoursF(), 3.0);
+  EXPECT_EQ(SimDuration::FromSecondsF(1.5).nanos(), 1500000000);
+}
+
+TEST(SimTimeTest, InstantArithmetic) {
+  SimTime t;
+  EXPECT_EQ(t.nanos(), 0);
+  t += SimDuration::Seconds(2);
+  EXPECT_EQ(t.ToSecondsF(), 2.0);
+  const SimTime later = t + SimDuration::Seconds(3);
+  EXPECT_EQ((later - t).nanos(), SimDuration::Seconds(3).nanos());
+  EXPECT_LT(t, later);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now().nanos(), 0);
+  clock.Advance(SimDuration::Micros(10));
+  clock.Advance(SimDuration::Micros(5));
+  EXPECT_EQ(clock.Now().nanos(), 15000);
+}
+
+TEST(SimClockTest, CategoryAccounting) {
+  SimClock clock;
+  clock.AdvanceWithCategory(SimDuration::Micros(7), "write");
+  clock.AdvanceWithCategory(SimDuration::Micros(3), "write");
+  clock.AdvanceWithCategory(SimDuration::Micros(2), "read");
+  EXPECT_EQ(clock.CategoryTotal("write").nanos(), 10000);
+  EXPECT_EQ(clock.CategoryTotal("read").nanos(), 2000);
+  EXPECT_EQ(clock.CategoryTotal("missing").nanos(), 0);
+  EXPECT_EQ(clock.Now().nanos(), 12000);
+}
+
+TEST(SimClockTest, ResetClearsEverything) {
+  SimClock clock;
+  clock.AdvanceWithCategory(SimDuration::Micros(7), "x");
+  clock.Reset();
+  EXPECT_EQ(clock.Now().nanos(), 0);
+  EXPECT_EQ(clock.CategoryTotal("x").nanos(), 0);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,78 @@
+#include "src/simcore/units.h"
+
+#include <gtest/gtest.h>
+
+namespace flashsim {
+namespace {
+
+TEST(UnitsTest, ConstantsAreConsistent) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * kKiB);
+  EXPECT_EQ(kGiB, 1024u * kMiB);
+  EXPECT_EQ(kTiB, 1024u * kGiB);
+}
+
+TEST(UnitsTest, BytesToGiB) {
+  EXPECT_DOUBLE_EQ(BytesToGiB(kGiB), 1.0);
+  EXPECT_DOUBLE_EQ(BytesToGiB(kGiB / 2), 0.5);
+  EXPECT_DOUBLE_EQ(BytesToGiB(0), 0.0);
+}
+
+TEST(UnitsTest, BytesToMiB) {
+  EXPECT_DOUBLE_EQ(BytesToMiB(kMiB), 1.0);
+  EXPECT_DOUBLE_EQ(BytesToMiB(3 * kMiB / 2), 1.5);
+}
+
+TEST(UnitsTest, FormatBytesPicksAdaptiveUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(4096), "4.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB / 2), "1.50 MiB");
+  EXPECT_EQ(FormatBytes(2 * kGiB), "2.00 GiB");
+  EXPECT_EQ(FormatBytes(5 * kTiB), "5.00 TiB");
+}
+
+TEST(UnitsTest, FormatBandwidth) {
+  EXPECT_EQ(FormatBandwidthMiBps(19.531), "19.53 MiB/s");
+}
+
+TEST(UnitsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+TEST(UnitsTest, RoundUpAndDown) {
+  EXPECT_EQ(RoundUp(0, 8), 0u);
+  EXPECT_EQ(RoundUp(1, 8), 8u);
+  EXPECT_EQ(RoundUp(8, 8), 8u);
+  EXPECT_EQ(RoundDown(7, 8), 0u);
+  EXPECT_EQ(RoundDown(15, 8), 8u);
+  EXPECT_EQ(RoundDown(16, 8), 16u);
+}
+
+TEST(UnitsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(4097));
+  EXPECT_TRUE(IsPowerOfTwo(1ull << 63));
+}
+
+// Property sweep: CeilDiv/RoundUp agree for many (value, multiple) pairs.
+class RoundingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundingProperty, RoundUpIsCeilDivTimesMultiple) {
+  const uint64_t multiple = GetParam();
+  for (uint64_t value = 0; value < 4 * multiple; ++value) {
+    EXPECT_EQ(RoundUp(value, multiple), CeilDiv(value, multiple) * multiple);
+    EXPECT_LE(RoundDown(value, multiple), value);
+    EXPECT_GE(RoundUp(value, multiple), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Multiples, RoundingProperty,
+                         ::testing::Values(1, 2, 3, 7, 512, 4096));
+
+}  // namespace
+}  // namespace flashsim

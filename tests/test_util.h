@@ -1,0 +1,101 @@
+// Shared fixtures: tiny device/FTL configurations that keep unit tests fast
+// while exercising the same code paths as the full-size catalog devices.
+
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "src/device/flash_device.h"
+#include "src/ftl/hybrid_ftl.h"
+#include "src/ftl/page_map_ftl.h"
+#include "src/nand/config.h"
+
+namespace flashsim {
+
+// 16 MiB MLC chip: 32 blocks of 128 x 4 KiB pages.
+inline NandChipConfig TinyChipConfig() {
+  NandChipConfig nand = MakeMlcConfig();
+  nand.name = "tiny-mlc";
+  nand.channels = 1;
+  nand.dies_per_channel = 2;
+  nand.blocks_per_die = 16;
+  nand.pages_per_block = 128;
+  nand.page_size_bytes = 4096;
+  nand.rated_pe_cycles = 200;
+  return nand;
+}
+
+inline FtlConfig TinyFtlConfig() {
+  FtlConfig ftl;
+  ftl.over_provisioning = 0.10;
+  ftl.spare_blocks = 4;
+  ftl.gc_free_block_watermark = 3;
+  ftl.health_rated_pe = 100;
+  ftl.wear_level_threshold = 4;
+  ftl.wear_level_check_interval = 8;
+  return ftl;
+}
+
+inline std::unique_ptr<PageMapFtl> MakeTinyFtl(uint64_t seed = 1) {
+  return std::make_unique<PageMapFtl>(TinyChipConfig(), TinyFtlConfig(), seed);
+}
+
+// Tiny hybrid: 4 MiB SLC cache (8 blocks) in front of the MLC pool.
+inline NandChipConfig TinySlcConfig() {
+  NandChipConfig slc = MakeSlcConfig();
+  slc.name = "tiny-slc";
+  slc.channels = 1;
+  slc.dies_per_channel = 1;
+  slc.blocks_per_die = 8;
+  slc.pages_per_block = 128;
+  slc.page_size_bytes = 4096;
+  slc.rated_pe_cycles = 2000;
+  return slc;
+}
+
+inline HybridConfig TinyHybridConfig() {
+  HybridConfig hybrid;
+  hybrid.cache_blocks = 8;
+  hybrid.cache_free_watermark = 6;
+  hybrid.merge_utilization_threshold = 0.80;
+  hybrid.gc_pressure_ratio = 0.5;
+  hybrid.mlc_mode_wear_weight = 8;
+  hybrid.health_rated_pe_a = 1000;
+  return hybrid;
+}
+
+inline std::unique_ptr<HybridFtl> MakeTinyHybrid(uint64_t seed = 1) {
+  return std::make_unique<HybridFtl>(TinyChipConfig(), TinyFtlConfig(), TinySlcConfig(),
+                                     TinyHybridConfig(), seed);
+}
+
+inline std::unique_ptr<FlashDevice> MakeTinyDevice(uint64_t seed = 1) {
+  FlashDeviceConfig dev;
+  dev.name = "tiny-device";
+  dev.perf.per_request_overhead = SimDuration::Micros(100);
+  dev.perf.bus_mib_per_sec = 100.0;
+  dev.perf.effective_parallelism = 4;
+  return std::make_unique<FlashDevice>(std::move(dev), MakeTinyFtl(seed));
+}
+
+// A tiny device that never wears out, for FS/Android tests where endurance
+// is out of scope.
+inline std::unique_ptr<FlashDevice> MakeDurableDevice(uint64_t seed = 1) {
+  NandChipConfig nand = TinyChipConfig();
+  nand.blocks_per_die = 64;  // 64 MiB
+  nand.rated_pe_cycles = 1000000;
+  FtlConfig ftl = TinyFtlConfig();
+  ftl.health_rated_pe = 1000000;
+  FlashDeviceConfig dev;
+  dev.name = "durable-device";
+  dev.perf.per_request_overhead = SimDuration::Micros(100);
+  dev.perf.bus_mib_per_sec = 100.0;
+  dev.perf.effective_parallelism = 4;
+  auto impl = std::make_unique<PageMapFtl>(nand, ftl, seed);
+  return std::make_unique<FlashDevice>(std::move(dev), std::move(impl));
+}
+
+}  // namespace flashsim
+
+#endif  // TESTS_TEST_UTIL_H_

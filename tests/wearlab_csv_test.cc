@@ -1,0 +1,72 @@
+#include "src/wearlab/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flashsim {
+namespace {
+
+TEST(CsvTest, EscapePlainValuesUntouched) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape("4.00 KiB rand"), "4.00 KiB rand");
+}
+
+TEST(CsvTest, EscapeQuotesAndCommas) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, RowJoinsWithCommas) {
+  std::ostringstream os;
+  WriteCsvRow(os, {"a", "b,c", "d"});
+  EXPECT_EQ(os.str(), "a,\"b,c\",d\n");
+}
+
+TEST(CsvTest, TransitionsRoundtrip) {
+  WearTransition t;
+  t.type = WearType::kTypeB;
+  t.from_level = 3;
+  t.to_level = 4;
+  t.host_bytes = 1024;
+  t.hours = 2.5;
+  t.write_amplification = 1.5;
+  t.pattern_label = "4.00 KiB rand";
+  t.utilization = 0.9;
+  std::ostringstream os;
+  WriteTransitionsCsv(os, "eMMC 8GB", {t}, /*volume_factor=*/2.0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("device,type,from_level"), std::string::npos);
+  EXPECT_NE(out.find("eMMC 8GB,Type B,3,4,2048.0000,5.0000,1.5000"),
+            std::string::npos);
+}
+
+TEST(CsvTest, PhoneRows) {
+  PhoneWearRow row;
+  row.from_level = 1;
+  row.to_level = 2;
+  row.app_bytes = 100;
+  row.hours = 1.0;
+  std::ostringstream os;
+  WritePhoneRowsCsv(os, "Moto E 8GB", "F2FS", {row}, 1.0);
+  EXPECT_NE(os.str().find("Moto E 8GB,F2FS,1,2,100.0000,1.0000"), std::string::npos);
+}
+
+TEST(CsvTest, BandwidthSeries) {
+  std::ostringstream os;
+  WriteBandwidthCsv(os, "uSD 16GB", "random", {{4096, 1.25}, {8192, 2.5}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("uSD 16GB,random,4096,1.2500"), std::string::npos);
+  EXPECT_NE(out.find("uSD 16GB,random,8192,2.5000"), std::string::npos);
+}
+
+TEST(CsvTest, EmptyTransitionListStillWritesHeader) {
+  std::ostringstream os;
+  WriteTransitionsCsv(os, "x", {}, 1.0);
+  EXPECT_EQ(os.str(), "device,type,from_level,to_level,host_bytes,hours,"
+                      "write_amplification,pattern,utilization,rewrite_utilized\n");
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,53 @@
+#include "src/wearlab/lifetime_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+namespace {
+
+TEST(LifetimeEstimatorTest, PaperSection23Numbers) {
+  // §2.3: a consumer SSD rated 3K P/E can be completely rewritten three
+  // times a day for three years.
+  LifetimeEstimator est(256 * kGiB, 3000);
+  const double daily = 3.0 * 256 * kGiB;  // three full rewrites a day
+  const LifetimeEstimate e = est.Estimate(daily);
+  EXPECT_NEAR(e.years_at_workload, 1000.0 / 365.0, 0.01);
+  EXPECT_DOUBLE_EQ(e.full_rewrites, 3000.0);
+}
+
+TEST(LifetimeEstimatorTest, BudgetIsCapacityTimesEndurance) {
+  LifetimeEstimator est(8 * kGiB, 3000);
+  EXPECT_DOUBLE_EQ(est.Estimate(1).total_write_bytes, 8.0 * kGiB * 3000);
+}
+
+TEST(LifetimeEstimatorTest, ZeroWorkloadGivesZeroDays) {
+  LifetimeEstimator est(8 * kGiB, 3000);
+  const LifetimeEstimate e = est.Estimate(0);
+  EXPECT_DOUBLE_EQ(e.days_at_workload, 0.0);
+}
+
+TEST(LifetimeEstimatorTest, HoursToExhaust) {
+  LifetimeEstimator est(8 * kGiB, 3000);
+  // 24 TiB at 20 MiB/s: 24*1024*1024 MiB / 20 MiB/s / 3600.
+  const double expected = 8.0 * 1024 * 3000 / 20.0 / 3600.0;
+  EXPECT_NEAR(est.HoursToExhaust(20.0), expected, 0.1);
+  EXPECT_DOUBLE_EQ(est.HoursToExhaust(0.0), 0.0);
+}
+
+TEST(LifetimeEstimatorTest, OptimismFactor) {
+  LifetimeEstimator est(8 * kGiB, 3000);
+  const double measured = 8.0 * kGiB * 1000;  // device died 3x early
+  EXPECT_NEAR(est.OptimismFactor(measured), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(est.OptimismFactor(0.0), 0.0);
+}
+
+TEST(LifetimeEstimatorTest, AccessorsRoundtrip) {
+  LifetimeEstimator est(123456, 789);
+  EXPECT_EQ(est.capacity_bytes(), 123456u);
+  EXPECT_EQ(est.rated_pe_cycles(), 789u);
+}
+
+}  // namespace
+}  // namespace flashsim

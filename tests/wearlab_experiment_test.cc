@@ -1,0 +1,150 @@
+#include "src/wearlab/wearout_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/device/catalog.h"
+#include "src/simcore/units.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+std::unique_ptr<FlashDevice> SmallEmmc() {
+  return MakeEmmc8(SimScale{64, 64}, /*seed=*/3);
+}
+
+WearWorkloadConfig SmallWorkload() {
+  WearWorkloadConfig w;
+  w.footprint_bytes = 8 * kMiB;
+  return w;
+}
+
+TEST(WearOutExperimentTest, RecordsTransitionsInOrder) {
+  auto device = SmallEmmc();
+  WearOutExperiment exp(*device, SmallWorkload());
+  const WearRunOutcome out = exp.Run(3, 64 * kGiB);
+  ASSERT_GE(out.transitions.size(), 3u);
+  EXPECT_EQ(out.transitions[0].from_level, 1u);
+  EXPECT_EQ(out.transitions[0].to_level, 2u);
+  EXPECT_EQ(out.transitions[1].from_level, 2u);
+  EXPECT_EQ(out.transitions[2].from_level, 3u);
+  for (const WearTransition& t : out.transitions) {
+    EXPECT_EQ(t.type, WearType::kSinglePool);
+    EXPECT_GT(t.host_bytes, 0u);
+    EXPECT_GT(t.hours, 0.0);
+    EXPECT_GE(t.write_amplification, 0.9);
+  }
+}
+
+TEST(WearOutExperimentTest, VolumePerLevelRoughlyConstant) {
+  auto device = SmallEmmc();
+  WearOutExperiment exp(*device, SmallWorkload());
+  const WearRunOutcome out = exp.Run(5, 64 * kGiB);
+  ASSERT_GE(out.transitions.size(), 5u);
+  // Figure 2's observation: volume per level is near constant (skip the
+  // first level, which includes wear-in).
+  const uint64_t ref = out.transitions[1].host_bytes;
+  for (size_t i = 2; i < out.transitions.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(out.transitions[i].host_bytes),
+                static_cast<double>(ref), 0.25 * static_cast<double>(ref));
+  }
+}
+
+TEST(WearOutExperimentTest, VolumeCapHonored) {
+  auto device = SmallEmmc();
+  WearOutExperiment exp(*device, SmallWorkload());
+  const WearRunOutcome out = exp.Run(100, 4 * kMiB);
+  EXPECT_TRUE(out.volume_cap_hit);
+  EXPECT_LE(out.total_host_bytes, 5 * kMiB);
+}
+
+TEST(WearOutExperimentTest, RunUntilLevelStopsAtTarget) {
+  auto device = SmallEmmc();
+  WearOutExperiment exp(*device, SmallWorkload());
+  const WearRunOutcome out = exp.RunUntilLevel(WearType::kSinglePool, 4, 64 * kGiB);
+  EXPECT_FALSE(out.transitions.empty());
+  EXPECT_EQ(device->QueryHealth().life_time_est_a, 4u);
+}
+
+TEST(WearOutExperimentTest, SetUtilizationPrefills) {
+  auto device = SmallEmmc();
+  WearOutExperiment exp(*device, SmallWorkload());
+  ASSERT_TRUE(exp.SetUtilization(0.5).ok());
+  EXPECT_NEAR(device->ftl().Utilization(), 0.5, 0.05);
+  // Shrinking trims the static data back.
+  ASSERT_TRUE(exp.SetUtilization(0.2).ok());
+  EXPECT_NEAR(device->ftl().Utilization(), 0.2, 0.05);
+}
+
+TEST(WearOutExperimentTest, PatternLabels) {
+  auto device = SmallEmmc();
+  WearWorkloadConfig w = SmallWorkload();
+  WearOutExperiment exp(*device, w);
+  EXPECT_EQ(exp.PatternLabel(), "4.00 KiB rand");
+  w.pattern = AccessPattern::kSequential;
+  w.request_bytes = 128 * 1024;
+  exp.SetWorkload(w);
+  EXPECT_EQ(exp.PatternLabel(), "128.00 KiB seq");
+  w.pattern = AccessPattern::kRandom;
+  w.request_bytes = 4096;
+  w.rewrite_utilized = true;
+  exp.SetWorkload(w);
+  EXPECT_EQ(exp.PatternLabel(), "4.00 KiB rand rewrite");
+}
+
+TEST(WearOutExperimentTest, RewriteUtilizedTargetsStaticData) {
+  auto device = SmallEmmc();
+  WearWorkloadConfig w = SmallWorkload();
+  w.rewrite_utilized = true;
+  WearOutExperiment exp(*device, w);
+  ASSERT_TRUE(exp.SetUtilization(0.6).ok());
+  const WearRunOutcome out = exp.Run(1, 32 * kMiB);
+  // Utilization unchanged: rewrites replace live data rather than extending.
+  EXPECT_NEAR(device->ftl().Utilization(), 0.6, 0.05);
+  EXPECT_TRUE(out.volume_cap_hit || !out.transitions.empty());
+}
+
+TEST(WearOutExperimentTest, UnsupportedHealthYieldsNoTransitions) {
+  auto device = MakeBlu512(SimScale{16, 16}, 3);
+  WearWorkloadConfig w;
+  w.footprint_bytes = 2 * kMiB;
+  WearOutExperiment exp(*device, w);
+  const WearRunOutcome out = exp.Run(1, 16 * kMiB);
+  EXPECT_TRUE(out.transitions.empty());
+  EXPECT_TRUE(out.volume_cap_hit);
+}
+
+TEST(WearOutExperimentTest, RunsToBrickOnTinyDevice) {
+  auto device = MakeBlu512(SimScale{16, 16}, 3);
+  WearWorkloadConfig w;
+  w.footprint_bytes = 2 * kMiB;
+  w.request_bytes = 64 * 1024;
+  WearOutExperiment exp(*device, w);
+  const WearRunOutcome out = exp.Run(1, 1 * kTiB);
+  EXPECT_TRUE(out.bricked);
+  EXPECT_TRUE(device->IsReadOnly());
+}
+
+TEST(WearOutExperimentTest, HybridEmitsBothTypes) {
+  auto device = MakeEmmc16(SimScale{64, 64}, 3);
+  WearWorkloadConfig w;
+  w.footprint_bytes = 8 * kMiB;
+  WearOutExperiment exp(*device, w);
+  const WearRunOutcome out = exp.RunUntilLevel(WearType::kTypeB, 4, 128 * kGiB);
+  bool saw_b = false;
+  for (const WearTransition& t : out.transitions) {
+    if (t.type == WearType::kTypeB) {
+      saw_b = true;
+    }
+  }
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(WearTypeTest, Names) {
+  EXPECT_STREQ(WearTypeName(WearType::kTypeA), "Type A");
+  EXPECT_STREQ(WearTypeName(WearType::kTypeB), "Type B");
+  EXPECT_STREQ(WearTypeName(WearType::kSinglePool), "device");
+}
+
+}  // namespace
+}  // namespace flashsim

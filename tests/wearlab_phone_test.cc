@@ -1,0 +1,104 @@
+#include "src/wearlab/phone.h"
+
+#include <gtest/gtest.h>
+
+#include "src/device/catalog.h"
+#include "src/simcore/units.h"
+
+namespace flashsim {
+namespace {
+
+constexpr SimScale kScale{64, 64};
+
+AttackAppConfig SmallAttack() {
+  AttackAppConfig cfg;
+  cfg.file_count = 2;
+  cfg.file_bytes = 2 * kMiB;
+  cfg.write_bytes = 4096;
+  return cfg;
+}
+
+TEST(PhoneTest, BootsWithEitherFilesystem) {
+  Phone ext_phone(MakeMotoE8(kScale, 1), PhoneFsType::kExtFs);
+  EXPECT_STREQ(ext_phone.fs().fs_type(), "extfs");
+  Phone log_phone(MakeMotoE8(kScale, 1), PhoneFsType::kLogFs);
+  EXPECT_STREQ(log_phone.fs().fs_type(), "logfs");
+  EXPECT_STREQ(PhoneFsTypeName(PhoneFsType::kExtFs), "Ext4");
+  EXPECT_STREQ(PhoneFsTypeName(PhoneFsType::kLogFs), "F2FS");
+}
+
+TEST(PhoneTest, FillStaticDataReachesUtilization) {
+  Phone phone(MakeMotoE8(kScale, 1), PhoneFsType::kExtFs);
+  ASSERT_TRUE(phone.FillStaticData(0.5).ok());
+  EXPECT_NEAR(phone.device().ftl().Utilization(), 0.5, 0.08);
+  EXPECT_TRUE(phone.fs().Exists("system/os.img"));
+}
+
+TEST(PhoneTest, WearExperimentRecordsLevels) {
+  Phone phone(MakeMotoE8(kScale, 1), PhoneFsType::kExtFs);
+  ASSERT_TRUE(phone.FillStaticData(0.4).ok());
+  const PhoneWearOutcome out =
+      RunPhoneWearExperiment(phone, SmallAttack(), 3, SimDuration::Hours(500));
+  ASSERT_GE(out.rows.size(), 2u);
+  EXPECT_EQ(out.rows[0].from_level, 1u);
+  EXPECT_EQ(out.rows[0].to_level, 2u);
+  EXPECT_GT(out.rows[0].app_bytes, 0u);
+  EXPECT_GT(out.rows[0].hours, 0.0);
+  EXPECT_FALSE(out.bricked);
+}
+
+TEST(PhoneTest, F2fsNeedsLessAppIoPerLevel) {
+  Phone ext_phone(MakeMotoE8(kScale, 1), PhoneFsType::kExtFs);
+  ASSERT_TRUE(ext_phone.FillStaticData(0.4).ok());
+  const PhoneWearOutcome ext_out =
+      RunPhoneWearExperiment(ext_phone, SmallAttack(), 3, SimDuration::Hours(500));
+  Phone log_phone(MakeMotoE8(kScale, 1), PhoneFsType::kLogFs);
+  ASSERT_TRUE(log_phone.FillStaticData(0.4).ok());
+  const PhoneWearOutcome log_out =
+      RunPhoneWearExperiment(log_phone, SmallAttack(), 3, SimDuration::Hours(500));
+  ASSERT_GE(ext_out.rows.size(), 2u);
+  ASSERT_GE(log_out.rows.size(), 2u);
+  // Figure 4: F2FS needs roughly half the app I/O per level.
+  const double ratio = static_cast<double>(log_out.rows[1].app_bytes) /
+                       static_cast<double>(ext_out.rows[1].app_bytes);
+  EXPECT_LT(ratio, 0.75);
+  EXPECT_GT(ratio, 0.3);
+}
+
+TEST(PhoneTest, BudgetPhoneBricksWithoutRows) {
+  Phone phone(MakeBlu512(SimScale{16, 16}, 1), PhoneFsType::kExtFs);
+  AttackAppConfig cfg;
+  cfg.file_count = 1;
+  cfg.file_bytes = 1 * kMiB;
+  cfg.write_bytes = 64 * 1024;
+  const PhoneWearOutcome out =
+      RunPhoneWearExperiment(phone, cfg, 11, SimDuration::Hours(5000));
+  EXPECT_TRUE(out.bricked);
+  EXPECT_TRUE(out.rows.empty()) << "no health reporting on budget phones";
+  EXPECT_GT(out.hours_to_brick, 0.0);
+}
+
+TEST(PhoneTest, DetectionExperimentAggressiveFlagged) {
+  Phone phone(MakeMotoE8(SimScale{64, 1}, 1), PhoneFsType::kExtFs);
+  // Start mid-morning so the attack runs on battery with screen bursts.
+  phone.system().AdvanceIdle(SimDuration::Hours(9));
+  const DetectionOutcome out =
+      RunDetectionExperiment(phone, AttackPolicy::kAggressive, SimDuration::Hours(2));
+  EXPECT_GT(out.bytes_written, 0u);
+  EXPECT_TRUE(out.detection.power_flagged);
+  EXPECT_TRUE(out.detection.process_flagged);
+}
+
+TEST(PhoneTest, DetectionExperimentStealthClean) {
+  Phone phone(MakeMotoE8(SimScale{64, 1}, 1), PhoneFsType::kExtFs);
+  phone.system().AdvanceIdle(SimDuration::Hours(9));
+  const DetectionOutcome out =
+      RunDetectionExperiment(phone, AttackPolicy::kStealth, SimDuration::Hours(24));
+  EXPECT_GT(out.bytes_written, 0u) << "stealth window opens overnight";
+  EXPECT_FALSE(out.detection.power_flagged);
+  EXPECT_FALSE(out.detection.process_flagged);
+  EXPECT_NEAR(out.stealth_window_fraction, 0.3125, 0.01);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,93 @@
+#include "src/wearlab/bandwidth_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/units.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+TEST(BandwidthProbeTest, Figure1SizesSpan) {
+  const auto sizes = Figure1RequestSizes();
+  ASSERT_FALSE(sizes.empty());
+  EXPECT_EQ(sizes.front(), 512u);
+  EXPECT_EQ(sizes.back(), 16 * kMiB);
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], sizes[i - 1] * 2);
+  }
+}
+
+TEST(BandwidthProbeTest, MeasuresPositiveBandwidth) {
+  auto device = MakeDurableDevice();
+  BandwidthProbeConfig cfg;
+  cfg.total_bytes = 2 * kMiB;
+  cfg.region_bytes = 8 * kMiB;
+  const BandwidthResult r = RunBandwidthProbe(*device, cfg);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_GT(r.mib_per_sec, 0.0);
+  EXPECT_EQ(r.bytes_moved, 2 * kMiB);
+  EXPECT_GT(r.elapsed.nanos(), 0);
+}
+
+TEST(BandwidthProbeTest, LargerRequestsFasterOnParallelDevice) {
+  auto dev_small = MakeDurableDevice();
+  auto dev_large = MakeDurableDevice();
+  BandwidthProbeConfig cfg;
+  cfg.region_bytes = 8 * kMiB;
+  cfg.total_bytes = 4 * kMiB;
+  cfg.request_bytes = 4096;
+  const double small = RunBandwidthProbe(*dev_small, cfg).mib_per_sec;
+  cfg.request_bytes = 512 * 1024;
+  const double large = RunBandwidthProbe(*dev_large, cfg).mib_per_sec;
+  EXPECT_GT(large, small);
+}
+
+TEST(BandwidthProbeTest, RegionClampedToCapacity) {
+  auto device = MakeDurableDevice();
+  BandwidthProbeConfig cfg;
+  cfg.region_bytes = 100 * kTiB;  // absurd; must clamp
+  cfg.total_bytes = 1 * kMiB;
+  EXPECT_TRUE(RunBandwidthProbe(*device, cfg).status.ok());
+}
+
+TEST(BandwidthProbeTest, TinyRegionRejected) {
+  auto device = MakeDurableDevice();
+  BandwidthProbeConfig cfg;
+  cfg.request_bytes = 16 * kMiB;
+  cfg.region_bytes = 4096;
+  const BandwidthResult r = RunBandwidthProbe(*device, cfg);
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BandwidthProbeTest, ReadProbePrefillsRegion) {
+  auto device = MakeDurableDevice();
+  BandwidthProbeConfig cfg;
+  cfg.kind = IoKind::kRead;
+  cfg.pattern = AccessPattern::kRandom;
+  cfg.total_bytes = 1 * kMiB;
+  cfg.region_bytes = 4 * kMiB;
+  const BandwidthResult r = RunBandwidthProbe(*device, cfg);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_GT(r.mib_per_sec, 0.0);
+}
+
+TEST(BandwidthProbeTest, PatternNames) {
+  EXPECT_STREQ(AccessPatternName(AccessPattern::kSequential), "sequential");
+  EXPECT_STREQ(AccessPatternName(AccessPattern::kRandom), "random");
+}
+
+TEST(BandwidthProbeTest, DeterministicForSameSeed) {
+  auto d1 = MakeDurableDevice();
+  auto d2 = MakeDurableDevice();
+  BandwidthProbeConfig cfg;
+  cfg.pattern = AccessPattern::kRandom;
+  cfg.total_bytes = 2 * kMiB;
+  cfg.region_bytes = 8 * kMiB;
+  const double b1 = RunBandwidthProbe(*d1, cfg).mib_per_sec;
+  const double b2 = RunBandwidthProbe(*d2, cfg).mib_per_sec;
+  EXPECT_DOUBLE_EQ(b1, b2);
+}
+
+}  // namespace
+}  // namespace flashsim

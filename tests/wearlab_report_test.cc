@@ -1,0 +1,69 @@
+#include "src/wearlab/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+namespace {
+
+TEST(TableReporterTest, PrintsHeaderAndRows) {
+  TableReporter table({"A", "Bee"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"333", "4"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("Bee"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TableReporterTest, PadsShortRows) {
+  TableReporter table({"A", "B", "C"});
+  table.AddRow({"only-one"});
+  std::ostringstream os;
+  table.Print(os);  // must not crash; missing cells render empty
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TableReporterTest, ColumnsAligned) {
+  TableReporter table({"Name", "Value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"long-name", "2"});
+  std::ostringstream os;
+  table.Print(os);
+  std::istringstream lines(os.str());
+  std::string header;
+  std::string separator;
+  std::string row1;
+  std::string row2;
+  std::getline(lines, header);
+  std::getline(lines, separator);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  // The "Value" column starts at the same offset in each row.
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(FormatHelpersTest, Fmt) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(3.14159, 0), "3");
+  EXPECT_EQ(Fmt(-1.5, 1), "-1.5");
+}
+
+TEST(FormatHelpersTest, FmtGiB) {
+  EXPECT_EQ(FmtGiB(uint64_t{2 * kGiB}), "2.00");
+  EXPECT_EQ(FmtGiB(1.5 * static_cast<double>(kGiB), 1), "1.5");
+}
+
+TEST(FormatHelpersTest, FmtPercent) {
+  EXPECT_EQ(FmtPercent(0.5), "50%");
+  EXPECT_EQ(FmtPercent(0.905, 1), "90.5%");
+}
+
+}  // namespace
+}  // namespace flashsim
