@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cell_density.dir/abl_cell_density.cpp.o"
+  "CMakeFiles/abl_cell_density.dir/abl_cell_density.cpp.o.d"
+  "abl_cell_density"
+  "abl_cell_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cell_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_cell_density.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_estimator_gap.dir/abl_estimator_gap.cpp.o"
+  "CMakeFiles/abl_estimator_gap.dir/abl_estimator_gap.cpp.o.d"
+  "abl_estimator_gap"
+  "abl_estimator_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_estimator_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

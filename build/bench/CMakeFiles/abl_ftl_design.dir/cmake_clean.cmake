@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ftl_design.dir/abl_ftl_design.cpp.o"
+  "CMakeFiles/abl_ftl_design.dir/abl_ftl_design.cpp.o.d"
+  "abl_ftl_design"
+  "abl_ftl_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ftl_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

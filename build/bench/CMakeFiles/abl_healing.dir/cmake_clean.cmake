@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_healing.dir/abl_healing.cpp.o"
+  "CMakeFiles/abl_healing.dir/abl_healing.cpp.o.d"
+  "abl_healing"
+  "abl_healing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_healing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_interface_speed.dir/abl_interface_speed.cpp.o"
+  "CMakeFiles/abl_interface_speed.dir/abl_interface_speed.cpp.o.d"
+  "abl_interface_speed"
+  "abl_interface_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_interface_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

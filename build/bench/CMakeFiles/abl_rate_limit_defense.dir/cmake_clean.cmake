@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rate_limit_defense.dir/abl_rate_limit_defense.cpp.o"
+  "CMakeFiles/abl_rate_limit_defense.dir/abl_rate_limit_defense.cpp.o.d"
+  "abl_rate_limit_defense"
+  "abl_rate_limit_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rate_limit_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stealth_detection.dir/abl_stealth_detection.cpp.o"
+  "CMakeFiles/abl_stealth_detection.dir/abl_stealth_detection.cpp.o.d"
+  "abl_stealth_detection"
+  "abl_stealth_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stealth_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

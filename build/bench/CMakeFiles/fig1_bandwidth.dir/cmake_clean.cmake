@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_bandwidth.dir/fig1_bandwidth.cpp.o"
+  "CMakeFiles/fig1_bandwidth.dir/fig1_bandwidth.cpp.o.d"
+  "fig1_bandwidth"
+  "fig1_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

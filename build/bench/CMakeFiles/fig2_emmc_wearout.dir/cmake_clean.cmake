@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_emmc_wearout.dir/fig2_emmc_wearout.cpp.o"
+  "CMakeFiles/fig2_emmc_wearout.dir/fig2_emmc_wearout.cpp.o.d"
+  "fig2_emmc_wearout"
+  "fig2_emmc_wearout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_emmc_wearout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

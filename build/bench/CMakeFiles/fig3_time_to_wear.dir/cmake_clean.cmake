@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_time_to_wear.dir/fig3_time_to_wear.cpp.o"
+  "CMakeFiles/fig3_time_to_wear.dir/fig3_time_to_wear.cpp.o.d"
+  "fig3_time_to_wear"
+  "fig3_time_to_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_time_to_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

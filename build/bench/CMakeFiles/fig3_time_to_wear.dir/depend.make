@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_time_to_wear.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_filesystems.dir/fig4_filesystems.cpp.o"
+  "CMakeFiles/fig4_filesystems.dir/fig4_filesystems.cpp.o.d"
+  "fig4_filesystems"
+  "fig4_filesystems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_filesystems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

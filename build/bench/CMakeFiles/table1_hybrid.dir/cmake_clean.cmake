@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_hybrid.dir/table1_hybrid.cpp.o"
+  "CMakeFiles/table1_hybrid.dir/table1_hybrid.cpp.o.d"
+  "table1_hybrid"
+  "table1_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brick_a_phone.dir/brick_a_phone.cpp.o"
+  "CMakeFiles/brick_a_phone.dir/brick_a_phone.cpp.o.d"
+  "brick_a_phone"
+  "brick_a_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brick_a_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for brick_a_phone.
+# This may be replaced when dependencies are built.

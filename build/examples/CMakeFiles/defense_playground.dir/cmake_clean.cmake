@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_playground.dir/defense_playground.cpp.o"
+  "CMakeFiles/defense_playground.dir/defense_playground.cpp.o.d"
+  "defense_playground"
+  "defense_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

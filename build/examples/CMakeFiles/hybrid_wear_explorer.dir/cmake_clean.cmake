@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_wear_explorer.dir/hybrid_wear_explorer.cpp.o"
+  "CMakeFiles/hybrid_wear_explorer.dir/hybrid_wear_explorer.cpp.o.d"
+  "hybrid_wear_explorer"
+  "hybrid_wear_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_wear_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/android_system.cc" "src/android/CMakeFiles/flashsim_android.dir/android_system.cc.o" "gcc" "src/android/CMakeFiles/flashsim_android.dir/android_system.cc.o.d"
+  "/root/repo/src/android/attack_app.cc" "src/android/CMakeFiles/flashsim_android.dir/attack_app.cc.o" "gcc" "src/android/CMakeFiles/flashsim_android.dir/attack_app.cc.o.d"
+  "/root/repo/src/android/benign_apps.cc" "src/android/CMakeFiles/flashsim_android.dir/benign_apps.cc.o" "gcc" "src/android/CMakeFiles/flashsim_android.dir/benign_apps.cc.o.d"
+  "/root/repo/src/android/defense.cc" "src/android/CMakeFiles/flashsim_android.dir/defense.cc.o" "gcc" "src/android/CMakeFiles/flashsim_android.dir/defense.cc.o.d"
+  "/root/repo/src/android/monitors.cc" "src/android/CMakeFiles/flashsim_android.dir/monitors.cc.o" "gcc" "src/android/CMakeFiles/flashsim_android.dir/monitors.cc.o.d"
+  "/root/repo/src/android/phone_state.cc" "src/android/CMakeFiles/flashsim_android.dir/phone_state.cc.o" "gcc" "src/android/CMakeFiles/flashsim_android.dir/phone_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/flashsim_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/flashsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/flashsim_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/flashsim_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/flashsim_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/flashsim_nand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_android.dir/android_system.cc.o"
+  "CMakeFiles/flashsim_android.dir/android_system.cc.o.d"
+  "CMakeFiles/flashsim_android.dir/attack_app.cc.o"
+  "CMakeFiles/flashsim_android.dir/attack_app.cc.o.d"
+  "CMakeFiles/flashsim_android.dir/benign_apps.cc.o"
+  "CMakeFiles/flashsim_android.dir/benign_apps.cc.o.d"
+  "CMakeFiles/flashsim_android.dir/defense.cc.o"
+  "CMakeFiles/flashsim_android.dir/defense.cc.o.d"
+  "CMakeFiles/flashsim_android.dir/monitors.cc.o"
+  "CMakeFiles/flashsim_android.dir/monitors.cc.o.d"
+  "CMakeFiles/flashsim_android.dir/phone_state.cc.o"
+  "CMakeFiles/flashsim_android.dir/phone_state.cc.o.d"
+  "libflashsim_android.a"
+  "libflashsim_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

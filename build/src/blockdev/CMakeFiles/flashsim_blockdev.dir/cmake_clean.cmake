@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_blockdev.dir/block_device.cc.o"
+  "CMakeFiles/flashsim_blockdev.dir/block_device.cc.o.d"
+  "CMakeFiles/flashsim_blockdev.dir/iotrace.cc.o"
+  "CMakeFiles/flashsim_blockdev.dir/iotrace.cc.o.d"
+  "CMakeFiles/flashsim_blockdev.dir/perf_model.cc.o"
+  "CMakeFiles/flashsim_blockdev.dir/perf_model.cc.o.d"
+  "libflashsim_blockdev.a"
+  "libflashsim_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

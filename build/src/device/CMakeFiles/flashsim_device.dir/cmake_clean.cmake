@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_device.dir/catalog.cc.o"
+  "CMakeFiles/flashsim_device.dir/catalog.cc.o.d"
+  "CMakeFiles/flashsim_device.dir/flash_device.cc.o"
+  "CMakeFiles/flashsim_device.dir/flash_device.cc.o.d"
+  "libflashsim_device.a"
+  "libflashsim_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

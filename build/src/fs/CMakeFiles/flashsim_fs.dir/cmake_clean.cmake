@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_fs.dir/extfs.cc.o"
+  "CMakeFiles/flashsim_fs.dir/extfs.cc.o.d"
+  "CMakeFiles/flashsim_fs.dir/logfs.cc.o"
+  "CMakeFiles/flashsim_fs.dir/logfs.cc.o.d"
+  "libflashsim_fs.a"
+  "libflashsim_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

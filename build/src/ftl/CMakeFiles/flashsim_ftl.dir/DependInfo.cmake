@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/block_map_ftl.cc" "src/ftl/CMakeFiles/flashsim_ftl.dir/block_map_ftl.cc.o" "gcc" "src/ftl/CMakeFiles/flashsim_ftl.dir/block_map_ftl.cc.o.d"
+  "/root/repo/src/ftl/config.cc" "src/ftl/CMakeFiles/flashsim_ftl.dir/config.cc.o" "gcc" "src/ftl/CMakeFiles/flashsim_ftl.dir/config.cc.o.d"
+  "/root/repo/src/ftl/health.cc" "src/ftl/CMakeFiles/flashsim_ftl.dir/health.cc.o" "gcc" "src/ftl/CMakeFiles/flashsim_ftl.dir/health.cc.o.d"
+  "/root/repo/src/ftl/hybrid_ftl.cc" "src/ftl/CMakeFiles/flashsim_ftl.dir/hybrid_ftl.cc.o" "gcc" "src/ftl/CMakeFiles/flashsim_ftl.dir/hybrid_ftl.cc.o.d"
+  "/root/repo/src/ftl/page_map_ftl.cc" "src/ftl/CMakeFiles/flashsim_ftl.dir/page_map_ftl.cc.o" "gcc" "src/ftl/CMakeFiles/flashsim_ftl.dir/page_map_ftl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nand/CMakeFiles/flashsim_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/flashsim_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_ftl.dir/block_map_ftl.cc.o"
+  "CMakeFiles/flashsim_ftl.dir/block_map_ftl.cc.o.d"
+  "CMakeFiles/flashsim_ftl.dir/config.cc.o"
+  "CMakeFiles/flashsim_ftl.dir/config.cc.o.d"
+  "CMakeFiles/flashsim_ftl.dir/health.cc.o"
+  "CMakeFiles/flashsim_ftl.dir/health.cc.o.d"
+  "CMakeFiles/flashsim_ftl.dir/hybrid_ftl.cc.o"
+  "CMakeFiles/flashsim_ftl.dir/hybrid_ftl.cc.o.d"
+  "CMakeFiles/flashsim_ftl.dir/page_map_ftl.cc.o"
+  "CMakeFiles/flashsim_ftl.dir/page_map_ftl.cc.o.d"
+  "libflashsim_ftl.a"
+  "libflashsim_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

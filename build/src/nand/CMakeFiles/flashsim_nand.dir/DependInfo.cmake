@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nand/block.cc" "src/nand/CMakeFiles/flashsim_nand.dir/block.cc.o" "gcc" "src/nand/CMakeFiles/flashsim_nand.dir/block.cc.o.d"
+  "/root/repo/src/nand/chip.cc" "src/nand/CMakeFiles/flashsim_nand.dir/chip.cc.o" "gcc" "src/nand/CMakeFiles/flashsim_nand.dir/chip.cc.o.d"
+  "/root/repo/src/nand/config.cc" "src/nand/CMakeFiles/flashsim_nand.dir/config.cc.o" "gcc" "src/nand/CMakeFiles/flashsim_nand.dir/config.cc.o.d"
+  "/root/repo/src/nand/error_model.cc" "src/nand/CMakeFiles/flashsim_nand.dir/error_model.cc.o" "gcc" "src/nand/CMakeFiles/flashsim_nand.dir/error_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/flashsim_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_nand.dir/block.cc.o"
+  "CMakeFiles/flashsim_nand.dir/block.cc.o.d"
+  "CMakeFiles/flashsim_nand.dir/chip.cc.o"
+  "CMakeFiles/flashsim_nand.dir/chip.cc.o.d"
+  "CMakeFiles/flashsim_nand.dir/config.cc.o"
+  "CMakeFiles/flashsim_nand.dir/config.cc.o.d"
+  "CMakeFiles/flashsim_nand.dir/error_model.cc.o"
+  "CMakeFiles/flashsim_nand.dir/error_model.cc.o.d"
+  "libflashsim_nand.a"
+  "libflashsim_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

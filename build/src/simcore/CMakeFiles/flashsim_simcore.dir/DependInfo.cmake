@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/clock.cc" "src/simcore/CMakeFiles/flashsim_simcore.dir/clock.cc.o" "gcc" "src/simcore/CMakeFiles/flashsim_simcore.dir/clock.cc.o.d"
+  "/root/repo/src/simcore/event_log.cc" "src/simcore/CMakeFiles/flashsim_simcore.dir/event_log.cc.o" "gcc" "src/simcore/CMakeFiles/flashsim_simcore.dir/event_log.cc.o.d"
+  "/root/repo/src/simcore/rng.cc" "src/simcore/CMakeFiles/flashsim_simcore.dir/rng.cc.o" "gcc" "src/simcore/CMakeFiles/flashsim_simcore.dir/rng.cc.o.d"
+  "/root/repo/src/simcore/stats.cc" "src/simcore/CMakeFiles/flashsim_simcore.dir/stats.cc.o" "gcc" "src/simcore/CMakeFiles/flashsim_simcore.dir/stats.cc.o.d"
+  "/root/repo/src/simcore/status.cc" "src/simcore/CMakeFiles/flashsim_simcore.dir/status.cc.o" "gcc" "src/simcore/CMakeFiles/flashsim_simcore.dir/status.cc.o.d"
+  "/root/repo/src/simcore/units.cc" "src/simcore/CMakeFiles/flashsim_simcore.dir/units.cc.o" "gcc" "src/simcore/CMakeFiles/flashsim_simcore.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_simcore.dir/clock.cc.o"
+  "CMakeFiles/flashsim_simcore.dir/clock.cc.o.d"
+  "CMakeFiles/flashsim_simcore.dir/event_log.cc.o"
+  "CMakeFiles/flashsim_simcore.dir/event_log.cc.o.d"
+  "CMakeFiles/flashsim_simcore.dir/rng.cc.o"
+  "CMakeFiles/flashsim_simcore.dir/rng.cc.o.d"
+  "CMakeFiles/flashsim_simcore.dir/stats.cc.o"
+  "CMakeFiles/flashsim_simcore.dir/stats.cc.o.d"
+  "CMakeFiles/flashsim_simcore.dir/status.cc.o"
+  "CMakeFiles/flashsim_simcore.dir/status.cc.o.d"
+  "CMakeFiles/flashsim_simcore.dir/units.cc.o"
+  "CMakeFiles/flashsim_simcore.dir/units.cc.o.d"
+  "libflashsim_simcore.a"
+  "libflashsim_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashsim_wearlab.dir/bandwidth_probe.cc.o"
+  "CMakeFiles/flashsim_wearlab.dir/bandwidth_probe.cc.o.d"
+  "CMakeFiles/flashsim_wearlab.dir/csv.cc.o"
+  "CMakeFiles/flashsim_wearlab.dir/csv.cc.o.d"
+  "CMakeFiles/flashsim_wearlab.dir/lifetime_estimator.cc.o"
+  "CMakeFiles/flashsim_wearlab.dir/lifetime_estimator.cc.o.d"
+  "CMakeFiles/flashsim_wearlab.dir/phone.cc.o"
+  "CMakeFiles/flashsim_wearlab.dir/phone.cc.o.d"
+  "CMakeFiles/flashsim_wearlab.dir/report.cc.o"
+  "CMakeFiles/flashsim_wearlab.dir/report.cc.o.d"
+  "CMakeFiles/flashsim_wearlab.dir/wearout_experiment.cc.o"
+  "CMakeFiles/flashsim_wearlab.dir/wearout_experiment.cc.o.d"
+  "libflashsim_wearlab.a"
+  "libflashsim_wearlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashsim_wearlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_benign_apps_test.dir/android_benign_apps_test.cc.o"
+  "CMakeFiles/android_benign_apps_test.dir/android_benign_apps_test.cc.o.d"
+  "android_benign_apps_test"
+  "android_benign_apps_test.pdb"
+  "android_benign_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_benign_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_defense_test.dir/android_defense_test.cc.o"
+  "CMakeFiles/android_defense_test.dir/android_defense_test.cc.o.d"
+  "android_defense_test"
+  "android_defense_test.pdb"
+  "android_defense_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_defense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

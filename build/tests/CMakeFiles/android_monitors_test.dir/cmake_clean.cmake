@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_monitors_test.dir/android_monitors_test.cc.o"
+  "CMakeFiles/android_monitors_test.dir/android_monitors_test.cc.o.d"
+  "android_monitors_test"
+  "android_monitors_test.pdb"
+  "android_monitors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_monitors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_phone_state_test.dir/android_phone_state_test.cc.o"
+  "CMakeFiles/android_phone_state_test.dir/android_phone_state_test.cc.o.d"
+  "android_phone_state_test"
+  "android_phone_state_test.pdb"
+  "android_phone_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_phone_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

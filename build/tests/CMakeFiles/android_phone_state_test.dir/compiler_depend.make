@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for android_phone_state_test.
+# This may be replaced when dependencies are built.

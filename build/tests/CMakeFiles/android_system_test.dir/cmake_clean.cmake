@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_system_test.dir/android_system_test.cc.o"
+  "CMakeFiles/android_system_test.dir/android_system_test.cc.o.d"
+  "android_system_test"
+  "android_system_test.pdb"
+  "android_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

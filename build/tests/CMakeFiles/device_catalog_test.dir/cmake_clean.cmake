@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_catalog_test.dir/device_catalog_test.cc.o"
+  "CMakeFiles/device_catalog_test.dir/device_catalog_test.cc.o.d"
+  "device_catalog_test"
+  "device_catalog_test.pdb"
+  "device_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_common_test.dir/fs_common_test.cc.o"
+  "CMakeFiles/fs_common_test.dir/fs_common_test.cc.o.d"
+  "fs_common_test"
+  "fs_common_test.pdb"
+  "fs_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_extfs_test.dir/fs_extfs_test.cc.o"
+  "CMakeFiles/fs_extfs_test.dir/fs_extfs_test.cc.o.d"
+  "fs_extfs_test"
+  "fs_extfs_test.pdb"
+  "fs_extfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_extfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_logfs_test.dir/fs_logfs_test.cc.o"
+  "CMakeFiles/fs_logfs_test.dir/fs_logfs_test.cc.o.d"
+  "fs_logfs_test"
+  "fs_logfs_test.pdb"
+  "fs_logfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_logfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_truncate_rename_test.dir/fs_truncate_rename_test.cc.o"
+  "CMakeFiles/fs_truncate_rename_test.dir/fs_truncate_rename_test.cc.o.d"
+  "fs_truncate_rename_test"
+  "fs_truncate_rename_test.pdb"
+  "fs_truncate_rename_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_truncate_rename_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_blockmap_test.dir/ftl_blockmap_test.cc.o"
+  "CMakeFiles/ftl_blockmap_test.dir/ftl_blockmap_test.cc.o.d"
+  "ftl_blockmap_test"
+  "ftl_blockmap_test.pdb"
+  "ftl_blockmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_blockmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

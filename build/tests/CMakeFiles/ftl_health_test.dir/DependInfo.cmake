@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ftl_health_test.cc" "tests/CMakeFiles/ftl_health_test.dir/ftl_health_test.cc.o" "gcc" "tests/CMakeFiles/ftl_health_test.dir/ftl_health_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wearlab/CMakeFiles/flashsim_wearlab.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/flashsim_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/flashsim_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/flashsim_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/flashsim_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/flashsim_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/flashsim_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/flashsim_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_health_test.dir/ftl_health_test.cc.o"
+  "CMakeFiles/ftl_health_test.dir/ftl_health_test.cc.o.d"
+  "ftl_health_test"
+  "ftl_health_test.pdb"
+  "ftl_health_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_health_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

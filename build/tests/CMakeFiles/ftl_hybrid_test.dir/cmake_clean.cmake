@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_hybrid_test.dir/ftl_hybrid_test.cc.o"
+  "CMakeFiles/ftl_hybrid_test.dir/ftl_hybrid_test.cc.o.d"
+  "ftl_hybrid_test"
+  "ftl_hybrid_test.pdb"
+  "ftl_hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

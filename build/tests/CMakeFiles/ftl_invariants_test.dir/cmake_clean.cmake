@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_invariants_test.dir/ftl_invariants_test.cc.o"
+  "CMakeFiles/ftl_invariants_test.dir/ftl_invariants_test.cc.o.d"
+  "ftl_invariants_test"
+  "ftl_invariants_test.pdb"
+  "ftl_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_pagemap_test.dir/ftl_pagemap_test.cc.o"
+  "CMakeFiles/ftl_pagemap_test.dir/ftl_pagemap_test.cc.o.d"
+  "ftl_pagemap_test"
+  "ftl_pagemap_test.pdb"
+  "ftl_pagemap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_pagemap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

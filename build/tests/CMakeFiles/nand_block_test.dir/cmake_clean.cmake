@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_block_test.dir/nand_block_test.cc.o"
+  "CMakeFiles/nand_block_test.dir/nand_block_test.cc.o.d"
+  "nand_block_test"
+  "nand_block_test.pdb"
+  "nand_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_chip_test.dir/nand_chip_test.cc.o"
+  "CMakeFiles/nand_chip_test.dir/nand_chip_test.cc.o.d"
+  "nand_chip_test"
+  "nand_chip_test.pdb"
+  "nand_chip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_chip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_config_test.dir/nand_config_test.cc.o"
+  "CMakeFiles/nand_config_test.dir/nand_config_test.cc.o.d"
+  "nand_config_test"
+  "nand_config_test.pdb"
+  "nand_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_error_model_test.dir/nand_error_model_test.cc.o"
+  "CMakeFiles/nand_error_model_test.dir/nand_error_model_test.cc.o.d"
+  "nand_error_model_test"
+  "nand_error_model_test.pdb"
+  "nand_error_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_error_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_healing_test.dir/nand_healing_test.cc.o"
+  "CMakeFiles/nand_healing_test.dir/nand_healing_test.cc.o.d"
+  "nand_healing_test"
+  "nand_healing_test.pdb"
+  "nand_healing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_healing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

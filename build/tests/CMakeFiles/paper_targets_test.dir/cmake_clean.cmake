@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_targets_test.dir/paper_targets_test.cc.o"
+  "CMakeFiles/paper_targets_test.dir/paper_targets_test.cc.o.d"
+  "paper_targets_test"
+  "paper_targets_test.pdb"
+  "paper_targets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_targets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_invariance_test.dir/scale_invariance_test.cc.o"
+  "CMakeFiles/scale_invariance_test.dir/scale_invariance_test.cc.o.d"
+  "scale_invariance_test"
+  "scale_invariance_test.pdb"
+  "scale_invariance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

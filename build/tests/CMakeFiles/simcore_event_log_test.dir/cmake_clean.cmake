@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_event_log_test.dir/simcore_event_log_test.cc.o"
+  "CMakeFiles/simcore_event_log_test.dir/simcore_event_log_test.cc.o.d"
+  "simcore_event_log_test"
+  "simcore_event_log_test.pdb"
+  "simcore_event_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_event_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

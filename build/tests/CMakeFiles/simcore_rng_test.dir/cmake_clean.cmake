@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_rng_test.dir/simcore_rng_test.cc.o"
+  "CMakeFiles/simcore_rng_test.dir/simcore_rng_test.cc.o.d"
+  "simcore_rng_test"
+  "simcore_rng_test.pdb"
+  "simcore_rng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_stats_test.dir/simcore_stats_test.cc.o"
+  "CMakeFiles/simcore_stats_test.dir/simcore_stats_test.cc.o.d"
+  "simcore_stats_test"
+  "simcore_stats_test.pdb"
+  "simcore_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_status_test.dir/simcore_status_test.cc.o"
+  "CMakeFiles/simcore_status_test.dir/simcore_status_test.cc.o.d"
+  "simcore_status_test"
+  "simcore_status_test.pdb"
+  "simcore_status_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

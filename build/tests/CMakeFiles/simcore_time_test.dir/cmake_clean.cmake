@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_time_test.dir/simcore_time_test.cc.o"
+  "CMakeFiles/simcore_time_test.dir/simcore_time_test.cc.o.d"
+  "simcore_time_test"
+  "simcore_time_test.pdb"
+  "simcore_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

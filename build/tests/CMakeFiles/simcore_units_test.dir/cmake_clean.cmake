@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_units_test.dir/simcore_units_test.cc.o"
+  "CMakeFiles/simcore_units_test.dir/simcore_units_test.cc.o.d"
+  "simcore_units_test"
+  "simcore_units_test.pdb"
+  "simcore_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlab_csv_test.dir/wearlab_csv_test.cc.o"
+  "CMakeFiles/wearlab_csv_test.dir/wearlab_csv_test.cc.o.d"
+  "wearlab_csv_test"
+  "wearlab_csv_test.pdb"
+  "wearlab_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlab_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlab_estimator_test.dir/wearlab_estimator_test.cc.o"
+  "CMakeFiles/wearlab_estimator_test.dir/wearlab_estimator_test.cc.o.d"
+  "wearlab_estimator_test"
+  "wearlab_estimator_test.pdb"
+  "wearlab_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlab_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlab_experiment_test.dir/wearlab_experiment_test.cc.o"
+  "CMakeFiles/wearlab_experiment_test.dir/wearlab_experiment_test.cc.o.d"
+  "wearlab_experiment_test"
+  "wearlab_experiment_test.pdb"
+  "wearlab_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlab_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

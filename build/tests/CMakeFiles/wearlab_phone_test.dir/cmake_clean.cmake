@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlab_phone_test.dir/wearlab_phone_test.cc.o"
+  "CMakeFiles/wearlab_phone_test.dir/wearlab_phone_test.cc.o.d"
+  "wearlab_phone_test"
+  "wearlab_phone_test.pdb"
+  "wearlab_phone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlab_phone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

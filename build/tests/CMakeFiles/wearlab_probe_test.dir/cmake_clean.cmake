@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlab_probe_test.dir/wearlab_probe_test.cc.o"
+  "CMakeFiles/wearlab_probe_test.dir/wearlab_probe_test.cc.o.d"
+  "wearlab_probe_test"
+  "wearlab_probe_test.pdb"
+  "wearlab_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlab_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

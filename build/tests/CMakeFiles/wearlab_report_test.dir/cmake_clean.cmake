@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearlab_report_test.dir/wearlab_report_test.cc.o"
+  "CMakeFiles/wearlab_report_test.dir/wearlab_report_test.cc.o.d"
+  "wearlab_report_test"
+  "wearlab_report_test.pdb"
+  "wearlab_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearlab_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
