@@ -1,0 +1,165 @@
+// Wall-clock throughput harness for the batched write path.
+//
+// Drives the paper's attack workload — 4 KiB random rewrites of a small
+// footprint — against the eMMC 8GB model until end of life, once per batch
+// size, and measures *wall-clock* simulated-pages-per-second. Simulated
+// results (wear transitions, host volume, simulated time) are checked to be
+// identical across batch sizes; only the wall-clock changes. Emits
+// BENCH_throughput.json with per-mode numbers and the batched-vs-per-request
+// speedup.
+//
+// Run from the repo root (writes BENCH_throughput.json to the working
+// directory), ideally from a Release build:
+//   ./build-release/bench/throughput
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/device/catalog.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/wearout_experiment.h"
+
+using namespace flashsim;
+
+namespace {
+
+constexpr SimScale kScale{32, 32};
+constexpr uint64_t kSeed = 3;
+
+struct ModeResult {
+  uint64_t batch = 1;
+  double wall_seconds = 0.0;
+  double pages_per_sec = 0.0;
+  uint64_t host_pages = 0;
+  uint64_t nand_pages = 0;
+  uint64_t host_bytes = 0;
+  double sim_hours = 0.0;
+  uint64_t clock_nanos = 0;
+  size_t transitions = 0;
+  bool bricked = false;
+};
+
+ModeResult RunMode(uint64_t batch) {
+  auto device = MakeEmmc8(kScale, kSeed);
+  WearWorkloadConfig workload;
+  workload.pattern = AccessPattern::kRandom;
+  workload.request_bytes = 4096;
+  workload.footprint_bytes = (400 * kMiB) / kScale.capacity_div;
+  workload.batch_requests = batch;
+  WearOutExperiment experiment(*device, workload);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const WearRunOutcome outcome =
+      experiment.RunUntilLevel(WearType::kSinglePool, 11, /*max_host_bytes=*/4 * kTiB);
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+
+  ModeResult r;
+  r.batch = batch;
+  r.wall_seconds = wall;
+  r.host_pages = device->ftl().Stats().host_pages_written;
+  r.nand_pages = device->ftl().Stats().nand_pages_written;
+  r.host_bytes = device->HostBytesWritten();
+  r.sim_hours = outcome.total_hours;
+  r.clock_nanos = static_cast<uint64_t>(device->clock().Now().nanos());
+  r.transitions = outcome.transitions.size();
+  r.bricked = outcome.bricked;
+  r.pages_per_sec = wall > 0 ? static_cast<double>(r.host_pages) / wall : 0.0;
+  return r;
+}
+
+bool SimEquivalent(const ModeResult& a, const ModeResult& b) {
+  return a.host_pages == b.host_pages && a.nand_pages == b.nand_pages &&
+         a.host_bytes == b.host_bytes && a.clock_nanos == b.clock_nanos &&
+         a.transitions == b.transitions && a.bricked == b.bricked;
+}
+
+void WriteJson(const std::vector<ModeResult>& modes, double speedup,
+               bool equivalent) {
+  std::FILE* f = std::fopen("BENCH_throughput.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_throughput.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"throughput\",\n");
+  std::fprintf(f, "  \"workload\": \"4 KiB random rewrite to end of life\",\n");
+  std::fprintf(f, "  \"device\": \"eMMC 8GB\",\n");
+  std::fprintf(f, "  \"sim_scale\": {\"capacity_div\": %u, \"endurance_div\": %u},\n",
+               kScale.capacity_div, kScale.endurance_div);
+  std::fprintf(f, "  \"seed\": %llu,\n", static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"modes\": [\n");
+  for (size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& m = modes[i];
+    std::fprintf(f,
+                 "    {\"batch_requests\": %llu, \"wall_seconds\": %.4f, "
+                 "\"sim_pages_per_sec\": %.0f, \"host_pages\": %llu, "
+                 "\"nand_pages\": %llu, \"host_bytes\": %llu, "
+                 "\"sim_hours\": %.4f, \"transitions\": %zu, "
+                 "\"bricked\": %s}%s\n",
+                 static_cast<unsigned long long>(m.batch), m.wall_seconds,
+                 m.pages_per_sec, static_cast<unsigned long long>(m.host_pages),
+                 static_cast<unsigned long long>(m.nand_pages),
+                 static_cast<unsigned long long>(m.host_bytes), m.sim_hours,
+                 m.transitions, m.bricked ? "true" : "false",
+                 i + 1 < modes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_batched_vs_per_request\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"simulation_equivalent\": %s\n", equivalent ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Batched write-path throughput: 4 KiB random rewrites to EOL, "
+              "eMMC 8GB (sim scale %ux/%ux) ===\n",
+              kScale.capacity_div, kScale.endurance_div);
+
+  const std::vector<uint64_t> batches = {1, 8, 64, 256};
+  constexpr int kReps = 3;  // best-of-N wall clock; sim results must agree
+  std::vector<ModeResult> modes;
+  bool reps_equivalent = true;
+  for (uint64_t b : batches) {
+    ModeResult r = RunMode(b);
+    for (int rep = 1; rep < kReps; ++rep) {
+      ModeResult again = RunMode(b);
+      reps_equivalent = reps_equivalent && SimEquivalent(r, again);
+      if (again.wall_seconds < r.wall_seconds) {
+        r = again;
+      }
+    }
+    std::printf("  batch=%3llu  wall=%6.2fs  %10.0f sim pages/s  "
+                "(%llu host pages, %.1f sim h, %zu transitions%s)\n",
+                static_cast<unsigned long long>(b), r.wall_seconds,
+                r.pages_per_sec, static_cast<unsigned long long>(r.host_pages),
+                r.sim_hours, r.transitions, r.bricked ? ", bricked" : "");
+    modes.push_back(r);
+  }
+
+  bool equivalent = reps_equivalent;
+  for (size_t i = 1; i < modes.size(); ++i) {
+    equivalent = equivalent && SimEquivalent(modes[0], modes[i]);
+  }
+
+  double batched64 = 0.0;
+  for (const ModeResult& m : modes) {
+    if (m.batch == 64) {
+      batched64 = m.pages_per_sec;
+    }
+  }
+  const double speedup =
+      modes[0].pages_per_sec > 0 ? batched64 / modes[0].pages_per_sec : 0.0;
+
+  std::printf("\n  speedup (batch=64 vs per-request): %.2fx\n", speedup);
+  std::printf("  simulation equivalent across modes: %s\n",
+              equivalent ? "yes" : "NO — BUG");
+  WriteJson(modes, speedup, equivalent);
+  std::printf("  wrote BENCH_throughput.json\n");
+  return equivalent ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: builds Release and ASan/UBSan trees and runs the tier-1
+# test suite in both. Long-running benches are registered under the "bench"
+# ctest configuration/label and are NOT run here — opt in locally with:
+#   cmake --preset release && cmake --build --preset release -j
+#   ctest --preset bench
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+for preset in release sanitize; do
+  echo "=== ${preset}: configure + build ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "=== ${preset}: ctest ==="
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "CI OK"

@@ -2,6 +2,21 @@
 
 namespace flashsim {
 
+BatchCompletion BlockDevice::SubmitBatch(const IoRequest* requests, size_t count) {
+  BatchCompletion out;
+  for (size_t i = 0; i < count; ++i) {
+    Result<IoCompletion> one = Submit(requests[i]);
+    if (!one.ok()) {
+      out.status = one.status();
+      return out;
+    }
+    out.service_time += one.value().service_time;
+    out.bytes_transferred += one.value().bytes_transferred;
+    ++out.requests_completed;
+  }
+  return out;
+}
+
 const char* IoKindName(IoKind kind) {
   switch (kind) {
     case IoKind::kRead:

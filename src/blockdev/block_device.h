@@ -7,6 +7,7 @@
 #ifndef SRC_BLOCKDEV_BLOCK_DEVICE_H_
 #define SRC_BLOCKDEV_BLOCK_DEVICE_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/ftl/health.h"
@@ -34,6 +35,17 @@ struct IoCompletion {
   uint64_t bytes_transferred = 0;
 };
 
+// Completion record for a batch submission. Requests are processed in
+// order; on the first failure processing stops, `status` reports it, and the
+// leading `requests_completed` requests are fully applied and accounted
+// (clock, meters, service time) exactly as if submitted one by one.
+struct BatchCompletion {
+  SimDuration service_time;  // total across the completed requests
+  uint64_t bytes_transferred = 0;
+  size_t requests_completed = 0;
+  Status status;
+};
+
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
@@ -41,6 +53,12 @@ class BlockDevice {
   // Submits a synchronous request; on success the device clock has advanced
   // by the returned service time.
   virtual Result<IoCompletion> Submit(const IoRequest& request) = 0;
+
+  // Submits `count` requests as one batch. Semantically identical to calling
+  // Submit in order and stopping at the first failure — same simulated time,
+  // wear, and accounting — but lets devices amortize per-request and
+  // per-page overhead (see FlashDevice). The base implementation just loops.
+  virtual BatchCompletion SubmitBatch(const IoRequest* requests, size_t count);
 
   // Device capacity visible to the host, in bytes.
   virtual uint64_t CapacityBytes() const = 0;

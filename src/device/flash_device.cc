@@ -29,6 +29,12 @@ Result<SimDuration> FlashDevice::WritePages(const IoRequest& request) {
   const uint32_t page = ftl_->PageSizeBytes();
   const uint64_t first = request.offset / page;
   const uint64_t last = (request.offset + request.length - 1) / page;
+  // Page-aligned multi-page writes take the FTL's bulk entry point — no
+  // sub-page head/tail, so no read-modify-write, and the bulk path is
+  // simulation-equivalent to the per-page loop below.
+  if (last > first && request.offset % page == 0 && request.length % page == 0) {
+    return ftl_->WritePages(first, last - first + 1);
+  }
   SimDuration array_time;
   for (uint64_t lpn = first; lpn <= last; ++lpn) {
     // Sub-page head/tail: read-modify-write if the page holds data.
@@ -117,6 +123,90 @@ Result<IoCompletion> FlashDevice::Submit(const IoRequest& request) {
     read_meter_.Record(request.length, service);
   }
   return IoCompletion{service, request.length};
+}
+
+BatchCompletion FlashDevice::SubmitBatch(const IoRequest* requests, size_t count) {
+  BatchCompletion out;
+  const uint32_t page = ftl_->PageSizeBytes();
+  size_t i = 0;
+  while (i < count) {
+    // Group a maximal run of valid page-aligned writes for the bulk path.
+    // Anything else (reads, discards, sub-page writes, invalid ranges) goes
+    // through Submit one request at a time, which also surfaces errors in
+    // submission order. With a trace recorder attached we fall back too, so
+    // every request is stamped with its own completion time.
+    const uint64_t capacity = CapacityBytes();
+    size_t g = i;
+    batch_lpns_.clear();
+    while (g < count && trace_ == nullptr) {
+      const IoRequest& rq = requests[g];
+      if (rq.kind != IoKind::kWrite || rq.length == 0 || rq.offset % page != 0 ||
+          rq.length % page != 0 || rq.offset + rq.length > capacity) {
+        break;
+      }
+      const uint64_t first = rq.offset / page;
+      const uint64_t pages = rq.length / page;
+      for (uint64_t p = 0; p < pages; ++p) {
+        batch_lpns_.push_back(first + p);
+      }
+      ++g;
+    }
+    if (g == i) {
+      Result<IoCompletion> one = Submit(requests[i]);
+      if (!one.ok()) {
+        out.status = one.status();
+        return out;
+      }
+      out.service_time += one.value().service_time;
+      out.bytes_transferred += one.value().bytes_transferred;
+      ++out.requests_completed;
+      ++i;
+      continue;
+    }
+
+    batch_page_times_.assign(batch_lpns_.size(), SimDuration());
+    size_t pages_done = 0;
+    const Status st = ftl_->WriteBatch(batch_lpns_.data(), batch_lpns_.size(),
+                                       batch_page_times_.data(), &pages_done);
+
+    // Convert per-page array times back into per-request service times. A
+    // request counts as completed only if every one of its pages committed;
+    // a partially-written request mirrors the per-page path, where Submit
+    // returns the error and discards the request's accounting.
+    SimDuration batch_service;
+    size_t group_completed = 0;
+    size_t page_idx = 0;
+    for (size_t r = i; r < g; ++r) {
+      const uint64_t pages = requests[r].length / page;
+      if (page_idx + pages > pages_done) {
+        break;
+      }
+      SimDuration array_time;
+      for (uint64_t p = 0; p < pages; ++p) {
+        array_time += batch_page_times_[page_idx + p];
+      }
+      page_idx += pages;
+      const bool sequential = requests[r].offset == last_write_end_;
+      last_write_end_ = requests[r].offset + requests[r].length;
+      const SimDuration service =
+          perf_.ServiceTime(requests[r].length, array_time, sequential);
+      write_meter_.Record(requests[r].length, service);
+      batch_service += service;
+      out.bytes_transferred += requests[r].length;
+      ++out.requests_completed;
+      ++group_completed;
+    }
+    if (group_completed > 0) {
+      clock_.AdvanceWithCategory(batch_service, IoKindName(IoKind::kWrite));
+    }
+    out.service_time += batch_service;
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+    i = g;
+  }
+  return out;
 }
 
 HealthReport FlashDevice::QueryHealth() const {

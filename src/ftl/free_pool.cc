@@ -1,0 +1,65 @@
+#include "src/ftl/free_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace flashsim {
+
+void WearBucketedFreePool::Insert(uint32_t pe_cycles, BlockId block) {
+  if (pe_cycles >= buckets_.size()) {
+    buckets_.resize(static_cast<size_t>(pe_cycles) + 1);
+  }
+  std::vector<BlockId>& bucket = buckets_[pe_cycles];
+  bucket.push_back(block);
+  std::push_heap(bucket.begin(), bucket.end(), std::greater<BlockId>());
+  if (pe_cycles < min_bucket_) {
+    min_bucket_ = pe_cycles;
+  }
+  ++size_;
+}
+
+uint32_t WearBucketedFreePool::FindMinBucket() const {
+  assert(size_ > 0);
+  uint32_t b = min_bucket_;
+  while (b < buckets_.size() && buckets_[b].empty()) {
+    ++b;
+  }
+  assert(b < buckets_.size());
+  return b;
+}
+
+WearBucketedFreePool::Entry WearBucketedFreePool::PopMin() {
+  const uint32_t b = FindMinBucket();
+  min_bucket_ = b;
+  std::vector<BlockId>& bucket = buckets_[b];
+  std::pop_heap(bucket.begin(), bucket.end(), std::greater<BlockId>());
+  const BlockId id = bucket.back();
+  bucket.pop_back();
+  --size_;
+  return Entry{b, id};
+}
+
+WearBucketedFreePool::Entry WearBucketedFreePool::PeekMin() const {
+  const uint32_t b = FindMinBucket();
+  return Entry{b, buckets_[b].front()};
+}
+
+std::vector<WearBucketedFreePool::Entry> WearBucketedFreePool::Entries() const {
+  std::vector<Entry> all;
+  all.reserve(size_);
+  for (uint32_t pe = 0; pe < buckets_.size(); ++pe) {
+    for (const BlockId id : buckets_[pe]) {
+      all.push_back(Entry{pe, id});
+    }
+  }
+  return all;
+}
+
+void WearBucketedFreePool::Clear() {
+  buckets_.clear();
+  size_ = 0;
+  min_bucket_ = 0;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,69 @@
+// Wear-bucketed free-block pool.
+//
+// Dynamic wear leveling hands out the least-worn free block on every
+// allocation, which the FTL previously implemented with a
+// std::set<std::pair<pe, BlockId>> — an O(log n) node-allocating red-black
+// tree walked on every block allocation and every reclaim. Free blocks are
+// instead kept in per-wear buckets: buckets_[pe] holds every free block with
+// exactly `pe` program/erase cycles as a binary min-heap of block ids, and a
+// monotone cursor tracks the lowest non-empty bucket. PopMin() is O(1)
+// bucket lookup plus an O(log bucket) heap pop with no allocation on the hot
+// path; the cursor only rescans when wear advances, which it does
+// monotonically over a device's life.
+//
+// Ordering is identical to the std::set it replaces: blocks pop in
+// ascending (pe_cycles, block id) order, so allocation sequences — and
+// therefore every seeded simulation result — are unchanged.
+
+#ifndef SRC_FTL_FREE_POOL_H_
+#define SRC_FTL_FREE_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/nand/address.h"
+
+namespace flashsim {
+
+class WearBucketedFreePool {
+ public:
+  // One pool entry: the block's P/E count at insertion time plus its id.
+  struct Entry {
+    uint32_t pe_cycles = 0;
+    BlockId block = kInvalidBlockId;
+  };
+
+  // Adds `block` with the given wear. A block must not be inserted twice.
+  void Insert(uint32_t pe_cycles, BlockId block);
+
+  // Removes and returns the entry with the lowest (pe_cycles, block) pair.
+  // The pool must not be empty.
+  Entry PopMin();
+
+  // The lowest (pe_cycles, block) entry without removing it. The pool must
+  // not be empty.
+  Entry PeekMin() const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Snapshot of every entry, in unspecified order (for invariant checks and
+  // introspection — not a hot path).
+  std::vector<Entry> Entries() const;
+
+  void Clear();
+
+ private:
+  // Index of the lowest bucket that may be non-empty; advanced lazily.
+  uint32_t FindMinBucket() const;
+
+  std::vector<std::vector<BlockId>> buckets_;  // buckets_[pe] = min-heap of ids
+  size_t size_ = 0;
+  uint32_t min_bucket_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_FTL_FREE_POOL_H_

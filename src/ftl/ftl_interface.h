@@ -7,6 +7,7 @@
 #ifndef SRC_FTL_FTL_INTERFACE_H_
 #define SRC_FTL_FTL_INTERFACE_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/ftl/health.h"
@@ -41,6 +42,46 @@ class FtlInterface {
   // Writes one logical page. Returns total NAND/array time consumed,
   // including any GC work triggered by this write.
   virtual Result<SimDuration> WritePage(uint64_t lpn) = 0;
+
+  // Bulk write of `count` logical pages in submission order (LPNs may be
+  // scattered and may repeat). Simulation-equivalent to calling WritePage
+  // once per LPN in order: identical wear, health, stats, and array time for
+  // the same seed — implementations amortize dispatch, map updates, GC
+  // checks, and failure-randomness draws across the batch, they do not
+  // change what is simulated.
+  //
+  // `per_page_times` must have room for `count` entries; entry i receives
+  // the array time attributable to page i (allocation/GC time is charged to
+  // the page that triggered it, exactly as on the per-page path). On error,
+  // `*pages_done` reports how many leading pages committed; their times are
+  // valid and the remaining pages are untouched.
+  virtual Status WriteBatch(const uint64_t* lpns, size_t count,
+                            SimDuration* per_page_times, size_t* pages_done) {
+    *pages_done = 0;
+    for (size_t i = 0; i < count; ++i) {
+      Result<SimDuration> one = WritePage(lpns[i]);
+      if (!one.ok()) {
+        return one.status();
+      }
+      per_page_times[i] = one.value();
+      ++*pages_done;
+    }
+    return Status::Ok();
+  }
+
+  // Bulk write of `count` consecutive logical pages starting at `lpn`.
+  // Returns the total array time; same equivalence guarantee as WriteBatch.
+  virtual Result<SimDuration> WritePages(uint64_t lpn, uint64_t count) {
+    SimDuration total;
+    for (uint64_t i = 0; i < count; ++i) {
+      Result<SimDuration> one = WritePage(lpn + i);
+      if (!one.ok()) {
+        return one.status();
+      }
+      total += one.value();
+    }
+    return total;
+  }
 
   // Reads one logical page. Reading a never-written page is an error.
   virtual Result<SimDuration> ReadPage(uint64_t lpn) = 0;

@@ -1,5 +1,6 @@
 #include "src/ftl/hybrid_ftl.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace flashsim {
@@ -173,7 +174,12 @@ Result<SimDuration> HybridFtl::WritePage(uint64_t lpn) {
     return direct.value();
   }
   FLASHSIM_RETURN_IF_ERROR(EnsureCacheSpace(time_acc));
-  for (int attempt = 0; attempt < 4; ++attempt) {
+  return WriteViaCache(lpn, time_acc, /*first_attempt=*/0);
+}
+
+Result<SimDuration> HybridFtl::WriteViaCache(uint64_t lpn, SimDuration time_acc,
+                                             int first_attempt) {
+  for (int attempt = first_attempt; attempt < 4; ++attempt) {
     if (cache_active_ == kInvalidBlockId) {
       Result<BlockId> open = OpenCacheBlock();
       if (!open.ok()) {
@@ -220,6 +226,120 @@ Result<SimDuration> HybridFtl::WritePage(uint64_t lpn) {
     return time_acc;
   }
   return UnavailableError("repeated cache program failures");
+}
+
+Status HybridFtl::WriteBatch(const uint64_t* lpns, size_t count,
+                             SimDuration* per_page_times, size_t* pages_done) {
+  // Simulation-equivalent to `count` WritePage calls in order. A page takes
+  // the bulk route only when the per-page machinery around it is provably
+  // inert: the cache is enabled with an open active block, no eviction is
+  // pending (EnsureCacheSpace would be a no-op, and nothing mid-stretch can
+  // change that before the block closes), and no staged-GC wear is
+  // outstanding (ChargeStagingWear's delta stays zero because the MLC pool
+  // is untouched between cache programs). Everything else — evictions,
+  // bypasses, retries after program failures — runs the exact per-page code.
+  *pages_done = 0;
+  const uint32_t ppb = cache_chip_.config().pages_per_block;
+  const SimDuration cache_program_time = cache_chip_.config().timings.program_page;
+  size_t i = 0;
+  while (i < count) {
+    const bool eviction_pending =
+        cache_free_.size() < hybrid_config_.cache_free_watermark &&
+        !cache_fifo_.empty();
+    if (cache_enabled_ && cache_active_ != kInvalidBlockId && !eviction_pending &&
+        !mlc_.IsReadOnly() &&
+        mlc_.Stats().gc_pages_migrated == gc_staged_baseline_) {
+      const BlockId block = cache_active_;
+      const uint32_t wp = cache_chip_.block(block).write_pointer();
+      uint32_t run = static_cast<uint32_t>(
+          std::min<uint64_t>(count - i, ppb - wp));
+      // Out-of-range LPNs fail before programming; surface them in order.
+      for (uint32_t k = 0; k < run; ++k) {
+        if (lpns[i + k] >= mlc_.LogicalPageCount()) {
+          run = k;
+          break;
+        }
+      }
+      if (run > 0) {
+        Result<NandProgramRunOutcome> prog =
+            cache_chip_.ProgramRun(block, lpns + i, run);
+        if (!prog.ok()) {
+          return prog.status();
+        }
+        const NandProgramRunOutcome& outcome = prog.value();
+        for (uint32_t k = 0; k < outcome.pages_done; ++k) {
+          const uint64_t lpn = lpns[i + k];
+          per_page_times[i + k] = cache_program_time;
+          const PhysPageAddr addr{block, wp + k};
+          auto it = cache_map_.find(lpn);
+          if (it != cache_map_.end()) {
+            --cache_valid_[it->second.block];
+            it->second = addr;
+          } else {
+            cache_map_.emplace(lpn, addr);
+          }
+          ++cache_valid_[block];
+          if (wp + k + 1 == ppb) {
+            cache_states_[block] = CacheBlockState::kClosed;
+            cache_fifo_.push_back(block);
+            cache_active_ = kInvalidBlockId;
+          }
+          ++host_pages_written_;
+          UpdateMergedMode();
+          // ChargeStagingWear is skipped: its delta is zero for every page
+          // of the stretch (precondition above), so it would only re-sync
+          // an already-synced baseline.
+          ++*pages_done;
+        }
+        i += outcome.pages_done;
+        if (outcome.block_failed) {
+          RetireCacheBlock(block);
+          cache_active_ = kInvalidBlockId;
+          // Resume the failed page on the per-page attempt loop with one
+          // attempt burned, exactly as WritePage would after this failure.
+          Result<SimDuration> one =
+              WriteViaCache(lpns[i], SimDuration(), /*first_attempt=*/1);
+          if (!one.ok()) {
+            return one.status();
+          }
+          per_page_times[i] = one.value();
+          ++*pages_done;
+          ++i;
+        }
+        continue;
+      }
+    }
+    // Per-page route (evictions, bypass, range errors, merged-mode charges).
+    Result<SimDuration> one = WritePage(lpns[i]);
+    if (!one.ok()) {
+      return one.status();
+    }
+    per_page_times[i] = one.value();
+    ++*pages_done;
+    ++i;
+  }
+  return Status::Ok();
+}
+
+Result<SimDuration> HybridFtl::WritePages(uint64_t lpn, uint64_t count) {
+  if (count == 0) {
+    return SimDuration();
+  }
+  scratch_lpns_.resize(count);
+  scratch_times_.assign(count, SimDuration());
+  for (uint64_t k = 0; k < count; ++k) {
+    scratch_lpns_[k] = lpn + k;
+  }
+  size_t done = 0;
+  Status st = WriteBatch(scratch_lpns_.data(), count, scratch_times_.data(), &done);
+  if (!st.ok()) {
+    return st;
+  }
+  SimDuration total;
+  for (size_t k = 0; k < done; ++k) {
+    total += scratch_times_[k];
+  }
+  return total;
 }
 
 Result<SimDuration> HybridFtl::ReadPage(uint64_t lpn) {

@@ -40,6 +40,13 @@ class HybridFtl : public FtlInterface {
 
   // FtlInterface:
   Result<SimDuration> WritePage(uint64_t lpn) override;
+  // Bulk fast path. Pages stream through NandChip::ProgramRun on the cache
+  // chip whenever no eviction or staged-GC work can intervene; every other
+  // page takes the exact per-page route. Simulation-equivalent to per-page
+  // WritePage calls (see DESIGN.md).
+  Status WriteBatch(const uint64_t* lpns, size_t count,
+                    SimDuration* per_page_times, size_t* pages_done) override;
+  Result<SimDuration> WritePages(uint64_t lpn, uint64_t count) override;
   Result<SimDuration> ReadPage(uint64_t lpn) override;
   Status TrimPage(uint64_t lpn) override;
   uint64_t LogicalPageCount() const override { return mlc_.LogicalPageCount(); }
@@ -78,6 +85,13 @@ class HybridFtl : public FtlInterface {
   // Picks (or opens) the active cache block; invalid when cache disabled.
   Result<BlockId> OpenCacheBlock();
 
+  // The per-page program-attempt loop of WritePage, entered at
+  // `first_attempt` so the bulk path can resume a page after a mid-run
+  // program failure with the attempt already burned. `time_acc` carries any
+  // eviction time already accrued for this page.
+  Result<SimDuration> WriteViaCache(uint64_t lpn, SimDuration time_acc,
+                                    int first_attempt);
+
   void RetireCacheBlock(BlockId block);
 
   PageMapFtl mlc_;
@@ -104,6 +118,10 @@ class HybridFtl : public FtlInterface {
   bool merged_mode_ = false;
   uint64_t window_host_baseline_ = 0;
   uint64_t window_gc_baseline_ = 0;
+
+  // Scratch buffers for the bulk write path, reused across calls.
+  std::vector<uint64_t> scratch_lpns_;
+  std::vector<SimDuration> scratch_times_;
 };
 
 }  // namespace flashsim

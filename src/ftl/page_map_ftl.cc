@@ -36,7 +36,7 @@ PageMapFtl::PageMapFtl(NandChipConfig nand_config, FtlConfig ftl_config, uint64_
   close_seq_.assign(total_blocks, 0);
   gc_origin_.assign(total_blocks, 0);
   for (BlockId b = 0; b < total_blocks; ++b) {
-    free_blocks_.insert({0, b});
+    free_blocks_.Insert(0, b);
   }
 }
 
@@ -59,12 +59,18 @@ double PageMapFtl::Utilization() const {
 void PageMapFtl::RetireBlock(BlockId block) {
   block_states_[block] = BlockState::kBad;
   ++spares_used_;
-  LogEvent(EventSeverity::kWarning, "block retired; spares used " +
-                                        std::to_string(spares_used_) + "/" +
-                                        std::to_string(ftl_config_.spare_blocks));
+  // Guard before formatting: building the message costs allocations even
+  // when no log is attached, and retirement sits on the wear-out hot path.
+  if (event_log_ != nullptr) {
+    LogEvent(EventSeverity::kWarning, "block retired; spares used " +
+                                          std::to_string(spares_used_) + "/" +
+                                          std::to_string(ftl_config_.spare_blocks));
+  }
   if (spares_used_ > ftl_config_.spare_blocks) {
     read_only_ = true;
-    LogEvent(EventSeverity::kError, "spare pool exhausted; device is read-only");
+    if (event_log_ != nullptr) {
+      LogEvent(EventSeverity::kError, "spare pool exhausted; device is read-only");
+    }
   }
 }
 
@@ -75,9 +81,7 @@ Result<BlockId> PageMapFtl::AllocateBlock(BlockState stream, bool allow_gc,
   }
   while (!free_blocks_.empty()) {
     // Dynamic wear leveling: hand out the least-worn free block.
-    const auto it = free_blocks_.begin();
-    const BlockId id = it->second;
-    free_blocks_.erase(it);
+    const BlockId id = free_blocks_.PopMin().block;
     // Free blocks are kept erased; a block that was closed and reclaimed was
     // erased during reclaim. Blocks here are always erasable targets.
     block_states_[id] = stream;
@@ -224,7 +228,7 @@ Status PageMapFtl::ReclaimBlock(BlockId victim, SimDuration& time_acc) {
   }
   time_acc += erase.value();
   block_states_[victim] = BlockState::kFree;
-  free_blocks_.insert({chip_.block(victim).pe_cycles(), victim});
+  free_blocks_.Insert(chip_.block(victim).pe_cycles(), victim);
   return Status::Ok();
 }
 
@@ -265,6 +269,15 @@ void PageMapFtl::MaybeStaticWearLevel(SimDuration& time_acc) {
       erase_seq_ % ftl_config_.wear_level_check_interval != 0 || erase_seq_ == 0) {
     return;
   }
+  // The spread scan is O(blocks) and runs on every page write while
+  // erase_seq_ sits on a check multiple. The spread depends only on P/E
+  // counts and the bad set, which change exactly when the chip's wear
+  // version ticks — so a scan that concluded "spread fine" stays valid (and
+  // is skipped) until the next wear event. Only that no-op outcome is
+  // cached: a migration pass has side effects and bumps the version itself.
+  if (wl_spread_ok_version_ == chip_.wear_version()) {
+    return;
+  }
   // Find the wear spread and collect the coldest closed blocks in one scan.
   uint32_t min_pe = 0xffffffffu;
   uint32_t max_pe = 0;
@@ -281,6 +294,7 @@ void PageMapFtl::MaybeStaticWearLevel(SimDuration& time_acc) {
     }
   }
   if (max_pe - min_pe <= ftl_config_.wear_level_threshold) {
+    wl_spread_ok_version_ = chip_.wear_version();
     return;
   }
   // Migrate a batch of cold closed blocks (P/E within a quarter threshold of
@@ -303,7 +317,7 @@ void PageMapFtl::MaybeStaticWearLevel(SimDuration& time_acc) {
       return;
     }
   }
-  if (migrated > 0) {
+  if (migrated > 0 && event_log_ != nullptr) {
     LogEvent(EventSeverity::kDebug,
              "static wear-level migrated " + std::to_string(migrated) + " blocks");
   }
@@ -335,6 +349,114 @@ Result<SimDuration> PageMapFtl::WritePageInternal(uint64_t lpn, bool count_as_ho
 
 Result<SimDuration> PageMapFtl::WritePage(uint64_t lpn) {
   return WritePageInternal(lpn, /*count_as_host=*/true);
+}
+
+Status PageMapFtl::WriteBatch(const uint64_t* lpns, size_t count,
+                              SimDuration* per_page_times, size_t* pages_done) {
+  // Simulation-equivalent to `count` WritePage calls in order. Host-stream
+  // programs always append to the active block, so even a batch of scattered
+  // LPNs is a run of consecutive page programs; each run is pushed through
+  // NandChip::ProgramRun in one call, and the per-page bookkeeping (map
+  // updates, invalidation, static wear-leveling checks) is applied afterwards
+  // in submission order. GC can only trigger at block-allocation points,
+  // which are run boundaries, so state at every GC/erase/allocation decision
+  // — and the RNG stream — is identical to the per-page path.
+  *pages_done = 0;
+  const uint32_t ppb = nand_config_.pages_per_block;
+  const SimDuration program_time = chip_.config().timings.program_page;
+  size_t i = 0;
+  size_t failing_page = count;  // page currently burning program retries
+  int attempts = 0;
+  SimDuration pending_lead;  // allocation/GC time not yet charged to a page
+  while (i < count) {
+    if (read_only_) {
+      return UnavailableError("device is read-only (worn out)");
+    }
+    if (lpns[i] >= logical_pages_) {
+      return OutOfRangeError("LPN beyond logical capacity");
+    }
+    if (host_active_ == kInvalidBlockId) {
+      Result<BlockId> alloc =
+          AllocateBlock(BlockState::kOpenHost, /*allow_gc=*/true, pending_lead);
+      if (!alloc.ok()) {
+        return alloc.status();
+      }
+      host_active_ = alloc.value();
+    }
+    const BlockId block = host_active_;
+    const uint32_t wp = chip_.block(block).write_pointer();
+    uint32_t run = static_cast<uint32_t>(
+        std::min<uint64_t>(count - i, ppb - wp));
+    // An out-of-range LPN fails before anything is programmed; stop the run
+    // just short of the first one so the error surfaces in order.
+    for (uint32_t k = 1; k < run; ++k) {
+      if (lpns[i + k] >= logical_pages_) {
+        run = k;
+        break;
+      }
+    }
+    Result<NandProgramRunOutcome> prog = chip_.ProgramRun(block, lpns + i, run);
+    if (!prog.ok()) {
+      return prog.status();  // in-order/addressing violation: internal bug
+    }
+    const NandProgramRunOutcome& outcome = prog.value();
+    for (uint32_t k = 0; k < outcome.pages_done; ++k) {
+      const uint64_t lpn = lpns[i + k];
+      SimDuration& t = per_page_times[i + k];
+      t = program_time + pending_lead;
+      pending_lead = SimDuration();
+      ++stats_.nand_pages_written;
+      if (wp + k + 1 == ppb) {
+        CloseIfFull(block);  // the per-page path closes before the map update
+      }
+      InvalidateMapping(lpn);
+      map_[lpn] = PhysPageAddr{block, wp + k};
+      ++valid_counts_[block];
+      ++valid_total_;
+      ++stats_.host_pages_written;
+      ++*pages_done;
+      MaybeStaticWearLevel(t);
+    }
+    i += outcome.pages_done;
+    if (outcome.block_failed) {
+      // Program-verify failure on page i: retire the block and retry that
+      // page on a fresh block, with the per-page retry budget.
+      if (i != failing_page) {
+        failing_page = i;
+        attempts = 0;
+      }
+      RetireBlock(block);
+      host_active_ = kInvalidBlockId;
+      if (read_only_) {
+        return UnavailableError("device worn out (spares exhausted)");
+      }
+      if (++attempts >= kMaxProgramRetries) {
+        return UnavailableError("repeated program failures; array at end of life");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<SimDuration> PageMapFtl::WritePages(uint64_t lpn, uint64_t count) {
+  if (count == 0) {
+    return SimDuration();
+  }
+  scratch_lpns_.resize(count);
+  scratch_times_.assign(count, SimDuration());
+  for (uint64_t k = 0; k < count; ++k) {
+    scratch_lpns_[k] = lpn + k;
+  }
+  size_t done = 0;
+  Status st = WriteBatch(scratch_lpns_.data(), count, scratch_times_.data(), &done);
+  if (!st.ok()) {
+    return st;
+  }
+  SimDuration total;
+  for (size_t k = 0; k < done; ++k) {
+    total += scratch_times_[k];
+  }
+  return total;
 }
 
 Result<SimDuration> PageMapFtl::ReadPage(uint64_t lpn) {
@@ -409,7 +531,8 @@ Status PageMapFtl::ValidateInvariants() const {
     }
   }
   uint64_t free_seen = 0;
-  for (const auto& [pe, id] : free_blocks_) {
+  for (const WearBucketedFreePool::Entry& entry : free_blocks_.Entries()) {
+    const BlockId id = entry.block;
     ++free_seen;
     if (block_states_[id] != BlockState::kFree) {
       return InternalError("free-pool entry not in kFree state");
@@ -420,6 +543,8 @@ Status PageMapFtl::ValidateInvariants() const {
     if (valid_counts_[id] != 0) {
       return InternalError("free block has valid pages");
     }
+    // Note: entry.pe_cycles may lag chip wear after annealing (Heal does not
+    // re-key pool entries), so it is deliberately not validated here.
   }
   if (free_seen != free_blocks_.size()) {
     return InternalError("free pool size mismatch");

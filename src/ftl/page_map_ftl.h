@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "src/ftl/config.h"
+#include "src/ftl/free_pool.h"
 #include "src/ftl/ftl_interface.h"
 #include "src/nand/chip.h"
 #include "src/simcore/event_log.h"
@@ -31,6 +31,12 @@ class PageMapFtl : public FtlInterface {
 
   // FtlInterface:
   Result<SimDuration> WritePage(uint64_t lpn) override;
+  // Bulk fast path: amortizes dispatch, free-pool work, NAND bookkeeping,
+  // and failure-randomness draws across the batch while staying
+  // simulation-equivalent to per-page WritePage calls (see DESIGN.md).
+  Status WriteBatch(const uint64_t* lpns, size_t count,
+                    SimDuration* per_page_times, size_t* pages_done) override;
+  Result<SimDuration> WritePages(uint64_t lpn, uint64_t count) override;
   Result<SimDuration> ReadPage(uint64_t lpn) override;
   Status TrimPage(uint64_t lpn) override;
   uint64_t LogicalPageCount() const override { return logical_pages_; }
@@ -49,6 +55,7 @@ class PageMapFtl : public FtlInterface {
   // Mutable access for maintenance operations (annealing/self-healing).
   NandChip& mutable_chip() { return chip_; }
   uint32_t free_block_count() const { return static_cast<uint32_t>(free_blocks_.size()); }
+  const WearBucketedFreePool& free_pool() const { return free_blocks_; }
   const FtlConfig& config() const { return ftl_config_; }
 
   // True when `lpn` currently maps to a physical page.
@@ -115,7 +122,7 @@ class PageMapFtl : public FtlInterface {
   std::vector<BlockState> block_states_;   // per block
   std::vector<uint64_t> close_seq_;        // erase sequence at close (for CB age)
   std::vector<uint8_t> gc_origin_;         // block was last filled by the GC stream
-  std::set<std::pair<uint32_t, BlockId>> free_blocks_;  // (pe, id), min-wear first
+  WearBucketedFreePool free_blocks_;       // min-wear first, O(1) pop
 
   BlockId host_active_ = kInvalidBlockId;
   BlockId gc_active_ = kInvalidBlockId;
@@ -129,6 +136,14 @@ class PageMapFtl : public FtlInterface {
   uint32_t spares_used_ = 0;
   bool read_only_ = false;
   bool divert_gc_wear_ = false;
+
+  // Scratch buffers for the bulk write path, reused across calls.
+  std::vector<uint64_t> scratch_lpns_;
+  std::vector<SimDuration> scratch_times_;
+
+  // Chip wear version at which the static wear-level scan last found the
+  // spread within threshold; ~0 means "no valid cached scan".
+  uint64_t wl_spread_ok_version_ = ~0ull;
 
   FtlStats stats_;
 };

@@ -64,6 +64,7 @@ Result<SimDuration> NandChip::EraseBlock(BlockId id, uint32_t wear_weight) {
     return UnavailableError("erase of bad block");
   }
   counters_.Increment("nand.erases");
+  ++wear_version_;
   // The erase itself always consumes the cycle; failure is detected by the
   // erase-verify step afterwards.
   FLASHSIM_RETURN_IF_ERROR(blk.Erase(wear_weight));
@@ -84,10 +85,46 @@ Result<SimDuration> NandChip::ProgramPage(PhysPageAddr addr, uint64_t tag) {
   if (rng_.Bernoulli(
           WearFailureProbability(blk.pe_cycles(), kProgramFailureScale))) {
     blk.MarkBad();
+    ++wear_version_;
     counters_.Increment("nand.program_failures");
     return DataLossError("program-verify failed; block retired");
   }
   return config_.timings.program_page;
+}
+
+Result<NandProgramRunOutcome> NandChip::ProgramRun(BlockId block,
+                                                   const uint64_t* tags,
+                                                   uint32_t count) {
+  if (block >= blocks_.size()) {
+    return OutOfRangeError("block index out of range");
+  }
+  NandBlock& blk = blocks_[block];
+  if (blk.write_pointer() + count > config_.pages_per_block) {
+    return OutOfRangeError("program run beyond end of block");
+  }
+  NandProgramRunOutcome out;
+  if (count == 0) {
+    return out;
+  }
+  // One probability evaluation for the whole run; Bernoulli(p <= 0) draws
+  // nothing, so below the wear onset the run consumes no randomness at all.
+  const double p_fail =
+      WearFailureProbability(blk.pe_cycles(), kProgramFailureScale);
+  for (uint32_t i = 0; i < count; ++i) {
+    FLASHSIM_RETURN_IF_ERROR(blk.ProgramPage(blk.write_pointer(), tags[i]));
+    if (p_fail > 0.0 && rng_.UniformDouble() < p_fail) {
+      blk.MarkBad();
+      ++wear_version_;
+      counters_.Increment("nand.programs", i + 1);  // the failed program counts
+      counters_.Increment("nand.program_failures");
+      out.block_failed = true;
+      return out;
+    }
+    ++out.pages_done;
+    out.latency += config_.timings.program_page;
+  }
+  counters_.Increment("nand.programs", count);
+  return out;
 }
 
 double NandChip::BlockRber(BlockId id) const {
@@ -128,11 +165,15 @@ SimDuration NandChip::AnnealAll(double recovery_fraction, SimDuration per_block_
     blk.Heal(recovery_fraction);
     total += per_block_cost;
   }
+  ++wear_version_;
   counters_.Increment("nand.anneals");
   return total;
 }
 
 WearSummary NandChip::ComputeWearSummary() const {
+  if (wear_summary_version_ == wear_version_) {
+    return wear_summary_cache_;
+  }
   WearSummary s;
   s.total_blocks = static_cast<uint32_t>(blocks_.size());
   bool first = true;
@@ -158,6 +199,8 @@ WearSummary NandChip::ComputeWearSummary() const {
   s.avg_pe = s.total_blocks == 0
                  ? 0.0
                  : static_cast<double>(s.total_pe) / static_cast<double>(s.total_blocks);
+  wear_summary_cache_ = s;
+  wear_summary_version_ = wear_version_;
   return s;
 }
 

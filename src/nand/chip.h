@@ -30,6 +30,13 @@ struct NandReadOutcome {
   uint32_t corrected_bits = 0;
 };
 
+// Outcome of a batched in-order program run within one block.
+struct NandProgramRunOutcome {
+  uint32_t pages_done = 0;   // pages successfully programmed
+  SimDuration latency;       // total array time for the successful pages
+  bool block_failed = false; // run stopped on a program-verify failure
+};
+
 // Aggregate wear state across the array.
 struct WearSummary {
   uint32_t min_pe = 0;
@@ -58,6 +65,18 @@ class NandChip {
   // bad and kDataLoss is returned (content is lost, caller must re-issue).
   Result<SimDuration> ProgramPage(PhysPageAddr addr, uint64_t tag);
 
+  // Bulk fast path: programs `count` pages in order into `block`, starting
+  // at its write pointer, tagging page i with tags[i]. Simulation-equivalent
+  // to `count` successive ProgramPage calls — the wear-dependent failure
+  // probability is evaluated once for the run (P/E cycles cannot change
+  // between programs) and the RNG stream is consumed identically: no draws
+  // below the failure onset, one draw per page above it. A failure marks the
+  // block bad and stops the run; `pages_done` reports the pages that
+  // committed before it (the failed page's content is lost, as with
+  // ProgramPage). The run must fit within the block.
+  Result<NandProgramRunOutcome> ProgramRun(BlockId block, const uint64_t* tags,
+                                           uint32_t count);
+
   // Reads the page at `addr`, running the ECC model. Returns kDataLoss when
   // raw bit errors exceed the correction budget.
   Result<NandReadOutcome> ReadPage(PhysPageAddr addr);
@@ -69,6 +88,11 @@ class NandChip {
 
   // Current raw bit error rate of `block`, including read-disturb inflation.
   double BlockRber(BlockId id) const;
+
+  // Monotone counter bumped whenever any block's P/E count or bad flag can
+  // change (erase, program/erase failure, anneal). Lets callers cache
+  // wear-distribution scans between wear events.
+  uint64_t wear_version() const { return wear_version_; }
 
   // Anneals every good block, recovering `recovery_fraction` of accumulated
   // wear (heat-accelerated self-healing, §2.2). Returns the time the anneal
@@ -89,6 +113,13 @@ class NandChip {
   std::vector<NandBlock> blocks_;
   std::vector<uint32_t> reads_since_erase_;
   CounterSet counters_;
+  uint64_t wear_version_ = 0;
+
+  // ComputeWearSummary is a pure function of the per-block wear state, which
+  // only changes when wear_version_ ticks — cache the last scan (health is
+  // polled far more often than blocks are erased).
+  mutable WearSummary wear_summary_cache_;
+  mutable uint64_t wear_summary_version_ = ~0ull;
 };
 
 }  // namespace flashsim

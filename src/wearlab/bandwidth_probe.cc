@@ -46,20 +46,28 @@ BandwidthResult RunBandwidthProbe(BlockDevice& device, const BandwidthProbeConfi
   const SimTime start = device.clock().Now();
   uint64_t issued = 0;
   uint64_t seq_cursor = 0;
+  std::vector<IoRequest> batch;
   while (issued < cfg.total_bytes) {
-    uint64_t slot;
-    if (cfg.pattern == AccessPattern::kSequential) {
-      slot = seq_cursor++ % slots;
-    } else {
-      slot = rng.UniformU64(slots);
+    const uint64_t remaining =
+        CeilDiv(cfg.total_bytes - issued, cfg.request_bytes);
+    const uint64_t n =
+        std::max<uint64_t>(1, std::min(cfg.batch_requests, remaining));
+    batch.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t slot;
+      if (cfg.pattern == AccessPattern::kSequential) {
+        slot = seq_cursor++ % slots;
+      } else {
+        slot = rng.UniformU64(slots);
+      }
+      batch.push_back(IoRequest{cfg.kind, slot * cfg.request_bytes, cfg.request_bytes});
     }
-    IoRequest req{cfg.kind, slot * cfg.request_bytes, cfg.request_bytes};
-    Result<IoCompletion> done = device.Submit(req);
-    if (!done.ok()) {
-      result.status = done.status();
+    BatchCompletion done = device.SubmitBatch(batch.data(), batch.size());
+    issued += done.bytes_transferred;
+    if (!done.status.ok()) {
+      result.status = done.status;
       return result;
     }
-    issued += cfg.request_bytes;
   }
   const SimDuration elapsed = device.clock().Now() - start;
   result.bytes_moved = issued;

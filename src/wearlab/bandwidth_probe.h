@@ -27,6 +27,9 @@ struct BandwidthProbeConfig {
   uint64_t region_bytes = 256ull * 1024 * 1024;
   // Total volume to push through before measuring stops.
   uint64_t total_bytes = 64ull * 1024 * 1024;
+  // Requests per SubmitBatch call; 1 issues them one by one. Simulated
+  // results are identical either way — batching only reduces wall-clock.
+  uint64_t batch_requests = 1;
   uint64_t seed = 42;
 };
 

@@ -102,6 +102,45 @@ Status WearOutExperiment::IssueOneWrite() {
   return Status::Ok();
 }
 
+Status WearOutExperiment::IssueWriteBatch(uint64_t n) {
+  uint64_t start = 0;
+  uint64_t length = 0;
+  ComputeTargetRegion(&start, &length);
+  if (length < config_.request_bytes) {
+    return FailedPreconditionError("workload region smaller than one request");
+  }
+  const uint64_t slots = length / config_.request_bytes;
+  const Rng rng_before = rng_;
+  const uint64_t seq_before = seq_cursor_;
+  batch_scratch_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t slot = config_.pattern == AccessPattern::kRandom
+                              ? rng_.UniformU64(slots)
+                              : seq_cursor_++ % slots;
+    batch_scratch_.push_back(IoRequest{IoKind::kWrite,
+                                       start + slot * config_.request_bytes,
+                                       config_.request_bytes});
+  }
+  BatchCompletion done = device_.SubmitBatch(batch_scratch_.data(), batch_scratch_.size());
+  workload_bytes_ += done.bytes_transferred;
+  workload_time_ += done.service_time;
+  if (!done.status.ok()) {
+    // Rewind the generator to where the one-by-one loop would have stopped:
+    // one draw per completed request plus one for the request that failed.
+    rng_ = rng_before;
+    seq_cursor_ = seq_before;
+    for (uint64_t i = 0; i < done.requests_completed + 1; ++i) {
+      if (config_.pattern == AccessPattern::kRandom) {
+        rng_.UniformU64(slots);
+      } else {
+        ++seq_cursor_;
+      }
+    }
+    return done.status;
+  }
+  return Status::Ok();
+}
+
 std::pair<uint32_t, uint32_t> WearOutExperiment::Levels() const {
   const HealthReport health = device_.QueryHealth();
   if (!health.supported) {
@@ -154,17 +193,25 @@ WearRunOutcome WearOutExperiment::Run(uint32_t transitions, uint64_t max_host_by
   uint32_t remaining = transitions;
 
   while (remaining > 0) {
-    if (device_.HostBytesWritten() - run_start_bytes >= max_host_bytes) {
+    const uint64_t spent = device_.HostBytesWritten() - run_start_bytes;
+    if (spent >= max_host_bytes) {
       outcome.volume_cap_hit = true;
       break;
     }
-    Status st = IssueOneWrite();
+    // Batches stop at the next health-poll point and at the volume cap, so
+    // polls and the cap land after exactly the same write counts as the
+    // one-request-at-a-time loop.
+    uint64_t n = std::min<uint64_t>(config_.batch_requests,
+                                    poll_every - writes_since_poll);
+    n = std::min(n, CeilDiv(max_host_bytes - spent, config_.request_bytes));
+    Status st = n <= 1 ? IssueOneWrite() : IssueWriteBatch(n);
     if (!st.ok()) {
       outcome.status = st;
       outcome.bricked = st.code() == StatusCode::kUnavailable;
       break;
     }
-    if (++writes_since_poll < poll_every) {
+    writes_since_poll += std::max<uint64_t>(n, 1);
+    if (writes_since_poll < poll_every) {
       continue;
     }
     writes_since_poll = 0;

@@ -34,6 +34,11 @@ struct WearWorkloadConfig {
   // Aim rewrites at the utilized (static) data instead of the free footprint
   // — the Table 1 "rand rewrite" rows.
   bool rewrite_utilized = false;
+  // How many workload requests to submit per device call. Values > 1 use the
+  // BlockDevice::SubmitBatch bulk path; results (wear, health transitions,
+  // simulated time) are identical for any value — only wall-clock changes.
+  // Batches never cross a health-poll point or the volume cap.
+  uint64_t batch_requests = 1;
   uint64_t seed = 11;
 };
 
@@ -89,6 +94,10 @@ class WearOutExperiment {
  private:
   // Issues one workload write; returns false on brick.
   Status IssueOneWrite();
+  // Issues `n` workload writes through SubmitBatch. Draws target slots in the
+  // same order as n IssueOneWrite calls; on failure the generator is rewound
+  // to exactly where the one-by-one loop would have stopped.
+  Status IssueWriteBatch(uint64_t n);
   // Current indicator levels (B == 0 for single-pool devices).
   std::pair<uint32_t, uint32_t> Levels() const;
   // Region the rewrites target, given utilization and rewrite_utilized.
@@ -99,6 +108,7 @@ class WearOutExperiment {
   Rng rng_;
   uint64_t static_bytes_ = 0;  // current prefilled utilization, in bytes
   uint64_t seq_cursor_ = 0;
+  std::vector<IoRequest> batch_scratch_;
 
   // Workload-only accounting (excludes SetUtilization prefill/trim traffic),
   // so per-level rows report what the paper reports: experiment I/O volume

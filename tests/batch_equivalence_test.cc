@@ -1,0 +1,237 @@
+// The batched write path must be simulation-equivalent to the per-request
+// path: same wear transitions, same health trajectory, same simulated time,
+// same FTL statistics, for the same seed. These tests run the two paths side
+// by side — at the FTL layer (WriteBatch vs a WritePage loop, including the
+// wear-out death spiral) and at the experiment layer (WearOutExperiment with
+// batch_requests > 1) — and require bit-identical results.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/device/catalog.h"
+#include "src/ftl/hybrid_ftl.h"
+#include "src/ftl/page_map_ftl.h"
+#include "src/simcore/rng.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/wearout_experiment.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+void ExpectStatsEqual(const FtlStats& a, const FtlStats& b) {
+  EXPECT_EQ(a.host_pages_written, b.host_pages_written);
+  EXPECT_EQ(a.nand_pages_written, b.nand_pages_written);
+  EXPECT_EQ(a.gc_pages_migrated, b.gc_pages_migrated);
+  EXPECT_EQ(a.erases, b.erases);
+  EXPECT_EQ(a.free_blocks, b.free_blocks);
+  EXPECT_EQ(a.valid_pages, b.valid_pages);
+}
+
+void ExpectHealthEqual(const HealthReport& a, const HealthReport& b) {
+  EXPECT_EQ(a.life_time_est_a, b.life_time_est_a);
+  EXPECT_EQ(a.life_time_est_b, b.life_time_est_b);
+  EXPECT_EQ(a.pre_eol, b.pre_eol);
+  EXPECT_DOUBLE_EQ(a.avg_pe_a, b.avg_pe_a);
+  EXPECT_DOUBLE_EQ(a.avg_pe_b, b.avg_pe_b);
+}
+
+void ExpectTransitionsEqual(const WearRunOutcome& a, const WearRunOutcome& b) {
+  ASSERT_EQ(a.transitions.size(), b.transitions.size());
+  for (size_t i = 0; i < a.transitions.size(); ++i) {
+    const WearTransition& ta = a.transitions[i];
+    const WearTransition& tb = b.transitions[i];
+    EXPECT_EQ(ta.type, tb.type) << "row " << i;
+    EXPECT_EQ(ta.from_level, tb.from_level) << "row " << i;
+    EXPECT_EQ(ta.to_level, tb.to_level) << "row " << i;
+    EXPECT_EQ(ta.host_bytes, tb.host_bytes) << "row " << i;
+    EXPECT_DOUBLE_EQ(ta.hours, tb.hours) << "row " << i;
+    EXPECT_DOUBLE_EQ(ta.write_amplification, tb.write_amplification) << "row " << i;
+    EXPECT_DOUBLE_EQ(ta.utilization, tb.utilization) << "row " << i;
+  }
+  EXPECT_EQ(a.bricked, b.bricked);
+  EXPECT_EQ(a.volume_cap_hit, b.volume_cap_hit);
+  EXPECT_EQ(a.status.code(), b.status.code());
+  EXPECT_EQ(a.total_host_bytes, b.total_host_bytes);
+  EXPECT_DOUBLE_EQ(a.total_hours, b.total_hours);
+}
+
+// Drives an FTL with the same pseudo-random LPN sequence through WritePage
+// (reference) and WriteBatch (under test), comparing per-page times, stats,
+// and health after every chunk, all the way into wear-out failure.
+template <typename MakeFtl>
+void RunFtlLevelComparison(MakeFtl make_ftl, size_t chunk) {
+  std::unique_ptr<FtlInterface> ref = make_ftl();
+  std::unique_ptr<FtlInterface> bat = make_ftl();
+  const uint64_t logical = ref->LogicalPageCount();
+
+  Rng lpn_rng(1234);
+  std::vector<uint64_t> lpns(chunk);
+  std::vector<SimDuration> times(chunk);
+  bool died = false;
+  for (int iter = 0; iter < 200000 && !died; ++iter) {
+    for (size_t i = 0; i < chunk; ++i) {
+      lpns[i] = lpn_rng.UniformU64(logical);
+    }
+
+    // Reference: one page at a time.
+    std::vector<SimDuration> ref_times;
+    Status ref_status = Status::Ok();
+    for (size_t i = 0; i < chunk; ++i) {
+      Result<SimDuration> one = ref->WritePage(lpns[i]);
+      if (!one.ok()) {
+        ref_status = one.status();
+        break;
+      }
+      ref_times.push_back(one.value());
+    }
+
+    // Under test: one bulk call.
+    size_t done = 0;
+    const Status bat_status = bat->WriteBatch(lpns.data(), chunk, times.data(), &done);
+
+    ASSERT_EQ(done, ref_times.size()) << "iter " << iter;
+    ASSERT_EQ(bat_status.code(), ref_status.code()) << "iter " << iter;
+    for (size_t i = 0; i < done; ++i) {
+      ASSERT_EQ(times[i].nanos(), ref_times[i].nanos())
+          << "iter " << iter << " page " << i;
+    }
+    ExpectStatsEqual(ref->Stats(), bat->Stats());
+    ExpectHealthEqual(ref->Health(), bat->Health());
+    ASSERT_EQ(ref->IsReadOnly(), bat->IsReadOnly()) << "iter " << iter;
+    died = !ref_status.ok() && ref_status.code() == StatusCode::kUnavailable;
+  }
+  // The tiny configs are rated for a few hundred P/E cycles, so the loop
+  // must have reached wear-out — the batch path's retire/retry handling is
+  // exercised, not just the happy path.
+  EXPECT_TRUE(died);
+}
+
+TEST(BatchEquivalenceTest, PageMapWriteBatchMatchesWritePageLoopToDeath) {
+  RunFtlLevelComparison([] { return MakeTinyFtl(/*seed=*/5); }, /*chunk=*/64);
+}
+
+TEST(BatchEquivalenceTest, PageMapWriteBatchMatchesWithOddChunks) {
+  // Chunk not a divisor of pages-per-block: runs straddle block boundaries.
+  RunFtlLevelComparison([] { return MakeTinyFtl(/*seed=*/6); }, /*chunk=*/37);
+}
+
+TEST(BatchEquivalenceTest, HybridWriteBatchMatchesWritePageLoopToDeath) {
+  RunFtlLevelComparison([] { return MakeTinyHybrid(/*seed=*/5); }, /*chunk=*/64);
+}
+
+TEST(BatchEquivalenceTest, WriteBatchHandlesDuplicateLpnsInOneBatch) {
+  auto ref = MakeTinyFtl(/*seed=*/9);
+  auto bat = MakeTinyFtl(/*seed=*/9);
+  // Every batch rewrites the same few LPNs repeatedly — later entries must
+  // supersede earlier ones within a single WriteBatch call.
+  std::vector<uint64_t> lpns;
+  for (int i = 0; i < 96; ++i) {
+    lpns.push_back(i % 3);
+  }
+  std::vector<SimDuration> times(lpns.size());
+  for (int iter = 0; iter < 50; ++iter) {
+    for (uint64_t lpn : lpns) {
+      ASSERT_TRUE(ref->WritePage(lpn).ok());
+    }
+    size_t done = 0;
+    ASSERT_TRUE(bat->WriteBatch(lpns.data(), lpns.size(), times.data(), &done).ok());
+    ASSERT_EQ(done, lpns.size());
+  }
+  ExpectStatsEqual(ref->Stats(), bat->Stats());
+  ASSERT_TRUE(static_cast<PageMapFtl*>(bat.get())->ValidateInvariants().ok());
+}
+
+TEST(BatchEquivalenceTest, InvariantsHoldAfterBatchedRuns) {
+  auto ftl = MakeTinyFtl(/*seed=*/21);
+  Rng rng(7);
+  std::vector<uint64_t> lpns(64);
+  std::vector<SimDuration> times(64);
+  for (int iter = 0; iter < 500; ++iter) {
+    for (auto& lpn : lpns) {
+      lpn = rng.UniformU64(ftl->LogicalPageCount());
+    }
+    size_t done = 0;
+    const Status st = ftl->WriteBatch(lpns.data(), lpns.size(), times.data(), &done);
+    ASSERT_TRUE(ftl->ValidateInvariants().ok()) << "iter " << iter;
+    if (!st.ok()) {
+      break;
+    }
+  }
+}
+
+// Experiment-level equivalence on a single-pool eMMC: identical Table 1 rows,
+// totals, clock, and device stats whether requests are submitted one at a
+// time or 64 per batch.
+TEST(BatchEquivalenceTest, PageMapExperimentMatchesPerRequest) {
+  auto run = [](uint64_t batch) {
+    auto device = MakeEmmc8(SimScale{64, 64}, /*seed=*/3);
+    WearWorkloadConfig w;
+    w.footprint_bytes = 8 * kMiB;
+    w.batch_requests = batch;
+    WearOutExperiment exp(*device, w);
+    EXPECT_TRUE(exp.SetUtilization(0.4).ok());
+    WearRunOutcome out = exp.Run(4, 64 * kGiB);
+    return std::make_tuple(std::move(out), device->ftl().Stats(),
+                           device->QueryHealth(), device->HostBytesWritten(),
+                           device->clock().Now().nanos());
+  };
+  auto [out1, stats1, health1, bytes1, now1] = run(1);
+  auto [out64, stats64, health64, bytes64, now64] = run(64);
+  ExpectTransitionsEqual(out1, out64);
+  ExpectStatsEqual(stats1, stats64);
+  ExpectHealthEqual(health1, health64);
+  EXPECT_EQ(bytes1, bytes64);
+  EXPECT_EQ(now1, now64);
+}
+
+// Same at the other FTL: the hybrid (SLC cache + MLC pool) eMMC 16 GB, whose
+// Type A / Type B indicators advance independently.
+TEST(BatchEquivalenceTest, HybridExperimentMatchesPerRequest) {
+  auto run = [](uint64_t batch) {
+    auto device = MakeEmmc16(SimScale{256, 256}, /*seed=*/3);
+    WearWorkloadConfig w;
+    w.footprint_bytes = 4 * kMiB;
+    w.batch_requests = batch;
+    WearOutExperiment exp(*device, w);
+    WearRunOutcome out = exp.Run(3, 64 * kGiB);
+    return std::make_tuple(std::move(out), device->ftl().Stats(),
+                           device->QueryHealth(), device->HostBytesWritten(),
+                           device->clock().Now().nanos());
+  };
+  auto [out1, stats1, health1, bytes1, now1] = run(1);
+  auto [out64, stats64, health64, bytes64, now64] = run(64);
+  ExpectTransitionsEqual(out1, out64);
+  ExpectStatsEqual(stats1, stats64);
+  ExpectHealthEqual(health1, health64);
+  EXPECT_EQ(bytes1, bytes64);
+  EXPECT_EQ(now1, now64);
+}
+
+// Running a tiny device all the way to brick: the batched path must fail on
+// the same write, with the same status, totals, and transition history.
+TEST(BatchEquivalenceTest, RunToBrickMatchesPerRequest) {
+  auto run = [](uint64_t batch) {
+    auto device = MakeTinyDevice(/*seed=*/11);
+    WearWorkloadConfig w;
+    w.footprint_bytes = 4 * kMiB;
+    w.batch_requests = batch;
+    WearOutExperiment exp(*device, w);
+    WearRunOutcome out = exp.Run(1000, 1ull << 60);
+    return std::make_tuple(std::move(out), device->ftl().Stats(),
+                           device->HostBytesWritten(),
+                           device->clock().Now().nanos());
+  };
+  auto [out1, stats1, bytes1, now1] = run(1);
+  auto [out48, stats48, bytes48, now48] = run(48);
+  EXPECT_TRUE(out1.bricked);
+  ExpectTransitionsEqual(out1, out48);
+  ExpectStatsEqual(stats1, stats48);
+  EXPECT_EQ(bytes1, bytes48);
+  EXPECT_EQ(now1, now48);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,124 @@
+#include "src/ftl/free_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace flashsim {
+namespace {
+
+TEST(FreePoolTest, StartsEmpty) {
+  WearBucketedFreePool pool;
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_TRUE(pool.Entries().empty());
+}
+
+TEST(FreePoolTest, PopsAscendingWearThenBlockId) {
+  WearBucketedFreePool pool;
+  // Scattered insertion order; pops must come out sorted by (pe, id) — the
+  // exact iteration order of the std::set<std::pair> the pool replaces.
+  const std::vector<std::pair<uint32_t, BlockId>> entries = {
+      {5, 7}, {0, 9}, {5, 2}, {3, 1}, {0, 3}, {12, 0}, {3, 8}, {0, 4},
+  };
+  for (const auto& [pe, id] : entries) {
+    pool.Insert(pe, id);
+  }
+  EXPECT_EQ(pool.size(), entries.size());
+
+  std::vector<std::pair<uint32_t, BlockId>> expected = entries;
+  std::sort(expected.begin(), expected.end());
+  for (const auto& [pe, id] : expected) {
+    const WearBucketedFreePool::Entry peek = pool.PeekMin();
+    EXPECT_EQ(peek.pe_cycles, pe);
+    EXPECT_EQ(peek.block, id);
+    const WearBucketedFreePool::Entry e = pool.PopMin();
+    EXPECT_EQ(e.pe_cycles, pe);
+    EXPECT_EQ(e.block, id);
+  }
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(FreePoolTest, ReinsertAfterPopWithHigherWear) {
+  WearBucketedFreePool pool;
+  pool.Insert(0, 1);
+  pool.Insert(0, 2);
+  // Block 1 gets erased (wear 0 -> 1) and returns to the pool; block 2 is
+  // now the least-worn and must pop first.
+  const WearBucketedFreePool::Entry first = pool.PopMin();
+  EXPECT_EQ(first.block, 1u);
+  pool.Insert(1, 1);
+  EXPECT_EQ(pool.PopMin().block, 2u);
+  EXPECT_EQ(pool.PopMin().block, 1u);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(FreePoolTest, CursorRewindsWhenLowerWearArrives) {
+  WearBucketedFreePool pool;
+  pool.Insert(10, 5);
+  EXPECT_EQ(pool.PopMin().pe_cycles, 10u);
+  // The min-bucket cursor sat at 10; a fresher block (healed or late-added
+  // spare) must still pop first.
+  pool.Insert(10, 5);
+  pool.Insert(2, 6);
+  EXPECT_EQ(pool.PeekMin().pe_cycles, 2u);
+  EXPECT_EQ(pool.PopMin().block, 6u);
+  EXPECT_EQ(pool.PopMin().block, 5u);
+}
+
+TEST(FreePoolTest, EntriesSnapshotsEverything) {
+  WearBucketedFreePool pool;
+  pool.Insert(1, 10);
+  pool.Insert(4, 11);
+  pool.Insert(1, 12);
+  std::vector<std::pair<uint32_t, BlockId>> got;
+  for (const WearBucketedFreePool::Entry& e : pool.Entries()) {
+    got.emplace_back(e.pe_cycles, e.block);
+  }
+  std::sort(got.begin(), got.end());
+  const std::vector<std::pair<uint32_t, BlockId>> want = {{1, 10}, {1, 12}, {4, 11}};
+  EXPECT_EQ(got, want);
+  // Snapshotting does not consume entries.
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(FreePoolTest, ClearEmptiesThePool) {
+  WearBucketedFreePool pool;
+  pool.Insert(3, 1);
+  pool.Insert(7, 2);
+  pool.Clear();
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.size(), 0u);
+  // Usable again after Clear.
+  pool.Insert(0, 4);
+  EXPECT_EQ(pool.PopMin().block, 4u);
+}
+
+TEST(FreePoolTest, DrainToExhaustionAndRefill) {
+  WearBucketedFreePool pool;
+  // Simulates spare exhaustion: drain the pool dry, then refill, repeatedly.
+  for (int round = 0; round < 3; ++round) {
+    for (BlockId b = 0; b < 16; ++b) {
+      pool.Insert(static_cast<uint32_t>(round * 2 + b % 2), b);
+    }
+    uint32_t last_pe = 0;
+    BlockId last_id = 0;
+    bool first = true;
+    while (!pool.empty()) {
+      const WearBucketedFreePool::Entry e = pool.PopMin();
+      if (!first) {
+        EXPECT_TRUE(e.pe_cycles > last_pe ||
+                    (e.pe_cycles == last_pe && e.block > last_id));
+      }
+      first = false;
+      last_pe = e.pe_cycles;
+      last_id = e.block;
+    }
+    EXPECT_EQ(pool.size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace flashsim
