@@ -2,6 +2,10 @@
 // the methodology for asking "how long would MY phone survive this app?",
 // and the data a §4.5 defense would use to model expected app behaviour.
 //
+// The replay side is a TraceWorkload driven through the ordinary workload
+// driver, so the captured stream goes down the same bulk submission path as
+// any synthetic generator (and could be listed in a campaign spec).
+//
 //   $ ./build/examples/trace_replay
 
 #include <cstdio>
@@ -10,6 +14,8 @@
 #include "src/device/catalog.h"
 #include "src/simcore/units.h"
 #include "src/wearlab/phone.h"
+#include "src/workload/driver.h"
+#include "src/workload/trace_workload.h"
 
 using namespace flashsim;
 
@@ -34,6 +40,8 @@ int main() {
               trace.Summary().c_str());
 
   // 2. Replay the captured stream on other catalog devices.
+  TraceWorkload replay = TraceWorkload::FromRecorder(trace, "moto-attack");
+  const double recorded_io = replay.RecordedIoTime().ToSecondsF();
   std::printf("Replaying the identical request stream elsewhere:\n");
   struct Target {
     const char* name;
@@ -45,11 +53,13 @@ int main() {
       {"uSD 16GB (block-mapped)", MakeUsd16(scale, 9)},
       {"BLU 512MB (budget)", MakeBlu512(SimScale{8, 1}, 9)},
   };
+  WorkloadDriveOptions opts;
   for (Target& t : targets) {
-    const ReplayResult r = ReplayTrace(trace.entries(), *t.device);
-    std::printf("  %-26s io time %7.2f s (%.2fx vs source)%s\n", t.name,
-                r.total_io_time.ToSecondsF(), r.SlowdownFactor(),
-                r.status.ok() ? "" : "  ** DEVICE DIED MID-REPLAY **");
+    const WorkloadRunResult r = RunWorkloadOnDevice(replay, *t.device, opts);
+    const double io = r.io_time.ToSecondsF();
+    std::printf("  %-26s io time %7.2f s (%.2fx vs source)%s\n", t.name, io,
+                recorded_io > 0 ? io / recorded_io : 0.0,
+                r.bricked ? "  ** DEVICE DIED MID-REPLAY **" : "");
   }
   std::printf(
       "\nReading: the same byte stream finishes fastest on UFS — which is why\n"

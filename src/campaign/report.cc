@@ -1,0 +1,214 @@
+#include "src/campaign/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/wearlab/csv.h"
+#include "src/wearlab/report.h"
+
+namespace flashsim {
+
+namespace {
+
+// Deterministic double formatting for reports: %.6g is locale-independent
+// for the values we emit and stable across platforms/thread counts.
+std::string JsonNum(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string JsonNum(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+std::string JsonStr(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+const char* JsonBool(bool value) { return value ? "true" : "false"; }
+
+// Per-grid aggregate, accumulated in run-index order.
+struct GridAggregate {
+  std::string name;
+  size_t runs = 0;
+  size_t failed = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  double sum_write_mib_per_sec = 0.0;
+  double min_write_mib_per_sec = 0.0;
+  double max_write_mib_per_sec = 0.0;
+  size_t reached_target = 0;
+  size_t bricked = 0;
+};
+
+std::vector<GridAggregate> Aggregate(const CampaignOutcome& outcome) {
+  std::vector<GridAggregate> grids;
+  for (const RunRecord& run : outcome.runs) {
+    GridAggregate* agg = nullptr;
+    for (GridAggregate& g : grids) {
+      if (g.name == run.grid) {
+        agg = &g;
+        break;
+      }
+    }
+    if (agg == nullptr) {
+      grids.push_back(GridAggregate{});
+      agg = &grids.back();
+      agg->name = run.grid;
+      agg->min_write_mib_per_sec = run.write_mib_per_sec;
+      agg->max_write_mib_per_sec = run.write_mib_per_sec;
+    }
+    ++agg->runs;
+    if (!run.status.ok() && !run.bricked) {
+      ++agg->failed;
+    }
+    agg->bytes_written += run.bytes_written;
+    agg->bytes_read += run.bytes_read;
+    agg->sum_write_mib_per_sec += run.write_mib_per_sec;
+    agg->min_write_mib_per_sec =
+        std::min(agg->min_write_mib_per_sec, run.write_mib_per_sec);
+    agg->max_write_mib_per_sec =
+        std::max(agg->max_write_mib_per_sec, run.write_mib_per_sec);
+    if (run.reached_target) {
+      ++agg->reached_target;
+    }
+    if (run.bricked) {
+      ++agg->bricked;
+    }
+  }
+  return grids;
+}
+
+}  // namespace
+
+void WriteCampaignJson(std::ostream& os, const CampaignOutcome& outcome) {
+  os << "{\n";
+  os << "  \"campaign\": " << JsonStr(outcome.name) << ",\n";
+  os << "  \"seed\": " << JsonNum(static_cast<uint64_t>(outcome.seed)) << ",\n";
+  os << "  \"runs\": [\n";
+  for (size_t i = 0; i < outcome.runs.size(); ++i) {
+    const RunRecord& run = outcome.runs[i];
+    os << "    {\n";
+    os << "      \"index\": " << JsonNum(static_cast<uint64_t>(run.index)) << ",\n";
+    os << "      \"grid\": " << JsonStr(run.grid) << ",\n";
+    os << "      \"layer\": " << JsonStr(run.layer) << ",\n";
+    os << "      \"metric\": " << JsonStr(run.metric) << ",\n";
+    os << "      \"device\": " << JsonStr(run.device) << ",\n";
+    os << "      \"fs\": " << JsonStr(run.fs) << ",\n";
+    os << "      \"workload\": " << JsonStr(run.workload) << ",\n";
+    os << "      \"seed\": " << JsonNum(run.seed) << ",\n";
+    os << "      \"status\": " << JsonStr(run.status.ok() ? "OK" : run.status.ToString())
+       << ",\n";
+    os << "      \"requests\": " << JsonNum(run.requests) << ",\n";
+    os << "      \"bytes_written\": " << JsonNum(run.bytes_written) << ",\n";
+    os << "      \"bytes_read\": " << JsonNum(run.bytes_read) << ",\n";
+    os << "      \"sim_seconds\": " << JsonNum(run.sim_seconds) << ",\n";
+    os << "      \"io_seconds\": " << JsonNum(run.io_seconds) << ",\n";
+    os << "      \"write_mib_per_sec\": " << JsonNum(run.write_mib_per_sec) << ",\n";
+    os << "      \"device_wa\": " << JsonNum(run.device_wa) << ",\n";
+    os << "      \"fs_wa\": " << JsonNum(run.fs_wa) << ",\n";
+    os << "      \"level_a\": " << JsonNum(static_cast<uint64_t>(run.level_a)) << ",\n";
+    os << "      \"level_b\": " << JsonNum(static_cast<uint64_t>(run.level_b)) << ",\n";
+    os << "      \"reached_target\": " << JsonBool(run.reached_target) << ",\n";
+    os << "      \"bricked\": " << JsonBool(run.bricked) << ",\n";
+    os << "      \"volume_factor\": " << JsonNum(run.volume_factor) << ",\n";
+    os << "      \"levels\": [";
+    for (size_t j = 0; j < run.levels.size(); ++j) {
+      const WorkloadLevelRow& row = run.levels[j];
+      os << (j == 0 ? "" : ", ") << "{\"level\": "
+         << JsonNum(static_cast<uint64_t>(row.level))
+         << ", \"host_bytes\": " << JsonNum(row.host_bytes)
+         << ", \"hours\": " << JsonNum(row.hours) << "}";
+    }
+    os << "]\n";
+    os << "    }" << (i + 1 < outcome.runs.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"grids\": [\n";
+  const std::vector<GridAggregate> grids = Aggregate(outcome);
+  for (size_t i = 0; i < grids.size(); ++i) {
+    const GridAggregate& g = grids[i];
+    const double mean = g.runs > 0
+                            ? g.sum_write_mib_per_sec / static_cast<double>(g.runs)
+                            : 0.0;
+    os << "    {\"grid\": " << JsonStr(g.name)
+       << ", \"runs\": " << JsonNum(static_cast<uint64_t>(g.runs))
+       << ", \"failed\": " << JsonNum(static_cast<uint64_t>(g.failed))
+       << ", \"bytes_written\": " << JsonNum(g.bytes_written)
+       << ", \"bytes_read\": " << JsonNum(g.bytes_read)
+       << ", \"write_mib_per_sec_min\": " << JsonNum(g.min_write_mib_per_sec)
+       << ", \"write_mib_per_sec_mean\": " << JsonNum(mean)
+       << ", \"write_mib_per_sec_max\": " << JsonNum(g.max_write_mib_per_sec)
+       << ", \"reached_target\": " << JsonNum(static_cast<uint64_t>(g.reached_target))
+       << ", \"bricked\": " << JsonNum(static_cast<uint64_t>(g.bricked)) << "}"
+       << (i + 1 < grids.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+void WriteCampaignCsv(std::ostream& os, const CampaignOutcome& outcome) {
+  WriteCsvRow(os, {"index", "grid", "layer", "metric", "device", "fs", "workload",
+                   "seed", "status", "requests", "bytes_written", "bytes_read",
+                   "sim_seconds", "write_mib_per_sec", "device_wa", "fs_wa",
+                   "level_a", "level_b", "reached_target", "bricked",
+                   "volume_factor"});
+  for (const RunRecord& run : outcome.runs) {
+    WriteCsvRow(
+        os, {JsonNum(static_cast<uint64_t>(run.index)), run.grid, run.layer,
+             run.metric, run.device, run.fs, run.workload, JsonNum(run.seed),
+             run.status.ok() ? "OK" : StatusCodeName(run.status.code()),
+             JsonNum(run.requests), JsonNum(run.bytes_written),
+             JsonNum(run.bytes_read), JsonNum(run.sim_seconds),
+             JsonNum(run.write_mib_per_sec), JsonNum(run.device_wa),
+             JsonNum(run.fs_wa), JsonNum(static_cast<uint64_t>(run.level_a)),
+             JsonNum(static_cast<uint64_t>(run.level_b)),
+             run.reached_target ? "1" : "0", run.bricked ? "1" : "0",
+             JsonNum(run.volume_factor)});
+  }
+}
+
+void PrintCampaignSummary(std::ostream& os, const CampaignOutcome& outcome) {
+  TableReporter table({"Grid", "Device", "FS", "Workload", "MiB/s", "WA(dev)",
+                       "WA(fs)", "Level", "Sim hrs", "Status"});
+  for (const RunRecord& run : outcome.runs) {
+    std::string level = std::to_string(run.level_a);
+    if (run.level_b > 0) {
+      level += "/" + std::to_string(run.level_b);
+    }
+    std::string status = run.status.ok() ? "ok" : StatusCodeName(run.status.code());
+    if (run.bricked) {
+      status = "BRICKED";
+    } else if (run.reached_target) {
+      status = "level hit";
+    }
+    table.AddRow({run.grid, run.device, run.fs, run.workload,
+                  Fmt(run.write_mib_per_sec), Fmt(run.device_wa), Fmt(run.fs_wa),
+                  level, Fmt(run.sim_seconds / 3600.0, 3), status});
+  }
+  table.Print(os);
+}
+
+}  // namespace flashsim

@@ -1,0 +1,28 @@
+// Campaign report serialization: one JSON document and one CSV table per
+// campaign, plus a human summary. All output is a pure function of the run
+// records (ordered by run index), so reports are byte-identical regardless
+// of how many threads executed the campaign — the determinism contract the
+// tests pin down.
+
+#ifndef SRC_CAMPAIGN_REPORT_H_
+#define SRC_CAMPAIGN_REPORT_H_
+
+#include <ostream>
+
+#include "src/campaign/runner.h"
+
+namespace flashsim {
+
+// Full machine-readable report: campaign header, per-run records (including
+// wear-level transitions), and per-grid aggregates. Excludes wall-clock.
+void WriteCampaignJson(std::ostream& os, const CampaignOutcome& outcome);
+
+// One CSV row per run with the headline metrics.
+void WriteCampaignCsv(std::ostream& os, const CampaignOutcome& outcome);
+
+// Fixed-width table for the terminal.
+void PrintCampaignSummary(std::ostream& os, const CampaignOutcome& outcome);
+
+}  // namespace flashsim
+
+#endif  // SRC_CAMPAIGN_REPORT_H_

@@ -1,0 +1,154 @@
+#include "src/campaign/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "src/simcore/units.h"
+#include "src/wearlab/phone.h"
+
+namespace flashsim {
+
+namespace {
+
+// Default per-run byte cap for wear runs that specify none: enough volume to
+// wear any catalog device through several levels at typical sim scales, while
+// bounding runaway streams on devices that wear slowly.
+constexpr uint64_t kDefaultWearCap = 1 * kTiB;
+
+WorkloadDriveOptions DriveOptionsFor(const RunSpec& run) {
+  WorkloadDriveOptions opts;
+  opts.batch_requests = run.batch_requests;
+  opts.seed = DeriveSeed(run.seed, 1);  // stream 0 seeds the device itself
+  if (run.metric == RunMetric::kWear) {
+    opts.loop = true;
+    opts.stop_at_level = run.target_level;
+    opts.max_bytes = run.max_bytes > 0 ? run.max_bytes : kDefaultWearCap;
+  }
+  return opts;
+}
+
+void FillCommon(const RunSpec& run, const WorkloadRunResult& result,
+                FlashDevice& device, RunRecord* record) {
+  record->status = result.status;
+  record->requests = result.requests;
+  record->bytes_written = result.bytes_written;
+  record->bytes_read = result.bytes_read;
+  record->sim_seconds = result.elapsed.ToSecondsF();
+  record->io_seconds = result.io_time.ToSecondsF();
+  record->write_mib_per_sec = result.WriteMiBps();
+  record->device_wa = device.ftl().Stats().WriteAmplification();
+  record->reached_target = result.reached_level;
+  record->bricked = result.bricked;
+  record->levels = result.levels;
+  const HealthReport health = device.QueryHealth();
+  if (health.supported) {
+    record->level_a = health.life_time_est_a;
+    record->level_b = health.life_time_est_b;
+  }
+  record->volume_factor = run.scale.VolumeFactor();
+}
+
+}  // namespace
+
+RunRecord ExecuteRun(const RunSpec& run) {
+  RunRecord record;
+  record.index = run.index;
+  record.grid = run.grid;
+  record.layer = RunLayerName(run.layer);
+  record.metric = RunMetricName(run.metric);
+  record.device = run.device;
+  record.fs = run.has_fs ? PhoneFsTypeName(run.fs) : "-";
+  record.workload = run.workload.name;
+  record.seed = run.seed;
+  record.volume_factor = run.scale.VolumeFactor();
+  record.fs_wa = 1.0;
+
+  const CampaignDevice* entry = FindCampaignDevice(run.device);
+  if (entry == nullptr) {
+    record.status = NotFoundError("unknown device slug: " + run.device);
+    return record;
+  }
+  std::unique_ptr<FlashDevice> device = entry->make(run.scale, DeriveSeed(run.seed, 0));
+  SyntheticWorkload workload(run.workload);
+  const WorkloadDriveOptions opts = DriveOptionsFor(run);
+
+  if (run.layer == RunLayer::kBlock) {
+    const WorkloadRunResult result = RunWorkloadOnDevice(workload, *device, opts);
+    FillCommon(run, result, *device, &record);
+    return record;
+  }
+
+  // Phone layer: mount the requested file system, fill static data to the
+  // requested utilization, then drive the workload through the file set.
+  Phone phone(std::move(device), run.fs);
+  if (run.utilization > 0.0) {
+    const Status filled = phone.FillStaticData(run.utilization);
+    if (!filled.ok()) {
+      record.status = filled;
+      return record;
+    }
+  }
+  FileLayerLayout layout;
+  layout.file_count = run.file_count;
+  layout.file_bytes =
+      std::max<uint64_t>(run.workload.request_bytes,
+                         run.file_bytes / run.scale.capacity_div);
+  layout.sync = run.sync;
+  const WorkloadRunResult result =
+      RunWorkloadOnFilesystem(workload, phone.fs(), layout, opts);
+  FillCommon(run, result, phone.device(), &record);
+  record.fs_wa = phone.fs().stats().FsWriteAmplification();
+  return record;
+}
+
+CampaignOutcome RunCampaign(const CampaignSpec& spec,
+                            const CampaignRunOptions& options) {
+  CampaignOutcome outcome;
+  outcome.name = spec.name;
+  outcome.seed = spec.seed;
+
+  const std::vector<RunSpec> runs = ExpandRuns(spec);
+  outcome.runs.resize(runs.size());
+
+  // Touch the lazily-built tables once before spawning workers (their
+  // construction is thread-safe anyway; this just keeps first-run timings
+  // comparable across threads).
+  (void)CampaignDevices();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int threads =
+      std::max(1, std::min<int>(options.threads, static_cast<int>(runs.size())));
+  if (threads <= 1) {
+    for (size_t i = 0; i < runs.size(); ++i) {
+      outcome.runs[i] = ExecuteRun(runs[i]);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= runs.size()) {
+          return;
+        }
+        outcome.runs[i] = ExecuteRun(runs[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  return outcome;
+}
+
+}  // namespace flashsim

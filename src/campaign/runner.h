@@ -1,0 +1,72 @@
+// Campaign runner: executes a spec's expanded run list on a thread pool.
+//
+// Every run is a fully independent simulation (its own device, file system,
+// workload, and RNG streams seeded by DeriveSeed(campaign seed, run index)),
+// so runs parallelize with no shared mutable state and the aggregate report
+// is byte-identical for any thread count — only wall-clock changes.
+
+#ifndef SRC_CAMPAIGN_RUNNER_H_
+#define SRC_CAMPAIGN_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/campaign/spec.h"
+#include "src/workload/driver.h"
+
+namespace flashsim {
+
+// Outcome of one run. String fields echo the run identity so reports are
+// self-contained.
+struct RunRecord {
+  size_t index = 0;
+  std::string grid;
+  std::string layer;
+  std::string metric;
+  std::string device;   // slug
+  std::string fs;       // "-" for block-layer runs
+  std::string workload;
+  uint64_t seed = 0;
+  double volume_factor = 1.0;  // multiply volumes/hours for full-device numbers
+
+  Status status;
+  uint64_t requests = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  double sim_seconds = 0.0;
+  double io_seconds = 0.0;
+  double write_mib_per_sec = 0.0;
+  double device_wa = 0.0;  // FTL write amplification over the whole run
+  double fs_wa = 0.0;      // file-system write amplification (1.0 at block layer)
+  uint32_t level_a = 0;
+  uint32_t level_b = 0;
+  bool reached_target = false;
+  bool bricked = false;
+  std::vector<WorkloadLevelRow> levels;  // wear transitions, sim-scale units
+};
+
+struct CampaignOutcome {
+  std::string name;
+  uint64_t seed = 0;
+  std::vector<RunRecord> runs;  // ordered by run index, independent of threads
+  // Host wall-clock for the whole campaign. Reported on stdout only — never
+  // serialized into the JSON/CSV reports, which must be thread-count
+  // invariant.
+  double wall_seconds = 0.0;
+};
+
+struct CampaignRunOptions {
+  int threads = 1;
+};
+
+// Executes one run to completion. Thread-safe: touches only its arguments.
+RunRecord ExecuteRun(const RunSpec& run);
+
+// Runs the whole campaign with `options.threads` workers.
+CampaignOutcome RunCampaign(const CampaignSpec& spec,
+                            const CampaignRunOptions& options);
+
+}  // namespace flashsim
+
+#endif  // SRC_CAMPAIGN_RUNNER_H_

@@ -19,6 +19,14 @@ constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t stream_index) {
+  uint64_t x = base_seed;
+  uint64_t h = SplitMix64(x);
+  x = h ^ (stream_index * 0x9e3779b97f4a7c15ull);
+  h = SplitMix64(x);
+  return h ^ stream_index;
+}
+
 Rng::Rng(uint64_t seed) { Reseed(seed); }
 
 void Rng::Reseed(uint64_t seed) {

@@ -54,6 +54,13 @@ class Rng {
   std::array<uint64_t, 4> state_;
 };
 
+// Derives a decorrelated child seed from (base_seed, stream_index) via two
+// splitmix64 rounds: equal inputs give equal outputs, and nearby indices land
+// in unrelated streams. The campaign runner uses this to give every run in a
+// grid an independent RNG stream from one campaign seed; workload drivers use
+// it to reseed looped streams per lap.
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t stream_index);
+
 }  // namespace flashsim
 
 #endif  // SRC_SIMCORE_RNG_H_

@@ -6,10 +6,6 @@
 
 namespace flashsim {
 
-const char* AccessPatternName(AccessPattern pattern) {
-  return pattern == AccessPattern::kSequential ? "sequential" : "random";
-}
-
 std::vector<uint64_t> Figure1RequestSizes() {
   // 0.5 KiB to 16 MiB, powers of two — the x-axis of Figure 1.
   std::vector<uint64_t> sizes;

@@ -12,12 +12,12 @@
 
 #include "src/blockdev/block_device.h"
 #include "src/simcore/rng.h"
+// AccessPattern/AccessPatternName historically lived here; they moved to the
+// workload library so probes and workload generators share one vocabulary.
+// Re-exported via this include for source compatibility.
+#include "src/workload/access_pattern.h"
 
 namespace flashsim {
-
-enum class AccessPattern { kSequential, kRandom };
-
-const char* AccessPatternName(AccessPattern pattern);
 
 struct BandwidthProbeConfig {
   IoKind kind = IoKind::kWrite;

@@ -1,0 +1,38 @@
+#include "src/workload/access_pattern.h"
+
+namespace flashsim {
+
+const char* AccessPatternName(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::kSequential:
+      return "sequential";
+    case AccessPattern::kRandom:
+      return "random";
+    case AccessPattern::kStrided:
+      return "strided";
+    case AccessPattern::kZipf:
+      return "zipf";
+    case AccessPattern::kHotCold:
+      return "hotcold";
+  }
+  return "unknown";
+}
+
+bool ParseAccessPattern(const std::string& text, AccessPattern* out) {
+  if (text == "sequential" || text == "seq") {
+    *out = AccessPattern::kSequential;
+  } else if (text == "random" || text == "rand") {
+    *out = AccessPattern::kRandom;
+  } else if (text == "strided" || text == "stride") {
+    *out = AccessPattern::kStrided;
+  } else if (text == "zipf") {
+    *out = AccessPattern::kZipf;
+  } else if (text == "hotcold" || text == "hot-cold") {
+    *out = AccessPattern::kHotCold;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,29 @@
+// Shared access-pattern vocabulary for workload generators and probes.
+//
+// Formerly private to wearlab/bandwidth_probe.h; hoisted here so the Figure 1
+// probe, the wear-out experiment, and the declarative workload generators all
+// agree on one enum. bandwidth_probe.h re-exports it, so existing call sites
+// compile unchanged.
+
+#ifndef SRC_WORKLOAD_ACCESS_PATTERN_H_
+#define SRC_WORKLOAD_ACCESS_PATTERN_H_
+
+#include <string>
+
+namespace flashsim {
+
+// Spatial shape of a request stream. kSequential and kRandom are the paper's
+// two patterns; the rest extend the space uFLIP-style: fixed-stride scans,
+// Zipf-skewed popularity, and an explicit hot/cold split.
+enum class AccessPattern { kSequential, kRandom, kStrided, kZipf, kHotCold };
+
+const char* AccessPatternName(AccessPattern pattern);
+
+// Parses a pattern name ("sequential"/"seq", "random"/"rand",
+// "strided"/"stride", "zipf", "hotcold"/"hot-cold"). Returns false and leaves
+// `*out` untouched on unknown input.
+bool ParseAccessPattern(const std::string& text, AccessPattern* out);
+
+}  // namespace flashsim
+
+#endif  // SRC_WORKLOAD_ACCESS_PATTERN_H_

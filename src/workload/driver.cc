@@ -1,0 +1,277 @@
+#include "src/workload/driver.h"
+
+#include <algorithm>
+
+#include "src/simcore/rng.h"
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+namespace {
+
+constexpr uint64_t kPrefillChunk = 4 * kMiB;
+
+uint32_t CurrentLevel(const HealthReport& health) {
+  return health.supported ? std::max(health.life_time_est_a, health.life_time_est_b)
+                          : 0;
+}
+
+// Polls the health registers, appends one WorkloadLevelRow per level the
+// indicator stepped since the last poll, and returns the current level.
+uint32_t PollHealth(BlockDevice& device, SimTime start, uint32_t* last_level,
+                    WorkloadRunResult* result) {
+  const uint32_t level = CurrentLevel(device.QueryHealth());
+  while (*last_level < level) {
+    ++*last_level;
+    result->levels.push_back(WorkloadLevelRow{
+        *last_level, result->TotalBytes(),
+        (device.clock().Now() - start).ToHoursF()});
+  }
+  return level;
+}
+
+uint64_t AutoPollBytes(const WorkloadDriveOptions& options, uint64_t target_bytes) {
+  if (options.health_poll_bytes > 0) {
+    return options.health_poll_bytes;
+  }
+  return std::max<uint64_t>(64 * kKiB, target_bytes / 64);
+}
+
+Status PrefillDevice(BlockDevice& device, uint64_t start, uint64_t length) {
+  const uint64_t end = std::min(start + length, device.CapacityBytes());
+  for (uint64_t off = start; off < end; off += kPrefillChunk) {
+    const IoRequest fill{IoKind::kWrite, off, std::min(kPrefillChunk, end - off)};
+    Result<IoCompletion> done = device.Submit(fill);
+    if (!done.ok()) {
+      return done.status();
+    }
+  }
+  return Status::Ok();
+}
+
+// Accumulates requests and flushes them through the bulk submission path,
+// folding completions into the run result.
+class BlockBatcher {
+ public:
+  BlockBatcher(BlockDevice& device, uint64_t batch_requests, WorkloadRunResult* result)
+      : device_(device),
+        batch_requests_(std::max<uint64_t>(1, batch_requests)),
+        result_(result) {}
+
+  // Returns false once the drive must stop (hard failure or wear-out).
+  bool Add(const WorkloadOp& op) {
+    pending_.push_back(IoRequest{op.kind, op.offset, op.length});
+    return pending_.size() < batch_requests_ || Flush();
+  }
+
+  bool Flush() {
+    if (pending_.empty()) {
+      return true;
+    }
+    const BatchCompletion done = device_.SubmitBatch(pending_.data(), pending_.size());
+    for (size_t i = 0; i < done.requests_completed; ++i) {
+      if (pending_[i].kind == IoKind::kRead) {
+        result_->bytes_read += pending_[i].length;
+      } else if (pending_[i].kind == IoKind::kWrite) {
+        result_->bytes_written += pending_[i].length;
+      }
+    }
+    result_->requests += done.requests_completed;
+    result_->io_time += done.service_time;
+    pending_.clear();
+    if (!done.status.ok()) {
+      result_->status = done.status;
+      result_->bricked = done.status.code() == StatusCode::kUnavailable;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  BlockDevice& device_;
+  uint64_t batch_requests_;
+  WorkloadRunResult* result_;
+  std::vector<IoRequest> pending_;
+};
+
+}  // namespace
+
+WorkloadRunResult RunWorkloadOnDevice(Workload& workload, BlockDevice& device,
+                                      const WorkloadDriveOptions& options) {
+  WorkloadRunResult result;
+  const uint64_t target = device.CapacityBytes();
+
+  if (options.prefill_for_reads && workload.MayRead()) {
+    uint64_t start = 0;
+    uint64_t length = 0;
+    workload.TouchRange(target, &start, &length);
+    const Status prefilled = PrefillDevice(device, start, length);
+    if (!prefilled.ok()) {
+      result.status = prefilled;
+      result.bricked = prefilled.code() == StatusCode::kUnavailable;
+      return result;
+    }
+  }
+
+  BlockBatcher batcher(device, options.batch_requests, &result);
+  const uint64_t poll_bytes = AutoPollBytes(options, target);
+  const SimTime start_time = device.clock().Now();
+  uint32_t last_level = CurrentLevel(device.QueryHealth());
+  uint64_t since_poll = 0;
+  uint64_t lap = 0;
+  workload.Reset(DeriveSeed(options.seed, lap));
+
+  for (;;) {
+    WorkloadOp op;
+    if (!workload.Next(target, &op)) {
+      if (!options.loop) {
+        break;
+      }
+      ++lap;
+      workload.Reset(DeriveSeed(options.seed, lap));
+      if (!workload.Next(target, &op)) {
+        break;  // stream is empty even after a restart
+      }
+    }
+    if (op.pre_idle.nanos() > 0) {
+      if (!batcher.Flush()) {
+        break;
+      }
+      device.clock().AdvanceWithCategory(op.pre_idle, "workload-idle");
+    }
+    if (!batcher.Add(op)) {
+      break;
+    }
+    since_poll += op.length;
+    if (since_poll >= poll_bytes) {
+      since_poll = 0;
+      if (!batcher.Flush()) {
+        break;
+      }
+      const uint32_t level = PollHealth(device, start_time, &last_level, &result);
+      if (options.stop_at_level > 0 && level >= options.stop_at_level) {
+        result.reached_level = true;
+        break;
+      }
+    }
+    if (options.max_bytes > 0 && result.TotalBytes() >= options.max_bytes) {
+      break;
+    }
+  }
+  batcher.Flush();
+  PollHealth(device, start_time, &last_level, &result);
+  result.elapsed = device.clock().Now() - start_time;
+  return result;
+}
+
+WorkloadRunResult RunWorkloadOnFilesystem(Workload& workload, Filesystem& fs,
+                                          const FileLayerLayout& layout,
+                                          const WorkloadDriveOptions& options) {
+  WorkloadRunResult result;
+  const uint64_t target = layout.TargetBytes();
+  if (layout.file_count == 0 || layout.file_bytes == 0) {
+    result.status = InvalidArgumentError("file layer layout is empty");
+    return result;
+  }
+
+  // Install phase: create and prefill the working files (excluded from the
+  // result's accounting, like the attack app's Install).
+  std::vector<std::string> paths;
+  paths.reserve(layout.file_count);
+  for (uint32_t i = 0; i < layout.file_count; ++i) {
+    paths.push_back(layout.dir + "/f" + std::to_string(i));
+  }
+  for (const std::string& path : paths) {
+    if (!fs.Exists(path)) {
+      const Status created = fs.Create(path);
+      if (!created.ok()) {
+        result.status = created;
+        return result;
+      }
+    }
+    for (uint64_t off = 0; off < layout.file_bytes; off += kPrefillChunk) {
+      const uint64_t len = std::min(kPrefillChunk, layout.file_bytes - off);
+      Result<SimDuration> wrote = fs.Write(path, off, len, /*sync=*/false);
+      if (!wrote.ok()) {
+        result.status = wrote.status();
+        result.bricked = wrote.status().code() == StatusCode::kUnavailable;
+        return result;
+      }
+    }
+    Result<SimDuration> synced = fs.Fsync(path);
+    if (!synced.ok()) {
+      result.status = synced.status();
+      result.bricked = synced.status().code() == StatusCode::kUnavailable;
+      return result;
+    }
+  }
+
+  BlockDevice& device = fs.device();
+  const uint64_t poll_bytes = AutoPollBytes(options, target);
+  const SimTime start_time = device.clock().Now();
+  uint32_t last_level = CurrentLevel(device.QueryHealth());
+  uint64_t since_poll = 0;
+  uint64_t lap = 0;
+  workload.Reset(DeriveSeed(options.seed, lap));
+
+  for (;;) {
+    WorkloadOp op;
+    if (!workload.Next(target, &op)) {
+      if (!options.loop) {
+        break;
+      }
+      ++lap;
+      workload.Reset(DeriveSeed(options.seed, lap));
+      if (!workload.Next(target, &op)) {
+        break;
+      }
+    }
+    if (op.pre_idle.nanos() > 0) {
+      device.clock().AdvanceWithCategory(op.pre_idle, "workload-idle");
+    }
+    if (op.kind == IoKind::kDiscard) {
+      continue;  // no file-layer equivalent of a raw discard
+    }
+    // Map the flat offset onto the file set; requests straddling a file
+    // boundary are clipped to the end of their file.
+    const uint64_t flat = std::min(op.offset, target - 1);
+    const uint32_t file_index = static_cast<uint32_t>(flat / layout.file_bytes);
+    const uint64_t in_file = flat % layout.file_bytes;
+    const uint64_t length =
+        std::min(op.length, layout.file_bytes - in_file);
+    const std::string& path = paths[file_index];
+    Result<SimDuration> io =
+        op.kind == IoKind::kRead
+            ? fs.Read(path, in_file, length)
+            : fs.Write(path, in_file, length, layout.sync);
+    if (!io.ok()) {
+      result.status = io.status();
+      result.bricked = io.status().code() == StatusCode::kUnavailable;
+      break;
+    }
+    ++result.requests;
+    result.io_time += io.value();
+    if (op.kind == IoKind::kRead) {
+      result.bytes_read += length;
+    } else {
+      result.bytes_written += length;
+    }
+    since_poll += length;
+    if (since_poll >= poll_bytes) {
+      since_poll = 0;
+      const uint32_t level = PollHealth(device, start_time, &last_level, &result);
+      if (options.stop_at_level > 0 && level >= options.stop_at_level) {
+        result.reached_level = true;
+        break;
+      }
+    }
+    if (options.max_bytes > 0 && result.TotalBytes() >= options.max_bytes) {
+      break;
+    }
+  }
+  PollHealth(device, start_time, &last_level, &result);
+  result.elapsed = device.clock().Now() - start_time;
+  return result;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,98 @@
+// Workload drivers: issue a Workload's stream against a real target.
+//
+// RunWorkloadOnDevice drives the block layer through the PR-1 SubmitBatch
+// bulk path (simulation-equivalent to one-by-one submission, much cheaper in
+// wall-clock). RunWorkloadOnFilesystem drives a mounted Filesystem — e.g. a
+// Phone's fs() — by mapping the workload's flat offset space across a set of
+// working files, the way the paper's attack app spreads its 100 MB files.
+//
+// Both drivers share stop conditions (stream end, byte cap, health-indicator
+// level) and record wear-indicator transitions as they pass, so one run can
+// serve either a bandwidth measurement or a time-to-wear experiment.
+
+#ifndef SRC_WORKLOAD_DRIVER_H_
+#define SRC_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/fs/filesystem.h"
+#include "src/simcore/sim_time.h"
+#include "src/workload/workload.h"
+
+namespace flashsim {
+
+struct WorkloadDriveOptions {
+  // Requests per SubmitBatch call at the block layer (1 = no batching).
+  // Simulated results are identical for any value.
+  uint64_t batch_requests = 32;
+  // Stop after this much workload I/O; 0 = run until the stream ends.
+  uint64_t max_bytes = 0;
+  // Restart the stream when it ends instead of stopping. Lap `k` is reseeded
+  // with DeriveSeed(seed, k), so laps stay decorrelated but deterministic.
+  bool loop = false;
+  // Stop once max(life_time_est_a, life_time_est_b) reaches this level
+  // (0 = no health-based stop).
+  uint32_t stop_at_level = 0;
+  // Health-poll cadence in workload bytes; 0 = auto (capacity/64, >= 64 KiB).
+  uint64_t health_poll_bytes = 0;
+  // Seed for Workload::Reset at the start of the drive (and lap reseeding).
+  uint64_t seed = 42;
+  // Prefill the target before driving a stream that may read, so reads hit
+  // mapped pages. Prefill traffic is excluded from the result's byte counts.
+  bool prefill_for_reads = true;
+};
+
+// One wear-indicator transition observed while driving.
+struct WorkloadLevelRow {
+  uint32_t level = 0;        // new max(Type A, Type B) level
+  uint64_t host_bytes = 0;   // workload bytes issued when it was observed
+  double hours = 0.0;        // simulated hours elapsed when it was observed
+};
+
+struct WorkloadRunResult {
+  uint64_t requests = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  SimDuration elapsed;  // simulated time including idle/think time
+  SimDuration io_time;  // device/fs service time only
+  std::vector<WorkloadLevelRow> levels;
+  bool reached_level = false;  // stop_at_level hit
+  bool bricked = false;        // target went read-only mid-run
+  Status status;               // first hard failure other than wear-out
+
+  uint64_t TotalBytes() const { return bytes_written + bytes_read; }
+  double WriteMiBps() const {
+    const double secs = elapsed.ToSecondsF();
+    return secs > 0 ? static_cast<double>(bytes_written) / (1024.0 * 1024.0) / secs
+                    : 0.0;
+  }
+};
+
+WorkloadRunResult RunWorkloadOnDevice(Workload& workload, BlockDevice& device,
+                                      const WorkloadDriveOptions& options);
+
+// Layout of the file-layer working set. `file_bytes` files are created and
+// prefilled up front (install phase, excluded from result accounting); the
+// workload's flat offsets then address file_count * file_bytes bytes spread
+// across them.
+struct FileLayerLayout {
+  uint32_t file_count = 4;
+  uint64_t file_bytes = 100ull * 1024 * 1024;
+  bool sync = true;  // issue synchronous writes (the paper's workload)
+  std::string dir = "workload";
+
+  uint64_t TargetBytes() const {
+    return static_cast<uint64_t>(file_count) * file_bytes;
+  }
+};
+
+WorkloadRunResult RunWorkloadOnFilesystem(Workload& workload, Filesystem& fs,
+                                          const FileLayerLayout& layout,
+                                          const WorkloadDriveOptions& options);
+
+}  // namespace flashsim
+
+#endif  // SRC_WORKLOAD_DRIVER_H_

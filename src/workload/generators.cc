@@ -1,0 +1,141 @@
+#include "src/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flashsim {
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta)
+    : n_(std::max<uint64_t>(1, n)), theta_(theta) {
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(std::min<uint64_t>(2, n_), theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (n_ >= 2 && uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double rank = static_cast<double>(n_) *
+                      std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  const uint64_t r = static_cast<uint64_t>(rank);
+  return r >= n_ ? n_ - 1 : r;
+}
+
+SyntheticWorkload::SyntheticWorkload(SyntheticWorkloadConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+void SyntheticWorkload::Reset(uint64_t seed) {
+  rng_.Reseed(seed);
+  cursor_ = 0;
+  issued_bytes_ = 0;
+  burst_count_ = 0;
+}
+
+void SyntheticWorkload::Geometry(uint64_t target_bytes, uint64_t* start,
+                                 uint64_t* slots) const {
+  const uint64_t begin = std::min(config_.start_offset, target_bytes);
+  const uint64_t avail = target_bytes - begin;
+  uint64_t span;
+  if (config_.span_fraction > 0.0) {
+    span = static_cast<uint64_t>(config_.span_fraction *
+                                 static_cast<double>(target_bytes));
+  } else if (config_.span_bytes > 0) {
+    span = config_.span_bytes;
+  } else {
+    span = avail;
+  }
+  span = std::min(span, avail);
+  *start = begin;
+  *slots = config_.request_bytes == 0 ? 0 : span / config_.request_bytes;
+}
+
+void SyntheticWorkload::TouchRange(uint64_t target_bytes, uint64_t* start,
+                                   uint64_t* length) const {
+  uint64_t slots = 0;
+  Geometry(target_bytes, start, &slots);
+  *length = slots * config_.request_bytes;
+}
+
+uint64_t SyntheticWorkload::NextSlot(uint64_t slots) {
+  switch (config_.pattern) {
+    case AccessPattern::kSequential:
+      return cursor_++ % slots;
+    case AccessPattern::kRandom:
+      return rng_.UniformU64(slots);
+    case AccessPattern::kStrided: {
+      const uint64_t stride_bytes =
+          config_.stride_bytes > 0 ? config_.stride_bytes : 8 * config_.request_bytes;
+      const uint64_t stride =
+          std::max<uint64_t>(1, stride_bytes / config_.request_bytes);
+      // Phase-shifted stride: each wrap of the span advances the phase by
+      // one, so over enough requests every slot is visited.
+      const uint64_t pos = cursor_++ * stride;
+      return (pos + pos / slots) % slots;
+    }
+    case AccessPattern::kZipf: {
+      if (zipf_ == nullptr || zipf_->n() != slots) {
+        zipf_ = std::make_unique<ZipfSampler>(slots, config_.zipf_theta);
+      }
+      return zipf_->Sample(rng_);
+    }
+    case AccessPattern::kHotCold: {
+      const uint64_t hot =
+          std::max<uint64_t>(1, static_cast<uint64_t>(config_.hot_fraction *
+                                                      static_cast<double>(slots)));
+      if (hot >= slots || rng_.Bernoulli(config_.hot_probability)) {
+        return rng_.UniformU64(std::min(hot, slots));
+      }
+      return hot + rng_.UniformU64(slots - hot);
+    }
+  }
+  return 0;
+}
+
+bool SyntheticWorkload::Next(uint64_t target_bytes, WorkloadOp* op) {
+  if (issued_bytes_ >= config_.total_bytes) {
+    return false;
+  }
+  uint64_t start = 0;
+  uint64_t slots = 0;
+  Geometry(target_bytes, &start, &slots);
+  if (slots == 0) {
+    return false;
+  }
+
+  op->pre_idle = SimDuration();
+  if (config_.burst_requests > 0 && burst_count_ >= config_.burst_requests) {
+    op->pre_idle = config_.idle_time;
+    burst_count_ = 0;
+  }
+  // The kind draw happens for every pattern (even pure-write streams draw
+  // nothing: Bernoulli(0) short-circuits), keeping streams bit-reproducible.
+  op->kind = rng_.Bernoulli(config_.read_fraction) ? IoKind::kRead : IoKind::kWrite;
+  op->offset = start + NextSlot(slots) * config_.request_bytes;
+  // The final request is clipped so the stream produces exactly total_bytes.
+  op->length = std::min(config_.request_bytes, config_.total_bytes - issued_bytes_);
+  issued_bytes_ += op->length;
+  ++burst_count_;
+  return true;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,101 @@
+// Composable synthetic workload generators.
+//
+// One config drives every spatial pattern (sequential / random / strided /
+// Zipf / hot-cold), a read/write mix, and a burst-idle duty cycle, so a
+// uFLIP-style grid of micro-patterns is just a list of these configs. All
+// randomness flows from a single Rng reseeded via Reset(), making streams
+// reproducible and campaign runs independent.
+
+#ifndef SRC_WORKLOAD_GENERATORS_H_
+#define SRC_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/simcore/rng.h"
+#include "src/workload/access_pattern.h"
+#include "src/workload/workload.h"
+
+namespace flashsim {
+
+struct SyntheticWorkloadConfig {
+  std::string name = "synthetic";
+  AccessPattern pattern = AccessPattern::kSequential;
+  uint64_t request_bytes = 4096;
+  // Stream length: the workload ends once this much I/O has been produced.
+  uint64_t total_bytes = 64ull * 1024 * 1024;
+  // Working region within the target. span_fraction (of the target size)
+  // wins when > 0; otherwise span_bytes, with 0 meaning the whole target.
+  uint64_t span_bytes = 0;
+  double span_fraction = 0.0;
+  uint64_t start_offset = 0;
+  // kStrided: distance between consecutive requests; 0 defaults to
+  // 8 * request_bytes. The phase shifts on each wrap so all slots are hit.
+  uint64_t stride_bytes = 0;
+  // kZipf: skew exponent (YCSB-style, ~0.99 is the classic hot distribution).
+  double zipf_theta = 0.99;
+  // kHotCold: leading `hot_fraction` of the span absorbs `hot_probability`
+  // of the requests.
+  double hot_fraction = 0.1;
+  double hot_probability = 0.9;
+  // Fraction of requests issued as reads (the rest are writes).
+  double read_fraction = 0.0;
+  // Burst-idle duty cycle: after every `burst_requests` operations the next
+  // one carries `idle_time` of think time. 0 disables idling.
+  uint64_t burst_requests = 0;
+  SimDuration idle_time;
+  uint64_t seed = 42;
+};
+
+// O(1)-memory Zipf(theta) sampler over ranks [0, n) using Gray et al.'s
+// rejection-free approximation (the YCSB generator). Rank 0 is hottest.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_ = 1;
+  double theta_ = 0.99;
+  double zetan_ = 1.0;
+  double eta_ = 0.0;
+  double alpha_ = 0.0;
+};
+
+class SyntheticWorkload : public Workload {
+ public:
+  explicit SyntheticWorkload(SyntheticWorkloadConfig config);
+
+  bool Next(uint64_t target_bytes, WorkloadOp* op) override;
+  void Reset(uint64_t seed) override;
+  bool MayRead() const override { return config_.read_fraction > 0.0; }
+  void TouchRange(uint64_t target_bytes, uint64_t* start,
+                  uint64_t* length) const override;
+  const std::string& name() const override { return config_.name; }
+
+  const SyntheticWorkloadConfig& config() const { return config_; }
+
+  // Region the generator addresses on a target of `target_bytes`:
+  // [start, start + slots * request). slots == 0 when the target is smaller
+  // than one request.
+  void Geometry(uint64_t target_bytes, uint64_t* start, uint64_t* slots) const;
+
+ private:
+  uint64_t NextSlot(uint64_t slots);
+
+  SyntheticWorkloadConfig config_;
+  Rng rng_;
+  uint64_t cursor_ = 0;
+  uint64_t issued_bytes_ = 0;
+  uint64_t burst_count_ = 0;
+  // Lazily built sampler; rebuilt when the slot count changes.
+  std::unique_ptr<ZipfSampler> zipf_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_WORKLOAD_GENERATORS_H_

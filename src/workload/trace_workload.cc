@@ -1,0 +1,58 @@
+#include "src/workload/trace_workload.h"
+
+#include <utility>
+
+namespace flashsim {
+
+TraceWorkload::TraceWorkload(std::vector<TraceEntry> entries, std::string name)
+    : entries_(std::move(entries)), name_(std::move(name)) {
+  for (const TraceEntry& entry : entries_) {
+    if (entry.kind == IoKind::kRead) {
+      has_reads_ = true;
+      break;
+    }
+  }
+}
+
+TraceWorkload TraceWorkload::FromRecorder(const TraceRecorder& recorder,
+                                          std::string name) {
+  return TraceWorkload(recorder.entries(), std::move(name));
+}
+
+void TraceWorkload::Reset(uint64_t seed) {
+  (void)seed;
+  cursor_ = 0;
+  prev_completion_ = SimTime();
+}
+
+SimDuration TraceWorkload::RecordedIoTime() const {
+  SimDuration total;
+  for (const TraceEntry& entry : entries_) {
+    total += entry.service_time;
+  }
+  return total;
+}
+
+bool TraceWorkload::Next(uint64_t target_bytes, WorkloadOp* op) {
+  SimDuration idle;
+  while (cursor_ < entries_.size()) {
+    const TraceEntry& entry = entries_[cursor_++];
+    // Preserve recorded think time between a request's issue and the
+    // previous request's completion, accumulating across skipped entries.
+    if (entry.issue_time > prev_completion_) {
+      idle += entry.issue_time - prev_completion_;
+    }
+    prev_completion_ = entry.issue_time + entry.service_time;
+    if (entry.length > target_bytes) {
+      continue;  // cannot fit this request on the target at all
+    }
+    op->pre_idle = idle;
+    op->kind = entry.kind;
+    op->length = entry.length;
+    op->offset = entry.offset % (target_bytes - entry.length + 1);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace flashsim

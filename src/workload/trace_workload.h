@@ -1,0 +1,56 @@
+// TraceWorkload: replays a TraceRecorder capture as a workload stream.
+//
+// Turns the "record on device A, replay on device B" methodology into an
+// ordinary Workload: recorded inter-arrival gaps become op think time, so
+// the replay preserves idle periods exactly like blockdev's ReplayTrace, but
+// the stream can now be driven through any workload driver (bulk block-layer
+// submission, campaign runs) and mixed freely with synthetic generators.
+
+#ifndef SRC_WORKLOAD_TRACE_WORKLOAD_H_
+#define SRC_WORKLOAD_TRACE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/blockdev/iotrace.h"
+#include "src/workload/workload.h"
+
+namespace flashsim {
+
+class TraceWorkload : public Workload {
+ public:
+  // Copies `entries`; the recorder/trace needs not outlive the workload.
+  explicit TraceWorkload(std::vector<TraceEntry> entries,
+                         std::string name = "trace");
+
+  static TraceWorkload FromRecorder(const TraceRecorder& recorder,
+                                    std::string name = "trace");
+
+  // Offsets are wrapped so each request fits a target of `target_bytes`
+  // (same rule as ReplayTrace); entries larger than the target are skipped.
+  bool Next(uint64_t target_bytes, WorkloadOp* op) override;
+
+  // Rewinds; the seed is unused (a trace has no randomness).
+  void Reset(uint64_t seed) override;
+
+  bool MayRead() const override { return has_reads_; }
+  const std::string& name() const override { return name_; }
+
+  size_t entry_count() const { return entries_.size(); }
+
+  // Total device time the recording spent serving these requests — the
+  // baseline for slowdown comparisons against a replay target.
+  SimDuration RecordedIoTime() const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+  std::string name_;
+  size_t cursor_ = 0;
+  SimTime prev_completion_;
+  bool has_reads_ = false;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_WORKLOAD_TRACE_WORKLOAD_H_

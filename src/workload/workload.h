@@ -1,0 +1,61 @@
+// Declarative workload model: a Workload is a deterministic, seedable stream
+// of timed I/O operations, independent of what it is driven against. Drivers
+// (driver.h) issue the stream at the block-device layer (through the bulk
+// SubmitBatch path) or at the file-system layer (through a Phone's mounted
+// Filesystem), so one workload definition serves both halves of the paper's
+// methodology: raw-chip probes and in-phone app traffic.
+
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/blockdev/block_device.h"
+#include "src/simcore/sim_time.h"
+
+namespace flashsim {
+
+// One operation in a workload stream. Offsets address a flat byte space of
+// the driver-provided target size; `pre_idle` is think time the driver lets
+// pass on the simulated clock before issuing the request (burst/idle duty
+// cycles, recorded inter-arrival gaps).
+struct WorkloadOp {
+  IoKind kind = IoKind::kWrite;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  SimDuration pre_idle;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  // Produces the next operation for a target of `target_bytes` addressable
+  // bytes, which must stay constant for the duration of one drive. Returns
+  // false when the stream is exhausted.
+  virtual bool Next(uint64_t target_bytes, WorkloadOp* op) = 0;
+
+  // Rewinds the stream and re-seeds any randomness. Generators with no
+  // random component ignore the seed but still rewind.
+  virtual void Reset(uint64_t seed) = 0;
+
+  // True if the stream may contain reads; drivers use this to prefill the
+  // target (reading a never-written page is an error in the simulator).
+  virtual bool MayRead() const { return false; }
+
+  // Byte range [*start, *start + *length) the stream may touch on a target
+  // of `target_bytes`. Drivers prefill exactly this range before driving a
+  // read-bearing stream. The default is the whole target.
+  virtual void TouchRange(uint64_t target_bytes, uint64_t* start,
+                          uint64_t* length) const {
+    *start = 0;
+    *length = target_bytes;
+  }
+
+  virtual const std::string& name() const = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

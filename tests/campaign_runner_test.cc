@@ -1,0 +1,144 @@
+#include "src/campaign/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/campaign/report.h"
+#include "src/campaign/spec.h"
+#include "src/simcore/units.h"
+
+namespace flashsim {
+namespace {
+
+// Small but representative: both layers, both metrics, several generators,
+// heavy capacity scaling so the whole campaign stays unit-test fast.
+const char kTestSpec[] = R"(
+campaign runner_test seed=21 scale=64x1
+
+workload seq pattern=sequential request=64KiB total=1MiB span=25%
+workload rnd pattern=random request=4KiB total=256KiB span=25%
+workload zip pattern=zipf request=4KiB total=256KiB span=25%
+
+grid bw layer=block metric=bandwidth devices=emmc8,samsung_s6 workloads=seq,rnd,zip
+grid ph layer=phone metric=bandwidth devices=moto_e8 fs=ext4 workloads=rnd utilization=0.2 files=2x16MiB
+grid wr layer=block metric=wear scale=64x64 devices=emmc8 workloads=rnd target_level=2
+)";
+
+CampaignSpec ParseTestSpec() {
+  const Result<CampaignSpec> parsed = ParseCampaignSpec(kTestSpec);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.value();
+}
+
+CampaignOutcome RunWithThreads(int threads) {
+  CampaignRunOptions options;
+  options.threads = threads;
+  return RunCampaign(ParseTestSpec(), options);
+}
+
+std::string JsonOf(const CampaignOutcome& outcome) {
+  std::ostringstream os;
+  WriteCampaignJson(os, outcome);
+  return os.str();
+}
+
+std::string CsvOf(const CampaignOutcome& outcome) {
+  std::ostringstream os;
+  WriteCampaignCsv(os, outcome);
+  return os.str();
+}
+
+// The determinism contract: reports are byte-identical for any thread count.
+TEST(CampaignRunnerTest, ReportsAreThreadCountInvariant) {
+  const CampaignOutcome serial = RunWithThreads(1);
+  const CampaignOutcome parallel = RunWithThreads(8);
+
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  EXPECT_EQ(JsonOf(serial), JsonOf(parallel));
+  EXPECT_EQ(CsvOf(serial), CsvOf(parallel));
+}
+
+TEST(CampaignRunnerTest, AllRunsSucceedAndArriveInIndexOrder) {
+  const CampaignOutcome outcome = RunWithThreads(4);
+  ASSERT_EQ(outcome.runs.size(), 8u);
+  for (size_t i = 0; i < outcome.runs.size(); ++i) {
+    const RunRecord& run = outcome.runs[i];
+    EXPECT_EQ(run.index, i);
+    EXPECT_TRUE(run.status.ok()) << run.grid << "/" << run.device << ": "
+                                 << run.status.ToString();
+    EXPECT_GT(run.requests, 0u) << i;
+    EXPECT_GT(run.bytes_written, 0u) << i;
+    EXPECT_GT(run.write_mib_per_sec, 0.0) << i;
+  }
+}
+
+TEST(CampaignRunnerTest, RunsConsumeIndependentSeeds) {
+  const CampaignOutcome outcome = RunWithThreads(2);
+  std::set<uint64_t> seeds;
+  for (const RunRecord& run : outcome.runs) {
+    seeds.insert(run.seed);
+  }
+  EXPECT_EQ(seeds.size(), outcome.runs.size());
+}
+
+TEST(CampaignRunnerTest, BandwidthRunWritesTheWorkloadTotal) {
+  const std::vector<RunSpec> runs = ExpandRuns(ParseTestSpec());
+  ASSERT_FALSE(runs.empty());
+  const RunRecord record = ExecuteRun(runs[0]);  // bw/emmc8/seq
+  ASSERT_TRUE(record.status.ok()) << record.status.ToString();
+  EXPECT_EQ(record.bytes_written, 1 * kMiB);
+  EXPECT_EQ(record.fs, "-");
+  EXPECT_DOUBLE_EQ(record.fs_wa, 1.0);
+  EXPECT_GE(record.device_wa, 1.0);
+}
+
+TEST(CampaignRunnerTest, WearRunStopsAtTargetLevelWithTransitions) {
+  const std::vector<RunSpec> runs = ExpandRuns(ParseTestSpec());
+  const RunRecord record = ExecuteRun(runs.back());  // wr grid
+  ASSERT_TRUE(record.status.ok()) << record.status.ToString();
+  EXPECT_TRUE(record.reached_target);
+  EXPECT_GE(std::max(record.level_a, record.level_b), 2u);
+  ASSERT_FALSE(record.levels.empty());
+  // Transitions are monotone in bytes and time.
+  for (size_t i = 1; i < record.levels.size(); ++i) {
+    EXPECT_GT(record.levels[i].level, record.levels[i - 1].level);
+    EXPECT_GE(record.levels[i].host_bytes, record.levels[i - 1].host_bytes);
+    EXPECT_GE(record.levels[i].hours, record.levels[i - 1].hours);
+  }
+}
+
+TEST(CampaignRunnerTest, PhoneRunReportsFsAmplification) {
+  const std::vector<RunSpec> runs = ExpandRuns(ParseTestSpec());
+  const RunSpec* phone_run = nullptr;
+  for (const RunSpec& run : runs) {
+    if (run.layer == RunLayer::kPhone) {
+      phone_run = &run;
+    }
+  }
+  ASSERT_NE(phone_run, nullptr);
+  const RunRecord record = ExecuteRun(*phone_run);
+  ASSERT_TRUE(record.status.ok()) << record.status.ToString();
+  EXPECT_EQ(record.fs, "Ext4");
+  EXPECT_GE(record.fs_wa, 1.0);
+}
+
+TEST(CampaignRunnerTest, JsonExcludesWallClock) {
+  CampaignOutcome outcome = RunWithThreads(1);
+  outcome.wall_seconds = 123.456;
+  std::string json = JsonOf(outcome);
+  EXPECT_EQ(json.find("wall"), std::string::npos);
+  EXPECT_EQ(json.find("123.456"), std::string::npos);
+}
+
+TEST(CampaignRunnerTest, ExecuteRunRejectsUnknownDevice) {
+  RunSpec run;
+  run.device = "floppy";
+  const RunRecord record = ExecuteRun(run);
+  EXPECT_FALSE(record.status.ok());
+}
+
+}  // namespace
+}  // namespace flashsim

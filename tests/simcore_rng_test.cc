@@ -165,6 +165,43 @@ TEST(RngTest, GaussianMeanAndVariance) {
   EXPECT_NEAR(sum_sq / n, 1.0, 0.1);
 }
 
+TEST(DeriveSeedTest, DeterministicForSameInputs) {
+  EXPECT_EQ(DeriveSeed(42, 0), DeriveSeed(42, 0));
+  EXPECT_EQ(DeriveSeed(0, 7), DeriveSeed(0, 7));
+}
+
+TEST(DeriveSeedTest, DistinctIndicesDistinctSeeds) {
+  std::vector<uint64_t> seeds;
+  for (uint64_t i = 0; i < 256; ++i) {
+    seeds.push_back(DeriveSeed(42, i));
+  }
+  for (size_t a = 0; a < seeds.size(); ++a) {
+    for (size_t b = a + 1; b < seeds.size(); ++b) {
+      EXPECT_NE(seeds[a], seeds[b]) << "indices " << a << " and " << b;
+    }
+  }
+}
+
+TEST(DeriveSeedTest, ChildDiffersFromBase) {
+  for (uint64_t base : {0ull, 1ull, 42ull, ~0ull}) {
+    EXPECT_NE(DeriveSeed(base, 0), base);
+    EXPECT_NE(DeriveSeed(base, 1), base);
+  }
+}
+
+TEST(DeriveSeedTest, DerivedStreamsDecorrelated) {
+  // Sibling streams from consecutive indices must not collide element-wise.
+  Rng a(DeriveSeed(42, 0));
+  Rng b(DeriveSeed(42, 1));
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
 TEST(RngTest, ExponentialMean) {
   Rng rng(31);
   double sum = 0;

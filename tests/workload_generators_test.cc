@@ -1,0 +1,285 @@
+#include "src/workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/simcore/units.h"
+#include "src/workload/access_pattern.h"
+
+namespace flashsim {
+namespace {
+
+constexpr uint64_t kTarget = 16 * kMiB;
+
+std::vector<WorkloadOp> Drain(Workload& workload, uint64_t target = kTarget) {
+  std::vector<WorkloadOp> ops;
+  WorkloadOp op;
+  while (workload.Next(target, &op)) {
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+SyntheticWorkloadConfig BaseConfig(AccessPattern pattern) {
+  SyntheticWorkloadConfig config;
+  config.pattern = pattern;
+  config.request_bytes = 4096;
+  config.total_bytes = 1 * kMiB;
+  return config;
+}
+
+TEST(AccessPatternTest, ParseAcceptsCanonicalNamesAndAliases) {
+  const struct {
+    const char* text;
+    AccessPattern want;
+  } cases[] = {
+      {"sequential", AccessPattern::kSequential},
+      {"seq", AccessPattern::kSequential},
+      {"random", AccessPattern::kRandom},
+      {"rand", AccessPattern::kRandom},
+      {"strided", AccessPattern::kStrided},
+      {"stride", AccessPattern::kStrided},
+      {"zipf", AccessPattern::kZipf},
+      {"hotcold", AccessPattern::kHotCold},
+      {"hot-cold", AccessPattern::kHotCold},
+  };
+  for (const auto& c : cases) {
+    AccessPattern got = AccessPattern::kSequential;
+    EXPECT_TRUE(ParseAccessPattern(c.text, &got)) << c.text;
+    EXPECT_EQ(got, c.want) << c.text;
+  }
+  AccessPattern untouched = AccessPattern::kZipf;
+  EXPECT_FALSE(ParseAccessPattern("bogus", &untouched));
+  EXPECT_EQ(untouched, AccessPattern::kZipf);
+}
+
+TEST(AccessPatternTest, NamesRoundTripThroughParse) {
+  for (AccessPattern p :
+       {AccessPattern::kSequential, AccessPattern::kRandom, AccessPattern::kStrided,
+        AccessPattern::kZipf, AccessPattern::kHotCold}) {
+    AccessPattern got = AccessPattern::kSequential;
+    ASSERT_TRUE(ParseAccessPattern(AccessPatternName(p), &got));
+    EXPECT_EQ(got, p);
+  }
+}
+
+TEST(SyntheticWorkloadTest, SequentialCoversSpanInOrder) {
+  SyntheticWorkloadConfig config = BaseConfig(AccessPattern::kSequential);
+  config.total_bytes = 64 * 4096;
+  SyntheticWorkload workload(config);
+  const std::vector<WorkloadOp> ops = Drain(workload);
+  ASSERT_EQ(ops.size(), 64u);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i].offset, i * 4096) << i;
+    EXPECT_EQ(ops[i].length, 4096u);
+    EXPECT_EQ(ops[i].kind, IoKind::kWrite);
+  }
+}
+
+TEST(SyntheticWorkloadTest, StreamProducesExactlyTotalBytes) {
+  for (AccessPattern pattern :
+       {AccessPattern::kSequential, AccessPattern::kRandom, AccessPattern::kStrided,
+        AccessPattern::kZipf, AccessPattern::kHotCold}) {
+    SyntheticWorkload workload(BaseConfig(pattern));
+    uint64_t total = 0;
+    for (const WorkloadOp& op : Drain(workload)) {
+      total += op.length;
+    }
+    EXPECT_EQ(total, 1 * kMiB) << AccessPatternName(pattern);
+  }
+}
+
+TEST(SyntheticWorkloadTest, AllPatternsStayInsideSpan) {
+  for (AccessPattern pattern :
+       {AccessPattern::kSequential, AccessPattern::kRandom, AccessPattern::kStrided,
+        AccessPattern::kZipf, AccessPattern::kHotCold}) {
+    SyntheticWorkloadConfig config = BaseConfig(pattern);
+    config.span_bytes = 2 * kMiB;
+    config.start_offset = 4 * kMiB;
+    SyntheticWorkload workload(config);
+    for (const WorkloadOp& op : Drain(workload)) {
+      EXPECT_GE(op.offset, 4 * kMiB) << AccessPatternName(pattern);
+      EXPECT_LE(op.offset + op.length, 6 * kMiB) << AccessPatternName(pattern);
+      EXPECT_EQ(op.offset % 4096, 0u) << AccessPatternName(pattern);
+    }
+  }
+}
+
+TEST(SyntheticWorkloadTest, SpanFractionWinsOverSpanBytes) {
+  SyntheticWorkloadConfig config = BaseConfig(AccessPattern::kRandom);
+  config.span_bytes = 8 * kMiB;
+  config.span_fraction = 0.25;  // 4 MiB of the 16 MiB target
+  SyntheticWorkload workload(config);
+  uint64_t start = 0;
+  uint64_t length = 0;
+  workload.TouchRange(kTarget, &start, &length);
+  EXPECT_EQ(start, 0u);
+  EXPECT_EQ(length, 4 * kMiB);
+  for (const WorkloadOp& op : Drain(workload)) {
+    EXPECT_LE(op.offset + op.length, 4 * kMiB);
+  }
+}
+
+TEST(SyntheticWorkloadTest, SameSeedSameStream) {
+  SyntheticWorkloadConfig config = BaseConfig(AccessPattern::kRandom);
+  SyntheticWorkload a(config);
+  SyntheticWorkload b(config);
+  a.Reset(99);
+  b.Reset(99);
+  const std::vector<WorkloadOp> ops_a = Drain(a);
+  const std::vector<WorkloadOp> ops_b = Drain(b);
+  ASSERT_EQ(ops_a.size(), ops_b.size());
+  for (size_t i = 0; i < ops_a.size(); ++i) {
+    EXPECT_EQ(ops_a[i].offset, ops_b[i].offset) << i;
+    EXPECT_EQ(ops_a[i].kind, ops_b[i].kind) << i;
+  }
+}
+
+TEST(SyntheticWorkloadTest, DifferentSeedsDifferentStreams) {
+  SyntheticWorkloadConfig config = BaseConfig(AccessPattern::kRandom);
+  SyntheticWorkload a(config);
+  SyntheticWorkload b(config);
+  a.Reset(1);
+  b.Reset(2);
+  const std::vector<WorkloadOp> ops_a = Drain(a);
+  const std::vector<WorkloadOp> ops_b = Drain(b);
+  ASSERT_EQ(ops_a.size(), ops_b.size());
+  size_t differing = 0;
+  for (size_t i = 0; i < ops_a.size(); ++i) {
+    differing += ops_a[i].offset != ops_b[i].offset ? 1 : 0;
+  }
+  EXPECT_GT(differing, ops_a.size() / 2);
+}
+
+TEST(SyntheticWorkloadTest, ResetRewindsTheStream) {
+  SyntheticWorkload workload(BaseConfig(AccessPattern::kZipf));
+  workload.Reset(5);
+  const std::vector<WorkloadOp> first = Drain(workload);
+  WorkloadOp op;
+  EXPECT_FALSE(workload.Next(kTarget, &op));  // exhausted
+  workload.Reset(5);
+  const std::vector<WorkloadOp> second = Drain(workload);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].offset, second[i].offset) << i;
+  }
+}
+
+TEST(SyntheticWorkloadTest, StridedEventuallyCoversAllSlots) {
+  SyntheticWorkloadConfig config = BaseConfig(AccessPattern::kStrided);
+  config.span_bytes = 64 * 4096;
+  config.stride_bytes = 4 * 4096;
+  config.total_bytes = 64 * 4096;
+  SyntheticWorkload workload(config);
+  std::set<uint64_t> offsets;
+  for (const WorkloadOp& op : Drain(workload)) {
+    offsets.insert(op.offset);
+  }
+  // One full pass over the span must hit every slot exactly once (the phase
+  // shifts on wrap so the stride does not revisit the same residue class).
+  EXPECT_EQ(offsets.size(), 64u);
+}
+
+TEST(SyntheticWorkloadTest, ZipfConcentratesOnHotSlots) {
+  SyntheticWorkloadConfig config = BaseConfig(AccessPattern::kZipf);
+  config.span_bytes = 256 * 4096;
+  config.total_bytes = 4 * kMiB;
+  config.zipf_theta = 0.99;
+  SyntheticWorkload workload(config);
+  std::map<uint64_t, uint64_t> hits;
+  uint64_t total = 0;
+  for (const WorkloadOp& op : Drain(workload)) {
+    ++hits[op.offset];
+    ++total;
+  }
+  uint64_t hottest = 0;
+  for (const auto& [offset, count] : hits) {
+    hottest = std::max(hottest, count);
+  }
+  // Uniform would give total/256 per slot; Zipf(0.99) gives the hottest slot
+  // a large multiple of that.
+  EXPECT_GT(hottest, 5 * total / 256);
+}
+
+TEST(SyntheticWorkloadTest, HotColdRespectsHotProbability) {
+  SyntheticWorkloadConfig config = BaseConfig(AccessPattern::kHotCold);
+  config.span_bytes = 1 * kMiB;
+  config.total_bytes = 4 * kMiB;
+  config.hot_fraction = 0.1;
+  config.hot_probability = 0.9;
+  SyntheticWorkload workload(config);
+  const uint64_t hot_end = static_cast<uint64_t>(0.1 * (1 * kMiB));
+  uint64_t hot_hits = 0;
+  uint64_t total = 0;
+  for (const WorkloadOp& op : Drain(workload)) {
+    hot_hits += op.offset < hot_end ? 1 : 0;
+    ++total;
+  }
+  EXPECT_NEAR(static_cast<double>(hot_hits) / static_cast<double>(total), 0.9, 0.05);
+}
+
+TEST(SyntheticWorkloadTest, ReadFractionMixesKinds) {
+  SyntheticWorkloadConfig config = BaseConfig(AccessPattern::kRandom);
+  config.total_bytes = 4 * kMiB;
+  config.read_fraction = 0.3;
+  SyntheticWorkload workload(config);
+  EXPECT_TRUE(workload.MayRead());
+  uint64_t reads = 0;
+  uint64_t total = 0;
+  for (const WorkloadOp& op : Drain(workload)) {
+    reads += op.kind == IoKind::kRead ? 1 : 0;
+    ++total;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / static_cast<double>(total), 0.3, 0.05);
+
+  SyntheticWorkload write_only(BaseConfig(AccessPattern::kRandom));
+  EXPECT_FALSE(write_only.MayRead());
+}
+
+TEST(SyntheticWorkloadTest, BurstIdleDutyCycle) {
+  SyntheticWorkloadConfig config = BaseConfig(AccessPattern::kSequential);
+  config.total_bytes = 64 * 4096;
+  config.burst_requests = 8;
+  config.idle_time = SimDuration::Millis(5);
+  SyntheticWorkload workload(config);
+  const std::vector<WorkloadOp> ops = Drain(workload);
+  ASSERT_EQ(ops.size(), 64u);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0 && i % 8 == 0) {
+      EXPECT_EQ(ops[i].pre_idle.nanos(), SimDuration::Millis(5).nanos()) << i;
+    } else {
+      EXPECT_EQ(ops[i].pre_idle.nanos(), 0) << i;
+    }
+  }
+}
+
+TEST(SyntheticWorkloadTest, FinalRequestClippedToTotal) {
+  SyntheticWorkloadConfig config = BaseConfig(AccessPattern::kSequential);
+  config.request_bytes = 4096;
+  config.total_bytes = 4096 * 3 + 1000;  // not a multiple of the request size
+  SyntheticWorkload workload(config);
+  const std::vector<WorkloadOp> ops = Drain(workload);
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops.back().length, 1000u);
+}
+
+TEST(ZipfSamplerTest, SamplesInRangeAndSkewed) {
+  ZipfSampler sampler(100, 0.99);
+  Rng rng(7);
+  std::vector<uint64_t> hits(100, 0);
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t rank = sampler.Sample(rng);
+    ASSERT_LT(rank, 100u);
+    ++hits[rank];
+  }
+  // Rank 0 is the hottest and the tail decays monotonically in aggregate.
+  EXPECT_GT(hits[0], hits[50]);
+  EXPECT_GT(hits[0], static_cast<uint64_t>(kSamples) / 100);
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,133 @@
+#include "src/workload/trace_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/blockdev/iotrace.h"
+#include "src/simcore/units.h"
+#include "src/workload/driver.h"
+#include "src/workload/generators.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+TraceEntry MakeEntry(uint64_t offset, uint64_t length, IoKind kind = IoKind::kWrite,
+                     int64_t issue_ns = 0, int64_t service_ns = 1000) {
+  TraceEntry entry;
+  entry.kind = kind;
+  entry.offset = offset;
+  entry.length = length;
+  entry.issue_time = SimTime() + SimDuration::Nanos(issue_ns);
+  entry.service_time = SimDuration::Nanos(service_ns);
+  return entry;
+}
+
+// The round-trip the issue pins down: record a synthetic workload on one
+// device, replay the capture on a fresh device of the same type and seed,
+// and expect identical byte counts and identical wear.
+TEST(TraceRoundTripTest, ReplayMatchesCaptureBytesAndWear) {
+  SyntheticWorkloadConfig config;
+  config.pattern = AccessPattern::kRandom;
+  config.request_bytes = 4096;
+  config.total_bytes = 4 * kMiB;
+  SyntheticWorkload source(config);
+
+  std::unique_ptr<FlashDevice> recorded_on = MakeTinyDevice(/*seed=*/5);
+  TraceRecorder trace;
+  recorded_on->SetTraceRecorder(&trace);
+  WorkloadDriveOptions opts;
+  opts.seed = 11;
+  const WorkloadRunResult capture = RunWorkloadOnDevice(source, *recorded_on, opts);
+  recorded_on->SetTraceRecorder(nullptr);
+  ASSERT_TRUE(capture.status.ok());
+  ASSERT_EQ(capture.bytes_written, 4 * kMiB);
+  ASSERT_EQ(trace.dropped(), 0u);
+
+  TraceWorkload replay = TraceWorkload::FromRecorder(trace);
+  std::unique_ptr<FlashDevice> replayed_on = MakeTinyDevice(/*seed=*/5);
+  const WorkloadRunResult result = RunWorkloadOnDevice(replay, *replayed_on, opts);
+  ASSERT_TRUE(result.status.ok());
+
+  // Identical byte counts...
+  EXPECT_EQ(result.bytes_written, capture.bytes_written);
+  EXPECT_EQ(result.bytes_read, capture.bytes_read);
+  EXPECT_EQ(result.requests, capture.requests);
+
+  // ...and identical wear: same NAND traffic, same erases, same health.
+  const FtlStats recorded_stats = recorded_on->ftl().Stats();
+  const FtlStats replayed_stats = replayed_on->ftl().Stats();
+  EXPECT_EQ(replayed_stats.host_pages_written, recorded_stats.host_pages_written);
+  EXPECT_EQ(replayed_stats.nand_pages_written, recorded_stats.nand_pages_written);
+  EXPECT_EQ(replayed_stats.erases, recorded_stats.erases);
+  EXPECT_DOUBLE_EQ(replayed_stats.WriteAmplification(),
+                   recorded_stats.WriteAmplification());
+  EXPECT_EQ(replayed_on->QueryHealth().life_time_est_a,
+            recorded_on->QueryHealth().life_time_est_a);
+  EXPECT_EQ(replayed_on->QueryHealth().life_time_est_b,
+            recorded_on->QueryHealth().life_time_est_b);
+
+  // The replay target is byte-for-byte the capture device, so service time
+  // matches too.
+  EXPECT_EQ(result.io_time.nanos(), capture.io_time.nanos());
+}
+
+TEST(TraceWorkloadTest, FromRecorderPreservesEntries) {
+  std::vector<TraceEntry> entries = {MakeEntry(0, 4096), MakeEntry(8192, 4096)};
+  TraceWorkload workload(entries, "t");
+  EXPECT_EQ(workload.entry_count(), 2u);
+  EXPECT_EQ(workload.RecordedIoTime().nanos(), 2000);
+  EXPECT_FALSE(workload.MayRead());
+
+  entries.push_back(MakeEntry(0, 4096, IoKind::kRead));
+  TraceWorkload with_read(entries, "t");
+  EXPECT_TRUE(with_read.MayRead());
+}
+
+TEST(TraceWorkloadTest, PreservesInterArrivalGaps) {
+  // Second request issued 1 ms after the first completes (issue 0 + service
+  // 1000 ns -> completion at 1000 ns; next issue at 1001000 ns).
+  std::vector<TraceEntry> entries = {
+      MakeEntry(0, 4096, IoKind::kWrite, /*issue_ns=*/0, /*service_ns=*/1000),
+      MakeEntry(4096, 4096, IoKind::kWrite, /*issue_ns=*/1001000),
+  };
+  TraceWorkload workload(entries, "t");
+  WorkloadOp op;
+  ASSERT_TRUE(workload.Next(1 * kMiB, &op));
+  EXPECT_EQ(op.pre_idle.nanos(), 0);
+  ASSERT_TRUE(workload.Next(1 * kMiB, &op));
+  EXPECT_EQ(op.pre_idle.nanos(), 1000000);
+}
+
+TEST(TraceWorkloadTest, WrapsOffsetsToTarget) {
+  std::vector<TraceEntry> entries = {MakeEntry(10 * kMiB, 4096)};
+  TraceWorkload workload(entries, "t");
+  WorkloadOp op;
+  ASSERT_TRUE(workload.Next(1 * kMiB, &op));
+  EXPECT_LE(op.offset + op.length, 1 * kMiB);
+}
+
+TEST(TraceWorkloadTest, SkipsEntriesLargerThanTarget) {
+  std::vector<TraceEntry> entries = {MakeEntry(0, 2 * kMiB), MakeEntry(0, 4096)};
+  TraceWorkload workload(entries, "t");
+  WorkloadOp op;
+  ASSERT_TRUE(workload.Next(1 * kMiB, &op));
+  EXPECT_EQ(op.length, 4096u);
+  EXPECT_FALSE(workload.Next(1 * kMiB, &op));
+}
+
+TEST(TraceWorkloadTest, ResetRewinds) {
+  std::vector<TraceEntry> entries = {MakeEntry(0, 4096), MakeEntry(4096, 4096)};
+  TraceWorkload workload(entries, "t");
+  WorkloadOp op;
+  while (workload.Next(1 * kMiB, &op)) {
+  }
+  workload.Reset(/*seed=*/0);
+  ASSERT_TRUE(workload.Next(1 * kMiB, &op));
+  EXPECT_EQ(op.offset, 0u);
+}
+
+}  // namespace
+}  // namespace flashsim
