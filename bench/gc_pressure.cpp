@@ -1,0 +1,270 @@
+// GC-pressure benchmark: linear-scan vs indexed victim selection.
+//
+// Drives the worst case for victim selection — 4 KiB random rewrites of a
+// 90%-utilized device, where every write keeps the free pool pinned at the
+// GC watermark — against the eMMC 8GB model at several simulation scales,
+// once per VictimSelect mode. The two modes must be bit-exact (identical
+// victim-sequence hashes, picks, wear, simulated clock); only wall-clock and
+// the candidates-examined counters may differ. The linear scan's pick cost
+// grows with device size while the indexed pick stays O(1), so the indexed
+// advantage must grow as capacity_div shrinks toward full scale.
+//
+// Emits BENCH_gc_pressure.json (see EXPERIMENTS.md). Run from the repo root,
+// Release build:
+//   ./build-release/bench/gc_pressure          # full: capacity_div 32, 8, 1
+//   ./build-release/bench/gc_pressure --ci     # CI scale: capacity_div 32
+//
+// Exit status is non-zero when any scale loses simulation equivalence or the
+// indexed build exceeds the fixed candidates-per-pick budget.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/device/catalog.h"
+#include "src/ftl/page_map_ftl.h"
+#include "src/simcore/units.h"
+#include "src/wearlab/wearout_experiment.h"
+
+using namespace flashsim;
+
+namespace {
+
+constexpr uint64_t kSeed = 7;
+constexpr uint32_t kEnduranceDiv = 32;
+constexpr double kUtilization = 0.92;
+// Indexed picks must stay cheap at every scale: a greedy pick probes at most
+// pages_per_block+1 buckets (129 on this device), and in steady state far
+// fewer. The budget is deliberately loose; the linear scan blows through it
+// by orders of magnitude at full scale (one pick examines every block).
+constexpr double kIndexedCandidatesPerPickBudget = 256.0;
+
+struct ModeResult {
+  VictimSelect select = VictimSelect::kIndexed;
+  double wall_seconds = 0.0;
+  double pages_per_sec = 0.0;
+  uint64_t host_pages = 0;
+  uint64_t nand_pages = 0;
+  uint64_t erases = 0;
+  uint64_t gc_picks = 0;
+  uint64_t gc_candidates = 0;
+  uint64_t index_rebuilds = 0;
+  uint64_t victim_hash = 0;
+  uint64_t host_bytes = 0;
+  double sim_hours = 0.0;
+  uint64_t clock_nanos = 0;
+  size_t transitions = 0;
+  bool bricked = false;
+
+  double CandidatesPerPick() const {
+    return gc_picks == 0 ? 0.0
+                         : static_cast<double>(gc_candidates) /
+                               static_cast<double>(gc_picks);
+  }
+};
+
+ModeResult RunMode(uint32_t capacity_div, VictimSelect select,
+                   uint64_t rewrite_budget) {
+  const SimScale scale{capacity_div, kEnduranceDiv};
+  auto device = MakeEmmc8(scale, kSeed);
+  auto* ftl = dynamic_cast<PageMapFtl*>(&device->mutable_ftl());
+  if (ftl == nullptr) {
+    std::fprintf(stderr, "eMMC 8GB is expected to be a PageMapFtl device\n");
+    std::exit(2);
+  }
+  ftl->SetVictimSelect(select);
+
+  WearWorkloadConfig workload;
+  workload.pattern = AccessPattern::kRandom;
+  workload.request_bytes = 4096;
+  workload.rewrite_utilized = true;
+  workload.batch_requests = 64;
+  WearOutExperiment experiment(*device, workload);
+  if (!experiment.SetUtilization(kUtilization).ok()) {
+    std::fprintf(stderr, "prefill to %.0f%% utilization failed\n",
+                 kUtilization * 100.0);
+    std::exit(2);
+  }
+
+  // Time only the rewrite phase: the sequential prefill does near-zero GC
+  // and would dilute the measured pick cost identically in both modes.
+  const auto wall_start = std::chrono::steady_clock::now();
+  const WearRunOutcome outcome =
+      experiment.RunUntilLevel(WearType::kSinglePool, 11, rewrite_budget);
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+
+  const FtlStats stats = device->ftl().Stats();
+  ModeResult r;
+  r.select = select;
+  r.wall_seconds = wall;
+  r.host_pages = stats.host_pages_written;
+  r.nand_pages = stats.nand_pages_written;
+  r.erases = stats.erases;
+  r.gc_picks = stats.gc_victim_picks;
+  r.gc_candidates = stats.gc_victim_candidates;
+  r.index_rebuilds = stats.victim_index_rebuilds;
+  r.victim_hash = stats.victim_seq_hash;
+  r.host_bytes = device->HostBytesWritten();
+  r.sim_hours = outcome.total_hours;
+  r.clock_nanos = static_cast<uint64_t>(device->clock().Now().nanos());
+  r.transitions = outcome.transitions.size();
+  r.bricked = outcome.bricked;
+  const uint64_t rewrite_pages = outcome.total_host_bytes / 4096;
+  r.pages_per_sec = wall > 0 ? static_cast<double>(rewrite_pages) / wall : 0.0;
+  return r;
+}
+
+// Equivalence covers everything the simulation computes; the candidate and
+// rebuild counters differ between modes by design (they measure pick cost).
+bool SimEquivalent(const ModeResult& a, const ModeResult& b) {
+  return a.victim_hash == b.victim_hash && a.gc_picks == b.gc_picks &&
+         a.host_pages == b.host_pages && a.nand_pages == b.nand_pages &&
+         a.erases == b.erases && a.host_bytes == b.host_bytes &&
+         a.clock_nanos == b.clock_nanos && a.transitions == b.transitions &&
+         a.bricked == b.bricked;
+}
+
+struct ScaleResult {
+  uint32_t capacity_div = 1;
+  std::vector<ModeResult> modes;  // [linear, indexed]
+  double speedup = 0.0;
+  bool equivalent = false;
+  bool within_budget = false;
+};
+
+void WriteJson(const std::vector<ScaleResult>& scales, bool all_equivalent,
+               bool all_within_budget) {
+  std::FILE* f = std::fopen("BENCH_gc_pressure.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_gc_pressure.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"gc_pressure\",\n");
+  std::fprintf(f, "  \"workload\": \"4 KiB random rewrite of 92%%-utilized space\",\n");
+  std::fprintf(f, "  \"device\": \"eMMC 8GB\",\n");
+  std::fprintf(f, "  \"endurance_div\": %u,\n", kEnduranceDiv);
+  std::fprintf(f, "  \"seed\": %llu,\n", static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"utilization\": %.2f,\n", kUtilization);
+  std::fprintf(f, "  \"indexed_candidates_per_pick_budget\": %.0f,\n",
+               kIndexedCandidatesPerPickBudget);
+  std::fprintf(f, "  \"scales\": [\n");
+  for (size_t i = 0; i < scales.size(); ++i) {
+    const ScaleResult& s = scales[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"capacity_div\": %u,\n", s.capacity_div);
+    std::fprintf(f, "      \"modes\": [\n");
+    for (size_t j = 0; j < s.modes.size(); ++j) {
+      const ModeResult& m = s.modes[j];
+      std::fprintf(
+          f,
+          "        {\"victim_select\": \"%s\", \"wall_seconds\": %.4f, "
+          "\"sim_pages_per_sec\": %.0f, \"host_pages\": %llu, "
+          "\"nand_pages\": %llu, \"erases\": %llu, \"gc_picks\": %llu, "
+          "\"gc_candidates_examined\": %llu, \"candidates_per_pick\": %.2f, "
+          "\"victim_index_rebuilds\": %llu, \"victim_seq_hash\": \"%016llx\", "
+          "\"sim_hours\": %.4f, \"transitions\": %zu, \"bricked\": %s}%s\n",
+          VictimSelectName(m.select), m.wall_seconds, m.pages_per_sec,
+          static_cast<unsigned long long>(m.host_pages),
+          static_cast<unsigned long long>(m.nand_pages),
+          static_cast<unsigned long long>(m.erases),
+          static_cast<unsigned long long>(m.gc_picks),
+          static_cast<unsigned long long>(m.gc_candidates),
+          m.CandidatesPerPick(),
+          static_cast<unsigned long long>(m.index_rebuilds),
+          static_cast<unsigned long long>(m.victim_hash), m.sim_hours,
+          m.transitions, m.bricked ? "true" : "false",
+          j + 1 < s.modes.size() ? "," : "");
+    }
+    std::fprintf(f, "      ],\n");
+    std::fprintf(f, "      \"speedup_indexed_vs_linear\": %.2f,\n", s.speedup);
+    std::fprintf(f, "      \"simulation_equivalent\": %s,\n",
+                 s.equivalent ? "true" : "false");
+    std::fprintf(f, "      \"indexed_within_budget\": %s\n",
+                 s.within_budget ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < scales.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"simulation_equivalent\": %s,\n",
+               all_equivalent ? "true" : "false");
+  std::fprintf(f, "  \"indexed_within_budget\": %s\n",
+               all_within_budget ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ci = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ci") == 0) {
+      ci = true;
+    }
+  }
+  // Rewrite budget: 2x the (scaled) logical capacity keeps every scale in
+  // steady-state GC for most of the run. CI trims both the scale list and
+  // the budget so the job stays in seconds.
+  const std::vector<uint32_t> divs = ci ? std::vector<uint32_t>{32}
+                                        : std::vector<uint32_t>{32, 8, 1};
+  const int reps = 2;  // best-of-N wall clock; sim results must agree
+
+  std::printf("=== GC-pressure victim selection: 4 KiB random rewrites at "
+              "%.0f%% utilization, eMMC 8GB ===\n", kUtilization * 100.0);
+
+  std::vector<ScaleResult> scales;
+  bool all_equivalent = true;
+  bool all_within_budget = true;
+  for (uint32_t div : divs) {
+    const uint64_t budget = (ci ? 1 : 2) * (8ull * kGiB) / div;
+    ScaleResult s;
+    s.capacity_div = div;
+    bool reps_equivalent = true;
+    for (VictimSelect select :
+         {VictimSelect::kLinearScan, VictimSelect::kIndexed}) {
+      ModeResult best = RunMode(div, select, budget);
+      for (int rep = 1; rep < reps; ++rep) {
+        ModeResult again = RunMode(div, select, budget);
+        reps_equivalent = reps_equivalent && SimEquivalent(best, again);
+        if (again.wall_seconds < best.wall_seconds) {
+          best = again;
+        }
+      }
+      std::printf("  div=%2u %-11s wall=%7.2fs %10.0f pages/s  "
+                  "picks=%llu cand/pick=%.1f%s\n",
+                  div, VictimSelectName(select), best.wall_seconds,
+                  best.pages_per_sec,
+                  static_cast<unsigned long long>(best.gc_picks),
+                  best.CandidatesPerPick(), best.bricked ? "  (bricked)" : "");
+      s.modes.push_back(best);
+    }
+    const ModeResult& linear = s.modes[0];
+    const ModeResult& indexed = s.modes[1];
+    s.equivalent = reps_equivalent && SimEquivalent(linear, indexed);
+    s.speedup = linear.pages_per_sec > 0
+                    ? indexed.pages_per_sec / linear.pages_per_sec
+                    : 0.0;
+    s.within_budget =
+        indexed.CandidatesPerPick() <= kIndexedCandidatesPerPickBudget;
+    std::printf("  div=%2u speedup=%.2fx equivalent=%s cand/pick budget: %s\n",
+                div, s.speedup, s.equivalent ? "yes" : "NO — BUG",
+                s.within_budget ? "ok" : "EXCEEDED");
+    all_equivalent = all_equivalent && s.equivalent;
+    all_within_budget = all_within_budget && s.within_budget;
+    scales.push_back(s);
+  }
+
+  WriteJson(scales, all_equivalent, all_within_budget);
+  std::printf("  wrote BENCH_gc_pressure.json\n");
+  if (!all_equivalent) {
+    std::printf("  FAILURE: victim sequences diverged between modes\n");
+  }
+  if (!all_within_budget) {
+    std::printf("  FAILURE: indexed candidates-per-pick over budget\n");
+  }
+  return (all_equivalent && all_within_budget) ? 0 : 1;
+}

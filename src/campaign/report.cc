@@ -129,6 +129,13 @@ void WriteCampaignJson(std::ostream& os, const CampaignOutcome& outcome) {
     os << "      \"write_mib_per_sec\": " << JsonNum(run.write_mib_per_sec) << ",\n";
     os << "      \"device_wa\": " << JsonNum(run.device_wa) << ",\n";
     os << "      \"fs_wa\": " << JsonNum(run.fs_wa) << ",\n";
+    os << "      \"gc_picks\": " << JsonNum(run.gc_picks) << ",\n";
+    os << "      \"gc_candidates_examined\": " << JsonNum(run.gc_candidates) << ",\n";
+    os << "      \"victim_index_rebuilds\": " << JsonNum(run.victim_index_rebuilds)
+       << ",\n";
+    os << "      \"cleaner_picks\": " << JsonNum(run.cleaner_picks) << ",\n";
+    os << "      \"cleaner_candidates_examined\": " << JsonNum(run.cleaner_candidates)
+       << ",\n";
     os << "      \"level_a\": " << JsonNum(static_cast<uint64_t>(run.level_a)) << ",\n";
     os << "      \"level_b\": " << JsonNum(static_cast<uint64_t>(run.level_b)) << ",\n";
     os << "      \"reached_target\": " << JsonBool(run.reached_target) << ",\n";
@@ -173,6 +180,8 @@ void WriteCampaignCsv(std::ostream& os, const CampaignOutcome& outcome) {
   WriteCsvRow(os, {"index", "grid", "layer", "metric", "device", "fs", "workload",
                    "seed", "status", "requests", "bytes_written", "bytes_read",
                    "sim_seconds", "write_mib_per_sec", "device_wa", "fs_wa",
+                   "gc_picks", "gc_candidates_examined", "victim_index_rebuilds",
+                   "cleaner_picks", "cleaner_candidates_examined",
                    "level_a", "level_b", "reached_target", "bricked",
                    "volume_factor"});
   for (const RunRecord& run : outcome.runs) {
@@ -183,7 +192,10 @@ void WriteCampaignCsv(std::ostream& os, const CampaignOutcome& outcome) {
              JsonNum(run.requests), JsonNum(run.bytes_written),
              JsonNum(run.bytes_read), JsonNum(run.sim_seconds),
              JsonNum(run.write_mib_per_sec), JsonNum(run.device_wa),
-             JsonNum(run.fs_wa), JsonNum(static_cast<uint64_t>(run.level_a)),
+             JsonNum(run.fs_wa), JsonNum(run.gc_picks),
+             JsonNum(run.gc_candidates), JsonNum(run.victim_index_rebuilds),
+             JsonNum(run.cleaner_picks), JsonNum(run.cleaner_candidates),
+             JsonNum(static_cast<uint64_t>(run.level_a)),
              JsonNum(static_cast<uint64_t>(run.level_b)),
              run.reached_target ? "1" : "0", run.bricked ? "1" : "0",
              JsonNum(run.volume_factor)});

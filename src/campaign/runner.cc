@@ -39,7 +39,11 @@ void FillCommon(const RunSpec& run, const WorkloadRunResult& result,
   record->sim_seconds = result.elapsed.ToSecondsF();
   record->io_seconds = result.io_time.ToSecondsF();
   record->write_mib_per_sec = result.WriteMiBps();
-  record->device_wa = device.ftl().Stats().WriteAmplification();
+  const FtlStats ftl_stats = device.ftl().Stats();
+  record->device_wa = ftl_stats.WriteAmplification();
+  record->gc_picks = ftl_stats.gc_victim_picks;
+  record->gc_candidates = ftl_stats.gc_victim_candidates;
+  record->victim_index_rebuilds = ftl_stats.victim_index_rebuilds;
   record->reached_target = result.reached_level;
   record->bricked = result.bricked;
   record->levels = result.levels;
@@ -101,6 +105,8 @@ RunRecord ExecuteRun(const RunSpec& run) {
       RunWorkloadOnFilesystem(workload, phone.fs(), layout, opts);
   FillCommon(run, result, phone.device(), &record);
   record.fs_wa = phone.fs().stats().FsWriteAmplification();
+  record.cleaner_picks = phone.fs().stats().cleaner_picks;
+  record.cleaner_candidates = phone.fs().stats().cleaner_candidates_examined;
   return record;
 }
 

@@ -39,6 +39,12 @@ struct RunRecord {
   double write_mib_per_sec = 0.0;
   double device_wa = 0.0;  // FTL write amplification over the whole run
   double fs_wa = 0.0;      // file-system write amplification (1.0 at block layer)
+  // GC/cleaner victim-selection observability (see FtlStats/FsStats).
+  uint64_t gc_picks = 0;
+  uint64_t gc_candidates = 0;
+  uint64_t victim_index_rebuilds = 0;
+  uint64_t cleaner_picks = 0;       // phone-layer log-structured FS only
+  uint64_t cleaner_candidates = 0;
   uint32_t level_a = 0;
   uint32_t level_b = 0;
   bool reached_target = false;

@@ -19,6 +19,7 @@
 
 #include "src/blockdev/block_device.h"
 #include "src/simcore/status.h"
+#include "src/simcore/victim_index.h"
 
 namespace flashsim {
 
@@ -30,6 +31,12 @@ struct FsStats {
   uint64_t device_journal_bytes = 0;   // journal / checkpoint traffic
   uint64_t fsyncs = 0;
   uint64_t cleaner_bytes_moved = 0;    // log-structured segment cleaning
+
+  // Segment-cleaner victim-selection observability (log-structured FS only);
+  // same semantics as the FtlStats GC counters.
+  uint64_t cleaner_picks = 0;
+  uint64_t cleaner_candidates_examined = 0;
+  uint64_t cleaner_victim_hash = kVictimHashInit;
 
   uint64_t DeviceBytesTotal() const {
     return device_data_bytes + device_metadata_bytes + device_journal_bytes +

@@ -25,6 +25,27 @@ LogFs::LogFs(BlockDevice& device, LogFsConfig config)
   for (uint64_t s = segment_count_; s > 0; --s) {
     free_segments_.push_back(s - 1);
   }
+  seg_indexed_.assign(segment_count_, 0);
+  if (UseIndex()) {
+    seg_index_.Reset(config_.blocks_per_segment + 1,
+                     static_cast<uint32_t>(segment_count_),
+                     BucketVictimIndex::Order::kById);
+  }
+}
+
+void LogFs::IndexSegment(uint64_t seg) {
+  if (!UseIndex() || seg == UINT64_MAX || !segment_in_use_[seg]) {
+    return;
+  }
+  assert(!seg_indexed_[seg]);
+  seg_index_.Insert(valid_counts_[seg], static_cast<uint32_t>(seg));
+  seg_indexed_[seg] = 1;
+}
+
+void LogFs::UnindexSegment(uint64_t seg) {
+  assert(seg_indexed_[seg]);
+  seg_index_.Erase(valid_counts_[seg], static_cast<uint32_t>(seg));
+  seg_indexed_[seg] = 0;
 }
 
 Result<SimDuration> LogFs::SubmitRange(IoKind kind, uint64_t start_block,
@@ -72,6 +93,10 @@ void LogFs::InvalidateBlock(uint64_t addr) {
   owners_[idx] = BlockOwner{};
   const uint64_t seg = SegmentOfAddr(addr);
   assert(valid_counts_[seg] > 0);
+  if (UseIndex() && seg_indexed_[seg]) {
+    seg_index_.Move(valid_counts_[seg], valid_counts_[seg] - 1,
+                    static_cast<uint32_t>(seg));
+  }
   --valid_counts_[seg];
 }
 
@@ -79,10 +104,14 @@ Result<uint64_t> LogFs::AppendBlock(LogType log, BlockOwner owner, SimDuration& 
                                     bool allow_clean) {
   LogHead& head = log == LogType::kData ? data_log_ : node_log_;
   if (head.segment == UINT64_MAX || head.offset == config_.blocks_per_segment) {
+    const uint64_t old_head = head.segment;
     Result<uint64_t> seg = TakeFreeSegment(time_acc, allow_clean);
     if (!seg.ok()) {
       return seg.status();
     }
+    // The outgoing head is no longer excluded as a log head, so it becomes
+    // a cleaner candidate exactly now.
+    IndexSegment(old_head);
     head.segment = seg.value();
     head.offset = 0;
   }
@@ -95,20 +124,50 @@ Result<uint64_t> LogFs::AppendBlock(LogType log, BlockOwner owner, SimDuration& 
 }
 
 Status LogFs::CleanOneSegment(SimDuration& time_acc) {
-  // Greedy victim: in-use, not a log head, fewest valid blocks.
+  // Greedy victim: in-use, not a log head, fewest valid blocks (lowest
+  // segment on ties). Identical pick in both modes; the statuses separate
+  // "no candidate at all" from "only fully-valid candidates" because the
+  // caller can retry the latter after invalidations but not the former.
   uint64_t victim = UINT64_MAX;
-  uint32_t best_valid = config_.blocks_per_segment + 1;
-  for (uint64_t s = 0; s < segment_count_; ++s) {
-    if (!segment_in_use_[s] || s == data_log_.segment || s == node_log_.segment) {
-      continue;
+  if (UseIndex()) {
+    if (seg_index_.empty()) {
+      return ResourceExhaustedError("logfs: no cleanable segment");
     }
-    if (valid_counts_[s] < best_valid) {
-      best_valid = valid_counts_[s];
-      victim = s;
+    uint32_t bucket = 0;
+    uint32_t id = 0;
+    // Candidates in the full-valid bucket (== blocks_per_segment) exist but
+    // are excluded by the limit; cleaning one would only copy data.
+    if (!seg_index_.PickMin(config_.blocks_per_segment, &bucket, &id,
+                            &stats_.cleaner_candidates_examined)) {
+      return FailedPreconditionError("logfs: all candidate segments fully valid");
+    }
+    victim = id;
+  } else {
+    uint32_t best_valid = config_.blocks_per_segment + 1;
+    stats_.cleaner_candidates_examined += segment_count_;
+    for (uint64_t s = 0; s < segment_count_; ++s) {
+      if (!segment_in_use_[s] || s == data_log_.segment || s == node_log_.segment) {
+        continue;
+      }
+      if (valid_counts_[s] < best_valid) {
+        best_valid = valid_counts_[s];
+        victim = s;
+      }
+    }
+    if (victim == UINT64_MAX) {
+      return ResourceExhaustedError("logfs: no cleanable segment");
+    }
+    if (best_valid >= config_.blocks_per_segment) {
+      return FailedPreconditionError("logfs: all candidate segments fully valid");
     }
   }
-  if (victim == UINT64_MAX || best_valid >= config_.blocks_per_segment) {
-    return ResourceExhaustedError("logfs: no cleanable segment");
+  ++stats_.cleaner_picks;
+  stats_.cleaner_victim_hash = VictimHashMix(stats_.cleaner_victim_hash, victim);
+  if (UseIndex()) {
+    // Out of the index before migration: re-appends during the loop can
+    // rotate heads and invalidate blocks of *other* segments, but the
+    // victim's own counts drop without index moves.
+    UnindexSegment(victim);
   }
   const uint64_t seg_base = main_start_block_ + victim * config_.blocks_per_segment;
   for (uint32_t b = 0; b < config_.blocks_per_segment; ++b) {
@@ -158,6 +217,15 @@ Status LogFs::CleanOneSegment(SimDuration& time_acc) {
   free_segments_.push_back(victim);
   ++segments_cleaned_;
   return Status::Ok();
+}
+
+Status LogFs::CleanNow(SimDuration* time_out) {
+  SimDuration time_acc;
+  Status cleaned = CleanOneSegment(time_acc);
+  if (time_out != nullptr) {
+    *time_out += time_acc;
+  }
+  return cleaned;
 }
 
 Result<SimDuration> LogFs::WriteNodeBlock(FileMeta& file, bool allow_clean) {

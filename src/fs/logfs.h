@@ -37,6 +37,9 @@ struct LogFsConfig {
   uint32_t checkpoint_interval_nodes = 1024;
   // NAT entries per NAT block (455 in real F2FS; any positive value works).
   uint32_t nat_entries_per_block = 455;
+  // Cleaner victim location: incrementally-indexed O(1) picks, or the
+  // bit-exact O(segments) reference scan.
+  VictimSelect victim_select = VictimSelect::kIndexed;
 };
 
 class LogFs : public Filesystem {
@@ -63,6 +66,12 @@ class LogFs : public Filesystem {
 
   // Cleaner activity, exposed for tests.
   uint64_t segments_cleaned() const { return segments_cleaned_; }
+
+  // Runs one cleaning pass immediately (tests/experiments). Distinguishes
+  // "no candidate segment at all" (kResourceExhausted) from "candidates
+  // exist but every one is fully valid — cleaning would only copy"
+  // (kFailedPrecondition). Adds the cleaning time to `*time_out` if set.
+  Status CleanNow(SimDuration* time_out = nullptr);
 
  private:
   enum class LogType { kData, kNode };
@@ -97,6 +106,14 @@ class LogFs : public Filesystem {
 
   Result<uint64_t> TakeFreeSegment(SimDuration& time_acc, bool allow_clean);
   Status CleanOneSegment(SimDuration& time_acc);
+
+  // --- Cleaner victim index (kIndexed mode) ---
+  // Holds exactly the cleanable segments — in use and not a log head — keyed
+  // by valid count, so "no candidates" and "only full-valid candidates" fall
+  // out of the index state by construction.
+  bool UseIndex() const { return config_.victim_select == VictimSelect::kIndexed; }
+  void IndexSegment(uint64_t seg);    // head rotated away; seg is cleanable
+  void UnindexSegment(uint64_t seg);  // picked for cleaning
   Result<SimDuration> WriteNodeBlock(FileMeta& file, bool allow_clean);
   Result<SimDuration> MaybeCheckpoint();
 
@@ -120,6 +137,9 @@ class LogFs : public Filesystem {
   std::vector<bool> segment_in_use_;     // owned by a log or holding data
   std::vector<uint64_t> free_segments_;
   std::vector<BlockOwner> owners_;       // per main-area block
+
+  BucketVictimIndex seg_index_;          // cleanable segments by valid count
+  std::vector<uint8_t> seg_indexed_;     // membership flag per segment
 
   LogHead data_log_;
   LogHead node_log_;

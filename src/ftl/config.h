@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "src/simcore/status.h"
+#include "src/simcore/victim_index.h"
 
 namespace flashsim {
 
@@ -13,6 +14,12 @@ namespace flashsim {
 enum class GcPolicy {
   kGreedy,       // fewest valid pages
   kCostBenefit,  // (1 - u) / (1 + u) weighted by block age
+};
+
+// Hybrid cache eviction victim policy.
+enum class CacheEvictPolicy {
+  kFifo,      // oldest closed cache block (historical default)
+  kMinValid,  // fewest live cache pages, lowest block id on ties
 };
 
 struct FtlConfig {
@@ -29,6 +36,12 @@ struct FtlConfig {
   uint32_t gc_free_block_watermark = 4;
 
   GcPolicy gc_policy = GcPolicy::kGreedy;
+
+  // How GC and wear-leveling victims are located. kIndexed maintains bucket
+  // indexes incrementally and picks in O(1); kLinearScan is the bit-exact
+  // O(total-blocks) reference (same victims, same tie-breaking — see
+  // DESIGN.md "Victim-selection indexes").
+  VictimSelect victim_select = VictimSelect::kIndexed;
 
   // Static wear leveling: when (max - min) P/E exceeds this threshold the FTL
   // migrates the coldest block's data so the cold block rejoins the hot pool.
@@ -70,6 +83,12 @@ struct HybridConfig {
   // Wear multiplier applied to drafted Type A blocks (cycled in MLC mode,
   // which stresses the cells far beyond their SLC-mode rating).
   uint32_t mlc_mode_wear_weight = 20;
+
+  // Which closed cache block an eviction migrates. kMinValid moves the least
+  // live data per eviction; kFifo preserves the original age order.
+  CacheEvictPolicy cache_evict_policy = CacheEvictPolicy::kFifo;
+  // Victim-location strategy for kMinValid (kFifo is O(1) by nature).
+  VictimSelect victim_select = VictimSelect::kIndexed;
 
   // Health rating for the Type A region (SLC-mode cycles).
   uint32_t health_rated_pe_a = 120000;

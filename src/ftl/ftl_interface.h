@@ -13,6 +13,7 @@
 #include "src/ftl/health.h"
 #include "src/simcore/sim_time.h"
 #include "src/simcore/status.h"
+#include "src/simcore/victim_index.h"
 
 namespace flashsim {
 
@@ -25,6 +26,20 @@ struct FtlStats {
   uint64_t host_pages_read = 0;
   uint32_t free_blocks = 0;
   uint64_t valid_pages = 0;
+
+  // GC victim-selection observability. Candidates are blocks scanned
+  // (linear) or index buckets probed (indexed) while locating victims, so
+  // candidates/picks is the per-pick cost in either mode; the sequence hash
+  // folds every pick (FNV-1a) so two runs can be compared for identical
+  // victim choices without recording the sequences.
+  uint64_t gc_victim_picks = 0;
+  uint64_t gc_victim_candidates = 0;
+  uint64_t victim_index_rebuilds = 0;
+  uint64_t victim_seq_hash = kVictimHashInit;
+  // Hybrid cache eviction picks (zero on single-pool devices).
+  uint64_t cache_evict_picks = 0;
+  uint64_t cache_evict_candidates = 0;
+  uint64_t cache_victim_seq_hash = kVictimHashInit;
 
   // nand writes / host writes; 1.0 when no host writes yet.
   double WriteAmplification() const {

@@ -27,6 +27,87 @@ HybridFtl::HybridFtl(NandChipConfig mlc_config, FtlConfig ftl_config,
   for (BlockId b = 0; b < blocks; ++b) {
     cache_free_.push_back(b);
   }
+  if (UseCacheIndex()) {
+    cache_index_.Reset(cache_chip_.config().pages_per_block + 1, blocks,
+                       BucketVictimIndex::Order::kById);
+  }
+}
+
+void HybridFtl::OnCacheBlockClosed(BlockId block) {
+  ++cache_closed_count_;
+  if (hybrid_config_.cache_evict_policy == CacheEvictPolicy::kFifo) {
+    cache_fifo_.push_back(block);
+  } else if (UseCacheIndex()) {
+    cache_index_.Insert(cache_valid_[block], block);
+  }
+}
+
+void HybridFtl::RemoveClosedCacheBlock(BlockId block) {
+  assert(cache_closed_count_ > 0);
+  --cache_closed_count_;
+  if (hybrid_config_.cache_evict_policy == CacheEvictPolicy::kFifo) {
+    assert(!cache_fifo_.empty() && cache_fifo_.front() == block);
+    cache_fifo_.pop_front();
+  } else if (UseCacheIndex()) {
+    cache_index_.Erase(cache_valid_[block], block);
+  }
+}
+
+void HybridFtl::IncCacheValid(BlockId block) {
+  ++cache_valid_[block];
+  if (UseCacheIndex() && cache_states_[block] == CacheBlockState::kClosed) {
+    cache_index_.Move(cache_valid_[block] - 1, cache_valid_[block], block);
+  }
+}
+
+void HybridFtl::DecCacheValid(BlockId block) {
+  assert(cache_valid_[block] > 0);
+  --cache_valid_[block];
+  if (UseCacheIndex() && cache_states_[block] == CacheBlockState::kClosed) {
+    cache_index_.Move(cache_valid_[block] + 1, cache_valid_[block], block);
+  }
+}
+
+BlockId HybridFtl::PickCacheEvictVictim() {
+  BlockId victim = kInvalidBlockId;
+  switch (hybrid_config_.cache_evict_policy) {
+    case CacheEvictPolicy::kFifo:
+      if (!cache_fifo_.empty()) {
+        victim = cache_fifo_.front();
+        ++cache_evict_candidates_;
+      }
+      break;
+    case CacheEvictPolicy::kMinValid:
+      if (hybrid_config_.victim_select == VictimSelect::kIndexed) {
+        uint32_t bucket = 0;
+        uint32_t id = 0;
+        // No limit bucket: a full-valid block is still evictable (matching
+        // the linear min-valid scan, which considers every closed block).
+        if (cache_index_.PickMin(cache_index_.bucket_count(), &bucket, &id,
+                                 &cache_evict_candidates_)) {
+          victim = id;
+        }
+      } else {
+        // Strict improvement only: equal valid counts keep the lowest id.
+        uint32_t best_valid = 0;
+        cache_evict_candidates_ += cache_states_.size();
+        for (BlockId b = 0; b < cache_states_.size(); ++b) {
+          if (cache_states_[b] != CacheBlockState::kClosed) {
+            continue;
+          }
+          if (victim == kInvalidBlockId || cache_valid_[b] < best_valid) {
+            victim = b;
+            best_valid = cache_valid_[b];
+          }
+        }
+      }
+      break;
+  }
+  if (victim != kInvalidBlockId) {
+    ++cache_evict_picks_;
+    cache_victim_hash_ = VictimHashMix(cache_victim_hash_, victim);
+  }
+  return victim;
 }
 
 void HybridFtl::UpdateMergedMode() {
@@ -68,12 +149,14 @@ Result<BlockId> HybridFtl::OpenCacheBlock() {
   return id;
 }
 
-Status HybridFtl::EvictOldestCacheBlock(SimDuration& time_acc) {
-  if (cache_fifo_.empty()) {
+Status HybridFtl::EvictCacheBlock(SimDuration& time_acc) {
+  const BlockId victim = PickCacheEvictVictim();
+  if (victim == kInvalidBlockId) {
     return ResourceExhaustedError("no closed cache blocks to evict");
   }
-  const BlockId victim = cache_fifo_.front();
-  cache_fifo_.pop_front();
+  // Out of the closed set first, so the migration loop's valid-count
+  // decrements on the victim need no index maintenance.
+  RemoveClosedCacheBlock(victim);
   const uint32_t wp = cache_chip_.block(victim).write_pointer();
   for (uint32_t page = 0; page < wp; ++page) {
     const PhysPageAddr src{victim, page};
@@ -96,7 +179,7 @@ Status HybridFtl::EvictOldestCacheBlock(SimDuration& time_acc) {
     }
     time_acc += write.value();
     cache_map_.erase(it);
-    --cache_valid_[victim];
+    --cache_valid_[victim];  // raw: victim already left the closed set
   }
   const uint32_t wear_weight = InMergedMode() ? hybrid_config_.mlc_mode_wear_weight : 1;
   Result<SimDuration> erase = cache_chip_.EraseBlock(victim, wear_weight);
@@ -127,9 +210,9 @@ void HybridFtl::ChargeStagingWear(SimDuration& time_acc) {
     staging_page_credit_ -= ppb;
     // Cycle the least-recently-used free cache block as the staging buffer.
     if (cache_free_.empty()) {
-      // All cache blocks busy with host data; stage through the oldest
-      // closed block by evicting it first.
-      if (EvictOldestCacheBlock(time_acc).ok() && !cache_free_.empty()) {
+      // All cache blocks busy with host data; stage through a closed block
+      // by evicting it first.
+      if (EvictCacheBlock(time_acc).ok() && !cache_free_.empty()) {
         // fall through to cycle a free block below
       } else {
         return;
@@ -151,8 +234,8 @@ void HybridFtl::ChargeStagingWear(SimDuration& time_acc) {
 
 Status HybridFtl::EnsureCacheSpace(SimDuration& time_acc) {
   while (cache_free_.size() < hybrid_config_.cache_free_watermark &&
-         !cache_fifo_.empty()) {
-    FLASHSIM_RETURN_IF_ERROR(EvictOldestCacheBlock(time_acc));
+         HasClosedCacheBlock()) {
+    FLASHSIM_RETURN_IF_ERROR(EvictCacheBlock(time_acc));
   }
   return Status::Ok();
 }
@@ -209,15 +292,15 @@ Result<SimDuration> HybridFtl::WriteViaCache(uint64_t lpn, SimDuration time_acc,
     // Supersede any older cache copy, then install the new mapping.
     auto it = cache_map_.find(lpn);
     if (it != cache_map_.end()) {
-      --cache_valid_[it->second.block];
+      DecCacheValid(it->second.block);
       it->second = addr;
     } else {
       cache_map_.emplace(lpn, addr);
     }
-    ++cache_valid_[cache_active_];
+    IncCacheValid(cache_active_);
     if (cache_chip_.block(cache_active_).IsFull()) {
       cache_states_[cache_active_] = CacheBlockState::kClosed;
-      cache_fifo_.push_back(cache_active_);
+      OnCacheBlockClosed(cache_active_);
       cache_active_ = kInvalidBlockId;
     }
     ++host_pages_written_;
@@ -245,7 +328,7 @@ Status HybridFtl::WriteBatch(const uint64_t* lpns, size_t count,
   while (i < count) {
     const bool eviction_pending =
         cache_free_.size() < hybrid_config_.cache_free_watermark &&
-        !cache_fifo_.empty();
+        HasClosedCacheBlock();
     if (cache_enabled_ && cache_active_ != kInvalidBlockId && !eviction_pending &&
         !mlc_.IsReadOnly() &&
         mlc_.Stats().gc_pages_migrated == gc_staged_baseline_) {
@@ -273,15 +356,15 @@ Status HybridFtl::WriteBatch(const uint64_t* lpns, size_t count,
           const PhysPageAddr addr{block, wp + k};
           auto it = cache_map_.find(lpn);
           if (it != cache_map_.end()) {
-            --cache_valid_[it->second.block];
+            DecCacheValid(it->second.block);
             it->second = addr;
           } else {
             cache_map_.emplace(lpn, addr);
           }
-          ++cache_valid_[block];
+          IncCacheValid(block);
           if (wp + k + 1 == ppb) {
             cache_states_[block] = CacheBlockState::kClosed;
-            cache_fifo_.push_back(block);
+            OnCacheBlockClosed(block);
             cache_active_ = kInvalidBlockId;
           }
           ++host_pages_written_;
@@ -369,7 +452,7 @@ Status HybridFtl::TrimPage(uint64_t lpn) {
   }
   auto it = cache_map_.find(lpn);
   if (it != cache_map_.end()) {
-    --cache_valid_[it->second.block];
+    DecCacheValid(it->second.block);
     cache_map_.erase(it);
   }
   return mlc_.TrimPage(lpn);
@@ -396,6 +479,9 @@ FtlStats HybridFtl::Stats() const {
   s.host_pages_read = host_pages_read_;
   // Cache programs are NAND writes too.
   s.nand_pages_written += cache_chip_.counters().Get("nand.programs");
+  s.cache_evict_picks = cache_evict_picks_;
+  s.cache_evict_candidates = cache_evict_candidates_;
+  s.cache_victim_seq_hash = cache_victim_hash_;
   return s;
 }
 

@@ -70,13 +70,18 @@ class HybridFtl : public FtlInterface {
  private:
   enum class CacheBlockState : uint8_t { kFree, kOpen, kClosed, kBad };
 
-  // Ensures an open cache block exists, evicting the oldest closed block(s)
-  // when the free pool is below the watermark.
+  // Ensures an open cache block exists, evicting closed block(s) when the
+  // free pool is below the watermark.
   Status EnsureCacheSpace(SimDuration& time_acc);
 
-  // Migrates all live pages of the oldest closed cache block into the MLC
-  // pool and erases the block (wear-weighted in merged mode).
-  Status EvictOldestCacheBlock(SimDuration& time_acc);
+  // Migrates all live pages of one closed cache block (chosen by the
+  // configured eviction policy) into the MLC pool and erases the block
+  // (wear-weighted in merged mode).
+  Status EvictCacheBlock(SimDuration& time_acc);
+
+  // Eviction victim per HybridConfig::cache_evict_policy; kInvalidBlockId
+  // when no closed block exists. Folds the pick into the cache stats.
+  BlockId PickCacheEvictVictim();
 
   // In merged mode, charges Type A staging wear for GC traffic that the MLC
   // pool generated since the last call (drafted-block model).
@@ -94,6 +99,21 @@ class HybridFtl : public FtlInterface {
 
   void RetireCacheBlock(BlockId block);
 
+  // --- Closed-set bookkeeping shared by the eviction policies ---
+  bool UseCacheIndex() const {
+    return hybrid_config_.cache_evict_policy == CacheEvictPolicy::kMinValid &&
+           hybrid_config_.victim_select == VictimSelect::kIndexed;
+  }
+  bool HasClosedCacheBlock() const { return cache_closed_count_ > 0; }
+  // Called when a cache block fills (kFifo appends; kMinValid indexes it).
+  void OnCacheBlockClosed(BlockId block);
+  // Removes a just-picked victim from the closed set before migration, so
+  // the migration loop's valid-count decrements need no index moves.
+  void RemoveClosedCacheBlock(BlockId block);
+  // Valid-count mutations; a closed block moves between index buckets.
+  void IncCacheValid(BlockId block);
+  void DecCacheValid(BlockId block);
+
   PageMapFtl mlc_;
   NandChip cache_chip_;
   HybridConfig hybrid_config_;
@@ -102,11 +122,18 @@ class HybridFtl : public FtlInterface {
   std::unordered_map<uint64_t, PhysPageAddr> cache_map_;  // lpn -> cache page
   std::vector<CacheBlockState> cache_states_;
   std::vector<uint32_t> cache_valid_;
-  std::deque<BlockId> cache_fifo_;  // closed blocks, oldest first
+  std::deque<BlockId> cache_fifo_;  // closed blocks, oldest first (kFifo)
   std::vector<BlockId> cache_free_;
   BlockId cache_active_ = kInvalidBlockId;
   bool cache_enabled_ = true;
   uint32_t cache_bad_blocks_ = 0;
+
+  // Closed cache blocks keyed by valid count (kMinValid + kIndexed only).
+  BucketVictimIndex cache_index_;
+  uint32_t cache_closed_count_ = 0;
+  uint64_t cache_evict_picks_ = 0;
+  uint64_t cache_evict_candidates_ = 0;
+  uint64_t cache_victim_hash_ = kVictimHashInit;
 
   // Re-evaluates the pool-merge heuristic once per pressure window.
   void UpdateMergedMode();

@@ -12,6 +12,16 @@ namespace {
 // Give up on a write after this many fresh-block retries; in practice a write
 // only fails repeatedly when the whole array is at end of life.
 constexpr int kMaxProgramRetries = 4;
+
+// One shared scoring function for the linear and indexed cost-benefit paths:
+// identical operations in identical order, so both produce bit-identical
+// doubles and therefore identical victim choices.
+double CostBenefitScore(uint32_t ppb, uint32_t valid, uint64_t erase_seq,
+                        uint64_t close_seq) {
+  const double u = static_cast<double>(valid) / ppb;
+  const double age = static_cast<double>(erase_seq - close_seq) + 1.0;
+  return (1.0 - u) / (1.0 + u) * age;
+}
 }  // namespace
 
 PageMapFtl::PageMapFtl(NandChipConfig nand_config, FtlConfig ftl_config, uint64_t seed,
@@ -35,8 +45,136 @@ PageMapFtl::PageMapFtl(NandChipConfig nand_config, FtlConfig ftl_config, uint64_
   block_states_.assign(total_blocks, BlockState::kFree);
   close_seq_.assign(total_blocks, 0);
   gc_origin_.assign(total_blocks, 0);
+  hist_pe_.assign(total_blocks, 0);
   for (BlockId b = 0; b < total_blocks; ++b) {
     free_blocks_.Insert(0, b);
+  }
+  victim_select_ = ftl_config_.victim_select;
+  if (UseIndex()) {
+    RebuildVictimIndexes();
+  }
+}
+
+void PageMapFtl::SetVictimSelect(VictimSelect select) {
+  if (select == victim_select_) {
+    return;
+  }
+  victim_select_ = select;
+  if (UseIndex()) {
+    RebuildVictimIndexes();
+  }
+}
+
+void PageMapFtl::RebuildVictimIndexes() {
+  ++stats_.victim_index_rebuilds;
+  const uint32_t total_blocks = static_cast<uint32_t>(block_states_.size());
+  const uint32_t ppb = nand_config_.pages_per_block;
+  victim_index_.Reset(ppb + 1, total_blocks,
+                      ftl_config_.gc_policy == GcPolicy::kCostBenefit
+                          ? BucketVictimIndex::Order::kBySortKeyThenId
+                          : BucketVictimIndex::Order::kById);
+  closed_by_pe_.Reset(/*bucket_count=*/1, total_blocks,
+                      BucketVictimIndex::Order::kById);
+  pe_hist_.clear();
+  pe_hist_total_ = 0;
+  pe_min_cursor_ = 0;
+  pe_max_cursor_ = 0;
+  for (BlockId b = 0; b < total_blocks; ++b) {
+    if (block_states_[b] == BlockState::kBad) {
+      continue;
+    }
+    const uint32_t pe = chip_.block(b).pe_cycles();
+    hist_pe_[b] = pe;
+    PeHistAdd(pe);
+    if (block_states_[b] == BlockState::kClosed) {
+      victim_index_.Insert(valid_counts_[b], b, VictimSortKey(b));
+      closed_by_pe_.Insert(pe, b);
+    }
+  }
+  wear_sync_version_ = chip_.wear_version();
+}
+
+void PageMapFtl::EnsureWearIndexSync() {
+  if (wear_sync_version_ != chip_.wear_version()) {
+    // Wear changed outside our own erase/retire paths (e.g. annealing via
+    // mutable_chip()); the P/E-keyed structures are stale. Rebuild.
+    RebuildVictimIndexes();
+  }
+}
+
+void PageMapFtl::PeHistAdd(uint32_t pe) {
+  if (pe >= pe_hist_.size()) {
+    pe_hist_.resize(pe + 1, 0);
+  }
+  ++pe_hist_[pe];
+  ++pe_hist_total_;
+  if (pe < pe_min_cursor_) {
+    pe_min_cursor_ = pe;
+  }
+  if (pe > pe_max_cursor_) {
+    pe_max_cursor_ = pe;
+  }
+}
+
+void PageMapFtl::PeHistRemove(uint32_t pe) {
+  assert(pe < pe_hist_.size() && pe_hist_[pe] > 0);
+  --pe_hist_[pe];
+  --pe_hist_total_;
+}
+
+uint32_t PageMapFtl::PeHistMin() {
+  // Lazy cursor: erases only move blocks upward, so the minimum can only
+  // rise between rebuilds; skip drained buckets on demand.
+  while (pe_min_cursor_ < pe_hist_.size() && pe_hist_[pe_min_cursor_] == 0) {
+    ++pe_min_cursor_;
+  }
+  return pe_min_cursor_;
+}
+
+uint32_t PageMapFtl::PeHistMax() {
+  while (pe_max_cursor_ > 0 && pe_hist_[pe_max_cursor_] == 0) {
+    --pe_max_cursor_;
+  }
+  return pe_max_cursor_;
+}
+
+void PageMapFtl::OnBlockErased(BlockId block) {
+  PeHistRemove(hist_pe_[block]);
+  const uint32_t pe = chip_.block(block).pe_cycles();
+  hist_pe_[block] = pe;
+  PeHistAdd(pe);
+  // The erase ticked the chip wear version exactly once, and this block's
+  // histogram entry was just refreshed — advance by that one tick only. A
+  // blind resync would mask an external wear change (anneal) still pending.
+  ++wear_sync_version_;
+}
+
+void PageMapFtl::IndexInsertClosed(BlockId block) {
+  victim_index_.Insert(valid_counts_[block], block, VictimSortKey(block));
+  closed_by_pe_.Insert(hist_pe_[block], block);
+}
+
+void PageMapFtl::IndexEraseClosed(BlockId block) {
+  victim_index_.Erase(valid_counts_[block], block, VictimSortKey(block));
+  closed_by_pe_.Erase(hist_pe_[block], block);
+}
+
+void PageMapFtl::IncValidCount(BlockId block) {
+  ++valid_counts_[block];
+  // A block's final pages are counted after CloseIfFull ran, so increments
+  // on an already-closed block are normal; move it up one bucket.
+  if (UseIndex() && block_states_[block] == BlockState::kClosed) {
+    victim_index_.Move(valid_counts_[block] - 1, valid_counts_[block], block,
+                       VictimSortKey(block));
+  }
+}
+
+void PageMapFtl::DecValidCount(BlockId block) {
+  assert(valid_counts_[block] > 0);
+  --valid_counts_[block];
+  if (UseIndex() && block_states_[block] == BlockState::kClosed) {
+    victim_index_.Move(valid_counts_[block] + 1, valid_counts_[block], block,
+                       VictimSortKey(block));
   }
 }
 
@@ -57,6 +195,17 @@ double PageMapFtl::Utilization() const {
 }
 
 void PageMapFtl::RetireBlock(BlockId block) {
+  if (UseIndex()) {
+    // A block can retire while closed (erase-verify failure during reclaim)
+    // or while open (program failure); only closed blocks are indexed.
+    if (block_states_[block] == BlockState::kClosed) {
+      IndexEraseClosed(block);
+    }
+    PeHistRemove(hist_pe_[block]);
+    // Retirement follows exactly one wear-version tick (the failed erase or
+    // program); advance by that tick without masking pending external wear.
+    ++wear_sync_version_;
+  }
   block_states_[block] = BlockState::kBad;
   ++spares_used_;
   // Guard before formatting: building the message costs allocations even
@@ -130,6 +279,9 @@ void PageMapFtl::CloseIfFull(BlockId block) {
   if (chip_.block(block).IsFull()) {
     block_states_[block] = BlockState::kClosed;
     close_seq_[block] = erase_seq_;
+    if (UseIndex()) {
+      IndexInsertClosed(block);
+    }
     if (host_active_ == block) {
       host_active_ = kInvalidBlockId;
     }
@@ -142,8 +294,7 @@ void PageMapFtl::CloseIfFull(BlockId block) {
 void PageMapFtl::InvalidateMapping(uint64_t lpn) {
   const PhysPageAddr old = map_[lpn];
   if (old.IsValid()) {
-    assert(valid_counts_[old.block] > 0);
-    --valid_counts_[old.block];
+    DecValidCount(old.block);
     --valid_total_;
     map_[lpn] = kInvalidPageAddr;
     if (valid_counts_[old.block] == 0 && block_states_[old.block] == BlockState::kClosed) {
@@ -152,10 +303,11 @@ void PageMapFtl::InvalidateMapping(uint64_t lpn) {
   }
 }
 
-BlockId PageMapFtl::PickVictim() const {
+BlockId PageMapFtl::PickVictimLinear() {
   BlockId best = kInvalidBlockId;
   double best_score = -1.0;
   const uint32_t ppb = nand_config_.pages_per_block;
+  stats_.gc_victim_candidates += block_states_.size();
   for (BlockId b = 0; b < block_states_.size(); ++b) {
     if (block_states_[b] != BlockState::kClosed) {
       continue;
@@ -168,16 +320,60 @@ BlockId PageMapFtl::PickVictim() const {
     if (ftl_config_.gc_policy == GcPolicy::kGreedy) {
       score = static_cast<double>(ppb - valid);
     } else {
-      const double u = static_cast<double>(valid) / ppb;
-      const double age = static_cast<double>(erase_seq_ - close_seq_[b]) + 1.0;
-      score = (1.0 - u) / (1.0 + u) * age;
+      score = CostBenefitScore(ppb, valid, erase_seq_, close_seq_[b]);
     }
+    // Strict improvement only: equal scores keep the earlier (lowest) id.
     if (score > best_score) {
       best_score = score;
       best = b;
     }
   }
   return best;
+}
+
+BlockId PageMapFtl::PickVictimIndexed() {
+  const uint32_t ppb = nand_config_.pages_per_block;
+  if (ftl_config_.gc_policy == GcPolicy::kGreedy) {
+    // Greedy = lowest valid count, lowest id on ties — exactly PickMin with
+    // the fully-valid bucket excluded.
+    uint32_t bucket = 0;
+    uint32_t id = 0;
+    if (!victim_index_.PickMin(ppb, &bucket, &id, &stats_.gc_victim_candidates)) {
+      return kInvalidBlockId;
+    }
+    return id;
+  }
+  // Cost-benefit: within a valid-count bucket the score is a fixed positive
+  // multiplier times the age, so the bucket's best candidate is its oldest
+  // member (lowest close_seq, then lowest id) — the bucket minimum. Scoring
+  // one candidate per bucket bounds the pick at O(pages_per_block),
+  // independent of device size, and reproduces the linear scan's choice:
+  // highest score wins, lowest id on exact ties.
+  BlockId best = kInvalidBlockId;
+  double best_score = -1.0;
+  for (uint32_t valid = 0; valid < ppb; ++valid) {
+    uint64_t close_seq = 0;
+    uint32_t id = 0;
+    if (!victim_index_.BucketMin(valid, &close_seq, &id)) {
+      continue;
+    }
+    ++stats_.gc_victim_candidates;
+    const double score = CostBenefitScore(ppb, valid, erase_seq_, close_seq);
+    if (score > best_score || (score == best_score && id < best)) {
+      best_score = score;
+      best = id;
+    }
+  }
+  return best;
+}
+
+BlockId PageMapFtl::PickVictim() {
+  const BlockId victim = UseIndex() ? PickVictimIndexed() : PickVictimLinear();
+  if (victim != kInvalidBlockId) {
+    ++stats_.gc_victim_picks;
+    stats_.victim_seq_hash = VictimHashMix(stats_.victim_seq_hash, victim);
+  }
+  return victim;
 }
 
 Status PageMapFtl::ReclaimBlock(BlockId victim, SimDuration& time_acc) {
@@ -209,8 +405,8 @@ Status PageMapFtl::ReclaimBlock(BlockId victim, SimDuration& time_acc) {
     if (!dst.ok()) {
       return dst.status();
     }
-    --valid_counts_[victim];
-    ++valid_counts_[dst.value().block];
+    DecValidCount(victim);
+    IncValidCount(dst.value().block);
     map_[lpn] = dst.value();
     ++stats_.gc_pages_migrated;
   }
@@ -225,6 +421,10 @@ Status PageMapFtl::ReclaimBlock(BlockId victim, SimDuration& time_acc) {
   if (!erase.ok()) {
     RetireBlock(victim);
     return Status::Ok();  // reclaim succeeded logically; block just retired
+  }
+  if (UseIndex()) {
+    IndexEraseClosed(victim);  // leaves the closed set (valid count now 0)
+    OnBlockErased(victim);
   }
   time_acc += erase.value();
   block_states_[victim] = BlockState::kFree;
@@ -278,19 +478,29 @@ void PageMapFtl::MaybeStaticWearLevel(SimDuration& time_acc) {
   if (wl_spread_ok_version_ == chip_.wear_version()) {
     return;
   }
-  // Find the wear spread and collect the coldest closed blocks in one scan.
+  // Find the wear spread: O(1) from the P/E histogram in indexed mode, one
+  // O(blocks) scan otherwise.
   uint32_t min_pe = 0xffffffffu;
   uint32_t max_pe = 0;
-  for (BlockId b = 0; b < block_states_.size(); ++b) {
-    if (block_states_[b] == BlockState::kBad) {
-      continue;
+  if (UseIndex()) {
+    EnsureWearIndexSync();
+    if (pe_hist_total_ == 0) {
+      return;
     }
-    const uint32_t pe = chip_.block(b).pe_cycles();
-    if (pe > max_pe) {
-      max_pe = pe;
-    }
-    if (pe < min_pe) {
-      min_pe = pe;
+    min_pe = PeHistMin();
+    max_pe = PeHistMax();
+  } else {
+    for (BlockId b = 0; b < block_states_.size(); ++b) {
+      if (block_states_[b] == BlockState::kBad) {
+        continue;
+      }
+      const uint32_t pe = chip_.block(b).pe_cycles();
+      if (pe > max_pe) {
+        max_pe = pe;
+      }
+      if (pe < min_pe) {
+        min_pe = pe;
+      }
     }
   }
   if (max_pe - min_pe <= ftl_config_.wear_level_threshold) {
@@ -300,21 +510,46 @@ void PageMapFtl::MaybeStaticWearLevel(SimDuration& time_acc) {
   // Migrate a batch of cold closed blocks (P/E within a quarter threshold of
   // the minimum); they rejoin the free pool and, being the least worn, are
   // handed out first by dynamic wear leveling. A batch per check keeps the
-  // spread bounded even under a fully skewed hot workload.
+  // spread bounded even under a fully skewed hot workload. Both sweeps visit
+  // candidates in ascending block id, so the migration order is identical.
   const uint32_t cold_cutoff = min_pe + ftl_config_.wear_level_threshold / 4;
   uint32_t migrated = 0;
-  for (BlockId b = 0; b < block_states_.size() && migrated < 8; ++b) {
-    if (block_states_[b] != BlockState::kClosed ||
-        chip_.block(b).pe_cycles() > cold_cutoff) {
-      continue;
+  if (UseIndex()) {
+    // closed_by_pe_ buckets at or below the cutoff hold exactly the cold
+    // closed blocks; the walk is bounded by threshold/4 buckets because no
+    // closed block sits below the histogram minimum.
+    uint32_t next_id = 0;
+    while (migrated < 8) {
+      uint32_t cold = 0;
+      if (!closed_by_pe_.MinIdAtLeast(next_id, cold_cutoff, &cold,
+                                      &stats_.gc_victim_candidates)) {
+        break;
+      }
+      next_id = cold + 1;
+      SimDuration wl_time;
+      if (ReclaimBlock(cold, wl_time).ok()) {
+        time_acc += wl_time;
+        ++migrated;
+      }
+      if (read_only_) {
+        return;
+      }
     }
-    SimDuration wl_time;
-    if (ReclaimBlock(b, wl_time).ok()) {
-      time_acc += wl_time;
-      ++migrated;
-    }
-    if (read_only_) {
-      return;
+  } else {
+    for (BlockId b = 0; b < block_states_.size() && migrated < 8; ++b) {
+      ++stats_.gc_victim_candidates;
+      if (block_states_[b] != BlockState::kClosed ||
+          chip_.block(b).pe_cycles() > cold_cutoff) {
+        continue;
+      }
+      SimDuration wl_time;
+      if (ReclaimBlock(b, wl_time).ok()) {
+        time_acc += wl_time;
+        ++migrated;
+      }
+      if (read_only_) {
+        return;
+      }
     }
   }
   if (migrated > 0 && event_log_ != nullptr) {
@@ -338,7 +573,7 @@ Result<SimDuration> PageMapFtl::WritePageInternal(uint64_t lpn, bool count_as_ho
   }
   InvalidateMapping(lpn);
   map_[lpn] = addr.value();
-  ++valid_counts_[addr.value().block];
+  IncValidCount(addr.value().block);
   ++valid_total_;
   if (count_as_host) {
     ++stats_.host_pages_written;
@@ -411,7 +646,7 @@ Status PageMapFtl::WriteBatch(const uint64_t* lpns, size_t count,
       }
       InvalidateMapping(lpn);
       map_[lpn] = PhysPageAddr{block, wp + k};
-      ++valid_counts_[block];
+      IncValidCount(block);
       ++valid_total_;
       ++stats_.host_pages_written;
       ++*pages_done;
@@ -497,10 +732,14 @@ HealthReport PageMapFtl::Health() const {
   return report;
 }
 
-Status PageMapFtl::ValidateInvariants() const {
+Status PageMapFtl::ValidateInvariants(uint64_t lpn_stride) const {
+  if (lpn_stride == 0) {
+    lpn_stride = 1;
+  }
+  const bool full_walk = lpn_stride == 1;
   std::vector<uint32_t> counted(block_states_.size(), 0);
   uint64_t mapped_total = 0;
-  for (uint64_t lpn = 0; lpn < logical_pages_; ++lpn) {
+  for (uint64_t lpn = 0; lpn < logical_pages_; lpn += lpn_stride) {
     const PhysPageAddr addr = map_[lpn];
     if (!addr.IsValid()) {
       continue;
@@ -518,16 +757,58 @@ Status PageMapFtl::ValidateInvariants() const {
       return InternalError("OOB tag does not match the forward map");
     }
   }
-  if (mapped_total != valid_total_) {
+  if (full_walk && mapped_total != valid_total_) {
     return InternalError("valid-page total out of sync with the map");
   }
+  uint64_t closed_total = 0;
+  uint64_t non_bad_total = 0;
   for (BlockId b = 0; b < block_states_.size(); ++b) {
-    if (counted[b] != valid_counts_[b]) {
+    if (full_walk && counted[b] != valid_counts_[b]) {
       return InternalError("per-block valid count out of sync at block " +
                            std::to_string(b));
     }
     if (block_states_[b] == BlockState::kBad && !chip_.block(b).is_bad()) {
       return InternalError("state says bad but chip disagrees");
+    }
+    if (block_states_[b] == BlockState::kClosed) {
+      ++closed_total;
+    }
+    if (block_states_[b] != BlockState::kBad) {
+      ++non_bad_total;
+    }
+  }
+  if (UseIndex()) {
+    // The indexes must mirror the block states exactly: every closed block in
+    // both (under its current keys), nothing else (checked via sizes).
+    for (BlockId b = 0; b < block_states_.size(); ++b) {
+      if (block_states_[b] != BlockState::kClosed) {
+        continue;
+      }
+      if (!victim_index_.Contains(valid_counts_[b], b, VictimSortKey(b))) {
+        return InternalError("closed block missing from the victim index: " +
+                             std::to_string(b));
+      }
+      if (!closed_by_pe_.Contains(hist_pe_[b], b)) {
+        return InternalError("closed block missing from the P/E index: " +
+                             std::to_string(b));
+      }
+    }
+    if (victim_index_.size() != closed_total) {
+      return InternalError("victim index size != closed block count");
+    }
+    if (closed_by_pe_.size() != closed_total) {
+      return InternalError("P/E index size != closed block count");
+    }
+    if (pe_hist_total_ != non_bad_total) {
+      return InternalError("P/E histogram total != non-bad block count");
+    }
+    if (wear_sync_version_ == chip_.wear_version()) {
+      for (BlockId b = 0; b < block_states_.size(); ++b) {
+        if (block_states_[b] != BlockState::kBad &&
+            hist_pe_[b] != chip_.block(b).pe_cycles()) {
+          return InternalError("stale P/E key at block " + std::to_string(b));
+        }
+      }
     }
   }
   uint64_t free_seen = 0;

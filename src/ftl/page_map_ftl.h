@@ -20,6 +20,7 @@
 #include "src/ftl/ftl_interface.h"
 #include "src/nand/chip.h"
 #include "src/simcore/event_log.h"
+#include "src/simcore/victim_index.h"
 
 namespace flashsim {
 
@@ -61,13 +62,24 @@ class PageMapFtl : public FtlInterface {
   // True when `lpn` currently maps to a physical page.
   bool IsMapped(uint64_t lpn) const;
 
-  // Exhaustive internal-consistency check (O(logical pages + blocks)):
-  //  * every mapped LPN points at a programmed page whose OOB tag is the LPN;
+  // Internal-consistency check:
+  //  * every sampled mapped LPN points at a programmed page whose OOB tag is
+  //    the LPN;
   //  * per-block valid counts equal the number of map entries per block;
   //  * the valid-page total matches;
-  //  * free blocks are erased, and block states partition the array.
-  // Returns the first violation found. Meant for tests and debug builds.
-  Status ValidateInvariants() const;
+  //  * free blocks are erased, and block states partition the array;
+  //  * in indexed mode, the victim/wear indexes mirror the block states.
+  // `lpn_stride` bounds the O(logical pages) map walk by sampling every
+  // N-th LPN; strides > 1 skip the count/total cross-checks (they need the
+  // full walk) but keep every O(blocks) check. Returns the first violation
+  // found. Meant for tests and debug builds.
+  Status ValidateInvariants(uint64_t lpn_stride = 1) const;
+
+  // Switches victim selection at runtime (rebuilds the indexes when turning
+  // kIndexed on). The pick sequence is identical either way; benches flip
+  // this to compare wall-clock cost.
+  void SetVictimSelect(VictimSelect select);
+  VictimSelect victim_select() const { return victim_select_; }
 
   // Merged-pool support (hybrid devices): while enabled, erases of blocks
   // that served as GC destinations are wear-free in THIS pool — the churn is
@@ -89,7 +101,11 @@ class PageMapFtl : public FtlInterface {
   Status RunGcIfNeeded(SimDuration& time_acc);
 
   // Picks a GC victim among closed blocks; kInvalidBlockId if none eligible.
-  BlockId PickVictim() const;
+  // Dispatches to the linear reference scan or the bucket indexes and folds
+  // the pick into the stats (picks, candidates, sequence hash).
+  BlockId PickVictim();
+  BlockId PickVictimLinear();
+  BlockId PickVictimIndexed();
 
   // Migrates all still-valid pages out of `victim` and erases it.
   Status ReclaimBlock(BlockId victim, SimDuration& time_acc);
@@ -110,6 +126,31 @@ class PageMapFtl : public FtlInterface {
   void InvalidateMapping(uint64_t lpn);
   void CloseIfFull(BlockId block);
   void LogEvent(EventSeverity severity, const std::string& message);
+
+  // --- Incremental victim/wear index maintenance (kIndexed mode) ---
+  bool UseIndex() const { return victim_select_ == VictimSelect::kIndexed; }
+  // Ordering key inside a valid-count bucket: close sequence for
+  // cost-benefit (oldest first), unused for greedy (id order).
+  uint64_t VictimSortKey(BlockId block) const {
+    return ftl_config_.gc_policy == GcPolicy::kCostBenefit ? close_seq_[block] : 0;
+  }
+  // Valid-count mutations; a closed block moves between index buckets.
+  void IncValidCount(BlockId block);
+  void DecValidCount(BlockId block);
+  // Closed-set membership (victim index + closed-by-P/E index).
+  void IndexInsertClosed(BlockId block);
+  void IndexEraseClosed(BlockId block);
+  // P/E histogram over non-bad blocks: O(1) spread (min/max) queries.
+  void PeHistAdd(uint32_t pe);
+  void PeHistRemove(uint32_t pe);
+  uint32_t PeHistMin();
+  uint32_t PeHistMax();
+  // Re-keys `block` after an erase charged wear to it.
+  void OnBlockErased(BlockId block);
+  // Full rebuild from chip/block state; counted in the stats. Also the
+  // resync path when external wear changes (annealing) desync the P/E keys.
+  void RebuildVictimIndexes();
+  void EnsureWearIndexSync();
 
   NandChipConfig nand_config_;
   FtlConfig ftl_config_;
@@ -144,6 +185,20 @@ class PageMapFtl : public FtlInterface {
   // Chip wear version at which the static wear-level scan last found the
   // spread within threshold; ~0 means "no valid cached scan".
   uint64_t wl_spread_ok_version_ = ~0ull;
+
+  // Victim-selection indexes (maintained only in kIndexed mode; see
+  // DESIGN.md "Victim-selection indexes" for the invariants).
+  VictimSelect victim_select_ = VictimSelect::kIndexed;
+  BucketVictimIndex victim_index_;   // closed blocks keyed by valid count
+  BucketVictimIndex closed_by_pe_;   // closed blocks keyed by P/E count
+  std::vector<uint32_t> hist_pe_;    // P/E key each non-bad block occupies
+  std::vector<uint64_t> pe_hist_;    // non-bad blocks per P/E count
+  uint64_t pe_hist_total_ = 0;
+  uint32_t pe_min_cursor_ = 0;       // no non-empty P/E bucket below this
+  uint32_t pe_max_cursor_ = 0;       // no non-empty P/E bucket above this
+  // Chip wear version the P/E-keyed structures reflect; a mismatch at use
+  // time means external wear changes (annealing) require a rebuild.
+  uint64_t wear_sync_version_ = ~0ull;
 
   FtlStats stats_;
 };

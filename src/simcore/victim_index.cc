@@ -1,0 +1,232 @@
+#include "src/simcore/victim_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flashsim {
+
+const char* VictimSelectName(VictimSelect select) {
+  switch (select) {
+    case VictimSelect::kLinearScan:
+      return "linear_scan";
+    case VictimSelect::kIndexed:
+      return "indexed";
+  }
+  return "unknown";
+}
+
+void BucketVictimIndex::Reset(uint32_t bucket_count, uint32_t id_limit,
+                              Order order) {
+  order_ = order;
+  id_limit_ = id_limit;
+  words_per_bucket_ = (id_limit + 63) / 64;
+  summary_per_bucket_ = (words_per_bucket_ + 63) / 64;
+  size_ = 0;
+  min_bucket_ = 0;
+  bucket_sizes_.assign(bucket_count, 0);
+  bits_.clear();
+  sets_.clear();
+  if (order_ == Order::kById) {
+    bits_.resize(bucket_count);
+  } else {
+    sets_.resize(bucket_count);
+  }
+}
+
+void BucketVictimIndex::EnsureBucket(uint32_t bucket) {
+  if (bucket < bucket_sizes_.size()) {
+    return;
+  }
+  bucket_sizes_.resize(bucket + 1, 0);
+  if (order_ == Order::kById) {
+    bits_.resize(bucket + 1);
+  } else {
+    sets_.resize(bucket + 1);
+  }
+}
+
+void BucketVictimIndex::BitSet(BitBucket& bucket, uint32_t id) {
+  if (bucket.words.empty()) {
+    bucket.words.assign(words_per_bucket_, 0);
+    bucket.summary.assign(summary_per_bucket_, 0);
+  }
+  const uint32_t w = id >> 6;
+  assert((bucket.words[w] & (1ull << (id & 63))) == 0);
+  bucket.words[w] |= 1ull << (id & 63);
+  bucket.summary[w >> 6] |= 1ull << (w & 63);
+}
+
+void BucketVictimIndex::BitClear(BitBucket& bucket, uint32_t id) {
+  const uint32_t w = id >> 6;
+  assert(!bucket.words.empty() && (bucket.words[w] & (1ull << (id & 63))) != 0);
+  bucket.words[w] &= ~(1ull << (id & 63));
+  if (bucket.words[w] == 0) {
+    bucket.summary[w >> 6] &= ~(1ull << (w & 63));
+  }
+}
+
+bool BucketVictimIndex::BitTest(const BitBucket& bucket, uint32_t id) const {
+  if (bucket.words.empty()) {
+    return false;
+  }
+  return (bucket.words[id >> 6] & (1ull << (id & 63))) != 0;
+}
+
+bool BucketVictimIndex::BitFirstAtLeast(const BitBucket& bucket,
+                                        uint32_t min_id,
+                                        uint32_t* id_out) const {
+  if (bucket.words.empty() || min_id >= id_limit_) {
+    return false;
+  }
+  const uint32_t w0 = min_id >> 6;
+  // Bits >= min_id within the starting word.
+  const uint64_t head = bucket.words[w0] & (~0ull << (min_id & 63));
+  if (head != 0) {
+    *id_out = (w0 << 6) + static_cast<uint32_t>(__builtin_ctzll(head));
+    return true;
+  }
+  // Later words, via the summary. The starting summary word is masked down
+  // to the bits for words strictly after w0.
+  for (uint32_t sw = w0 >> 6; sw < summary_per_bucket_; ++sw) {
+    uint64_t summary = bucket.summary[sw];
+    if (sw == (w0 >> 6)) {
+      const uint32_t bit = w0 & 63;
+      summary = bit == 63 ? 0 : summary & (~0ull << (bit + 1));
+    }
+    if (summary == 0) {
+      continue;
+    }
+    const uint32_t w = (sw << 6) + static_cast<uint32_t>(__builtin_ctzll(summary));
+    *id_out = (w << 6) + static_cast<uint32_t>(__builtin_ctzll(bucket.words[w]));
+    return true;
+  }
+  return false;
+}
+
+void BucketVictimIndex::Insert(uint32_t bucket, uint32_t id, uint64_t sort_key) {
+  assert(id < id_limit_);
+  EnsureBucket(bucket);
+  if (order_ == Order::kById) {
+    BitSet(bits_[bucket], id);
+  } else {
+    const bool inserted = sets_[bucket].emplace(sort_key, id).second;
+    assert(inserted);
+    (void)inserted;
+  }
+  ++bucket_sizes_[bucket];
+  ++size_;
+  if (bucket < min_bucket_) {
+    min_bucket_ = bucket;
+  }
+}
+
+void BucketVictimIndex::Erase(uint32_t bucket, uint32_t id, uint64_t sort_key) {
+  assert(bucket < bucket_sizes_.size() && bucket_sizes_[bucket] > 0);
+  if (order_ == Order::kById) {
+    BitClear(bits_[bucket], id);
+  } else {
+    const size_t erased = sets_[bucket].erase({sort_key, id});
+    assert(erased == 1);
+    (void)erased;
+  }
+  --bucket_sizes_[bucket];
+  --size_;
+}
+
+void BucketVictimIndex::Move(uint32_t from_bucket, uint32_t to_bucket,
+                             uint32_t id, uint64_t sort_key) {
+  Erase(from_bucket, id, sort_key);
+  Insert(to_bucket, id, sort_key);
+}
+
+bool BucketVictimIndex::Contains(uint32_t bucket, uint32_t id,
+                                 uint64_t sort_key) const {
+  if (bucket >= bucket_sizes_.size()) {
+    return false;
+  }
+  if (order_ == Order::kById) {
+    return BitTest(bits_[bucket], id);
+  }
+  return sets_[bucket].count({sort_key, id}) != 0;
+}
+
+bool BucketVictimIndex::PickMin(uint32_t limit_bucket, uint32_t* bucket_out,
+                                uint32_t* id_out, uint64_t* probes_acc) {
+  const uint32_t limit =
+      std::min<uint32_t>(limit_bucket, static_cast<uint32_t>(bucket_sizes_.size()));
+  uint32_t b = min_bucket_;
+  for (; b < limit; ++b) {
+    ++*probes_acc;
+    if (bucket_sizes_[b] == 0) {
+      continue;
+    }
+    min_bucket_ = b;
+    *bucket_out = b;
+    if (order_ == Order::kById) {
+      const bool found = BitFirstAtLeast(bits_[b], 0, id_out);
+      assert(found);
+      (void)found;
+    } else {
+      *id_out = sets_[b].begin()->second;
+    }
+    return true;
+  }
+  // Every bucket below `limit` is empty; remember that so the next pick
+  // (or a pick with a higher limit) resumes from here.
+  min_bucket_ = b;
+  return false;
+}
+
+bool BucketVictimIndex::BucketMin(uint32_t bucket, uint64_t* sort_key_out,
+                                  uint32_t* id_out) const {
+  if (bucket >= bucket_sizes_.size() || bucket_sizes_[bucket] == 0) {
+    return false;
+  }
+  if (order_ == Order::kById) {
+    uint32_t id = 0;
+    if (!BitFirstAtLeast(bits_[bucket], 0, &id)) {
+      return false;
+    }
+    *sort_key_out = 0;
+    *id_out = id;
+    return true;
+  }
+  *sort_key_out = sets_[bucket].begin()->first;
+  *id_out = sets_[bucket].begin()->second;
+  return true;
+}
+
+bool BucketVictimIndex::MinIdAtLeast(uint32_t min_id, uint32_t last_bucket,
+                                     uint32_t* id_out, uint64_t* probes_acc) {
+  assert(order_ == Order::kById);
+  // Advance the cursor over leading empty buckets so the probe count is
+  // bounded by the caller's key range (last_bucket - first non-empty), not
+  // by how large bucket keys have grown over the device's life.
+  while (min_bucket_ < bucket_sizes_.size() && bucket_sizes_[min_bucket_] == 0) {
+    ++min_bucket_;
+  }
+  const uint32_t last =
+      std::min<uint32_t>(last_bucket,
+                         bucket_sizes_.empty()
+                             ? 0
+                             : static_cast<uint32_t>(bucket_sizes_.size() - 1));
+  bool found = false;
+  uint32_t best = 0;
+  for (uint32_t b = min_bucket_; b <= last && b < bucket_sizes_.size(); ++b) {
+    ++*probes_acc;
+    if (bucket_sizes_[b] == 0) {
+      continue;
+    }
+    uint32_t id = 0;
+    if (BitFirstAtLeast(bits_[b], min_id, &id) && (!found || id < best)) {
+      found = true;
+      best = id;
+    }
+  }
+  if (found) {
+    *id_out = best;
+  }
+  return found;
+}
+
+}  // namespace flashsim

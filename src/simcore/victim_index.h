@@ -1,0 +1,143 @@
+// Incrementally-maintained victim-selection index.
+//
+// GC-style victim picks ("fewest valid pages among closed blocks") are a
+// selection over a small integer key: the per-block valid count can only be
+// one of [0, pages_per_block]. BucketVictimIndex keeps one bucket per key
+// value and moves a member between buckets as its key changes, so the pick
+// that used to be an O(total-blocks) scan becomes "first member of the
+// lowest non-empty bucket" — O(1) amortized, independent of device size.
+// This is the same replace-the-scan move as WearBucketedFreePool (PR 1),
+// generalized so PageMapFtl GC, HybridFtl cache eviction, and the LogFs
+// segment cleaner can all share it.
+//
+// Two bucket representations, chosen at Reset():
+//  * Order::kById — each bucket is a hierarchical bitmap over member ids.
+//    Insert/Erase/Move are a handful of word operations (no allocation on
+//    the hot path), and the pick returns the LOWEST id in the bucket, which
+//    is exactly the tie-break of a "first strict improvement wins" linear
+//    scan. Used for greedy GC, cache eviction, and segment cleaning.
+//  * Order::kBySortKeyThenId — each bucket is an ordered set of
+//    (sort_key, id); the bucket minimum is the member with the smallest
+//    sort key, lowest id first. Used for cost-benefit GC, where within a
+//    valid-count bucket the winner is the oldest block (smallest close
+//    sequence number).
+//
+// Ordering contract (relied on by the dual-implementation equivalence
+// tests): PickMin returns the member a linear scan with a strict "better
+// than best so far" comparison would return, i.e. lowest bucket first, then
+// lowest id (kById) or lowest (sort_key, id) (kBySortKeyThenId).
+//
+// The structure is deliberately ignorant of what ids mean; callers own the
+// membership rules (e.g. "closed blocks only", "in-use, non-log-head
+// segments only") and must Insert/Erase/Move on every transition.
+
+#ifndef SRC_SIMCORE_VICTIM_INDEX_H_
+#define SRC_SIMCORE_VICTIM_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace flashsim {
+
+// Victim-selection implementation switch, shared by the FTLs and LogFs. The
+// linear scan is kept as the bit-exact reference implementation; benches and
+// equivalence tests run both and compare victim sequences.
+enum class VictimSelect {
+  kLinearScan,  // O(candidates) scan per pick (reference implementation)
+  kIndexed,     // incrementally-maintained BucketVictimIndex
+};
+
+const char* VictimSelectName(VictimSelect select);
+
+// FNV-1a accumulator for victim-sequence hashes: equal hashes across two
+// runs mean identical pick sequences without storing them.
+inline constexpr uint64_t kVictimHashInit = 1469598103934665603ull;
+inline uint64_t VictimHashMix(uint64_t hash, uint64_t victim) {
+  hash ^= victim;
+  hash *= 1099511628211ull;
+  return hash;
+}
+
+class BucketVictimIndex {
+ public:
+  enum class Order { kById, kBySortKeyThenId };
+
+  // Re-initializes to `bucket_count` empty buckets holding ids in
+  // [0, id_limit). Buckets grow on demand if Insert names a higher bucket
+  // (used when the bucket key is an unbounded P/E count); id_limit is fixed.
+  // sort keys are only meaningful under kBySortKeyThenId and must be passed
+  // consistently to Insert/Erase/Move/Contains (kById ignores them).
+  void Reset(uint32_t bucket_count, uint32_t id_limit, Order order);
+
+  void Insert(uint32_t bucket, uint32_t id, uint64_t sort_key = 0);
+  void Erase(uint32_t bucket, uint32_t id, uint64_t sort_key = 0);
+  void Move(uint32_t from_bucket, uint32_t to_bucket, uint32_t id,
+            uint64_t sort_key = 0);
+  bool Contains(uint32_t bucket, uint32_t id, uint64_t sort_key = 0) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t bucket_count() const {
+    return static_cast<uint32_t>(bucket_sizes_.size());
+  }
+  size_t bucket_size(uint32_t bucket) const {
+    return bucket < bucket_sizes_.size() ? bucket_sizes_[bucket] : 0;
+  }
+
+  // Minimum member of the lowest non-empty bucket strictly below
+  // `limit_bucket` (so a caller can exclude, say, fully-valid blocks).
+  // Adds the number of buckets probed to `*probes_acc` (the indexed
+  // equivalent of "candidates examined"). Amortized O(1): a lazily-advanced
+  // cursor remembers that every bucket below it is empty.
+  bool PickMin(uint32_t limit_bucket, uint32_t* bucket_out, uint32_t* id_out,
+               uint64_t* probes_acc);
+
+  // Minimum (sort_key, id) of one bucket; false when the bucket is empty.
+  // The cost-benefit policy scores one candidate per bucket with this.
+  bool BucketMin(uint32_t bucket, uint64_t* sort_key_out,
+                 uint32_t* id_out) const;
+
+  // Lowest id >= min_id across buckets [min cursor, last_bucket] — ascending
+  // id iteration over "members with bucket key <= last_bucket", as used by
+  // the cold-block sweep of static wear leveling. kById only. Probes every
+  // non-empty bucket in range (bounded by the caller's key range, not by
+  // device size); adds the bucket count probed to `*probes_acc`.
+  bool MinIdAtLeast(uint32_t min_id, uint32_t last_bucket, uint32_t* id_out,
+                    uint64_t* probes_acc);
+
+ private:
+  // Per-bucket bitmap with a one-level summary: summary bit w set iff
+  // words[w] != 0. `words` is allocated on first insert, so untouched
+  // buckets cost one empty vector each.
+  struct BitBucket {
+    std::vector<uint64_t> words;
+    std::vector<uint64_t> summary;
+  };
+
+  void BitSet(BitBucket& bucket, uint32_t id);
+  void BitClear(BitBucket& bucket, uint32_t id);
+  bool BitTest(const BitBucket& bucket, uint32_t id) const;
+  // Lowest set id >= min_id, or false.
+  bool BitFirstAtLeast(const BitBucket& bucket, uint32_t min_id,
+                       uint32_t* id_out) const;
+
+  void EnsureBucket(uint32_t bucket);
+
+  Order order_ = Order::kById;
+  uint32_t id_limit_ = 0;
+  uint32_t words_per_bucket_ = 0;
+  uint32_t summary_per_bucket_ = 0;
+  size_t size_ = 0;
+  // No non-empty bucket exists below this cursor; only Insert/Move lower it.
+  uint32_t min_bucket_ = 0;
+  std::vector<uint32_t> bucket_sizes_;
+  std::vector<BitBucket> bits_;                                    // kById
+  std::vector<std::set<std::pair<uint64_t, uint32_t>>> sets_;  // kBySortKeyThenId
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_VICTIM_INDEX_H_

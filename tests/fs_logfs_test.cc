@@ -139,5 +139,36 @@ TEST_F(LogFsTest, DeviceSeesSequentialLogWrites) {
   EXPECT_DOUBLE_EQ(device_->ftl().Stats().WriteAmplification(), 1.0);
 }
 
+TEST_F(LogFsTest, CleanNowDistinguishesEmptyFromFullyValid) {
+  for (const VictimSelect select :
+       {VictimSelect::kLinearScan, VictimSelect::kIndexed}) {
+    LogFsConfig cfg;
+    cfg.blocks_per_segment = 64;
+    cfg.cleaner_free_watermark = 4;
+    cfg.victim_select = select;
+    auto device = MakeDurableDevice();
+    LogFs fs(*device, cfg);
+    // Fresh fs: no in-use segment beyond the log heads, nothing to clean.
+    EXPECT_EQ(fs.CleanNow().code(), StatusCode::kResourceExhausted);
+    // Sequential never-overwritten data: every segment the log retires is
+    // 100% valid. Cleaning one would copy a whole segment for zero gain, so
+    // the pick must refuse with a distinct, retryable-after-invalidation
+    // status rather than "no candidate".
+    ASSERT_TRUE(fs.Create("f").ok());
+    const uint64_t bytes = 3 * 64 * 4096 + 32 * 4096;  // 3.5 segments of data
+    for (uint64_t off = 0; off < bytes; off += 4096) {
+      ASSERT_TRUE(fs.Write("f", off, 4096, /*sync=*/false).ok());
+    }
+    EXPECT_EQ(fs.CleanNow().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(fs.segments_cleaned(), 0u);
+    // One overwrite punches a hole in a retired segment; cleaning succeeds.
+    ASSERT_TRUE(fs.Write("f", 0, 4096, /*sync=*/false).ok());
+    SimDuration clean_time;
+    EXPECT_TRUE(fs.CleanNow(&clean_time).ok());
+    EXPECT_EQ(fs.segments_cleaned(), 1u);
+    EXPECT_GT(clean_time.nanos(), 0);
+  }
+}
+
 }  // namespace
 }  // namespace flashsim

@@ -1,0 +1,228 @@
+// Dual-implementation equivalence: the indexed victim selection must be
+// bit-exact with the linear reference scan. Each test drives two identically
+// seeded instances — one per VictimSelect mode — through the same randomized
+// op sequence and compares victim-sequence hashes, pick counts, wear, stats,
+// and health. Candidate and rebuild counters are excluded: they measure pick
+// cost, which differs between modes by design.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/fs/logfs.h"
+#include "src/simcore/rng.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+void ExpectStatsEquivalent(const FtlStats& linear, const FtlStats& indexed) {
+  EXPECT_EQ(linear.victim_seq_hash, indexed.victim_seq_hash);
+  EXPECT_EQ(linear.gc_victim_picks, indexed.gc_victim_picks);
+  EXPECT_EQ(linear.cache_victim_seq_hash, indexed.cache_victim_seq_hash);
+  EXPECT_EQ(linear.cache_evict_picks, indexed.cache_evict_picks);
+  EXPECT_EQ(linear.host_pages_written, indexed.host_pages_written);
+  EXPECT_EQ(linear.nand_pages_written, indexed.nand_pages_written);
+  EXPECT_EQ(linear.gc_pages_migrated, indexed.gc_pages_migrated);
+  EXPECT_EQ(linear.erases, indexed.erases);
+  EXPECT_EQ(linear.free_blocks, indexed.free_blocks);
+  EXPECT_EQ(linear.valid_pages, indexed.valid_pages);
+}
+
+void ExpectHealthEquivalent(const HealthReport& a, const HealthReport& b) {
+  EXPECT_EQ(a.life_time_est_a, b.life_time_est_a);
+  EXPECT_EQ(a.life_time_est_b, b.life_time_est_b);
+  EXPECT_DOUBLE_EQ(a.avg_pe_a, b.avg_pe_a);
+  EXPECT_DOUBLE_EQ(a.avg_pe_b, b.avg_pe_b);
+  EXPECT_EQ(a.spare_blocks_used, b.spare_blocks_used);
+  EXPECT_EQ(a.pre_eol, b.pre_eol);
+}
+
+// Same randomized op sequence against both FTLs: single writes, sequential
+// bursts (the batch path), and trims, over a footprint large enough to keep
+// GC and static wear leveling busy on the tiny config.
+void DriveSideBySide(PageMapFtl& linear, PageMapFtl& indexed, uint64_t seed,
+                     int steps) {
+  const uint64_t lpns = linear.LogicalPageCount();
+  ASSERT_EQ(lpns, indexed.LogicalPageCount());
+  Rng rng(seed);
+  for (int step = 0; step < steps; ++step) {
+    const uint64_t op = rng.UniformU64(10);
+    const uint64_t lpn = rng.UniformU64(lpns);
+    if (op < 7) {
+      Result<SimDuration> a = linear.WritePage(lpn);
+      Result<SimDuration> b = indexed.WritePage(lpn);
+      ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+      if (a.ok()) {
+        EXPECT_EQ(a.value().nanos(), b.value().nanos()) << "step " << step;
+      }
+    } else if (op < 9) {
+      const uint64_t count = 1 + rng.UniformU64(64);
+      const uint64_t start = lpn % (lpns - std::min<uint64_t>(count, lpns - 1));
+      Result<SimDuration> a = linear.WritePages(start, count);
+      Result<SimDuration> b = indexed.WritePages(start, count);
+      ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+      if (a.ok()) {
+        EXPECT_EQ(a.value().nanos(), b.value().nanos()) << "step " << step;
+      }
+    } else {
+      EXPECT_EQ(linear.TrimPage(lpn).code(), indexed.TrimPage(lpn).code());
+    }
+    if (linear.IsReadOnly() || indexed.IsReadOnly()) {
+      break;
+    }
+  }
+  EXPECT_EQ(linear.IsReadOnly(), indexed.IsReadOnly());
+  ExpectStatsEquivalent(linear.Stats(), indexed.Stats());
+  ExpectHealthEquivalent(linear.Health(), indexed.Health());
+  EXPECT_TRUE(linear.ValidateInvariants().ok());
+  EXPECT_TRUE(indexed.ValidateInvariants().ok());
+}
+
+std::unique_ptr<PageMapFtl> MakeFtl(GcPolicy policy, VictimSelect select,
+                                    uint64_t seed) {
+  FtlConfig config = TinyFtlConfig();
+  config.gc_policy = policy;
+  config.victim_select = select;
+  return std::make_unique<PageMapFtl>(TinyChipConfig(), config, seed);
+}
+
+TEST(VictimEquivalenceTest, GreedyPolicyIdenticalVictimSequences) {
+  for (uint64_t seed : {1ull, 7ull, 42ull}) {
+    auto linear = MakeFtl(GcPolicy::kGreedy, VictimSelect::kLinearScan, seed);
+    auto indexed = MakeFtl(GcPolicy::kGreedy, VictimSelect::kIndexed, seed);
+    DriveSideBySide(*linear, *indexed, seed * 1000 + 5, 6000);
+    EXPECT_GT(indexed->Stats().gc_victim_picks, 0u);
+  }
+}
+
+TEST(VictimEquivalenceTest, CostBenefitPolicyIdenticalVictimSequences) {
+  for (uint64_t seed : {2ull, 19ull}) {
+    auto linear = MakeFtl(GcPolicy::kCostBenefit, VictimSelect::kLinearScan, seed);
+    auto indexed = MakeFtl(GcPolicy::kCostBenefit, VictimSelect::kIndexed, seed);
+    DriveSideBySide(*linear, *indexed, seed * 1000 + 5, 6000);
+    EXPECT_GT(indexed->Stats().gc_victim_picks, 0u);
+  }
+}
+
+TEST(VictimEquivalenceTest, SwitchingModesMidRunPreservesSequence) {
+  // A device that flips to indexed mid-life must continue the exact victim
+  // sequence the always-linear device produces.
+  auto reference = MakeFtl(GcPolicy::kGreedy, VictimSelect::kLinearScan, 3);
+  auto switching = MakeFtl(GcPolicy::kGreedy, VictimSelect::kLinearScan, 3);
+  DriveSideBySide(*reference, *switching, 77, 2500);
+  switching->SetVictimSelect(VictimSelect::kIndexed);
+  EXPECT_GT(switching->Stats().victim_index_rebuilds, 0u);
+  DriveSideBySide(*reference, *switching, 78, 2500);
+}
+
+TEST(VictimEquivalenceTest, AnnealRebuildsWearIndexAndStaysEquivalent) {
+  // External wear changes (annealing) invalidate the P/E-keyed index; the
+  // indexed FTL must detect the chip wear-version bump, rebuild, and keep
+  // producing the linear victim sequence.
+  auto linear = MakeFtl(GcPolicy::kGreedy, VictimSelect::kLinearScan, 11);
+  auto indexed = MakeFtl(GcPolicy::kGreedy, VictimSelect::kIndexed, 11);
+  DriveSideBySide(*linear, *indexed, 501, 3000);
+  const uint64_t rebuilds_before = indexed->Stats().victim_index_rebuilds;
+  linear->mutable_chip().AnnealAll(0.5, SimDuration::Micros(10));
+  indexed->mutable_chip().AnnealAll(0.5, SimDuration::Micros(10));
+  DriveSideBySide(*linear, *indexed, 502, 3000);
+  EXPECT_GT(indexed->Stats().victim_index_rebuilds, rebuilds_before);
+}
+
+TEST(VictimEquivalenceTest, SampledInvariantsSkipOnlyFullWalkChecks) {
+  auto indexed = MakeFtl(GcPolicy::kGreedy, VictimSelect::kIndexed, 5);
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(indexed->WritePage(rng.UniformU64(indexed->LogicalPageCount())).ok());
+  }
+  EXPECT_TRUE(indexed->ValidateInvariants(/*lpn_stride=*/1).ok());
+  EXPECT_TRUE(indexed->ValidateInvariants(/*lpn_stride=*/16).ok());
+}
+
+TEST(VictimEquivalenceTest, HybridMinValidCacheEviction) {
+  for (const VictimSelect select :
+       {VictimSelect::kLinearScan, VictimSelect::kIndexed}) {
+    HybridConfig reference_cfg = TinyHybridConfig();
+    reference_cfg.cache_evict_policy = CacheEvictPolicy::kMinValid;
+    reference_cfg.victim_select = VictimSelect::kLinearScan;
+    HybridConfig other_cfg = reference_cfg;
+    other_cfg.victim_select = select;
+    HybridFtl linear(TinyChipConfig(), TinyFtlConfig(), TinySlcConfig(),
+                     reference_cfg, 21);
+    HybridFtl indexed(TinyChipConfig(), TinyFtlConfig(), TinySlcConfig(),
+                      other_cfg, 21);
+    Rng rng(33);
+    for (int step = 0; step < 5000; ++step) {
+      const uint64_t lpn = rng.UniformU64(linear.LogicalPageCount());
+      Result<SimDuration> a = linear.WritePage(lpn);
+      Result<SimDuration> b = indexed.WritePage(lpn);
+      ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+      if (a.ok()) {
+        EXPECT_EQ(a.value().nanos(), b.value().nanos()) << "step " << step;
+      }
+      if (linear.IsReadOnly() || indexed.IsReadOnly()) {
+        break;
+      }
+    }
+    ExpectStatsEquivalent(linear.Stats(), indexed.Stats());
+    ExpectHealthEquivalent(linear.Health(), indexed.Health());
+    EXPECT_GT(indexed.Stats().cache_evict_picks, 0u);
+  }
+}
+
+TEST(VictimEquivalenceTest, LogFsCleanerIdenticalVictimSequences) {
+  // Two durable devices, two LogFs instances differing only in cleaner
+  // victim location; a churny overwrite workload forces segment cleaning.
+  auto dev_a = MakeDurableDevice(13);
+  auto dev_b = MakeDurableDevice(13);
+  LogFsConfig linear_cfg;
+  linear_cfg.blocks_per_segment = 64;
+  linear_cfg.cleaner_free_watermark = 4;
+  linear_cfg.victim_select = VictimSelect::kLinearScan;
+  LogFsConfig indexed_cfg = linear_cfg;
+  indexed_cfg.victim_select = VictimSelect::kIndexed;
+  LogFs linear(*dev_a, linear_cfg);
+  LogFs indexed(*dev_b, indexed_cfg);
+  ASSERT_TRUE(linear.Create("churn").ok());
+  ASSERT_TRUE(indexed.Create("churn").ok());
+  const uint64_t file_bytes = linear.FreeBytes() * 3 / 4;
+  // Bulk sequential rewrite passes: each pass invalidates the previous one,
+  // so by the third the free pool is below the cleaner watermark and every
+  // further append forces cleaning on both instances.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint64_t off = 0; off < file_bytes; off += 65536) {
+      const uint64_t len = std::min<uint64_t>(65536, file_bytes - off);
+      Result<SimDuration> a = linear.Write("churn", off, len, /*sync=*/false);
+      Result<SimDuration> b = indexed.Write("churn", off, len, /*sync=*/false);
+      ASSERT_EQ(a.ok(), b.ok()) << "pass " << pass << " off " << off;
+      if (a.ok()) {
+        EXPECT_EQ(a.value().nanos(), b.value().nanos())
+            << "pass " << pass << " off " << off;
+      }
+    }
+  }
+  // Fine-grained churn: random 4 KiB sync overwrites keep the cleaner busy
+  // with skewed per-segment valid counts.
+  Rng rng(55);
+  for (int step = 0; step < 1500; ++step) {
+    const uint64_t offset = (rng.UniformU64(file_bytes) / 4096) * 4096;
+    Result<SimDuration> a = linear.Write("churn", offset, 4096, /*sync=*/true);
+    Result<SimDuration> b = indexed.Write("churn", offset, 4096, /*sync=*/true);
+    ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+    if (a.ok()) {
+      EXPECT_EQ(a.value().nanos(), b.value().nanos()) << "step " << step;
+    }
+  }
+  EXPECT_GT(indexed.segments_cleaned(), 0u);
+  EXPECT_EQ(linear.segments_cleaned(), indexed.segments_cleaned());
+  EXPECT_EQ(linear.stats().cleaner_picks, indexed.stats().cleaner_picks);
+  EXPECT_EQ(linear.stats().cleaner_victim_hash, indexed.stats().cleaner_victim_hash);
+  EXPECT_EQ(linear.stats().cleaner_bytes_moved, indexed.stats().cleaner_bytes_moved);
+  EXPECT_EQ(linear.stats().DeviceBytesTotal(), indexed.stats().DeviceBytesTotal());
+  ExpectStatsEquivalent(dev_a->ftl().Stats(), dev_b->ftl().Stats());
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -1,0 +1,216 @@
+// BucketVictimIndex unit tests: ordering contract, cursor laziness, probe
+// accounting, and a randomized comparison against a naive reference for both
+// bucket representations.
+
+#include "src/simcore/victim_index.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/simcore/rng.h"
+
+namespace flashsim {
+namespace {
+
+using Order = BucketVictimIndex::Order;
+
+TEST(VictimIndexTest, EmptyPicksNothing) {
+  BucketVictimIndex index;
+  index.Reset(/*bucket_count=*/8, /*id_limit=*/64, Order::kById);
+  EXPECT_TRUE(index.empty());
+  uint32_t bucket = 0, id = 0;
+  uint64_t probes = 0;
+  EXPECT_FALSE(index.PickMin(8, &bucket, &id, &probes));
+}
+
+TEST(VictimIndexTest, PickMinReturnsLowestBucketThenLowestId) {
+  BucketVictimIndex index;
+  index.Reset(8, 256, Order::kById);
+  index.Insert(5, 10);
+  index.Insert(3, 200);
+  index.Insert(3, 17);
+  index.Insert(7, 1);
+  uint32_t bucket = 0, id = 0;
+  uint64_t probes = 0;
+  ASSERT_TRUE(index.PickMin(8, &bucket, &id, &probes));
+  EXPECT_EQ(bucket, 3u);
+  EXPECT_EQ(id, 17u);  // lowest id within the lowest bucket
+  EXPECT_EQ(index.size(), 4u);
+}
+
+TEST(VictimIndexTest, LimitBucketExcludesHighBuckets) {
+  BucketVictimIndex index;
+  index.Reset(8, 64, Order::kById);
+  index.Insert(6, 2);
+  index.Insert(7, 3);
+  uint32_t bucket = 0, id = 0;
+  uint64_t probes = 0;
+  // Limit 6: only buckets 0..5 qualify, so nothing is picked...
+  EXPECT_FALSE(index.PickMin(6, &bucket, &id, &probes));
+  // ...but a higher limit finds bucket 6 (the cursor must not overshoot).
+  ASSERT_TRUE(index.PickMin(7, &bucket, &id, &probes));
+  EXPECT_EQ(bucket, 6u);
+  EXPECT_EQ(id, 2u);
+}
+
+TEST(VictimIndexTest, MoveTracksKeyChanges) {
+  BucketVictimIndex index;
+  index.Reset(8, 64, Order::kById);
+  index.Insert(4, 9);
+  index.Move(4, 2, 9);
+  EXPECT_FALSE(index.Contains(4, 9));
+  EXPECT_TRUE(index.Contains(2, 9));
+  uint32_t bucket = 0, id = 0;
+  uint64_t probes = 0;
+  ASSERT_TRUE(index.PickMin(8, &bucket, &id, &probes));
+  EXPECT_EQ(bucket, 2u);
+  EXPECT_EQ(id, 9u);
+}
+
+TEST(VictimIndexTest, InsertBelowCursorLowersIt) {
+  BucketVictimIndex index;
+  index.Reset(8, 64, Order::kById);
+  index.Insert(6, 1);
+  uint32_t bucket = 0, id = 0;
+  uint64_t probes = 0;
+  ASSERT_TRUE(index.PickMin(8, &bucket, &id, &probes));  // cursor now at 6
+  index.Insert(1, 2);
+  ASSERT_TRUE(index.PickMin(8, &bucket, &id, &probes));
+  EXPECT_EQ(bucket, 1u);
+  EXPECT_EQ(id, 2u);
+}
+
+TEST(VictimIndexTest, ProbesAreAmortizedConstant) {
+  BucketVictimIndex index;
+  index.Reset(128, 64, Order::kById);
+  index.Insert(100, 5);
+  uint32_t bucket = 0, id = 0;
+  uint64_t probes = 0;
+  ASSERT_TRUE(index.PickMin(128, &bucket, &id, &probes));
+  const uint64_t first = probes;
+  EXPECT_GE(first, 100u);  // first pick walks up to the occupied bucket
+  // Repeated picks resume at the cursor: one probe each.
+  for (int i = 0; i < 10; ++i) {
+    probes = 0;
+    ASSERT_TRUE(index.PickMin(128, &bucket, &id, &probes));
+    EXPECT_EQ(probes, 1u);
+  }
+}
+
+TEST(VictimIndexTest, SortKeyOrderPicksOldestThenLowestId) {
+  BucketVictimIndex index;
+  index.Reset(8, 64, Order::kBySortKeyThenId);
+  index.Insert(2, 10, /*sort_key=*/50);
+  index.Insert(2, 11, /*sort_key=*/20);
+  index.Insert(2, 12, /*sort_key=*/20);
+  uint64_t key = 0;
+  uint32_t id = 0;
+  ASSERT_TRUE(index.BucketMin(2, &key, &id));
+  EXPECT_EQ(key, 20u);
+  EXPECT_EQ(id, 11u);  // tie on sort key -> lowest id
+  index.Erase(2, 11, 20);
+  ASSERT_TRUE(index.BucketMin(2, &key, &id));
+  EXPECT_EQ(id, 12u);
+}
+
+TEST(VictimIndexTest, MinIdAtLeastWalksAscendingIds) {
+  BucketVictimIndex index;
+  index.Reset(16, 256, Order::kById);
+  index.Insert(3, 40);
+  index.Insert(5, 7);
+  index.Insert(2, 100);
+  index.Insert(9, 1);  // above last_bucket, must be ignored
+  uint64_t probes = 0;
+  std::vector<uint32_t> seen;
+  uint32_t next = 0;
+  uint32_t id = 0;
+  while (index.MinIdAtLeast(next, /*last_bucket=*/5, &id, &probes)) {
+    seen.push_back(id);
+    next = id + 1;
+  }
+  EXPECT_EQ(seen, (std::vector<uint32_t>{7, 40, 100}));
+}
+
+TEST(VictimIndexTest, BucketsGrowOnDemand) {
+  BucketVictimIndex index;
+  index.Reset(4, 64, Order::kById);
+  index.Insert(200, 3);  // far beyond the initial bucket count
+  EXPECT_GE(index.bucket_count(), 201u);
+  EXPECT_TRUE(index.Contains(200, 3));
+  uint32_t bucket = 0, id = 0;
+  uint64_t probes = 0;
+  ASSERT_TRUE(index.PickMin(index.bucket_count(), &bucket, &id, &probes));
+  EXPECT_EQ(bucket, 200u);
+}
+
+// Randomized: the index must agree with a naive multiset under a churn of
+// inserts, erases, key moves, and picks.
+TEST(VictimIndexTest, RandomizedAgainstNaiveReference) {
+  for (const Order order : {Order::kById, Order::kBySortKeyThenId}) {
+    constexpr uint32_t kBuckets = 12;
+    constexpr uint32_t kIds = 160;
+    BucketVictimIndex index;
+    index.Reset(kBuckets, kIds, order);
+    // Reference: id -> (bucket, sort_key); absent means not a member.
+    std::vector<std::pair<uint32_t, uint64_t>> ref(kIds, {UINT32_MAX, 0});
+    Rng rng(1234);
+    for (int step = 0; step < 20000; ++step) {
+      const uint32_t id = static_cast<uint32_t>(rng.UniformU64(kIds));
+      const uint32_t op = static_cast<uint32_t>(rng.UniformU64(4));
+      if (op == 0 && ref[id].first == UINT32_MAX) {
+        const uint32_t bucket = static_cast<uint32_t>(rng.UniformU64(kBuckets));
+        const uint64_t key = rng.UniformU64(5);
+        index.Insert(bucket, id, key);
+        ref[id] = {bucket, key};
+      } else if (op == 1 && ref[id].first != UINT32_MAX) {
+        index.Erase(ref[id].first, id, ref[id].second);
+        ref[id] = {UINT32_MAX, 0};
+      } else if (op == 2 && ref[id].first != UINT32_MAX) {
+        const uint32_t to = static_cast<uint32_t>(rng.UniformU64(kBuckets));
+        index.Move(ref[id].first, to, id, ref[id].second);
+        ref[id].first = to;
+      } else if (op == 3) {
+        // Pick and compare with the reference winner under the contract:
+        // lowest bucket, then lowest (sort_key, id) / id.
+        const uint32_t limit = 1 + static_cast<uint32_t>(rng.UniformU64(kBuckets));
+        uint32_t got_bucket = 0, got_id = 0;
+        uint64_t probes = 0;
+        const bool got = index.PickMin(limit, &got_bucket, &got_id, &probes);
+        std::tuple<uint32_t, uint64_t, uint32_t> best{UINT32_MAX, 0, 0};
+        bool want = false;
+        for (uint32_t i = 0; i < kIds; ++i) {
+          if (ref[i].first >= limit) {
+            continue;
+          }
+          const uint64_t key = order == Order::kById ? 0 : ref[i].second;
+          const std::tuple<uint32_t, uint64_t, uint32_t> cand{ref[i].first, key, i};
+          if (!want || cand < best) {
+            best = cand;
+            want = true;
+          }
+        }
+        ASSERT_EQ(got, want) << "step " << step;
+        if (got) {
+          EXPECT_EQ(got_bucket, std::get<0>(best)) << "step " << step;
+          EXPECT_EQ(got_id, std::get<2>(best)) << "step " << step;
+        }
+      }
+    }
+    // Full-membership audit at the end.
+    size_t members = 0;
+    for (uint32_t i = 0; i < kIds; ++i) {
+      if (ref[i].first != UINT32_MAX) {
+        ++members;
+        EXPECT_TRUE(index.Contains(ref[i].first, i, ref[i].second));
+      }
+    }
+    EXPECT_EQ(index.size(), members);
+  }
+}
+
+}  // namespace
+}  // namespace flashsim
