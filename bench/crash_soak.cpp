@@ -1,0 +1,195 @@
+// Crash-recovery soak driver.
+//
+// Two modes:
+//
+//   Sweep (default): hundreds of randomized (seed, cut) crash scenarios over
+//   the full {ftl} x {fs} x {workload} grid. Every failing run prints its
+//   one-line replay command; exit status is non-zero if any run violates a
+//   durability, integrity, or wear property. Emits BENCH_crash_soak.json
+//   with per-configuration aggregates and summed RecoveryReport counters.
+//     ./build-release/bench/crash_soak                # 504 runs
+//     ./build-release/bench/crash_soak --ci           # short fixed-seed smoke
+//     ./build-release/bench/crash_soak --runs-per-config=250
+//
+//   Single-run replay (--cut-op= or --no-cut present): exactly one scenario,
+//   fully determined by the flags — the mode failure repro lines use.
+//     ./build-release/bench/crash_soak --ftl=hybrid --fs=logfs
+//         --workload=mixed --seed=1042 --ops=300 --cut-op=1187
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/crashlab/crash_harness.h"
+
+using namespace flashsim;
+
+namespace {
+
+struct ConfigAggregate {
+  std::string name;
+  uint64_t runs = 0;
+  uint64_t failures = 0;
+  uint64_t cuts_fired = 0;
+  RecoveryReport totals;
+};
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+void WriteJson(const std::vector<ConfigAggregate>& configs, uint64_t total_runs,
+               uint64_t total_failures) {
+  std::FILE* f = std::fopen("BENCH_crash_soak.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_crash_soak.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"total_runs\": %llu,\n  \"total_failures\": %llu,\n",
+               static_cast<unsigned long long>(total_runs),
+               static_cast<unsigned long long>(total_failures));
+  std::fprintf(f, "  \"configs\": [\n");
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const ConfigAggregate& c = configs[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"runs\": %llu, \"failures\": %llu, "
+                 "\"cuts_fired\": %llu, \"recovery_totals\": %s}%s\n",
+                 c.name.c_str(), static_cast<unsigned long long>(c.runs),
+                 static_cast<unsigned long long>(c.failures),
+                 static_cast<unsigned long long>(c.cuts_fired),
+                 RecoveryReportJson(c.totals).c_str(),
+                 i + 1 < configs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int RunSingle(const CrashSpec& spec) {
+  const CrashRunResult r = RunCrashScenario(spec);
+  std::printf("config: %s/%s/%s seed=%llu ops=%llu\n", FtlKindName(spec.ftl),
+              FsKindName(spec.fs), CrashWorkloadName(spec.workload),
+              static_cast<unsigned long long>(spec.seed),
+              static_cast<unsigned long long>(spec.ops));
+  std::printf("cut: %s (resolved op %llu), %llu ops acknowledged\n",
+              r.cut_fired ? "fired" : "did not fire",
+              static_cast<unsigned long long>(r.resolved_cut_op),
+              static_cast<unsigned long long>(r.ops_acknowledged));
+  std::printf("recovery: %s\n", RecoveryReportJson(r.report).c_str());
+  if (!r.ok) {
+    std::printf("FAIL: %s\n  repro: %s\n", r.failure.c_str(), r.repro.c_str());
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CrashSpec base;
+  bool single = false;
+  bool ci = false;
+  uint64_t runs_per_config = 42;  // x12 configs = 504 runs
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--ci") == 0) {
+      ci = true;
+    } else if (std::strcmp(arg, "--no-cut") == 0) {
+      base.no_cut = true;
+      single = true;
+    } else if (FlagValue(arg, "--ftl", &v)) {
+      if (!ParseFtlKind(v, &base.ftl)) {
+        std::fprintf(stderr, "unknown --ftl value: %s\n", v.c_str());
+        return 2;
+      }
+    } else if (FlagValue(arg, "--fs", &v)) {
+      if (!ParseFsKind(v, &base.fs)) {
+        std::fprintf(stderr, "unknown --fs value: %s\n", v.c_str());
+        return 2;
+      }
+    } else if (FlagValue(arg, "--workload", &v)) {
+      if (!ParseCrashWorkload(v, &base.workload)) {
+        std::fprintf(stderr, "unknown --workload value: %s\n", v.c_str());
+        return 2;
+      }
+    } else if (FlagValue(arg, "--seed", &v)) {
+      base.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (FlagValue(arg, "--ops", &v)) {
+      base.ops = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (FlagValue(arg, "--cut-window", &v)) {
+      base.cut_window = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (FlagValue(arg, "--cut-op", &v)) {
+      base.cut_op = std::strtoull(v.c_str(), nullptr, 10);
+      single = true;
+    } else if (FlagValue(arg, "--runs-per-config", &v)) {
+      runs_per_config = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    }
+  }
+
+  if (single) {
+    return RunSingle(base);
+  }
+  if (ci) {
+    runs_per_config = 10;  // x12 configs = 120 fixed-seed smoke runs
+  }
+
+  const FtlKind ftls[] = {FtlKind::kPageMap, FtlKind::kHybrid};
+  const FsKind fss[] = {FsKind::kLogFs, FsKind::kExtFs};
+  const CrashWorkload workloads[] = {CrashWorkload::kMixed,
+                                     CrashWorkload::kOverwrite,
+                                     CrashWorkload::kSyncHeavy};
+  std::vector<ConfigAggregate> configs;
+  uint64_t total_runs = 0;
+  uint64_t total_failures = 0;
+  for (const FtlKind ftl : ftls) {
+    for (const FsKind fs : fss) {
+      for (const CrashWorkload workload : workloads) {
+        ConfigAggregate agg;
+        agg.name = std::string(FtlKindName(ftl)) + "/" + FsKindName(fs) + "/" +
+                   CrashWorkloadName(workload);
+        for (uint64_t i = 0; i < runs_per_config; ++i) {
+          CrashSpec spec = base;
+          spec.ftl = ftl;
+          spec.fs = fs;
+          spec.workload = workload;
+          spec.seed = 2000 + i;  // fixed seeds: CI runs are reproducible
+          spec.ops = 300;
+          spec.cut_window = 3000;
+          const CrashRunResult r = RunCrashScenario(spec);
+          ++agg.runs;
+          ++total_runs;
+          agg.cuts_fired += r.cut_fired ? 1 : 0;
+          agg.totals.Merge(r.report);
+          if (!r.ok) {
+            ++agg.failures;
+            ++total_failures;
+            std::printf("FAIL %s seed=%llu: %s\n  repro: %s\n", agg.name.c_str(),
+                        static_cast<unsigned long long>(spec.seed),
+                        r.failure.c_str(), r.repro.c_str());
+          }
+        }
+        std::printf("%-28s %3llu runs, %3llu cuts fired, %llu failures\n",
+                    agg.name.c_str(), static_cast<unsigned long long>(agg.runs),
+                    static_cast<unsigned long long>(agg.cuts_fired),
+                    static_cast<unsigned long long>(agg.failures));
+        configs.push_back(std::move(agg));
+      }
+    }
+  }
+  WriteJson(configs, total_runs, total_failures);
+  std::printf("total: %llu runs, %llu failures; wrote BENCH_crash_soak.json\n",
+              static_cast<unsigned long long>(total_runs),
+              static_cast<unsigned long long>(total_failures));
+  return total_failures == 0 ? 0 : 1;
+}

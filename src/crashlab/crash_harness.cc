@@ -1,0 +1,476 @@
+#include "src/crashlab/crash_harness.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/crashlab/shadow_fs.h"
+#include "src/device/flash_device.h"
+#include "src/fs/extfs.h"
+#include "src/fs/logfs.h"
+#include "src/ftl/hybrid_ftl.h"
+#include "src/ftl/page_map_ftl.h"
+#include "src/nand/config.h"
+#include "src/simcore/fault_plan.h"
+#include "src/simcore/rng.h"
+
+namespace flashsim {
+namespace {
+
+// Harness sizing: a 16 MiB pool keeps runs fast while still cycling the
+// LogFs cleaner and the ExtFs journal ring within a few hundred ops; the
+// endurance ratings are set far above anything a run can consume, so wear
+// never confounds the durability properties (a page stranded in a
+// wear-retired block is a different failure mode, covered by FTL tests).
+constexpr uint64_t kMaxFileBytes = 1 * 1024 * 1024;
+constexpr uint32_t kBlockBytes = 4096;
+constexpr uint64_t kExtFsBatchBytes = 256 * 1024;
+
+const char* const kNamePool[] = {"f0", "f1", "f2", "f3", "f4", "f5",
+                                 "g0", "g1", "g2", "g3"};
+
+std::unique_ptr<FlashDevice> MakeCrashDevice(FtlKind kind, uint64_t seed) {
+  NandChipConfig mlc = MakeMlcConfig();
+  mlc.name = "crashlab-mlc";
+  mlc.channels = 1;
+  mlc.dies_per_channel = 2;
+  mlc.blocks_per_die = 16;
+  mlc.pages_per_block = 128;
+  mlc.page_size_bytes = kBlockBytes;
+  mlc.rated_pe_cycles = 1000000;
+
+  FtlConfig ftl;
+  ftl.over_provisioning = 0.10;
+  ftl.spare_blocks = 4;
+  ftl.gc_free_block_watermark = 3;
+  ftl.health_rated_pe = 1000000;
+  ftl.wear_level_threshold = 1000000;  // wear leveling off: endurance is moot
+
+  FlashDeviceConfig dev;
+  dev.name = "crashlab-device";
+  dev.perf.per_request_overhead = SimDuration::Micros(100);
+  dev.perf.bus_mib_per_sec = 100.0;
+  dev.perf.effective_parallelism = 4;
+
+  std::unique_ptr<FtlInterface> impl;
+  if (kind == FtlKind::kPageMap) {
+    impl = std::make_unique<PageMapFtl>(mlc, ftl, seed);
+  } else {
+    NandChipConfig slc = MakeSlcConfig();
+    slc.name = "crashlab-slc";
+    slc.channels = 1;
+    slc.dies_per_channel = 1;
+    slc.blocks_per_die = 8;
+    slc.pages_per_block = 128;
+    slc.page_size_bytes = kBlockBytes;
+    slc.rated_pe_cycles = 1000000;
+    HybridConfig hybrid;
+    hybrid.cache_blocks = 8;
+    hybrid.cache_free_watermark = 6;
+    hybrid.merge_utilization_threshold = 0.80;
+    hybrid.gc_pressure_ratio = 0.5;
+    hybrid.mlc_mode_wear_weight = 8;
+    hybrid.health_rated_pe_a = 1000000;
+    impl = std::make_unique<HybridFtl>(mlc, ftl, slc, hybrid, seed);
+  }
+  return std::make_unique<FlashDevice>(std::move(dev), std::move(impl));
+}
+
+std::unique_ptr<Filesystem> MakeFs(FsKind kind, FlashDevice& device) {
+  if (kind == FsKind::kLogFs) {
+    LogFsConfig cfg;
+    cfg.blocks_per_segment = 128;  // ~28 segments: the cleaner cycles
+    return std::make_unique<LogFs>(device, cfg);
+  }
+  ExtFsConfig cfg;
+  cfg.journal_blocks = 1024;  // 4 MiB ring on the 16 MiB device
+  cfg.journal_batch_bytes = kExtFsBatchBytes;
+  return std::make_unique<ExtFs>(device, cfg);
+}
+
+enum class Action { kCreate, kWriteSync, kWriteAsync, kFsync, kRead, kTruncate, kRename, kUnlink };
+
+Action PickAction(CrashWorkload workload, Rng& rng) {
+  const uint64_t w = rng.UniformU64(100);
+  switch (workload) {
+    case CrashWorkload::kMixed:
+      if (w < 8) return Action::kCreate;
+      if (w < 28) return Action::kWriteSync;
+      if (w < 50) return Action::kWriteAsync;
+      if (w < 60) return Action::kFsync;
+      if (w < 72) return Action::kRead;
+      if (w < 80) return Action::kTruncate;
+      if (w < 86) return Action::kRename;
+      return Action::kUnlink;
+    case CrashWorkload::kOverwrite:
+      if (w < 4) return Action::kCreate;
+      if (w < 54) return Action::kWriteSync;
+      if (w < 79) return Action::kWriteAsync;
+      if (w < 87) return Action::kFsync;
+      return Action::kRead;
+    case CrashWorkload::kSyncHeavy:
+    default:
+      if (w < 8) return Action::kCreate;
+      if (w < 54) return Action::kWriteSync;
+      if (w < 76) return Action::kFsync;
+      if (w < 84) return Action::kRead;
+      return Action::kUnlink;
+  }
+}
+
+std::vector<std::string> ExistingNames(const ShadowFs& shadow) {
+  std::vector<std::string> names;
+  names.reserve(shadow.volatile_ns().size());
+  for (const auto& [name, size] : shadow.volatile_ns()) {
+    (void)size;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> FreeNames(const ShadowFs& shadow) {
+  std::vector<std::string> names;
+  for (const char* name : kNamePool) {
+    if (shadow.volatile_ns().count(name) == 0) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+const char* FtlKindName(FtlKind kind) {
+  return kind == FtlKind::kPageMap ? "pagemap" : "hybrid";
+}
+const char* FsKindName(FsKind kind) {
+  return kind == FsKind::kLogFs ? "logfs" : "extfs";
+}
+const char* CrashWorkloadName(CrashWorkload workload) {
+  switch (workload) {
+    case CrashWorkload::kMixed: return "mixed";
+    case CrashWorkload::kOverwrite: return "overwrite";
+    case CrashWorkload::kSyncHeavy:
+    default: return "syncheavy";
+  }
+}
+
+bool ParseFtlKind(const std::string& s, FtlKind* out) {
+  if (s == "pagemap") { *out = FtlKind::kPageMap; return true; }
+  if (s == "hybrid") { *out = FtlKind::kHybrid; return true; }
+  return false;
+}
+bool ParseFsKind(const std::string& s, FsKind* out) {
+  if (s == "logfs") { *out = FsKind::kLogFs; return true; }
+  if (s == "extfs") { *out = FsKind::kExtFs; return true; }
+  return false;
+}
+bool ParseCrashWorkload(const std::string& s, CrashWorkload* out) {
+  if (s == "mixed") { *out = CrashWorkload::kMixed; return true; }
+  if (s == "overwrite") { *out = CrashWorkload::kOverwrite; return true; }
+  if (s == "syncheavy") { *out = CrashWorkload::kSyncHeavy; return true; }
+  return false;
+}
+
+CrashRunResult RunCrashScenario(const CrashSpec& spec) {
+  CrashRunResult result;
+
+  std::unique_ptr<FlashDevice> device = MakeCrashDevice(spec.ftl, spec.seed);
+  std::unique_ptr<Filesystem> fs = MakeFs(spec.fs, *device);
+  const DurabilityContract contract = spec.fs == FsKind::kLogFs
+                                          ? DurabilityContract::kLogFs
+                                          : DurabilityContract::kExtFs;
+  ShadowFs shadow(contract, kExtFsBatchBytes);
+
+  PowerRail rail;
+  rail.AttachClock(&device->clock());
+  device->AttachPowerRail(&rail);
+  if (!spec.no_cut) {
+    const FaultPlan plan =
+        spec.cut_op > 0
+            ? FaultPlan::AtOpCount(spec.cut_op)
+            : FaultPlan::RandomOpInWindow(DeriveSeed(spec.seed, 0xFA17),
+                                          1, std::max<uint64_t>(1, spec.cut_window));
+    result.resolved_cut_op = plan.cut_after_ops;
+    rail.Arm(plan);
+  }
+  result.repro = std::string("crash_soak --ftl=") + FtlKindName(spec.ftl) +
+                 " --fs=" + FsKindName(spec.fs) +
+                 " --workload=" + CrashWorkloadName(spec.workload) +
+                 " --seed=" + std::to_string(spec.seed) +
+                 " --ops=" + std::to_string(spec.ops) +
+                 (spec.no_cut ? std::string(" --no-cut")
+                              : " --cut-op=" + std::to_string(result.resolved_cut_op));
+
+  // --- Workload, mirrored into the shadow op by op -------------------------
+  Rng rng(DeriveSeed(spec.seed, 1));
+  const auto unexpected = [&](const char* what, const Status& st) {
+    result.failure = std::string("workload ") + what +
+                     " failed unexpectedly: " + st.ToString();
+  };
+
+  for (uint64_t i = 0; i < spec.ops && !result.cut_fired; ++i) {
+    Action action = PickAction(spec.workload, rng);
+    std::vector<std::string> existing = ExistingNames(shadow);
+    if (existing.empty() && action != Action::kCreate) {
+      action = Action::kCreate;
+    }
+    if (action == Action::kCreate && FreeNames(shadow).empty()) {
+      action = Action::kWriteAsync;
+    }
+
+    switch (action) {
+      case Action::kCreate: {
+        std::vector<std::string> free = FreeNames(shadow);
+        const std::string name = free[rng.UniformU64(free.size())];
+        const Status st = fs->Create(name);
+        if (!st.ok()) {
+          unexpected("create", st);
+          return result;
+        }
+        shadow.OnCreate(name);
+        break;
+      }
+      case Action::kWriteSync:
+      case Action::kWriteAsync: {
+        const bool sync = action == Action::kWriteSync;
+        const std::string name = existing[rng.UniformU64(existing.size())];
+        const uint64_t size = shadow.volatile_ns().at(name);
+        // Offsets never exceed the current size, so files have no holes and
+        // a full readback after recovery is always well-defined.
+        uint64_t offset =
+            spec.workload == CrashWorkload::kSyncHeavy
+                ? size
+                : (rng.UniformU64(size + 1) / kBlockBytes) * kBlockBytes;
+        offset = std::min<uint64_t>(offset, kMaxFileBytes - kBlockBytes);
+        uint64_t length = (1 + rng.UniformU64(16)) * kBlockBytes;
+        length = std::min(length, kMaxFileBytes - offset);
+        const Result<SimDuration> r = fs->Write(name, offset, length, sync);
+        if (!r.ok()) {
+          if (r.status().code() == StatusCode::kPowerLoss) {
+            shadow.OnPowerCutDuringWrite(name, offset, length, sync);
+            result.cut_fired = true;
+            break;
+          }
+          unexpected("write", r.status());
+          return result;
+        }
+        shadow.OnWrite(name, offset, length, sync);
+        break;
+      }
+      case Action::kFsync: {
+        const std::string name = existing[rng.UniformU64(existing.size())];
+        const Result<SimDuration> r = fs->Fsync(name);
+        if (!r.ok()) {
+          if (r.status().code() == StatusCode::kPowerLoss) {
+            shadow.OnPowerCutDuringFsync(name);
+            result.cut_fired = true;
+            break;
+          }
+          unexpected("fsync", r.status());
+          return result;
+        }
+        shadow.OnFsync(name);
+        break;
+      }
+      case Action::kRead: {
+        const std::string name = existing[rng.UniformU64(existing.size())];
+        const uint64_t size = shadow.volatile_ns().at(name);
+        if (size == 0) {
+          break;
+        }
+        const uint64_t offset = rng.UniformU64(size);
+        const uint64_t length =
+            std::max<uint64_t>(1, std::min<uint64_t>(size - offset, 16 * kBlockBytes));
+        const Result<SimDuration> r = fs->Read(name, offset, length);
+        if (!r.ok()) {
+          unexpected("read", r.status());
+          return result;
+        }
+        break;
+      }
+      case Action::kTruncate: {
+        const std::string name = existing[rng.UniformU64(existing.size())];
+        const uint64_t size = shadow.volatile_ns().at(name);
+        const uint64_t new_size = rng.UniformU64(size + 1);  // shrink only
+        const Status st = fs->Truncate(name, new_size);
+        if (!st.ok()) {
+          unexpected("truncate", st);
+          return result;
+        }
+        shadow.OnTruncate(name, new_size);
+        break;
+      }
+      case Action::kRename: {
+        std::vector<std::string> free = FreeNames(shadow);
+        const std::string from = existing[rng.UniformU64(existing.size())];
+        if (free.empty()) {
+          break;
+        }
+        const std::string to = free[rng.UniformU64(free.size())];
+        const Status st = fs->Rename(from, to);
+        if (!st.ok()) {
+          unexpected("rename", st);
+          return result;
+        }
+        shadow.OnRename(from, to);
+        break;
+      }
+      case Action::kUnlink: {
+        const std::string name = existing[rng.UniformU64(existing.size())];
+        const Status st = fs->Unlink(name);
+        if (!st.ok()) {
+          unexpected("unlink", st);
+          return result;
+        }
+        shadow.OnUnlink(name);
+        break;
+      }
+    }
+    if (!result.cut_fired) {
+      ++result.ops_acknowledged;
+    }
+  }
+
+  // --- Shutdown: clean (fsync everything) or crashed -----------------------
+  if (!result.cut_fired) {
+    rail.Disarm();
+    for (const std::string& name : ExistingNames(shadow)) {
+      const Result<SimDuration> r = fs->Fsync(name);
+      if (!r.ok()) {
+        unexpected("shutdown fsync", r.status());
+        return result;
+      }
+      shadow.OnFsync(name);
+    }
+  }
+
+  const FtlStats wear_pre = device->ftl().Stats();
+  const HealthReport health_pre = device->ftl().Health();
+
+  // --- Recovery ------------------------------------------------------------
+  rail.Restore();
+  const Result<RecoveryReport> dev_rep = device->Remount();
+  if (!dev_rep.ok()) {
+    result.failure = "FTL mount failed: " + dev_rep.status().ToString();
+    return result;
+  }
+  result.report = dev_rep.value();
+  const Result<RecoveryReport> fs_rep = fs->Mount();
+  if (!fs_rep.ok()) {
+    result.failure = "fs mount failed: " + fs_rep.status().ToString();
+    return result;
+  }
+  result.report.Merge(fs_rep.value());
+
+  // (b) integrity: invariants after mount.
+  const Status inv = device->mutable_ftl().ValidateInvariants();
+  if (!inv.ok()) {
+    result.failure = "post-mount FTL invariants violated: " + inv.ToString();
+    return result;
+  }
+
+  // (c) wear accounting must never move backwards across a crash.
+  const FtlStats wear_post = device->ftl().Stats();
+  const HealthReport health_post = device->ftl().Health();
+  if (wear_post.erases < wear_pre.erases ||
+      wear_post.nand_pages_written < wear_pre.nand_pages_written ||
+      health_post.avg_pe_a < health_pre.avg_pe_a ||
+      health_post.spare_blocks_used < health_pre.spare_blocks_used) {
+    result.failure = "wear accounting moved backwards across remount (erases " +
+                     std::to_string(wear_pre.erases) + " -> " +
+                     std::to_string(wear_post.erases) + ")";
+    return result;
+  }
+
+  // (a) durability: the recovered namespace must be admissible...
+  ShadowFs::Namespace recovered;
+  for (const std::string& name : fs->List()) {
+    const Result<uint64_t> size = fs->FileSize(name);
+    if (!size.ok()) {
+      result.failure = "recovered file has no size: " + name;
+      return result;
+    }
+    recovered[name] = size.value();
+  }
+  const std::vector<ShadowFs::Namespace> admissible = shadow.AdmissibleAfterRecovery();
+  bool matched = false;
+  for (const ShadowFs::Namespace& ns : admissible) {
+    matched = matched || ns == recovered;
+  }
+  if (!matched) {
+    result.failure = "recovered namespace inadmissible: got {" +
+                     FormatNamespace(recovered) + "} want {" +
+                     FormatNamespace(admissible[0]) + "}";
+    if (admissible.size() > 1) {
+      result.failure += " or {" + FormatNamespace(admissible[1]) + "}";
+    }
+    return result;
+  }
+
+  // ...and every acknowledged byte must read back.
+  for (const auto& [name, size] : recovered) {
+    if (size == 0) {
+      continue;
+    }
+    const Result<SimDuration> r = fs->Read(name, 0, size);
+    if (!r.ok()) {
+      result.failure = "acknowledged data lost: full readback of " + name +
+                       " (" + std::to_string(size) +
+                       " bytes) failed: " + r.status().ToString();
+      return result;
+    }
+  }
+
+  // (b) integrity: remounting again must reproduce the identical state.
+  if (!device->Remount().ok() || !fs->Mount().ok()) {
+    result.failure = "second remount failed";
+    return result;
+  }
+  ShadowFs::Namespace recovered_again;
+  for (const std::string& name : fs->List()) {
+    recovered_again[name] = fs->FileSize(name).value();
+  }
+  if (recovered_again != recovered) {
+    result.failure = "remount is not idempotent: {" + FormatNamespace(recovered) +
+                     "} then {" + FormatNamespace(recovered_again) + "}";
+    return result;
+  }
+
+  // (b) integrity: the device stays usable after recovery.
+  const char* post_name = "zz-crashlab-post";
+  if (!fs->Create(post_name).ok() ||
+      !fs->Write(post_name, 0, 16 * kBlockBytes, /*sync=*/true).ok() ||
+      !fs->Fsync(post_name).ok() ||
+      !fs->Read(post_name, 0, 16 * kBlockBytes).ok()) {
+    result.failure = "device unusable after recovery (create/write/fsync/read)";
+    return result;
+  }
+
+  result.ok = true;
+  return result;
+}
+
+std::string RecoveryReportJson(const RecoveryReport& rep) {
+  std::string out = "{";
+  const auto field = [&out](const char* key, uint64_t value, bool last = false) {
+    out += std::string("\"") + key + "\": " + std::to_string(value) + (last ? "" : ", ");
+  };
+  field("scanned_pages", rep.scanned_pages);
+  field("torn_pages_discarded", rep.torn_pages_discarded);
+  field("stale_pages_ignored", rep.stale_pages_ignored);
+  field("mapped_pages_recovered", rep.mapped_pages_recovered);
+  field("torn_erase_blocks", rep.torn_erase_blocks);
+  field("blocks_retired", rep.blocks_retired);
+  field("merges_replayed", rep.merges_replayed);
+  field("files_recovered", rep.files_recovered);
+  field("segments_replayed", rep.segments_replayed);
+  field("journal_commits_scanned", rep.journal_commits_scanned);
+  field("orphan_files", rep.orphan_files);
+  field("orphan_blocks", rep.orphan_blocks, /*last=*/true);
+  out += "}";
+  return out;
+}
+
+}  // namespace flashsim

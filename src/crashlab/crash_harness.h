@@ -1,0 +1,79 @@
+// Crash-recovery property harness.
+//
+// One scenario = one deterministic (seed, cut) experiment: build a fresh
+// device + file system, drive a randomized workload while mirroring every
+// acknowledged operation into a ShadowFs, cut power at a planned destructive
+// NAND operation, restore, remount (FTL OOB scan + fs recovery), and check:
+//
+//   (a) durability — the recovered namespace equals one of the shadow's
+//       admissible namespaces, and every recovered file reads back in full;
+//   (b) integrity — FTL and fs mounts succeed and FTL invariants hold, and
+//       a second remount reproduces the identical state (idempotence); the
+//       device stays usable (write + fsync + read succeed post-recovery);
+//   (c) wear accounting — erase counts, NAND writes, average P/E, and spare
+//       consumption never move backwards across the crash.
+//
+// Everything is reproducible from the spec alone: the workload stream comes
+// from DeriveSeed(seed, ...) and the random cut resolves to an exact op
+// count when the FaultPlan is built. A failing run reports a one-line
+// crash_soak command that replays it exactly.
+
+#ifndef SRC_CRASHLAB_CRASH_HARNESS_H_
+#define SRC_CRASHLAB_CRASH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/simcore/recovery.h"
+
+namespace flashsim {
+
+enum class FtlKind { kPageMap, kHybrid };
+enum class FsKind { kLogFs, kExtFs };
+
+// Operation mixes. kMixed exercises the whole namespace API; kOverwrite
+// hammers sync overwrites on few files (in-place / cache-eviction paths);
+// kSyncHeavy is append + fsync churn (node-write / journal-commit paths).
+enum class CrashWorkload { kMixed, kOverwrite, kSyncHeavy };
+
+const char* FtlKindName(FtlKind kind);
+const char* FsKindName(FsKind kind);
+const char* CrashWorkloadName(CrashWorkload workload);
+bool ParseFtlKind(const std::string& s, FtlKind* out);
+bool ParseFsKind(const std::string& s, FsKind* out);
+bool ParseCrashWorkload(const std::string& s, CrashWorkload* out);
+
+struct CrashSpec {
+  FtlKind ftl = FtlKind::kPageMap;
+  FsKind fs = FsKind::kLogFs;
+  CrashWorkload workload = CrashWorkload::kMixed;
+  uint64_t seed = 1;
+  // File-system operations to attempt before a clean shutdown.
+  uint64_t ops = 400;
+  // Exact destructive-NAND-op index to cut at (1 = first program/erase).
+  // 0 = draw one from the seed, uniform in [1, cut_window].
+  uint64_t cut_op = 0;
+  uint64_t cut_window = 4000;
+  // No cut at all: run the workload, fsync everything, then remount — the
+  // clean-shutdown recovery path must restore the namespace exactly.
+  bool no_cut = false;
+};
+
+struct CrashRunResult {
+  bool ok = false;
+  std::string failure;  // empty when ok; names the violated property
+  bool cut_fired = false;
+  uint64_t resolved_cut_op = 0;   // exact op index the plan resolved to
+  uint64_t ops_acknowledged = 0;  // fs ops completed before the cut
+  RecoveryReport report;          // FTL mount + fs mount, merged
+  std::string repro;              // one-line crash_soak replay command
+};
+
+CrashRunResult RunCrashScenario(const CrashSpec& spec);
+
+// {"scanned_pages": 123, ...} — for the soak driver's CI artifact.
+std::string RecoveryReportJson(const RecoveryReport& rep);
+
+}  // namespace flashsim
+
+#endif  // SRC_CRASHLAB_CRASH_HARNESS_H_

@@ -1,0 +1,123 @@
+#include "src/crashlab/shadow_fs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace flashsim {
+
+ShadowFs::ShadowFs(DurabilityContract contract, uint64_t commit_batch_bytes)
+    : contract_(contract), commit_batch_bytes_(commit_batch_bytes) {}
+
+void ShadowFs::Barrier(const std::string& name) {
+  if (contract_ == DurabilityContract::kLogFs) {
+    durable_[name] = volatile_.at(name);
+  } else {
+    durable_ = volatile_;
+    synced_since_commit_ = 0;
+  }
+}
+
+void ShadowFs::OnCreate(const std::string& name) {
+  assert(volatile_.count(name) == 0);
+  volatile_[name] = 0;
+}
+
+void ShadowFs::OnWrite(const std::string& name, uint64_t offset,
+                       uint64_t length, bool sync) {
+  auto it = volatile_.find(name);
+  assert(it != volatile_.end());
+  it->second = std::max(it->second, offset + length);
+  if (contract_ == DurabilityContract::kLogFs) {
+    if (sync) {
+      Barrier(name);
+    }
+    return;
+  }
+  // ExtFs: sync bytes accumulate toward the batched journal commit.
+  synced_since_commit_ += sync ? length : 0;
+  if (sync && synced_since_commit_ >= commit_batch_bytes_) {
+    Barrier(name);
+  }
+}
+
+void ShadowFs::OnFsync(const std::string& name) { Barrier(name); }
+
+void ShadowFs::OnUnlink(const std::string& name) {
+  volatile_.erase(name);
+  if (contract_ == DurabilityContract::kLogFs) {
+    durable_.erase(name);  // dentry removal is durable immediately
+  }
+}
+
+void ShadowFs::OnTruncate(const std::string& name, uint64_t new_size) {
+  volatile_.at(name) = new_size;  // durable at the next barrier, both fs
+}
+
+void ShadowFs::OnRename(const std::string& from, const std::string& to) {
+  auto node = volatile_.extract(from);
+  assert(!node.empty());
+  node.key() = to;
+  volatile_.insert(std::move(node));
+  if (contract_ == DurabilityContract::kLogFs) {
+    // Durable immediately: the recovered file appears under the new name,
+    // with its last-synced contents. Never-synced files have no entry.
+    auto durable_node = durable_.extract(from);
+    if (!durable_node.empty()) {
+      durable_node.key() = to;
+      durable_.insert(std::move(durable_node));
+    }
+  }
+}
+
+void ShadowFs::OnPowerCutDuringWrite(const std::string& name, uint64_t offset,
+                                     uint64_t length, bool sync) {
+  Namespace after_op = volatile_;
+  auto it = after_op.find(name);
+  assert(it != after_op.end());
+  it->second = std::max(it->second, offset + length);
+  if (contract_ == DurabilityContract::kLogFs) {
+    if (sync) {
+      Namespace candidate = durable_;
+      candidate[name] = it->second;
+      inflight_candidate_ = std::move(candidate);
+    }
+    return;
+  }
+  if (sync && synced_since_commit_ + length >= commit_batch_bytes_) {
+    inflight_candidate_ = std::move(after_op);
+  }
+}
+
+void ShadowFs::OnPowerCutDuringFsync(const std::string& name) {
+  if (contract_ == DurabilityContract::kLogFs) {
+    Namespace candidate = durable_;
+    candidate[name] = volatile_.at(name);
+    inflight_candidate_ = std::move(candidate);
+  } else {
+    inflight_candidate_ = volatile_;
+  }
+}
+
+std::vector<ShadowFs::Namespace> ShadowFs::AdmissibleAfterRecovery() const {
+  std::vector<Namespace> out = {durable_};
+  if (inflight_candidate_.has_value() && *inflight_candidate_ != durable_) {
+    out.push_back(*inflight_candidate_);
+  }
+  return out;
+}
+
+std::string FormatNamespace(const ShadowFs::Namespace& ns) {
+  if (ns.empty()) {
+    return "(empty)";
+  }
+  std::string out;
+  for (const auto& [name, size] : ns) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += name + ":" + std::to_string(size);
+  }
+  return out;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,89 @@
+// ShadowFs: a host-side model of what a file system has *promised* to keep.
+//
+// The crash harness mirrors every acknowledged operation into a ShadowFs,
+// which tracks two namespaces (name -> size):
+//
+//   volatile : the state the file system would report right now;
+//   durable  : the state it has guaranteed to recover after a power cut,
+//              per the file system's durability contract (DESIGN.md §11).
+//
+// Contracts mirrored here:
+//   LogFs — a file becomes durable at each successful node-block write
+//           (sync Write or Fsync), per file. Unlink and Rename act on the
+//           durable record immediately (synchronous dentry updates).
+//   ExtFs — the journal commit is a global barrier: Fsync always commits;
+//           sync writes commit once the synced-byte batch threshold is
+//           reached. Unlink/Truncate/Rename/Create are volatile until the
+//           commit covering them.
+//
+// A cut can land *inside* an operation that was never acknowledged; if that
+// operation carried a durability barrier (a node write, a journal commit)
+// the barrier may or may not have completed before the cut. The shadow
+// therefore exposes a small set of admissible post-recovery namespaces: the
+// durable one, plus — when the in-flight operation could have committed —
+// the state including that operation. Recovery must land on exactly one.
+
+#ifndef SRC_CRASHLAB_SHADOW_FS_H_
+#define SRC_CRASHLAB_SHADOW_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flashsim {
+
+enum class DurabilityContract { kLogFs, kExtFs };
+
+class ShadowFs {
+ public:
+  // name -> file size; files absent from the map do not exist.
+  using Namespace = std::map<std::string, uint64_t>;
+
+  // `commit_batch_bytes` mirrors ExtFsConfig::journal_batch_bytes; ignored
+  // for the LogFs contract.
+  ShadowFs(DurabilityContract contract, uint64_t commit_batch_bytes);
+
+  // Acknowledged operations: call only after the real op returned OK.
+  void OnCreate(const std::string& name);
+  void OnWrite(const std::string& name, uint64_t offset, uint64_t length,
+               bool sync);
+  void OnFsync(const std::string& name);
+  void OnUnlink(const std::string& name);
+  void OnTruncate(const std::string& name, uint64_t new_size);
+  void OnRename(const std::string& from, const std::string& to);
+
+  // The op in flight when the cut fired (it returned kPowerLoss and was
+  // never acknowledged). Computes the second admissible namespace if the
+  // op's durability barrier could have completed before the cut.
+  void OnPowerCutDuringWrite(const std::string& name, uint64_t offset,
+                             uint64_t length, bool sync);
+  void OnPowerCutDuringFsync(const std::string& name);
+
+  const Namespace& durable() const { return durable_; }
+  const Namespace& volatile_ns() const { return volatile_; }
+
+  // All namespaces recovery is allowed to land on. Always contains
+  // durable(); one more entry when an in-flight barrier was possible.
+  std::vector<Namespace> AdmissibleAfterRecovery() const;
+
+ private:
+  // Durability barrier for `name` having size per `volatile_`: per-file for
+  // LogFs, whole-namespace for ExtFs.
+  void Barrier(const std::string& name);
+
+  DurabilityContract contract_;
+  uint64_t commit_batch_bytes_;
+  uint64_t synced_since_commit_ = 0;  // ExtFs batching mirror
+  Namespace durable_;
+  Namespace volatile_;
+  std::optional<Namespace> inflight_candidate_;
+};
+
+// "a:4096 b:0" — for failure messages.
+std::string FormatNamespace(const ShadowFs::Namespace& ns);
+
+}  // namespace flashsim
+
+#endif  // SRC_CRASHLAB_SHADOW_FS_H_

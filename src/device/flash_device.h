@@ -52,6 +52,13 @@ class FlashDevice : public BlockDevice {
   const std::string& name() const { return config_.name; }
   const FtlInterface& ftl() const { return *ftl_; }
   FtlInterface& mutable_ftl() { return *ftl_; }
+
+  // Power-loss fault injection: routes every destructive NAND operation
+  // through `rail`, and remounts the FTL after a cut (restore power first
+  // with PowerRail::Restore). The simulated clock keeps running across the
+  // outage, so post-remount timestamps stay monotonic.
+  void AttachPowerRail(PowerRail* rail) { ftl_->AttachPowerRail(rail); }
+  Result<RecoveryReport> Remount() { return ftl_->Mount(); }
   const PerfModel& perf_model() const { return perf_; }
   EventLog& event_log() { return event_log_; }
 

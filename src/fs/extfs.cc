@@ -95,6 +95,22 @@ Result<SimDuration> ExtFs::CommitJournal() {
   synced_since_commit_ = 0;
   ++commits_;
   SimDuration total = t.value();
+  // Commit point: the current namespace is now recoverable, so blocks freed
+  // by the unlinks/truncates it covers can finally be reused and discarded.
+  durable_files_ = files_;
+  if (!pending_free_.empty()) {
+    for (uint64_t blk : pending_free_) {
+      FreeBlock(blk);
+    }
+    std::sort(pending_free_.begin(), pending_free_.end());
+    Result<SimDuration> discard =
+        SubmitBlocks(IoKind::kDiscard, pending_free_, nullptr);
+    pending_free_.clear();
+    if (!discard.ok()) {
+      return discard.status();
+    }
+    total += discard.value();
+  }
   if (commits_ % config_.checkpoint_interval_commits == 0) {
     Result<SimDuration> cp = CheckpointMetadata();
     if (!cp.ok()) {
@@ -214,21 +230,16 @@ Status ExtFs::Unlink(const std::string& path) {
   if (it == files_.end()) {
     return NotFoundError("extfs: no such file: " + path);
   }
-  std::vector<uint64_t> blocks;
+  // The free + discard waits for the journal commit covering this unlink: a
+  // crash before the commit rolls the file back, so its blocks must survive
+  // (and stay unallocatable) until then.
   for (uint64_t blk : it->second.blocks) {
     if (blk != 0) {
-      FreeBlock(blk);
-      blocks.push_back(blk);
+      pending_free_.push_back(blk);
     }
   }
   files_.erase(it);
   ++dirty_metadata_blocks_;
-  // Discard freed space so the device-level FTL can reclaim it.
-  std::sort(blocks.begin(), blocks.end());
-  Result<SimDuration> t = SubmitBlocks(IoKind::kDiscard, blocks, nullptr);
-  if (!t.ok()) {
-    return t.status();
-  }
   return Status::Ok();
 }
 
@@ -244,19 +255,15 @@ Status ExtFs::Truncate(const std::string& path, uint64_t new_size) {
     return Status::Ok();
   }
   const uint64_t keep_blocks = CeilDiv(new_size, block_size_);
-  std::vector<uint64_t> dropped;
   for (uint64_t fb = keep_blocks; fb < inode.blocks.size(); ++fb) {
     if (inode.blocks[fb] != 0) {
-      FreeBlock(inode.blocks[fb]);
-      dropped.push_back(inode.blocks[fb]);
+      pending_free_.push_back(inode.blocks[fb]);  // freed at the next commit
     }
   }
   inode.blocks.resize(keep_blocks);
   inode.size = new_size;
   ++dirty_metadata_blocks_;
-  std::sort(dropped.begin(), dropped.end());
-  Result<SimDuration> t = SubmitBlocks(IoKind::kDiscard, dropped, nullptr);
-  return t.ok() ? Status::Ok() : t.status();
+  return Status::Ok();
 }
 
 Status ExtFs::Rename(const std::string& from, const std::string& to) {
@@ -271,6 +278,47 @@ Status ExtFs::Rename(const std::string& from, const std::string& to) {
   files_.insert(std::move(node));
   ++dirty_metadata_blocks_;
   return Status::Ok();
+}
+
+Result<RecoveryReport> ExtFs::Mount() {
+  RecoveryReport rep;
+  rep.journal_commits_scanned = commits_;
+  for (const auto& [name, inode] : files_) {
+    (void)inode;
+    if (durable_files_.count(name) == 0) {
+      ++rep.orphan_files;  // created/renamed after the last commit
+    }
+  }
+  uint64_t used_before = 0;
+  for (const bool bit : data_bitmap_) {
+    used_before += bit ? 1 : 0;
+  }
+
+  // Roll back to the last commit, then fsck: the bitmap is rebuilt from the
+  // recovered inodes, so blocks allocated after the commit fall out as
+  // reclaimed orphans and blocks freed by uncommitted unlinks re-attach.
+  files_ = durable_files_;
+  std::fill(data_bitmap_.begin(), data_bitmap_.end(), false);
+  uint64_t used_after = 0;
+  for (const auto& [name, inode] : files_) {
+    (void)name;
+    for (const uint64_t blk : inode.blocks) {
+      if (blk == 0) {
+        continue;
+      }
+      data_bitmap_[blk - data_start_block_] = true;
+      ++used_after;
+      ++rep.mapped_pages_recovered;
+    }
+    ++rep.files_recovered;
+  }
+  free_data_blocks_ = data_bitmap_.size() - used_after;
+  rep.orphan_blocks = used_before > used_after ? used_before - used_after : 0;
+  pending_free_.clear();
+  dirty_metadata_blocks_ = 0;
+  synced_since_commit_ = 0;
+  alloc_cursor_ = 0;
+  return rep;
 }
 
 Result<uint64_t> ExtFs::FileSize(const std::string& path) const {

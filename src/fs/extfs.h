@@ -12,9 +12,10 @@
 // sequential and sync rewrites stays near 1.0 — the behaviour behind the Moto
 // E Ext4 curve in Figure 4 matching the raw eMMC chip in Figure 2.
 //
-// Non-goals (documented in DESIGN.md): crash recovery/replay is not
-// simulated; the journal exists for its I/O traffic, which is what the
-// paper's experiments measure.
+// Crash recovery (DESIGN.md §11): the journal commit is the durability
+// barrier. Mount() rolls the namespace back to the last commit and rebuilds
+// the allocation bitmap from the recovered inodes (fsck-style), so the
+// unlink/truncate free + TRIM is deferred to the commit covering it.
 
 #ifndef SRC_FS_EXTFS_H_
 #define SRC_FS_EXTFS_H_
@@ -62,6 +63,14 @@ class ExtFs : public Filesystem {
   const char* fs_type() const override { return "extfs"; }
   BlockDevice& device() override { return device_; }
 
+  // Crash recovery: rolls the namespace back to the last journal commit
+  // (Fsync, or a sync-write volume that forced a commit) and runs an
+  // fsck-style sweep — the allocation bitmap is rebuilt from the recovered
+  // inodes, reclaiming blocks allocated after the commit as orphans. Blocks
+  // freed by uncommitted unlinks/truncates are only discarded at commit
+  // (pending-free list), so a rollback never references trimmed space.
+  Result<RecoveryReport> Mount() override;
+
  private:
   struct Inode {
     uint64_t size = 0;
@@ -95,6 +104,12 @@ class ExtFs : public Filesystem {
   uint64_t free_data_blocks_ = 0;
 
   std::map<std::string, Inode> files_;
+
+  // Namespace as of the last journal commit — what a crash recovers to.
+  std::map<std::string, Inode> durable_files_;
+  // Blocks freed by not-yet-committed unlinks/truncates: still marked in the
+  // bitmap (no reuse) and not yet discarded (rollback may need them).
+  std::vector<uint64_t> pending_free_;
 
   uint64_t journal_head_ = 0;           // ring position, in blocks
   uint64_t dirty_metadata_blocks_ = 0;  // blocks to include in next commit

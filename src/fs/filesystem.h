@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/blockdev/block_device.h"
+#include "src/simcore/recovery.h"
 #include "src/simcore/status.h"
 #include "src/simcore/victim_index.h"
 
@@ -86,6 +87,14 @@ class Filesystem {
 
   // Bytes still allocatable for file data.
   virtual uint64_t FreeBytes() const = 0;
+
+  // Crash recovery: discards all volatile state and rebuilds the namespace
+  // from the file system's durable record (LogFs: the last node block written
+  // per file; ExtFs: the last journal commit). Call after the device itself
+  // has been remounted (FlashDevice::Remount). The durability contract —
+  // which operations survive a crash once acknowledged — is per-FS and
+  // documented in DESIGN.md §11.
+  virtual Result<RecoveryReport> Mount() = 0;
 
   virtual const FsStats& stats() const = 0;
   virtual const char* fs_type() const = 0;

@@ -91,6 +91,9 @@ void LogFs::InvalidateBlock(uint64_t addr) {
     return;
   }
   owners_[idx] = BlockOwner{};
+  if (durable_refs_.count(addr) != 0) {
+    return;  // still pinned by the durable snapshot; stays live for recovery
+  }
   const uint64_t seg = SegmentOfAddr(addr);
   assert(valid_counts_[seg] > 0);
   if (UseIndex() && seg_indexed_[seg]) {
@@ -100,20 +103,74 @@ void LogFs::InvalidateBlock(uint64_t addr) {
   --valid_counts_[seg];
 }
 
+void LogFs::DurableRelease(uint64_t addr) {
+  if (addr == 0) {
+    return;
+  }
+  auto it = durable_refs_.find(addr);
+  if (it == durable_refs_.end()) {
+    return;
+  }
+  durable_refs_.erase(it);
+  if (owners_[MainAreaIndex(addr)].type != OwnerType::kNone) {
+    return;  // still current-live; the count keeps including it
+  }
+  const uint64_t seg = SegmentOfAddr(addr);
+  assert(valid_counts_[seg] > 0);
+  if (UseIndex() && seg_indexed_[seg]) {
+    seg_index_.Move(valid_counts_[seg], valid_counts_[seg] - 1,
+                    static_cast<uint32_t>(seg));
+  }
+  --valid_counts_[seg];
+}
+
+void LogFs::DurableReleaseFile(const DurableFile& snapshot) {
+  for (uint64_t addr : snapshot.blocks) {
+    DurableRelease(addr);
+  }
+  DurableRelease(snapshot.node_block);
+}
+
+void LogFs::DurableAcquireFile(const FileMeta& file) {
+  // Every snapshotted address is the file's current block, so it is already
+  // counted live; acquiring only records the back-reference.
+  for (uint32_t fb = 0; fb < file.blocks.size(); ++fb) {
+    if (file.blocks[fb] == 0) {
+      continue;
+    }
+    assert(owners_[MainAreaIndex(file.blocks[fb])].type != OwnerType::kNone);
+    durable_refs_[file.blocks[fb]] =
+        DurableRef{file.id, fb, /*is_node=*/false};
+  }
+  if (file.node_block != 0) {
+    durable_refs_[file.node_block] = DurableRef{file.id, 0, /*is_node=*/true};
+  }
+}
+
 Result<uint64_t> LogFs::AppendBlock(LogType log, BlockOwner owner, SimDuration& time_acc,
                                     bool allow_clean) {
   LogHead& head = log == LogType::kData ? data_log_ : node_log_;
   if (head.segment == UINT64_MAX || head.offset == config_.blocks_per_segment) {
-    const uint64_t old_head = head.segment;
     Result<uint64_t> seg = TakeFreeSegment(time_acc, allow_clean);
     if (!seg.ok()) {
       return seg.status();
     }
-    // The outgoing head is no longer excluded as a log head, so it becomes
-    // a cleaner candidate exactly now.
-    IndexSegment(old_head);
-    head.segment = seg.value();
-    head.offset = 0;
+    // TakeFreeSegment may have run the cleaner, and the cleaner's migration
+    // appends reenter this function: the same head can already have been
+    // rotated onto a fresh segment by the time the pop returns. Re-test the
+    // rotation condition against the *current* head; blindly installing the
+    // popped segment here would orphan the reentrantly-installed head as a
+    // never-indexed, never-scannable zombie.
+    if (head.segment != UINT64_MAX && head.offset < config_.blocks_per_segment) {
+      segment_in_use_[seg.value()] = false;
+      free_segments_.push_back(seg.value());
+    } else {
+      // The outgoing head is no longer excluded as a log head, so it becomes
+      // a cleaner candidate exactly now.
+      IndexSegment(head.segment);
+      head.segment = seg.value();
+      head.offset = 0;
+    }
   }
   const uint64_t addr =
       main_start_block_ + head.segment * config_.blocks_per_segment + head.offset;
@@ -172,38 +229,65 @@ Status LogFs::CleanOneSegment(SimDuration& time_acc) {
   const uint64_t seg_base = main_start_block_ + victim * config_.blocks_per_segment;
   for (uint32_t b = 0; b < config_.blocks_per_segment; ++b) {
     const uint64_t addr = seg_base + b;
-    const BlockOwner owner = owners_[MainAreaIndex(addr)];
-    if (owner.type == OwnerType::kNone) {
+    BlockOwner owner = owners_[MainAreaIndex(addr)];
+    if (owner.type != OwnerType::kNone &&
+        files_by_id_.find(owner.file_id) == files_by_id_.end()) {
+      InvalidateBlock(addr);  // stale current ref; may stay durable-pinned
+      owner = BlockOwner{};
+    }
+    auto dref_it = durable_refs_.find(addr);
+    const bool durable = dref_it != durable_refs_.end();
+    if (owner.type == OwnerType::kNone && !durable) {
       continue;
     }
-    auto fit = files_by_id_.find(owner.file_id);
-    if (fit == files_by_id_.end()) {
-      InvalidateBlock(addr);
-      continue;
-    }
-    FileMeta& file = *fit->second;
-    // Read the live block, then re-append it to the proper log.
+    // Read the live block, then re-append it to the proper log. A block only
+    // the durable snapshot references (its current copy was superseded since
+    // the last node write) moves too — discarding it would lose the state a
+    // crash must recover to.
+    const DurableRef dref = durable ? dref_it->second : DurableRef{};
+    const bool is_node = owner.type != OwnerType::kNone
+                             ? owner.type == OwnerType::kNode
+                             : dref.is_node;
     Result<SimDuration> rd = SubmitRange(IoKind::kRead, addr, 1, nullptr);
     if (rd.ok()) {
       time_acc += rd.value();
     }
     InvalidateBlock(addr);
-    const LogType log = owner.type == OwnerType::kData ? LogType::kData : LogType::kNode;
+    if (durable) {
+      DurableRelease(addr);
+    }
+    const LogType log = is_node ? LogType::kNode : LogType::kData;
+    // Abandoned migrations (free-pool exhaustion, power loss) leave the
+    // victim in use with live blocks remaining, so it must go back into the
+    // index or the indexed cleaner would never see it again while the
+    // linear reference scan still does. Its count is current: index moves
+    // were skipped while it was unindexed, but valid_counts_ kept updating.
     Result<uint64_t> dst = AppendBlock(log, owner, time_acc, /*allow_clean=*/false);
     if (!dst.ok()) {
+      IndexSegment(victim);
       return dst.status();
     }
     uint64_t moved = 0;
     Result<SimDuration> wr = SubmitRange(IoKind::kWrite, dst.value(), 1, &moved);
     if (!wr.ok()) {
+      IndexSegment(victim);
       return wr.status();
     }
     time_acc += wr.value();
     stats_.cleaner_bytes_moved += moved;
     if (owner.type == OwnerType::kData) {
-      file.blocks[owner.file_block] = dst.value();
-    } else {
-      file.node_block = dst.value();
+      files_by_id_[owner.file_id]->blocks[owner.file_block] = dst.value();
+    } else if (owner.type == OwnerType::kNode) {
+      files_by_id_[owner.file_id]->node_block = dst.value();
+    }
+    if (durable) {
+      durable_refs_[dst.value()] = dref;
+      DurableFile& snapshot = durable_files_[dref.file_id];
+      if (dref.is_node) {
+        snapshot.node_block = dst.value();
+      } else {
+        snapshot.blocks[dref.file_block] = dst.value();
+      }
     }
   }
   // Segment is empty: discard it so the device FTL can reclaim the space.
@@ -246,6 +330,20 @@ Result<SimDuration> LogFs::WriteNodeBlock(FileMeta& file, bool allow_clean) {
     return t.status();
   }
   stats_.device_metadata_bytes += bytes;
+  // Durability point: the node block now on the device carries this file's
+  // size and mappings, so the durable snapshot advances to the current state
+  // (and the previous snapshot's pins are dropped).
+  auto durable_it = durable_files_.find(file.id);
+  if (durable_it != durable_files_.end()) {
+    DurableReleaseFile(durable_it->second);
+  }
+  DurableFile snapshot;
+  snapshot.name = names_by_id_[file.id];
+  snapshot.size = file.size;
+  snapshot.blocks = file.blocks;
+  snapshot.node_block = file.node_block;
+  durable_files_[file.id] = std::move(snapshot);
+  DurableAcquireFile(file);
   ++node_writes_since_checkpoint_;
   ++dirty_nat_entries_;
   Result<SimDuration> cp = MaybeCheckpoint();
@@ -420,6 +518,14 @@ Status LogFs::Unlink(const std::string& path) {
     return NotFoundError("logfs: no such file: " + path);
   }
   FileMeta& file = it->second;
+  // The dentry removal is modelled as durable immediately, so the durable
+  // snapshot (and its pins) go with the file — a recovered namespace never
+  // resurrects an unlinked name.
+  auto durable_it = durable_files_.find(file.id);
+  if (durable_it != durable_files_.end()) {
+    DurableReleaseFile(durable_it->second);
+    durable_files_.erase(durable_it);
+  }
   for (uint64_t addr : file.blocks) {
     InvalidateBlock(addr);
   }
@@ -466,6 +572,13 @@ Status LogFs::Rename(const std::string& from, const std::string& to) {
   files_by_id_[pos->second.id] = &pos->second;
   names_by_id_[pos->second.id] = to;
   pos->second.node_dirty = true;  // the rename must reach the node/dentry
+  // Dentry updates are durable immediately (see Unlink): a crash after a
+  // rename recovers the file under its new name, with the last-synced
+  // contents. Files never synced have no durable entry — nothing to move.
+  auto durable_it = durable_files_.find(pos->second.id);
+  if (durable_it != durable_files_.end()) {
+    durable_it->second.name = to;
+  }
   return Status::Ok();
 }
 
@@ -486,6 +599,95 @@ std::vector<std::string> LogFs::List() const {
     names.push_back(name);
   }
   return names;
+}
+
+Result<RecoveryReport> LogFs::Mount() {
+  RecoveryReport rep;
+  // Everything not reachable from a durable snapshot is volatile and lost;
+  // count the in-RAM files about to vanish as the orphans an fsck would log.
+  for (const auto& [name, meta] : files_) {
+    (void)name;
+    if (durable_files_.count(meta.id) == 0) {
+      ++rep.orphan_files;
+    }
+  }
+
+  std::fill(valid_counts_.begin(), valid_counts_.end(), 0u);
+  std::fill(segment_in_use_.begin(), segment_in_use_.end(), false);
+  std::fill(owners_.begin(), owners_.end(), BlockOwner{});
+  std::fill(seg_indexed_.begin(), seg_indexed_.end(), 0);
+  if (UseIndex()) {
+    seg_index_.Reset(config_.blocks_per_segment + 1,
+                     static_cast<uint32_t>(segment_count_),
+                     BucketVictimIndex::Order::kById);
+  }
+  durable_refs_.clear();
+  files_.clear();
+  files_by_id_.clear();
+  names_by_id_.clear();
+  data_log_ = LogHead{};
+  node_log_ = LogHead{};
+
+  uint32_t max_id = 0;
+  for (const auto& [id, snapshot] : durable_files_) {
+    FileMeta meta;
+    meta.id = id;
+    meta.size = snapshot.size;
+    meta.blocks = snapshot.blocks;
+    meta.node_block = snapshot.node_block;
+    meta.node_dirty = false;
+    auto [it, inserted] = files_.emplace(snapshot.name, std::move(meta));
+    assert(inserted);
+    files_by_id_[id] = &it->second;
+    names_by_id_[id] = snapshot.name;
+    max_id = std::max(max_id, id);
+    ++rep.files_recovered;
+    const FileMeta& file = it->second;
+    for (uint32_t fb = 0; fb < file.blocks.size(); ++fb) {
+      const uint64_t addr = file.blocks[fb];
+      if (addr == 0) {
+        continue;
+      }
+      BlockOwner owner;
+      owner.type = OwnerType::kData;
+      owner.file_id = id;
+      owner.file_block = fb;
+      owners_[MainAreaIndex(addr)] = owner;
+      durable_refs_[addr] = DurableRef{id, fb, /*is_node=*/false};
+      const uint64_t seg = SegmentOfAddr(addr);
+      ++valid_counts_[seg];
+      segment_in_use_[seg] = true;
+      ++rep.mapped_pages_recovered;
+    }
+    if (file.node_block != 0) {
+      BlockOwner owner;
+      owner.type = OwnerType::kNode;
+      owner.file_id = id;
+      owners_[MainAreaIndex(file.node_block)] = owner;
+      durable_refs_[file.node_block] = DurableRef{id, 0, /*is_node=*/true};
+      const uint64_t seg = SegmentOfAddr(file.node_block);
+      ++valid_counts_[seg];
+      segment_in_use_[seg] = true;
+      ++rep.mapped_pages_recovered;
+    }
+  }
+  next_file_id_ = max_id + 1;
+
+  free_segments_.clear();
+  for (uint64_t s = segment_count_; s > 0; --s) {
+    if (!segment_in_use_[s - 1]) {
+      free_segments_.push_back(s - 1);
+    }
+  }
+  for (uint64_t s = 0; s < segment_count_; ++s) {
+    if (segment_in_use_[s]) {
+      ++rep.segments_replayed;
+      IndexSegment(s);  // no segment is a log head after a mount
+    }
+  }
+  node_writes_since_checkpoint_ = 0;
+  dirty_nat_entries_ = 0;
+  return rep;
 }
 
 uint64_t LogFs::FreeBytes() const {

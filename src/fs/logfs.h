@@ -64,6 +64,14 @@ class LogFs : public Filesystem {
   const char* fs_type() const override { return "logfs"; }
   BlockDevice& device() override { return device_; }
 
+  // Crash recovery. The durable record is the per-file node block: a file's
+  // name, size, and block mappings survive a crash exactly as of its last
+  // successful node write (sync Write or Fsync). Unlink and Rename act on
+  // the durable record immediately (modelled as synchronous dentry updates).
+  // Everything newer is volatile and is discarded here; the segment/cleaner
+  // state is rebuilt from the durable mappings alone.
+  Result<RecoveryReport> Mount() override;
+
   // Cleaner activity, exposed for tests.
   uint64_t segments_cleaned() const { return segments_cleaned_; }
 
@@ -107,6 +115,29 @@ class LogFs : public Filesystem {
   Result<uint64_t> TakeFreeSegment(SimDuration& time_acc, bool allow_clean);
   Status CleanOneSegment(SimDuration& time_acc);
 
+  // --- Durable shadow (crash recovery) ---
+  // Snapshot of a file as of its last node write; what Mount() restores.
+  struct DurableFile {
+    std::string name;
+    uint64_t size = 0;
+    std::vector<uint64_t> blocks;
+    uint64_t node_block = 0;
+  };
+  // Back-reference from a durable-pinned block to its snapshot entry, so the
+  // cleaner can relocate the block and patch the snapshot's address.
+  struct DurableRef {
+    uint32_t file_id = 0;
+    uint32_t file_block = 0;
+    bool is_node = false;
+  };
+
+  // A main-area block is live while it has a current owner OR a durable
+  // reference; valid_counts_ counts live blocks. These maintain that rule
+  // (mirroring InvalidateBlock on the current side).
+  void DurableAcquireFile(const FileMeta& file);
+  void DurableReleaseFile(const DurableFile& snapshot);
+  void DurableRelease(uint64_t addr);
+
   // --- Cleaner victim index (kIndexed mode) ---
   // Holds exactly the cleanable segments — in use and not a log head — keyed
   // by valid count, so "no candidates" and "only full-valid candidates" fall
@@ -148,6 +179,9 @@ class LogFs : public Filesystem {
   std::unordered_map<uint32_t, FileMeta*> files_by_id_;
   std::unordered_map<uint32_t, std::string> names_by_id_;
   uint32_t next_file_id_ = 1;
+
+  std::map<uint32_t, DurableFile> durable_files_;        // by file id
+  std::unordered_map<uint64_t, DurableRef> durable_refs_;  // by block addr
 
   uint64_t node_writes_since_checkpoint_ = 0;
   uint64_t dirty_nat_entries_ = 0;

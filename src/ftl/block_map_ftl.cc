@@ -81,6 +81,9 @@ void BlockMapFtl::ReleaseBlock(BlockId block, SimDuration& time_acc) {
   ++stats_.erases;
   Result<SimDuration> erase = chip_.EraseBlock(block);
   if (!erase.ok()) {
+    if (erase.status().code() == StatusCode::kPowerLoss) {
+      return;  // block is torn, not bad; Mount re-erases it
+    }
     RetireBlock(block);
     return;
   }
@@ -153,6 +156,9 @@ Status BlockMapFtl::Merge(uint64_t logical_block, SimDuration& time_acc) {
           chip_.ProgramPage({dest.value(), chip_.block(dest.value()).write_pointer()},
                             tag);
       if (!prog.ok()) {
+        if (prog.status().code() == StatusCode::kPowerLoss) {
+          return prog.status();  // half-written dest is resolved at mount
+        }
         RetireBlock(dest.value());
         failed = true;
         break;
@@ -235,6 +241,9 @@ Result<SimDuration> BlockMapFtl::WritePage(uint64_t lpn) {
     const uint32_t wp = chip_.block(log->phys).write_pointer();
     Result<SimDuration> prog = chip_.ProgramPage({log->phys, wp}, lpn);
     if (!prog.ok()) {
+      if (prog.status().code() == StatusCode::kPowerLoss) {
+        return prog.status();  // page is torn, block healthy; do not retire
+      }
       // Log block went bad: its content merges out via the data block copies
       // it still holds are lost; retire and retry on a fresh log.
       RetireBlock(log->phys);
@@ -310,6 +319,281 @@ Status BlockMapFtl::TrimPage(uint64_t lpn) {
   if (written_[lpn]) {
     written_[lpn] = false;
     --valid_pages_;
+  }
+  return Status::Ok();
+}
+
+Result<RecoveryReport> BlockMapFtl::Mount() {
+  RecoveryReport rep;
+  const uint32_t total = nand_config_.total_blocks();
+  const uint32_t ppb = nand_config_.pages_per_block;
+
+  // Phase 0: finish erases interrupted by the cut (no P/E was charged).
+  for (BlockId b = 0; b < total; ++b) {
+    if (chip_.block(b).is_bad() || !chip_.block(b).erase_torn()) {
+      continue;
+    }
+    ++rep.torn_erase_blocks;
+    ++stats_.erases;
+    Result<SimDuration> erase = chip_.EraseBlock(b);
+    if (!erase.ok()) {
+      if (erase.status().code() == StatusCode::kPowerLoss) {
+        return erase.status();
+      }
+      ++rep.blocks_retired;  // erase-verify failed; chip marked it bad
+    }
+  }
+
+  // Phase 1: classify every physical block by the logical block its OOB tags
+  // name (a block only ever holds one logical block's pages plus pads).
+  logs_.clear();
+  use_seq_ = 0;
+  data_blocks_.assign(logical_blocks_, kInvalidBlockId);
+  std::fill(written_.begin(), written_.end(), false);
+  valid_pages_ = 0;
+  free_blocks_.clear();
+
+  struct Candidate {
+    BlockId phys = kInvalidBlockId;
+    bool in_position = true;
+  };
+  std::map<uint64_t, std::vector<Candidate>> candidates;
+  std::vector<BlockId> garbage;  // only pads/torn pages: nothing to keep
+  for (BlockId b = 0; b < total; ++b) {
+    const NandBlock& blk = chip_.block(b);
+    if (blk.is_bad()) {
+      continue;
+    }
+    if (blk.IsErased()) {
+      free_blocks_.insert({blk.pe_cycles(), b});
+      continue;
+    }
+    Candidate cand;
+    cand.phys = b;
+    uint64_t owner = UINT64_MAX;
+    for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
+      ++rep.scanned_pages;
+      if (blk.IsTorn(p)) {
+        ++rep.torn_pages_discarded;
+        continue;  // reads as a hole; older candidates still hold the data
+      }
+      Result<uint64_t> tag = blk.ReadTag(p);
+      if (!tag.ok() || tag.value() == kPadTag) {
+        continue;
+      }
+      if (tag.value() >= LogicalPageCount()) {
+        ++rep.stale_pages_ignored;
+        continue;
+      }
+      owner = tag.value() / ppb;
+      if (tag.value() % ppb != p) {
+        cand.in_position = false;
+      }
+    }
+    if (owner == UINT64_MAX) {
+      garbage.push_back(b);
+      continue;
+    }
+    candidates[owner].push_back(cand);
+  }
+  for (BlockId b : garbage) {
+    ++stats_.erases;
+    Result<SimDuration> erase = chip_.EraseBlock(b);
+    if (!erase.ok()) {
+      if (erase.status().code() == StatusCode::kPowerLoss) {
+        return erase.status();
+      }
+      ++rep.blocks_retired;
+    } else {
+      free_blocks_.insert({chip_.block(b).pe_cycles(), b});
+    }
+  }
+
+  // Phase 2: adopt unambiguous data blocks in place; anything else (old data
+  // + log, or a half-written merge destination) goes through a power-on
+  // merge keyed by OOB write sequence.
+  SimDuration mount_time;
+  for (auto& [logical_block, cands] : candidates) {
+    const uint64_t first_lpn = logical_block * ppb;
+    if (cands.size() == 1 && cands[0].in_position) {
+      const BlockId b = cands[0].phys;
+      data_blocks_[logical_block] = b;
+      const NandBlock& blk = chip_.block(b);
+      for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
+        if (blk.IsTorn(p)) {
+          continue;
+        }
+        Result<uint64_t> tag = blk.ReadTag(p);
+        if (!tag.ok() || tag.value() == kPadTag) {
+          continue;
+        }
+        written_[first_lpn + p] = true;
+        ++valid_pages_;
+        ++rep.mapped_pages_recovered;
+      }
+      continue;
+    }
+    // Newest copy of every offset across all candidates, by write sequence.
+    std::map<uint32_t, std::pair<uint64_t, PhysPageAddr>> newest;  // off -> (seq, src)
+    for (const Candidate& cand : cands) {
+      const NandBlock& blk = chip_.block(cand.phys);
+      for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
+        if (blk.IsTorn(p)) {
+          continue;
+        }
+        Result<uint64_t> tag = blk.ReadTag(p);
+        if (!tag.ok() || tag.value() == kPadTag ||
+            tag.value() >= LogicalPageCount()) {
+          continue;
+        }
+        const uint32_t off = static_cast<uint32_t>(tag.value() % ppb);
+        auto [it, inserted] =
+            newest.emplace(off, std::make_pair(blk.PageSeq(p),
+                                               PhysPageAddr{cand.phys, p}));
+        if (!inserted) {
+          if (blk.PageSeq(p) > it->second.first) {
+            it->second = {blk.PageSeq(p), PhysPageAddr{cand.phys, p}};
+            ++rep.stale_pages_ignored;
+          } else {
+            ++rep.stale_pages_ignored;
+          }
+        }
+      }
+    }
+    const uint32_t last_live = newest.empty() ? 0 : newest.rbegin()->first;
+    bool merged = false;
+    for (int attempt = 0; attempt < kMaxMergeRetries && !merged; ++attempt) {
+      Result<BlockId> dest = AllocateBlock(mount_time);
+      if (!dest.ok()) {
+        return dest.status();
+      }
+      bool failed = false;
+      for (uint32_t off = 0; off <= last_live; ++off) {
+        const uint64_t tag =
+            newest.count(off) != 0 ? first_lpn + off : kPadTag;
+        Result<SimDuration> prog = chip_.ProgramPage(
+            {dest.value(), chip_.block(dest.value()).write_pointer()}, tag);
+        if (!prog.ok()) {
+          if (prog.status().code() == StatusCode::kPowerLoss) {
+            return prog.status();
+          }
+          failed = true;  // chip marked the destination bad; retry fresh
+          break;
+        }
+        ++stats_.nand_pages_written;
+      }
+      if (failed) {
+        continue;
+      }
+      data_blocks_[logical_block] = dest.value();
+      merged = true;
+    }
+    if (!merged) {
+      read_only_ = true;
+      return UnavailableError("repeated merge failures during mount");
+    }
+    for (const auto& [off, src] : newest) {
+      (void)src;
+      written_[first_lpn + off] = true;
+      ++valid_pages_;
+      ++rep.mapped_pages_recovered;
+    }
+    ++rep.merges_replayed;
+    for (const Candidate& cand : cands) {
+      ++stats_.erases;
+      Result<SimDuration> erase = chip_.EraseBlock(cand.phys);
+      if (!erase.ok()) {
+        if (erase.status().code() == StatusCode::kPowerLoss) {
+          return erase.status();
+        }
+        ++rep.blocks_retired;
+        continue;
+      }
+      free_blocks_.insert({chip_.block(cand.phys).pe_cycles(), cand.phys});
+    }
+  }
+
+  // Phase 3: wear accounting. Every retirement path marks the chip block
+  // bad first, so the bad-block count IS the spare consumption.
+  spares_used_ = 0;
+  for (BlockId b = 0; b < total; ++b) {
+    if (chip_.block(b).is_bad()) {
+      ++spares_used_;
+    }
+  }
+  read_only_ = spares_used_ > config_.spare_blocks;
+
+  FLASHSIM_RETURN_IF_ERROR(ValidateInvariants());
+  return rep;
+}
+
+Status BlockMapFtl::ValidateInvariants(uint64_t lpn_stride) const {
+  (void)lpn_stride;  // the walks here are O(blocks + log entries) already
+  const uint32_t ppb = nand_config_.pages_per_block;
+  std::vector<uint8_t> refs(nand_config_.total_blocks(), 0);
+  for (uint64_t lb = 0; lb < logical_blocks_; ++lb) {
+    const BlockId b = data_blocks_[lb];
+    if (b == kInvalidBlockId) {
+      continue;
+    }
+    if (b >= refs.size()) {
+      return InternalError("data block id out of range");
+    }
+    if (refs[b]++ != 0) {
+      return InternalError("physical block referenced twice");
+    }
+    const NandBlock& blk = chip_.block(b);
+    for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
+      if (blk.IsTorn(p)) {
+        continue;
+      }
+      Result<uint64_t> tag = blk.ReadTag(p);
+      if (!tag.ok()) {
+        return InternalError("unreadable tag in data block");
+      }
+      if (tag.value() != kPadTag && tag.value() != lb * ppb + p) {
+        return InternalError("data block page out of position");
+      }
+    }
+  }
+  for (const auto& [lb, log] : logs_) {
+    if (log.phys == kInvalidBlockId || log.phys >= refs.size()) {
+      return InternalError("log block id invalid");
+    }
+    if (refs[log.phys]++ != 0) {
+      return InternalError("physical block referenced twice");
+    }
+    const NandBlock& blk = chip_.block(log.phys);
+    for (const auto& [off, page] : log.newest) {
+      if (page >= blk.write_pointer()) {
+        return InternalError("log newest entry beyond write pointer");
+      }
+      Result<uint64_t> tag = blk.ReadTag(page);
+      if (!tag.ok() || tag.value() != lb * ppb + off) {
+        return InternalError("log newest entry tag mismatch");
+      }
+    }
+  }
+  for (const auto& [pe, b] : free_blocks_) {
+    if (b >= refs.size()) {
+      return InternalError("free block id out of range");
+    }
+    if (refs[b]++ != 0) {
+      return InternalError("free block also referenced by a mapping");
+    }
+    if (!chip_.block(b).IsErased()) {
+      return InternalError("free block is not erased");
+    }
+    if (chip_.block(b).pe_cycles() != pe) {
+      return InternalError("free pool wear key is stale");
+    }
+  }
+  uint64_t count = 0;
+  for (const bool w : written_) {
+    count += w ? 1 : 0;
+  }
+  if (count != valid_pages_) {
+    return InternalError("valid-page count mismatch");
   }
   return Status::Ok();
 }

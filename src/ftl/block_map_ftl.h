@@ -59,6 +59,23 @@ class BlockMapFtl : public FtlInterface {
   bool IsReadOnly() const override { return read_only_; }
   double Utilization() const override;
 
+  // Mount-time recovery: classifies every physical block by the logical
+  // block its OOB tags name. A single candidate whose pages all sit in
+  // position becomes the data block as-is; when several candidates survive a
+  // cut (old data block, log block, half-written merge destination), a
+  // power-on merge combines the newest copy of every offset — ordered by OOB
+  // write sequence — into a fresh block and erases the rest. Log blocks do
+  // not survive a mount; torn pages read as holes.
+  Result<RecoveryReport> Mount() override;
+
+  void AttachPowerRail(PowerRail* rail) override { chip_.AttachPowerRail(rail); }
+
+  // Internal-consistency check: data blocks hold only in-position (or pad)
+  // tags, log `newest` entries point at pages tagged with their offset, no
+  // physical block is referenced twice, free blocks are erased with fresh
+  // wear keys, and the valid-page count matches `written_`.
+  Status ValidateInvariants(uint64_t lpn_stride = 1) const override;
+
   // Introspection for tests.
   uint64_t full_merges() const { return full_merges_; }
   uint64_t switch_merges() const { return switch_merges_; }

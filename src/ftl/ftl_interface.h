@@ -11,6 +11,8 @@
 #include <cstdint>
 
 #include "src/ftl/health.h"
+#include "src/simcore/fault_plan.h"
+#include "src/simcore/recovery.h"
 #include "src/simcore/sim_time.h"
 #include "src/simcore/status.h"
 #include "src/simcore/victim_index.h"
@@ -118,6 +120,25 @@ class FtlInterface {
 
   // Fraction of the logical space currently holding valid data.
   virtual double Utilization() const = 0;
+
+  // Mount-time recovery after (possibly unclean) power loss: rebuilds every
+  // piece of RAM state purely from NAND OOB metadata (tags + write sequence
+  // numbers), discarding torn pages, re-erasing blocks torn by an
+  // interrupted erase, and finishing with an internal invariant check.
+  // Power must be restored (PowerRail::Restore) before mounting. Also valid
+  // on a cleanly running device, where it is a no-op state rebuild.
+  virtual Result<RecoveryReport> Mount() { return RecoveryReport{}; }
+
+  // Routes every destructive NAND operation of the underlying chip(s)
+  // through `rail` for power-loss fault injection; nullptr detaches.
+  virtual void AttachPowerRail(PowerRail* rail) { (void)rail; }
+
+  // Sampled internal-consistency check; overridden by FTLs that support it.
+  // `lpn_stride` bounds the map walk by sampling every N-th LPN.
+  virtual Status ValidateInvariants(uint64_t lpn_stride = 1) const {
+    (void)lpn_stride;
+    return Status::Ok();
+  }
 };
 
 }  // namespace flashsim

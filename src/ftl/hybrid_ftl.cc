@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace flashsim {
 
@@ -20,6 +21,10 @@ HybridFtl::HybridFtl(NandChipConfig mlc_config, FtlConfig ftl_config,
       event_log_(event_log) {
   assert(hybrid_config_.Validate().ok());
   assert(slc_config.page_size_bytes == mlc_config.page_size_bytes);
+  // Both chips stamp OOB write sequences from one counter, so mount-time
+  // recovery can order copies of an LPN across the cache and the pool.
+  mlc_.mutable_chip().AttachSharedSeq(&shared_write_seq_);
+  cache_chip_.AttachSharedSeq(&shared_write_seq_);
   const uint32_t blocks = cache_chip_.config().total_blocks();
   cache_states_.assign(blocks, CacheBlockState::kFree);
   cache_valid_.assign(blocks, 0);
@@ -50,6 +55,19 @@ void HybridFtl::RemoveClosedCacheBlock(BlockId block) {
     cache_fifo_.pop_front();
   } else if (UseCacheIndex()) {
     cache_index_.Erase(cache_valid_[block], block);
+  }
+}
+
+void HybridFtl::RestoreClosedCacheBlock(BlockId block) {
+  // Reverses RemoveClosedCacheBlock after an abandoned eviction: the victim
+  // still holds live pages and must stay visible to future picks, or the
+  // indexed/FIFO modes silently diverge from the linear reference scan. The
+  // FIFO re-insert goes to the front, where the pick took it from.
+  ++cache_closed_count_;
+  if (hybrid_config_.cache_evict_policy == CacheEvictPolicy::kFifo) {
+    cache_fifo_.push_front(block);
+  } else if (UseCacheIndex()) {
+    cache_index_.Insert(cache_valid_[block], block);
   }
 }
 
@@ -160,8 +178,12 @@ Status HybridFtl::EvictCacheBlock(SimDuration& time_acc) {
   const uint32_t wp = cache_chip_.block(victim).write_pointer();
   for (uint32_t page = 0; page < wp; ++page) {
     const PhysPageAddr src{victim, page};
+    if (cache_chip_.block(victim).IsTorn(page)) {
+      continue;  // torn by a power cut; discarded at mount, never mapped
+    }
     Result<uint64_t> tag = cache_chip_.block(victim).ReadTag(page);
     if (!tag.ok()) {
+      RestoreClosedCacheBlock(victim);
       return tag.status();
     }
     const uint64_t lpn = tag.value();
@@ -175,6 +197,7 @@ Status HybridFtl::EvictCacheBlock(SimDuration& time_acc) {
     }
     Result<SimDuration> write = mlc_.WritePageInternal(lpn, /*count_as_host=*/false);
     if (!write.ok()) {
+      RestoreClosedCacheBlock(victim);
       return write.status();
     }
     time_acc += write.value();
@@ -184,6 +207,12 @@ Status HybridFtl::EvictCacheBlock(SimDuration& time_acc) {
   const uint32_t wear_weight = InMergedMode() ? hybrid_config_.mlc_mode_wear_weight : 1;
   Result<SimDuration> erase = cache_chip_.EraseBlock(victim, wear_weight);
   if (!erase.ok()) {
+    if (erase.status().code() == StatusCode::kPowerLoss) {
+      // Fully migrated but still kClosed: keep it in the closed set so the
+      // "closed <=> tracked" invariant holds until Mount rebuilds everything.
+      RestoreClosedCacheBlock(victim);
+      return erase.status();  // block is torn, not bad; Mount re-erases it
+    }
     RetireCacheBlock(victim);
     return Status::Ok();
   }
@@ -222,6 +251,9 @@ void HybridFtl::ChargeStagingWear(SimDuration& time_acc) {
     Result<SimDuration> erase =
         cache_chip_.EraseBlock(staging, hybrid_config_.mlc_mode_wear_weight);
     if (!erase.ok()) {
+      if (erase.status().code() == StatusCode::kPowerLoss) {
+        return;  // block is torn, not bad; Mount re-erases it
+      }
       cache_free_.pop_back();
       RetireCacheBlock(staging);
       continue;
@@ -281,6 +313,9 @@ Result<SimDuration> HybridFtl::WriteViaCache(uint64_t lpn, SimDuration time_acc,
     const PhysPageAddr addr{cache_active_, wp};
     Result<SimDuration> prog = cache_chip_.ProgramPage(addr, lpn);
     if (!prog.ok()) {
+      if (prog.status().code() == StatusCode::kPowerLoss) {
+        return prog.status();  // page is torn, block healthy; do not retire
+      }
       RetireCacheBlock(cache_active_);
       cache_active_ = kInvalidBlockId;
       if (!cache_enabled_) {
@@ -375,6 +410,11 @@ Status HybridFtl::WriteBatch(const uint64_t* lpns, size_t count,
           ++*pages_done;
         }
         i += outcome.pages_done;
+        if (outcome.power_lost) {
+          // Same point the per-page path reaches: the next page is torn and
+          // its write was never acknowledged.
+          return PowerLossError("power lost mid-program; page torn");
+        }
         if (outcome.block_failed) {
           RetireCacheBlock(block);
           cache_active_ = kInvalidBlockId;
@@ -471,6 +511,206 @@ HealthReport HybridFtl::Health() const {
   report.life_time_est_a = LifeFractionToLevel(
       cache_wear.avg_pe / static_cast<double>(hybrid_config_.health_rated_pe_a));
   return report;
+}
+
+Result<RecoveryReport> HybridFtl::Mount() {
+  Result<RecoveryReport> pool = mlc_.Mount();
+  if (!pool.ok()) {
+    return pool.status();
+  }
+  RecoveryReport rep = pool.value();
+
+  const uint32_t blocks = cache_chip_.config().total_blocks();
+  const uint32_t ppb = cache_chip_.config().pages_per_block;
+
+  // Phase 0: finish cache erases interrupted by the cut (no P/E charged).
+  for (BlockId b = 0; b < blocks; ++b) {
+    if (cache_chip_.block(b).is_bad() || !cache_chip_.block(b).erase_torn()) {
+      continue;
+    }
+    ++rep.torn_erase_blocks;
+    Result<SimDuration> erase = cache_chip_.EraseBlock(b);
+    if (!erase.ok()) {
+      if (erase.status().code() == StatusCode::kPowerLoss) {
+        return erase.status();
+      }
+      ++rep.blocks_retired;  // erase-verify failed; chip marked it bad
+    }
+  }
+
+  // Phase 1: newest cache copy of every LPN, by OOB write sequence.
+  std::unordered_map<uint64_t, uint64_t> best_seq;  // lpn -> max cache seq
+  for (BlockId b = 0; b < blocks; ++b) {
+    const NandBlock& blk = cache_chip_.block(b);
+    if (blk.is_bad()) {
+      continue;
+    }
+    for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
+      ++rep.scanned_pages;
+      if (blk.IsTorn(p)) {
+        ++rep.torn_pages_discarded;
+        continue;
+      }
+      Result<uint64_t> tag = blk.ReadTag(p);
+      if (!tag.ok() || tag.value() >= mlc_.LogicalPageCount()) {
+        ++rep.stale_pages_ignored;
+        continue;
+      }
+      uint64_t& best = best_seq[tag.value()];
+      best = std::max(best, blk.PageSeq(p));
+    }
+  }
+
+  // Phase 2: install winners — unless the MLC pool holds a newer copy of the
+  // same LPN (both chips share one sequence counter; a bypass write can land
+  // in the pool after a still-resident cache copy).
+  cache_map_.clear();
+  for (BlockId b = 0; b < blocks; ++b) {
+    const NandBlock& blk = cache_chip_.block(b);
+    if (blk.is_bad()) {
+      continue;
+    }
+    for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
+      if (blk.IsTorn(p)) {
+        continue;
+      }
+      Result<uint64_t> tag = blk.ReadTag(p);
+      if (!tag.ok() || tag.value() >= mlc_.LogicalPageCount()) {
+        continue;
+      }
+      const uint64_t lpn = tag.value();
+      if (blk.PageSeq(p) != best_seq[lpn]) {
+        ++rep.stale_pages_ignored;  // superseded inside the cache
+        continue;
+      }
+      const PhysPageAddr pool_addr = mlc_.MappedAddr(lpn);
+      if (pool_addr != kInvalidPageAddr &&
+          mlc_.chip().block(pool_addr.block).PageSeq(pool_addr.page) >
+              blk.PageSeq(p)) {
+        ++rep.stale_pages_ignored;  // bypass write left the pool copy newer
+        continue;
+      }
+      cache_map_[lpn] = PhysPageAddr{b, p};
+      ++rep.mapped_pages_recovered;
+    }
+  }
+
+  // Phase 3: rebuild the block structures. Partially written blocks are
+  // sealed closed (never resumed); closed blocks re-enter the FIFO in
+  // write-age order (newest page sequence, ascending = oldest first).
+  cache_valid_.assign(blocks, 0);
+  for (const auto& [lpn, addr] : cache_map_) {
+    (void)lpn;
+    ++cache_valid_[addr.block];
+  }
+  cache_fifo_.clear();
+  cache_free_.clear();
+  cache_active_ = kInvalidBlockId;
+  cache_closed_count_ = 0;
+  cache_bad_blocks_ = 0;
+  std::vector<std::pair<uint64_t, BlockId>> closed;  // (newest seq, id)
+  for (BlockId b = 0; b < blocks; ++b) {
+    const NandBlock& blk = cache_chip_.block(b);
+    if (blk.is_bad()) {
+      cache_states_[b] = CacheBlockState::kBad;
+      ++cache_bad_blocks_;
+    } else if (blk.IsErased()) {
+      cache_states_[b] = CacheBlockState::kFree;
+      cache_free_.push_back(b);
+    } else {
+      cache_states_[b] = CacheBlockState::kClosed;
+      uint64_t newest = 0;
+      for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
+        newest = std::max(newest, blk.PageSeq(p));
+      }
+      closed.emplace_back(newest, b);
+    }
+  }
+  std::sort(closed.begin(), closed.end());
+  if (UseCacheIndex()) {
+    cache_index_.Reset(ppb + 1, blocks, BucketVictimIndex::Order::kById);
+  }
+  for (const auto& [seq, b] : closed) {
+    (void)seq;
+    OnCacheBlockClosed(b);
+  }
+  cache_enabled_ = blocks - cache_bad_blocks_ >= kMinCacheBlocks;
+
+  // Phase 4: merged-mode heuristics restart from the post-mount state.
+  merged_mode_ = false;
+  mlc_.SetDivertGcWear(false);
+  staging_page_credit_ = 0;
+  gc_staged_baseline_ = mlc_.Stats().gc_pages_migrated;
+  window_host_baseline_ = host_pages_written_;
+  window_gc_baseline_ = gc_staged_baseline_;
+
+  FLASHSIM_RETURN_IF_ERROR(ValidateInvariants());
+  return rep;
+}
+
+Status HybridFtl::ValidateInvariants(uint64_t lpn_stride) const {
+  FLASHSIM_RETURN_IF_ERROR(mlc_.ValidateInvariants(lpn_stride));
+  const uint32_t blocks = cache_chip_.config().total_blocks();
+  std::vector<uint32_t> counted(blocks, 0);
+  for (const auto& [lpn, addr] : cache_map_) {
+    if (addr.block >= blocks ||
+        addr.page >= cache_chip_.block(addr.block).write_pointer()) {
+      return InternalError("cache map entry outside the written area");
+    }
+    const NandBlock& blk = cache_chip_.block(addr.block);
+    if (blk.IsTorn(addr.page)) {
+      return InternalError("cache map entry points at a torn page");
+    }
+    Result<uint64_t> tag = blk.ReadTag(addr.page);
+    if (!tag.ok() || tag.value() != lpn) {
+      return InternalError("cache OOB tag does not match the mapped LPN");
+    }
+    ++counted[addr.block];
+  }
+  uint32_t closed = 0;
+  uint32_t bad = 0;
+  uint32_t free_count = 0;
+  for (BlockId b = 0; b < blocks; ++b) {
+    if (counted[b] != cache_valid_[b]) {
+      return InternalError("cache valid-count mismatch");
+    }
+    switch (cache_states_[b]) {
+      case CacheBlockState::kFree:
+        if (!cache_chip_.block(b).IsErased()) {
+          return InternalError("free cache block is not erased");
+        }
+        ++free_count;
+        break;
+      case CacheBlockState::kOpen:
+        if (b != cache_active_) {
+          return InternalError("open cache block is not the active block");
+        }
+        break;
+      case CacheBlockState::kClosed:
+        ++closed;
+        break;
+      case CacheBlockState::kBad:
+        ++bad;
+        break;
+    }
+  }
+  if (bad != cache_bad_blocks_) {
+    return InternalError("cache bad-block count mismatch");
+  }
+  if (free_count != cache_free_.size()) {
+    return InternalError("cache free-list size mismatch");
+  }
+  if (closed != cache_closed_count_) {
+    return InternalError("cache closed-count mismatch");
+  }
+  if (hybrid_config_.cache_evict_policy == CacheEvictPolicy::kFifo &&
+      cache_fifo_.size() != closed) {
+    return InternalError("cache FIFO does not mirror the closed set");
+  }
+  if (UseCacheIndex() && cache_index_.size() != closed) {
+    return InternalError("cache victim index does not mirror the closed set");
+  }
+  return Status::Ok();
 }
 
 FtlStats HybridFtl::Stats() const {

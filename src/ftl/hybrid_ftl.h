@@ -56,6 +56,26 @@ class HybridFtl : public FtlInterface {
   bool IsReadOnly() const override { return mlc_.IsReadOnly(); }
   double Utilization() const override { return mlc_.Utilization(); }
 
+  // Mount-time recovery: remounts the MLC pool, then rebuilds the cache map
+  // from the cache chip's OOB metadata. Both chips share one write-sequence
+  // counter, so a surviving cache copy is live only if its sequence number
+  // beats the MLC pool's copy of the same LPN — anything older (a bypass
+  // write landed in the pool after the cache copy) is dropped as stale.
+  // Closed cache blocks re-enter the FIFO in write-age order (max page
+  // sequence). Merged-mode state and staging baselines reset.
+  Result<RecoveryReport> Mount() override;
+
+  void AttachPowerRail(PowerRail* rail) override {
+    mlc_.AttachPowerRail(rail);
+    cache_chip_.AttachPowerRail(rail);
+  }
+
+  // MLC-pool invariants plus the cache's: every cache-map entry points at a
+  // programmed non-torn cache page tagged with its LPN, per-block valid
+  // counts match the map, block states partition the cache chip, and the
+  // FIFO/eviction index mirrors the closed set.
+  Status ValidateInvariants(uint64_t lpn_stride = 1) const override;
+
   // True when the pool-merge heuristic is currently active (high utilization
   // AND sustained GC pressure; re-evaluated every pressure_window_pages).
   bool InMergedMode() const { return merged_mode_; }
@@ -110,6 +130,9 @@ class HybridFtl : public FtlInterface {
   // Removes a just-picked victim from the closed set before migration, so
   // the migration loop's valid-count decrements need no index moves.
   void RemoveClosedCacheBlock(BlockId block);
+  // Puts an eviction victim back into the closed set when migration is
+  // abandoned (power cut, pool exhaustion); see EvictCacheBlock.
+  void RestoreClosedCacheBlock(BlockId block);
   // Valid-count mutations; a closed block moves between index buckets.
   void IncCacheValid(BlockId block);
   void DecCacheValid(BlockId block);
@@ -118,6 +141,10 @@ class HybridFtl : public FtlInterface {
   NandChip cache_chip_;
   HybridConfig hybrid_config_;
   EventLog* event_log_;
+
+  // One write-sequence domain across both chips (see Mount); both chips hold
+  // a pointer to this counter, so HybridFtl must not be copied or moved.
+  uint64_t shared_write_seq_ = 1;
 
   std::unordered_map<uint64_t, PhysPageAddr> cache_map_;  // lpn -> cache page
   std::vector<CacheBlockState> cache_states_;

@@ -380,6 +380,9 @@ Status PageMapFtl::ReclaimBlock(BlockId victim, SimDuration& time_acc) {
   const uint32_t wp = chip_.block(victim).write_pointer();
   for (uint32_t page = 0; page < wp; ++page) {
     const PhysPageAddr src{victim, page};
+    if (chip_.block(victim).IsTorn(page)) {
+      continue;  // consumed by an interrupted program: nothing to move
+    }
     // Check the forward map via the OOB tag: the page is live only if the
     // map still points at it.
     Result<uint64_t> tag = chip_.block(victim).ReadTag(page);
@@ -419,6 +422,9 @@ Status PageMapFtl::ReclaimBlock(BlockId victim, SimDuration& time_acc) {
   const uint32_t wear_weight = divert_gc_wear_ && gc_origin_[victim] ? 0 : 1;
   Result<SimDuration> erase = chip_.EraseBlock(victim, wear_weight);
   if (!erase.ok()) {
+    if (erase.status().code() == StatusCode::kPowerLoss) {
+      return erase.status();  // block torn, not bad: recovery re-erases it
+    }
     RetireBlock(victim);
     return Status::Ok();  // reclaim succeeded logically; block just retired
   }
@@ -527,9 +533,12 @@ void PageMapFtl::MaybeStaticWearLevel(SimDuration& time_acc) {
       }
       next_id = cold + 1;
       SimDuration wl_time;
-      if (ReclaimBlock(cold, wl_time).ok()) {
+      const Status st = ReclaimBlock(cold, wl_time);
+      if (st.ok()) {
         time_acc += wl_time;
         ++migrated;
+      } else if (st.code() == StatusCode::kPowerLoss) {
+        return;
       }
       if (read_only_) {
         return;
@@ -543,9 +552,12 @@ void PageMapFtl::MaybeStaticWearLevel(SimDuration& time_acc) {
         continue;
       }
       SimDuration wl_time;
-      if (ReclaimBlock(b, wl_time).ok()) {
+      const Status st = ReclaimBlock(b, wl_time);
+      if (st.ok()) {
         time_acc += wl_time;
         ++migrated;
+      } else if (st.code() == StatusCode::kPowerLoss) {
+        return;
       }
       if (read_only_) {
         return;
@@ -653,6 +665,10 @@ Status PageMapFtl::WriteBatch(const uint64_t* lpns, size_t count,
       MaybeStaticWearLevel(t);
     }
     i += outcome.pages_done;
+    if (outcome.power_lost) {
+      // Identical to what the per-page path surfaces from the chip.
+      return PowerLossError("power lost mid-program; page torn");
+    }
     if (outcome.block_failed) {
       // Program-verify failure on page i: retire the block and retry that
       // page on a fresh block, with the per-page retry budget.
@@ -838,6 +854,111 @@ FtlStats PageMapFtl::Stats() const {
   s.free_blocks = static_cast<uint32_t>(free_blocks_.size());
   s.valid_pages = valid_total_;
   return s;
+}
+
+Result<RecoveryReport> PageMapFtl::Mount() {
+  RecoveryReport rep;
+  const uint32_t total_blocks = nand_config_.total_blocks();
+
+  // Phase 0: finish interrupted erases. A block torn mid-erase holds nothing
+  // trustworthy and cannot be programmed until a completed erase resets it.
+  for (BlockId b = 0; b < total_blocks; ++b) {
+    if (chip_.block(b).is_bad() || !chip_.block(b).erase_torn()) {
+      continue;
+    }
+    ++rep.torn_erase_blocks;
+    ++stats_.erases;
+    Result<SimDuration> erase = chip_.EraseBlock(b);
+    if (!erase.ok()) {
+      if (erase.status().code() == StatusCode::kPowerLoss) {
+        return erase.status();  // mounted while still unpowered
+      }
+      ++rep.blocks_retired;  // erase-verify failed; the chip marked it bad
+    }
+  }
+
+  // Phase 1: OOB scan. For every logical page the highest-sequence non-torn
+  // copy wins — a crash mid-GC leaves the (torn) migration target discarded
+  // and falls back to the still-present source copy; a crash mid-erase of a
+  // GC victim keeps the (newer) migrated copies.
+  map_.assign(logical_pages_, kInvalidPageAddr);
+  std::vector<uint64_t> best_seq(logical_pages_, 0);
+  for (BlockId b = 0; b < total_blocks; ++b) {
+    const NandBlock& blk = chip_.block(b);
+    if (blk.is_bad()) {
+      continue;
+    }
+    const uint32_t wp = blk.write_pointer();
+    for (uint32_t p = 0; p < wp; ++p) {
+      ++rep.scanned_pages;
+      if (blk.IsTorn(p)) {
+        ++rep.torn_pages_discarded;
+        continue;
+      }
+      Result<uint64_t> tag = blk.ReadTag(p);  // raw OOB read, no ECC model
+      if (!tag.ok() || tag.value() >= logical_pages_) {
+        ++rep.stale_pages_ignored;
+        continue;
+      }
+      const uint64_t lpn = tag.value();
+      const uint64_t seq = blk.PageSeq(p);
+      if (!map_[lpn].IsValid() || seq > best_seq[lpn]) {
+        if (map_[lpn].IsValid()) {
+          ++rep.stale_pages_ignored;
+        }
+        map_[lpn] = PhysPageAddr{b, p};
+        best_seq[lpn] = seq;
+      } else {
+        ++rep.stale_pages_ignored;
+      }
+    }
+  }
+
+  // Phase 2: rebuild every derived structure from the recovered map. Nothing
+  // below reads pre-crash RAM state.
+  valid_counts_.assign(total_blocks, 0);
+  block_states_.assign(total_blocks, BlockState::kFree);
+  close_seq_.assign(total_blocks, 0);
+  gc_origin_.assign(total_blocks, 0);
+  free_blocks_.Clear();
+  dead_blocks_.clear();
+  host_active_ = kInvalidBlockId;
+  gc_active_ = kInvalidBlockId;
+  valid_total_ = 0;
+  erase_seq_ = 0;
+  spares_used_ = 0;
+  wl_spread_ok_version_ = ~0ull;
+  for (uint64_t lpn = 0; lpn < logical_pages_; ++lpn) {
+    if (map_[lpn].IsValid()) {
+      ++valid_counts_[map_[lpn].block];
+      ++valid_total_;
+      ++rep.mapped_pages_recovered;
+    }
+  }
+  for (BlockId b = 0; b < total_blocks; ++b) {
+    if (chip_.block(b).is_bad()) {
+      block_states_[b] = BlockState::kBad;
+      ++spares_used_;
+      continue;
+    }
+    if (chip_.block(b).IsErased()) {
+      free_blocks_.Insert(chip_.block(b).pe_cycles(), b);
+      continue;  // kFree
+    }
+    // Any written block is sealed, full or not: resuming appends into a
+    // crash-interrupted open block risks disturbing its last page on real
+    // NAND, so recovery never does.
+    block_states_[b] = BlockState::kClosed;
+    if (valid_counts_[b] == 0) {
+      dead_blocks_.push_back(b);
+    }
+  }
+  read_only_ = spares_used_ > ftl_config_.spare_blocks;
+  if (UseIndex()) {
+    RebuildVictimIndexes();
+  }
+  FLASHSIM_RETURN_IF_ERROR(ValidateInvariants());
+  return rep;
 }
 
 }  // namespace flashsim

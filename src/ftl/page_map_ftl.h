@@ -47,6 +47,17 @@ class PageMapFtl : public FtlInterface {
   bool IsReadOnly() const override { return read_only_; }
   double Utilization() const override;
 
+  // Mount-time recovery: rebuilds the page map and every derived structure
+  // (valid counts, block states, free pool, victim indexes) purely from the
+  // chip's OOB metadata — per-page tags plus write sequence numbers — so it
+  // is correct after an unclean power cut. The newest non-torn copy of each
+  // LPN wins; torn pages are discarded; blocks torn by an interrupted erase
+  // are re-erased; partially written blocks are sealed (never resumed).
+  // Finishes with a full ValidateInvariants pass.
+  Result<RecoveryReport> Mount() override;
+
+  void AttachPowerRail(PowerRail* rail) override { chip_.AttachPowerRail(rail); }
+
   // Internal write entry point also used by HybridFtl for migrations: writes
   // a page whose content belongs to `lpn` without counting it as host I/O.
   Result<SimDuration> WritePageInternal(uint64_t lpn, bool count_as_host);
@@ -62,6 +73,11 @@ class PageMapFtl : public FtlInterface {
   // True when `lpn` currently maps to a physical page.
   bool IsMapped(uint64_t lpn) const;
 
+  // Current physical location of `lpn` (kInvalidPageAddr when unmapped).
+  PhysPageAddr MappedAddr(uint64_t lpn) const {
+    return lpn < logical_pages_ ? map_[lpn] : kInvalidPageAddr;
+  }
+
   // Internal-consistency check:
   //  * every sampled mapped LPN points at a programmed page whose OOB tag is
   //    the LPN;
@@ -73,7 +89,7 @@ class PageMapFtl : public FtlInterface {
   // N-th LPN; strides > 1 skip the count/total cross-checks (they need the
   // full walk) but keep every O(blocks) check. Returns the first violation
   // found. Meant for tests and debug builds.
-  Status ValidateInvariants(uint64_t lpn_stride = 1) const;
+  Status ValidateInvariants(uint64_t lpn_stride = 1) const override;
 
   // Switches victim selection at runtime (rebuilds the indexes when turning
   // kIndexed on). The pick sequence is identical either way; benches flip

@@ -15,9 +15,12 @@ void NandBlock::Heal(double recovery_fraction) {
       std::floor(static_cast<double>(pe_cycles_) * recovery_fraction));
 }
 
-Status NandBlock::ProgramPage(uint32_t page, uint64_t tag) {
+Status NandBlock::CheckProgrammable(uint32_t page) const {
   if (bad_) {
     return UnavailableError("program to bad block");
+  }
+  if (erase_torn_) {
+    return FailedPreconditionError("program to block torn by interrupted erase");
   }
   if (page >= pages_per_block()) {
     return OutOfRangeError("page index out of range");
@@ -25,9 +28,36 @@ Status NandBlock::ProgramPage(uint32_t page, uint64_t tag) {
   if (page != write_pointer_) {
     return FailedPreconditionError("NAND pages must be programmed in order");
   }
+  return Status::Ok();
+}
+
+Status NandBlock::ProgramPage(uint32_t page, uint64_t tag, uint64_t seq) {
+  FLASHSIM_RETURN_IF_ERROR(CheckProgrammable(page));
   tags_[page] = tag;
+  seqs_[page] = seq;
+  torn_[page] = 0;
   ++write_pointer_;
   return Status::Ok();
+}
+
+Status NandBlock::ProgramTorn(uint32_t page) {
+  FLASHSIM_RETURN_IF_ERROR(CheckProgrammable(page));
+  tags_[page] = kUnwrittenTag;
+  seqs_[page] = 0;
+  torn_[page] = 1;
+  ++write_pointer_;
+  return Status::Ok();
+}
+
+void NandBlock::TornErase() {
+  if (bad_) {
+    return;
+  }
+  for (uint32_t i = 0; i < write_pointer_; ++i) {
+    torn_[i] = 1;
+    seqs_[i] = 0;
+  }
+  erase_torn_ = true;
 }
 
 Result<uint64_t> NandBlock::ReadTag(uint32_t page) const {
@@ -36,6 +66,9 @@ Result<uint64_t> NandBlock::ReadTag(uint32_t page) const {
   }
   if (page >= write_pointer_) {
     return FailedPreconditionError("read of unprogrammed page");
+  }
+  if (torn_[page] != 0) {
+    return DataLossError("read of torn page");
   }
   return tags_[page];
 }
@@ -50,8 +83,11 @@ Status NandBlock::Erase(uint32_t wear_weight) {
   }
   for (uint32_t i = 0; i < write_pointer_; ++i) {
     tags_[i] = kUnwrittenTag;
+    seqs_[i] = 0;
+    torn_[i] = 0;
   }
   write_pointer_ = 0;
+  erase_torn_ = false;
   pe_cycles_ += wear_weight;
   return Status::Ok();
 }

@@ -3,8 +3,15 @@
 // Pages within a block must be programmed strictly in order (the in-order
 // program rule of real NAND) and can only be reset by erasing the whole
 // block, which costs one P/E cycle. A block stores no user data in this
-// simulator — only a per-page 64-bit out-of-band tag, which the FTL uses for
-// its reverse map — keeping memory per simulated terabyte small.
+// simulator — only per-page 64-bit out-of-band metadata (a tag the FTL uses
+// for its reverse map, plus a write sequence number used by mount-time
+// recovery) — keeping memory per simulated terabyte small.
+//
+// Power loss adds two torn states: a program interrupted mid-operation
+// consumes its page but leaves it torn (reads fail with kDataLoss until the
+// block is erased), and an interrupted erase leaves the whole block torn
+// (erase_torn) — it holds no trustworthy data and must be erased again
+// before reuse.
 
 #ifndef SRC_NAND_BLOCK_H_
 #define SRC_NAND_BLOCK_H_
@@ -21,7 +28,9 @@ inline constexpr uint64_t kUnwrittenTag = 0xffffffffffffffffull;
 class NandBlock {
  public:
   explicit NandBlock(uint32_t pages_per_block)
-      : tags_(pages_per_block, kUnwrittenTag) {}
+      : tags_(pages_per_block, kUnwrittenTag),
+        seqs_(pages_per_block, 0),
+        torn_(pages_per_block, 0) {}
 
   // Number of P/E cycles this block has absorbed.
   uint32_t pe_cycles() const { return pe_cycles_; }
@@ -30,20 +39,44 @@ class NandBlock {
   uint32_t write_pointer() const { return write_pointer_; }
   uint32_t pages_per_block() const { return static_cast<uint32_t>(tags_.size()); }
   bool IsFull() const { return write_pointer_ == pages_per_block(); }
-  bool IsErased() const { return write_pointer_ == 0; }
+  bool IsErased() const { return write_pointer_ == 0 && !erase_torn_; }
 
   bool is_bad() const { return bad_; }
   void MarkBad() { bad_ = true; }
 
-  // Programs the next page with `tag`. Fails if the block is bad, full, or
-  // `page` is not the current write pointer (in-order rule).
-  Status ProgramPage(uint32_t page, uint64_t tag);
+  // Programs the next page with `tag` and write-sequence `seq`. Fails if the
+  // block is bad, full, torn by an interrupted erase, or `page` is not the
+  // current write pointer (in-order rule).
+  Status ProgramPage(uint32_t page, uint64_t tag, uint64_t seq = 0);
 
-  // Reads the tag of a programmed page.
+  // A program interrupted by power loss: the page is consumed (the write
+  // pointer advances) but holds no trustworthy data — it reads as torn until
+  // the block is erased. Same preconditions as ProgramPage.
+  Status ProgramTorn(uint32_t page);
+
+  // An erase interrupted by power loss: every programmed page becomes torn
+  // and the block needs a (completed) erase before it can be programmed
+  // again. Charges no P/E cycle — the completing erase does.
+  void TornErase();
+
+  // Reads the tag of a programmed page. Torn pages fail with kDataLoss.
   Result<uint64_t> ReadTag(uint32_t page) const;
 
   // True if `page` has been programmed since the last erase.
   bool IsProgrammed(uint32_t page) const;
+
+  // True if `page` was consumed by an interrupted program or erase.
+  bool IsTorn(uint32_t page) const {
+    return page < write_pointer_ && torn_[page] != 0;
+  }
+  bool erase_torn() const { return erase_torn_; }
+
+  // Write sequence number stamped when the page was programmed (0 for
+  // unprogrammed or torn pages). OOB metadata: mount-time recovery orders
+  // copies of the same logical page by it.
+  uint64_t PageSeq(uint32_t page) const {
+    return page < write_pointer_ ? seqs_[page] : 0;
+  }
 
   // Erases the block: clears all pages and charges `wear_weight` P/E cycles.
   // A weight > 1 models cells being cycled in a more stressful mode (e.g. an
@@ -55,11 +88,19 @@ class NandBlock {
   // the accumulated wear. Does not revive bad blocks.
   void Heal(double recovery_fraction);
 
+  // The preconditions ProgramPage/ProgramTorn would check, without
+  // committing anything — lets the chip validate before deciding whether a
+  // power cut consumes this operation.
+  Status CheckProgrammable(uint32_t page) const;
+
  private:
   std::vector<uint64_t> tags_;
+  std::vector<uint64_t> seqs_;
+  std::vector<uint8_t> torn_;
   uint32_t write_pointer_ = 0;
   uint32_t pe_cycles_ = 0;
   bool bad_ = false;
+  bool erase_torn_ = false;
 };
 
 }  // namespace flashsim

@@ -55,6 +55,13 @@ Status NandChip::CheckAddr(PhysPageAddr addr) const {
   return Status::Ok();
 }
 
+Status NandChip::CheckPowered() const {
+  if (rail_ != nullptr && !rail_->powered()) {
+    return PowerLossError("power is off");
+  }
+  return Status::Ok();
+}
+
 Result<SimDuration> NandChip::EraseBlock(BlockId id, uint32_t wear_weight) {
   if (id >= blocks_.size()) {
     return OutOfRangeError("block index out of range");
@@ -62,6 +69,12 @@ Result<SimDuration> NandChip::EraseBlock(BlockId id, uint32_t wear_weight) {
   NandBlock& blk = blocks_[id];
   if (blk.is_bad()) {
     return UnavailableError("erase of bad block");
+  }
+  FLASHSIM_RETURN_IF_ERROR(CheckPowered());
+  if (rail_ != nullptr && rail_->OnDestructiveOp()) {
+    blk.TornErase();
+    counters_.Increment("nand.torn_erases");
+    return PowerLossError("power lost mid-erase; block torn");
   }
   counters_.Increment("nand.erases");
   ++wear_version_;
@@ -80,7 +93,14 @@ Result<SimDuration> NandChip::EraseBlock(BlockId id, uint32_t wear_weight) {
 Result<SimDuration> NandChip::ProgramPage(PhysPageAddr addr, uint64_t tag) {
   FLASHSIM_RETURN_IF_ERROR(CheckAddr(addr));
   NandBlock& blk = blocks_[addr.block];
-  FLASHSIM_RETURN_IF_ERROR(blk.ProgramPage(addr.page, tag));
+  FLASHSIM_RETURN_IF_ERROR(blk.CheckProgrammable(addr.page));
+  FLASHSIM_RETURN_IF_ERROR(CheckPowered());
+  if (rail_ != nullptr && rail_->OnDestructiveOp()) {
+    (void)blk.ProgramTorn(addr.page);
+    counters_.Increment("nand.torn_programs");
+    return PowerLossError("power lost mid-program; page torn");
+  }
+  (void)blk.ProgramPage(addr.page, tag, NextSeq());
   counters_.Increment("nand.programs");
   if (rng_.Bernoulli(
           WearFailureProbability(blk.pe_cycles(), kProgramFailureScale))) {
@@ -111,7 +131,17 @@ Result<NandProgramRunOutcome> NandChip::ProgramRun(BlockId block,
   const double p_fail =
       WearFailureProbability(blk.pe_cycles(), kProgramFailureScale);
   for (uint32_t i = 0; i < count; ++i) {
-    FLASHSIM_RETURN_IF_ERROR(blk.ProgramPage(blk.write_pointer(), tags[i]));
+    const uint32_t wp = blk.write_pointer();
+    FLASHSIM_RETURN_IF_ERROR(blk.CheckProgrammable(wp));
+    FLASHSIM_RETURN_IF_ERROR(CheckPowered());
+    if (rail_ != nullptr && rail_->OnDestructiveOp()) {
+      (void)blk.ProgramTorn(wp);
+      counters_.Increment("nand.programs", i);
+      counters_.Increment("nand.torn_programs");
+      out.power_lost = true;
+      return out;
+    }
+    (void)blk.ProgramPage(wp, tags[i], NextSeq());
     if (p_fail > 0.0 && rng_.UniformDouble() < p_fail) {
       blk.MarkBad();
       ++wear_version_;
@@ -137,7 +167,12 @@ double NandChip::BlockRber(BlockId id) const {
 
 Result<NandReadOutcome> NandChip::ReadPage(PhysPageAddr addr) {
   FLASHSIM_RETURN_IF_ERROR(CheckAddr(addr));
+  FLASHSIM_RETURN_IF_ERROR(CheckPowered());
   const NandBlock& blk = blocks_[addr.block];
+  if (blk.IsTorn(addr.page)) {
+    counters_.Increment("nand.torn_reads");
+    return DataLossError("read of torn page");
+  }
   Result<uint64_t> tag = blk.ReadTag(addr.page);
   if (!tag.ok()) {
     return tag.status();

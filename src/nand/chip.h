@@ -16,6 +16,7 @@
 #include "src/nand/block.h"
 #include "src/nand/config.h"
 #include "src/nand/error_model.h"
+#include "src/simcore/fault_plan.h"
 #include "src/simcore/rng.h"
 #include "src/simcore/sim_time.h"
 #include "src/simcore/stats.h"
@@ -35,6 +36,7 @@ struct NandProgramRunOutcome {
   uint32_t pages_done = 0;   // pages successfully programmed
   SimDuration latency;       // total array time for the successful pages
   bool block_failed = false; // run stopped on a program-verify failure
+  bool power_lost = false;   // run stopped on a power cut; next page is torn
 };
 
 // Aggregate wear state across the array.
@@ -102,9 +104,28 @@ class NandChip {
   WearSummary ComputeWearSummary() const;
   const CounterSet& counters() const { return counters_; }
 
+  // Power-loss fault injection. With a rail attached, every destructive
+  // operation (program/erase) consults it before committing: a fired cut
+  // leaves the in-flight page/block torn and returns kPowerLoss, and every
+  // subsequent operation fails with kPowerLoss until PowerRail::Restore().
+  // Detaching (nullptr) restores the fault-free fast path.
+  void AttachPowerRail(PowerRail* rail) { rail_ = rail; }
+  const PowerRail* power_rail() const { return rail_; }
+
+  // Every program stamps a monotonically increasing per-chip write sequence
+  // number into the page's OOB (see NandBlock::PageSeq). Multi-chip FTLs
+  // (the hybrid's SLC cache + MLC pool) share one counter so sequence
+  // numbers order copies of a logical page across chips.
+  void AttachSharedSeq(uint64_t* seq) { shared_seq_ = seq; }
+
  private:
   double WearFailureProbability(uint32_t pe_cycles, double scale) const;
   Status CheckAddr(PhysPageAddr addr) const;
+  Status CheckPowered() const;
+  uint64_t NextSeq() {
+    uint64_t* s = shared_seq_ != nullptr ? shared_seq_ : &next_seq_;
+    return (*s)++;
+  }
 
   NandChipConfig config_;
   RberModel rber_model_;
@@ -114,6 +135,9 @@ class NandChip {
   std::vector<uint32_t> reads_since_erase_;
   CounterSet counters_;
   uint64_t wear_version_ = 0;
+  PowerRail* rail_ = nullptr;
+  uint64_t next_seq_ = 1;
+  uint64_t* shared_seq_ = nullptr;
 
   // ComputeWearSummary is a pure function of the per-block wear state, which
   // only changes when wear_version_ ticks — cache the last scan (health is

@@ -1,0 +1,60 @@
+#include "src/simcore/fault_plan.h"
+
+#include "src/simcore/rng.h"
+
+namespace flashsim {
+
+FaultPlan FaultPlan::AtOpCount(uint64_t nth_op) {
+  FaultPlan plan;
+  plan.cut_after_ops = nth_op;
+  return plan;
+}
+
+FaultPlan FaultPlan::AtTime(SimTime t) {
+  FaultPlan plan;
+  plan.cut_at_time = t;
+  return plan;
+}
+
+FaultPlan FaultPlan::RandomOpInWindow(uint64_t seed, uint64_t min_ops,
+                                      uint64_t max_ops) {
+  if (min_ops == 0) {
+    min_ops = 1;
+  }
+  if (max_ops < min_ops) {
+    max_ops = min_ops;
+  }
+  Rng rng(DeriveSeed(seed, /*stream=*/0x66617573ull));  // "faus"
+  const uint64_t span = max_ops - min_ops + 1;
+  return AtOpCount(min_ops + rng.UniformU64(span));
+}
+
+void PowerRail::Arm(const FaultPlan& plan) {
+  plan_ = plan;
+  armed_ = true;
+  armed_at_ = ops_;
+}
+
+bool PowerRail::OnDestructiveOp() {
+  ++ops_;
+  if (!armed_ || !powered_) {
+    return false;
+  }
+  bool fire = false;
+  if (plan_.cut_after_ops != 0 && ops_ - armed_at_ >= plan_.cut_after_ops) {
+    fire = true;
+  }
+  if (plan_.cut_at_time.has_value() && clock_ != nullptr &&
+      clock_->Now() >= *plan_.cut_at_time) {
+    fire = true;
+  }
+  if (!fire) {
+    return false;
+  }
+  powered_ = false;
+  armed_ = false;
+  ++cuts_;
+  return true;
+}
+
+}  // namespace flashsim

@@ -1,0 +1,83 @@
+// Deterministic power-loss fault injection.
+//
+// A FaultPlan schedules exactly one power cut: on the N-th destructive NAND
+// operation (program or erase), at the first destructive operation at or
+// after a simulated instant, or at an operation index drawn from a seeded
+// RNG. A PowerRail is armed with a plan and attached to one or more
+// NandChips; the chip consults the rail once per destructive operation,
+// *before* committing it. When the trigger fires the in-flight operation is
+// left torn (see NandBlock) and the rail drops to the unpowered state, where
+// every chip operation fails with kPowerLoss until Restore() is called —
+// the moment the harness "plugs the device back in" and remounts.
+//
+// Determinism: op-count triggers are exact by construction; random triggers
+// resolve to an op count when the plan is built, so a run is bit-reproducible
+// from (workload seed, plan) alone. Time triggers depend only on the
+// attached SimClock, which is itself deterministic.
+
+#ifndef SRC_SIMCORE_FAULT_PLAN_H_
+#define SRC_SIMCORE_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/simcore/clock.h"
+#include "src/simcore/sim_time.h"
+
+namespace flashsim {
+
+struct FaultPlan {
+  // Fire on the nth destructive operation after arming (1 = the very next
+  // program/erase). 0 disables the op-count trigger.
+  uint64_t cut_after_ops = 0;
+
+  // Fire on the first destructive operation at or after this instant.
+  // Requires a SimClock attached to the rail.
+  std::optional<SimTime> cut_at_time;
+
+  static FaultPlan AtOpCount(uint64_t nth_op);
+  static FaultPlan AtTime(SimTime t);
+
+  // Seeded-random trigger: resolves to a uniform op count in
+  // [min_ops, max_ops] (inclusive) so the run is reproducible from the seed.
+  static FaultPlan RandomOpInWindow(uint64_t seed, uint64_t min_ops,
+                                    uint64_t max_ops);
+};
+
+class PowerRail {
+ public:
+  PowerRail() = default;
+
+  // Needed only for FaultPlan::cut_at_time triggers.
+  void AttachClock(const SimClock* clock) { clock_ = clock; }
+
+  // Arms (or re-arms) the cut. The op-count window restarts at arming time.
+  void Arm(const FaultPlan& plan);
+  void Disarm() { armed_ = false; }
+
+  bool armed() const { return armed_; }
+  bool powered() const { return powered_; }
+  uint64_t destructive_ops() const { return ops_; }
+  uint64_t cuts_delivered() const { return cuts_; }
+
+  // Chip hook: counts one destructive operation and returns true exactly when
+  // the armed cut fires on it — the caller must then leave the operation
+  // torn. Must only be called while powered.
+  bool OnDestructiveOp();
+
+  // Power restored: chip operations succeed again. Does not re-arm.
+  void Restore() { powered_ = true; }
+
+ private:
+  const SimClock* clock_ = nullptr;
+  FaultPlan plan_;
+  bool armed_ = false;
+  bool powered_ = true;
+  uint64_t ops_ = 0;        // lifetime destructive-op count across attach(es)
+  uint64_t armed_at_ = 0;   // ops_ value when Arm() was called
+  uint64_t cuts_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_FAULT_PLAN_H_

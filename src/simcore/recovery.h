@@ -1,0 +1,51 @@
+// RecoveryReport: what a mount-time crash-recovery pass found and repaired.
+//
+// Shared by the FTL layer (OOB scan, torn-page discard, mapping rebuild) and
+// the file-system layer (log replay, journal scan, fsck-style orphan
+// reclaim). Counters that do not apply to a layer stay zero; Merge() sums
+// reports so a device-level remount can fold the FTL and fs passes into one.
+
+#ifndef SRC_SIMCORE_RECOVERY_H_
+#define SRC_SIMCORE_RECOVERY_H_
+
+#include <cstdint>
+
+namespace flashsim {
+
+struct RecoveryReport {
+  // FTL-level: physical scan.
+  uint64_t scanned_pages = 0;           // programmed pages examined
+  uint64_t torn_pages_discarded = 0;    // pages torn by an interrupted program
+  uint64_t stale_pages_ignored = 0;     // superseded copies (lower seq)
+  uint64_t mapped_pages_recovered = 0;  // live mappings rebuilt
+  uint64_t torn_erase_blocks = 0;       // blocks re-erased (interrupted erase)
+  uint64_t blocks_retired = 0;          // blocks that failed the mount re-erase
+  uint64_t merges_replayed = 0;         // block-map: power-on log merges
+
+  // FS-level: namespace recovery.
+  uint64_t files_recovered = 0;         // files present after recovery
+  uint64_t segments_replayed = 0;       // logfs: node entries rolled forward
+  uint64_t journal_commits_scanned = 0; // extfs: commits in the journal ring
+  uint64_t orphan_files = 0;            // files lost (never made durable)
+  uint64_t orphan_blocks = 0;           // blocks reclaimed by rollback / fsck
+
+  RecoveryReport& Merge(const RecoveryReport& o) {
+    scanned_pages += o.scanned_pages;
+    torn_pages_discarded += o.torn_pages_discarded;
+    stale_pages_ignored += o.stale_pages_ignored;
+    mapped_pages_recovered += o.mapped_pages_recovered;
+    torn_erase_blocks += o.torn_erase_blocks;
+    blocks_retired += o.blocks_retired;
+    merges_replayed += o.merges_replayed;
+    files_recovered += o.files_recovered;
+    segments_replayed += o.segments_replayed;
+    journal_commits_scanned += o.journal_commits_scanned;
+    orphan_files += o.orphan_files;
+    orphan_blocks += o.orphan_blocks;
+    return *this;
+  }
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_RECOVERY_H_

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DATA_LOSS";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kPowerLoss:
+      return "POWER_LOSS";
     case StatusCode::kPermissionDenied:
       return "PERMISSION_DENIED";
     case StatusCode::kInternal:
@@ -65,6 +67,9 @@ Status DataLossError(std::string message) {
 }
 Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status PowerLossError(std::string message) {
+  return Status(StatusCode::kPowerLoss, std::move(message));
 }
 Status PermissionDeniedError(std::string message) {
   return Status(StatusCode::kPermissionDenied, std::move(message));

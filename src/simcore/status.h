@@ -25,6 +25,7 @@ enum class StatusCode {
   kFailedPrecondition,   // e.g. file not open
   kDataLoss,             // uncorrectable ECC error
   kUnavailable,          // device is read-only or bricked
+  kPowerLoss,            // power cut mid-operation; retry after Restore()
   kPermissionDenied,     // sandbox / rate-limit rejection
   kInternal,
 };
@@ -63,6 +64,7 @@ Status ResourceExhaustedError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status DataLossError(std::string message);
 Status UnavailableError(std::string message);
+Status PowerLossError(std::string message);
 Status PermissionDeniedError(std::string message);
 Status InternalError(std::string message);
 

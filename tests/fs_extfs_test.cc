@@ -72,12 +72,16 @@ TEST_F(ExtFsTest, SequentialWriteAllocatesContiguously) {
   EXPECT_GT(mib_per_sec, 15.0);
 }
 
-TEST_F(ExtFsTest, UnlinkDiscardsBlocks) {
+TEST_F(ExtFsTest, UnlinkDiscardsBlocksAtCommit) {
   ASSERT_TRUE(fs_.Create("f").ok());
+  ASSERT_TRUE(fs_.Create("keep").ok());
   ASSERT_TRUE(fs_.Write("f", 0, 1024 * 1024, false).ok());
   const uint64_t valid_before = device_->ftl().Stats().valid_pages;
   ASSERT_TRUE(fs_.Unlink("f").ok());
-  // TRIM must have dropped the file's pages from the FTL.
+  // The free + TRIM waits for the journal commit covering the unlink (a
+  // crash before that commit must be able to roll the file back).
+  EXPECT_EQ(device_->ftl().Stats().valid_pages, valid_before);
+  ASSERT_TRUE(fs_.Fsync("keep").ok());  // forces the commit
   EXPECT_LT(device_->ftl().Stats().valid_pages, valid_before);
 }
 
@@ -87,6 +91,8 @@ TEST_F(ExtFsTest, SpaceReusedAfterUnlink) {
   const uint64_t free_after_a = fs_.FreeBytes();
   ASSERT_TRUE(fs_.Unlink("a").ok());
   ASSERT_TRUE(fs_.Create("b").ok());
+  // The unlinked blocks become reusable at the commit covering the unlink.
+  ASSERT_TRUE(fs_.Fsync("b").ok());
   ASSERT_TRUE(fs_.Write("b", 0, 2 * 1024 * 1024, false).ok());
   EXPECT_EQ(fs_.FreeBytes(), free_after_a);
 }

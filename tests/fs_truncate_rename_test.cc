@@ -4,9 +4,11 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "src/fs/extfs.h"
 #include "src/fs/logfs.h"
+#include "src/simcore/fault_plan.h"
 #include "tests/test_util.h"
 
 namespace flashsim {
@@ -96,6 +98,106 @@ TEST_P(FsTruncRename, RenamedFileSurvivesChurn) {
     ASSERT_TRUE(fs().Write("churn", (i % 64) * 4096ull, 4096, i % 8 == 0).ok());
   }
   EXPECT_TRUE(fs().Read("kept", 0, 128 * 1024).ok());
+}
+
+// --- Crash atomicity -------------------------------------------------------
+//
+// Power is cut at the Nth destructive NAND op inside the durability barrier
+// (LogFs: the node-block write; ExtFs: the journal commit) that follows a
+// rename or shrinking truncate. Whatever the cut position, recovery must land
+// on one of the two pre-declared states — old or new — fully intact, never a
+// mix and never neither. Cut positions past the barrier's op count simply
+// never fire, which doubles as the post-barrier (fully durable) case.
+
+TEST_P(FsTruncRename, RenameCrashLandsOnOldOrNewNeverNeither) {
+  constexpr uint64_t kBytes = 256 * 1024;
+  const bool log_structured = std::string(fs().fs_type()) == "logfs";
+  for (const uint64_t cut : {1ull, 2ull, 3ull, 5ull, 9ull, 1ull << 30}) {
+    fixture_ = GetParam().factory();
+    ASSERT_TRUE(fs().Create("old").ok());
+    ASSERT_TRUE(fs().Write("old", 0, kBytes, true).ok());
+    ASSERT_TRUE(fs().Fsync("old").ok());  // durable under the old name
+    ASSERT_TRUE(fs().Rename("old", "new").ok());
+
+    PowerRail rail;
+    rail.AttachClock(&fixture_.device->clock());
+    fixture_.device->AttachPowerRail(&rail);
+    rail.Arm(FaultPlan::AtOpCount(cut));
+    const Result<SimDuration> barrier = fs().Fsync("new");
+    const bool cut_fired = rail.cuts_delivered() > 0;
+    EXPECT_EQ(barrier.ok(), !cut_fired) << "cut=" << cut;
+    rail.Restore();
+
+    ASSERT_TRUE(fixture_.device->Remount().ok()) << "cut=" << cut;
+    ASSERT_TRUE(fs().Mount().ok()) << "cut=" << cut;
+
+    const bool has_old = fs().Exists("old");
+    const bool has_new = fs().Exists("new");
+    EXPECT_NE(has_old, has_new)
+        << "cut=" << cut << ": exactly one name must survive (old=" << has_old
+        << " new=" << has_new << ")";
+    if (!cut_fired) {
+      EXPECT_TRUE(has_new) << "cut=" << cut << ": barrier completed";
+    } else if (log_structured) {
+      // LogFs models dentry updates as durable immediately.
+      EXPECT_TRUE(has_new) << "cut=" << cut;
+    } else if (cut == 1) {
+      // ExtFs: op 1 is the first journal block, so the commit never landed.
+      EXPECT_TRUE(has_old) << "cut=" << cut;
+    }
+    const std::string survivor = has_new ? "new" : "old";
+    const Result<uint64_t> size = fs().FileSize(survivor);
+    ASSERT_TRUE(size.ok()) << "cut=" << cut;
+    EXPECT_EQ(size.value(), kBytes) << "cut=" << cut << " name=" << survivor;
+    EXPECT_TRUE(fs().Read(survivor, 0, kBytes).ok())
+        << "cut=" << cut << " name=" << survivor;
+  }
+}
+
+TEST_P(FsTruncRename, TruncateCrashRecoversAtOldOrNewSizeNeverBetween) {
+  constexpr uint64_t kOldSize = 512 * 1024;
+  constexpr uint64_t kNewSize = 64 * 1024;
+  for (const uint64_t cut : {1ull, 2ull, 3ull, 5ull, 9ull, 1ull << 30}) {
+    fixture_ = GetParam().factory();
+    ASSERT_TRUE(fs().Create("f").ok());
+    ASSERT_TRUE(fs().Write("f", 0, kOldSize, true).ok());
+    ASSERT_TRUE(fs().Fsync("f").ok());  // durable at the old size
+    ASSERT_TRUE(fs().Truncate("f", kNewSize).ok());
+
+    PowerRail rail;
+    rail.AttachClock(&fixture_.device->clock());
+    fixture_.device->AttachPowerRail(&rail);
+    rail.Arm(FaultPlan::AtOpCount(cut));
+    const Result<SimDuration> barrier = fs().Fsync("f");
+    const bool cut_fired = rail.cuts_delivered() > 0;
+    EXPECT_EQ(barrier.ok(), !cut_fired) << "cut=" << cut;
+    rail.Restore();
+
+    ASSERT_TRUE(fixture_.device->Remount().ok()) << "cut=" << cut;
+    ASSERT_TRUE(fs().Mount().ok()) << "cut=" << cut;
+
+    ASSERT_TRUE(fs().Exists("f")) << "cut=" << cut;
+    const Result<uint64_t> size = fs().FileSize("f");
+    ASSERT_TRUE(size.ok()) << "cut=" << cut;
+    EXPECT_TRUE(size.value() == kOldSize || size.value() == kNewSize)
+        << "cut=" << cut << ": recovered size " << size.value()
+        << " is neither the pre-truncate nor the post-truncate size";
+    if (!cut_fired) {
+      EXPECT_EQ(size.value(), kNewSize) << "cut=" << cut;
+    } else if (cut == 1) {
+      // Both barriers start with a device write (node block / journal
+      // descriptor), so op 1 always kills the truncate's durability.
+      EXPECT_EQ(size.value(), kOldSize) << "cut=" << cut;
+    }
+    // Whichever size won, every byte of it must still be readable: a
+    // recovered mapping may not mix old and new extents.
+    EXPECT_TRUE(fs().Read("f", 0, size.value()).ok()) << "cut=" << cut;
+    if (size.value() == kNewSize) {
+      EXPECT_EQ(fs().Read("f", kNewSize, 4096).status().code(),
+                StatusCode::kOutOfRange)
+          << "cut=" << cut;
+    }
+  }
 }
 
 FsFixture MakeExt() {

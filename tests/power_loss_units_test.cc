@@ -1,0 +1,228 @@
+// Unit tests for the power-loss primitives (DESIGN.md §11): FaultPlan /
+// PowerRail trigger semantics, the NAND torn-program / torn-erase states,
+// and PageMapFtl's OOB-based mount recovery. The randomized end-to-end
+// sweeps live in crash_recovery_property_test.cc; these pin down the
+// building blocks one at a time.
+
+#include <gtest/gtest.h>
+
+#include "src/simcore/clock.h"
+#include "src/simcore/fault_plan.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+// --- FaultPlan / PowerRail --------------------------------------------------
+
+TEST(FaultPlanTest, AtOpCountFiresOnExactlyTheNthOp) {
+  PowerRail rail;
+  rail.Arm(FaultPlan::AtOpCount(3));
+  EXPECT_FALSE(rail.OnDestructiveOp());
+  EXPECT_FALSE(rail.OnDestructiveOp());
+  EXPECT_TRUE(rail.powered());
+  EXPECT_TRUE(rail.OnDestructiveOp());
+  EXPECT_FALSE(rail.powered());
+  EXPECT_EQ(rail.cuts_delivered(), 1u);
+  EXPECT_EQ(rail.destructive_ops(), 3u);
+  // Unpowered ops keep counting but never fire again.
+  EXPECT_FALSE(rail.OnDestructiveOp());
+  EXPECT_EQ(rail.destructive_ops(), 4u);
+}
+
+TEST(FaultPlanTest, ArmRestartsTheOpWindow) {
+  PowerRail rail;
+  rail.Arm(FaultPlan::AtOpCount(2));
+  EXPECT_FALSE(rail.OnDestructiveOp());
+  // Re-arm after one op: the countdown starts over from here.
+  rail.Arm(FaultPlan::AtOpCount(2));
+  EXPECT_FALSE(rail.OnDestructiveOp());
+  EXPECT_TRUE(rail.OnDestructiveOp());
+  EXPECT_EQ(rail.destructive_ops(), 3u);
+}
+
+TEST(FaultPlanTest, DisarmedRailNeverFires) {
+  PowerRail rail;
+  rail.Arm(FaultPlan::AtOpCount(1));
+  rail.Disarm();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(rail.OnDestructiveOp());
+  }
+  EXPECT_TRUE(rail.powered());
+  EXPECT_EQ(rail.cuts_delivered(), 0u);
+}
+
+TEST(FaultPlanTest, RestoreRepowersWithoutRearming) {
+  PowerRail rail;
+  rail.Arm(FaultPlan::AtOpCount(1));
+  EXPECT_TRUE(rail.OnDestructiveOp());
+  rail.Restore();
+  EXPECT_TRUE(rail.powered());
+  EXPECT_FALSE(rail.armed());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(rail.OnDestructiveOp());
+  }
+  EXPECT_EQ(rail.cuts_delivered(), 1u);
+}
+
+TEST(FaultPlanTest, AtTimeFiresOnFirstOpAtOrAfterInstant) {
+  SimClock clock;
+  PowerRail rail;
+  rail.AttachClock(&clock);
+  rail.Arm(FaultPlan::AtTime(SimTime(1000)));
+  EXPECT_FALSE(rail.OnDestructiveOp());  // Now() == 0
+  clock.Advance(SimDuration::Nanos(999));
+  EXPECT_FALSE(rail.OnDestructiveOp());
+  clock.Advance(SimDuration::Nanos(1));
+  EXPECT_TRUE(rail.OnDestructiveOp());
+  EXPECT_FALSE(rail.powered());
+}
+
+TEST(FaultPlanTest, RandomOpInWindowIsSeedDeterministicAndInRange) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultPlan a = FaultPlan::RandomOpInWindow(seed, 10, 50);
+    const FaultPlan b = FaultPlan::RandomOpInWindow(seed, 10, 50);
+    EXPECT_EQ(a.cut_after_ops, b.cut_after_ops) << "seed " << seed;
+    EXPECT_GE(a.cut_after_ops, 10u);
+    EXPECT_LE(a.cut_after_ops, 50u);
+  }
+  // Different seeds spread over the window (not all identical).
+  const uint64_t first = FaultPlan::RandomOpInWindow(1, 1, 1000).cut_after_ops;
+  bool varied = false;
+  for (uint64_t seed = 2; seed <= 10 && !varied; ++seed) {
+    varied = FaultPlan::RandomOpInWindow(seed, 1, 1000).cut_after_ops != first;
+  }
+  EXPECT_TRUE(varied);
+}
+
+// --- NAND torn states -------------------------------------------------------
+
+TEST(NandTornTest, TornProgramConsumesPageAndReadsAsDataLoss) {
+  NandBlock block(8);
+  ASSERT_TRUE(block.ProgramPage(0, /*tag=*/7, /*seq=*/1).ok());
+  ASSERT_TRUE(block.ProgramTorn(1).ok());
+  EXPECT_EQ(block.write_pointer(), 2u) << "torn program still consumes a page";
+  EXPECT_TRUE(block.IsTorn(1));
+  EXPECT_FALSE(block.IsTorn(0));
+  EXPECT_EQ(block.ReadTag(1).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(block.PageSeq(1), 0u);
+  // The in-order rule continues past the torn page.
+  ASSERT_TRUE(block.ProgramPage(2, /*tag=*/9, /*seq=*/2).ok());
+  EXPECT_EQ(block.ReadTag(2).value(), 9u);
+  // An erase clears the torn state.
+  ASSERT_TRUE(block.Erase().ok());
+  EXPECT_FALSE(block.IsTorn(1));
+  EXPECT_TRUE(block.IsErased());
+}
+
+TEST(NandTornTest, TornEraseLeavesBlockUnusableUntilCompletedErase) {
+  NandBlock block(8);
+  ASSERT_TRUE(block.ProgramPage(0, /*tag=*/3, /*seq=*/1).ok());
+  ASSERT_TRUE(block.ProgramPage(1, /*tag=*/4, /*seq=*/2).ok());
+  const uint32_t pe_before = block.pe_cycles();
+  block.TornErase();
+  EXPECT_TRUE(block.erase_torn());
+  EXPECT_FALSE(block.IsErased());
+  EXPECT_EQ(block.pe_cycles(), pe_before) << "interrupted erase charges no P/E";
+  EXPECT_TRUE(block.IsTorn(0));
+  EXPECT_TRUE(block.IsTorn(1));
+  EXPECT_FALSE(block.ProgramPage(block.write_pointer(), 5).ok())
+      << "no programs until a completed erase";
+  ASSERT_TRUE(block.Erase().ok());
+  EXPECT_EQ(block.pe_cycles(), pe_before + 1);
+  EXPECT_TRUE(block.IsErased());
+  EXPECT_TRUE(block.ProgramPage(0, /*tag=*/6, /*seq=*/3).ok());
+}
+
+TEST(NandTornTest, ChipCutTearsInFlightProgramAndKillsLaterOps) {
+  NandChip chip(TinyChipConfig(), /*seed=*/1);
+  PowerRail rail;
+  chip.AttachPowerRail(&rail);
+  rail.Arm(FaultPlan::AtOpCount(2));
+
+  PhysPageAddr p0{/*block=*/0, /*page=*/0};
+  PhysPageAddr p1{/*block=*/0, /*page=*/1};
+  ASSERT_TRUE(chip.ProgramPage(p0, /*tag=*/11).ok());
+  EXPECT_EQ(chip.ProgramPage(p1, /*tag=*/12).status().code(),
+            StatusCode::kPowerLoss);
+  EXPECT_TRUE(chip.block(0).IsTorn(1)) << "in-flight page left torn";
+
+  // Everything fails until power is restored — including reads.
+  EXPECT_EQ(chip.ProgramPage(PhysPageAddr{0, 2}, 13).status().code(),
+            StatusCode::kPowerLoss);
+  EXPECT_EQ(chip.EraseBlock(1).status().code(), StatusCode::kPowerLoss);
+  EXPECT_EQ(chip.ReadPage(p0).status().code(), StatusCode::kPowerLoss);
+
+  rail.Restore();
+  EXPECT_EQ(chip.ReadPage(p0).value().tag, 11u);
+  EXPECT_EQ(chip.ReadPage(p1).status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(chip.ProgramPage(PhysPageAddr{0, 2}, 13).ok())
+      << "in-order rule resumes past the torn page";
+}
+
+TEST(NandTornTest, ChipCutDuringEraseLeavesEraseTornBlock) {
+  NandChip chip(TinyChipConfig(), /*seed=*/1);
+  ASSERT_TRUE(chip.ProgramPage(PhysPageAddr{0, 0}, /*tag=*/1).ok());
+  PowerRail rail;
+  chip.AttachPowerRail(&rail);
+  rail.Arm(FaultPlan::AtOpCount(1));
+  EXPECT_EQ(chip.EraseBlock(0).status().code(), StatusCode::kPowerLoss);
+  EXPECT_TRUE(chip.block(0).erase_torn());
+  rail.Restore();
+  ASSERT_TRUE(chip.EraseBlock(0).ok());
+  EXPECT_TRUE(chip.block(0).IsErased());
+}
+
+// --- PageMapFtl mount recovery ---------------------------------------------
+
+TEST(FtlMountRecoveryTest, RecoversAckedPagesDiscardsTornIgnoresStale) {
+  std::unique_ptr<PageMapFtl> ftl = MakeTinyFtl(/*seed=*/7);
+  constexpr uint64_t kAcked = 10;
+  for (uint64_t lpn = 0; lpn < kAcked; ++lpn) {
+    ASSERT_TRUE(ftl->WritePage(lpn).ok());
+  }
+  // Overwrites leave stale lower-sequence copies on the NAND.
+  ASSERT_TRUE(ftl->WritePage(5).ok());
+  ASSERT_TRUE(ftl->WritePage(5).ok());
+
+  PowerRail rail;
+  ftl->AttachPowerRail(&rail);
+  rail.Arm(FaultPlan::AtOpCount(1));
+  EXPECT_EQ(ftl->WritePage(kAcked).status().code(), StatusCode::kPowerLoss);
+  EXPECT_EQ(ftl->WritePage(kAcked + 1).status().code(), StatusCode::kPowerLoss);
+  rail.Restore();
+
+  Result<RecoveryReport> rep = ftl->Mount();
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(rep.value().mapped_pages_recovered, kAcked);
+  EXPECT_GE(rep.value().torn_pages_discarded, 1u);
+  EXPECT_GE(rep.value().stale_pages_ignored, 2u);
+  EXPECT_TRUE(ftl->ValidateInvariants().ok());
+  for (uint64_t lpn = 0; lpn < kAcked; ++lpn) {
+    EXPECT_TRUE(ftl->ReadPage(lpn).ok()) << "acked lpn " << lpn;
+  }
+  // The device keeps working after recovery, including the cut-off LPN.
+  EXPECT_TRUE(ftl->WritePage(kAcked).ok());
+  EXPECT_TRUE(ftl->ReadPage(kAcked).ok());
+}
+
+TEST(FtlMountRecoveryTest, MountIsIdempotentWithoutACut) {
+  std::unique_ptr<PageMapFtl> ftl = MakeTinyFtl(/*seed=*/7);
+  for (uint64_t lpn = 0; lpn < 6; ++lpn) {
+    ASSERT_TRUE(ftl->WritePage(lpn).ok());
+  }
+  Result<RecoveryReport> first = ftl->Mount();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().mapped_pages_recovered, 6u);
+  EXPECT_EQ(first.value().torn_pages_discarded, 0u);
+  Result<RecoveryReport> second = ftl->Mount();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().mapped_pages_recovered, 6u);
+  EXPECT_TRUE(ftl->ValidateInvariants().ok());
+  for (uint64_t lpn = 0; lpn < 6; ++lpn) {
+    EXPECT_TRUE(ftl->ReadPage(lpn).ok());
+  }
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -11,6 +11,7 @@
 
 #include "gtest/gtest.h"
 #include "src/fs/logfs.h"
+#include "src/simcore/fault_plan.h"
 #include "src/simcore/rng.h"
 #include "tests/test_util.h"
 
@@ -169,6 +170,147 @@ TEST(VictimEquivalenceTest, HybridMinValidCacheEviction) {
     ExpectStatsEquivalent(linear.Stats(), indexed.Stats());
     ExpectHealthEquivalent(linear.Health(), indexed.Health());
     EXPECT_GT(indexed.Stats().cache_evict_picks, 0u);
+  }
+}
+
+// Power cut landing inside GC relocation: both victim-select modes must fail
+// on the same write with the same status, recover to identical state, and —
+// after the indexed mode rebuilds its index from the remounted map — keep
+// producing the exact linear victim sequence.
+TEST(VictimEquivalenceTest, CutDuringGcRecoveryStaysEquivalent) {
+  for (const uint64_t cut : {4200ull, 5011ull, 7777ull}) {
+    auto linear = MakeFtl(GcPolicy::kGreedy, VictimSelect::kLinearScan, 9);
+    auto indexed = MakeFtl(GcPolicy::kGreedy, VictimSelect::kIndexed, 9);
+    PowerRail rail_linear;
+    PowerRail rail_indexed;
+    linear->AttachPowerRail(&rail_linear);
+    indexed->AttachPowerRail(&rail_indexed);
+    rail_linear.Arm(FaultPlan::AtOpCount(cut));
+    rail_indexed.Arm(FaultPlan::AtOpCount(cut));
+
+    Rng rng(cut);
+    bool cut_hit = false;
+    for (int step = 0; step < 100000 && !cut_hit; ++step) {
+      const uint64_t lpn = rng.UniformU64(linear->LogicalPageCount());
+      Result<SimDuration> a = linear->WritePage(lpn);
+      Result<SimDuration> b = indexed->WritePage(lpn);
+      ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+      if (!a.ok()) {
+        ASSERT_EQ(StatusCode::kPowerLoss, a.status().code());
+        ASSERT_EQ(StatusCode::kPowerLoss, b.status().code());
+        cut_hit = true;
+      }
+    }
+    ASSERT_TRUE(cut_hit);
+    // The cut landed in GC-heavy steady state, so interrupted relocations
+    // are in play, not just interrupted host writes.
+    EXPECT_GT(linear->Stats().gc_pages_migrated, 0u);
+    EXPECT_EQ(rail_linear.destructive_ops(), rail_indexed.destructive_ops());
+
+    rail_linear.Restore();
+    rail_indexed.Restore();
+    Result<RecoveryReport> rep_linear = linear->Mount();
+    Result<RecoveryReport> rep_indexed = indexed->Mount();
+    ASSERT_TRUE(rep_linear.ok());
+    ASSERT_TRUE(rep_indexed.ok());
+    EXPECT_EQ(rep_linear.value().torn_pages_discarded,
+              rep_indexed.value().torn_pages_discarded);
+    EXPECT_EQ(rep_linear.value().mapped_pages_recovered,
+              rep_indexed.value().mapped_pages_recovered);
+    // Post-recovery: the rebuilt index must reproduce the from-scratch
+    // linear victim choices, pick for pick.
+    DriveSideBySide(*linear, *indexed, cut + 1, 3000);
+  }
+}
+
+// Power cut mid-CleanOneSegment: the LogFs cleaner is busiest during sync
+// churn over a durable (fsynced) file, so a cut there interrupts live-block
+// relocation. Both cleaner modes must recover the same namespace and keep
+// identical victim sequences after the remount.
+TEST(VictimEquivalenceTest, CutDuringCleaningRecoveryStaysEquivalent) {
+  for (const uint64_t cut : {30000ull, 33333ull}) {
+    auto dev_linear = MakeDurableDevice(13);
+    auto dev_indexed = MakeDurableDevice(13);
+    PowerRail rail_linear;
+    PowerRail rail_indexed;
+    rail_linear.AttachClock(&dev_linear->clock());
+    rail_indexed.AttachClock(&dev_indexed->clock());
+    dev_linear->AttachPowerRail(&rail_linear);
+    dev_indexed->AttachPowerRail(&rail_indexed);
+    rail_linear.Arm(FaultPlan::AtOpCount(cut));
+    rail_indexed.Arm(FaultPlan::AtOpCount(cut));
+
+    LogFsConfig linear_cfg;
+    linear_cfg.blocks_per_segment = 64;
+    linear_cfg.cleaner_free_watermark = 4;
+    linear_cfg.victim_select = VictimSelect::kLinearScan;
+    LogFsConfig indexed_cfg = linear_cfg;
+    indexed_cfg.victim_select = VictimSelect::kIndexed;
+    LogFs linear(*dev_linear, linear_cfg);
+    LogFs indexed(*dev_indexed, indexed_cfg);
+    ASSERT_TRUE(linear.Create("churn").ok());
+    ASSERT_TRUE(indexed.Create("churn").ok());
+    const uint64_t file_bytes = linear.FreeBytes() / 2;
+
+    auto both = [&](uint64_t offset, uint64_t length, bool sync) {
+      Result<SimDuration> a = linear.Write("churn", offset, length, sync);
+      Result<SimDuration> b = indexed.Write("churn", offset, length, sync);
+      EXPECT_EQ(a.ok(), b.ok());
+      if (!a.ok()) {
+        EXPECT_EQ(a.status().code(), b.status().code());
+      }
+      return a.ok() ? Status::Ok() : a.status();
+    };
+
+    // Fill and pin durable, then churn until the cut fires.
+    bool cut_hit = false;
+    for (uint64_t off = 0; off < file_bytes && !cut_hit; off += 65536) {
+      cut_hit = both(off, std::min<uint64_t>(65536, file_bytes - off), false).code() ==
+                StatusCode::kPowerLoss;
+    }
+    if (!cut_hit) {
+      ASSERT_TRUE(linear.Fsync("churn").ok());
+      ASSERT_TRUE(indexed.Fsync("churn").ok());
+      Rng rng(cut);
+      for (int step = 0; step < 60000 && !cut_hit; ++step) {
+        const uint64_t offset = (rng.UniformU64(file_bytes) / 4096) * 4096;
+        cut_hit = both(offset, 4096, true).code() == StatusCode::kPowerLoss;
+      }
+    }
+    ASSERT_TRUE(cut_hit);
+    EXPECT_GT(linear.segments_cleaned(), 0u);
+    EXPECT_EQ(linear.segments_cleaned(), indexed.segments_cleaned());
+
+    rail_linear.Restore();
+    rail_indexed.Restore();
+    ASSERT_TRUE(dev_linear->Remount().ok());
+    ASSERT_TRUE(dev_indexed->Remount().ok());
+    Result<RecoveryReport> rep_linear = linear.Mount();
+    Result<RecoveryReport> rep_indexed = indexed.Mount();
+    ASSERT_TRUE(rep_linear.ok());
+    ASSERT_TRUE(rep_indexed.ok());
+    EXPECT_EQ(rep_linear.value().files_recovered, rep_indexed.value().files_recovered);
+    EXPECT_EQ(rep_linear.value().segments_replayed, rep_indexed.value().segments_replayed);
+    EXPECT_EQ(linear.FileSize("churn").ok(), indexed.FileSize("churn").ok());
+
+    // Post-recovery churn: the indexed cleaner's rebuilt segment index must
+    // keep matching the linear reference scan, pick for pick.
+    if (linear.FileSize("churn").ok() && linear.FileSize("churn").value() > 0) {
+      const uint64_t recovered_bytes = linear.FileSize("churn").value();
+      Rng rng(cut + 1);
+      for (int step = 0; step < 2000; ++step) {
+        const uint64_t offset = (rng.UniformU64(recovered_bytes) / 4096) * 4096;
+        ASSERT_EQ(Status::Ok().code(), both(offset, 4096, true).code()) << "step " << step;
+        ASSERT_EQ(linear.stats().cleaner_victim_hash, indexed.stats().cleaner_victim_hash)
+            << "step " << step << " picks " << linear.stats().cleaner_picks << " vs "
+            << indexed.stats().cleaner_picks;
+      }
+    }
+    EXPECT_EQ(linear.segments_cleaned(), indexed.segments_cleaned());
+    EXPECT_EQ(linear.stats().cleaner_picks, indexed.stats().cleaner_picks);
+    EXPECT_EQ(linear.stats().cleaner_victim_hash, indexed.stats().cleaner_victim_hash);
+    ExpectStatsEquivalent(dev_linear->ftl().Stats(), dev_indexed->ftl().Stats());
+    ExpectHealthEquivalent(dev_linear->ftl().Health(), dev_indexed->ftl().Health());
   }
 }
 
