@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -116,7 +117,21 @@ void WriteJson(const std::vector<ModeResult>& modes, double speedup,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --gate: regression-gate mode for scripts/ci.sh. Measures only batch=64
+  // (best of 2 reps), prints one machine-readable line, writes no JSON.
+  if (argc > 1 && std::strcmp(argv[1], "--gate") == 0) {
+    ModeResult r = RunMode(64);
+    ModeResult again = RunMode(64);
+    const bool equivalent = SimEquivalent(r, again);
+    if (again.wall_seconds < r.wall_seconds) {
+      r = again;
+    }
+    std::printf("GATE_PAGES_PER_SEC %.0f equivalent=%s\n", r.pages_per_sec,
+                equivalent ? "yes" : "no");
+    return equivalent ? 0 : 1;
+  }
+
   std::printf("=== Batched write-path throughput: 4 KiB random rewrites to EOL, "
               "eMMC 8GB (sim scale %ux/%ux) ===\n",
               kScale.capacity_div, kScale.endurance_div);

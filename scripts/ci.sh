@@ -1,7 +1,16 @@
 #!/usr/bin/env bash
-# CI entry point: builds Release and ASan/UBSan trees and runs the tier-1
-# test suite in both. Long-running benches are registered under the "bench"
-# ctest configuration/label and are NOT run here — opt in locally with:
+# CI entry point: builds Release and ASan/UBSan trees, runs the tier-1 test
+# suite in both, then runs two fast per-PR performance checks against the
+# Release tree:
+#   * micro_ops --ci      — hot-path layout smoke (ns/op table, see
+#                           BENCH_micro_ops.json)
+#   * throughput --gate   — fails if batch-64 sim_pages_per_sec drops more
+#                           than 15% below the committed BENCH_throughput.json
+#                           baseline. Skipped with FLASHSIM_SKIP_PERF_GATE=1
+#                           (e.g. on a runner class the baseline was not
+#                           measured on).
+# Long-running benches are registered under the "bench" ctest configuration/
+# label and are NOT run here — opt in locally with:
 #   cmake --preset release && cmake --build --preset release -j
 #   ctest --preset bench
 set -euo pipefail
@@ -16,5 +25,29 @@ for preset in release sanitize; do
   echo "=== ${preset}: ctest ==="
   ctest --preset "${preset}" -j "${jobs}"
 done
+
+echo "=== perf smoke: micro_ops --ci ==="
+(cd build-release && ./bench/micro_ops --ci)
+
+if [[ "${FLASHSIM_SKIP_PERF_GATE:-0}" != "1" ]]; then
+  echo "=== perf gate: throughput batch=64 vs committed baseline ==="
+  baseline=$(awk -F'"sim_pages_per_sec": ' \
+    '/"batch_requests": 64,/ {split($2, a, ","); print a[1]; exit}' \
+    BENCH_throughput.json)
+  if [[ -z "${baseline}" ]]; then
+    echo "perf gate: no batch-64 baseline in BENCH_throughput.json" >&2
+    exit 1
+  fi
+  gate_line=$(./build-release/bench/throughput --gate)
+  echo "${gate_line} (baseline ${baseline})"
+  measured=$(awk '/GATE_PAGES_PER_SEC/ {print $2}' <<<"${gate_line}")
+  awk -v m="${measured}" -v b="${baseline}" 'BEGIN {
+    if (m + 0 < 0.85 * b) {
+      printf "perf gate FAIL: %.0f < 85%% of baseline %.0f\n", m, b
+      exit 1
+    }
+    printf "perf gate ok: %.0f >= 85%% of baseline %.0f\n", m, b
+  }'
+fi
 
 echo "CI OK"

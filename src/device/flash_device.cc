@@ -9,24 +9,22 @@ namespace flashsim {
 FlashDevice::FlashDevice(FlashDeviceConfig config, std::unique_ptr<FtlInterface> ftl)
     : config_(std::move(config)), ftl_(std::move(ftl)), perf_(config_.perf) {
   assert(ftl_ != nullptr);
-}
-
-uint64_t FlashDevice::CapacityBytes() const {
-  return ftl_->LogicalPageCount() * ftl_->PageSizeBytes();
+  page_size_ = ftl_->PageSizeBytes();
+  capacity_bytes_ = ftl_->LogicalPageCount() * page_size_;
 }
 
 Status FlashDevice::CheckRange(const IoRequest& request) const {
   if (request.length == 0) {
     return InvalidArgumentError("zero-length request");
   }
-  if (request.offset + request.length > CapacityBytes()) {
+  if (request.offset + request.length > capacity_bytes_) {
     return OutOfRangeError("request beyond device capacity");
   }
   return Status::Ok();
 }
 
 Result<SimDuration> FlashDevice::WritePages(const IoRequest& request) {
-  const uint32_t page = ftl_->PageSizeBytes();
+  const uint32_t page = page_size_;
   const uint64_t first = request.offset / page;
   const uint64_t last = (request.offset + request.length - 1) / page;
   // Page-aligned multi-page writes take the FTL's bulk entry point — no
@@ -59,7 +57,7 @@ Result<SimDuration> FlashDevice::WritePages(const IoRequest& request) {
 }
 
 Result<SimDuration> FlashDevice::ReadPages(const IoRequest& request) {
-  const uint32_t page = ftl_->PageSizeBytes();
+  const uint32_t page = page_size_;
   const uint64_t first = request.offset / page;
   const uint64_t last = (request.offset + request.length - 1) / page;
   SimDuration array_time;
@@ -78,7 +76,7 @@ Result<SimDuration> FlashDevice::ReadPages(const IoRequest& request) {
 }
 
 Result<SimDuration> FlashDevice::DiscardPages(const IoRequest& request) {
-  const uint32_t page = ftl_->PageSizeBytes();
+  const uint32_t page = page_size_;
   // Only discard pages fully covered by the range (real devices round in).
   const uint64_t first = CeilDiv(request.offset, page);
   const uint64_t last_exclusive = RoundDown(request.offset + request.length, page) / page;
@@ -127,7 +125,7 @@ Result<IoCompletion> FlashDevice::Submit(const IoRequest& request) {
 
 BatchCompletion FlashDevice::SubmitBatch(const IoRequest* requests, size_t count) {
   BatchCompletion out;
-  const uint32_t page = ftl_->PageSizeBytes();
+  const uint32_t page = page_size_;
   size_t i = 0;
   while (i < count) {
     // Group a maximal run of valid page-aligned writes for the bulk path.
@@ -135,9 +133,9 @@ BatchCompletion FlashDevice::SubmitBatch(const IoRequest* requests, size_t count
     // through Submit one request at a time, which also surfaces errors in
     // submission order. With a trace recorder attached we fall back too, so
     // every request is stamped with its own completion time.
-    const uint64_t capacity = CapacityBytes();
+    const uint64_t capacity = capacity_bytes_;
     size_t g = i;
-    batch_lpns_.clear();
+    std::vector<uint64_t>& lpns = batch_lpns_.AcquireEmpty();
     while (g < count && trace_ == nullptr) {
       const IoRequest& rq = requests[g];
       if (rq.kind != IoKind::kWrite || rq.length == 0 || rq.offset % page != 0 ||
@@ -147,7 +145,7 @@ BatchCompletion FlashDevice::SubmitBatch(const IoRequest* requests, size_t count
       const uint64_t first = rq.offset / page;
       const uint64_t pages = rq.length / page;
       for (uint64_t p = 0; p < pages; ++p) {
-        batch_lpns_.push_back(first + p);
+        lpns.push_back(first + p);
       }
       ++g;
     }
@@ -164,10 +162,10 @@ BatchCompletion FlashDevice::SubmitBatch(const IoRequest* requests, size_t count
       continue;
     }
 
-    batch_page_times_.assign(batch_lpns_.size(), SimDuration());
+    SimDuration* page_times = batch_page_times_.AcquireZeroed(lpns.size());
     size_t pages_done = 0;
-    const Status st = ftl_->WriteBatch(batch_lpns_.data(), batch_lpns_.size(),
-                                       batch_page_times_.data(), &pages_done);
+    const Status st =
+        ftl_->WriteBatch(lpns.data(), lpns.size(), page_times, &pages_done);
 
     // Convert per-page array times back into per-request service times. A
     // request counts as completed only if every one of its pages committed;
@@ -183,7 +181,7 @@ BatchCompletion FlashDevice::SubmitBatch(const IoRequest* requests, size_t count
       }
       SimDuration array_time;
       for (uint64_t p = 0; p < pages; ++p) {
-        array_time += batch_page_times_[page_idx + p];
+        array_time += page_times[page_idx + p];
       }
       page_idx += pages;
       const bool sequential = requests[r].offset == last_write_end_;
@@ -219,6 +217,45 @@ HealthReport FlashDevice::QueryHealth() const {
     return unsupported;
   }
   return ftl_->Health();
+}
+
+void FlashDevice::SaveState(SnapshotWriter& w) const {
+  w.BeginSection(SnapshotTag("FDEV"));
+  w.Str(config_.name);  // fingerprint, validated on load
+  ftl_->SaveState(w);
+  clock_.SaveState(w);
+  write_meter_.SaveState(w);
+  read_meter_.SaveState(w);
+  w.U64(last_write_end_);
+  w.EndSection();
+}
+
+Status FlashDevice::LoadState(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(SnapshotTag("FDEV")));
+  if (r.Str() != config_.name) {
+    return FailedPreconditionError(
+        "snapshot device name does not match the constructed device");
+  }
+  FLASHSIM_RETURN_IF_ERROR(ftl_->LoadState(r));
+  FLASHSIM_RETURN_IF_ERROR(clock_.LoadState(r));
+  FLASHSIM_RETURN_IF_ERROR(write_meter_.LoadState(r));
+  FLASHSIM_RETURN_IF_ERROR(read_meter_.LoadState(r));
+  last_write_end_ = r.U64();
+  r.LeaveSection();
+  return r.status();
+}
+
+Status FlashDevice::SaveSnapshotFile(const std::string& path) const {
+  SnapshotWriter w;
+  SaveState(w);
+  return w.WriteFile(path);
+}
+
+Status FlashDevice::LoadSnapshotFile(const std::string& path) {
+  Result<SnapshotReader> reader = SnapshotReader::FromFile(path);
+  FLASHSIM_RETURN_IF_ERROR(reader.status());
+  SnapshotReader r = std::move(reader).value();
+  return LoadState(r);
 }
 
 }  // namespace flashsim

@@ -19,6 +19,7 @@
 #include "src/ftl/ftl_interface.h"
 #include "src/simcore/clock.h"
 #include "src/simcore/event_log.h"
+#include "src/simcore/scratch.h"
 #include "src/simcore/stats.h"
 
 namespace flashsim {
@@ -43,8 +44,11 @@ class FlashDevice : public BlockDevice {
   // and the simulated clock advance exactly as with one-by-one Submit calls;
   // reads, discards, and unaligned writes fall back to Submit.
   BatchCompletion SubmitBatch(const IoRequest* requests, size_t count) override;
-  uint64_t CapacityBytes() const override;
-  uint32_t PageSizeBytes() const override { return ftl_->PageSizeBytes(); }
+  // Geometry is fixed at construction; both answers are cached so the
+  // per-request range check costs two member loads, not two virtual calls
+  // into the FTL.
+  uint64_t CapacityBytes() const override { return capacity_bytes_; }
+  uint32_t PageSizeBytes() const override { return page_size_; }
   HealthReport QueryHealth() const override;
   bool IsReadOnly() const override { return ftl_->IsReadOnly(); }
   SimClock& clock() override { return clock_; }
@@ -70,9 +74,28 @@ class FlashDevice : public BlockDevice {
   // rounded) — the "I/O amount" axis of Figures 2 and 4.
   uint64_t HostBytesWritten() const { return write_meter_.total_bytes(); }
 
+  // Reallocations of the batched-submission scratch buffers since
+  // construction. Steady state means this stops moving: after a warm-up
+  // batch, submitting more batches of no-larger size must not grow it
+  // (DESIGN.md §12).
+  uint64_t ScratchGrowCount() const {
+    return batch_lpns_.grow_count() + batch_page_times_.grow_count();
+  }
+
   // Attaches a trace recorder; every subsequent request is recorded. Pass
   // nullptr to detach. The recorder must outlive its attachment.
   void SetTraceRecorder(TraceRecorder* recorder) { trace_ = recorder; }
+
+  // Device snapshot (DESIGN.md §12): serializes the full worn-device state
+  // (FTL + NAND planes + RNG + clock + meters) so a long-aged device can be
+  // saved once and restored into a freshly constructed, identically
+  // configured FlashDevice, which then continues bit-exactly with the
+  // original. Call between requests; the event log and any attached trace
+  // recorder are not part of the state.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
+  Status SaveSnapshotFile(const std::string& path) const;
+  Status LoadSnapshotFile(const std::string& path);
 
  private:
   Result<SimDuration> WritePages(const IoRequest& request);
@@ -88,11 +111,13 @@ class FlashDevice : public BlockDevice {
   RateMeter write_meter_;
   RateMeter read_meter_;
   TraceRecorder* trace_ = nullptr;
+  uint32_t page_size_ = 0;
+  uint64_t capacity_bytes_ = 0;
   uint64_t last_write_end_ = 0;
 
   // Scratch buffers for the batched submission path, reused across calls.
-  std::vector<uint64_t> batch_lpns_;
-  std::vector<SimDuration> batch_page_times_;
+  ScratchBuffer<uint64_t> batch_lpns_;
+  ScratchBuffer<SimDuration> batch_page_times_;
 };
 
 }  // namespace flashsim

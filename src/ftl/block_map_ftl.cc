@@ -371,22 +371,26 @@ Result<RecoveryReport> BlockMapFtl::Mount() {
     Candidate cand;
     cand.phys = b;
     uint64_t owner = UINT64_MAX;
+    // Batch OOB: tags straight from the flat metadata plane; a page below
+    // the write pointer is programmed unless its torn bit is set.
+    const NandChip::OobRunView oob = chip_.ReadTagsRun(b);
+    const bool has_torn = chip_.BlockHasTornPages(b);
     for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
       ++rep.scanned_pages;
-      if (blk.IsTorn(p)) {
+      if (has_torn && blk.TornAt(p)) {
         ++rep.torn_pages_discarded;
         continue;  // reads as a hole; older candidates still hold the data
       }
-      Result<uint64_t> tag = blk.ReadTag(p);
-      if (!tag.ok() || tag.value() == kPadTag) {
+      const uint64_t tag = oob.tags[p];
+      if (tag == kPadTag) {
         continue;
       }
-      if (tag.value() >= LogicalPageCount()) {
+      if (tag >= LogicalPageCount()) {
         ++rep.stale_pages_ignored;
         continue;
       }
-      owner = tag.value() / ppb;
-      if (tag.value() % ppb != p) {
+      owner = tag / ppb;
+      if (tag % ppb != p) {
         cand.in_position = false;
       }
     }
@@ -419,12 +423,10 @@ Result<RecoveryReport> BlockMapFtl::Mount() {
       const BlockId b = cands[0].phys;
       data_blocks_[logical_block] = b;
       const NandBlock& blk = chip_.block(b);
+      const NandChip::OobRunView oob = chip_.ReadTagsRun(b);
+      const bool has_torn = chip_.BlockHasTornPages(b);
       for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
-        if (blk.IsTorn(p)) {
-          continue;
-        }
-        Result<uint64_t> tag = blk.ReadTag(p);
-        if (!tag.ok() || tag.value() == kPadTag) {
+        if ((has_torn && blk.TornAt(p)) || oob.tags[p] == kPadTag) {
           continue;
         }
         written_[first_lpn + p] = true;
@@ -437,22 +439,23 @@ Result<RecoveryReport> BlockMapFtl::Mount() {
     std::map<uint32_t, std::pair<uint64_t, PhysPageAddr>> newest;  // off -> (seq, src)
     for (const Candidate& cand : cands) {
       const NandBlock& blk = chip_.block(cand.phys);
+      const NandChip::OobRunView oob = chip_.ReadTagsRun(cand.phys);
+      const bool has_torn = chip_.BlockHasTornPages(cand.phys);
       for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
-        if (blk.IsTorn(p)) {
+        if (has_torn && blk.TornAt(p)) {
           continue;
         }
-        Result<uint64_t> tag = blk.ReadTag(p);
-        if (!tag.ok() || tag.value() == kPadTag ||
-            tag.value() >= LogicalPageCount()) {
+        const uint64_t tag = oob.tags[p];
+        if (tag == kPadTag || tag >= LogicalPageCount()) {
           continue;
         }
-        const uint32_t off = static_cast<uint32_t>(tag.value() % ppb);
+        const uint32_t off = static_cast<uint32_t>(tag % ppb);
         auto [it, inserted] =
-            newest.emplace(off, std::make_pair(blk.PageSeq(p),
+            newest.emplace(off, std::make_pair(oob.seqs[p],
                                                PhysPageAddr{cand.phys, p}));
         if (!inserted) {
-          if (blk.PageSeq(p) > it->second.first) {
-            it->second = {blk.PageSeq(p), PhysPageAddr{cand.phys, p}};
+          if (oob.seqs[p] > it->second.first) {
+            it->second = {oob.seqs[p], PhysPageAddr{cand.phys, p}};
             ++rep.stale_pages_ignored;
           } else {
             ++rep.stale_pages_ignored;
@@ -617,6 +620,109 @@ FtlStats BlockMapFtl::Stats() const {
   s.free_blocks = static_cast<uint32_t>(free_blocks_.size());
   s.valid_pages = valid_pages_;
   return s;
+}
+
+void BlockMapFtl::SaveState(SnapshotWriter& w) const {
+  w.BeginSection(SnapshotTag("BFTL"));
+  chip_.SaveState(w);
+  w.U64(logical_blocks_);  // fingerprint, validated on load
+  w.VecU32(data_blocks_);
+  std::vector<uint8_t> written(written_.size());
+  for (size_t i = 0; i < written_.size(); ++i) {
+    written[i] = written_[i] ? 1 : 0;
+  }
+  w.VecU8(written);
+  w.U64(logs_.size());
+  for (const auto& [logical_block, log] : logs_) {
+    w.U64(logical_block);
+    w.U32(log.phys);
+    w.U64(log.newest.size());
+    for (const auto& [offset, log_page] : log.newest) {
+      w.U32(offset);
+      w.U32(log_page);
+    }
+    w.Bool(log.strictly_sequential);
+    w.U32(log.next_expected_offset);
+    w.U64(log.last_use_seq);
+  }
+  w.U64(free_blocks_.size());
+  for (const auto& [pe, block] : free_blocks_) {
+    w.U32(pe);
+    w.U32(block);
+  }
+  w.U64(use_seq_);
+  w.U32(spares_used_);
+  w.Bool(read_only_);
+  w.U64(full_merges_);
+  w.U64(switch_merges_);
+  w.U64(valid_pages_);
+  SaveFtlStats(w, stats_);
+  w.EndSection();
+}
+
+Status BlockMapFtl::LoadState(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(SnapshotTag("BFTL")));
+  FLASHSIM_RETURN_IF_ERROR(chip_.LoadState(r));
+  if (r.U64() != logical_blocks_) {
+    return FailedPreconditionError(
+        "snapshot FTL logical size does not match the constructed device");
+  }
+  std::vector<uint32_t> data_blocks;
+  std::vector<uint8_t> written;
+  r.VecU32(&data_blocks);
+  r.VecU8(&written);
+  std::map<uint64_t, LogBlock> logs;
+  const uint64_t log_count = r.U64();
+  for (uint64_t i = 0; i < log_count && r.ok(); ++i) {
+    const uint64_t logical_block = r.U64();
+    LogBlock log;
+    log.phys = r.U32();
+    const uint64_t newest_count = r.U64();
+    for (uint64_t k = 0; k < newest_count && r.ok(); ++k) {
+      const uint32_t offset = r.U32();
+      const uint32_t log_page = r.U32();
+      log.newest.emplace(offset, log_page);
+    }
+    log.strictly_sequential = r.Bool();
+    log.next_expected_offset = r.U32();
+    log.last_use_seq = r.U64();
+    logs.emplace(logical_block, std::move(log));
+  }
+  std::set<std::pair<uint32_t, BlockId>> free_blocks;
+  const uint64_t free_count = r.U64();
+  for (uint64_t i = 0; i < free_count && r.ok(); ++i) {
+    const uint32_t pe = r.U32();
+    const BlockId block = r.U32();
+    free_blocks.emplace(pe, block);
+  }
+  const uint64_t use_seq = r.U64();
+  const uint32_t spares_used = r.U32();
+  const bool read_only = r.Bool();
+  const uint64_t full_merges = r.U64();
+  const uint64_t switch_merges = r.U64();
+  const uint64_t valid_pages = r.U64();
+  FtlStats stats;
+  LoadFtlStats(r, &stats);
+  r.LeaveSection();
+  FLASHSIM_RETURN_IF_ERROR(r.status());
+  if (data_blocks.size() != data_blocks_.size() ||
+      written.size() != written_.size()) {
+    return DataLossError("snapshot FTL state has inconsistent sizes");
+  }
+  data_blocks_ = std::move(data_blocks);
+  for (size_t i = 0; i < written.size(); ++i) {
+    written_[i] = written[i] != 0;
+  }
+  logs_ = std::move(logs);
+  free_blocks_ = std::move(free_blocks);
+  use_seq_ = use_seq;
+  spares_used_ = spares_used;
+  read_only_ = read_only;
+  full_merges_ = full_merges;
+  switch_merges_ = switch_merges;
+  valid_pages_ = valid_pages;
+  stats_ = stats;
+  return Status::Ok();
 }
 
 }  // namespace flashsim

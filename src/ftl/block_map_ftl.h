@@ -76,6 +76,10 @@ class BlockMapFtl : public FtlInterface {
   // wear keys, and the valid-page count matches `written_`.
   Status ValidateInvariants(uint64_t lpn_stride = 1) const override;
 
+  // Device snapshot (see FtlInterface).
+  void SaveState(SnapshotWriter& w) const override;
+  Status LoadState(SnapshotReader& r) override;
+
   // Introspection for tests.
   uint64_t full_merges() const { return full_merges_; }
   uint64_t switch_merges() const { return switch_merges_; }

@@ -14,6 +14,7 @@
 #include "src/simcore/fault_plan.h"
 #include "src/simcore/recovery.h"
 #include "src/simcore/sim_time.h"
+#include "src/simcore/snapshot.h"
 #include "src/simcore/status.h"
 #include "src/simcore/victim_index.h"
 
@@ -139,7 +140,51 @@ class FtlInterface {
     (void)lpn_stride;
     return Status::Ok();
   }
+
+  // Device snapshot (DESIGN.md §12): serializes the complete simulated state
+  // — NAND metadata planes, per-block wear, RNG stream position, mapping
+  // tables, free pools, statistics — so a worn device can be persisted and
+  // later restored into a freshly constructed FTL with identical geometry
+  // and config. A restored device continues bit-exactly with the device it
+  // was saved from: same victim sequences, wear tables, health registers,
+  // and report bytes. Must be called between operations (quiescent state).
+  virtual void SaveState(SnapshotWriter& w) const = 0;
+  virtual Status LoadState(SnapshotReader& r) = 0;
 };
+
+// Shared FtlStats (de)serialization for the FTL implementations.
+inline void SaveFtlStats(SnapshotWriter& w, const FtlStats& s) {
+  w.U64(s.host_pages_written);
+  w.U64(s.nand_pages_written);
+  w.U64(s.gc_pages_migrated);
+  w.U64(s.erases);
+  w.U64(s.host_pages_read);
+  w.U32(s.free_blocks);
+  w.U64(s.valid_pages);
+  w.U64(s.gc_victim_picks);
+  w.U64(s.gc_victim_candidates);
+  w.U64(s.victim_index_rebuilds);
+  w.U64(s.victim_seq_hash);
+  w.U64(s.cache_evict_picks);
+  w.U64(s.cache_evict_candidates);
+  w.U64(s.cache_victim_seq_hash);
+}
+inline void LoadFtlStats(SnapshotReader& r, FtlStats* s) {
+  s->host_pages_written = r.U64();
+  s->nand_pages_written = r.U64();
+  s->gc_pages_migrated = r.U64();
+  s->erases = r.U64();
+  s->host_pages_read = r.U64();
+  s->free_blocks = r.U32();
+  s->valid_pages = r.U64();
+  s->gc_victim_picks = r.U64();
+  s->gc_victim_candidates = r.U64();
+  s->victim_index_rebuilds = r.U64();
+  s->victim_seq_hash = r.U64();
+  s->cache_evict_picks = r.U64();
+  s->cache_evict_candidates = r.U64();
+  s->cache_victim_seq_hash = r.U64();
+}
 
 }  // namespace flashsim
 

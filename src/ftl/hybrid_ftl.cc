@@ -176,17 +176,19 @@ Status HybridFtl::EvictCacheBlock(SimDuration& time_acc) {
   // decrements on the victim need no index maintenance.
   RemoveClosedCacheBlock(victim);
   const uint32_t wp = cache_chip_.block(victim).write_pointer();
-  for (uint32_t page = 0; page < wp; ++page) {
-    const PhysPageAddr src{victim, page};
-    if (cache_chip_.block(victim).IsTorn(page)) {
+  // Batch OOB scan (see PageMapFtl::ReclaimBlock): the victim's valid count
+  // is exactly the number of live cache-map entries, so the walk stops when
+  // the last one has migrated, and the per-page torn test only runs on
+  // blocks that actually hold torn pages.
+  const NandChip::OobRunView oob = cache_chip_.ReadTagsRun(victim);
+  const bool has_torn = cache_chip_.BlockHasTornPages(victim);
+  const NandBlock& vblk = cache_chip_.block(victim);
+  for (uint32_t page = 0; page < wp && cache_valid_[victim] > 0; ++page) {
+    if (has_torn && vblk.TornAt(page)) {
       continue;  // torn by a power cut; discarded at mount, never mapped
     }
-    Result<uint64_t> tag = cache_chip_.block(victim).ReadTag(page);
-    if (!tag.ok()) {
-      RestoreClosedCacheBlock(victim);
-      return tag.status();
-    }
-    const uint64_t lpn = tag.value();
+    const uint64_t lpn = oob.tags[page];
+    const PhysPageAddr src{victim, page};
     auto it = cache_map_.find(lpn);
     if (it == cache_map_.end() || it->second != src) {
       continue;  // superseded by a newer cache copy
@@ -448,19 +450,19 @@ Result<SimDuration> HybridFtl::WritePages(uint64_t lpn, uint64_t count) {
   if (count == 0) {
     return SimDuration();
   }
-  scratch_lpns_.resize(count);
-  scratch_times_.assign(count, SimDuration());
+  uint64_t* lpns = scratch_lpns_.Acquire(count);
+  SimDuration* times = scratch_times_.AcquireZeroed(count);
   for (uint64_t k = 0; k < count; ++k) {
-    scratch_lpns_[k] = lpn + k;
+    lpns[k] = lpn + k;
   }
   size_t done = 0;
-  Status st = WriteBatch(scratch_lpns_.data(), count, scratch_times_.data(), &done);
+  Status st = WriteBatch(lpns, count, times, &done);
   if (!st.ok()) {
     return st;
   }
   SimDuration total;
   for (size_t k = 0; k < done; ++k) {
-    total += scratch_times_[k];
+    total += times[k];
   }
   return total;
 }
@@ -538,26 +540,30 @@ Result<RecoveryReport> HybridFtl::Mount() {
     }
   }
 
-  // Phase 1: newest cache copy of every LPN, by OOB write sequence.
+  // Phase 1: newest cache copy of every LPN, by OOB write sequence. Tags and
+  // sequences come from the flat metadata plane in one run per block; a
+  // page below the write pointer is programmed unless its torn bit is set,
+  // so the non-torn path needs no per-page status checks.
   std::unordered_map<uint64_t, uint64_t> best_seq;  // lpn -> max cache seq
   for (BlockId b = 0; b < blocks; ++b) {
     const NandBlock& blk = cache_chip_.block(b);
     if (blk.is_bad()) {
       continue;
     }
+    const NandChip::OobRunView oob = cache_chip_.ReadTagsRun(b);
+    const bool has_torn = cache_chip_.BlockHasTornPages(b);
     for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
       ++rep.scanned_pages;
-      if (blk.IsTorn(p)) {
+      if (has_torn && blk.TornAt(p)) {
         ++rep.torn_pages_discarded;
         continue;
       }
-      Result<uint64_t> tag = blk.ReadTag(p);
-      if (!tag.ok() || tag.value() >= mlc_.LogicalPageCount()) {
+      if (oob.tags[p] >= mlc_.LogicalPageCount()) {
         ++rep.stale_pages_ignored;
         continue;
       }
-      uint64_t& best = best_seq[tag.value()];
-      best = std::max(best, blk.PageSeq(p));
+      uint64_t& best = best_seq[oob.tags[p]];
+      best = std::max(best, oob.seqs[p]);
     }
   }
 
@@ -570,23 +576,24 @@ Result<RecoveryReport> HybridFtl::Mount() {
     if (blk.is_bad()) {
       continue;
     }
+    const NandChip::OobRunView oob = cache_chip_.ReadTagsRun(b);
+    const bool has_torn = cache_chip_.BlockHasTornPages(b);
     for (uint32_t p = 0; p < blk.write_pointer(); ++p) {
-      if (blk.IsTorn(p)) {
+      if (has_torn && blk.TornAt(p)) {
         continue;
       }
-      Result<uint64_t> tag = blk.ReadTag(p);
-      if (!tag.ok() || tag.value() >= mlc_.LogicalPageCount()) {
+      if (oob.tags[p] >= mlc_.LogicalPageCount()) {
         continue;
       }
-      const uint64_t lpn = tag.value();
-      if (blk.PageSeq(p) != best_seq[lpn]) {
+      const uint64_t lpn = oob.tags[p];
+      if (oob.seqs[p] != best_seq[lpn]) {
         ++rep.stale_pages_ignored;  // superseded inside the cache
         continue;
       }
       const PhysPageAddr pool_addr = mlc_.MappedAddr(lpn);
       if (pool_addr != kInvalidPageAddr &&
           mlc_.chip().block(pool_addr.block).PageSeq(pool_addr.page) >
-              blk.PageSeq(p)) {
+              oob.seqs[p]) {
         ++rep.stale_pages_ignored;  // bypass write left the pool copy newer
         continue;
       }
@@ -723,6 +730,131 @@ FtlStats HybridFtl::Stats() const {
   s.cache_evict_candidates = cache_evict_candidates_;
   s.cache_victim_seq_hash = cache_victim_hash_;
   return s;
+}
+
+void HybridFtl::SaveState(SnapshotWriter& w) const {
+  w.BeginSection(SnapshotTag("HFTL"));
+  mlc_.SaveState(w);
+  cache_chip_.SaveState(w);
+  // The shared sequence counter is authoritative for both chips (they stamp
+  // OOB through a pointer to it); the chips' own counters are shadows.
+  w.U64(shared_write_seq_);
+  // Cache map sorted by LPN: unordered_map iteration order is not stable, so
+  // sorting keeps the snapshot bytes deterministic for a given state.
+  std::vector<std::pair<uint64_t, PhysPageAddr>> entries(cache_map_.begin(),
+                                                         cache_map_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.U64(entries.size());
+  for (const auto& [lpn, addr] : entries) {
+    w.U64(lpn);
+    w.U64((static_cast<uint64_t>(addr.block) << 32) | addr.page);
+  }
+  std::vector<uint8_t> states(cache_states_.size());
+  for (size_t i = 0; i < cache_states_.size(); ++i) {
+    states[i] = static_cast<uint8_t>(cache_states_[i]);
+  }
+  w.VecU8(states);
+  w.VecU32(cache_valid_);
+  std::vector<uint32_t> fifo(cache_fifo_.begin(), cache_fifo_.end());
+  w.VecU32(fifo);
+  w.VecU32(cache_free_);
+  w.U32(cache_active_);
+  w.Bool(cache_enabled_);
+  w.U32(cache_bad_blocks_);
+  w.U32(cache_closed_count_);
+  w.U64(cache_evict_picks_);
+  w.U64(cache_evict_candidates_);
+  w.U64(cache_victim_hash_);
+  w.U32(cache_index_.min_bucket());
+  w.U64(host_pages_written_);
+  w.U64(host_pages_read_);
+  w.U64(gc_staged_baseline_);
+  w.U64(staging_page_credit_);
+  w.Bool(merged_mode_);
+  w.U64(window_host_baseline_);
+  w.U64(window_gc_baseline_);
+  w.EndSection();
+}
+
+Status HybridFtl::LoadState(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(SnapshotTag("HFTL")));
+  FLASHSIM_RETURN_IF_ERROR(mlc_.LoadState(r));
+  FLASHSIM_RETURN_IF_ERROR(cache_chip_.LoadState(r));
+  const uint64_t shared_seq = r.U64();
+  const uint64_t map_count = r.U64();
+  std::vector<std::pair<uint64_t, PhysPageAddr>> entries;
+  for (uint64_t i = 0; i < map_count && r.ok(); ++i) {
+    const uint64_t lpn = r.U64();
+    const uint64_t packed = r.U64();
+    entries.emplace_back(lpn,
+                         PhysPageAddr{static_cast<BlockId>(packed >> 32),
+                                      static_cast<uint32_t>(packed)});
+  }
+  std::vector<uint8_t> states;
+  std::vector<uint32_t> valid, fifo, free_list;
+  r.VecU8(&states);
+  r.VecU32(&valid);
+  r.VecU32(&fifo);
+  r.VecU32(&free_list);
+  const BlockId cache_active = r.U32();
+  const bool cache_enabled = r.Bool();
+  const uint32_t cache_bad_blocks = r.U32();
+  const uint32_t cache_closed_count = r.U32();
+  const uint64_t evict_picks = r.U64();
+  const uint64_t evict_candidates = r.U64();
+  const uint64_t victim_hash = r.U64();
+  const uint32_t index_min_bucket = r.U32();
+  const uint64_t host_written = r.U64();
+  const uint64_t host_read = r.U64();
+  const uint64_t gc_staged_baseline = r.U64();
+  const uint64_t staging_page_credit = r.U64();
+  const bool merged_mode = r.Bool();
+  const uint64_t window_host_baseline = r.U64();
+  const uint64_t window_gc_baseline = r.U64();
+  r.LeaveSection();
+  FLASHSIM_RETURN_IF_ERROR(r.status());
+  if (states.size() != cache_states_.size() ||
+      valid.size() != cache_valid_.size()) {
+    return DataLossError("snapshot cache state has inconsistent sizes");
+  }
+  shared_write_seq_ = shared_seq;
+  cache_map_.clear();
+  for (const auto& [lpn, addr] : entries) {
+    cache_map_.emplace(lpn, addr);
+  }
+  for (size_t i = 0; i < states.size(); ++i) {
+    cache_states_[i] = static_cast<CacheBlockState>(states[i]);
+  }
+  cache_valid_ = std::move(valid);
+  cache_fifo_.assign(fifo.begin(), fifo.end());
+  cache_free_.assign(free_list.begin(), free_list.end());
+  cache_active_ = cache_active;
+  cache_enabled_ = cache_enabled;
+  cache_bad_blocks_ = cache_bad_blocks;
+  cache_closed_count_ = cache_closed_count;
+  cache_evict_picks_ = evict_picks;
+  cache_evict_candidates_ = evict_candidates;
+  cache_victim_hash_ = victim_hash;
+  host_pages_written_ = host_written;
+  host_pages_read_ = host_read;
+  gc_staged_baseline_ = gc_staged_baseline;
+  staging_page_credit_ = staging_page_credit;
+  merged_mode_ = merged_mode;
+  window_host_baseline_ = window_host_baseline;
+  window_gc_baseline_ = window_gc_baseline;
+  if (UseCacheIndex()) {
+    const uint32_t blocks = cache_chip_.config().total_blocks();
+    cache_index_.Reset(cache_chip_.config().pages_per_block + 1, blocks,
+                       BucketVictimIndex::Order::kById);
+    for (BlockId b = 0; b < blocks; ++b) {
+      if (cache_states_[b] == CacheBlockState::kClosed) {
+        cache_index_.Insert(cache_valid_[b], b);
+      }
+    }
+    cache_index_.set_min_bucket(index_min_bucket);
+  }
+  return Status::Ok();
 }
 
 }  // namespace flashsim

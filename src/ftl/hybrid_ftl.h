@@ -76,6 +76,11 @@ class HybridFtl : public FtlInterface {
   // FIFO/eviction index mirrors the closed set.
   Status ValidateInvariants(uint64_t lpn_stride = 1) const override;
 
+  // Device snapshot (see FtlInterface): the MLC pool and cache chip nest
+  // their own sections; the cache eviction index is rebuilt on load.
+  void SaveState(SnapshotWriter& w) const override;
+  Status LoadState(SnapshotReader& r) override;
+
   // True when the pool-merge heuristic is currently active (high utilization
   // AND sustained GC pressure; re-evaluated every pressure_window_pages).
   bool InMergedMode() const { return merged_mode_; }
@@ -85,6 +90,11 @@ class HybridFtl : public FtlInterface {
   const PageMapFtl& mlc_pool() const { return mlc_; }
   uint32_t cache_resident_pages() const {
     return static_cast<uint32_t>(cache_map_.size());
+  }
+  // Reallocations of the bulk-write scratch buffers; constant in steady
+  // state (DESIGN.md §12).
+  uint64_t ScratchGrowCount() const {
+    return scratch_lpns_.grow_count() + scratch_times_.grow_count();
   }
 
  private:
@@ -174,8 +184,8 @@ class HybridFtl : public FtlInterface {
   uint64_t window_gc_baseline_ = 0;
 
   // Scratch buffers for the bulk write path, reused across calls.
-  std::vector<uint64_t> scratch_lpns_;
-  std::vector<SimDuration> scratch_times_;
+  ScratchBuffer<uint64_t> scratch_lpns_;
+  ScratchBuffer<SimDuration> scratch_times_;
 };
 
 }  // namespace flashsim

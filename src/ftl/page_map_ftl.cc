@@ -172,7 +172,10 @@ void PageMapFtl::IncValidCount(BlockId block) {
 void PageMapFtl::DecValidCount(BlockId block) {
   assert(valid_counts_[block] > 0);
   --valid_counts_[block];
-  if (UseIndex() && block_states_[block] == BlockState::kClosed) {
+  // The block mid-reclaim is deliberately absent from the index (see
+  // ReclaimBlock); everything else moves down one bucket as usual.
+  if (UseIndex() && block != reclaiming_block_ &&
+      block_states_[block] == BlockState::kClosed) {
     victim_index_.Move(valid_counts_[block] + 1, valid_counts_[block], block,
                        VictimSortKey(block));
   }
@@ -378,58 +381,97 @@ BlockId PageMapFtl::PickVictim() {
 
 Status PageMapFtl::ReclaimBlock(BlockId victim, SimDuration& time_acc) {
   const uint32_t wp = chip_.block(victim).write_pointer();
-  for (uint32_t page = 0; page < wp; ++page) {
-    const PhysPageAddr src{victim, page};
-    if (chip_.block(victim).IsTorn(page)) {
-      continue;  // consumed by an interrupted program: nothing to move
+  // Batch OOB scan over the flat metadata plane. Two structural shortcuts,
+  // both bit-exact with the page-at-a-time reference walk:
+  //  * the per-block valid count equals the number of map entries pointing
+  //    into the block, so a fully-invalid block (the background-GC common
+  //    case) skips the scan entirely, and the walk stops the moment the last
+  //    live page has migrated — the remaining pages can only be stale or
+  //    torn, which the reference walk would skip one by one;
+  //  * torn pages only exist after an interrupted program, so the per-page
+  //    torn test is gated on one up-front word-scan of the torn bitmap.
+  // The victim leaves the victim/wear indexes before the migration walk: no
+  // pick can observe the index until this reclaim returns (migrations run
+  // with allow_gc=false), so walking the victim down one valid-count bucket
+  // per migrated page would be pure overhead — it is erased at the end
+  // anyway. DecValidCount skips the block named here. The rare non-erase
+  // exits below re-insert to keep the "closed <=> indexed" invariant.
+  if (UseIndex()) {
+    IndexEraseClosed(victim);
+    reclaiming_block_ = victim;
+  }
+  if (valid_counts_[victim] > 0) {
+    const NandChip::OobRunView oob = chip_.ReadTagsRun(victim);
+    const bool has_torn = chip_.BlockHasTornPages(victim);
+    const NandBlock& vblk = chip_.block(victim);
+    for (uint32_t page = 0; page < wp && valid_counts_[victim] > 0; ++page) {
+      if (has_torn && vblk.TornAt(page)) {
+        continue;  // consumed by an interrupted program: nothing to move
+      }
+      // Check the forward map via the OOB tag: the page is live only if the
+      // map still points at it.
+      const uint64_t lpn = oob.tags[page];
+      const PhysPageAddr src{victim, page};
+      if (lpn >= logical_pages_ || map_[lpn] != src) {
+        continue;  // stale copy
+      }
+      // Live page: read it out (charges read latency + ECC) and rewrite it.
+      Result<NandReadOutcome> read = chip_.ReadPage(src);
+      if (!read.ok() && read.status().code() != StatusCode::kDataLoss) {
+        if (UseIndex()) {
+          reclaiming_block_ = kInvalidBlockId;
+          IndexInsertClosed(victim);
+        }
+        return read.status();
+      }
+      if (read.ok()) {
+        time_acc += read.value().latency;
+      }
+      // Even if the copy had an uncorrectable error we must move the mapping
+      // (data loss is recorded by the chip counters).
+      Result<PhysPageAddr> dst =
+          ProgramIntoStream(lpn, BlockState::kOpenGc, /*allow_gc=*/false, time_acc);
+      if (!dst.ok()) {
+        if (UseIndex()) {
+          reclaiming_block_ = kInvalidBlockId;
+          IndexInsertClosed(victim);
+        }
+        return dst.status();
+      }
+      DecValidCount(victim);
+      IncValidCount(dst.value().block);
+      map_[lpn] = dst.value();
+      ++stats_.gc_pages_migrated;
     }
-    // Check the forward map via the OOB tag: the page is live only if the
-    // map still points at it.
-    Result<uint64_t> tag = chip_.block(victim).ReadTag(page);
-    if (!tag.ok()) {
-      return tag.status();
-    }
-    const uint64_t lpn = tag.value();
-    if (lpn >= logical_pages_ || map_[lpn] != src) {
-      continue;  // stale copy
-    }
-    // Live page: read it out (charges read latency + ECC) and rewrite it.
-    Result<NandReadOutcome> read = chip_.ReadPage(src);
-    if (!read.ok() && read.status().code() != StatusCode::kDataLoss) {
-      return read.status();
-    }
-    if (read.ok()) {
-      time_acc += read.value().latency;
-    }
-    // Even if the copy had an uncorrectable error we must move the mapping
-    // (data loss is recorded by the chip counters).
-    Result<PhysPageAddr> dst =
-        ProgramIntoStream(lpn, BlockState::kOpenGc, /*allow_gc=*/false, time_acc);
-    if (!dst.ok()) {
-      return dst.status();
-    }
-    DecValidCount(victim);
-    IncValidCount(dst.value().block);
-    map_[lpn] = dst.value();
-    ++stats_.gc_pages_migrated;
   }
   // All live data moved; erase and return to the free pool. When merged-pool
   // diversion is active, erasing a GC-destination block is wear-free here:
   // that churn physically runs on drafted Type A blocks (charged by the
   // hybrid front end).
   ++erase_seq_;
+  UpdateWearLevelCheckDue();
   ++stats_.erases;
+  if (UseIndex()) {
+    reclaiming_block_ = kInvalidBlockId;
+  }
   const uint32_t wear_weight = divert_gc_wear_ && gc_origin_[victim] ? 0 : 1;
   Result<SimDuration> erase = chip_.EraseBlock(victim, wear_weight);
   if (!erase.ok()) {
     if (erase.status().code() == StatusCode::kPowerLoss) {
-      return erase.status();  // block torn, not bad: recovery re-erases it
+      if (UseIndex()) {
+        IndexInsertClosed(victim);  // still closed: recovery re-erases it
+      }
+      return erase.status();
+    }
+    if (UseIndex()) {
+      IndexInsertClosed(victim);  // RetireBlock expects closed blocks indexed
     }
     RetireBlock(victim);
     return Status::Ok();  // reclaim succeeded logically; block just retired
   }
   if (UseIndex()) {
-    IndexEraseClosed(victim);  // leaves the closed set (valid count now 0)
+    // Already out of the victim/wear indexes (erased up front); account for
+    // the P/E tick only.
     OnBlockErased(victim);
   }
   time_acc += erase.value();
@@ -470,20 +512,15 @@ Status PageMapFtl::RunGcIfNeeded(SimDuration& time_acc) {
   return Status::Ok();
 }
 
-void PageMapFtl::MaybeStaticWearLevel(SimDuration& time_acc) {
-  if (ftl_config_.wear_level_threshold == 0 ||
-      erase_seq_ % ftl_config_.wear_level_check_interval != 0 || erase_seq_ == 0) {
-    return;
-  }
-  // The spread scan is O(blocks) and runs on every page write while
-  // erase_seq_ sits on a check multiple. The spread depends only on P/E
-  // counts and the bad set, which change exactly when the chip's wear
-  // version ticks — so a scan that concluded "spread fine" stays valid (and
-  // is skipped) until the next wear event. Only that no-op outcome is
-  // cached: a migration pass has side effects and bumps the version itself.
-  if (wl_spread_ok_version_ == chip_.wear_version()) {
-    return;
-  }
+void PageMapFtl::StaticWearLevelPass(SimDuration& time_acc) {
+  // Reached only through the inline MaybeStaticWearLevel gate: the feature
+  // is on, erase_seq_ sits on a check multiple, and no scan at the current
+  // wear version has concluded "spread fine". The spread depends only on
+  // P/E counts and the bad set, which change exactly when the chip's wear
+  // version ticks — so the no-op outcome below stays cached (and the gate
+  // skips this pass) until the next wear event; a migration pass has side
+  // effects and bumps the version itself.
+  //
   // Find the wear spread: O(1) from the P/E histogram in indexed mode, one
   // O(blocks) scan otherwise.
   uint32_t min_pe = 0xffffffffu;
@@ -656,10 +693,21 @@ Status PageMapFtl::WriteBatch(const uint64_t* lpns, size_t count,
       if (wp + k + 1 == ppb) {
         CloseIfFull(block);  // the per-page path closes before the map update
       }
-      InvalidateMapping(lpn);
+      // InvalidateMapping folded in: one map_ load covers both the overwrite
+      // test and the old address, and an overwrite nets valid_total_ out
+      // instead of paying the -1/+1 pair.
+      const PhysPageAddr old = map_[lpn];
       map_[lpn] = PhysPageAddr{block, wp + k};
+      if (old.IsValid()) {
+        DecValidCount(old.block);
+        if (valid_counts_[old.block] == 0 &&
+            block_states_[old.block] == BlockState::kClosed) {
+          dead_blocks_.push_back(old.block);
+        }
+      } else {
+        ++valid_total_;
+      }
       IncValidCount(block);
-      ++valid_total_;
       ++stats_.host_pages_written;
       ++*pages_done;
       MaybeStaticWearLevel(t);
@@ -693,19 +741,19 @@ Result<SimDuration> PageMapFtl::WritePages(uint64_t lpn, uint64_t count) {
   if (count == 0) {
     return SimDuration();
   }
-  scratch_lpns_.resize(count);
-  scratch_times_.assign(count, SimDuration());
+  uint64_t* lpns = scratch_lpns_.Acquire(count);
+  SimDuration* times = scratch_times_.AcquireZeroed(count);
   for (uint64_t k = 0; k < count; ++k) {
-    scratch_lpns_[k] = lpn + k;
+    lpns[k] = lpn + k;
   }
   size_t done = 0;
-  Status st = WriteBatch(scratch_lpns_.data(), count, scratch_times_.data(), &done);
+  Status st = WriteBatch(lpns, count, times, &done);
   if (!st.ok()) {
     return st;
   }
   SimDuration total;
   for (size_t k = 0; k < done; ++k) {
-    total += scratch_times_[k];
+    total += times[k];
   }
   return total;
 }
@@ -889,19 +937,23 @@ Result<RecoveryReport> PageMapFtl::Mount() {
       continue;
     }
     const uint32_t wp = blk.write_pointer();
+    // Batch OOB: tags and sequences straight from the flat metadata plane
+    // (raw reads, no ECC model); the torn test runs per page only on blocks
+    // that actually hold torn pages.
+    const NandChip::OobRunView oob = chip_.ReadTagsRun(b);
+    const bool has_torn = chip_.BlockHasTornPages(b);
     for (uint32_t p = 0; p < wp; ++p) {
       ++rep.scanned_pages;
-      if (blk.IsTorn(p)) {
+      if (has_torn && blk.TornAt(p)) {
         ++rep.torn_pages_discarded;
         continue;
       }
-      Result<uint64_t> tag = blk.ReadTag(p);  // raw OOB read, no ECC model
-      if (!tag.ok() || tag.value() >= logical_pages_) {
+      if (oob.tags[p] >= logical_pages_) {
         ++rep.stale_pages_ignored;
         continue;
       }
-      const uint64_t lpn = tag.value();
-      const uint64_t seq = blk.PageSeq(p);
+      const uint64_t lpn = oob.tags[p];
+      const uint64_t seq = oob.seqs[p];
       if (!map_[lpn].IsValid() || seq > best_seq[lpn]) {
         if (map_[lpn].IsValid()) {
           ++rep.stale_pages_ignored;
@@ -926,6 +978,7 @@ Result<RecoveryReport> PageMapFtl::Mount() {
   gc_active_ = kInvalidBlockId;
   valid_total_ = 0;
   erase_seq_ = 0;
+  UpdateWearLevelCheckDue();
   spares_used_ = 0;
   wl_spread_ok_version_ = ~0ull;
   for (uint64_t lpn = 0; lpn < logical_pages_; ++lpn) {
@@ -959,6 +1012,148 @@ Result<RecoveryReport> PageMapFtl::Mount() {
   }
   FLASHSIM_RETURN_IF_ERROR(ValidateInvariants());
   return rep;
+}
+
+void PageMapFtl::SaveState(SnapshotWriter& w) const {
+  w.BeginSection(SnapshotTag("PFTL"));
+  chip_.SaveState(w);
+  w.U64(logical_pages_);  // fingerprint, validated on load
+  std::vector<uint64_t> packed_map(map_.size());
+  for (size_t i = 0; i < map_.size(); ++i) {
+    packed_map[i] =
+        (static_cast<uint64_t>(map_[i].block) << 32) | map_[i].page;
+  }
+  w.VecU64(packed_map);
+  w.VecU32(valid_counts_);
+  std::vector<uint8_t> states(block_states_.size());
+  for (size_t i = 0; i < block_states_.size(); ++i) {
+    states[i] = static_cast<uint8_t>(block_states_[i]);
+  }
+  w.VecU8(states);
+  w.VecU64(close_seq_);
+  w.VecU8(gc_origin_);
+  // Free pool by membership, sorted for stable file bytes: pop order depends
+  // only on the (pe, id) membership set, so re-Insert on load reproduces it.
+  std::vector<WearBucketedFreePool::Entry> pool = free_blocks_.Entries();
+  std::sort(pool.begin(), pool.end(),
+            [](const WearBucketedFreePool::Entry& a,
+               const WearBucketedFreePool::Entry& b) {
+              return std::make_pair(a.pe_cycles, a.block) <
+                     std::make_pair(b.pe_cycles, b.block);
+            });
+  w.U64(pool.size());
+  for (const WearBucketedFreePool::Entry& e : pool) {
+    w.U32(e.pe_cycles);
+    w.U32(e.block);
+  }
+  w.U32(host_active_);
+  w.U32(gc_active_);
+  w.VecU32(dead_blocks_);
+  w.U64(valid_total_);
+  w.U64(erase_seq_);
+  w.U32(spares_used_);
+  w.Bool(read_only_);
+  w.Bool(divert_gc_wear_);
+  w.U64(wl_spread_ok_version_);
+  w.U8(static_cast<uint8_t>(victim_select_));
+  // Lazy-cursor acceleration state; never changes results, but restoring it
+  // keeps probe counters (gc_victim_candidates) bit-exact after a restore.
+  w.U32(victim_index_.min_bucket());
+  w.U32(closed_by_pe_.min_bucket());
+  w.U64(wear_sync_version_);
+  SaveFtlStats(w, stats_);
+  w.EndSection();
+}
+
+Status PageMapFtl::LoadState(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(SnapshotTag("PFTL")));
+  FLASHSIM_RETURN_IF_ERROR(chip_.LoadState(r));
+  if (r.U64() != logical_pages_) {
+    return FailedPreconditionError(
+        "snapshot FTL logical size does not match the constructed device");
+  }
+  std::vector<uint64_t> packed_map;
+  std::vector<uint32_t> valid_counts;
+  std::vector<uint8_t> states;
+  std::vector<uint64_t> close_seq;
+  std::vector<uint8_t> gc_origin;
+  r.VecU64(&packed_map);
+  r.VecU32(&valid_counts);
+  r.VecU8(&states);
+  r.VecU64(&close_seq);
+  r.VecU8(&gc_origin);
+  const uint64_t pool_count = r.U64();
+  std::vector<WearBucketedFreePool::Entry> pool;
+  for (uint64_t i = 0; i < pool_count && r.ok(); ++i) {
+    WearBucketedFreePool::Entry e;
+    e.pe_cycles = r.U32();
+    e.block = r.U32();
+    pool.push_back(e);
+  }
+  const BlockId host_active = r.U32();
+  const BlockId gc_active = r.U32();
+  std::vector<uint32_t> dead_blocks;
+  r.VecU32(&dead_blocks);
+  const uint64_t valid_total = r.U64();
+  const uint64_t erase_seq = r.U64();
+  const uint32_t spares_used = r.U32();
+  const bool read_only = r.Bool();
+  const bool divert_gc_wear = r.Bool();
+  const uint64_t wl_spread_ok_version = r.U64();
+  const uint8_t victim_select = r.U8();
+  const uint32_t victim_min_bucket = r.U32();
+  const uint32_t pe_index_min_bucket = r.U32();
+  const uint64_t wear_sync_version = r.U64();
+  FtlStats stats;
+  LoadFtlStats(r, &stats);
+  r.LeaveSection();
+  FLASHSIM_RETURN_IF_ERROR(r.status());
+  if (packed_map.size() != map_.size() ||
+      valid_counts.size() != valid_counts_.size() ||
+      states.size() != block_states_.size() ||
+      close_seq.size() != close_seq_.size() ||
+      gc_origin.size() != gc_origin_.size() ||
+      victim_select > static_cast<uint8_t>(VictimSelect::kIndexed)) {
+    return DataLossError("snapshot FTL state has inconsistent sizes");
+  }
+  for (size_t i = 0; i < map_.size(); ++i) {
+    map_[i] = PhysPageAddr{static_cast<BlockId>(packed_map[i] >> 32),
+                           static_cast<uint32_t>(packed_map[i])};
+  }
+  valid_counts_ = std::move(valid_counts);
+  for (size_t i = 0; i < states.size(); ++i) {
+    block_states_[i] = static_cast<BlockState>(states[i]);
+  }
+  close_seq_ = std::move(close_seq);
+  gc_origin_ = std::move(gc_origin);
+  free_blocks_.Clear();
+  for (const WearBucketedFreePool::Entry& e : pool) {
+    free_blocks_.Insert(e.pe_cycles, e.block);
+  }
+  host_active_ = host_active;
+  gc_active_ = gc_active;
+  dead_blocks_ = std::move(dead_blocks);
+  valid_total_ = valid_total;
+  erase_seq_ = erase_seq;
+  spares_used_ = spares_used;
+  read_only_ = read_only;
+  divert_gc_wear_ = divert_gc_wear;
+  wl_spread_ok_version_ = wl_spread_ok_version;
+  victim_select_ = static_cast<VictimSelect>(victim_select);
+  reclaiming_block_ = kInvalidBlockId;
+  UpdateWearLevelCheckDue();
+  if (UseIndex()) {
+    RebuildVictimIndexes();
+    victim_index_.set_min_bucket(victim_min_bucket);
+    closed_by_pe_.set_min_bucket(pe_index_min_bucket);
+    // Preserved verbatim: if the save raced a pending external wear change,
+    // the restored device re-detects it exactly like the saved one would.
+    wear_sync_version_ = wear_sync_version;
+  }
+  // Restored last so the LoadState-time index rebuild above does not show up
+  // in victim_index_rebuilds (the saved device never ran it).
+  stats_ = stats;
+  return Status::Ok();
 }
 
 }  // namespace flashsim

@@ -20,6 +20,7 @@
 #include "src/ftl/ftl_interface.h"
 #include "src/nand/chip.h"
 #include "src/simcore/event_log.h"
+#include "src/simcore/scratch.h"
 #include "src/simcore/victim_index.h"
 
 namespace flashsim {
@@ -69,6 +70,11 @@ class PageMapFtl : public FtlInterface {
   uint32_t free_block_count() const { return static_cast<uint32_t>(free_blocks_.size()); }
   const WearBucketedFreePool& free_pool() const { return free_blocks_; }
   const FtlConfig& config() const { return ftl_config_; }
+  // Reallocations of the bulk-write scratch buffers; constant in steady
+  // state (DESIGN.md §12).
+  uint64_t ScratchGrowCount() const {
+    return scratch_lpns_.grow_count() + scratch_times_.grow_count();
+  }
 
   // True when `lpn` currently maps to a physical page.
   bool IsMapped(uint64_t lpn) const;
@@ -90,6 +96,13 @@ class PageMapFtl : public FtlInterface {
   // full walk) but keep every O(blocks) check. Returns the first violation
   // found. Meant for tests and debug builds.
   Status ValidateInvariants(uint64_t lpn_stride = 1) const override;
+
+  // Device snapshot (see FtlInterface). The victim/wear indexes are not
+  // serialized — LoadState rebuilds them from the restored block states and
+  // chip wear, then re-applies the saved lazy cursors so probe counters
+  // continue bit-exactly.
+  void SaveState(SnapshotWriter& w) const override;
+  Status LoadState(SnapshotReader& r) override;
 
   // Switches victim selection at runtime (rebuilds the indexes when turning
   // kIndexed on). The pick sequence is identical either way; benches flip
@@ -131,9 +144,23 @@ class PageMapFtl : public FtlInterface {
   Result<PhysPageAddr> ProgramIntoStream(uint64_t lpn, BlockState stream,
                                          bool allow_gc, SimDuration& time_acc);
 
-  // Static wear-leveling check; migrates the coldest closed block when the
-  // P/E spread exceeds the configured threshold.
-  void MaybeStaticWearLevel(SimDuration& time_acc);
+  // Static wear-leveling check; migrates the coldest closed blocks when the
+  // P/E spread exceeds the configured threshold. Runs on every page write,
+  // so the cheap predicates — feature enabled, erase_seq_ on a check
+  // multiple (folded into `wl_check_due_`, maintained where erase_seq_
+  // changes), spread already known fine at this wear version — gate the
+  // out-of-line pass inline.
+  void MaybeStaticWearLevel(SimDuration& time_acc) {
+    if (!wl_check_due_ || wl_spread_ok_version_ == chip_.wear_version()) {
+      return;
+    }
+    StaticWearLevelPass(time_acc);
+  }
+  void StaticWearLevelPass(SimDuration& time_acc);
+  void UpdateWearLevelCheckDue() {
+    wl_check_due_ = ftl_config_.wear_level_threshold != 0 && erase_seq_ != 0 &&
+                    erase_seq_ % ftl_config_.wear_level_check_interval == 0;
+  }
 
   // Removes `block` from service after a failure, updating spare accounting
   // and possibly transitioning the device to read-only.
@@ -190,13 +217,18 @@ class PageMapFtl : public FtlInterface {
 
   uint64_t valid_total_ = 0;
   uint64_t erase_seq_ = 0;
+  // erase_seq_ sits on a wear-level check multiple (and the feature is on).
+  bool wl_check_due_ = false;
+  // Block currently being reclaimed: removed from the victim/wear indexes up
+  // front, so DecValidCount must not Move it (see ReclaimBlock).
+  BlockId reclaiming_block_ = kInvalidBlockId;
   uint32_t spares_used_ = 0;
   bool read_only_ = false;
   bool divert_gc_wear_ = false;
 
   // Scratch buffers for the bulk write path, reused across calls.
-  std::vector<uint64_t> scratch_lpns_;
-  std::vector<SimDuration> scratch_times_;
+  ScratchBuffer<uint64_t> scratch_lpns_;
+  ScratchBuffer<SimDuration> scratch_times_;
 
   // Chip wear version at which the static wear-level scan last found the
   // spread within threshold; ~0 means "no valid cached scan".

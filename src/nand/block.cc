@@ -22,7 +22,7 @@ Status NandBlock::CheckProgrammable(uint32_t page) const {
   if (erase_torn_) {
     return FailedPreconditionError("program to block torn by interrupted erase");
   }
-  if (page >= pages_per_block()) {
+  if (page >= pages_per_block_) {
     return OutOfRangeError("page index out of range");
   }
   if (page != write_pointer_) {
@@ -31,20 +31,11 @@ Status NandBlock::CheckProgrammable(uint32_t page) const {
   return Status::Ok();
 }
 
-Status NandBlock::ProgramPage(uint32_t page, uint64_t tag, uint64_t seq) {
-  FLASHSIM_RETURN_IF_ERROR(CheckProgrammable(page));
-  tags_[page] = tag;
-  seqs_[page] = seq;
-  torn_[page] = 0;
-  ++write_pointer_;
-  return Status::Ok();
-}
-
 Status NandBlock::ProgramTorn(uint32_t page) {
   FLASHSIM_RETURN_IF_ERROR(CheckProgrammable(page));
   tags_[page] = kUnwrittenTag;
   seqs_[page] = 0;
-  torn_[page] = 1;
+  SetTornBit(page);
   ++write_pointer_;
   return Status::Ok();
 }
@@ -54,27 +45,26 @@ void NandBlock::TornErase() {
     return;
   }
   for (uint32_t i = 0; i < write_pointer_; ++i) {
-    torn_[i] = 1;
+    SetTornBit(i);
     seqs_[i] = 0;
   }
   erase_torn_ = true;
 }
 
-Result<uint64_t> NandBlock::ReadTag(uint32_t page) const {
-  if (page >= pages_per_block()) {
-    return OutOfRangeError("page index out of range");
+void NandBlock::ClearTornBits() {
+  const uint64_t first = base_;
+  const uint64_t last = base_ + write_pointer_;  // exclusive
+  for (uint64_t bit = first; bit < last;) {
+    const uint64_t word = bit >> 6;
+    const uint64_t word_end = (word + 1) << 6;
+    const uint64_t upto = last < word_end ? last : word_end;
+    uint64_t mask = ~0ull << (bit & 63);
+    if ((upto & 63) != 0) {
+      mask &= (1ull << (upto & 63)) - 1;
+    }
+    torn_words_[word] &= ~mask;
+    bit = upto;
   }
-  if (page >= write_pointer_) {
-    return FailedPreconditionError("read of unprogrammed page");
-  }
-  if (torn_[page] != 0) {
-    return DataLossError("read of torn page");
-  }
-  return tags_[page];
-}
-
-bool NandBlock::IsProgrammed(uint32_t page) const {
-  return page < write_pointer_;
 }
 
 Status NandBlock::Erase(uint32_t wear_weight) {
@@ -84,8 +74,8 @@ Status NandBlock::Erase(uint32_t wear_weight) {
   for (uint32_t i = 0; i < write_pointer_; ++i) {
     tags_[i] = kUnwrittenTag;
     seqs_[i] = 0;
-    torn_[i] = 0;
   }
+  ClearTornBits();
   write_pointer_ = 0;
   erase_torn_ = false;
   pe_cycles_ += wear_weight;

@@ -1,4 +1,4 @@
-// A single NAND erase block.
+// A single NAND erase block, as a thin view over the chip's metadata planes.
 //
 // Pages within a block must be programmed strictly in order (the in-order
 // program rule of real NAND) and can only be reset by erasing the whole
@@ -6,6 +6,18 @@
 // simulator — only per-page 64-bit out-of-band metadata (a tag the FTL uses
 // for its reverse map, plus a write sequence number used by mount-time
 // recovery) — keeping memory per simulated terabyte small.
+//
+// Layout: the OOB metadata lives in flat, chip-wide struct-of-arrays planes
+// (PageMetaPlanes) indexed by `block * pages_per_block + page`. NandBlock is
+// a view — raw pointers into the planes plus the per-block write pointer,
+// P/E count and flags — so batch scans (GC migration, mount recovery) walk
+// contiguous arrays instead of chasing per-block vectors. The plane vectors
+// never resize after Init, so the views stay valid even if the owning
+// structure is moved.
+//
+// Torn-state invariant: the packed torn bitmap has a set bit only for pages
+// BELOW the write pointer (Erase and Init clear the block's bit range), so
+// the program hot path never touches the torn plane.
 //
 // Power loss adds two torn states: a program interrupted mid-operation
 // consumes its page but leaves it torn (reads fail with kDataLoss until the
@@ -16,6 +28,7 @@
 #ifndef SRC_NAND_BLOCK_H_
 #define SRC_NAND_BLOCK_H_
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -25,20 +38,38 @@ namespace flashsim {
 
 inline constexpr uint64_t kUnwrittenTag = 0xffffffffffffffffull;
 
+// Chip-wide struct-of-arrays OOB metadata, one element (or bit) per physical
+// page. Owned by NandChip; NandBlock views point into it.
+struct PageMetaPlanes {
+  std::vector<uint64_t> tags;
+  std::vector<uint64_t> seqs;
+  std::vector<uint64_t> torn;  // packed bitmap, one bit per page
+
+  void Init(uint64_t total_pages) {
+    tags.assign(total_pages, kUnwrittenTag);
+    seqs.assign(total_pages, 0);
+    torn.assign((total_pages + 63) / 64, 0);
+  }
+};
+
 class NandBlock {
  public:
-  explicit NandBlock(uint32_t pages_per_block)
-      : tags_(pages_per_block, kUnwrittenTag),
-        seqs_(pages_per_block, 0),
-        torn_(pages_per_block, 0) {}
+  // Views pages [base, base + pages_per_block) of `planes`, which must
+  // already be Init()ed large enough and must outlive the block.
+  NandBlock(PageMetaPlanes& planes, uint64_t base, uint32_t pages_per_block)
+      : tags_(planes.tags.data() + base),
+        seqs_(planes.seqs.data() + base),
+        torn_words_(planes.torn.data()),
+        base_(base),
+        pages_per_block_(pages_per_block) {}
 
   // Number of P/E cycles this block has absorbed.
   uint32_t pe_cycles() const { return pe_cycles_; }
 
   // Next page index to be programmed; == pages_per_block() when full.
   uint32_t write_pointer() const { return write_pointer_; }
-  uint32_t pages_per_block() const { return static_cast<uint32_t>(tags_.size()); }
-  bool IsFull() const { return write_pointer_ == pages_per_block(); }
+  uint32_t pages_per_block() const { return pages_per_block_; }
+  bool IsFull() const { return write_pointer_ == pages_per_block_; }
   bool IsErased() const { return write_pointer_ == 0 && !erase_torn_; }
 
   bool is_bad() const { return bad_; }
@@ -47,7 +78,14 @@ class NandBlock {
   // Programs the next page with `tag` and write-sequence `seq`. Fails if the
   // block is bad, full, torn by an interrupted erase, or `page` is not the
   // current write pointer (in-order rule).
-  Status ProgramPage(uint32_t page, uint64_t tag, uint64_t seq = 0);
+  Status ProgramPage(uint32_t page, uint64_t tag, uint64_t seq = 0) {
+    FLASHSIM_RETURN_IF_ERROR(CheckProgrammable(page));
+    tags_[page] = tag;
+    seqs_[page] = seq;
+    // Torn bits at/above the write pointer are clear by invariant.
+    ++write_pointer_;
+    return Status::Ok();
+  }
 
   // A program interrupted by power loss: the page is consumed (the write
   // pointer advances) but holds no trustworthy data — it reads as torn until
@@ -60,14 +98,25 @@ class NandBlock {
   void TornErase();
 
   // Reads the tag of a programmed page. Torn pages fail with kDataLoss.
-  Result<uint64_t> ReadTag(uint32_t page) const;
+  Result<uint64_t> ReadTag(uint32_t page) const {
+    if (page >= pages_per_block_) {
+      return OutOfRangeError("page index out of range");
+    }
+    if (page >= write_pointer_) {
+      return FailedPreconditionError("read of unprogrammed page");
+    }
+    if (TornBit(page)) {
+      return DataLossError("read of torn page");
+    }
+    return tags_[page];
+  }
 
   // True if `page` has been programmed since the last erase.
-  bool IsProgrammed(uint32_t page) const;
+  bool IsProgrammed(uint32_t page) const { return page < write_pointer_; }
 
   // True if `page` was consumed by an interrupted program or erase.
   bool IsTorn(uint32_t page) const {
-    return page < write_pointer_ && torn_[page] != 0;
+    return page < write_pointer_ && TornBit(page);
   }
   bool erase_torn() const { return erase_torn_; }
 
@@ -77,6 +126,24 @@ class NandBlock {
   uint64_t PageSeq(uint32_t page) const {
     return page < write_pointer_ ? seqs_[page] : 0;
   }
+
+  // Batch-OOB accessors for hot scan loops: the caller iterates pages below
+  // write_pointer() and owns the bounds guard (assert-only in release, so
+  // the per-call `page < write_pointer_` comparison is hoisted out).
+  uint64_t TagAt(uint32_t page) const {
+    assert(page < write_pointer_);
+    return tags_[page];
+  }
+  uint64_t SeqAt(uint32_t page) const {
+    assert(page < write_pointer_);
+    return seqs_[page];
+  }
+  bool TornAt(uint32_t page) const {
+    assert(page < write_pointer_);
+    return TornBit(page);
+  }
+  const uint64_t* TagsRaw() const { return tags_; }
+  const uint64_t* SeqsRaw() const { return seqs_; }
 
   // Erases the block: clears all pages and charges `wear_weight` P/E cycles.
   // A weight > 1 models cells being cycled in a more stressful mode (e.g. an
@@ -94,9 +161,42 @@ class NandBlock {
   Status CheckProgrammable(uint32_t page) const;
 
  private:
-  std::vector<uint64_t> tags_;
-  std::vector<uint64_t> seqs_;
-  std::vector<uint8_t> torn_;
+  friend class NandChip;
+
+  bool TornBit(uint32_t page) const {
+    const uint64_t bit = base_ + page;
+    return (torn_words_[bit >> 6] >> (bit & 63)) & 1u;
+  }
+  void SetTornBit(uint32_t page) {
+    const uint64_t bit = base_ + page;
+    torn_words_[bit >> 6] |= 1ull << (bit & 63);
+  }
+  // Clears torn bits for pages [0, write_pointer_) — by the invariant, the
+  // only bits of this block that can be set.
+  void ClearTornBits();
+
+  // Program-run fast path used by NandChip::ProgramRun when no power rail is
+  // attached and the wear-failure probability is zero: preconditions were
+  // checked once for the run, so this is a straight plane fill. `*seq`
+  // advances by one per page, exactly as per-page NextSeq() calls would.
+  void ProgramRunFast(const uint64_t* tags, uint32_t count, uint64_t* seq) {
+    assert(write_pointer_ + count <= pages_per_block_ && !bad_ && !erase_torn_);
+    uint64_t* t = tags_ + write_pointer_;
+    uint64_t* s = seqs_ + write_pointer_;
+    uint64_t seq_value = *seq;
+    for (uint32_t i = 0; i < count; ++i) {
+      t[i] = tags[i];
+      s[i] = seq_value++;
+    }
+    *seq = seq_value;
+    write_pointer_ += count;
+  }
+
+  uint64_t* tags_;        // this block's slice of the tag plane
+  uint64_t* seqs_;        // this block's slice of the seq plane
+  uint64_t* torn_words_;  // the CHIP-wide torn bitmap (bit index base_ + page)
+  uint64_t base_;
+  uint32_t pages_per_block_;
   uint32_t write_pointer_ = 0;
   uint32_t pe_cycles_ = 0;
   bool bad_ = false;

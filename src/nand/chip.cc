@@ -1,6 +1,10 @@
 #include "src/nand/chip.h"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
+
+#include "src/simcore/snapshot.h"
 
 namespace flashsim {
 
@@ -18,11 +22,17 @@ NandChip::NandChip(NandChipConfig config, uint64_t seed)
       ecc_(config_.ecc, config_.page_size_bytes),
       rng_(seed) {
   assert(config_.Validate().ok());
+  planes_.Init(config_.total_pages());
+  const uint32_t ppb = config_.pages_per_block;
   blocks_.reserve(config_.total_blocks());
   for (uint32_t i = 0; i < config_.total_blocks(); ++i) {
-    blocks_.emplace_back(config_.pages_per_block);
+    blocks_.emplace_back(planes_, static_cast<uint64_t>(i) * ppb, ppb);
   }
   reads_since_erase_.assign(config_.total_blocks(), 0);
+  programs_counter_ = counters_.Slot("nand.programs");
+  erases_counter_ = counters_.Slot("nand.erases");
+  reads_counter_ = counters_.Slot("nand.reads");
+  RebuildWearAggregates();
 }
 
 double NandChip::WearFailureProbability(uint32_t pe_cycles, double scale) const {
@@ -62,6 +72,43 @@ Status NandChip::CheckPowered() const {
   return Status::Ok();
 }
 
+void NandChip::NoteWear(uint32_t pe_after, uint32_t wear_weight) {
+  if (wear_weight == 0) {
+    return;
+  }
+  --pe_hist_[pe_after - wear_weight];
+  if (pe_after >= pe_hist_.size()) {
+    pe_hist_.resize(pe_after + 1, 0);
+  }
+  ++pe_hist_[pe_after];
+  total_pe_ += wear_weight;
+  if (pe_after > pe_max_) {
+    pe_max_ = pe_after;
+  }
+}
+
+void NandChip::RebuildWearAggregates() {
+  pe_hist_.assign(1, 0);
+  total_pe_ = 0;
+  bad_blocks_count_ = 0;
+  pe_min_ = 0;
+  pe_max_ = 0;
+  for (const NandBlock& blk : blocks_) {
+    const uint32_t pe = blk.pe_cycles();
+    if (pe >= pe_hist_.size()) {
+      pe_hist_.resize(pe + 1, 0);
+    }
+    ++pe_hist_[pe];
+    total_pe_ += pe;
+    if (pe > pe_max_) {
+      pe_max_ = pe;
+    }
+    if (blk.is_bad()) {
+      ++bad_blocks_count_;
+    }
+  }
+}
+
 Result<SimDuration> NandChip::EraseBlock(BlockId id, uint32_t wear_weight) {
   if (id >= blocks_.size()) {
     return OutOfRangeError("block index out of range");
@@ -76,14 +123,16 @@ Result<SimDuration> NandChip::EraseBlock(BlockId id, uint32_t wear_weight) {
     counters_.Increment("nand.torn_erases");
     return PowerLossError("power lost mid-erase; block torn");
   }
-  counters_.Increment("nand.erases");
+  ++*erases_counter_;
   ++wear_version_;
   // The erase itself always consumes the cycle; failure is detected by the
   // erase-verify step afterwards.
   FLASHSIM_RETURN_IF_ERROR(blk.Erase(wear_weight));
   reads_since_erase_[id] = 0;
+  NoteWear(blk.pe_cycles(), wear_weight);
   if (rng_.Bernoulli(WearFailureProbability(blk.pe_cycles(), /*scale=*/1.0))) {
     blk.MarkBad();
+    ++bad_blocks_count_;
     counters_.Increment("nand.erase_failures");
     return UnavailableError("erase-verify failed; block retired");
   }
@@ -101,10 +150,11 @@ Result<SimDuration> NandChip::ProgramPage(PhysPageAddr addr, uint64_t tag) {
     return PowerLossError("power lost mid-program; page torn");
   }
   (void)blk.ProgramPage(addr.page, tag, NextSeq());
-  counters_.Increment("nand.programs");
+  ++*programs_counter_;
   if (rng_.Bernoulli(
           WearFailureProbability(blk.pe_cycles(), kProgramFailureScale))) {
     blk.MarkBad();
+    ++bad_blocks_count_;
     ++wear_version_;
     counters_.Increment("nand.program_failures");
     return DataLossError("program-verify failed; block retired");
@@ -126,17 +176,31 @@ Result<NandProgramRunOutcome> NandChip::ProgramRun(BlockId block,
   if (count == 0) {
     return out;
   }
+  // The remaining per-page preconditions (bad, erase-torn, in-order) cannot
+  // change mid-run — a mid-run MarkBad returns immediately — so they are
+  // checked once for the whole run instead of per page.
+  FLASHSIM_RETURN_IF_ERROR(blk.CheckProgrammable(blk.write_pointer()));
   // One probability evaluation for the whole run; Bernoulli(p <= 0) draws
   // nothing, so below the wear onset the run consumes no randomness at all.
   const double p_fail =
       WearFailureProbability(blk.pe_cycles(), kProgramFailureScale);
+  if (rail_ == nullptr && p_fail <= 0.0) {
+    // Fast path: no power rail attached and below the failure onset. The
+    // per-page loop would draw no randomness and could not be interrupted,
+    // so a straight metadata-plane fill is bit-exact with it.
+    uint64_t* seq = shared_seq_ != nullptr ? shared_seq_ : &next_seq_;
+    blk.ProgramRunFast(tags, count, seq);
+    out.pages_done = count;
+    out.latency = config_.timings.program_page * static_cast<int64_t>(count);
+    *programs_counter_ += count;
+    return out;
+  }
   for (uint32_t i = 0; i < count; ++i) {
     const uint32_t wp = blk.write_pointer();
-    FLASHSIM_RETURN_IF_ERROR(blk.CheckProgrammable(wp));
     FLASHSIM_RETURN_IF_ERROR(CheckPowered());
     if (rail_ != nullptr && rail_->OnDestructiveOp()) {
       (void)blk.ProgramTorn(wp);
-      counters_.Increment("nand.programs", i);
+      *programs_counter_ += i;
       counters_.Increment("nand.torn_programs");
       out.power_lost = true;
       return out;
@@ -144,8 +208,9 @@ Result<NandProgramRunOutcome> NandChip::ProgramRun(BlockId block,
     (void)blk.ProgramPage(wp, tags[i], NextSeq());
     if (p_fail > 0.0 && rng_.UniformDouble() < p_fail) {
       blk.MarkBad();
+      ++bad_blocks_count_;
       ++wear_version_;
-      counters_.Increment("nand.programs", i + 1);  // the failed program counts
+      *programs_counter_ += i + 1;  // the failed program counts
       counters_.Increment("nand.program_failures");
       out.block_failed = true;
       return out;
@@ -153,8 +218,28 @@ Result<NandProgramRunOutcome> NandChip::ProgramRun(BlockId block,
     ++out.pages_done;
     out.latency += config_.timings.program_page;
   }
-  counters_.Increment("nand.programs", count);
+  *programs_counter_ += count;
   return out;
+}
+
+bool NandChip::BlockHasTornPages(BlockId id) const {
+  const NandBlock& blk = blocks_[id];
+  const uint64_t first = blk.base_;
+  const uint64_t last = first + blk.write_pointer();  // exclusive
+  for (uint64_t bit = first; bit < last;) {
+    const uint64_t word = bit >> 6;
+    const uint64_t word_end = (word + 1) << 6;
+    const uint64_t upto = last < word_end ? last : word_end;
+    uint64_t mask = ~0ull << (bit & 63);
+    if ((upto & 63) != 0) {
+      mask &= (1ull << (upto & 63)) - 1;
+    }
+    if ((planes_.torn[word] & mask) != 0) {
+      return true;
+    }
+    bit = upto;
+  }
+  return false;
 }
 
 double NandChip::BlockRber(BlockId id) const {
@@ -177,7 +262,7 @@ Result<NandReadOutcome> NandChip::ReadPage(PhysPageAddr addr) {
   if (!tag.ok()) {
     return tag.status();
   }
-  counters_.Increment("nand.reads");
+  ++*reads_counter_;
   ++reads_since_erase_[addr.block];
   const EccOutcome ecc = ecc_.DecodePage(BlockRber(addr.block), rng_);
   if (!ecc.correctable) {
@@ -202,41 +287,109 @@ SimDuration NandChip::AnnealAll(double recovery_fraction, SimDuration per_block_
   }
   ++wear_version_;
   counters_.Increment("nand.anneals");
+  RebuildWearAggregates();
   return total;
 }
 
 WearSummary NandChip::ComputeWearSummary() const {
-  if (wear_summary_version_ == wear_version_) {
-    return wear_summary_cache_;
-  }
   WearSummary s;
   s.total_blocks = static_cast<uint32_t>(blocks_.size());
-  bool first = true;
-  for (const NandBlock& blk : blocks_) {
-    if (blk.is_bad()) {
-      ++s.bad_blocks;
-    }
-    const uint32_t pe = blk.pe_cycles();
-    s.total_pe += pe;
-    if (first) {
-      s.min_pe = pe;
-      s.max_pe = pe;
-      first = false;
-    } else {
-      if (pe < s.min_pe) {
-        s.min_pe = pe;
-      }
-      if (pe > s.max_pe) {
-        s.max_pe = pe;
-      }
-    }
+  if (s.total_blocks == 0) {
+    return s;
   }
-  s.avg_pe = s.total_blocks == 0
-                 ? 0.0
-                 : static_cast<double>(s.total_pe) / static_cast<double>(s.total_blocks);
-  wear_summary_cache_ = s;
-  wear_summary_version_ = wear_version_;
+  while (pe_min_ < pe_max_ && pe_hist_[pe_min_] == 0) {
+    ++pe_min_;
+  }
+  s.min_pe = pe_min_;
+  s.max_pe = pe_max_;
+  s.total_pe = total_pe_;
+  s.bad_blocks = bad_blocks_count_;
+  s.avg_pe = static_cast<double>(total_pe_) / static_cast<double>(s.total_blocks);
   return s;
+}
+
+void NandChip::SaveState(SnapshotWriter& w) const {
+  w.BeginSection(SnapshotTag("CHIP"));
+  // Geometry fingerprint, validated on load.
+  w.U32(static_cast<uint32_t>(blocks_.size()));
+  w.U32(config_.pages_per_block);
+  w.U32(config_.page_size_bytes);
+  w.U32(config_.rated_pe_cycles);
+  for (uint64_t word : rng_.state()) {
+    w.U64(word);
+  }
+  w.VecU64(planes_.tags);
+  w.VecU64(planes_.seqs);
+  w.VecU64(planes_.torn);
+  std::vector<uint32_t> wps(blocks_.size());
+  std::vector<uint32_t> pes(blocks_.size());
+  std::vector<uint8_t> flags(blocks_.size());
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    wps[i] = blocks_[i].write_pointer();
+    pes[i] = blocks_[i].pe_cycles();
+    flags[i] = static_cast<uint8_t>((blocks_[i].is_bad() ? 1 : 0) |
+                                    (blocks_[i].erase_torn() ? 2 : 0));
+  }
+  w.VecU32(wps);
+  w.VecU32(pes);
+  w.VecU8(flags);
+  w.VecU32(reads_since_erase_);
+  w.U64(wear_version_);
+  w.U64(next_seq_);
+  counters_.SaveState(w);
+  w.EndSection();
+}
+
+Status NandChip::LoadState(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(SnapshotTag("CHIP")));
+  if (r.U32() != blocks_.size() || r.U32() != config_.pages_per_block ||
+      r.U32() != config_.page_size_bytes || r.U32() != config_.rated_pe_cycles) {
+    return FailedPreconditionError(
+        "snapshot chip geometry does not match the constructed device");
+  }
+  std::array<uint64_t, 4> rng_state;
+  for (uint64_t& word : rng_state) {
+    word = r.U64();
+  }
+  std::vector<uint64_t> tags, seqs, torn;
+  r.VecU64(&tags);
+  r.VecU64(&seqs);
+  r.VecU64(&torn);
+  std::vector<uint32_t> wps, pes, reads;
+  std::vector<uint8_t> flags;
+  r.VecU32(&wps);
+  r.VecU32(&pes);
+  r.VecU8(&flags);
+  r.VecU32(&reads);
+  const uint64_t wear_version = r.U64();
+  const uint64_t next_seq = r.U64();
+  FLASHSIM_RETURN_IF_ERROR(counters_.LoadState(r));
+  r.LeaveSection();
+  FLASHSIM_RETURN_IF_ERROR(r.status());
+  if (tags.size() != planes_.tags.size() || seqs.size() != planes_.seqs.size() ||
+      torn.size() != planes_.torn.size() || wps.size() != blocks_.size() ||
+      pes.size() != blocks_.size() || flags.size() != blocks_.size() ||
+      reads.size() != blocks_.size()) {
+    return DataLossError("snapshot chip state has inconsistent sizes");
+  }
+  rng_.set_state(rng_state);
+  // Plane CONTENTS are copied into the existing buffers: the NandBlock views
+  // hold raw pointers into them, so the buffers themselves must not move.
+  std::copy(tags.begin(), tags.end(), planes_.tags.begin());
+  std::copy(seqs.begin(), seqs.end(), planes_.seqs.begin());
+  std::copy(torn.begin(), torn.end(), planes_.torn.begin());
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    NandBlock& blk = blocks_[i];
+    blk.write_pointer_ = wps[i];
+    blk.pe_cycles_ = pes[i];
+    blk.bad_ = (flags[i] & 1) != 0;
+    blk.erase_torn_ = (flags[i] & 2) != 0;
+  }
+  reads_since_erase_ = std::move(reads);
+  wear_version_ = wear_version;
+  next_seq_ = next_seq;
+  RebuildWearAggregates();
+  return Status::Ok();
 }
 
 }  // namespace flashsim

@@ -1,10 +1,12 @@
 // NandChip: the full NAND array of a storage device.
 //
-// The chip owns blocks (flat-indexed, striped across dies/channels), applies
-// the wear-dependent failure and raw-bit-error models to every operation, and
-// reports per-operation array latencies. It does NOT advance any clock — the
-// device-level performance model composes these latencies with bus transfer
-// and parallelism (src/blockdev/perf_model.h).
+// The chip owns the flat OOB metadata planes (see PageMetaPlanes in
+// block.h) plus a vector of NandBlock views over them (flat-indexed, striped
+// across dies/channels), applies the wear-dependent failure and
+// raw-bit-error models to every operation, and reports per-operation array
+// latencies. It does NOT advance any clock — the device-level performance
+// model composes these latencies with bus transfer and parallelism
+// (src/blockdev/perf_model.h).
 
 #ifndef SRC_NAND_CHIP_H_
 #define SRC_NAND_CHIP_H_
@@ -23,6 +25,9 @@
 #include "src/simcore/status.h"
 
 namespace flashsim {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 // Result of a page read: the OOB tag plus array latency and ECC statistics.
 struct NandReadOutcome {
@@ -54,6 +59,14 @@ class NandChip {
   // `config` must be valid (see NandChipConfig::Validate); `seed` fixes the
   // error-injection stream.
   NandChip(NandChipConfig config, uint64_t seed);
+
+  // Moving is safe (plane heap buffers and counter map nodes are stable);
+  // copying would leave the new blocks_ views pointing into the source's
+  // planes, so it is forbidden.
+  NandChip(NandChip&&) = default;
+  NandChip& operator=(NandChip&&) = default;
+  NandChip(const NandChip&) = delete;
+  NandChip& operator=(const NandChip&) = delete;
 
   const NandChipConfig& config() const { return config_; }
 
@@ -88,6 +101,23 @@ class NandChip {
   uint32_t DieOfBlock(BlockId id) const { return id % config_.dies(); }
   uint32_t ChannelOfBlock(BlockId id) const { return DieOfBlock(id) % config_.channels; }
 
+  // Batch OOB view of one block's metadata planes: contiguous tag/seq arrays
+  // for pages [0, block.write_pointer()). Pure metadata access — the FTL
+  // owns the OOB, so these model no array latency, counters, ECC, or RNG
+  // (exactly like the per-page ReadTag/PageSeq accessors they replace).
+  // Callers must respect the write-pointer bound (assert-only in release).
+  struct OobRunView {
+    const uint64_t* tags;
+    const uint64_t* seqs;
+  };
+  OobRunView ReadTagsRun(BlockId id) const {
+    const uint64_t base = static_cast<uint64_t>(id) * config_.pages_per_block;
+    return {planes_.tags.data() + base, planes_.seqs.data() + base};
+  }
+  // True if any programmed page of `id` is torn (word-scan of the packed
+  // bitmap; by the torn invariant, bits above the write pointer are clear).
+  bool BlockHasTornPages(BlockId id) const;
+
   // Current raw bit error rate of `block`, including read-disturb inflation.
   double BlockRber(BlockId id) const;
 
@@ -101,6 +131,8 @@ class NandChip {
   // pass takes; the device is unavailable for I/O during it.
   SimDuration AnnealAll(double recovery_fraction, SimDuration per_block_cost);
 
+  // O(1): the aggregates are maintained incrementally (per-P/E histogram,
+  // running totals) instead of rescanning every block per health poll.
   WearSummary ComputeWearSummary() const;
   const CounterSet& counters() const { return counters_; }
 
@@ -118,6 +150,13 @@ class NandChip {
   // numbers order copies of a logical page across chips.
   void AttachSharedSeq(uint64_t* seq) { shared_seq_ = seq; }
 
+  // Device snapshot support: serializes / restores the full array state
+  // (planes, per-block wear and flags, RNG, counters, sequence numbers).
+  // LoadState requires the chip to have been constructed with an identical
+  // config; wear aggregates are rebuilt from the restored blocks.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
+
  private:
   double WearFailureProbability(uint32_t pe_cycles, double scale) const;
   Status CheckAddr(PhysPageAddr addr) const;
@@ -126,24 +165,39 @@ class NandChip {
     uint64_t* s = shared_seq_ != nullptr ? shared_seq_ : &next_seq_;
     return (*s)++;
   }
+  // Records `wear_weight` P/E cycles charged to a block now at `pe_after`.
+  void NoteWear(uint32_t pe_after, uint32_t wear_weight);
+  // Recomputes the wear aggregates from the per-block state (construction,
+  // anneal, snapshot load).
+  void RebuildWearAggregates();
 
   NandChipConfig config_;
   RberModel rber_model_;
   EccEngine ecc_;
   Rng rng_;
+  PageMetaPlanes planes_;
   std::vector<NandBlock> blocks_;
   std::vector<uint32_t> reads_since_erase_;
   CounterSet counters_;
+  // Hot-path counter slots (see CounterSet::Slot); cold counters keep using
+  // Increment by name.
+  uint64_t* programs_counter_;
+  uint64_t* erases_counter_;
+  uint64_t* reads_counter_;
   uint64_t wear_version_ = 0;
   PowerRail* rail_ = nullptr;
   uint64_t next_seq_ = 1;
   uint64_t* shared_seq_ = nullptr;
 
-  // ComputeWearSummary is a pure function of the per-block wear state, which
-  // only changes when wear_version_ ticks — cache the last scan (health is
-  // polled far more often than blocks are erased).
-  mutable WearSummary wear_summary_cache_;
-  mutable uint64_t wear_summary_version_ = ~0ull;
+  // Incremental wear aggregates: count of blocks (bad ones included, as in
+  // the scan these replace) per P/E value, plus running totals. pe_min_ is a
+  // lazily-advanced cursor — erases only move blocks to higher P/E, and the
+  // anneal path rebuilds outright.
+  std::vector<uint32_t> pe_hist_;
+  mutable uint32_t pe_min_ = 0;
+  uint32_t pe_max_ = 0;
+  uint64_t total_pe_ = 0;
+  uint32_t bad_blocks_count_ = 0;
 };
 
 }  // namespace flashsim

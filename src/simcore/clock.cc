@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/simcore/snapshot.h"
+
 namespace flashsim {
 
 void SimClock::Advance(SimDuration d) {
@@ -22,6 +24,26 @@ SimDuration SimClock::CategoryTotal(const std::string& category) const {
 void SimClock::Reset() {
   now_ = SimTime();
   category_totals_.clear();
+}
+
+void SimClock::SaveState(SnapshotWriter& w) const {
+  w.U64(static_cast<uint64_t>(now_.nanos()));
+  w.U32(static_cast<uint32_t>(category_totals_.size()));
+  for (const auto& [category, total] : category_totals_) {
+    w.Str(category);
+    w.U64(static_cast<uint64_t>(total.nanos()));
+  }
+}
+
+Status SimClock::LoadState(SnapshotReader& r) {
+  now_ = SimTime(static_cast<int64_t>(r.U64()));
+  category_totals_.clear();
+  const uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    const std::string category = r.Str();
+    category_totals_[category] = SimDuration(static_cast<int64_t>(r.U64()));
+  }
+  return r.status();
 }
 
 }  // namespace flashsim

@@ -13,8 +13,12 @@
 #include <string>
 
 #include "src/simcore/sim_time.h"
+#include "src/simcore/status.h"
 
 namespace flashsim {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 // Monotonic simulated clock shared by a device stack.
 class SimClock {
@@ -36,6 +40,10 @@ class SimClock {
 
   // Resets the clock to zero and clears category accounting.
   void Reset();
+
+  // Device snapshot support.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
 
  private:
   SimTime now_;

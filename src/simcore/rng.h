@@ -50,6 +50,11 @@ class Rng {
   // Re-seeds the generator, resetting its stream.
   void Reseed(uint64_t seed);
 
+  // Raw generator state, for device snapshot save/restore (the stream
+  // continues bit-exactly from a restored state).
+  const std::array<uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<uint64_t, 4>& state) { state_ = state; }
+
  private:
   std::array<uint64_t, 4> state_;
 };

@@ -1,0 +1,76 @@
+// Reusable per-operation scratch buffers.
+//
+// The bulk I/O paths need per-op arrays whose length varies call to call
+// (LPN runs, per-page service times). Allocating them inside the hot loop
+// would put malloc on the per-batch path, so each call site owns a
+// ScratchBuffer: one geometrically-grown allocation reused across calls.
+// Every reallocation is counted, which turns "zero steady-state allocation"
+// from a hope into a testable invariant — after warm-up, acquiring any
+// previously seen size must leave grow_count() unchanged (DESIGN.md §12).
+
+#ifndef SRC_SIMCORE_SCRATCH_H_
+#define SRC_SIMCORE_SCRATCH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flashsim {
+
+template <typename T>
+class ScratchBuffer {
+ public:
+  // `count` elements with unspecified contents (the caller overwrites them).
+  T* Acquire(size_t count) {
+    NotePushBackGrowth();
+    EnsureCapacity(count);
+    buf_.resize(count);
+    return buf_.data();
+  }
+
+  // `count` value-initialized elements.
+  T* AcquireZeroed(size_t count) {
+    NotePushBackGrowth();
+    EnsureCapacity(count);
+    buf_.assign(count, T());
+    return buf_.data();
+  }
+
+  // Cleared, length-zero buffer for push_back-style filling when the final
+  // size is not known up front. Growth during the fill is detected and
+  // counted at the next acquire (or by grow_count()).
+  std::vector<T>& AcquireEmpty() {
+    NotePushBackGrowth();
+    buf_.clear();
+    return buf_;
+  }
+
+  // Reallocations so far, including any pending one from push_back filling.
+  uint64_t grow_count() const {
+    return grows_ + (buf_.capacity() != last_capacity_ ? 1 : 0);
+  }
+
+ private:
+  void EnsureCapacity(size_t count) {
+    if (count > buf_.capacity()) {
+      buf_.reserve(std::max(buf_.capacity() * 2, count));
+      ++grows_;
+      last_capacity_ = buf_.capacity();
+    }
+  }
+  void NotePushBackGrowth() {
+    if (buf_.capacity() != last_capacity_) {
+      ++grows_;
+      last_capacity_ = buf_.capacity();
+    }
+  }
+
+  std::vector<T> buf_;
+  uint64_t grows_ = 0;
+  size_t last_capacity_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_SCRATCH_H_

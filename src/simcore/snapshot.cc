@@ -1,0 +1,253 @@
+#include "src/simcore/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace flashsim {
+
+SnapshotWriter::SnapshotWriter() {
+  U32(kSnapshotMagic);
+  U32(kSnapshotVersion);
+  U32(kSnapshotEndianSentinel);
+}
+
+void SnapshotWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void SnapshotWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void SnapshotWriter::F64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void SnapshotWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void SnapshotWriter::VecU8(const std::vector<uint8_t>& v) {
+  U64(v.size());
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void SnapshotWriter::VecU32(const std::vector<uint32_t>& v) {
+  U64(v.size());
+  for (uint32_t x : v) {
+    U32(x);
+  }
+}
+
+void SnapshotWriter::VecU64(const std::vector<uint64_t>& v) {
+  U64(v.size());
+  for (uint64_t x : v) {
+    U64(x);
+  }
+}
+
+void SnapshotWriter::BeginSection(uint32_t tag) {
+  U32(tag);
+  open_sections_.push_back(buf_.size());
+  U64(0);  // length placeholder, patched by EndSection
+}
+
+void SnapshotWriter::EndSection() {
+  const size_t at = open_sections_.back();
+  open_sections_.pop_back();
+  const uint64_t length = buf_.size() - (at + 8);
+  for (int i = 0; i < 8; ++i) {
+    buf_[at + static_cast<size_t>(i)] = static_cast<uint8_t>(length >> (8 * i));
+  }
+}
+
+Status SnapshotWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return UnavailableError("cannot open snapshot file for writing: " + path);
+  }
+  const size_t written = buf_.empty() ? 0 : std::fwrite(buf_.data(), 1, buf_.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != buf_.size() || !closed) {
+    return UnavailableError("short write to snapshot file: " + path);
+  }
+  return Status::Ok();
+}
+
+SnapshotReader::SnapshotReader(std::vector<uint8_t> data) : data_(std::move(data)) {
+  if (U32() != kSnapshotMagic) {
+    Fail("not a snapshot file (bad magic)");
+    return;
+  }
+  const uint32_t version = U32();
+  if (version != kSnapshotVersion) {
+    Fail("unsupported snapshot version " + std::to_string(version));
+    return;
+  }
+  if (U32() != kSnapshotEndianSentinel) {
+    Fail("snapshot endianness sentinel mismatch");
+  }
+}
+
+Result<SnapshotReader> SnapshotReader::FromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return UnavailableError("cannot open snapshot file: " + path);
+  }
+  std::vector<uint8_t> data;
+  uint8_t chunk[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    data.insert(data.end(), chunk, chunk + got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return UnavailableError("error reading snapshot file: " + path);
+  }
+  SnapshotReader reader(std::move(data));
+  if (!reader.ok()) {
+    return reader.status();
+  }
+  return reader;
+}
+
+void SnapshotReader::Fail(const std::string& message) {
+  if (error_.ok()) {
+    error_ = DataLossError("snapshot: " + message);
+  }
+}
+
+bool SnapshotReader::Need(size_t bytes) {
+  if (!error_.ok()) {
+    return false;
+  }
+  const size_t limit = section_ends_.empty() ? data_.size() : section_ends_.back();
+  if (pos_ > limit || bytes > limit - pos_) {
+    Fail("truncated (read past end of " +
+         std::string(section_ends_.empty() ? "file" : "section") + ")");
+    return false;
+  }
+  return true;
+}
+
+uint8_t SnapshotReader::U8() {
+  if (!Need(1)) {
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint32_t SnapshotReader::U32() {
+  if (!Need(4)) {
+    return 0;
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t SnapshotReader::U64() {
+  if (!Need(8)) {
+    return 0;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+double SnapshotReader::F64() {
+  const uint64_t bits = U64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string SnapshotReader::Str() {
+  const uint32_t n = U32();
+  if (!Need(n)) {
+    return std::string();
+  }
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void SnapshotReader::VecU8(std::vector<uint8_t>* out) {
+  const uint64_t n = U64();
+  if (!Need(n)) {
+    out->clear();
+    return;
+  }
+  out->assign(data_.begin() + static_cast<ptrdiff_t>(pos_),
+              data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+  pos_ += n;
+}
+
+void SnapshotReader::VecU32(std::vector<uint32_t>* out) {
+  const uint64_t n = U64();
+  if (!Need(n * 4)) {
+    out->clear();
+    return;
+  }
+  out->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    (*out)[i] = U32();
+  }
+}
+
+void SnapshotReader::VecU64(std::vector<uint64_t>* out) {
+  const uint64_t n = U64();
+  if (!Need(n * 8)) {
+    out->clear();
+    return;
+  }
+  out->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    (*out)[i] = U64();
+  }
+}
+
+Status SnapshotReader::EnterSection(uint32_t tag) {
+  while (ok()) {
+    const size_t limit = section_ends_.empty() ? data_.size() : section_ends_.back();
+    if (pos_ >= limit) {
+      Fail("section not found: tag " + std::to_string(tag));
+      break;
+    }
+    const uint32_t found = U32();
+    const uint64_t length = U64();
+    if (!Need(length)) {
+      break;
+    }
+    if (found == tag) {
+      section_ends_.push_back(pos_ + length);
+      return Status::Ok();
+    }
+    pos_ += length;  // skip unknown section (forward compat)
+  }
+  return error_;
+}
+
+void SnapshotReader::LeaveSection() {
+  if (section_ends_.empty()) {
+    Fail("LeaveSection with no open section");
+    return;
+  }
+  pos_ = section_ends_.back();
+  section_ends_.pop_back();
+}
+
+}  // namespace flashsim

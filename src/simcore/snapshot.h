@@ -1,0 +1,113 @@
+// Device snapshot container: versioned, sectioned, endian-stable binary
+// serialization for worn-device state (DESIGN.md §12).
+//
+// Layout:
+//   header:   magic "FSNP" (u32) | format version (u32) | endian sentinel
+//             0x01020304 (u32)
+//   sections: { tag (u32 FourCC) | payload length (u64) | payload bytes }*
+//
+// All integers are packed little-endian byte-by-byte, so snapshot files are
+// portable across hosts regardless of native endianness (the sentinel
+// documents and double-checks this).
+//
+// Forward-compatibility policy: readers locate sections by tag and skip
+// unknown ones, and LeaveSection() jumps to the recorded payload end even if
+// the reader consumed only a prefix — so newer writers may append sections
+// anywhere and append fields at the END of an existing section without
+// breaking older readers. Removing or reordering existing fields requires a
+// format version bump.
+//
+// Error handling: SnapshotReader is sticky — the first malformed read marks
+// the reader failed, every subsequent numeric read returns 0, and the caller
+// checks status() once at the end instead of per field.
+
+#ifndef SRC_SIMCORE_SNAPSHOT_H_
+#define SRC_SIMCORE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+inline constexpr uint32_t kSnapshotMagic = 0x504e5346u;  // "FSNP" in LE bytes
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotEndianSentinel = 0x01020304u;
+
+// FourCC section tag, e.g. SnapshotTag("CHIP").
+constexpr uint32_t SnapshotTag(const char (&s)[5]) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(s[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(s[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(s[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(s[3])) << 24;
+}
+
+class SnapshotWriter {
+ public:
+  SnapshotWriter();  // writes the header
+
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F64(double v);  // bit pattern, via u64
+  void Str(const std::string& s);                  // u32 length + bytes
+  void VecU8(const std::vector<uint8_t>& v);       // u64 count + bytes
+  void VecU32(const std::vector<uint32_t>& v);     // u64 count + packed LE
+  void VecU64(const std::vector<uint64_t>& v);
+
+  // Sections may nest; every BeginSection needs a matching EndSection.
+  void BeginSection(uint32_t tag);
+  void EndSection();
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<uint8_t> buf_;
+  std::vector<size_t> open_sections_;  // offsets of pending length fields
+};
+
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::vector<uint8_t> data);
+  static Result<SnapshotReader> FromFile(const std::string& path);
+
+  uint8_t U8();
+  bool Bool() { return U8() != 0; }
+  uint32_t U32();
+  uint64_t U64();
+  double F64();
+  std::string Str();
+  void VecU8(std::vector<uint8_t>* out);
+  void VecU32(std::vector<uint32_t>* out);
+  void VecU64(std::vector<uint64_t>* out);
+
+  // Scans forward from the current position for a section with `tag`,
+  // skipping unknown sections, and positions the reader at its payload.
+  // Fails the reader if the tag is not found before the enclosing region
+  // ends.
+  Status EnterSection(uint32_t tag);
+  // Jumps to the end of the innermost open section (consuming any appended
+  // fields this reader does not know about).
+  void LeaveSection();
+
+  bool ok() const { return error_.ok(); }
+  Status status() const { return error_; }
+
+ private:
+  void Fail(const std::string& message);
+  bool Need(size_t bytes);
+
+  std::vector<uint8_t> data_;
+  size_t pos_ = 0;
+  std::vector<size_t> section_ends_;
+  Status error_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_SIMCORE_SNAPSHOT_H_

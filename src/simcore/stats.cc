@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "src/simcore/snapshot.h"
+
 namespace flashsim {
 
 void RunningStats::Add(double sample) {
@@ -83,6 +85,19 @@ double RateMeter::MiBPerSec() const {
 
 void RateMeter::Reset() { *this = RateMeter(); }
 
+void RateMeter::SaveState(SnapshotWriter& w) const {
+  w.U64(total_bytes_);
+  w.U64(operations_);
+  w.U64(static_cast<uint64_t>(total_time_.nanos()));
+}
+
+Status RateMeter::LoadState(SnapshotReader& r) {
+  total_bytes_ = r.U64();
+  operations_ = r.U64();
+  total_time_ = SimDuration(static_cast<int64_t>(r.U64()));
+  return r.status();
+}
+
 void CounterSet::Increment(const std::string& name, uint64_t delta) {
   counters_[name] += delta;
 }
@@ -93,5 +108,25 @@ uint64_t CounterSet::Get(const std::string& name) const {
 }
 
 void CounterSet::Reset() { counters_.clear(); }
+
+void CounterSet::SaveState(SnapshotWriter& w) const {
+  w.U32(static_cast<uint32_t>(counters_.size()));
+  for (const auto& [name, value] : counters_) {
+    w.Str(name);
+    w.U64(value);
+  }
+}
+
+Status CounterSet::LoadState(SnapshotReader& r) {
+  for (auto& entry : counters_) {
+    entry.second = 0;
+  }
+  const uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    const std::string name = r.Str();
+    counters_[name] = r.U64();
+  }
+  return r.status();
+}
 
 }  // namespace flashsim

@@ -14,8 +14,12 @@
 #include <vector>
 
 #include "src/simcore/sim_time.h"
+#include "src/simcore/status.h"
 
 namespace flashsim {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 // Welford-style running mean/variance plus min/max.
 class RunningStats {
@@ -78,6 +82,10 @@ class RateMeter {
 
   void Reset();
 
+  // Device snapshot support.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
+
  private:
   uint64_t total_bytes_ = 0;
   uint64_t operations_ = 0;
@@ -91,6 +99,17 @@ class CounterSet {
   uint64_t Get(const std::string& name) const;
   const std::map<std::string, uint64_t>& counters() const { return counters_; }
   void Reset();
+
+  // Pre-resolved counter slot for hot paths: one map lookup at setup, then
+  // plain integer increments. Map nodes are stable, so the pointer survives
+  // later insertions (and moves of the owning CounterSet).
+  uint64_t* Slot(const std::string& name) { return &counters_[name]; }
+
+  // Device snapshot support. LoadState zeroes every existing counter and
+  // then applies the saved values in place, so pre-resolved Slot() pointers
+  // stay valid across a restore.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
 
  private:
   std::map<std::string, uint64_t> counters_;

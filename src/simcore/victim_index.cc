@@ -24,63 +24,53 @@ void BucketVictimIndex::Reset(uint32_t bucket_count, uint32_t id_limit,
   size_ = 0;
   min_bucket_ = 0;
   bucket_sizes_.assign(bucket_count, 0);
-  bits_.clear();
+  words_.clear();
+  summary_.clear();
   sets_.clear();
   if (order_ == Order::kById) {
-    bits_.resize(bucket_count);
+    words_.assign(static_cast<size_t>(bucket_count) * words_per_bucket_, 0);
+    summary_.assign(static_cast<size_t>(bucket_count) * summary_per_bucket_, 0);
   } else {
     sets_.resize(bucket_count);
   }
 }
 
-void BucketVictimIndex::EnsureBucket(uint32_t bucket) {
-  if (bucket < bucket_sizes_.size()) {
-    return;
-  }
-  bucket_sizes_.resize(bucket + 1, 0);
+void BucketVictimIndex::GrowBuckets(uint32_t bucket) {
+  const size_t count = static_cast<size_t>(bucket) + 1;
+  bucket_sizes_.resize(count, 0);
   if (order_ == Order::kById) {
-    bits_.resize(bucket + 1);
+    // Bucket keys can grow one at a time over a device's life (P/E counts),
+    // so grow the flat planes geometrically to keep the amortized cost flat.
+    const auto grow = [](std::vector<uint64_t>& plane, size_t need) {
+      if (plane.capacity() < need) {
+        plane.reserve(std::max(plane.capacity() * 2, need));
+      }
+      plane.resize(need, 0);
+    };
+    grow(words_, count * words_per_bucket_);
+    grow(summary_, count * summary_per_bucket_);
   } else {
-    sets_.resize(bucket + 1);
+    sets_.resize(count);
   }
 }
 
-void BucketVictimIndex::BitSet(BitBucket& bucket, uint32_t id) {
-  if (bucket.words.empty()) {
-    bucket.words.assign(words_per_bucket_, 0);
-    bucket.summary.assign(summary_per_bucket_, 0);
-  }
-  const uint32_t w = id >> 6;
-  assert((bucket.words[w] & (1ull << (id & 63))) == 0);
-  bucket.words[w] |= 1ull << (id & 63);
-  bucket.summary[w >> 6] |= 1ull << (w & 63);
+bool BucketVictimIndex::BitTest(uint32_t bucket, uint32_t id) const {
+  return (words_[static_cast<size_t>(bucket) * words_per_bucket_ + (id >> 6)] &
+          (1ull << (id & 63))) != 0;
 }
 
-void BucketVictimIndex::BitClear(BitBucket& bucket, uint32_t id) {
-  const uint32_t w = id >> 6;
-  assert(!bucket.words.empty() && (bucket.words[w] & (1ull << (id & 63))) != 0);
-  bucket.words[w] &= ~(1ull << (id & 63));
-  if (bucket.words[w] == 0) {
-    bucket.summary[w >> 6] &= ~(1ull << (w & 63));
-  }
-}
-
-bool BucketVictimIndex::BitTest(const BitBucket& bucket, uint32_t id) const {
-  if (bucket.words.empty()) {
-    return false;
-  }
-  return (bucket.words[id >> 6] & (1ull << (id & 63))) != 0;
-}
-
-bool BucketVictimIndex::BitFirstAtLeast(const BitBucket& bucket,
-                                        uint32_t min_id,
+bool BucketVictimIndex::BitFirstAtLeast(uint32_t bucket, uint32_t min_id,
                                         uint32_t* id_out) const {
-  if (bucket.words.empty() || min_id >= id_limit_) {
+  if (min_id >= id_limit_) {
     return false;
   }
+  const uint64_t* words =
+      words_.data() + static_cast<size_t>(bucket) * words_per_bucket_;
+  const uint64_t* summaries =
+      summary_.data() + static_cast<size_t>(bucket) * summary_per_bucket_;
   const uint32_t w0 = min_id >> 6;
   // Bits >= min_id within the starting word.
-  const uint64_t head = bucket.words[w0] & (~0ull << (min_id & 63));
+  const uint64_t head = words[w0] & (~0ull << (min_id & 63));
   if (head != 0) {
     *id_out = (w0 << 6) + static_cast<uint32_t>(__builtin_ctzll(head));
     return true;
@@ -88,7 +78,7 @@ bool BucketVictimIndex::BitFirstAtLeast(const BitBucket& bucket,
   // Later words, via the summary. The starting summary word is masked down
   // to the bits for words strictly after w0.
   for (uint32_t sw = w0 >> 6; sw < summary_per_bucket_; ++sw) {
-    uint64_t summary = bucket.summary[sw];
+    uint64_t summary = summaries[sw];
     if (sw == (w0 >> 6)) {
       const uint32_t bit = w0 & 63;
       summary = bit == 63 ? 0 : summary & (~0ull << (bit + 1));
@@ -97,46 +87,10 @@ bool BucketVictimIndex::BitFirstAtLeast(const BitBucket& bucket,
       continue;
     }
     const uint32_t w = (sw << 6) + static_cast<uint32_t>(__builtin_ctzll(summary));
-    *id_out = (w << 6) + static_cast<uint32_t>(__builtin_ctzll(bucket.words[w]));
+    *id_out = (w << 6) + static_cast<uint32_t>(__builtin_ctzll(words[w]));
     return true;
   }
   return false;
-}
-
-void BucketVictimIndex::Insert(uint32_t bucket, uint32_t id, uint64_t sort_key) {
-  assert(id < id_limit_);
-  EnsureBucket(bucket);
-  if (order_ == Order::kById) {
-    BitSet(bits_[bucket], id);
-  } else {
-    const bool inserted = sets_[bucket].emplace(sort_key, id).second;
-    assert(inserted);
-    (void)inserted;
-  }
-  ++bucket_sizes_[bucket];
-  ++size_;
-  if (bucket < min_bucket_) {
-    min_bucket_ = bucket;
-  }
-}
-
-void BucketVictimIndex::Erase(uint32_t bucket, uint32_t id, uint64_t sort_key) {
-  assert(bucket < bucket_sizes_.size() && bucket_sizes_[bucket] > 0);
-  if (order_ == Order::kById) {
-    BitClear(bits_[bucket], id);
-  } else {
-    const size_t erased = sets_[bucket].erase({sort_key, id});
-    assert(erased == 1);
-    (void)erased;
-  }
-  --bucket_sizes_[bucket];
-  --size_;
-}
-
-void BucketVictimIndex::Move(uint32_t from_bucket, uint32_t to_bucket,
-                             uint32_t id, uint64_t sort_key) {
-  Erase(from_bucket, id, sort_key);
-  Insert(to_bucket, id, sort_key);
 }
 
 bool BucketVictimIndex::Contains(uint32_t bucket, uint32_t id,
@@ -145,7 +99,7 @@ bool BucketVictimIndex::Contains(uint32_t bucket, uint32_t id,
     return false;
   }
   if (order_ == Order::kById) {
-    return BitTest(bits_[bucket], id);
+    return BitTest(bucket, id);
   }
   return sets_[bucket].count({sort_key, id}) != 0;
 }
@@ -163,7 +117,7 @@ bool BucketVictimIndex::PickMin(uint32_t limit_bucket, uint32_t* bucket_out,
     min_bucket_ = b;
     *bucket_out = b;
     if (order_ == Order::kById) {
-      const bool found = BitFirstAtLeast(bits_[b], 0, id_out);
+      const bool found = BitFirstAtLeast(b, 0, id_out);
       assert(found);
       (void)found;
     } else {
@@ -184,7 +138,7 @@ bool BucketVictimIndex::BucketMin(uint32_t bucket, uint64_t* sort_key_out,
   }
   if (order_ == Order::kById) {
     uint32_t id = 0;
-    if (!BitFirstAtLeast(bits_[bucket], 0, &id)) {
+    if (!BitFirstAtLeast(bucket, 0, &id)) {
       return false;
     }
     *sort_key_out = 0;
@@ -218,7 +172,7 @@ bool BucketVictimIndex::MinIdAtLeast(uint32_t min_id, uint32_t last_bucket,
       continue;
     }
     uint32_t id = 0;
-    if (BitFirstAtLeast(bits_[b], min_id, &id) && (!found || id < best)) {
+    if (BitFirstAtLeast(b, min_id, &id) && (!found || id < best)) {
       found = true;
       best = id;
     }

@@ -34,6 +34,7 @@
 #ifndef SRC_SIMCORE_VICTIM_INDEX_H_
 #define SRC_SIMCORE_VICTIM_INDEX_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <set>
@@ -72,10 +73,41 @@ class BucketVictimIndex {
   // consistently to Insert/Erase/Move/Contains (kById ignores them).
   void Reset(uint32_t bucket_count, uint32_t id_limit, Order order);
 
-  void Insert(uint32_t bucket, uint32_t id, uint64_t sort_key = 0);
-  void Erase(uint32_t bucket, uint32_t id, uint64_t sort_key = 0);
+  // Membership mutations run on the per-page hot path (every valid-count
+  // change of a closed block is a Move), so they are inline.
+  void Insert(uint32_t bucket, uint32_t id, uint64_t sort_key = 0) {
+    assert(id < id_limit_);
+    EnsureBucket(bucket);
+    if (order_ == Order::kById) {
+      BitSet(bucket, id);
+    } else {
+      const bool inserted = sets_[bucket].emplace(sort_key, id).second;
+      assert(inserted);
+      (void)inserted;
+    }
+    ++bucket_sizes_[bucket];
+    ++size_;
+    if (bucket < min_bucket_) {
+      min_bucket_ = bucket;
+    }
+  }
+  void Erase(uint32_t bucket, uint32_t id, uint64_t sort_key = 0) {
+    assert(bucket < bucket_sizes_.size() && bucket_sizes_[bucket] > 0);
+    if (order_ == Order::kById) {
+      BitClear(bucket, id);
+    } else {
+      const size_t erased = sets_[bucket].erase({sort_key, id});
+      assert(erased == 1);
+      (void)erased;
+    }
+    --bucket_sizes_[bucket];
+    --size_;
+  }
   void Move(uint32_t from_bucket, uint32_t to_bucket, uint32_t id,
-            uint64_t sort_key = 0);
+            uint64_t sort_key = 0) {
+    Erase(from_bucket, id, sort_key);
+    Insert(to_bucket, id, sort_key);
+  }
   bool Contains(uint32_t bucket, uint32_t id, uint64_t sort_key = 0) const;
 
   size_t size() const { return size_; }
@@ -108,23 +140,48 @@ class BucketVictimIndex {
   bool MinIdAtLeast(uint32_t min_id, uint32_t last_bucket, uint32_t* id_out,
                     uint64_t* probes_acc);
 
+  // The lazy cursor is pure acceleration state — it never changes WHICH
+  // member a query returns, only how many buckets the query probes. Snapshot
+  // restore re-applies a saved cursor after rebuilding so probe counters
+  // continue bit-exactly with the saved device.
+  uint32_t min_bucket() const { return min_bucket_; }
+  void set_min_bucket(uint32_t bucket) { min_bucket_ = bucket; }
+
  private:
-  // Per-bucket bitmap with a one-level summary: summary bit w set iff
-  // words[w] != 0. `words` is allocated on first insert, so untouched
-  // buckets cost one empty vector each.
-  struct BitBucket {
-    std::vector<uint64_t> words;
-    std::vector<uint64_t> summary;
-  };
+  // kById storage is one flat bitmap plane — words_[bucket * words_per_bucket_
+  // + w] — plus a one-level summary per bucket (summary bit w set iff the
+  // word is nonzero). Same flattening as the NAND metadata planes: the
+  // per-page Move on the GC hot path touches two rows of one contiguous
+  // array instead of chasing per-bucket vector headers.
+  void BitSet(uint32_t bucket, uint32_t id) {
+    const uint32_t w = id >> 6;
+    uint64_t& word = words_[static_cast<size_t>(bucket) * words_per_bucket_ + w];
+    assert((word & (1ull << (id & 63))) == 0);
+    word |= 1ull << (id & 63);
+    summary_[static_cast<size_t>(bucket) * summary_per_bucket_ + (w >> 6)] |=
+        1ull << (w & 63);
+  }
+  void BitClear(uint32_t bucket, uint32_t id) {
+    const uint32_t w = id >> 6;
+    uint64_t& word = words_[static_cast<size_t>(bucket) * words_per_bucket_ + w];
+    assert((word & (1ull << (id & 63))) != 0);
+    word &= ~(1ull << (id & 63));
+    if (word == 0) {
+      summary_[static_cast<size_t>(bucket) * summary_per_bucket_ + (w >> 6)] &=
+          ~(1ull << (w & 63));
+    }
+  }
+  bool BitTest(uint32_t bucket, uint32_t id) const;
+  // Lowest set id >= min_id in `bucket`, or false.
+  bool BitFirstAtLeast(uint32_t bucket, uint32_t min_id, uint32_t* id_out) const;
 
-  void BitSet(BitBucket& bucket, uint32_t id);
-  void BitClear(BitBucket& bucket, uint32_t id);
-  bool BitTest(const BitBucket& bucket, uint32_t id) const;
-  // Lowest set id >= min_id, or false.
-  bool BitFirstAtLeast(const BitBucket& bucket, uint32_t min_id,
-                       uint32_t* id_out) const;
-
-  void EnsureBucket(uint32_t bucket);
+  void EnsureBucket(uint32_t bucket) {
+    if (bucket < bucket_sizes_.size()) {
+      return;
+    }
+    GrowBuckets(bucket);
+  }
+  void GrowBuckets(uint32_t bucket);
 
   Order order_ = Order::kById;
   uint32_t id_limit_ = 0;
@@ -134,7 +191,8 @@ class BucketVictimIndex {
   // No non-empty bucket exists below this cursor; only Insert/Move lower it.
   uint32_t min_bucket_ = 0;
   std::vector<uint32_t> bucket_sizes_;
-  std::vector<BitBucket> bits_;                                    // kById
+  std::vector<uint64_t> words_;    // kById: bucket-major flat bitmap plane
+  std::vector<uint64_t> summary_;  // kById: bucket-major word-nonempty bits
   std::vector<std::set<std::pair<uint64_t, uint32_t>>> sets_;  // kBySortKeyThenId
 };
 

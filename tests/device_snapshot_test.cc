@@ -1,0 +1,361 @@
+// Device snapshot/restore (DESIGN.md §12).
+//
+// The headline property: a device saved mid-campaign and restored into a
+// freshly constructed, identically configured device continues BIT-EXACTLY
+// with the device it was saved from — same victim sequences, wear tables,
+// health registers, clock, and stats, all the way to end of life, including
+// across a power cut injected after the restore. Equality is asserted on the
+// full re-serialized snapshot bytes, which covers every serialized field at
+// once.
+//
+// Also covers the container format itself: primitive round-trips, nested
+// sections, unknown-section skip and appended-field skip (the forward-
+// compatibility policy), and geometry fingerprint rejection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/device/flash_device.h"
+#include "src/ftl/block_map_ftl.h"
+#include "src/simcore/fault_plan.h"
+#include "src/simcore/snapshot.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+std::vector<uint8_t> Serialize(const FlashDevice& device) {
+  SnapshotWriter w;
+  device.SaveState(w);
+  return w.buffer();
+}
+
+// Deterministic page-aligned single-page write stream (splitmix-style LCG).
+// Returns the number of pages written; stops early once the device refuses
+// writes (end of life) or a write fails (e.g. an armed power cut fires).
+uint64_t WritePages(FlashDevice& device, uint64_t seed, uint64_t pages,
+                    Status* first_error = nullptr) {
+  const uint64_t page = device.PageSizeBytes();
+  const uint64_t logical_pages = device.CapacityBytes() / page;
+  uint64_t x = seed;
+  for (uint64_t i = 0; i < pages; ++i) {
+    if (device.IsReadOnly()) {
+      return i;
+    }
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t lpn = (x >> 33) % logical_pages;
+    Result<IoCompletion> done =
+        device.Submit({IoKind::kWrite, lpn * page, page});
+    if (!done.ok()) {
+      if (first_error != nullptr) {
+        *first_error = done.status();
+      }
+      return i;
+    }
+  }
+  return pages;
+}
+
+TEST(SnapshotContainerTest, PrimitivesRoundTrip) {
+  SnapshotWriter w;
+  w.BeginSection(SnapshotTag("TEST"));
+  w.U8(0xab);
+  w.Bool(true);
+  w.U32(0xdeadbeefu);
+  w.U64(0x0123456789abcdefull);
+  w.F64(-1.5);
+  w.Str("flash");
+  w.VecU32({1, 2, 3});
+  w.VecU64({~0ull});
+  w.EndSection();
+
+  SnapshotReader r(w.buffer());
+  ASSERT_TRUE(r.EnterSection(SnapshotTag("TEST")).ok());
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.F64(), -1.5);
+  EXPECT_EQ(r.Str(), "flash");
+  std::vector<uint32_t> v32;
+  std::vector<uint64_t> v64;
+  r.VecU32(&v32);
+  r.VecU64(&v64);
+  EXPECT_EQ(v32, (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(v64, (std::vector<uint64_t>{~0ull}));
+  r.LeaveSection();
+  EXPECT_TRUE(r.ok());
+}
+
+// Forward compatibility: a reader skips whole sections it does not know and
+// fields appended at the end of a section it only partially consumes.
+TEST(SnapshotContainerTest, SkipsUnknownSectionsAndAppendedFields) {
+  SnapshotWriter w;
+  w.BeginSection(SnapshotTag("NEWS"));  // section from a "newer" writer
+  w.U64(123);
+  w.EndSection();
+  w.BeginSection(SnapshotTag("KNOW"));
+  w.U32(7);
+  w.U64(999);  // appended field this reader does not consume
+  w.EndSection();
+  w.BeginSection(SnapshotTag("TAIL"));
+  w.U32(42);
+  w.EndSection();
+
+  SnapshotReader r(w.buffer());
+  ASSERT_TRUE(r.EnterSection(SnapshotTag("KNOW")).ok());
+  EXPECT_EQ(r.U32(), 7u);
+  r.LeaveSection();  // jumps over the unread appended field
+  ASSERT_TRUE(r.EnterSection(SnapshotTag("TAIL")).ok());
+  EXPECT_EQ(r.U32(), 42u);
+  r.LeaveSection();
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SnapshotContainerTest, MissingSectionAndTruncationFailSticky) {
+  SnapshotWriter w;
+  w.BeginSection(SnapshotTag("ONLY"));
+  w.U32(1);
+  w.EndSection();
+
+  SnapshotReader r(w.buffer());
+  EXPECT_FALSE(r.EnterSection(SnapshotTag("GONE")).ok());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U64(), 0u);  // sticky: reads after failure return zero
+
+  std::vector<uint8_t> truncated(w.buffer().begin(), w.buffer().end() - 2);
+  SnapshotReader t(truncated);
+  ASSERT_TRUE(t.EnterSection(SnapshotTag("ONLY")).ok() || !t.ok());
+  t.U32();
+  t.U32();  // walks past the truncated end
+  EXPECT_FALSE(t.ok());
+}
+
+// Mid-campaign save/restore, then both devices continue with an identical
+// stream: the restored device must be indistinguishable from the one that
+// never stopped, down to the last serialized byte.
+TEST(DeviceSnapshotTest, PageMapRoundTripContinuesBitExact) {
+  auto continuous = MakeTinyDevice(/*seed=*/5);
+  auto interrupted = MakeTinyDevice(/*seed=*/5);
+  ASSERT_EQ(WritePages(*continuous, 77, 4000), 4000u);
+  ASSERT_EQ(WritePages(*interrupted, 77, 4000), 4000u);
+
+  // Snapshot the interrupted device and restore into a fresh one.
+  SnapshotWriter w;
+  interrupted->SaveState(w);
+  auto restored = MakeTinyDevice(/*seed=*/999);  // seed overwritten by load
+  SnapshotReader r(w.buffer());
+  ASSERT_TRUE(restored->LoadState(r).ok());
+
+  // The restored state re-serializes to the exact same bytes.
+  EXPECT_EQ(Serialize(*restored), w.buffer());
+
+  // Both continue with the same stream (GC, wear leveling, and background
+  // reclaim all fire in this range on the tiny geometry).
+  ASSERT_EQ(WritePages(*continuous, 1234, 6000), 6000u);
+  ASSERT_EQ(WritePages(*restored, 1234, 6000), 6000u);
+  EXPECT_EQ(continuous->clock().Now().nanos(), restored->clock().Now().nanos());
+  EXPECT_EQ(continuous->ftl().Stats().victim_seq_hash,
+            restored->ftl().Stats().victim_seq_hash);
+  EXPECT_EQ(Serialize(*continuous), Serialize(*restored));
+}
+
+TEST(DeviceSnapshotTest, RoundTripRunsToEndOfLifeBitExact) {
+  // Aggressively worn tiny device so EOL arrives quickly.
+  const auto make = [] {
+    NandChipConfig nand = TinyChipConfig();
+    nand.rated_pe_cycles = 40;
+    FtlConfig ftl = TinyFtlConfig();
+    ftl.health_rated_pe = 30;
+    FlashDeviceConfig dev;
+    dev.name = "tiny-eol-device";
+    dev.perf.per_request_overhead = SimDuration::Micros(100);
+    dev.perf.bus_mib_per_sec = 100.0;
+    dev.perf.effective_parallelism = 4;
+    return std::make_unique<FlashDevice>(
+        std::move(dev), std::make_unique<PageMapFtl>(nand, ftl, /*seed=*/3));
+  };
+  auto continuous = make();
+  auto interrupted = make();
+  ASSERT_EQ(WritePages(*continuous, 21, 20000), 20000u);
+  ASSERT_EQ(WritePages(*interrupted, 21, 20000), 20000u);
+
+  SnapshotWriter w;
+  interrupted->SaveState(w);
+  auto restored = make();
+  SnapshotReader r(w.buffer());
+  ASSERT_TRUE(restored->LoadState(r).ok());
+
+  // Drive both to end of life with the same stream; they must brick on the
+  // same write with identical wear tables and health registers.
+  const uint64_t kPlenty = 10u * 1000 * 1000;
+  const uint64_t done_a = WritePages(*continuous, 4242, kPlenty);
+  const uint64_t done_b = WritePages(*restored, 4242, kPlenty);
+  ASSERT_LT(done_a, kPlenty) << "device never reached end of life";
+  EXPECT_EQ(done_a, done_b);
+  EXPECT_TRUE(continuous->IsReadOnly());
+  EXPECT_TRUE(restored->IsReadOnly());
+  const NandChip& chip_a =
+      static_cast<const PageMapFtl&>(continuous->ftl()).chip();
+  const NandChip& chip_b =
+      static_cast<const PageMapFtl&>(restored->ftl()).chip();
+  const WearSummary wear_a = chip_a.ComputeWearSummary();
+  const WearSummary wear_b = chip_b.ComputeWearSummary();
+  EXPECT_EQ(wear_a.total_pe, wear_b.total_pe);
+  EXPECT_EQ(wear_a.max_pe, wear_b.max_pe);
+  EXPECT_EQ(wear_a.bad_blocks, wear_b.bad_blocks);
+  EXPECT_EQ(Serialize(*continuous), Serialize(*restored));
+}
+
+// A power cut after the restore: both devices get an identical armed rail,
+// tear on the same destructive operation, remount, and keep matching.
+TEST(DeviceSnapshotTest, PowerCutAfterRestoreMatchesContinuous) {
+  auto continuous = MakeTinyDevice(/*seed=*/9);
+  auto interrupted = MakeTinyDevice(/*seed=*/9);
+  ASSERT_EQ(WritePages(*continuous, 55, 4000), 4000u);
+  ASSERT_EQ(WritePages(*interrupted, 55, 4000), 4000u);
+
+  SnapshotWriter w;
+  interrupted->SaveState(w);
+  auto restored = MakeTinyDevice(/*seed=*/1);
+  SnapshotReader r(w.buffer());
+  ASSERT_TRUE(restored->LoadState(r).ok());
+
+  PowerRail rail_a, rail_b;
+  rail_a.Arm(FaultPlan::AtOpCount(300));
+  rail_b.Arm(FaultPlan::AtOpCount(300));
+  continuous->AttachPowerRail(&rail_a);
+  restored->AttachPowerRail(&rail_b);
+
+  Status err_a = Status::Ok();
+  Status err_b = Status::Ok();
+  const uint64_t done_a = WritePages(*continuous, 31, 4000, &err_a);
+  const uint64_t done_b = WritePages(*restored, 31, 4000, &err_b);
+  EXPECT_EQ(done_a, done_b);
+  ASSERT_EQ(err_a.code(), StatusCode::kPowerLoss);
+  ASSERT_EQ(err_b.code(), StatusCode::kPowerLoss);
+  EXPECT_EQ(rail_a.cuts_delivered(), 1u);
+  EXPECT_EQ(rail_b.cuts_delivered(), 1u);
+
+  rail_a.Restore();
+  rail_b.Restore();
+  Result<RecoveryReport> rep_a = continuous->Remount();
+  Result<RecoveryReport> rep_b = restored->Remount();
+  ASSERT_TRUE(rep_a.ok());
+  ASSERT_TRUE(rep_b.ok());
+  EXPECT_EQ(rep_a.value().torn_pages_discarded,
+            rep_b.value().torn_pages_discarded);
+
+  ASSERT_EQ(WritePages(*continuous, 616, 3000), 3000u);
+  ASSERT_EQ(WritePages(*restored, 616, 3000), 3000u);
+  EXPECT_EQ(Serialize(*continuous), Serialize(*restored));
+}
+
+TEST(DeviceSnapshotTest, HybridRoundTripContinuesBitExact) {
+  const auto make = [](uint64_t seed) {
+    FlashDeviceConfig dev;
+    dev.name = "tiny-hybrid-device";
+    dev.perf.per_request_overhead = SimDuration::Micros(100);
+    dev.perf.bus_mib_per_sec = 100.0;
+    dev.perf.effective_parallelism = 4;
+    return std::make_unique<FlashDevice>(std::move(dev), MakeTinyHybrid(seed));
+  };
+  auto continuous = make(5);
+  auto interrupted = make(5);
+  // Enough traffic to fill and evict cache blocks repeatedly (and typically
+  // enter merged mode on the tiny geometry).
+  ASSERT_EQ(WritePages(*continuous, 88, 6000), 6000u);
+  ASSERT_EQ(WritePages(*interrupted, 88, 6000), 6000u);
+
+  SnapshotWriter w;
+  interrupted->SaveState(w);
+  auto restored = make(123);
+  SnapshotReader r(w.buffer());
+  ASSERT_TRUE(restored->LoadState(r).ok());
+  EXPECT_EQ(Serialize(*restored), w.buffer());
+
+  ASSERT_EQ(WritePages(*continuous, 4321, 6000), 6000u);
+  ASSERT_EQ(WritePages(*restored, 4321, 6000), 6000u);
+  EXPECT_EQ(continuous->clock().Now().nanos(), restored->clock().Now().nanos());
+  EXPECT_EQ(Serialize(*continuous), Serialize(*restored));
+}
+
+TEST(DeviceSnapshotTest, BlockMapRoundTripContinuesBitExact) {
+  NandChipConfig nand = TinyChipConfig();
+  BlockMapFtlConfig config;
+  const auto drive = [](BlockMapFtl& ftl, uint64_t seed, uint64_t pages) {
+    const uint64_t logical = ftl.LogicalPageCount();
+    uint64_t x = seed;
+    for (uint64_t i = 0; i < pages; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      // Half sequential-ish runs (switch merges), half random (full merges).
+      const uint64_t lpn = (x >> 33) % logical;
+      ASSERT_TRUE(ftl.WritePage(lpn).ok());
+    }
+  };
+  BlockMapFtl continuous(nand, config, /*seed=*/7);
+  BlockMapFtl interrupted(nand, config, /*seed=*/7);
+  drive(continuous, 14, 3000);
+  drive(interrupted, 14, 3000);
+
+  SnapshotWriter w;
+  interrupted.SaveState(w);
+  BlockMapFtl restored(nand, config, /*seed=*/99);
+  SnapshotReader r(w.buffer());
+  ASSERT_TRUE(restored.LoadState(r).ok());
+
+  drive(continuous, 2718, 3000);
+  drive(restored, 2718, 3000);
+  EXPECT_EQ(continuous.full_merges(), restored.full_merges());
+  EXPECT_EQ(continuous.switch_merges(), restored.switch_merges());
+  SnapshotWriter wa, wb;
+  continuous.SaveState(wa);
+  restored.SaveState(wb);
+  EXPECT_EQ(wa.buffer(), wb.buffer());
+}
+
+TEST(DeviceSnapshotTest, MismatchedGeometryIsRejected) {
+  auto device = MakeTinyDevice(/*seed=*/2);
+  ASSERT_EQ(WritePages(*device, 3, 500), 500u);
+  SnapshotWriter w;
+  device->SaveState(w);
+
+  // Same device name, different chip geometry.
+  NandChipConfig nand = TinyChipConfig();
+  nand.blocks_per_die = 32;
+  FlashDeviceConfig dev;
+  dev.name = "tiny-device";
+  dev.perf.per_request_overhead = SimDuration::Micros(100);
+  dev.perf.bus_mib_per_sec = 100.0;
+  dev.perf.effective_parallelism = 4;
+  FlashDevice wrong_geometry(
+      std::move(dev), std::make_unique<PageMapFtl>(nand, TinyFtlConfig(), 2));
+  SnapshotReader r(w.buffer());
+  EXPECT_EQ(wrong_geometry.LoadState(r).code(), StatusCode::kFailedPrecondition);
+
+  // Different device name.
+  auto other = MakeDurableDevice(/*seed=*/2);
+  SnapshotReader r2(w.buffer());
+  EXPECT_EQ(other->LoadState(r2).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DeviceSnapshotTest, FileRoundTrip) {
+  auto device = MakeTinyDevice(/*seed=*/4);
+  ASSERT_EQ(WritePages(*device, 17, 1000), 1000u);
+  const std::string path = testing::TempDir() + "/device_snapshot_test.fsnp";
+  ASSERT_TRUE(device->SaveSnapshotFile(path).ok());
+
+  auto restored = MakeTinyDevice(/*seed=*/4);
+  ASSERT_TRUE(restored->LoadSnapshotFile(path).ok());
+  EXPECT_EQ(Serialize(*device), Serialize(*restored));
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(
+      restored->LoadSnapshotFile(testing::TempDir() + "/missing.fsnp").ok());
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -5,8 +5,16 @@
 namespace flashsim {
 namespace {
 
+// Standalone block for unit tests: Init()s `planes` for one block and views
+// it at base 0.
+NandBlock MakeTestBlock(PageMetaPlanes& planes, uint32_t pages_per_block) {
+  planes.Init(pages_per_block);
+  return NandBlock(planes, 0, pages_per_block);
+}
+
 TEST(NandBlockTest, StartsErased) {
-  NandBlock blk(8);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 8);
   EXPECT_TRUE(blk.IsErased());
   EXPECT_FALSE(blk.IsFull());
   EXPECT_EQ(blk.pe_cycles(), 0u);
@@ -15,7 +23,8 @@ TEST(NandBlockTest, StartsErased) {
 }
 
 TEST(NandBlockTest, InOrderProgramming) {
-  NandBlock blk(4);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 4);
   EXPECT_TRUE(blk.ProgramPage(0, 100).ok());
   EXPECT_TRUE(blk.ProgramPage(1, 101).ok());
   // Skipping ahead violates the in-order rule.
@@ -25,7 +34,8 @@ TEST(NandBlockTest, InOrderProgramming) {
 }
 
 TEST(NandBlockTest, FillsUp) {
-  NandBlock blk(3);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 3);
   for (uint32_t p = 0; p < 3; ++p) {
     ASSERT_TRUE(blk.ProgramPage(p, p).ok());
   }
@@ -34,7 +44,8 @@ TEST(NandBlockTest, FillsUp) {
 }
 
 TEST(NandBlockTest, ReadTagRoundtrip) {
-  NandBlock blk(4);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 4);
   ASSERT_TRUE(blk.ProgramPage(0, 0xdeadbeef).ok());
   Result<uint64_t> tag = blk.ReadTag(0);
   ASSERT_TRUE(tag.ok());
@@ -42,13 +53,15 @@ TEST(NandBlockTest, ReadTagRoundtrip) {
 }
 
 TEST(NandBlockTest, ReadUnprogrammedFails) {
-  NandBlock blk(4);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 4);
   EXPECT_EQ(blk.ReadTag(0).status().code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(blk.ReadTag(9).status().code(), StatusCode::kOutOfRange);
 }
 
 TEST(NandBlockTest, EraseResetsAndCharges) {
-  NandBlock blk(4);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 4);
   ASSERT_TRUE(blk.ProgramPage(0, 1).ok());
   ASSERT_TRUE(blk.Erase().ok());
   EXPECT_TRUE(blk.IsErased());
@@ -59,7 +72,8 @@ TEST(NandBlockTest, EraseResetsAndCharges) {
 }
 
 TEST(NandBlockTest, EraseWearWeight) {
-  NandBlock blk(4);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 4);
   ASSERT_TRUE(blk.Erase(5).ok());
   EXPECT_EQ(blk.pe_cycles(), 5u);
   ASSERT_TRUE(blk.Erase(0).ok());
@@ -67,14 +81,16 @@ TEST(NandBlockTest, EraseWearWeight) {
 }
 
 TEST(NandBlockTest, BadBlockRejectsEverything) {
-  NandBlock blk(4);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 4);
   blk.MarkBad();
   EXPECT_EQ(blk.ProgramPage(0, 1).code(), StatusCode::kUnavailable);
   EXPECT_EQ(blk.Erase().code(), StatusCode::kUnavailable);
 }
 
 TEST(NandBlockTest, IsProgrammedTracksWritePointer) {
-  NandBlock blk(4);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 4);
   ASSERT_TRUE(blk.ProgramPage(0, 1).ok());
   ASSERT_TRUE(blk.ProgramPage(1, 2).ok());
   EXPECT_TRUE(blk.IsProgrammed(0));

@@ -6,8 +6,16 @@
 namespace flashsim {
 namespace {
 
+// Standalone block for unit tests: Init()s `planes` for one block and views
+// it at base 0.
+NandBlock MakeTestBlock(PageMetaPlanes& planes, uint32_t pages_per_block) {
+  planes.Init(pages_per_block);
+  return NandBlock(planes, 0, pages_per_block);
+}
+
 TEST(HealingTest, HealRecoversFractionOfWear) {
-  NandBlock blk(8);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 8);
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(blk.Erase().ok());
   }
@@ -19,7 +27,8 @@ TEST(HealingTest, HealRecoversFractionOfWear) {
 }
 
 TEST(HealingTest, HealClampsFraction) {
-  NandBlock blk(8);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 8);
   ASSERT_TRUE(blk.Erase(10).ok());
   blk.Heal(5.0);  // clamped to 1.0
   EXPECT_EQ(blk.pe_cycles(), 0u);
@@ -31,7 +40,8 @@ TEST(HealingTest, HealClampsFraction) {
 }
 
 TEST(HealingTest, BadBlocksStayBad) {
-  NandBlock blk(8);
+  PageMetaPlanes planes;
+  NandBlock blk = MakeTestBlock(planes, 8);
   ASSERT_TRUE(blk.Erase(50).ok());
   blk.MarkBad();
   blk.Heal(1.0);

@@ -13,6 +13,13 @@
 namespace flashsim {
 namespace {
 
+// Standalone block for unit tests: Init()s `planes` for one block and views
+// it at base 0.
+NandBlock MakeTestBlock(PageMetaPlanes& planes, uint32_t pages_per_block) {
+  planes.Init(pages_per_block);
+  return NandBlock(planes, 0, pages_per_block);
+}
+
 // --- FaultPlan / PowerRail --------------------------------------------------
 
 TEST(FaultPlanTest, AtOpCountFiresOnExactlyTheNthOp) {
@@ -98,7 +105,8 @@ TEST(FaultPlanTest, RandomOpInWindowIsSeedDeterministicAndInRange) {
 // --- NAND torn states -------------------------------------------------------
 
 TEST(NandTornTest, TornProgramConsumesPageAndReadsAsDataLoss) {
-  NandBlock block(8);
+  PageMetaPlanes planes;
+  NandBlock block = MakeTestBlock(planes, 8);
   ASSERT_TRUE(block.ProgramPage(0, /*tag=*/7, /*seq=*/1).ok());
   ASSERT_TRUE(block.ProgramTorn(1).ok());
   EXPECT_EQ(block.write_pointer(), 2u) << "torn program still consumes a page";
@@ -116,7 +124,8 @@ TEST(NandTornTest, TornProgramConsumesPageAndReadsAsDataLoss) {
 }
 
 TEST(NandTornTest, TornEraseLeavesBlockUnusableUntilCompletedErase) {
-  NandBlock block(8);
+  PageMetaPlanes planes;
+  NandBlock block = MakeTestBlock(planes, 8);
   ASSERT_TRUE(block.ProgramPage(0, /*tag=*/3, /*seq=*/1).ok());
   ASSERT_TRUE(block.ProgramPage(1, /*tag=*/4, /*seq=*/2).ok());
   const uint32_t pe_before = block.pe_cycles();

@@ -1,0 +1,134 @@
+// ScratchBuffer semantics plus the zero-steady-state-allocation invariant
+// (DESIGN.md §12): after a warm-up pass, the bulk I/O paths must not
+// reallocate their per-op scratch buffers, no matter how many more
+// same-shaped operations run.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/blockdev/block_device.h"
+#include "src/simcore/scratch.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+TEST(ScratchBufferTest, CountsGrowthOnlyWhenCapacityIncreases) {
+  ScratchBuffer<uint64_t> buf;
+  EXPECT_EQ(buf.grow_count(), 0u);
+
+  uint64_t* p = buf.Acquire(16);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(buf.grow_count(), 1u);
+
+  // Same or smaller size: no new allocation.
+  buf.Acquire(16);
+  buf.Acquire(4);
+  buf.AcquireZeroed(16);
+  EXPECT_EQ(buf.grow_count(), 1u);
+
+  // Larger size: exactly one more.
+  buf.Acquire(17);
+  EXPECT_EQ(buf.grow_count(), 2u);
+
+  // Geometric growth: capacity doubled to 32, so 32 still fits.
+  buf.Acquire(32);
+  EXPECT_EQ(buf.grow_count(), 2u);
+}
+
+TEST(ScratchBufferTest, AcquireZeroedValueInitializes) {
+  ScratchBuffer<int> buf;
+  int* p = buf.Acquire(8);
+  for (int k = 0; k < 8; ++k) {
+    p[k] = k + 1;
+  }
+  p = buf.AcquireZeroed(8);
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(p[k], 0);
+  }
+}
+
+TEST(ScratchBufferTest, DetectsPushBackGrowth) {
+  ScratchBuffer<uint64_t> buf;
+  std::vector<uint64_t>& vec = buf.AcquireEmpty();
+  for (uint64_t k = 0; k < 100; ++k) {
+    vec.push_back(k);
+  }
+  // push_back growth is visible immediately through grow_count()...
+  EXPECT_GE(buf.grow_count(), 1u);
+  const uint64_t after_fill = buf.grow_count();
+
+  // ...and refilling to the same size within the retained capacity is free.
+  std::vector<uint64_t>& again = buf.AcquireEmpty();
+  EXPECT_EQ(again.size(), 0u);
+  for (uint64_t k = 0; k < 100; ++k) {
+    again.push_back(k);
+  }
+  EXPECT_EQ(buf.grow_count(), after_fill);
+}
+
+// Drives `batches` groups of `group` page-sized writes through SubmitBatch.
+void DriveBatches(FlashDevice& device, uint64_t seed, int batches, int group) {
+  const uint32_t page = device.PageSizeBytes();
+  const uint64_t pages = device.CapacityBytes() / page;
+  uint64_t x = seed;
+  std::vector<IoRequest> reqs(group);
+  for (int b = 0; b < batches; ++b) {
+    for (int r = 0; r < group; ++r) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      reqs[r] = IoRequest{IoKind::kWrite, ((x >> 33) % pages) * page, page};
+    }
+    BatchCompletion done = device.SubmitBatch(reqs.data(), reqs.size());
+    ASSERT_TRUE(done.status.ok());
+  }
+}
+
+TEST(ScratchSteadyStateTest, DeviceBatchPathStopsAllocatingAfterWarmup) {
+  auto device = MakeTinyDevice(/*seed=*/7);
+  DriveBatches(*device, 7, /*batches=*/4, /*group=*/64);
+  const uint64_t warm = device->ScratchGrowCount();
+  EXPECT_GE(warm, 1u);  // the warm-up itself had to allocate
+
+  DriveBatches(*device, 99, /*batches=*/64, /*group=*/64);
+  EXPECT_EQ(device->ScratchGrowCount(), warm);
+
+  // Smaller batches must also be free.
+  DriveBatches(*device, 123, /*batches=*/32, /*group=*/8);
+  EXPECT_EQ(device->ScratchGrowCount(), warm);
+}
+
+TEST(ScratchSteadyStateTest, PageMapWritePagesStopsAllocatingAfterWarmup) {
+  auto ftl = MakeTinyFtl(/*seed=*/3);
+  const uint64_t pages = ftl->LogicalPageCount();
+  ASSERT_TRUE(ftl->WritePages(0, 64).ok());
+  const uint64_t warm = ftl->ScratchGrowCount();
+  EXPECT_GE(warm, 1u);
+
+  uint64_t x = 5;
+  for (int k = 0; k < 200; ++k) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t lpn = (x >> 33) % (pages - 64);
+    ASSERT_TRUE(ftl->WritePages(lpn, 1 + (x % 64)).ok());
+  }
+  EXPECT_EQ(ftl->ScratchGrowCount(), warm);
+}
+
+TEST(ScratchSteadyStateTest, HybridWritePagesStopsAllocatingAfterWarmup) {
+  auto ftl = MakeTinyHybrid(/*seed=*/3);
+  const uint64_t pages = ftl->LogicalPageCount();
+  ASSERT_TRUE(ftl->WritePages(0, 64).ok());
+  const uint64_t warm = ftl->ScratchGrowCount();
+  EXPECT_GE(warm, 1u);
+
+  uint64_t x = 11;
+  for (int k = 0; k < 200; ++k) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t lpn = (x >> 33) % (pages - 64);
+    ASSERT_TRUE(ftl->WritePages(lpn, 1 + (x % 64)).ok());
+  }
+  EXPECT_EQ(ftl->ScratchGrowCount(), warm);
+}
+
+}  // namespace
+}  // namespace flashsim
