@@ -72,10 +72,6 @@ int main(int argc, char** argv) {
               spec.name.c_str(), run_count, spec.grids.size(), threads,
               threads == 1 ? "" : "s");
 
-  CampaignRunOptions options;
-  options.threads = threads;
-  const CampaignOutcome outcome = RunCampaign(spec, options);
-
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   if (ec) {
@@ -85,27 +81,41 @@ int main(int argc, char** argv) {
   }
   const std::string json_path = out_dir + "/" + spec.name + ".json";
   const std::string csv_path = out_dir + "/" + spec.name + ".csv";
-  {
-    std::ofstream json(json_path);
-    WriteCampaignJson(json, outcome);
-  }
-  {
-    std::ofstream csv(csv_path);
-    WriteCampaignCsv(csv, outcome);
+  std::ofstream json(json_path);
+  std::ofstream csv(csv_path);
+  if (!json || !csv) {
+    std::fprintf(stderr, "error: cannot open reports under %s\n",
+                 out_dir.c_str());
+    return 1;
   }
 
+  // Stream every finished run straight into the report writers: records are
+  // serialized in index order as they complete and then dropped, so memory
+  // stays O(threads) no matter how large the grid is.
+  CampaignJsonStream json_stream(json);
+  CampaignCsvStream csv_stream(csv);
+  CampaignSummaryStream summary;
+  json_stream.Begin(spec.name, spec.seed);
+  csv_stream.Begin();
+
+  CampaignRunOptions options;
+  options.threads = threads;
+  const CampaignStreamResult result = RunCampaignStreaming(
+      spec, options, [&](RunRecord&& run) {
+        json_stream.AddRun(run);
+        csv_stream.AddRun(run);
+        if (!quiet) {
+          summary.AddRun(run);
+        }
+      });
+  json_stream.Finish();
+
   if (!quiet) {
-    PrintCampaignSummary(std::cout, outcome);
-  }
-  size_t failed = 0;
-  for (const RunRecord& run : outcome.runs) {
-    if (!run.status.ok() && !run.bricked) {
-      ++failed;
-    }
+    summary.Finish(std::cout);
   }
   std::printf("\n%zu/%zu runs ok (%zu hard failures), wall %.2f s\n",
-              outcome.runs.size() - failed, outcome.runs.size(), failed,
-              outcome.wall_seconds);
+              result.run_count - result.hard_failures, result.run_count,
+              result.hard_failures, result.wall_seconds);
   std::printf("reports: %s  %s\n", json_path.c_str(), csv_path.c_str());
-  return failed == 0 ? 0 : 1;
+  return result.hard_failures == 0 ? 0 : 1;
 }

@@ -50,4 +50,16 @@ if [[ "${FLASHSIM_SKIP_PERF_GATE:-0}" != "1" ]]; then
   }'
 fi
 
+echo "=== fleet-smoke: 1k devices, --threads 1 vs 4 must be byte-identical ==="
+mkdir -p build-release/fleet_out
+./build-release/bench/fleet --spec examples/specs/fleet_smoke.spec --threads 1 \
+  --out build-release/fleet_out/smoke_t1.json --quiet
+(cd build-release && ./bench/fleet --spec ../examples/specs/fleet_smoke.spec --threads 4 \
+  --out fleet_out/smoke_t4.json --ci --quiet)
+if ! diff build-release/fleet_out/smoke_t1.json build-release/fleet_out/smoke_t4.json; then
+  echo "fleet-smoke FAIL: report differs between --threads 1 and --threads 4" >&2
+  exit 1
+fi
+echo "fleet-smoke ok: reports byte-identical ($(wc -c < build-release/fleet_out/smoke_t1.json) bytes)"
+
 echo "CI OK"

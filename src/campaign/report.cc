@@ -1,12 +1,12 @@
 #include "src/campaign/report.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/wearlab/csv.h"
-#include "src/wearlab/report.h"
 
 namespace flashsim {
 
@@ -49,178 +49,200 @@ std::string JsonStr(const std::string& value) {
 
 const char* JsonBool(bool value) { return value ? "true" : "false"; }
 
-// Per-grid aggregate, accumulated in run-index order.
-struct GridAggregate {
-  std::string name;
-  size_t runs = 0;
-  size_t failed = 0;
-  uint64_t bytes_written = 0;
-  uint64_t bytes_read = 0;
-  double sum_write_mib_per_sec = 0.0;
-  double min_write_mib_per_sec = 0.0;
-  double max_write_mib_per_sec = 0.0;
-  size_t reached_target = 0;
-  size_t bricked = 0;
-};
-
-std::vector<GridAggregate> Aggregate(const CampaignOutcome& outcome) {
-  std::vector<GridAggregate> grids;
-  for (const RunRecord& run : outcome.runs) {
-    GridAggregate* agg = nullptr;
-    for (GridAggregate& g : grids) {
-      if (g.name == run.grid) {
-        agg = &g;
-        break;
-      }
-    }
-    if (agg == nullptr) {
-      grids.push_back(GridAggregate{});
-      agg = &grids.back();
-      agg->name = run.grid;
-      agg->min_write_mib_per_sec = run.write_mib_per_sec;
-      agg->max_write_mib_per_sec = run.write_mib_per_sec;
-    }
-    ++agg->runs;
-    if (!run.status.ok() && !run.bricked) {
-      ++agg->failed;
-    }
-    agg->bytes_written += run.bytes_written;
-    agg->bytes_read += run.bytes_read;
-    agg->sum_write_mib_per_sec += run.write_mib_per_sec;
-    agg->min_write_mib_per_sec =
-        std::min(agg->min_write_mib_per_sec, run.write_mib_per_sec);
-    agg->max_write_mib_per_sec =
-        std::max(agg->max_write_mib_per_sec, run.write_mib_per_sec);
-    if (run.reached_target) {
-      ++agg->reached_target;
-    }
-    if (run.bricked) {
-      ++agg->bricked;
+void FoldIntoGrids(std::vector<CampaignGridAggregate>* grids,
+                   const RunRecord& run) {
+  CampaignGridAggregate* agg = nullptr;
+  for (CampaignGridAggregate& g : *grids) {
+    if (g.name == run.grid) {
+      agg = &g;
+      break;
     }
   }
-  return grids;
+  if (agg == nullptr) {
+    grids->push_back(CampaignGridAggregate{});
+    agg = &grids->back();
+    agg->name = run.grid;
+    agg->min_write_mib_per_sec = run.write_mib_per_sec;
+    agg->max_write_mib_per_sec = run.write_mib_per_sec;
+  }
+  ++agg->runs;
+  if (!run.status.ok() && !run.bricked) {
+    ++agg->failed;
+  }
+  agg->bytes_written += run.bytes_written;
+  agg->bytes_read += run.bytes_read;
+  agg->sum_write_mib_per_sec += run.write_mib_per_sec;
+  agg->min_write_mib_per_sec =
+      std::min(agg->min_write_mib_per_sec, run.write_mib_per_sec);
+  agg->max_write_mib_per_sec =
+      std::max(agg->max_write_mib_per_sec, run.write_mib_per_sec);
+  if (run.reached_target) {
+    ++agg->reached_target;
+  }
+  if (run.bricked) {
+    ++agg->bricked;
+  }
 }
 
 }  // namespace
 
-void WriteCampaignJson(std::ostream& os, const CampaignOutcome& outcome) {
-  os << "{\n";
-  os << "  \"campaign\": " << JsonStr(outcome.name) << ",\n";
-  os << "  \"seed\": " << JsonNum(static_cast<uint64_t>(outcome.seed)) << ",\n";
-  os << "  \"runs\": [\n";
-  for (size_t i = 0; i < outcome.runs.size(); ++i) {
-    const RunRecord& run = outcome.runs[i];
-    os << "    {\n";
-    os << "      \"index\": " << JsonNum(static_cast<uint64_t>(run.index)) << ",\n";
-    os << "      \"grid\": " << JsonStr(run.grid) << ",\n";
-    os << "      \"layer\": " << JsonStr(run.layer) << ",\n";
-    os << "      \"metric\": " << JsonStr(run.metric) << ",\n";
-    os << "      \"device\": " << JsonStr(run.device) << ",\n";
-    os << "      \"fs\": " << JsonStr(run.fs) << ",\n";
-    os << "      \"workload\": " << JsonStr(run.workload) << ",\n";
-    os << "      \"seed\": " << JsonNum(run.seed) << ",\n";
-    os << "      \"status\": " << JsonStr(run.status.ok() ? "OK" : run.status.ToString())
-       << ",\n";
-    os << "      \"requests\": " << JsonNum(run.requests) << ",\n";
-    os << "      \"bytes_written\": " << JsonNum(run.bytes_written) << ",\n";
-    os << "      \"bytes_read\": " << JsonNum(run.bytes_read) << ",\n";
-    os << "      \"sim_seconds\": " << JsonNum(run.sim_seconds) << ",\n";
-    os << "      \"io_seconds\": " << JsonNum(run.io_seconds) << ",\n";
-    os << "      \"write_mib_per_sec\": " << JsonNum(run.write_mib_per_sec) << ",\n";
-    os << "      \"device_wa\": " << JsonNum(run.device_wa) << ",\n";
-    os << "      \"fs_wa\": " << JsonNum(run.fs_wa) << ",\n";
-    os << "      \"gc_picks\": " << JsonNum(run.gc_picks) << ",\n";
-    os << "      \"gc_candidates_examined\": " << JsonNum(run.gc_candidates) << ",\n";
-    os << "      \"victim_index_rebuilds\": " << JsonNum(run.victim_index_rebuilds)
-       << ",\n";
-    os << "      \"cleaner_picks\": " << JsonNum(run.cleaner_picks) << ",\n";
-    os << "      \"cleaner_candidates_examined\": " << JsonNum(run.cleaner_candidates)
-       << ",\n";
-    os << "      \"level_a\": " << JsonNum(static_cast<uint64_t>(run.level_a)) << ",\n";
-    os << "      \"level_b\": " << JsonNum(static_cast<uint64_t>(run.level_b)) << ",\n";
-    os << "      \"reached_target\": " << JsonBool(run.reached_target) << ",\n";
-    os << "      \"bricked\": " << JsonBool(run.bricked) << ",\n";
-    os << "      \"volume_factor\": " << JsonNum(run.volume_factor) << ",\n";
-    os << "      \"levels\": [";
-    for (size_t j = 0; j < run.levels.size(); ++j) {
-      const WorkloadLevelRow& row = run.levels[j];
-      os << (j == 0 ? "" : ", ") << "{\"level\": "
-         << JsonNum(static_cast<uint64_t>(row.level))
-         << ", \"host_bytes\": " << JsonNum(row.host_bytes)
-         << ", \"hours\": " << JsonNum(row.hours) << "}";
-    }
-    os << "]\n";
-    os << "    }" << (i + 1 < outcome.runs.size() ? "," : "") << "\n";
+void CampaignJsonStream::Begin(const std::string& name, uint64_t seed) {
+  os_ << "{\n";
+  os_ << "  \"campaign\": " << JsonStr(name) << ",\n";
+  os_ << "  \"seed\": " << JsonNum(seed) << ",\n";
+  os_ << "  \"runs\": [\n";
+}
+
+void CampaignJsonStream::AddRun(const RunRecord& run) {
+  // The previous row's terminator is held back until we know whether another
+  // row follows; Finish() emits the final "}" without a comma.
+  if (any_run_) {
+    os_ << "    },\n";
   }
-  os << "  ],\n";
-  os << "  \"grids\": [\n";
-  const std::vector<GridAggregate> grids = Aggregate(outcome);
-  for (size_t i = 0; i < grids.size(); ++i) {
-    const GridAggregate& g = grids[i];
+  any_run_ = true;
+  FoldIntoGrids(&grids_, run);
+
+  os_ << "    {\n";
+  os_ << "      \"index\": " << JsonNum(static_cast<uint64_t>(run.index)) << ",\n";
+  os_ << "      \"grid\": " << JsonStr(run.grid) << ",\n";
+  os_ << "      \"layer\": " << JsonStr(run.layer) << ",\n";
+  os_ << "      \"metric\": " << JsonStr(run.metric) << ",\n";
+  os_ << "      \"device\": " << JsonStr(run.device) << ",\n";
+  os_ << "      \"fs\": " << JsonStr(run.fs) << ",\n";
+  os_ << "      \"workload\": " << JsonStr(run.workload) << ",\n";
+  os_ << "      \"seed\": " << JsonNum(run.seed) << ",\n";
+  os_ << "      \"status\": " << JsonStr(run.status.ok() ? "OK" : run.status.ToString())
+      << ",\n";
+  os_ << "      \"requests\": " << JsonNum(run.requests) << ",\n";
+  os_ << "      \"bytes_written\": " << JsonNum(run.bytes_written) << ",\n";
+  os_ << "      \"bytes_read\": " << JsonNum(run.bytes_read) << ",\n";
+  os_ << "      \"sim_seconds\": " << JsonNum(run.sim_seconds) << ",\n";
+  os_ << "      \"io_seconds\": " << JsonNum(run.io_seconds) << ",\n";
+  os_ << "      \"write_mib_per_sec\": " << JsonNum(run.write_mib_per_sec) << ",\n";
+  os_ << "      \"device_wa\": " << JsonNum(run.device_wa) << ",\n";
+  os_ << "      \"fs_wa\": " << JsonNum(run.fs_wa) << ",\n";
+  os_ << "      \"gc_picks\": " << JsonNum(run.gc_picks) << ",\n";
+  os_ << "      \"gc_candidates_examined\": " << JsonNum(run.gc_candidates) << ",\n";
+  os_ << "      \"victim_index_rebuilds\": " << JsonNum(run.victim_index_rebuilds)
+      << ",\n";
+  os_ << "      \"cleaner_picks\": " << JsonNum(run.cleaner_picks) << ",\n";
+  os_ << "      \"cleaner_candidates_examined\": " << JsonNum(run.cleaner_candidates)
+      << ",\n";
+  os_ << "      \"level_a\": " << JsonNum(static_cast<uint64_t>(run.level_a)) << ",\n";
+  os_ << "      \"level_b\": " << JsonNum(static_cast<uint64_t>(run.level_b)) << ",\n";
+  os_ << "      \"reached_target\": " << JsonBool(run.reached_target) << ",\n";
+  os_ << "      \"bricked\": " << JsonBool(run.bricked) << ",\n";
+  os_ << "      \"volume_factor\": " << JsonNum(run.volume_factor) << ",\n";
+  os_ << "      \"levels\": [";
+  for (size_t j = 0; j < run.levels.size(); ++j) {
+    const WorkloadLevelRow& row = run.levels[j];
+    os_ << (j == 0 ? "" : ", ") << "{\"level\": "
+        << JsonNum(static_cast<uint64_t>(row.level))
+        << ", \"host_bytes\": " << JsonNum(row.host_bytes)
+        << ", \"hours\": " << JsonNum(row.hours) << "}";
+  }
+  os_ << "]\n";
+}
+
+void CampaignJsonStream::Finish() {
+  if (any_run_) {
+    os_ << "    }\n";
+  }
+  os_ << "  ],\n";
+  os_ << "  \"grids\": [\n";
+  for (size_t i = 0; i < grids_.size(); ++i) {
+    const CampaignGridAggregate& g = grids_[i];
     const double mean = g.runs > 0
                             ? g.sum_write_mib_per_sec / static_cast<double>(g.runs)
                             : 0.0;
-    os << "    {\"grid\": " << JsonStr(g.name)
-       << ", \"runs\": " << JsonNum(static_cast<uint64_t>(g.runs))
-       << ", \"failed\": " << JsonNum(static_cast<uint64_t>(g.failed))
-       << ", \"bytes_written\": " << JsonNum(g.bytes_written)
-       << ", \"bytes_read\": " << JsonNum(g.bytes_read)
-       << ", \"write_mib_per_sec_min\": " << JsonNum(g.min_write_mib_per_sec)
-       << ", \"write_mib_per_sec_mean\": " << JsonNum(mean)
-       << ", \"write_mib_per_sec_max\": " << JsonNum(g.max_write_mib_per_sec)
-       << ", \"reached_target\": " << JsonNum(static_cast<uint64_t>(g.reached_target))
-       << ", \"bricked\": " << JsonNum(static_cast<uint64_t>(g.bricked)) << "}"
-       << (i + 1 < grids.size() ? "," : "") << "\n";
+    os_ << "    {\"grid\": " << JsonStr(g.name)
+        << ", \"runs\": " << JsonNum(static_cast<uint64_t>(g.runs))
+        << ", \"failed\": " << JsonNum(static_cast<uint64_t>(g.failed))
+        << ", \"bytes_written\": " << JsonNum(g.bytes_written)
+        << ", \"bytes_read\": " << JsonNum(g.bytes_read)
+        << ", \"write_mib_per_sec_min\": " << JsonNum(g.min_write_mib_per_sec)
+        << ", \"write_mib_per_sec_mean\": " << JsonNum(mean)
+        << ", \"write_mib_per_sec_max\": " << JsonNum(g.max_write_mib_per_sec)
+        << ", \"reached_target\": " << JsonNum(static_cast<uint64_t>(g.reached_target))
+        << ", \"bricked\": " << JsonNum(static_cast<uint64_t>(g.bricked)) << "}"
+        << (i + 1 < grids_.size() ? "," : "") << "\n";
   }
-  os << "  ]\n";
-  os << "}\n";
+  os_ << "  ]\n";
+  os_ << "}\n";
+}
+
+void CampaignCsvStream::Begin() {
+  WriteCsvRow(os_, {"index", "grid", "layer", "metric", "device", "fs", "workload",
+                    "seed", "status", "requests", "bytes_written", "bytes_read",
+                    "sim_seconds", "write_mib_per_sec", "device_wa", "fs_wa",
+                    "gc_picks", "gc_candidates_examined", "victim_index_rebuilds",
+                    "cleaner_picks", "cleaner_candidates_examined",
+                    "level_a", "level_b", "reached_target", "bricked",
+                    "volume_factor"});
+}
+
+void CampaignCsvStream::AddRun(const RunRecord& run) {
+  WriteCsvRow(
+      os_, {JsonNum(static_cast<uint64_t>(run.index)), run.grid, run.layer,
+            run.metric, run.device, run.fs, run.workload, JsonNum(run.seed),
+            run.status.ok() ? "OK" : StatusCodeName(run.status.code()),
+            JsonNum(run.requests), JsonNum(run.bytes_written),
+            JsonNum(run.bytes_read), JsonNum(run.sim_seconds),
+            JsonNum(run.write_mib_per_sec), JsonNum(run.device_wa),
+            JsonNum(run.fs_wa), JsonNum(run.gc_picks),
+            JsonNum(run.gc_candidates), JsonNum(run.victim_index_rebuilds),
+            JsonNum(run.cleaner_picks), JsonNum(run.cleaner_candidates),
+            JsonNum(static_cast<uint64_t>(run.level_a)),
+            JsonNum(static_cast<uint64_t>(run.level_b)),
+            run.reached_target ? "1" : "0", run.bricked ? "1" : "0",
+            JsonNum(run.volume_factor)});
+}
+
+CampaignSummaryStream::CampaignSummaryStream()
+    : table_({"Grid", "Device", "FS", "Workload", "MiB/s", "WA(dev)", "WA(fs)",
+              "Level", "Sim hrs", "Status"}) {}
+
+void CampaignSummaryStream::AddRun(const RunRecord& run) {
+  std::string level = std::to_string(run.level_a);
+  if (run.level_b > 0) {
+    level += "/" + std::to_string(run.level_b);
+  }
+  std::string status = run.status.ok() ? "ok" : StatusCodeName(run.status.code());
+  if (run.bricked) {
+    status = "BRICKED";
+  } else if (run.reached_target) {
+    status = "level hit";
+  }
+  table_.AddRow({run.grid, run.device, run.fs, run.workload,
+                 Fmt(run.write_mib_per_sec), Fmt(run.device_wa), Fmt(run.fs_wa),
+                 level, Fmt(run.sim_seconds / 3600.0, 3), status});
+}
+
+void CampaignSummaryStream::Finish(std::ostream& os) { table_.Print(os); }
+
+void WriteCampaignJson(std::ostream& os, const CampaignOutcome& outcome) {
+  CampaignJsonStream stream(os);
+  stream.Begin(outcome.name, outcome.seed);
+  for (const RunRecord& run : outcome.runs) {
+    stream.AddRun(run);
+  }
+  stream.Finish();
 }
 
 void WriteCampaignCsv(std::ostream& os, const CampaignOutcome& outcome) {
-  WriteCsvRow(os, {"index", "grid", "layer", "metric", "device", "fs", "workload",
-                   "seed", "status", "requests", "bytes_written", "bytes_read",
-                   "sim_seconds", "write_mib_per_sec", "device_wa", "fs_wa",
-                   "gc_picks", "gc_candidates_examined", "victim_index_rebuilds",
-                   "cleaner_picks", "cleaner_candidates_examined",
-                   "level_a", "level_b", "reached_target", "bricked",
-                   "volume_factor"});
+  CampaignCsvStream stream(os);
+  stream.Begin();
   for (const RunRecord& run : outcome.runs) {
-    WriteCsvRow(
-        os, {JsonNum(static_cast<uint64_t>(run.index)), run.grid, run.layer,
-             run.metric, run.device, run.fs, run.workload, JsonNum(run.seed),
-             run.status.ok() ? "OK" : StatusCodeName(run.status.code()),
-             JsonNum(run.requests), JsonNum(run.bytes_written),
-             JsonNum(run.bytes_read), JsonNum(run.sim_seconds),
-             JsonNum(run.write_mib_per_sec), JsonNum(run.device_wa),
-             JsonNum(run.fs_wa), JsonNum(run.gc_picks),
-             JsonNum(run.gc_candidates), JsonNum(run.victim_index_rebuilds),
-             JsonNum(run.cleaner_picks), JsonNum(run.cleaner_candidates),
-             JsonNum(static_cast<uint64_t>(run.level_a)),
-             JsonNum(static_cast<uint64_t>(run.level_b)),
-             run.reached_target ? "1" : "0", run.bricked ? "1" : "0",
-             JsonNum(run.volume_factor)});
+    stream.AddRun(run);
   }
 }
 
 void PrintCampaignSummary(std::ostream& os, const CampaignOutcome& outcome) {
-  TableReporter table({"Grid", "Device", "FS", "Workload", "MiB/s", "WA(dev)",
-                       "WA(fs)", "Level", "Sim hrs", "Status"});
+  CampaignSummaryStream stream;
   for (const RunRecord& run : outcome.runs) {
-    std::string level = std::to_string(run.level_a);
-    if (run.level_b > 0) {
-      level += "/" + std::to_string(run.level_b);
-    }
-    std::string status = run.status.ok() ? "ok" : StatusCodeName(run.status.code());
-    if (run.bricked) {
-      status = "BRICKED";
-    } else if (run.reached_target) {
-      status = "level hit";
-    }
-    table.AddRow({run.grid, run.device, run.fs, run.workload,
-                  Fmt(run.write_mib_per_sec), Fmt(run.device_wa), Fmt(run.fs_wa),
-                  level, Fmt(run.sim_seconds / 3600.0, 3), status});
+    stream.AddRun(run);
   }
-  table.Print(os);
+  stream.Finish(os);
 }
 
 }  // namespace flashsim

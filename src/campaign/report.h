@@ -3,24 +3,88 @@
 // records (ordered by run index), so reports are byte-identical regardless
 // of how many threads executed the campaign — the determinism contract the
 // tests pin down.
+//
+// The streaming writers consume one RunRecord at a time (in index order, as
+// RunCampaignStreaming delivers them) and never retain past records: the
+// JSON/CSV row is emitted immediately and only O(grids) aggregate state is
+// kept for the trailing "grids" array. The batch Write* functions below are
+// thin wrappers that replay an in-memory outcome through the same writers,
+// which is what keeps the two paths byte-identical.
 
 #ifndef SRC_CAMPAIGN_REPORT_H_
 #define SRC_CAMPAIGN_REPORT_H_
 
+#include <cstdint>
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "src/campaign/runner.h"
+#include "src/wearlab/report.h"
 
 namespace flashsim {
 
-// Full machine-readable report: campaign header, per-run records (including
-// wear-level transitions), and per-grid aggregates. Excludes wall-clock.
+// Per-grid aggregate, accumulated in run-index order. Internal to the report
+// writers; exposed only so the streaming classes can hold it by value.
+struct CampaignGridAggregate {
+  std::string name;
+  size_t runs = 0;
+  size_t failed = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  double sum_write_mib_per_sec = 0.0;
+  double min_write_mib_per_sec = 0.0;
+  double max_write_mib_per_sec = 0.0;
+  size_t reached_target = 0;
+  size_t bricked = 0;
+};
+
+// Streams the full machine-readable report: campaign header, per-run records
+// (including wear-level transitions), and per-grid aggregates. Excludes
+// wall-clock. Usage: Begin, AddRun xN in index order, Finish.
+class CampaignJsonStream {
+ public:
+  explicit CampaignJsonStream(std::ostream& os) : os_(os) {}
+
+  void Begin(const std::string& name, uint64_t seed);
+  void AddRun(const RunRecord& run);
+  void Finish();
+
+ private:
+  std::ostream& os_;
+  bool any_run_ = false;
+  std::vector<CampaignGridAggregate> grids_;
+};
+
+// Streams one CSV row per run with the headline metrics. The header row is
+// written by Begin.
+class CampaignCsvStream {
+ public:
+  explicit CampaignCsvStream(std::ostream& os) : os_(os) {}
+
+  void Begin();
+  void AddRun(const RunRecord& run);
+
+ private:
+  std::ostream& os_;
+};
+
+// Accumulates the fixed-width terminal table. Rows are stored as formatted
+// strings only (column sizing needs the full set), not as RunRecords.
+class CampaignSummaryStream {
+ public:
+  CampaignSummaryStream();
+
+  void AddRun(const RunRecord& run);
+  void Finish(std::ostream& os);
+
+ private:
+  TableReporter table_;
+};
+
+// Batch wrappers over the streaming writers (see header comment).
 void WriteCampaignJson(std::ostream& os, const CampaignOutcome& outcome);
-
-// One CSV row per run with the headline metrics.
 void WriteCampaignCsv(std::ostream& os, const CampaignOutcome& outcome);
-
-// Fixed-width table for the terminal.
 void PrintCampaignSummary(std::ostream& os, const CampaignOutcome& outcome);
 
 }  // namespace flashsim

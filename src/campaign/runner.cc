@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "src/simcore/units.h"
@@ -110,14 +112,15 @@ RunRecord ExecuteRun(const RunSpec& run) {
   return record;
 }
 
-CampaignOutcome RunCampaign(const CampaignSpec& spec,
-                            const CampaignRunOptions& options) {
-  CampaignOutcome outcome;
-  outcome.name = spec.name;
-  outcome.seed = spec.seed;
+CampaignStreamResult RunCampaignStreaming(const CampaignSpec& spec,
+                                          const CampaignRunOptions& options,
+                                          const RunRecordSink& sink) {
+  CampaignStreamResult result;
+  result.name = spec.name;
+  result.seed = spec.seed;
 
   const std::vector<RunSpec> runs = ExpandRuns(spec);
-  outcome.runs.resize(runs.size());
+  result.run_count = runs.size();
 
   // Touch the lazily-built tables once before spawning workers (their
   // construction is thread-safe anyway; this just keeps first-run timings
@@ -127,19 +130,45 @@ CampaignOutcome RunCampaign(const CampaignSpec& spec,
   const auto wall_start = std::chrono::steady_clock::now();
   const int threads =
       std::max(1, std::min<int>(options.threads, static_cast<int>(runs.size())));
+
+  // Emits a completed record if it is the next one in index order, then
+  // drains any buffered successors. Records finishing out of order wait in
+  // `held`, which can never hold more entries than there are in-flight runs.
+  size_t emitted = 0;
+  std::map<size_t, RunRecord> held;
+  auto deliver = [&](size_t index, RunRecord&& record) {
+    if (!record.status.ok() && !record.bricked) {
+      ++result.hard_failures;
+    }
+    if (index != emitted) {
+      held.emplace(index, std::move(record));
+      return;
+    }
+    sink(std::move(record));
+    ++emitted;
+    while (!held.empty() && held.begin()->first == emitted) {
+      sink(std::move(held.begin()->second));
+      held.erase(held.begin());
+      ++emitted;
+    }
+  };
+
   if (threads <= 1) {
     for (size_t i = 0; i < runs.size(); ++i) {
-      outcome.runs[i] = ExecuteRun(runs[i]);
+      deliver(i, ExecuteRun(runs[i]));
     }
   } else {
     std::atomic<size_t> next{0};
+    std::mutex mu;  // guards deliver() state
     auto worker = [&]() {
       for (;;) {
         const size_t i = next.fetch_add(1);
         if (i >= runs.size()) {
           return;
         }
-        outcome.runs[i] = ExecuteRun(runs[i]);
+        RunRecord record = ExecuteRun(runs[i]);
+        std::lock_guard<std::mutex> lock(mu);
+        deliver(i, std::move(record));
       }
     };
     std::vector<std::thread> pool;
@@ -151,9 +180,21 @@ CampaignOutcome RunCampaign(const CampaignSpec& spec,
       t.join();
     }
   }
-  outcome.wall_seconds =
+  result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
+  return result;
+}
+
+CampaignOutcome RunCampaign(const CampaignSpec& spec,
+                            const CampaignRunOptions& options) {
+  CampaignOutcome outcome;
+  outcome.name = spec.name;
+  outcome.seed = spec.seed;
+  const CampaignStreamResult result = RunCampaignStreaming(
+      spec, options,
+      [&outcome](RunRecord&& record) { outcome.runs.push_back(std::move(record)); });
+  outcome.wall_seconds = result.wall_seconds;
   return outcome;
 }
 

@@ -9,6 +9,7 @@
 #define SRC_CAMPAIGN_RUNNER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -66,10 +67,39 @@ struct CampaignRunOptions {
   int threads = 1;
 };
 
+// Receives finished run records strictly in run-index order, exactly once
+// each. Called from inside the runner (never concurrently); the record is
+// moved in and owned by the sink, so the runner retains nothing after the
+// call returns.
+using RunRecordSink = std::function<void(RunRecord&&)>;
+
+// Campaign-level totals from a streaming run. Unlike CampaignOutcome this
+// holds no per-run state — memory is O(threads) regardless of run count.
+struct CampaignStreamResult {
+  std::string name;
+  uint64_t seed = 0;
+  size_t run_count = 0;
+  size_t hard_failures = 0;  // !status.ok() && !bricked
+  // Host wall-clock; stdout only, never serialized (thread-count invariant
+  // reports).
+  double wall_seconds = 0.0;
+};
+
 // Executes one run to completion. Thread-safe: touches only its arguments.
 RunRecord ExecuteRun(const RunSpec& run);
 
-// Runs the whole campaign with `options.threads` workers.
+// Runs the whole campaign with `options.threads` workers, streaming each
+// finished record to `sink` in run-index order. Out-of-order completions
+// wait in a reorder buffer bounded by the number of in-flight runs, so peak
+// memory is O(threads), not O(runs) — the property the fleet-scale report
+// path depends on.
+CampaignStreamResult RunCampaignStreaming(const CampaignSpec& spec,
+                                          const CampaignRunOptions& options,
+                                          const RunRecordSink& sink);
+
+// Runs the whole campaign with `options.threads` workers and collects every
+// record. Convenience wrapper over RunCampaignStreaming for callers that
+// want the full in-memory outcome (tests, small grids).
 CampaignOutcome RunCampaign(const CampaignSpec& spec,
                             const CampaignRunOptions& options);
 

@@ -286,6 +286,43 @@ Status ApplyGridKey(const KeyValue& kv, size_t line_no, GridSpec* g) {
   return Status::Ok();
 }
 
+Status ApplyFleetKey(const KeyValue& kv, size_t line_no, FleetSpec* f) {
+  const std::string& k = kv.key;
+  const std::string& v = kv.value;
+  bool ok = true;
+  if (k == "count") {
+    ok = ParseU64(v, &f->device_count) && f->device_count > 0;
+  } else if (k == "scale") {
+    ok = ParseScale(v, &f->scale);
+  } else if (k == "devices") {
+    f->devices = SplitList(v);
+    ok = !f->devices.empty();
+  } else if (k == "workloads") {
+    f->workloads = SplitList(v);
+    ok = !f->workloads.empty();
+  } else if (k == "shard") {
+    ok = ParseU64(v, &f->shard_devices) && f->shard_devices > 0;
+  } else if (k == "slice") {
+    ok = ParseSize(v, &f->slice_bytes) && f->slice_bytes > 0;
+  } else if (k == "target_level") {
+    uint64_t level = 0;
+    ok = ParseU64(v, &level) && level >= 1 && level <= 11;
+    f->target_level = static_cast<uint32_t>(level);
+  } else if (k == "max_device_bytes") {
+    ok = ParseSize(v, &f->max_device_bytes);
+  } else if (k == "batch") {
+    ok = ParseU64(v, &f->batch_requests) && f->batch_requests > 0;
+  } else if (k == "survival_bin_hours") {
+    ok = ParseF64(v, &f->survival_bin_hours) && f->survival_bin_hours > 0.0;
+  } else {
+    return LineError(line_no, "unknown fleet key '" + k + "'");
+  }
+  if (!ok) {
+    return LineError(line_no, "bad value for '" + k + "': '" + v + "'");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 const char* RunLayerName(RunLayer layer) {
@@ -323,6 +360,15 @@ const SyntheticWorkloadConfig* CampaignSpec::FindWorkload(
   for (const SyntheticWorkloadConfig& w : workloads) {
     if (w.name == workload_name) {
       return &w;
+    }
+  }
+  return nullptr;
+}
+
+const FleetSpec* CampaignSpec::FindFleet(const std::string& fleet_name) const {
+  for (const FleetSpec& f : fleets) {
+    if (f.name == fleet_name) {
+      return &f;
     }
   }
   return nullptr;
@@ -421,6 +467,42 @@ Result<CampaignSpec> ParseCampaignSpec(const std::string& text) {
         g.filesystems.push_back(PhoneFsType::kExtFs);
       }
       spec.grids.push_back(std::move(g));
+    } else if (directive == "fleet") {
+      FleetSpec f;
+      f.name = tokens[1];
+      f.scale = spec.scale;
+      if (spec.FindFleet(f.name) != nullptr) {
+        return LineError(line_no, "duplicate fleet '" + f.name + "'");
+      }
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        KeyValue kv;
+        if (!SplitKeyValue(tokens[i], &kv)) {
+          return LineError(line_no, "expected key=value, got '" + tokens[i] + "'");
+        }
+        FLASHSIM_RETURN_IF_ERROR(ApplyFleetKey(kv, line_no, &f));
+      }
+      if (f.device_count == 0) {
+        return LineError(line_no, "fleet '" + f.name + "' needs count=");
+      }
+      if (f.devices.empty()) {
+        return LineError(line_no, "fleet '" + f.name + "' lists no devices");
+      }
+      if (f.workloads.empty()) {
+        return LineError(line_no, "fleet '" + f.name + "' lists no workloads");
+      }
+      for (const std::string& slug : f.devices) {
+        if (FindCampaignDevice(slug) == nullptr) {
+          return LineError(line_no, "unknown device '" + slug + "'");
+        }
+      }
+      for (const std::string& w : f.workloads) {
+        if (spec.FindWorkload(w) == nullptr) {
+          return LineError(line_no,
+                           "fleet references undefined workload '" + w + "'");
+        }
+      }
+      f.index = spec.fleets.size();
+      spec.fleets.push_back(std::move(f));
     } else {
       return LineError(line_no, "unknown directive '" + directive + "'");
     }
@@ -428,8 +510,8 @@ Result<CampaignSpec> ParseCampaignSpec(const std::string& text) {
   if (!saw_campaign) {
     return InvalidArgumentError("spec has no 'campaign' line");
   }
-  if (spec.grids.empty()) {
-    return InvalidArgumentError("spec defines no grids");
+  if (spec.grids.empty() && spec.fleets.empty()) {
+    return InvalidArgumentError("spec defines no grids or fleets");
   }
   return spec;
 }

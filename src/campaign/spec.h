@@ -11,11 +11,19 @@
 //        devices=<slug,...> workloads=<name,...> [fs=<ext4,f2fs>]
 //        [scale=CAPxEND] [utilization=F] [target_level=N] [max_bytes=SIZE]
 //        [files=<count>x<SIZE>] [sync=0|1] [batch=N]
+//   fleet <name> count=N devices=<slug,...> workloads=<name,...>
+//        [scale=CAPxEND] [shard=N] [slice=SIZE] [target_level=N]
+//        [max_device_bytes=SIZE] [batch=N] [survival_bin_hours=F]
 //
 // SIZE accepts B/KiB/MiB/GiB/TiB suffixes; DURATION accepts ns/us/ms/s.
 // Each grid expands to the cross product of its devices, filesystems (phone
 // layer only), and workloads; every expanded run gets a deterministic seed
 // derived from (campaign seed, run index).
+//
+// A `fleet` directive declares a population instead of a cross product: count
+// devices striped over the device-model x workload combos, each seeded with
+// DeriveDeviceSeed(campaign seed, fleet index, device index) and driven at
+// the block layer by src/fleet (the campaign runner ignores fleets).
 
 #ifndef SRC_CAMPAIGN_SPEC_H_
 #define SRC_CAMPAIGN_SPEC_H_
@@ -54,14 +62,35 @@ struct GridSpec {
   uint64_t batch_requests = 32;
 };
 
+// A device population for src/fleet: `count` simulated devices striped over
+// the devices x workloads combos, sharded into contiguous ranges of
+// `shard_devices` and driven in bounded `slice_bytes` slices so idle devices
+// can park as compact serialized state between slices.
+struct FleetSpec {
+  std::string name;
+  size_t index = 0;                    // position among the spec's fleets
+  uint64_t device_count = 0;
+  SimScale scale{1, 1};
+  std::vector<std::string> devices;    // catalog slugs
+  std::vector<std::string> workloads;  // names defined by `workload` lines
+  uint64_t shard_devices = 64;
+  uint64_t slice_bytes = 8ull * 1024 * 1024;
+  uint32_t target_level = 0;           // stop a device at this level (0 = none)
+  uint64_t max_device_bytes = 0;       // per-device byte cap (0 = auto)
+  uint64_t batch_requests = 32;
+  double survival_bin_hours = 24.0;    // survival-curve bin, full-device hours
+};
+
 struct CampaignSpec {
   std::string name = "campaign";
   uint64_t seed = 42;
   SimScale scale{1, 1};  // default for grids that do not override it
   std::vector<SyntheticWorkloadConfig> workloads;
   std::vector<GridSpec> grids;
+  std::vector<FleetSpec> fleets;
 
   const SyntheticWorkloadConfig* FindWorkload(const std::string& name) const;
+  const FleetSpec* FindFleet(const std::string& name) const;
 };
 
 // One fully-resolved simulation: everything ExecuteRun needs.

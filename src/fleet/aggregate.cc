@@ -1,0 +1,160 @@
+#include "src/fleet/aggregate.h"
+
+#include <cmath>
+#include <utility>
+
+namespace flashsim {
+
+namespace {
+
+constexpr uint32_t kModelTag = SnapshotTag("FMOD");
+constexpr uint32_t kAccTag = SnapshotTag("FACC");
+
+}  // namespace
+
+void FleetModelStats::Merge(const FleetModelStats& other) {
+  devices += other.devices;
+  bricked += other.bricked;
+  reached_level += other.reached_level;
+  brick_days.Merge(other.brick_days);
+  brick_day_hist.Merge(other.brick_day_hist);
+  host_gib.Merge(other.host_gib);
+  device_wa.Merge(other.device_wa);
+  for (size_t i = 0; i < level_days.size(); ++i) {
+    level_days[i].Merge(other.level_days[i]);
+  }
+}
+
+void FleetModelStats::Save(SnapshotWriter& w) const {
+  w.BeginSection(kModelTag);
+  w.U64(devices);
+  w.U64(bricked);
+  w.U64(reached_level);
+  brick_days.Save(w);
+  brick_day_hist.Save(w);
+  host_gib.Save(w);
+  device_wa.Save(w);
+  for (const WearDigest& d : level_days) {
+    d.Save(w);
+  }
+  w.EndSection();
+}
+
+Status FleetModelStats::Load(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(kModelTag));
+  devices = r.U64();
+  bricked = r.U64();
+  reached_level = r.U64();
+  FLASHSIM_RETURN_IF_ERROR(brick_days.Load(r));
+  FLASHSIM_RETURN_IF_ERROR(brick_day_hist.Load(r));
+  FLASHSIM_RETURN_IF_ERROR(host_gib.Load(r));
+  FLASHSIM_RETURN_IF_ERROR(device_wa.Load(r));
+  for (WearDigest& d : level_days) {
+    FLASHSIM_RETURN_IF_ERROR(d.Load(r));
+  }
+  r.LeaveSection();
+  return r.status();
+}
+
+void FleetAccumulator::Init(const std::vector<std::string>& model_slugs,
+                            double survival_bin_hours) {
+  model_slugs_ = model_slugs;
+  models_.assign(model_slugs.size(), FleetModelStats{});
+  survival_bin_hours_ = survival_bin_hours;
+  parked_raw_ = MergeStats{};
+  parked_packed_ = MergeStats{};
+}
+
+void FleetAccumulator::AddOutcome(const FleetDeviceOutcome& outcome) {
+  if (outcome.model_index >= models_.size()) {
+    return;  // defensive; assignment is validated upstream
+  }
+  FleetModelStats& m = models_[outcome.model_index];
+  ++m.devices;
+  if (outcome.bricked) {
+    ++m.bricked;
+    m.brick_days.Add(outcome.days);
+    const double bin_days = survival_bin_hours_ / 24.0;
+    m.brick_day_hist.Add(
+        static_cast<uint32_t>(std::floor(outcome.days / bin_days)));
+  }
+  if (outcome.reached_level) {
+    ++m.reached_level;
+  }
+  m.host_gib.Add(outcome.host_gib);
+  m.device_wa.Add(outcome.device_wa);
+  for (const auto& [level, day] : outcome.level_days) {
+    if (level <= kMaxWearLevel) {
+      m.level_days[level].Add(day);
+    }
+  }
+}
+
+void FleetAccumulator::AddParkedSample(uint64_t raw_bytes,
+                                       uint64_t packed_bytes) {
+  parked_raw_.Add(static_cast<double>(raw_bytes));
+  parked_packed_.Add(static_cast<double>(packed_bytes));
+}
+
+void FleetAccumulator::Merge(const FleetAccumulator& other) {
+  if (model_slugs_.empty()) {
+    *this = other;
+    return;
+  }
+  for (size_t i = 0; i < models_.size() && i < other.models_.size(); ++i) {
+    models_[i].Merge(other.models_[i]);
+  }
+  parked_raw_.Merge(other.parked_raw_);
+  parked_packed_.Merge(other.parked_packed_);
+}
+
+uint64_t FleetAccumulator::DevicesDone() const {
+  uint64_t total = 0;
+  for (const FleetModelStats& m : models_) {
+    total += m.devices;
+  }
+  return total;
+}
+
+uint64_t FleetAccumulator::DevicesBricked() const {
+  uint64_t total = 0;
+  for (const FleetModelStats& m : models_) {
+    total += m.bricked;
+  }
+  return total;
+}
+
+void FleetAccumulator::Save(SnapshotWriter& w) const {
+  w.BeginSection(kAccTag);
+  w.U64(model_slugs_.size());
+  for (const std::string& slug : model_slugs_) {
+    w.Str(slug);
+  }
+  w.F64(survival_bin_hours_);
+  parked_raw_.Save(w);
+  parked_packed_.Save(w);
+  for (const FleetModelStats& m : models_) {
+    m.Save(w);
+  }
+  w.EndSection();
+}
+
+Status FleetAccumulator::Load(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(kAccTag));
+  const uint64_t n_models = r.U64();
+  model_slugs_.clear();
+  for (uint64_t i = 0; i < n_models && r.ok(); ++i) {
+    model_slugs_.push_back(r.Str());
+  }
+  survival_bin_hours_ = r.F64();
+  FLASHSIM_RETURN_IF_ERROR(parked_raw_.Load(r));
+  FLASHSIM_RETURN_IF_ERROR(parked_packed_.Load(r));
+  models_.assign(model_slugs_.size(), FleetModelStats{});
+  for (FleetModelStats& m : models_) {
+    FLASHSIM_RETURN_IF_ERROR(m.Load(r));
+  }
+  r.LeaveSection();
+  return r.status();
+}
+
+}  // namespace flashsim

@@ -1,0 +1,94 @@
+// Fleet accumulator: mergeable per-model wear statistics (DESIGN.md §13).
+//
+// Each shard owns one FleetAccumulator and feeds it device outcomes in
+// device-index order; the fleet runner then folds completed shard
+// accumulators into the global one strictly in shard-index order. Because
+// every sketch inside is a deterministic function of its observation
+// sequence, the folded result — and hence the fleet report — is byte-
+// identical at any thread count.
+//
+// All hour/volume inputs are full-device-equivalent (sim values already
+// multiplied by SimScale::VolumeFactor()); days = hours / 24.
+
+#ifndef SRC_FLEET_AGGREGATE_H_
+#define SRC_FLEET_AGGREGATE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fleet/sketch.h"
+#include "src/simcore/snapshot.h"
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+inline constexpr uint32_t kMaxWearLevel = 11;  // JEDEC 0x0B = exceeded
+
+// Everything the aggregation layer keeps from one finished device.
+struct FleetDeviceOutcome {
+  uint32_t model_index = 0;  // position in the fleet's devices= list
+  bool bricked = false;
+  bool reached_level = false;
+  double days = 0.0;      // full-device-equivalent days simulated
+  double host_gib = 0.0;  // full-device-equivalent host GiB written
+  double device_wa = 1.0;
+  // Wear-indicator transitions: level -> full-device-equivalent day, level
+  // in [1, kMaxWearLevel].
+  std::vector<std::pair<uint32_t, double>> level_days;
+};
+
+// Per-model aggregate. Sketches use full-device-equivalent days.
+struct FleetModelStats {
+  uint64_t devices = 0;  // finished devices of this model
+  uint64_t bricked = 0;
+  uint64_t reached_level = 0;
+  WearDigest brick_days;
+  DayHistogram brick_day_hist;  // binned by survival_bin_hours
+  WearDigest host_gib;
+  WearDigest device_wa;
+  std::array<WearDigest, kMaxWearLevel + 1> level_days;  // index = level
+
+  void Merge(const FleetModelStats& other);
+  void Save(SnapshotWriter& w) const;
+  Status Load(SnapshotReader& r);
+};
+
+class FleetAccumulator {
+ public:
+  FleetAccumulator() = default;
+
+  // `model_slugs` fixes the model index space; `survival_bin_hours` is the
+  // brick-histogram bin width in full-device-equivalent hours.
+  void Init(const std::vector<std::string>& model_slugs,
+            double survival_bin_hours);
+
+  void AddOutcome(const FleetDeviceOutcome& outcome);
+  // One parking event: snapshot size before and after zero-run packing.
+  void AddParkedSample(uint64_t raw_bytes, uint64_t packed_bytes);
+  void Merge(const FleetAccumulator& other);
+
+  const std::vector<std::string>& model_slugs() const { return model_slugs_; }
+  const std::vector<FleetModelStats>& models() const { return models_; }
+  double survival_bin_hours() const { return survival_bin_hours_; }
+  const MergeStats& parked_raw_bytes() const { return parked_raw_; }
+  const MergeStats& parked_packed_bytes() const { return parked_packed_; }
+
+  uint64_t DevicesDone() const;
+  uint64_t DevicesBricked() const;
+
+  void Save(SnapshotWriter& w) const;
+  Status Load(SnapshotReader& r);
+
+ private:
+  std::vector<std::string> model_slugs_;
+  std::vector<FleetModelStats> models_;
+  double survival_bin_hours_ = 24.0;
+  MergeStats parked_raw_;
+  MergeStats parked_packed_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_FLEET_AGGREGATE_H_

@@ -1,0 +1,127 @@
+#include "src/fleet/checkpoint.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace flashsim {
+
+namespace {
+
+constexpr uint32_t kManifestTag = SnapshotTag("FMAN");
+constexpr uint32_t kDoneTag = SnapshotTag("DONE");
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t FleetSpecFingerprint(const CampaignSpec& spec, const FleetSpec& fleet) {
+  std::ostringstream os;
+  os << spec.name << '|' << spec.seed << '|' << fleet.name << '|'
+     << fleet.index << '|' << fleet.device_count << '|'
+     << fleet.scale.capacity_div << 'x' << fleet.scale.endurance_div << '|'
+     << fleet.shard_devices << '|' << fleet.slice_bytes << '|'
+     << fleet.target_level << '|' << fleet.max_device_bytes << '|'
+     << fleet.batch_requests << '|' << fleet.survival_bin_hours;
+  for (const std::string& slug : fleet.devices) {
+    os << '|' << slug;
+  }
+  for (const std::string& name : fleet.workloads) {
+    os << '|' << name;
+    // The workload definition shapes the trajectory as much as its name.
+    const SyntheticWorkloadConfig* w = spec.FindWorkload(name);
+    if (w != nullptr) {
+      os << ':' << static_cast<int>(w->pattern) << ':' << w->request_bytes
+         << ':' << w->total_bytes << ':' << w->span_bytes << ':'
+         << w->span_fraction << ':' << w->start_offset << ':'
+         << w->stride_bytes << ':' << w->zipf_theta << ':' << w->hot_fraction
+         << ':' << w->hot_probability << ':' << w->read_fraction << ':'
+         << w->burst_requests << ':' << w->idle_time.nanos();
+    }
+  }
+  return Fnv1a(os.str());
+}
+
+Status WriteFleetCheckpoint(const std::string& path,
+                            const FleetCheckpointWriteView& view) {
+  SnapshotWriter w;
+  w.BeginSection(kManifestTag);
+  w.U64(view.fingerprint);
+  w.U64(view.device_count);
+  w.U64(view.shard_count);
+  w.U64(view.next_fresh_shard);
+  w.U64(view.folded_prefix);
+  w.U64(view.pending.size());
+  w.U64(view.inflight.size());
+  w.EndSection();
+  view.global->Save(w);
+  for (const auto& [shard_id, acc] : view.pending) {
+    w.BeginSection(kDoneTag);
+    w.U64(shard_id);
+    acc->Save(w);
+    w.EndSection();
+  }
+  for (const FleetShard* shard : view.inflight) {
+    shard->Save(w);
+  }
+  const std::string tmp = path + ".tmp";
+  FLASHSIM_RETURN_IF_ERROR(w.WriteFile(tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return InternalError("cannot rename checkpoint into place: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<FleetCheckpointState> ReadFleetCheckpoint(const std::string& path,
+                                                 const CampaignSpec& spec,
+                                                 const FleetSpec& fleet) {
+  Result<SnapshotReader> reader = SnapshotReader::FromFile(path);
+  FLASHSIM_RETURN_IF_ERROR(reader.status());
+  SnapshotReader& r = reader.value();
+
+  FleetCheckpointState state;
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(kManifestTag));
+  state.fingerprint = r.U64();
+  state.device_count = r.U64();
+  state.shard_count = r.U64();
+  state.next_fresh_shard = r.U64();
+  state.folded_prefix = r.U64();
+  const uint64_t n_pending = r.U64();
+  const uint64_t n_inflight = r.U64();
+  r.LeaveSection();
+  FLASHSIM_RETURN_IF_ERROR(r.status());
+
+  if (state.fingerprint != FleetSpecFingerprint(spec, fleet)) {
+    return InvalidArgumentError(
+        "checkpoint was written by a different fleet spec: " + path);
+  }
+  if (state.device_count != fleet.device_count ||
+      state.shard_count != FleetShardCount(fleet)) {
+    return InvalidArgumentError("checkpoint shape mismatch: " + path);
+  }
+
+  FLASHSIM_RETURN_IF_ERROR(state.global.Load(r));
+  for (uint64_t i = 0; i < n_pending; ++i) {
+    FLASHSIM_RETURN_IF_ERROR(r.EnterSection(kDoneTag));
+    const uint64_t shard_id = r.U64();
+    FleetAccumulator acc;
+    FLASHSIM_RETURN_IF_ERROR(acc.Load(r));
+    r.LeaveSection();
+    state.pending.emplace_back(shard_id, std::move(acc));
+  }
+  for (uint64_t i = 0; i < n_inflight; ++i) {
+    auto shard = std::make_unique<FleetShard>(&spec, &fleet);
+    FLASHSIM_RETURN_IF_ERROR(shard->Load(r));
+    state.inflight.push_back(std::move(shard));
+  }
+  FLASHSIM_RETURN_IF_ERROR(r.status());
+  return state;
+}
+
+}  // namespace flashsim

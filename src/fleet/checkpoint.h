@@ -1,0 +1,72 @@
+// Fleet checkpoint container (DESIGN.md §13): a single FSNP file holding a
+// whole mid-campaign fleet — manifest, folded-prefix accumulator, completed-
+// but-unfolded shard accumulators, and full mid-shard states.
+//
+// Layout (sections in order; readers skip unknown sections, so newer writers
+// may append):
+//   FMAN  manifest: spec fingerprint, counts, fold cursor
+//   FACC  global accumulator for the folded shard prefix [0, folded_prefix)
+//   DONE* {shard id, accumulator} for finished shards awaiting in-order fold
+//   SHRD* full FleetShard state for shards interrupted mid-flight
+//
+// Resuming from a checkpoint and running to completion produces a final
+// report bit-identical to the uninterrupted run, at any thread count.
+
+#ifndef SRC_FLEET_CHECKPOINT_H_
+#define SRC_FLEET_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/campaign/spec.h"
+#include "src/fleet/aggregate.h"
+#include "src/fleet/shard.h"
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+// Fingerprint of everything that fixes a fleet's simulation trajectory.
+// Resume refuses a checkpoint whose fingerprint does not match the spec it
+// is resumed against.
+uint64_t FleetSpecFingerprint(const CampaignSpec& spec, const FleetSpec& fleet);
+
+// Borrowed view of the runner's state for writing (the runner holds the
+// real objects; all workers are quiesced while this is serialized).
+struct FleetCheckpointWriteView {
+  uint64_t fingerprint = 0;
+  uint64_t device_count = 0;
+  uint64_t shard_count = 0;
+  uint64_t next_fresh_shard = 0;  // shard-claim counter at save time
+  uint64_t folded_prefix = 0;     // shards [0, K) are folded into `global`
+  const FleetAccumulator* global = nullptr;
+  std::vector<std::pair<uint64_t, const FleetAccumulator*>> pending;
+  std::vector<const FleetShard*> inflight;
+};
+
+struct FleetCheckpointState {
+  uint64_t fingerprint = 0;
+  uint64_t device_count = 0;
+  uint64_t shard_count = 0;
+  uint64_t next_fresh_shard = 0;
+  uint64_t folded_prefix = 0;
+  FleetAccumulator global;
+  std::vector<std::pair<uint64_t, FleetAccumulator>> pending;  // done, unfolded
+  std::vector<std::unique_ptr<FleetShard>> inflight;
+};
+
+// Serializes atomically: writes to `path`.tmp, then renames over `path`.
+Status WriteFleetCheckpoint(const std::string& path,
+                            const FleetCheckpointWriteView& view);
+
+// Loads and validates a checkpoint against (spec, fleet). In-flight shards
+// are reconstructed bound to the given spec/fleet (which must outlive them).
+Result<FleetCheckpointState> ReadFleetCheckpoint(const std::string& path,
+                                                 const CampaignSpec& spec,
+                                                 const FleetSpec& fleet);
+
+}  // namespace flashsim
+
+#endif  // SRC_FLEET_CHECKPOINT_H_

@@ -1,0 +1,108 @@
+#include "src/fleet/park.h"
+
+namespace flashsim {
+
+namespace {
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(const std::vector<uint8_t>& in, size_t* pos, uint64_t* v) {
+  *v = 0;
+  for (uint32_t shift = 0; shift < 64; shift += 7) {
+    if (*pos >= in.size()) {
+      return false;
+    }
+    const uint8_t byte = in[(*pos)++];
+    *v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Zero runs shorter than this cost more to encode (two varints) than to
+// carry literally.
+constexpr size_t kMinZeroRun = 4;
+
+}  // namespace
+
+std::vector<uint8_t> PackZeroRuns(const std::vector<uint8_t>& raw) {
+  std::vector<uint8_t> out;
+  out.reserve(raw.size() / 3 + 16);
+  PutVarint(&out, raw.size());
+  size_t pos = 0;
+  while (pos < raw.size()) {
+    // Literal run: up to the next worthwhile zero run.
+    size_t lit_end = pos;
+    while (lit_end < raw.size()) {
+      if (raw[lit_end] == 0) {
+        size_t z = lit_end;
+        while (z < raw.size() && raw[z] == 0) {
+          ++z;
+        }
+        if (z - lit_end >= kMinZeroRun) {
+          break;
+        }
+        lit_end = z;
+      } else {
+        ++lit_end;
+      }
+    }
+    PutVarint(&out, lit_end - pos);
+    out.insert(out.end(), raw.begin() + static_cast<ptrdiff_t>(pos),
+               raw.begin() + static_cast<ptrdiff_t>(lit_end));
+    pos = lit_end;
+    if (pos == raw.size()) {
+      break;  // no trailing zero run after a final literal
+    }
+    size_t zero_end = pos;
+    while (zero_end < raw.size() && raw[zero_end] == 0) {
+      ++zero_end;
+    }
+    PutVarint(&out, zero_end - pos);
+    pos = zero_end;
+  }
+  return out;
+}
+
+Status UnpackZeroRuns(const std::vector<uint8_t>& packed,
+                      std::vector<uint8_t>* out) {
+  size_t pos = 0;
+  uint64_t raw_size = 0;
+  if (!GetVarint(packed, &pos, &raw_size)) {
+    return DataLossError("parked blob: truncated size header");
+  }
+  out->clear();
+  out->reserve(raw_size);
+  while (out->size() < raw_size) {
+    uint64_t lit = 0;
+    if (!GetVarint(packed, &pos, &lit) || pos + lit > packed.size() ||
+        out->size() + lit > raw_size) {
+      return DataLossError("parked blob: bad literal run");
+    }
+    out->insert(out->end(), packed.begin() + static_cast<ptrdiff_t>(pos),
+                packed.begin() + static_cast<ptrdiff_t>(pos + lit));
+    pos += lit;
+    if (out->size() == raw_size) {
+      break;
+    }
+    uint64_t zeros = 0;
+    if (!GetVarint(packed, &pos, &zeros) || out->size() + zeros > raw_size) {
+      return DataLossError("parked blob: bad zero run");
+    }
+    out->resize(out->size() + zeros, 0);
+  }
+  if (out->size() != raw_size || pos != packed.size()) {
+    return DataLossError("parked blob: size mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace flashsim

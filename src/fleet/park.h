@@ -1,0 +1,30 @@
+// Parked-device blob packing (DESIGN.md §13).
+//
+// Between slices, a fleet device exists only as its serialized FSNP snapshot
+// (device + workload generator state). Measured worn-device snapshots are
+// ~70-75% zero bytes — empty mapping-table tails, unwritten plane metadata —
+// so a byte-exact zero-run codec shrinks parked state ~3-4x for a linear
+// scan's cost, without eliding any section (eliding would break the
+// bit-exact park/unpark contract).
+//
+// Format: u64 raw size, then alternating LEB128-length runs starting with a
+// literal run: (literal_len, literal bytes, zero_len)*. Unpack validates the
+// recorded size, so truncated or corrupt blobs fail loudly.
+
+#ifndef SRC_FLEET_PARK_H_
+#define SRC_FLEET_PARK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+std::vector<uint8_t> PackZeroRuns(const std::vector<uint8_t>& raw);
+Status UnpackZeroRuns(const std::vector<uint8_t>& packed,
+                      std::vector<uint8_t>* out);
+
+}  // namespace flashsim
+
+#endif  // SRC_FLEET_PARK_H_

@@ -1,0 +1,24 @@
+// Fleet report writers: byte-stable JSON for fleet campaign results, plus a
+// human-readable stdout summary.
+//
+// The JSON report is a pure function of the fold-ordered accumulator — no
+// wall-clock, RSS, or thread-count dependent values — so runs at different
+// thread counts (or kill+resume runs) diff byte-for-byte equal.
+
+#ifndef SRC_FLEET_REPORT_H_
+#define SRC_FLEET_REPORT_H_
+
+#include <ostream>
+
+#include "src/fleet/runner.h"
+
+namespace flashsim {
+
+void WriteFleetJson(const FleetOutcome& outcome, std::ostream& os);
+
+// Console summary; may include wall-clock (never part of the JSON report).
+void PrintFleetSummary(const FleetOutcome& outcome, std::ostream& os);
+
+}  // namespace flashsim
+
+#endif  // SRC_FLEET_REPORT_H_

@@ -1,0 +1,265 @@
+#include "src/fleet/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/fleet/checkpoint.h"
+#include "src/fleet/shard.h"
+
+namespace flashsim {
+
+namespace {
+
+// All cross-worker state, guarded by `mu` (the cp_flag mirror is atomic so
+// slice loops can poll it without taking the lock).
+struct FleetRunState {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Shard sourcing: resumed in-flight shards drain first, then fresh indices.
+  std::vector<std::unique_ptr<FleetShard>> resumed;
+  size_t next_resumed = 0;
+  uint64_t next_fresh = 0;
+  uint64_t shard_count = 0;
+
+  // In-order fold.
+  uint64_t folded = 0;  // shards [0, folded) merged into global
+  FleetAccumulator global;
+  std::map<uint64_t, FleetAccumulator> pending;  // done, awaiting their turn
+
+  // Checkpoint coordination.
+  bool checkpoint_requested = false;
+  std::atomic<bool> cp_flag{false};
+  bool stop = false;
+  int active = 0;
+  int paused = 0;
+  std::vector<const FleetShard*> paused_shards;  // held by paused workers
+  uint64_t shards_since_checkpoint = 0;
+  uint64_t checkpoints_written = 0;
+
+  Status error;
+};
+
+void FoldShardLocked(FleetRunState* st, uint64_t shard_index,
+                     FleetAccumulator&& acc) {
+  if (shard_index == st->folded) {
+    st->global.Merge(acc);
+    ++st->folded;
+    while (!st->pending.empty() && st->pending.begin()->first == st->folded) {
+      st->global.Merge(st->pending.begin()->second);
+      ++st->folded;
+      st->pending.erase(st->pending.begin());
+    }
+  } else {
+    st->pending.emplace(shard_index, std::move(acc));
+  }
+}
+
+}  // namespace
+
+Result<FleetOutcome> RunFleet(const CampaignSpec& spec, const FleetSpec& fleet,
+                              const FleetRunOptions& options) {
+  if (fleet.device_count == 0 || fleet.devices.empty() ||
+      fleet.workloads.empty()) {
+    return InvalidArgumentError("fleet '" + fleet.name + "' is empty");
+  }
+  const uint64_t shard_count = FleetShardCount(fleet);
+  const bool checkpoint_enabled =
+      !options.checkpoint_path.empty() && options.checkpoint_every_shards > 0;
+  const uint64_t fingerprint = FleetSpecFingerprint(spec, fleet);
+
+  FleetRunState st;
+  st.shard_count = shard_count;
+  st.global.Init(fleet.devices, fleet.survival_bin_hours);
+
+  if (!options.resume_path.empty()) {
+    Result<FleetCheckpointState> loaded =
+        ReadFleetCheckpoint(options.resume_path, spec, fleet);
+    FLASHSIM_RETURN_IF_ERROR(loaded.status());
+    FleetCheckpointState& cp = loaded.value();
+    st.global = std::move(cp.global);
+    st.folded = cp.folded_prefix;
+    for (auto& [shard_id, acc] : cp.pending) {
+      st.pending.emplace(shard_id, std::move(acc));
+    }
+    st.resumed = std::move(cp.inflight);
+    st.next_fresh = cp.next_fresh_shard;
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int threads = std::max(1, options.threads);
+  st.active = threads;
+
+  auto worker = [&]() {
+    for (;;) {
+      std::unique_ptr<FleetShard> shard;
+      {
+        std::unique_lock<std::mutex> lock(st.mu);
+        // Quiesce between shards while a checkpoint is being written.
+        while (st.checkpoint_requested && !st.stop) {
+          ++st.paused;
+          st.cv.notify_all();
+          st.cv.wait(lock,
+                     [&] { return !st.checkpoint_requested || st.stop; });
+          --st.paused;
+        }
+        if (st.stop || !st.error.ok()) {
+          break;
+        }
+        if (st.next_resumed < st.resumed.size()) {
+          shard = std::move(st.resumed[st.next_resumed++]);
+        } else if (st.next_fresh < st.shard_count) {
+          const uint64_t index = st.next_fresh++;
+          lock.unlock();
+          shard = std::make_unique<FleetShard>(&spec, &fleet);
+          shard->InitFresh(index);
+        } else {
+          break;  // no work left
+        }
+      }
+
+      bool abandoned = false;
+      while (!shard->Done()) {
+        if (st.cp_flag.load(std::memory_order_relaxed)) {
+          std::unique_lock<std::mutex> lock(st.mu);
+          if (st.checkpoint_requested && !st.stop) {
+            // Every device in this shard is parked at a slice boundary, so
+            // the shard is serializable as-is.
+            st.paused_shards.push_back(shard.get());
+            ++st.paused;
+            st.cv.notify_all();
+            st.cv.wait(lock,
+                       [&] { return !st.checkpoint_requested || st.stop; });
+            --st.paused;
+            st.paused_shards.erase(
+                std::find(st.paused_shards.begin(), st.paused_shards.end(),
+                          shard.get()));
+          }
+          if (st.stop || !st.error.ok()) {
+            abandoned = true;  // state lives on in the checkpoint file
+            break;
+          }
+        }
+        const Status s = shard->RunSlice();
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lock(st.mu);
+          if (st.error.ok()) {
+            st.error = s;
+          }
+          st.stop = true;
+          st.cv.notify_all();
+          abandoned = true;
+          break;
+        }
+      }
+      if (abandoned) {
+        break;
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(st.mu);
+        FoldShardLocked(&st, shard->shard_index(),
+                        std::move(shard->accumulator()));
+        ++st.shards_since_checkpoint;
+        if (checkpoint_enabled && !st.checkpoint_requested && !st.stop &&
+            st.shards_since_checkpoint >= options.checkpoint_every_shards) {
+          st.shards_since_checkpoint = 0;
+          st.checkpoint_requested = true;
+          st.cp_flag.store(true, std::memory_order_relaxed);
+          st.cv.notify_all();
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      --st.active;
+      st.cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+
+  // Coordinator: writes checkpoints whenever all live workers are quiesced.
+  {
+    std::unique_lock<std::mutex> lock(st.mu);
+    for (;;) {
+      st.cv.wait(lock, [&] {
+        return st.active == 0 ||
+               (st.checkpoint_requested && !st.stop &&
+                st.paused == st.active);
+      });
+      if (st.active == 0) {
+        break;
+      }
+      FleetCheckpointWriteView view;
+      view.fingerprint = fingerprint;
+      view.device_count = fleet.device_count;
+      view.shard_count = shard_count;
+      view.next_fresh_shard = st.next_fresh;
+      view.folded_prefix = st.folded;
+      view.global = &st.global;
+      for (const auto& [shard_id, acc] : st.pending) {
+        view.pending.emplace_back(shard_id, &acc);
+      }
+      view.inflight = st.paused_shards;
+      // Resumed-but-unclaimed shards are in flight too: nobody holds them,
+      // but they are neither folded nor pending.
+      for (size_t i = st.next_resumed; i < st.resumed.size(); ++i) {
+        view.inflight.push_back(st.resumed[i].get());
+      }
+      const Status written =
+          WriteFleetCheckpoint(options.checkpoint_path, view);
+      if (!written.ok() && st.error.ok()) {
+        st.error = written;
+        st.stop = true;
+      } else {
+        ++st.checkpoints_written;
+        if (options.stop_after_checkpoints > 0 &&
+            st.checkpoints_written >= options.stop_after_checkpoints) {
+          st.stop = true;
+        }
+      }
+      st.checkpoint_requested = false;
+      st.cp_flag.store(false, std::memory_order_relaxed);
+      st.cv.notify_all();
+      if (st.stop) {
+        st.cv.wait(lock, [&] { return st.active == 0; });
+        break;
+      }
+    }
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (!st.error.ok()) {
+    return st.error;
+  }
+
+  FleetOutcome outcome;
+  outcome.campaign = spec.name;
+  outcome.fleet = fleet.name;
+  outcome.seed = spec.seed;
+  outcome.device_count = fleet.device_count;
+  outcome.shard_count = shard_count;
+  outcome.acc = std::move(st.global);
+  outcome.completed = st.folded == shard_count;
+  outcome.checkpoints_written = st.checkpoints_written;
+  outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return outcome;
+}
+
+}  // namespace flashsim

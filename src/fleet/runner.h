@@ -1,0 +1,59 @@
+// Fleet runner: executes one FleetSpec across a worker pool (DESIGN.md §13).
+//
+// Workers claim whole shards (resumed in-flight shards first, then fresh
+// shard indices from an atomic cursor) and process each shard sequentially,
+// one bounded slice at a time. Completed shard accumulators fold into the
+// global accumulator strictly in shard-index order — out-of-order finishers
+// wait in a small pending map — so the final report is byte-identical at any
+// thread count.
+//
+// Checkpointing: after every `checkpoint_every_shards` folds, workers
+// quiesce at their next slice boundary (every device parked), the whole
+// fleet state is serialized to `checkpoint_path` (atomic tmp+rename), and
+// work resumes. `stop_after_checkpoints` turns a checkpoint into a
+// controlled kill for crash-resume testing; `resume_path` warm-starts a run
+// from such a file, continuing bit-exactly.
+
+#ifndef SRC_FLEET_RUNNER_H_
+#define SRC_FLEET_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/campaign/spec.h"
+#include "src/fleet/aggregate.h"
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+struct FleetRunOptions {
+  int threads = 1;
+  // Checkpointing is active when both are set.
+  std::string checkpoint_path;
+  uint64_t checkpoint_every_shards = 0;
+  // Stop (without finishing the fleet) once this many checkpoints have been
+  // written; 0 = run to completion.
+  uint64_t stop_after_checkpoints = 0;
+  // Warm-start from a checkpoint file written by a previous run.
+  std::string resume_path;
+};
+
+struct FleetOutcome {
+  std::string campaign;
+  std::string fleet;
+  uint64_t seed = 0;
+  uint64_t device_count = 0;
+  uint64_t shard_count = 0;
+  FleetAccumulator acc;
+  bool completed = true;  // false when stopped after a checkpoint
+  uint64_t checkpoints_written = 0;
+  // Host wall-clock; stdout only, never serialized into reports.
+  double wall_seconds = 0.0;
+};
+
+Result<FleetOutcome> RunFleet(const CampaignSpec& spec, const FleetSpec& fleet,
+                              const FleetRunOptions& options);
+
+}  // namespace flashsim
+
+#endif  // SRC_FLEET_RUNNER_H_

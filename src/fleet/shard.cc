@@ -1,0 +1,325 @@
+#include "src/fleet/shard.h"
+
+#include <algorithm>
+
+#include "src/device/flash_device.h"
+#include "src/fleet/park.h"
+#include "src/simcore/rng.h"
+#include "src/simcore/units.h"
+#include "src/workload/generators.h"
+
+namespace flashsim {
+
+namespace {
+
+constexpr uint32_t kShardTag = SnapshotTag("SHRD");
+
+// Per-device byte cap when the spec sets none; matches the campaign runner's
+// default wear cap so unbounded streams still terminate.
+constexpr uint64_t kDefaultDeviceCap = 1 * kTiB;
+
+constexpr uint64_t kPrefillChunk = 4 * kMiB;
+
+Status PrefillDevice(FlashDevice& device, uint64_t start, uint64_t length) {
+  const uint64_t end = std::min(start + length, device.CapacityBytes());
+  for (uint64_t off = start; off < end; off += kPrefillChunk) {
+    const IoRequest fill{IoKind::kWrite, off, std::min(kPrefillChunk, end - off)};
+    Result<IoCompletion> done = device.Submit(fill);
+    if (!done.ok()) {
+      return done.status();
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+FleetDeviceRef FleetDeviceAt(const CampaignSpec& spec, const FleetSpec& fleet,
+                             uint64_t index) {
+  FleetDeviceRef ref;
+  ref.index = index;
+  const uint64_t n_models = std::max<size_t>(1, fleet.devices.size());
+  const uint64_t n_workloads = std::max<size_t>(1, fleet.workloads.size());
+  const uint64_t combo = index % (n_models * n_workloads);
+  ref.model_index = static_cast<uint32_t>(combo % n_models);
+  if (ref.model_index < fleet.devices.size()) {
+    ref.model = FindCampaignDevice(fleet.devices[ref.model_index]);
+  }
+  const uint64_t workload_index = combo / n_models;
+  if (workload_index < fleet.workloads.size()) {
+    const SyntheticWorkloadConfig* w =
+        spec.FindWorkload(fleet.workloads[workload_index]);
+    if (w != nullptr) {
+      ref.workload = *w;
+    }
+  }
+  ref.seed = DeriveDeviceSeed(spec.seed, fleet.index, index);
+  return ref;
+}
+
+uint64_t FleetShardCount(const FleetSpec& fleet) {
+  if (fleet.device_count == 0 || fleet.shard_devices == 0) {
+    return 0;
+  }
+  return (fleet.device_count + fleet.shard_devices - 1) / fleet.shard_devices;
+}
+
+FleetShard::FleetShard(const CampaignSpec* spec, const FleetSpec* fleet)
+    : spec_(spec), fleet_(fleet) {}
+
+void FleetShard::InitFresh(uint64_t shard_index) {
+  shard_index_ = shard_index;
+  first_device_ = shard_index * fleet_->shard_devices;
+  const uint64_t end =
+      std::min(first_device_ + fleet_->shard_devices, fleet_->device_count);
+  devices_.assign(end > first_device_ ? end - first_device_ : 0,
+                  FleetDeviceProgress{});
+  cursor_ = 0;
+  remaining_ = devices_.size();
+  acc_.Init(fleet_->devices, fleet_->survival_bin_hours);
+}
+
+Status FleetShard::RunSlice() {
+  if (remaining_ == 0 || devices_.empty()) {
+    return Status::Ok();
+  }
+  uint64_t pos = cursor_ % devices_.size();
+  while (devices_[pos].phase == FleetDeviceProgress::kDone) {
+    pos = (pos + 1) % devices_.size();
+  }
+  const Status s = DriveDeviceSlice(pos);
+  cursor_ = (pos + 1) % devices_.size();
+  return s;
+}
+
+Status FleetShard::DriveDeviceSlice(uint64_t position) {
+  FleetDeviceProgress& p = devices_[position];
+  const FleetDeviceRef ref =
+      FleetDeviceAt(*spec_, *fleet_, first_device_ + position);
+  if (ref.model == nullptr) {
+    return NotFoundError("fleet device has unknown model slug");
+  }
+
+  std::unique_ptr<FlashDevice> device =
+      ref.model->make(fleet_->scale, DeriveSeed(ref.seed, 0));
+  SyntheticWorkload workload(ref.workload);
+  const uint64_t driver_seed = DeriveSeed(ref.seed, 1);
+  const uint64_t target = device->CapacityBytes();
+
+  if (p.phase == FleetDeviceProgress::kUnborn) {
+    workload.Reset(DeriveSeed(driver_seed, 0));
+    if (workload.MayRead()) {
+      uint64_t start = 0;
+      uint64_t length = 0;
+      workload.TouchRange(target, &start, &length);
+      FLASHSIM_RETURN_IF_ERROR(PrefillDevice(*device, start, length));
+    }
+  } else {
+    std::vector<uint8_t> raw;
+    FLASHSIM_RETURN_IF_ERROR(UnpackZeroRuns(p.parked, &raw));
+    SnapshotReader r(std::move(raw));
+    FLASHSIM_RETURN_IF_ERROR(device->LoadState(r));
+    FLASHSIM_RETURN_IF_ERROR(workload.LoadState(r));
+  }
+
+  const uint64_t poll_bytes = std::max<uint64_t>(64 * kKiB, target / 64);
+  const uint64_t cap =
+      fleet_->max_device_bytes > 0 ? fleet_->max_device_bytes : kDefaultDeviceCap;
+  std::vector<IoRequest> pending;
+  pending.reserve(fleet_->batch_requests);
+  bool done = false;
+  bool bricked = false;
+  bool reached = false;
+
+  // Folds a SubmitBatch flush into the progress counters; false = the drive
+  // must stop (wear-out or hard failure).
+  auto flush = [&]() -> bool {
+    if (pending.empty()) {
+      return true;
+    }
+    const BatchCompletion dc =
+        device->SubmitBatch(pending.data(), pending.size());
+    for (size_t i = 0; i < dc.requests_completed; ++i) {
+      if (pending[i].kind == IoKind::kRead) {
+        p.bytes_read += pending[i].length;
+      } else if (pending[i].kind == IoKind::kWrite) {
+        p.bytes_written += pending[i].length;
+      }
+    }
+    p.requests += dc.requests_completed;
+    pending.clear();
+    if (!dc.status.ok()) {
+      bricked = dc.status.code() == StatusCode::kUnavailable;
+      return false;
+    }
+    return true;
+  };
+  auto poll = [&]() -> uint32_t {
+    const HealthReport h = device->QueryHealth();
+    const uint32_t level =
+        h.supported ? std::max(h.life_time_est_a, h.life_time_est_b) : 0;
+    while (p.last_level < level) {
+      ++p.last_level;
+      p.levels.push_back(FleetDeviceProgress::LevelRow{
+          p.last_level, p.bytes_written + p.bytes_read,
+          device->clock().Now().ToHoursF()});
+    }
+    return level;
+  };
+
+  uint64_t slice_issued = 0;
+  while (slice_issued < fleet_->slice_bytes) {
+    WorkloadOp op;
+    if (!workload.Next(target, &op)) {
+      // Fleet devices always loop their stream (wear experiment semantics);
+      // laps are reseeded like WorkloadDriveOptions::loop.
+      ++p.lap;
+      workload.Reset(DeriveSeed(driver_seed, p.lap));
+      if (!workload.Next(target, &op)) {
+        done = true;  // stream empty even after a restart
+        break;
+      }
+    }
+    if (op.pre_idle.nanos() > 0) {
+      if (!flush()) {
+        done = true;
+        break;
+      }
+      device->clock().AdvanceWithCategory(op.pre_idle, "workload-idle");
+    }
+    pending.push_back(IoRequest{op.kind, op.offset, op.length});
+    slice_issued += op.length;
+    p.since_poll += op.length;
+    if (pending.size() >= fleet_->batch_requests && !flush()) {
+      done = true;
+      break;
+    }
+    if (p.since_poll >= poll_bytes) {
+      p.since_poll = 0;
+      if (!flush()) {
+        done = true;
+        break;
+      }
+      const uint32_t level = poll();
+      if (fleet_->target_level > 0 && level >= fleet_->target_level) {
+        reached = true;
+        done = true;
+        break;
+      }
+    }
+    if (p.bytes_written + p.bytes_read >= cap) {
+      done = true;
+      break;
+    }
+  }
+  if (!flush()) {
+    done = true;
+  }
+  poll();
+  if (fleet_->target_level > 0 && p.last_level >= fleet_->target_level) {
+    reached = true;
+    done = true;
+  }
+  if (bricked) {
+    done = true;
+  }
+
+  if (!done) {
+    SnapshotWriter w;
+    device->SaveState(w);
+    workload.SaveState(w);
+    p.parked = PackZeroRuns(w.buffer());
+    p.parked_raw_bytes = w.buffer().size();
+    p.phase = FleetDeviceProgress::kParked;
+    acc_.AddParkedSample(p.parked_raw_bytes, p.parked.size());
+    return Status::Ok();
+  }
+
+  const double vf = fleet_->scale.VolumeFactor();
+  FleetDeviceOutcome out;
+  out.model_index = ref.model_index;
+  out.bricked = bricked;
+  out.reached_level = reached;
+  out.days = device->clock().Now().ToHoursF() * vf / 24.0;
+  out.host_gib =
+      static_cast<double>(p.bytes_written) * vf / static_cast<double>(kGiB);
+  out.device_wa = device->ftl().Stats().WriteAmplification();
+  out.level_days.reserve(p.levels.size());
+  for (const FleetDeviceProgress::LevelRow& row : p.levels) {
+    out.level_days.emplace_back(row.level, row.hours * vf / 24.0);
+  }
+  acc_.AddOutcome(out);
+  p = FleetDeviceProgress{};  // frees the parked blob and level rows
+  p.phase = FleetDeviceProgress::kDone;
+  --remaining_;
+  return Status::Ok();
+}
+
+void FleetShard::Save(SnapshotWriter& w) const {
+  w.BeginSection(kShardTag);
+  w.U64(shard_index_);
+  w.U64(first_device_);
+  w.U64(cursor_);
+  w.U64(remaining_);
+  w.U64(devices_.size());
+  for (const FleetDeviceProgress& p : devices_) {
+    w.U8(p.phase);
+    if (p.phase != FleetDeviceProgress::kParked) {
+      continue;  // unborn and done devices have no state
+    }
+    w.U64(p.bytes_written);
+    w.U64(p.bytes_read);
+    w.U64(p.requests);
+    w.U64(p.lap);
+    w.U64(p.since_poll);
+    w.U32(p.last_level);
+    w.U64(p.levels.size());
+    for (const FleetDeviceProgress::LevelRow& row : p.levels) {
+      w.U32(row.level);
+      w.U64(row.host_bytes);
+      w.F64(row.hours);
+    }
+    w.U64(p.parked_raw_bytes);
+    w.VecU8(p.parked);
+  }
+  acc_.Save(w);
+  w.EndSection();
+}
+
+Status FleetShard::Load(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(kShardTag));
+  shard_index_ = r.U64();
+  first_device_ = r.U64();
+  cursor_ = r.U64();
+  remaining_ = r.U64();
+  const uint64_t n_devices = r.U64();
+  devices_.assign(n_devices, FleetDeviceProgress{});
+  for (uint64_t i = 0; i < n_devices && r.ok(); ++i) {
+    FleetDeviceProgress& p = devices_[i];
+    p.phase = r.U8();
+    if (p.phase != FleetDeviceProgress::kParked) {
+      continue;
+    }
+    p.bytes_written = r.U64();
+    p.bytes_read = r.U64();
+    p.requests = r.U64();
+    p.lap = r.U64();
+    p.since_poll = r.U64();
+    p.last_level = r.U32();
+    const uint64_t n_levels = r.U64();
+    for (uint64_t j = 0; j < n_levels && r.ok(); ++j) {
+      FleetDeviceProgress::LevelRow row;
+      row.level = r.U32();
+      row.host_bytes = r.U64();
+      row.hours = r.F64();
+      p.levels.push_back(row);
+    }
+    p.parked_raw_bytes = r.U64();
+    r.VecU8(&p.parked);
+  }
+  FLASHSIM_RETURN_IF_ERROR(acc_.Load(r));
+  r.LeaveSection();
+  return r.status();
+}
+
+}  // namespace flashsim

@@ -1,0 +1,108 @@
+// Fleet shard: a contiguous range of simulated devices driven in bounded
+// slices with park/unpark between slices (DESIGN.md §13).
+//
+// Device identity is positional: device i of a fleet maps to combo
+// c = i mod (|devices| * |workloads|), model = devices[c mod |devices|],
+// workload = workloads[c div |devices|], and its RNG tree is rooted at
+// DeriveDeviceSeed(campaign seed, fleet index, i) — so any device can be
+// reconstructed from the spec alone, and unstarted devices cost zero bytes.
+//
+// A shard is processed sequentially by exactly one worker. RunSlice()
+// unparks the next unfinished device (round-robin), drives up to
+// slice_bytes of its workload, and parks it again as a zero-run packed FSNP
+// blob; at most one device per worker is ever live, which is what bounds
+// fleet memory. Finished devices fold into the shard's FleetAccumulator
+// immediately and free their parked state. Save()/Load() serialize the
+// whole mid-shard state (cursor, per-device progress, parked blobs,
+// accumulator) for fleet checkpoints; a restored shard continues bit-exactly.
+
+#ifndef SRC_FLEET_SHARD_H_
+#define SRC_FLEET_SHARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/campaign/spec.h"
+#include "src/fleet/aggregate.h"
+#include "src/simcore/snapshot.h"
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+// Resolved identity of one fleet device.
+struct FleetDeviceRef {
+  uint64_t index = 0;
+  uint32_t model_index = 0;            // into fleet.devices
+  const CampaignDevice* model = nullptr;
+  SyntheticWorkloadConfig workload;
+  uint64_t seed = 0;  // DeriveDeviceSeed(spec.seed, fleet.index, index)
+};
+
+FleetDeviceRef FleetDeviceAt(const CampaignSpec& spec, const FleetSpec& fleet,
+                             uint64_t index);
+
+// Number of shards a fleet splits into.
+uint64_t FleetShardCount(const FleetSpec& fleet);
+
+// Cross-slice progress of one device. While parked, this struct plus the
+// packed blob IS the device.
+struct FleetDeviceProgress {
+  enum Phase : uint8_t { kUnborn = 0, kParked = 1, kDone = 2 };
+
+  struct LevelRow {
+    uint32_t level = 0;
+    uint64_t host_bytes = 0;
+    double hours = 0.0;  // sim-scale hours at the transition
+  };
+
+  uint8_t phase = kUnborn;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t requests = 0;
+  uint64_t lap = 0;         // workload restart count
+  uint64_t since_poll = 0;  // bytes since the last health poll
+  uint32_t last_level = 0;
+  std::vector<LevelRow> levels;
+  std::vector<uint8_t> parked;  // zero-run packed FSNP blob (kParked only)
+  uint64_t parked_raw_bytes = 0;
+};
+
+class FleetShard {
+ public:
+  FleetShard(const CampaignSpec* spec, const FleetSpec* fleet);
+
+  // Fresh shard covering device range [index * shard_devices, ...).
+  void InitFresh(uint64_t shard_index);
+
+  uint64_t shard_index() const { return shard_index_; }
+  uint64_t device_count() const { return devices_.size(); }
+  bool Done() const { return remaining_ == 0; }
+
+  // Drives the next unfinished device for one slice. Returns an error only
+  // on internal (snapshot) failures; device wear-out is normal progress.
+  Status RunSlice();
+
+  FleetAccumulator& accumulator() { return acc_; }
+  const FleetAccumulator& accumulator() const { return acc_; }
+
+  // Mid-shard checkpoint state ("SHRD" section).
+  void Save(SnapshotWriter& w) const;
+  Status Load(SnapshotReader& r);
+
+ private:
+  Status DriveDeviceSlice(uint64_t position);
+
+  const CampaignSpec* spec_ = nullptr;
+  const FleetSpec* fleet_ = nullptr;
+  uint64_t shard_index_ = 0;
+  uint64_t first_device_ = 0;
+  uint64_t cursor_ = 0;     // round-robin position of the next slice
+  uint64_t remaining_ = 0;  // devices not yet done
+  std::vector<FleetDeviceProgress> devices_;
+  FleetAccumulator acc_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_FLEET_SHARD_H_

@@ -1,0 +1,267 @@
+#include "src/fleet/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flashsim {
+
+namespace {
+
+constexpr uint32_t kMergeStatsTag = SnapshotTag("MSTA");
+constexpr uint32_t kDigestTag = SnapshotTag("TDIG");
+constexpr uint32_t kHistTag = SnapshotTag("DHIS");
+
+// Buffered samples per compression pass. Larger buffers amortize the sort;
+// the value is part of the determinism surface (it fixes where compression
+// boundaries fall), so it is a constant, not a tunable.
+constexpr size_t kDigestBuffer = 512;
+
+}  // namespace
+
+// --- MergeStats -------------------------------------------------------------
+
+void MergeStats::Add(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void MergeStats::Merge(const MergeStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void MergeStats::Save(SnapshotWriter& w) const {
+  w.BeginSection(kMergeStatsTag);
+  w.U64(count_);
+  w.F64(sum_);
+  w.F64(min_);
+  w.F64(max_);
+  w.EndSection();
+}
+
+Status MergeStats::Load(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(kMergeStatsTag));
+  count_ = r.U64();
+  sum_ = r.F64();
+  min_ = r.F64();
+  max_ = r.F64();
+  r.LeaveSection();
+  return r.status();
+}
+
+// --- WearDigest -------------------------------------------------------------
+
+WearDigest::WearDigest(uint32_t compression)
+    : compression_(std::max<uint32_t>(8, compression)) {}
+
+void WearDigest::Add(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  buffer_.push_back(v);
+  if (buffer_.size() >= kDigestBuffer) {
+    Compress();
+  }
+}
+
+void WearDigest::Merge(const WearDigest& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  centroids_.insert(centroids_.end(), other.centroids_.begin(),
+                    other.centroids_.end());
+  buffer_.insert(buffer_.end(), other.buffer_.begin(), other.buffer_.end());
+  Compress();
+}
+
+void WearDigest::Compress() {
+  std::vector<Centroid> in = std::move(centroids_);
+  centroids_.clear();
+  in.reserve(in.size() + buffer_.size());
+  for (double v : buffer_) {
+    in.push_back(Centroid{v, 1.0});
+  }
+  buffer_.clear();
+  if (in.empty()) {
+    return;
+  }
+  // Full (mean, weight) ordering: equal keys are interchangeable, so the
+  // result is a deterministic function of the input multiset.
+  std::sort(in.begin(), in.end(), [](const Centroid& a, const Centroid& b) {
+    return a.mean != b.mean ? a.mean < b.mean : a.weight < b.weight;
+  });
+  double total = 0.0;
+  for (const Centroid& c : in) {
+    total += c.weight;
+  }
+  // Greedy left-to-right merge: a centroid may absorb its neighbor while its
+  // weight stays under the q(1-q) bound, which concentrates resolution in
+  // the tails.
+  centroids_.reserve(compression_ + 8);
+  Centroid cur = in[0];
+  double done = 0.0;  // weight fully emitted before `cur`
+  for (size_t i = 1; i < in.size(); ++i) {
+    const double w = cur.weight + in[i].weight;
+    const double q = (done + w / 2.0) / total;
+    const double limit =
+        std::max(1.0, 4.0 * total * q * (1.0 - q) / compression_);
+    if (w <= limit) {
+      cur.mean = (cur.mean * cur.weight + in[i].mean * in[i].weight) / w;
+      cur.weight = w;
+    } else {
+      done += cur.weight;
+      centroids_.push_back(cur);
+      cur = in[i];
+    }
+  }
+  centroids_.push_back(cur);
+}
+
+std::vector<WearDigest::Centroid> WearDigest::Compacted() const {
+  WearDigest tmp(compression_);
+  tmp.centroids_ = centroids_;
+  tmp.buffer_ = buffer_;
+  tmp.Compress();
+  return std::move(tmp.centroids_);
+}
+
+double WearDigest::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const std::vector<Centroid> cs = Compacted();
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (size_t i = 0; i < cs.size(); ++i) {
+    const double mid = cum + cs[i].weight / 2.0;
+    if (target <= mid) {
+      if (i == 0) {
+        // Interpolate from the true minimum into the first centroid.
+        const double frac = cs[i].weight <= 1.0 ? 1.0 : target / mid;
+        return min_ + (cs[i].mean - min_) * std::min(1.0, frac);
+      }
+      const double prev_mid = cum - cs[i - 1].weight / 2.0;
+      const double span = mid - prev_mid;
+      const double frac = span > 0.0 ? (target - prev_mid) / span : 0.0;
+      return cs[i - 1].mean + (cs[i].mean - cs[i - 1].mean) * frac;
+    }
+    cum += cs[i].weight;
+  }
+  return max_;
+}
+
+void WearDigest::Save(SnapshotWriter& w) const {
+  w.BeginSection(kDigestTag);
+  w.U32(compression_);
+  w.U64(count_);
+  w.F64(sum_);
+  w.F64(min_);
+  w.F64(max_);
+  w.U64(centroids_.size());
+  for (const Centroid& c : centroids_) {
+    w.F64(c.mean);
+    w.F64(c.weight);
+  }
+  w.U64(buffer_.size());
+  for (double v : buffer_) {
+    w.F64(v);
+  }
+  w.EndSection();
+}
+
+Status WearDigest::Load(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(kDigestTag));
+  compression_ = r.U32();
+  count_ = r.U64();
+  sum_ = r.F64();
+  min_ = r.F64();
+  max_ = r.F64();
+  const uint64_t n_centroids = r.U64();
+  centroids_.clear();
+  for (uint64_t i = 0; i < n_centroids && r.ok(); ++i) {
+    Centroid c;
+    c.mean = r.F64();
+    c.weight = r.F64();
+    centroids_.push_back(c);
+  }
+  const uint64_t n_buffer = r.U64();
+  buffer_.clear();
+  for (uint64_t i = 0; i < n_buffer && r.ok(); ++i) {
+    buffer_.push_back(r.F64());
+  }
+  r.LeaveSection();
+  return r.status();
+}
+
+// --- DayHistogram -----------------------------------------------------------
+
+void DayHistogram::Add(uint32_t bin, uint64_t n) {
+  bins_[bin] += n;
+  total_ += n;
+}
+
+void DayHistogram::Merge(const DayHistogram& other) {
+  for (const auto& [bin, n] : other.bins_) {
+    bins_[bin] += n;
+  }
+  total_ += other.total_;
+}
+
+void DayHistogram::Save(SnapshotWriter& w) const {
+  w.BeginSection(kHistTag);
+  w.U64(bins_.size());
+  for (const auto& [bin, n] : bins_) {
+    w.U32(bin);
+    w.U64(n);
+  }
+  w.EndSection();
+}
+
+Status DayHistogram::Load(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(kHistTag));
+  bins_.clear();
+  total_ = 0;
+  const uint64_t n_bins = r.U64();
+  for (uint64_t i = 0; i < n_bins && r.ok(); ++i) {
+    const uint32_t bin = r.U32();
+    const uint64_t n = r.U64();
+    bins_[bin] = n;
+    total_ += n;
+  }
+  r.LeaveSection();
+  return r.status();
+}
+
+}  // namespace flashsim

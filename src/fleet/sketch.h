@@ -1,0 +1,124 @@
+// Streaming, deterministically-mergeable statistic sketches for fleet-scale
+// aggregation (DESIGN.md §13).
+//
+// A fleet campaign folds millions of per-device observations into a few
+// kilobytes of state per device model. Three sketches cover the report's
+// needs:
+//
+//   MergeStats   — count/sum/min/max (mean derived), O(1) per sample.
+//   WearDigest   — t-digest-style percentile sketch over doubles: bounded
+//                  centroid count, raw samples buffered and compressed by a
+//                  sorted greedy merge pass.
+//   DayHistogram — sparse integer-bin histogram (survival curves, binned by
+//                  full-device-equivalent day).
+//
+// Determinism contract: every sketch is a pure function of its observation
+// sequence, and the fleet runner feeds observations in a thread-count
+// independent order (per-shard sequential, shards folded in index order), so
+// fleet reports are byte-identical at any thread count. To keep checkpointed
+// runs bit-exact with uninterrupted ones, Save() serializes the sketch
+// *as-is* — including WearDigest's uncompressed sample buffer — rather than
+// normalizing it; restoring therefore reproduces the exact in-memory state
+// and the same downstream compression trajectory.
+
+#ifndef SRC_FLEET_SKETCH_H_
+#define SRC_FLEET_SKETCH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/simcore/snapshot.h"
+#include "src/simcore/status.h"
+
+namespace flashsim {
+
+// Count/sum/min/max accumulator. Unlike RunningStats (Welford), merging two
+// MergeStats is exact and associative, which the shard fold relies on.
+class MergeStats {
+ public:
+  void Add(double v);
+  void Merge(const MergeStats& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  void Save(SnapshotWriter& w) const;
+  Status Load(SnapshotReader& r);
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Mergeable percentile sketch (a simplified merging t-digest: Dunning &
+// Ertl's buffer-and-merge variant with a q(1-q) centroid size bound). Memory
+// is O(compression + buffer), independent of sample count; accuracy is best
+// in the tails, which is what brick-day percentiles care about.
+class WearDigest {
+ public:
+  WearDigest() = default;
+  explicit WearDigest(uint32_t compression);
+
+  void Add(double v);
+  void Merge(const WearDigest& other);
+
+  // Interpolated quantile estimate, q in [0, 1]. Returns 0 when empty.
+  // Const and non-destructive: works on a temporary compacted view so
+  // report-time queries cannot perturb checkpoint trajectories.
+  double Quantile(double q) const;
+
+  uint64_t count() const { return count_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  void Save(SnapshotWriter& w) const;
+  Status Load(SnapshotReader& r);
+
+ private:
+  struct Centroid {
+    double mean = 0.0;
+    double weight = 0.0;
+  };
+
+  void Compress();
+  std::vector<Centroid> Compacted() const;
+
+  uint32_t compression_ = 128;
+  std::vector<Centroid> centroids_;  // sorted by mean after Compress()
+  std::vector<double> buffer_;       // raw weight-1 samples
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Sparse histogram over non-negative integer bins. The fleet report uses it
+// for survival curves: bin = full-device-equivalent day of a brick event.
+class DayHistogram {
+ public:
+  void Add(uint32_t bin, uint64_t n = 1);
+  void Merge(const DayHistogram& other);
+
+  const std::map<uint32_t, uint64_t>& bins() const { return bins_; }
+  uint64_t total() const { return total_; }
+
+  void Save(SnapshotWriter& w) const;
+  Status Load(SnapshotReader& r);
+
+ private:
+  std::map<uint32_t, uint64_t> bins_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_FLEET_SKETCH_H_

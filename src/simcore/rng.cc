@@ -27,6 +27,16 @@ uint64_t DeriveSeed(uint64_t base_seed, uint64_t stream_index) {
   return h ^ stream_index;
 }
 
+uint64_t DeriveDeviceSeed(uint64_t campaign_seed, uint64_t run_index,
+                          uint64_t device_index) {
+  // Domain-separate the run stream before deriving per-device children, so
+  // DeriveDeviceSeed(s, r, d) never aliases DeriveSeed(s, i) for the indices
+  // campaigns actually use.
+  const uint64_t run_stream =
+      DeriveSeed(campaign_seed, run_index) ^ 0xd1f1ee7ull * 0x9e3779b97f4a7c15ull;
+  return DeriveSeed(run_stream, device_index);
+}
+
 Rng::Rng(uint64_t seed) { Reseed(seed); }
 
 void Rng::Reseed(uint64_t seed) {

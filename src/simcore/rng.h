@@ -66,6 +66,15 @@ class Rng {
 // it to reseed looped streams per lap.
 uint64_t DeriveSeed(uint64_t base_seed, uint64_t stream_index);
 
+// Derives a per-device seed for population (fleet) grids from
+// (campaign seed, run index, device index). Chains two DeriveSeed rounds
+// through a domain-separation constant so the device streams of one run
+// cannot collide with the per-run streams DeriveSeed hands out for the same
+// campaign seed, and nearby (run, device) cells land in unrelated streams.
+// fleet_seed_test proves the full 1M-device x 64-run grid is collision-free.
+uint64_t DeriveDeviceSeed(uint64_t campaign_seed, uint64_t run_index,
+                          uint64_t device_index);
+
 }  // namespace flashsim
 
 #endif  // SRC_SIMCORE_RNG_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/simcore/snapshot.h"
+
 namespace flashsim {
 
 namespace {
@@ -109,6 +111,35 @@ uint64_t SyntheticWorkload::NextSlot(uint64_t slots) {
     }
   }
   return 0;
+}
+
+void SyntheticWorkload::SaveState(SnapshotWriter& w) const {
+  w.BeginSection(SnapshotTag("SWKL"));
+  for (uint64_t word : rng_.state()) {
+    w.U64(word);
+  }
+  w.U64(cursor_);
+  w.U64(issued_bytes_);
+  w.U64(burst_count_);
+  w.EndSection();
+}
+
+Status SyntheticWorkload::LoadState(SnapshotReader& r) {
+  FLASHSIM_RETURN_IF_ERROR(r.EnterSection(SnapshotTag("SWKL")));
+  std::array<uint64_t, 4> state;
+  for (uint64_t& word : state) {
+    word = r.U64();
+  }
+  const uint64_t cursor = r.U64();
+  const uint64_t issued = r.U64();
+  const uint64_t burst = r.U64();
+  r.LeaveSection();
+  FLASHSIM_RETURN_IF_ERROR(r.status());
+  rng_.set_state(state);
+  cursor_ = cursor;
+  issued_bytes_ = issued;
+  burst_count_ = burst;
+  return Status::Ok();
 }
 
 bool SyntheticWorkload::Next(uint64_t target_bytes, WorkloadOp* op) {

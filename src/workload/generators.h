@@ -14,10 +14,14 @@
 #include <string>
 
 #include "src/simcore/rng.h"
+#include "src/simcore/status.h"
 #include "src/workload/access_pattern.h"
 #include "src/workload/workload.h"
 
 namespace flashsim {
+
+class SnapshotReader;
+class SnapshotWriter;
 
 struct SyntheticWorkloadConfig {
   std::string name = "synthetic";
@@ -78,6 +82,13 @@ class SyntheticWorkload : public Workload {
   const std::string& name() const override { return config_.name; }
 
   const SyntheticWorkloadConfig& config() const { return config_; }
+
+  // Generator state snapshot, for fleet device parking: the stream continues
+  // bit-exactly from a restored state on a workload constructed from the same
+  // config. The Zipf sampler is derived state — it is rebuilt lazily on the
+  // first post-restore sample and consumes no randomness, so it is not saved.
+  void SaveState(SnapshotWriter& w) const;
+  Status LoadState(SnapshotReader& r);
 
   // Region the generator addresses on a target of `target_bytes`:
   // [start, start + slots * request). slots == 0 when the target is smaller

@@ -1,0 +1,193 @@
+// Streaming sketch properties the fleet report depends on: exact MergeStats
+// merging, WearDigest quantile accuracy and merge/save determinism, and
+// DayHistogram folding.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/sketch.h"
+
+namespace flashsim {
+namespace {
+
+TEST(MergeStatsTest, TracksCountSumMinMax) {
+  MergeStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  s.Add(3.0);
+  s.Add(-1.0);
+  s.Add(10.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.0);
+}
+
+TEST(MergeStatsTest, MergeIsExactAndHandlesEmpty) {
+  MergeStats a;
+  MergeStats b;
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(-5.0);
+
+  MergeStats merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_DOUBLE_EQ(merged.sum(), -2.0);
+  EXPECT_DOUBLE_EQ(merged.min(), -5.0);
+  EXPECT_DOUBLE_EQ(merged.max(), 2.0);
+
+  MergeStats empty;
+  merged.Merge(empty);
+  EXPECT_EQ(merged.count(), 3u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+}
+
+TEST(MergeStatsTest, SaveLoadRoundTrip) {
+  MergeStats s;
+  s.Add(0.25);
+  s.Add(1e9);
+  SnapshotWriter w;
+  s.Save(w);
+  SnapshotReader r(w.buffer());
+  MergeStats loaded;
+  ASSERT_TRUE(loaded.Load(r).ok());
+  EXPECT_EQ(loaded.count(), s.count());
+  EXPECT_DOUBLE_EQ(loaded.sum(), s.sum());
+  EXPECT_DOUBLE_EQ(loaded.min(), s.min());
+  EXPECT_DOUBLE_EQ(loaded.max(), s.max());
+}
+
+TEST(WearDigestTest, SmallSampleSetsAreExact) {
+  WearDigest d;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    d.Add(v);
+  }
+  EXPECT_EQ(d.count(), 5u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 3.0);
+  // With fewer samples than the buffer the quantiles are interpolations of
+  // the exact sorted sample set.
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 5.0);
+  EXPECT_NEAR(d.Quantile(0.5), 3.0, 1e-9);
+}
+
+TEST(WearDigestTest, QuantilesApproximateUniformDistribution) {
+  WearDigest d(128);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> uniform(0.0, 1000.0);
+  for (int i = 0; i < 50000; ++i) {
+    d.Add(uniform(rng));
+  }
+  EXPECT_EQ(d.count(), 50000u);
+  // 2% of the range is a loose bound; the digest is much tighter in the
+  // tails by construction.
+  EXPECT_NEAR(d.Quantile(0.5), 500.0, 20.0);
+  EXPECT_NEAR(d.Quantile(0.1), 100.0, 20.0);
+  EXPECT_NEAR(d.Quantile(0.9), 900.0, 20.0);
+  EXPECT_NEAR(d.Quantile(0.99), 990.0, 10.0);
+}
+
+TEST(WearDigestTest, IdenticalFeedOrderGivesIdenticalSerializedState) {
+  // The fleet determinism contract needs "same observation sequence → same
+  // bytes", not cross-order equality.
+  WearDigest a(64);
+  WearDigest b(64);
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) {
+    samples.push_back(uniform(rng));
+  }
+  for (double v : samples) {
+    a.Add(v);
+    b.Add(v);
+  }
+  SnapshotWriter wa;
+  SnapshotWriter wb;
+  a.Save(wa);
+  b.Save(wb);
+  EXPECT_EQ(wa.buffer(), wb.buffer());
+}
+
+TEST(WearDigestTest, MergePreservesCountSumAndTailBounds) {
+  WearDigest a(64);
+  WearDigest b(64);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(static_cast<double>(i));           // 0..4999
+    b.Add(static_cast<double>(i) + 5000.0);  // 5000..9999
+  }
+  WearDigest merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), 10000u);
+  EXPECT_NEAR(merged.Mean(), 4999.5, 1e-6);
+  EXPECT_DOUBLE_EQ(merged.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(merged.Quantile(1.0), 9999.0);
+  EXPECT_NEAR(merged.Quantile(0.5), 4999.5, 200.0);
+}
+
+TEST(WearDigestTest, SaveLoadPreservesExactInMemoryState) {
+  // Save() must serialize the digest as-is (buffer included), so a restored
+  // digest continues on the same compression trajectory — this is what makes
+  // checkpointed fleet runs bit-exact with uninterrupted ones.
+  WearDigest d(32);
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> uniform(0.0, 10.0);
+  for (int i = 0; i < 777; ++i) {  // deliberately leaves a partial buffer
+    d.Add(uniform(rng));
+  }
+  SnapshotWriter w;
+  d.Save(w);
+  SnapshotReader r(w.buffer());
+  WearDigest loaded;
+  ASSERT_TRUE(loaded.Load(r).ok());
+
+  // Continue both with the same samples: serialized states must stay equal.
+  for (int i = 0; i < 500; ++i) {
+    const double v = uniform(rng);
+    d.Add(v);
+    loaded.Add(v);
+  }
+  SnapshotWriter w1;
+  SnapshotWriter w2;
+  d.Save(w1);
+  loaded.Save(w2);
+  EXPECT_EQ(w1.buffer(), w2.buffer());
+}
+
+TEST(DayHistogramTest, AddMergeAndRoundTrip) {
+  DayHistogram h;
+  h.Add(3);
+  h.Add(3);
+  h.Add(10, 5);
+  EXPECT_EQ(h.total(), 7u);
+  ASSERT_EQ(h.bins().size(), 2u);
+  EXPECT_EQ(h.bins().at(3), 2u);
+  EXPECT_EQ(h.bins().at(10), 5u);
+
+  DayHistogram other;
+  other.Add(3);
+  other.Add(0);
+  h.Merge(other);
+  EXPECT_EQ(h.total(), 9u);
+  EXPECT_EQ(h.bins().at(3), 3u);
+  EXPECT_EQ(h.bins().at(0), 1u);
+
+  SnapshotWriter w;
+  h.Save(w);
+  SnapshotReader r(w.buffer());
+  DayHistogram loaded;
+  ASSERT_TRUE(loaded.Load(r).ok());
+  EXPECT_EQ(loaded.bins(), h.bins());
+  EXPECT_EQ(loaded.total(), h.total());
+}
+
+}  // namespace
+}  // namespace flashsim

@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "src/simcore/snapshot.h"
 #include "src/simcore/units.h"
 #include "src/workload/access_pattern.h"
 
@@ -264,6 +265,45 @@ TEST(SyntheticWorkloadTest, FinalRequestClippedToTotal) {
   const std::vector<WorkloadOp> ops = Drain(workload);
   ASSERT_EQ(ops.size(), 4u);
   EXPECT_EQ(ops.back().length, 1000u);
+}
+
+// The fleet runner parks a device mid-stream by snapshotting its workload
+// next to the device state; a restored workload must continue with exactly
+// the ops the uninterrupted one would have produced.
+TEST(SyntheticWorkloadTest, SaveLoadContinuesBitExactly) {
+  for (const AccessPattern pattern :
+       {AccessPattern::kSequential, AccessPattern::kRandom,
+        AccessPattern::kZipf, AccessPattern::kHotCold}) {
+    SyntheticWorkloadConfig config = BaseConfig(pattern);
+    config.total_bytes = 64 * kMiB;  // long enough to not run dry mid-test
+    config.read_fraction = 0.3;
+    config.burst_requests = 8;
+    config.idle_time = SimDuration::Micros(50);
+    SyntheticWorkload original(config);
+    original.Reset(0xabcdef);
+
+    // Consume a prefix, snapshot, then race the original against a restored
+    // copy for the next stretch of the stream.
+    WorkloadOp op;
+    for (int i = 0; i < 137; ++i) {
+      ASSERT_TRUE(original.Next(kTarget, &op));
+    }
+    SnapshotWriter w;
+    original.SaveState(w);
+    SnapshotReader r(w.buffer());
+    SyntheticWorkload restored(config);
+    ASSERT_TRUE(restored.LoadState(r).ok());
+
+    for (int i = 0; i < 500; ++i) {
+      WorkloadOp a;
+      WorkloadOp b;
+      ASSERT_EQ(original.Next(kTarget, &a), restored.Next(kTarget, &b));
+      EXPECT_EQ(a.kind, b.kind) << "op " << i;
+      EXPECT_EQ(a.offset, b.offset) << "op " << i;
+      EXPECT_EQ(a.length, b.length) << "op " << i;
+      EXPECT_EQ(a.pre_idle.nanos(), b.pre_idle.nanos()) << "op " << i;
+    }
+  }
 }
 
 TEST(ZipfSamplerTest, SamplesInRangeAndSkewed) {
