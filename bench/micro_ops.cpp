@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/device/catalog.h"
+#include "src/fleet/park.h"
 #include "src/fs/extfs.h"
 #include "src/fs/logfs.h"
 #include "src/ftl/page_map_ftl.h"
@@ -246,9 +247,76 @@ MicroOp MeasureMapUpdate(bool ci) {
   return {"map_update", ElapsedNs(start) / static_cast<double>(target), target};
 }
 
+// Park codec on a worn-device snapshot: full zero-run pack/unpack (the
+// fleet's park/unpark hot path) and delta pack/apply against the previous
+// slice's snapshot (DESIGN.md §14). `bytes` is the worn snapshot from
+// MeasureSnapshot so the input has realistic zero structure.
+void MeasurePark(bool ci, const std::vector<uint8_t>& bytes,
+                 std::vector<MicroOp>* ops) {
+  ParkScratch scratch;
+  const uint64_t reps = ci ? 50 : 500;
+
+  std::vector<uint8_t> packed;
+  double pack_ns = 0.0;
+  for (uint64_t i = 0; i < reps; ++i) {
+    const auto start = SteadyClock::now();
+    ParkPackFull(bytes, /*transpose=*/true, &scratch, &packed);
+    pack_ns += ElapsedNs(start);
+    benchmark::DoNotOptimize(packed.data());
+  }
+  ops->push_back({"park_pack", pack_ns / static_cast<double>(reps), reps});
+
+  std::vector<uint8_t> raw;
+  double unpack_ns = 0.0;
+  for (uint64_t i = 0; i < reps; ++i) {
+    const auto start = SteadyClock::now();
+    const Status st = ParkUnpackFull(packed, &scratch, &raw);
+    unpack_ns += ElapsedNs(start);
+    if (!st.ok()) {
+      std::fprintf(stderr, "park unpack failed: %s\n", st.message().c_str());
+      std::exit(1);
+    }
+  }
+  ops->push_back({"park_unpack", unpack_ns / static_cast<double>(reps), reps});
+
+  // Delta input: the same snapshot with a sparse sprinkling of low-byte
+  // edits, the shape one extra slice of wear produces.
+  std::vector<uint8_t> cur = bytes;
+  uint64_t x = 77;
+  for (size_t i = 0; i < cur.size() / 512; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    cur[(x >> 17) % cur.size()] ^= static_cast<uint8_t>(1 + (x & 0x7f));
+  }
+  std::vector<uint8_t> delta;
+  double dpack_ns = 0.0;
+  for (uint64_t i = 0; i < reps; ++i) {
+    const auto start = SteadyClock::now();
+    ParkPackDelta(cur, bytes, &scratch, &delta);
+    dpack_ns += ElapsedNs(start);
+    benchmark::DoNotOptimize(delta.data());
+  }
+  ops->push_back(
+      {"park_delta_pack", dpack_ns / static_cast<double>(reps), reps});
+
+  double dapply_ns = 0.0;
+  for (uint64_t i = 0; i < reps; ++i) {
+    raw = bytes;  // rebuild the base the delta applies onto (untimed-ish)
+    const auto start = SteadyClock::now();
+    const Status st = ParkApplyDelta(delta, &scratch, &raw);
+    dapply_ns += ElapsedNs(start);
+    if (!st.ok()) {
+      std::fprintf(stderr, "park delta apply failed: %s\n",
+                   st.message().c_str());
+      std::exit(1);
+    }
+  }
+  ops->push_back(
+      {"park_delta_apply", dapply_ns / static_cast<double>(reps), reps});
+}
+
 // Snapshot save/load of a worn mid-campaign device (DESIGN.md §12).
 void MeasureSnapshot(bool ci, MicroOp* save, MicroOp* load,
-                     uint64_t* snapshot_bytes) {
+                     std::vector<uint8_t>* snapshot_bytes) {
   auto device = MakeEmmc8(SimScale{64, 1}, 1);
   Rng rng(3);
   const uint64_t slots = device->CapacityBytes() / 4096 / 2;
@@ -268,7 +336,7 @@ void MeasureSnapshot(bool ci, MicroOp* save, MicroOp* load,
     save_ns += ElapsedNs(start);
     bytes = w.buffer();
   }
-  *snapshot_bytes = bytes.size();
+  *snapshot_bytes = bytes;
   *save = {"snapshot_save", save_ns / static_cast<double>(reps), reps};
 
   auto restored = MakeEmmc8(SimScale{64, 1}, 1);
@@ -319,17 +387,18 @@ int RunMicroOps(bool ci) {
   ops.push_back(MeasureMapUpdate(ci));
   MicroOp save;
   MicroOp load;
-  uint64_t snapshot_bytes = 0;
+  std::vector<uint8_t> snapshot_bytes;
   MeasureSnapshot(ci, &save, &load, &snapshot_bytes);
   ops.push_back(save);
   ops.push_back(load);
+  MeasurePark(ci, snapshot_bytes, &ops);
   for (const MicroOp& op : ops) {
-    std::printf("  %-14s %12.1f ns/op  (%llu ops)\n", op.name.c_str(),
+    std::printf("  %-16s %12.1f ns/op  (%llu ops)\n", op.name.c_str(),
                 op.ns_per_op, static_cast<unsigned long long>(op.ops));
   }
   std::printf("  snapshot size: %llu bytes\n",
-              static_cast<unsigned long long>(snapshot_bytes));
-  WriteMicroOpsJson(ops, snapshot_bytes, ci);
+              static_cast<unsigned long long>(snapshot_bytes.size()));
+  WriteMicroOpsJson(ops, snapshot_bytes.size(), ci);
   std::printf("  wrote BENCH_micro_ops.json\n");
   return 0;
 }

@@ -9,6 +9,11 @@
 #                           baseline. Skipped with FLASHSIM_SKIP_PERF_GATE=1
 #                           (e.g. on a runner class the baseline was not
 #                           measured on).
+#   * fleet-smoke         — threads-1/delta-park vs threads-4/full-park runs
+#                           must produce byte-identical reports; the delta
+#                           run's metrics feed a deterministic >=3x parked
+#                           stored/raw gate and (unless skipped, same env
+#                           var) an 85% devices/sec gate vs BENCH_fleet.json.
 # Long-running benches are registered under the "bench" ctest configuration/
 # label and are NOT run here — opt in locally with:
 #   cmake --preset release && cmake --build --preset release -j
@@ -50,16 +55,49 @@ if [[ "${FLASHSIM_SKIP_PERF_GATE:-0}" != "1" ]]; then
   }'
 fi
 
-echo "=== fleet-smoke: 1k devices, --threads 1 vs 4 must be byte-identical ==="
+echo "=== fleet-smoke: threads 1/delta vs threads 4/full must be byte-identical ==="
 mkdir -p build-release/fleet_out
-./build-release/bench/fleet --spec examples/specs/fleet_smoke.spec --threads 1 \
-  --out build-release/fleet_out/smoke_t1.json --quiet
-(cd build-release && ./bench/fleet --spec ../examples/specs/fleet_smoke.spec --threads 4 \
-  --out fleet_out/smoke_t4.json --ci --quiet)
+(cd build-release && ./bench/fleet --spec ../examples/specs/fleet_smoke.spec --threads 1 \
+  --park delta --out fleet_out/smoke_t1.json --ci --quiet)
+./build-release/bench/fleet --spec examples/specs/fleet_smoke.spec --threads 4 \
+  --park full --out build-release/fleet_out/smoke_t4.json --quiet
 if ! diff build-release/fleet_out/smoke_t1.json build-release/fleet_out/smoke_t4.json; then
-  echo "fleet-smoke FAIL: report differs between --threads 1 and --threads 4" >&2
+  echo "fleet-smoke FAIL: report differs across thread count / park mode" >&2
   exit 1
 fi
 echo "fleet-smoke ok: reports byte-identical ($(wc -c < build-release/fleet_out/smoke_t1.json) bytes)"
+
+# Deterministic parked-bytes gate: stored/raw ratio is a pure function of the
+# spec (no timing involved), so it gates unconditionally at the ISSUE target.
+raw_mean=$(awk -F': ' '/"parked_raw_mean_bytes"/ {gsub(/,/, "", $2); print $2}' \
+  build-release/BENCH_fleet.json)
+stored_mean=$(awk -F': ' '/"park_stored_mean_bytes"/ {gsub(/,/, "", $2); print $2}' \
+  build-release/BENCH_fleet.json)
+awk -v r="${raw_mean}" -v s="${stored_mean}" 'BEGIN {
+  if (s + 0 <= 0 || r + 0 < 3.0 * s) {
+    printf "fleet park gate FAIL: raw %.0f / stored %.0f < 3.0x\n", r, s
+    exit 1
+  }
+  printf "fleet park gate ok: %.0f -> %.0f bytes/device (%.2fx >= 3.0x)\n", r, s, r / s
+}'
+
+if [[ "${FLASHSIM_SKIP_PERF_GATE:-0}" != "1" ]]; then
+  echo "=== perf gate: fleet devices/sec vs committed baseline ==="
+  fleet_baseline=$(awk -F': ' '/"devices_per_sec"/ {gsub(/,/, "", $2); print $2}' \
+    BENCH_fleet.json)
+  fleet_measured=$(awk -F': ' '/"devices_per_sec"/ {gsub(/,/, "", $2); print $2}' \
+    build-release/BENCH_fleet.json)
+  if [[ -z "${fleet_baseline}" || -z "${fleet_measured}" ]]; then
+    echo "fleet perf gate: missing devices_per_sec in BENCH_fleet.json" >&2
+    exit 1
+  fi
+  awk -v m="${fleet_measured}" -v b="${fleet_baseline}" 'BEGIN {
+    if (m + 0 < 0.85 * b) {
+      printf "fleet perf gate FAIL: %.1f dev/s < 85%% of baseline %.1f\n", m, b
+      exit 1
+    }
+    printf "fleet perf gate ok: %.1f dev/s >= 85%% of baseline %.1f\n", m, b
+  }'
+fi
 
 echo "CI OK"

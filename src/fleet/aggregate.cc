@@ -12,6 +12,36 @@ constexpr uint32_t kAccTag = SnapshotTag("FACC");
 
 }  // namespace
 
+void FleetDeviceOutcome::Save(SnapshotWriter& w) const {
+  w.U32(model_index);
+  w.Bool(bricked);
+  w.Bool(reached_level);
+  w.F64(days);
+  w.F64(host_gib);
+  w.F64(device_wa);
+  w.U64(level_days.size());
+  for (const auto& [level, day] : level_days) {
+    w.U32(level);
+    w.F64(day);
+  }
+}
+
+Status FleetDeviceOutcome::Load(SnapshotReader& r) {
+  model_index = r.U32();
+  bricked = r.Bool();
+  reached_level = r.Bool();
+  days = r.F64();
+  host_gib = r.F64();
+  device_wa = r.F64();
+  const uint64_t n = r.U64();
+  level_days.clear();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    const uint32_t level = r.U32();
+    level_days.emplace_back(level, r.F64());
+  }
+  return r.status();
+}
+
 void FleetModelStats::Merge(const FleetModelStats& other) {
   devices += other.devices;
   bricked += other.bricked;
@@ -62,7 +92,7 @@ void FleetAccumulator::Init(const std::vector<std::string>& model_slugs,
   models_.assign(model_slugs.size(), FleetModelStats{});
   survival_bin_hours_ = survival_bin_hours;
   parked_raw_ = MergeStats{};
-  parked_packed_ = MergeStats{};
+  shard_slices_ = MergeStats{};
 }
 
 void FleetAccumulator::AddOutcome(const FleetDeviceOutcome& outcome) {
@@ -90,10 +120,12 @@ void FleetAccumulator::AddOutcome(const FleetDeviceOutcome& outcome) {
   }
 }
 
-void FleetAccumulator::AddParkedSample(uint64_t raw_bytes,
-                                       uint64_t packed_bytes) {
+void FleetAccumulator::AddParkedSample(uint64_t raw_bytes) {
   parked_raw_.Add(static_cast<double>(raw_bytes));
-  parked_packed_.Add(static_cast<double>(packed_bytes));
+}
+
+void FleetAccumulator::AddShardSlices(uint64_t slices) {
+  shard_slices_.Add(static_cast<double>(slices));
 }
 
 void FleetAccumulator::Merge(const FleetAccumulator& other) {
@@ -105,7 +137,7 @@ void FleetAccumulator::Merge(const FleetAccumulator& other) {
     models_[i].Merge(other.models_[i]);
   }
   parked_raw_.Merge(other.parked_raw_);
-  parked_packed_.Merge(other.parked_packed_);
+  shard_slices_.Merge(other.shard_slices_);
 }
 
 uint64_t FleetAccumulator::DevicesDone() const {
@@ -132,7 +164,7 @@ void FleetAccumulator::Save(SnapshotWriter& w) const {
   }
   w.F64(survival_bin_hours_);
   parked_raw_.Save(w);
-  parked_packed_.Save(w);
+  shard_slices_.Save(w);
   for (const FleetModelStats& m : models_) {
     m.Save(w);
   }
@@ -148,7 +180,7 @@ Status FleetAccumulator::Load(SnapshotReader& r) {
   }
   survival_bin_hours_ = r.F64();
   FLASHSIM_RETURN_IF_ERROR(parked_raw_.Load(r));
-  FLASHSIM_RETURN_IF_ERROR(parked_packed_.Load(r));
+  FLASHSIM_RETURN_IF_ERROR(shard_slices_.Load(r));
   models_.assign(model_slugs_.size(), FleetModelStats{});
   for (FleetModelStats& m : models_) {
     FLASHSIM_RETURN_IF_ERROR(m.Load(r));

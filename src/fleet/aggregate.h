@@ -37,6 +37,11 @@ struct FleetDeviceOutcome {
   // Wear-indicator transitions: level -> full-device-equivalent day, level
   // in [1, kMaxWearLevel].
   std::vector<std::pair<uint32_t, double>> level_days;
+
+  // Serialized inside shard checkpoint state for outcomes that finished but
+  // have not yet reached the in-order fold cursor.
+  void Save(SnapshotWriter& w) const;
+  Status Load(SnapshotReader& r);
 };
 
 // Per-model aggregate. Sketches use full-device-equivalent days.
@@ -65,15 +70,21 @@ class FleetAccumulator {
             double survival_bin_hours);
 
   void AddOutcome(const FleetDeviceOutcome& outcome);
-  // One parking event: snapshot size before and after zero-run packing.
-  void AddParkedSample(uint64_t raw_bytes, uint64_t packed_bytes);
+  // One parking event: raw snapshot size. Raw size is a pure function of the
+  // simulation (park policy never changes it), and MergeStats over integer
+  // values is observation-order independent, so parked samples may arrive in
+  // any schedule order without breaking report byte-identity.
+  void AddParkedSample(uint64_t raw_bytes);
+  // Total slices one shard took, folded when the shard folds; the min/max
+  // spread is the report's cohort-imbalance signal.
+  void AddShardSlices(uint64_t slices);
   void Merge(const FleetAccumulator& other);
 
   const std::vector<std::string>& model_slugs() const { return model_slugs_; }
   const std::vector<FleetModelStats>& models() const { return models_; }
   double survival_bin_hours() const { return survival_bin_hours_; }
   const MergeStats& parked_raw_bytes() const { return parked_raw_; }
-  const MergeStats& parked_packed_bytes() const { return parked_packed_; }
+  const MergeStats& shard_slices() const { return shard_slices_; }
 
   uint64_t DevicesDone() const;
   uint64_t DevicesBricked() const;
@@ -86,7 +97,7 @@ class FleetAccumulator {
   std::vector<FleetModelStats> models_;
   double survival_bin_hours_ = 24.0;
   MergeStats parked_raw_;
-  MergeStats parked_packed_;
+  MergeStats shard_slices_;
 };
 
 }  // namespace flashsim

@@ -1,4 +1,4 @@
-// Parked-device blob packing (DESIGN.md §13).
+// Parked-device blob packing (DESIGN.md §13/§14).
 //
 // Between slices, a fleet device exists only as its serialized FSNP snapshot
 // (device + workload generator state). Measured worn-device snapshots are
@@ -7,23 +7,98 @@
 // scan's cost, without eliding any section (eliding would break the
 // bit-exact park/unpark contract).
 //
-// Format: u64 raw size, then alternating LEB128-length runs starting with a
-// literal run: (literal_len, literal bytes, zero_len)*. Unpack validates the
-// recorded size, so truncated or corrupt blobs fail loudly.
+// Two layers live here:
+//
+//  * The raw zero-run codec (PackZeroRuns/UnpackZeroRuns): u64 raw size,
+//    then alternating LEB128-length runs starting with a literal run:
+//    (literal_len, literal bytes, zero_len)*. Unpack validates the recorded
+//    size, so truncated or corrupt blobs fail loudly. The scanner walks the
+//    input a uint64 word at a time.
+//
+//  * Park blobs (DESIGN.md §14): a one-byte format tag in front of a
+//    zero-run stream. kParkFull is the tagged PR6 format; kParkFullT8 and
+//    kParkDelta first pass the image through an 8-lane byte transpose
+//    (grouping byte k of every u64 together), which turns the
+//    low-bytes-changed / high-bytes-zero structure of wear planes into long
+//    zero runs. kParkDelta packs the transposed XOR against a caller-held
+//    base snapshot; applying it back onto that base is bit-exact.
 
 #ifndef SRC_FLEET_PARK_H_
 #define SRC_FLEET_PARK_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "src/simcore/scratch.h"
 #include "src/simcore/status.h"
 
 namespace flashsim {
 
+// Largest raw image a park blob may claim to decode to. A corrupt size
+// header would otherwise drive a near-2^64 allocation before any data
+// validation could reject the blob; real parked snapshots are a few MiB.
+inline constexpr size_t kParkMaxRawBytes = size_t{1} << 30;
+
+// Raw zero-run codec. The Into variants reuse `out`'s capacity (steady-state
+// allocation-free); the value-returning forms are convenience wrappers.
+// `max_raw_size` bounds the decoded size a blob may claim (see above).
+void PackZeroRunsInto(const uint8_t* raw, size_t size,
+                      std::vector<uint8_t>* out);
+Status UnpackZeroRunsInto(const uint8_t* packed, size_t size,
+                          std::vector<uint8_t>* out,
+                          size_t max_raw_size = kParkMaxRawBytes);
 std::vector<uint8_t> PackZeroRuns(const std::vector<uint8_t>& raw);
 Status UnpackZeroRuns(const std::vector<uint8_t>& packed,
                       std::vector<uint8_t>* out);
+
+// Park blob format tags (first byte of every park blob).
+enum ParkFormat : uint8_t {
+  kParkFull = 0x01,    // zero-run(raw) — the PR6 layout behind a tag
+  kParkFullT8 = 0x02,  // zero-run(transpose8(raw)) — rebase bases
+  kParkDelta = 0x03,   // zero-run(transpose8(raw XOR base))
+};
+
+// Reusable intermediates for the park codec (one per worker thread).
+struct ParkScratch {
+  ScratchBuffer<uint8_t> image;  // transposed (or transposed-XOR) image
+  ScratchBuffer<uint8_t> xored;  // untransposed XOR (unequal-size fallback)
+
+  uint64_t grow_count() const {
+    return image.grow_count() + xored.grow_count();
+  }
+};
+
+// Packs `raw` as a self-contained park blob (kParkFull or, with
+// `transpose` set, kParkFullT8).
+void ParkPackFull(const std::vector<uint8_t>& raw, bool transpose,
+                  ParkScratch* scratch, std::vector<uint8_t>* out);
+
+// Packs `cur` as a kParkDelta blob against `base`. Unparking requires the
+// exact same base bytes.
+void ParkPackDelta(const std::vector<uint8_t>& cur,
+                   const std::vector<uint8_t>& base, ParkScratch* scratch,
+                   std::vector<uint8_t>* out);
+
+// Unpacks a self-contained blob (kParkFull / kParkFullT8) into `raw`.
+Status ParkUnpackFull(const std::vector<uint8_t>& blob, ParkScratch* scratch,
+                      std::vector<uint8_t>* raw);
+
+// Applies a kParkDelta blob onto `raw` (which must hold the base it was
+// packed against); on return `raw` holds the reconstructed snapshot.
+Status ParkApplyDelta(const std::vector<uint8_t>& blob, ParkScratch* scratch,
+                      std::vector<uint8_t>* raw);
+
+// Unparks a base blob plus its ordered delta chain in one pass. When the
+// base is kParkFullT8 and the deltas are size-stable (the common case), the
+// chain folds in transposed space — each delta touches only its literal
+// bytes, with a single untranspose at the end — instead of paying two
+// full-image passes per link. Falls back to ParkApplyDelta per link when a
+// snapshot resize interrupts the run. Equivalent to ParkUnpackFull(base)
+// followed by ParkApplyDelta over `chain` in order.
+Status ParkUnpackChain(const std::vector<uint8_t>& base,
+                       const std::vector<std::vector<uint8_t>>& chain,
+                       ParkScratch* scratch, std::vector<uint8_t>* raw);
 
 }  // namespace flashsim
 

@@ -67,12 +67,21 @@ void WriteFleetJson(const FleetOutcome& outcome, std::ostream& os) {
   os << "  \"devices_bricked\": " << JsonNum(acc.DevicesBricked()) << ",\n";
   os << "  \"survival_bin_hours\": " << JsonNum(acc.survival_bin_hours())
      << ",\n";
+  // Only raw sizes here: packed/stored bytes depend on the park policy, and
+  // the report must be byte-identical across park modes (and thread counts).
+  // Policy-dependent park accounting lives in BENCH_fleet.json.
   os << "  \"parked_bytes\": {\"samples\": "
      << JsonNum(acc.parked_raw_bytes().count())
      << ", \"raw_mean\": " << JsonNum(acc.parked_raw_bytes().Mean())
      << ", \"raw_max\": " << JsonNum(acc.parked_raw_bytes().max())
-     << ", \"packed_mean\": " << JsonNum(acc.parked_packed_bytes().Mean())
-     << ", \"packed_max\": " << JsonNum(acc.parked_packed_bytes().max())
+     << "},\n";
+  // Slice-count spread across shards: the deterministic cohort-imbalance
+  // signal (host timings stay out of the report).
+  os << "  \"shard_slices\": {\"shards\": "
+     << JsonNum(acc.shard_slices().count())
+     << ", \"mean\": " << JsonNum(acc.shard_slices().Mean())
+     << ", \"min\": " << JsonNum(acc.shard_slices().min())
+     << ", \"max\": " << JsonNum(acc.shard_slices().max())
      << "},\n";
   os << "  \"models\": [\n";
   for (size_t i = 0; i < acc.models().size(); ++i) {
@@ -143,13 +152,25 @@ void PrintFleetSummary(const FleetOutcome& outcome, std::ostream& os) {
                 outcome.completed ? "" : " (stopped at checkpoint)");
   os << line << "\n";
   std::snprintf(line, sizeof(line),
-                "  parked state: mean %.1f KiB raw -> %.1f KiB packed "
-                "(max %.1f KiB) over %" PRIu64 " parks",
+                "  parked state: mean %.1f KiB raw -> %.1f KiB stored "
+                "(%.1f KiB resident) over %" PRIu64 " parks "
+                "(%" PRIu64 " delta, %" PRIu64 " rebase)",
                 acc.parked_raw_bytes().Mean() / 1024.0,
-                acc.parked_packed_bytes().Mean() / 1024.0,
-                acc.parked_packed_bytes().max() / 1024.0,
-                acc.parked_raw_bytes().count());
+                outcome.park.StoredMean() / 1024.0,
+                outcome.park.ResidentMean() / 1024.0,
+                acc.parked_raw_bytes().count(), outcome.park.delta_parks,
+                outcome.park.rebases);
   os << line << "\n";
+  if (acc.shard_slices().count() > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  shard slices: mean %.1f (min %.0f, max %.0f); "
+                  "steals %" PRIu64 ", worker busy %.1fs..%.1fs",
+                  acc.shard_slices().Mean(), acc.shard_slices().min(),
+                  acc.shard_slices().max(), outcome.sched.steals,
+                  outcome.sched.busy_seconds_min,
+                  outcome.sched.busy_seconds_max);
+    os << line << "\n";
+  }
   for (size_t i = 0; i < acc.models().size(); ++i) {
     const FleetModelStats& m = acc.models()[i];
     const double frac =

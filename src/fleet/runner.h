@@ -1,11 +1,16 @@
-// Fleet runner: executes one FleetSpec across a worker pool (DESIGN.md §13).
+// Fleet runner: executes one FleetSpec across a worker pool (DESIGN.md
+// §13/§14).
 //
-// Workers claim whole shards (resumed in-flight shards first, then fresh
-// shard indices from an atomic cursor) and process each shard sequentially,
-// one bounded slice at a time. Completed shard accumulators fold into the
+// Scheduling is a device-granular work-stealing queue: workers claim one
+// (shard, device) slice at a time from the set of in-flight shards, so a
+// straggler device no longer serializes its whole shard on one worker. A
+// new shard is admitted only when no in-flight shard has a claimable
+// device, which keeps in-flight shards (and hence parked-state memory)
+// bounded by the worker count. Completed shard accumulators fold into the
 // global accumulator strictly in shard-index order — out-of-order finishers
-// wait in a small pending map — so the final report is byte-identical at any
-// thread count.
+// wait in a small pending map — and outcomes fold in device-index order
+// inside each shard, so the final report is byte-identical at any thread
+// count and under any steal schedule.
 //
 // Checkpointing: after every `checkpoint_every_shards` folds, workers
 // quiesce at their next slice boundary (every device parked), the whole
@@ -38,6 +43,45 @@ struct FleetRunOptions {
   std::string resume_path;
 };
 
+// Park-path accounting for one run. Deterministic (every count and byte is
+// a pure function of spec + park knobs) but park-policy dependent, so it
+// feeds BENCH_fleet.json and stdout, never the byte-compared report.
+struct FleetParkTotals {
+  uint64_t park_events = 0;  // delta_parks + full_parks + rebases
+  uint64_t delta_parks = 0;  // chained a packed delta
+  uint64_t full_parks = 0;   // first park of a device (self-contained blob)
+  uint64_t rebases = 0;      // mid-life chain reset onto a fresh base
+  uint64_t raw_bytes = 0;       // sum of raw snapshot sizes over park events
+  uint64_t stored_bytes = 0;    // sum of blob bytes written per park event
+  uint64_t resident_bytes = 0;  // sum of post-park resident (base + chain)
+  uint64_t scratch_grows = 0;   // worker scratch reallocations, summed
+
+  double StoredMean() const {
+    return park_events == 0
+               ? 0.0
+               : static_cast<double>(stored_bytes) /
+                     static_cast<double>(park_events);
+  }
+  double ResidentMean() const {
+    return park_events == 0
+               ? 0.0
+               : static_cast<double>(resident_bytes) /
+                     static_cast<double>(park_events);
+  }
+};
+
+// Scheduler observability: host-side timings and steal counts. Not
+// deterministic — stdout/BENCH only.
+struct FleetSchedTotals {
+  int workers = 0;
+  uint64_t slices = 0;
+  uint64_t steals = 0;  // claims on a shard another worker admitted
+  double busy_seconds_total = 0.0;  // summed slice-run time across workers
+  double busy_seconds_min = 0.0;    // least-loaded worker
+  double busy_seconds_max = 0.0;    // most-loaded worker
+  double shard_seconds_max = 0.0;   // longest admit-to-fold shard span
+};
+
 struct FleetOutcome {
   std::string campaign;
   std::string fleet;
@@ -47,6 +91,8 @@ struct FleetOutcome {
   FleetAccumulator acc;
   bool completed = true;  // false when stopped after a checkpoint
   uint64_t checkpoints_written = 0;
+  FleetParkTotals park;
+  FleetSchedTotals sched;
   // Host wall-clock; stdout only, never serialized into reports.
   double wall_seconds = 0.0;
 };

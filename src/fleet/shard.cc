@@ -1,9 +1,9 @@
 #include "src/fleet/shard.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "src/device/flash_device.h"
-#include "src/fleet/park.h"
 #include "src/simcore/rng.h"
 #include "src/simcore/units.h"
 #include "src/workload/generators.h"
@@ -32,7 +32,31 @@ Status PrefillDevice(FlashDevice& device, uint64_t start, uint64_t length) {
   return Status::Ok();
 }
 
+// Exact-size copy of a scratch pack buffer into a retained blob; parked
+// blobs live for many slices, so capacity overshoot would be resident waste.
+std::vector<uint8_t> ShrinkWrap(const std::vector<uint8_t>& packed) {
+  return std::vector<uint8_t>(packed.begin(), packed.end());
+}
+
 }  // namespace
+
+FleetWorkerScratch::FleetWorkerScratch() = default;
+FleetWorkerScratch::~FleetWorkerScratch() = default;
+
+uint64_t FleetWorkerScratch::GrowCount() const {
+  auto track = [](size_t cap, size_t* last, uint64_t* grows) {
+    if (cap != *last) {
+      *last = cap;
+      ++*grows;
+    }
+  };
+  track(raw.capacity(), &raw_cap_, &raw_grows_);
+  track(packed.capacity(), &packed_cap_, &packed_grows_);
+  track(writer.buffer().capacity(), &writer_cap_, &writer_grows_);
+  // The first tracked capacity of each buffer counts as its warm-up grow, so
+  // the invariant reads "stable after warm-up" just like ScratchBuffer.
+  return raw_grows_ + packed_grows_ + writer_grows_ + park.grow_count();
+}
 
 FleetDeviceRef FleetDeviceAt(const CampaignSpec& spec, const FleetSpec& fleet,
                              uint64_t index) {
@@ -72,27 +96,102 @@ void FleetShard::InitFresh(uint64_t shard_index) {
   first_device_ = shard_index * fleet_->shard_devices;
   const uint64_t end =
       std::min(first_device_ + fleet_->shard_devices, fleet_->device_count);
-  devices_.assign(end > first_device_ ? end - first_device_ : 0,
-                  FleetDeviceProgress{});
+  devices_.clear();
+  devices_.resize(end > first_device_ ? end - first_device_ : 0);
   cursor_ = 0;
   remaining_ = devices_.size();
+  claimed_ = 0;
+  fold_next_ = 0;
+  slices_run_ = 0;
   acc_.Init(fleet_->devices, fleet_->survival_bin_hours);
 }
 
-Status FleetShard::RunSlice() {
-  if (remaining_ == 0 || devices_.empty()) {
-    return Status::Ok();
+bool FleetShard::Claim(uint64_t* position) {
+  const uint64_t n = devices_.size();
+  if (remaining_ == 0 || n == 0) {
+    return false;
   }
-  uint64_t pos = cursor_ % devices_.size();
-  while (devices_[pos].phase == FleetDeviceProgress::kDone) {
-    pos = (pos + 1) % devices_.size();
+  for (uint64_t k = 0; k < n; ++k) {
+    const uint64_t pos = (cursor_ + k) % n;
+    FleetDeviceProgress& p = devices_[pos];
+    if (p.phase != FleetDeviceProgress::kDone && !p.running) {
+      p.running = true;
+      ++claimed_;
+      cursor_ = (pos + 1) % n;
+      *position = pos;
+      return true;
+    }
   }
-  const Status s = DriveDeviceSlice(pos);
-  cursor_ = (pos + 1) % devices_.size();
-  return s;
+  return false;
 }
 
-Status FleetShard::DriveDeviceSlice(uint64_t position) {
+bool FleetShard::HasClaimable() const {
+  if (remaining_ == 0) {
+    return false;
+  }
+  for (const FleetDeviceProgress& p : devices_) {
+    if (p.phase != FleetDeviceProgress::kDone && !p.running) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status FleetShard::Unpark(FleetDeviceProgress& p,
+                          FleetWorkerScratch* scratch) const {
+  FLASHSIM_RETURN_IF_ERROR(ParkUnpackChain(p.base, p.chain, &scratch->park,
+                                           &scratch->raw));
+  if (scratch->raw.size() != p.parked_raw_bytes) {
+    return DataLossError("parked device: reconstructed size mismatch");
+  }
+  return Status::Ok();
+}
+
+void FleetShard::Park(FleetDeviceProgress& p, FleetWorkerScratch* scratch,
+                      FleetSliceResult* result) const {
+  const std::vector<uint8_t>& new_raw = scratch->writer.buffer();
+  result->parked_raw_bytes = new_raw.size();
+
+  // Delta park: chain onto the previous park's raw (still in scratch->raw
+  // from Unpark), unless the chain is at its length bound. A park that
+  // would blow the chain byte budget rebases instead.
+  if (fleet_->park_mode == FleetParkMode::kDelta &&
+      p.phase == FleetDeviceProgress::kParked &&
+      p.chain.size() + 1 < fleet_->park_rebase_every) {
+    ParkPackDelta(new_raw, scratch->raw, &scratch->park, &scratch->packed);
+    const double budget =
+        fleet_->park_chain_budget * static_cast<double>(p.base.size());
+    if (static_cast<double>(p.chain_bytes + scratch->packed.size()) <=
+        budget) {
+      p.chain.push_back(ShrinkWrap(scratch->packed));
+      p.chain_bytes += scratch->packed.size();
+      p.parked_raw_bytes = new_raw.size();
+      result->stored_bytes = scratch->packed.size();
+      result->resident_bytes = p.base.size() + p.chain_bytes;
+      result->delta_park = true;
+      return;
+    }
+  }
+
+  // Full park: a self-contained blob becomes the new base. Delta mode uses
+  // the transposed layout for its rebase bases; full mode keeps the plain
+  // layout (the canonical checkpoint form, and the PR6 comparison baseline).
+  const bool rebase = p.phase == FleetDeviceProgress::kParked &&
+                      fleet_->park_mode == FleetParkMode::kDelta;
+  ParkPackFull(new_raw, /*transpose=*/fleet_->park_mode == FleetParkMode::kDelta,
+               &scratch->park, &scratch->packed);
+  p.base = ShrinkWrap(scratch->packed);
+  p.chain.clear();
+  p.chain_bytes = 0;
+  p.parked_raw_bytes = new_raw.size();
+  result->stored_bytes = p.base.size();
+  result->resident_bytes = p.base.size();
+  result->rebase = rebase;
+}
+
+Status FleetShard::RunSlice(uint64_t position, FleetWorkerScratch* scratch,
+                            FleetSliceResult* result) {
+  *result = FleetSliceResult{};
   FleetDeviceProgress& p = devices_[position];
   const FleetDeviceRef ref =
       FleetDeviceAt(*spec_, *fleet_, first_device_ + position);
@@ -100,11 +199,24 @@ Status FleetShard::DriveDeviceSlice(uint64_t position) {
     return NotFoundError("fleet device has unknown model slug");
   }
 
-  std::unique_ptr<FlashDevice> device =
-      ref.model->make(fleet_->scale, DeriveSeed(ref.seed, 0));
+  // One live FlashDevice per (worker, model): LoadState overwrites every
+  // plane, map, meter, and RNG stream, so a parked device can resume inside
+  // any same-model instance without per-slice construction.
+  if (scratch->devices.size() < fleet_->devices.size()) {
+    scratch->devices.resize(fleet_->devices.size());
+  }
+  std::unique_ptr<FlashDevice>& slot = scratch->devices[ref.model_index];
+  if (p.phase == FleetDeviceProgress::kUnborn) {
+    // Fresh devices derive all randomness from their own seed; build a new
+    // instance (once per device lifetime) rather than reseeding a used one.
+    slot = ref.model->make(fleet_->scale, DeriveSeed(ref.seed, 0));
+  } else if (slot == nullptr) {
+    slot = ref.model->make(fleet_->scale, 0);  // state comes from LoadState
+  }
+  FlashDevice& device = *slot;
   SyntheticWorkload workload(ref.workload);
   const uint64_t driver_seed = DeriveSeed(ref.seed, 1);
-  const uint64_t target = device->CapacityBytes();
+  const uint64_t target = device.CapacityBytes();
 
   if (p.phase == FleetDeviceProgress::kUnborn) {
     workload.Reset(DeriveSeed(driver_seed, 0));
@@ -112,21 +224,22 @@ Status FleetShard::DriveDeviceSlice(uint64_t position) {
       uint64_t start = 0;
       uint64_t length = 0;
       workload.TouchRange(target, &start, &length);
-      FLASHSIM_RETURN_IF_ERROR(PrefillDevice(*device, start, length));
+      FLASHSIM_RETURN_IF_ERROR(PrefillDevice(device, start, length));
     }
   } else {
-    std::vector<uint8_t> raw;
-    FLASHSIM_RETURN_IF_ERROR(UnpackZeroRuns(p.parked, &raw));
-    SnapshotReader r(std::move(raw));
-    FLASHSIM_RETURN_IF_ERROR(device->LoadState(r));
+    FLASHSIM_RETURN_IF_ERROR(Unpark(p, scratch));
+    SnapshotReader r(std::move(scratch->raw));
+    FLASHSIM_RETURN_IF_ERROR(device.LoadState(r));
     FLASHSIM_RETURN_IF_ERROR(workload.LoadState(r));
+    // Keep the raw snapshot: it is the next park's delta base.
+    scratch->raw = r.TakeBuffer();
   }
 
   const uint64_t poll_bytes = std::max<uint64_t>(64 * kKiB, target / 64);
   const uint64_t cap =
       fleet_->max_device_bytes > 0 ? fleet_->max_device_bytes : kDefaultDeviceCap;
-  std::vector<IoRequest> pending;
-  pending.reserve(fleet_->batch_requests);
+  std::vector<IoRequest>& pending = scratch->pending;
+  pending.clear();
   bool done = false;
   bool bricked = false;
   bool reached = false;
@@ -137,8 +250,7 @@ Status FleetShard::DriveDeviceSlice(uint64_t position) {
     if (pending.empty()) {
       return true;
     }
-    const BatchCompletion dc =
-        device->SubmitBatch(pending.data(), pending.size());
+    const BatchCompletion dc = device.SubmitBatch(pending.data(), pending.size());
     for (size_t i = 0; i < dc.requests_completed; ++i) {
       if (pending[i].kind == IoKind::kRead) {
         p.bytes_read += pending[i].length;
@@ -155,14 +267,14 @@ Status FleetShard::DriveDeviceSlice(uint64_t position) {
     return true;
   };
   auto poll = [&]() -> uint32_t {
-    const HealthReport h = device->QueryHealth();
+    const HealthReport h = device.QueryHealth();
     const uint32_t level =
         h.supported ? std::max(h.life_time_est_a, h.life_time_est_b) : 0;
     while (p.last_level < level) {
       ++p.last_level;
       p.levels.push_back(FleetDeviceProgress::LevelRow{
           p.last_level, p.bytes_written + p.bytes_read,
-          device->clock().Now().ToHoursF()});
+          device.clock().Now().ToHoursF()});
     }
     return level;
   };
@@ -185,7 +297,7 @@ Status FleetShard::DriveDeviceSlice(uint64_t position) {
         done = true;
         break;
       }
-      device->clock().AdvanceWithCategory(op.pre_idle, "workload-idle");
+      device.clock().AdvanceWithCategory(op.pre_idle, "workload-idle");
     }
     pending.push_back(IoRequest{op.kind, op.offset, op.length});
     slice_issued += op.length;
@@ -225,47 +337,94 @@ Status FleetShard::DriveDeviceSlice(uint64_t position) {
   }
 
   if (!done) {
-    SnapshotWriter w;
-    device->SaveState(w);
-    workload.SaveState(w);
-    p.parked = PackZeroRuns(w.buffer());
-    p.parked_raw_bytes = w.buffer().size();
-    p.phase = FleetDeviceProgress::kParked;
-    acc_.AddParkedSample(p.parked_raw_bytes, p.parked.size());
+    scratch->writer.Reset();
+    device.SaveState(scratch->writer);
+    workload.SaveState(scratch->writer);
+    Park(p, scratch, result);
     return Status::Ok();
   }
 
   const double vf = fleet_->scale.VolumeFactor();
-  FleetDeviceOutcome out;
+  FleetDeviceOutcome& out = result->outcome;
   out.model_index = ref.model_index;
   out.bricked = bricked;
   out.reached_level = reached;
-  out.days = device->clock().Now().ToHoursF() * vf / 24.0;
+  out.days = device.clock().Now().ToHoursF() * vf / 24.0;
   out.host_gib =
       static_cast<double>(p.bytes_written) * vf / static_cast<double>(kGiB);
-  out.device_wa = device->ftl().Stats().WriteAmplification();
+  out.device_wa = device.ftl().Stats().WriteAmplification();
   out.level_days.reserve(p.levels.size());
   for (const FleetDeviceProgress::LevelRow& row : p.levels) {
     out.level_days.emplace_back(row.level, row.hours * vf / 24.0);
   }
-  acc_.AddOutcome(out);
-  p = FleetDeviceProgress{};  // frees the parked blob and level rows
-  p.phase = FleetDeviceProgress::kDone;
-  --remaining_;
+  result->finished = true;
+  // Free the parked representation now (the outcome above is all that
+  // survives); the phase flip happens under the runner lock in Release.
+  p.base.clear();
+  p.base.shrink_to_fit();
+  p.chain.clear();
+  p.chain_bytes = 0;
+  p.levels.clear();
+  p.levels.shrink_to_fit();
   return Status::Ok();
 }
 
+void FleetShard::Release(uint64_t position, FleetSliceResult&& result) {
+  FleetDeviceProgress& p = devices_[position];
+  p.running = false;
+  --claimed_;
+  ++slices_run_;
+  if (result.finished) {
+    p.phase = FleetDeviceProgress::kDone;
+    p.outcome = std::make_unique<FleetDeviceOutcome>(std::move(result.outcome));
+    --remaining_;
+    // Outcomes fold strictly in device-index order: the WearDigest sketches
+    // are observation-order sensitive, and this order is the one schedule-
+    // independent choice.
+    while (fold_next_ < devices_.size() &&
+           devices_[fold_next_].phase == FleetDeviceProgress::kDone) {
+      if (devices_[fold_next_].outcome != nullptr) {
+        acc_.AddOutcome(*devices_[fold_next_].outcome);
+        devices_[fold_next_].outcome.reset();
+      }
+      ++fold_next_;
+    }
+  } else {
+    p.phase = FleetDeviceProgress::kParked;
+    // Raw size is schedule-independent; integer MergeStats fold exactly in
+    // any order, so no buffering is needed here.
+    acc_.AddParkedSample(result.parked_raw_bytes);
+  }
+  if (Done()) {
+    acc_.AddShardSlices(slices_run_);
+  }
+}
+
 void FleetShard::Save(SnapshotWriter& w) const {
+  assert(claimed_ == 0 && "checkpointing a shard with outstanding claims");
   w.BeginSection(kShardTag);
   w.U64(shard_index_);
   w.U64(first_device_);
   w.U64(cursor_);
   w.U64(remaining_);
+  w.U64(fold_next_);
+  w.U64(slices_run_);
   w.U64(devices_.size());
+  ParkScratch park;
+  std::vector<uint8_t> raw;
+  std::vector<uint8_t> canonical;
   for (const FleetDeviceProgress& p : devices_) {
     w.U8(p.phase);
+    if (p.phase == FleetDeviceProgress::kDone) {
+      // Finished devices carry only their not-yet-folded outcome.
+      w.Bool(p.outcome != nullptr);
+      if (p.outcome != nullptr) {
+        p.outcome->Save(w);
+      }
+      continue;
+    }
     if (p.phase != FleetDeviceProgress::kParked) {
-      continue;  // unborn and done devices have no state
+      continue;  // unborn devices have no state
     }
     w.U64(p.bytes_written);
     w.U64(p.bytes_read);
@@ -280,7 +439,19 @@ void FleetShard::Save(SnapshotWriter& w) const {
       w.F64(row.hours);
     }
     w.U64(p.parked_raw_bytes);
-    w.VecU8(p.parked);
+    // Canonical form: a plain self-contained blob, whatever the in-memory
+    // park mode — so checkpoint files are byte-identical across park modes
+    // and a checkpoint written under one mode resumes under another.
+    if (p.chain.empty() && !p.base.empty() && p.base[0] == kParkFull) {
+      w.VecU8(p.base);
+    } else {
+      raw.clear();
+      const Status st = ParkUnpackChain(p.base, p.chain, &park, &raw);
+      assert(st.ok() && "parked blobs we wrote must reconstruct");
+      (void)st;
+      ParkPackFull(raw, /*transpose=*/false, &park, &canonical);
+      w.VecU8(canonical);
+    }
   }
   acc_.Save(w);
   w.EndSection();
@@ -292,11 +463,22 @@ Status FleetShard::Load(SnapshotReader& r) {
   first_device_ = r.U64();
   cursor_ = r.U64();
   remaining_ = r.U64();
+  fold_next_ = r.U64();
+  slices_run_ = r.U64();
+  claimed_ = 0;
   const uint64_t n_devices = r.U64();
-  devices_.assign(n_devices, FleetDeviceProgress{});
+  devices_.clear();
+  devices_.resize(n_devices);
   for (uint64_t i = 0; i < n_devices && r.ok(); ++i) {
     FleetDeviceProgress& p = devices_[i];
     p.phase = r.U8();
+    if (p.phase == FleetDeviceProgress::kDone) {
+      if (r.Bool()) {
+        p.outcome = std::make_unique<FleetDeviceOutcome>();
+        FLASHSIM_RETURN_IF_ERROR(p.outcome->Load(r));
+      }
+      continue;
+    }
     if (p.phase != FleetDeviceProgress::kParked) {
       continue;
     }
@@ -315,7 +497,9 @@ Status FleetShard::Load(SnapshotReader& r) {
       p.levels.push_back(row);
     }
     p.parked_raw_bytes = r.U64();
-    r.VecU8(&p.parked);
+    r.VecU8(&p.base);  // canonical self-contained blob; chain restarts empty
+    p.chain.clear();
+    p.chain_bytes = 0;
   }
   FLASHSIM_RETURN_IF_ERROR(acc_.Load(r));
   r.LeaveSection();

@@ -1,25 +1,47 @@
 #include "src/simcore/snapshot.h"
 
+#include <bit>
 #include <cstdio>
 #include <cstring>
 
+// The format is little-endian (guarded by kSnapshotEndianSentinel at load),
+// so on little-endian hosts the scalar and vector primitives degrade to
+// plain memcpy — the fleet runner serializes every device once per slice,
+// which makes these the hottest bytes in a campaign.
+
 namespace flashsim {
 
-SnapshotWriter::SnapshotWriter() {
+SnapshotWriter::SnapshotWriter() { Reset(); }
+
+void SnapshotWriter::Reset() {
+  buf_.clear();
+  open_sections_.clear();
   U32(kSnapshotMagic);
   U32(kSnapshotVersion);
   U32(kSnapshotEndianSentinel);
 }
 
 void SnapshotWriter::U32(uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  if constexpr (std::endian::native == std::endian::little) {
+    const size_t at = buf_.size();
+    buf_.resize(at + 4);
+    std::memcpy(buf_.data() + at, &v, 4);
+  } else {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
   }
 }
 
 void SnapshotWriter::U64(uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  if constexpr (std::endian::native == std::endian::little) {
+    const size_t at = buf_.size();
+    buf_.resize(at + 8);
+    std::memcpy(buf_.data() + at, &v, 8);
+  } else {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
   }
 }
 
@@ -42,15 +64,31 @@ void SnapshotWriter::VecU8(const std::vector<uint8_t>& v) {
 
 void SnapshotWriter::VecU32(const std::vector<uint32_t>& v) {
   U64(v.size());
-  for (uint32_t x : v) {
-    U32(x);
+  if constexpr (std::endian::native == std::endian::little) {
+    if (!v.empty()) {
+      const size_t at = buf_.size();
+      buf_.resize(at + v.size() * 4);
+      std::memcpy(buf_.data() + at, v.data(), v.size() * 4);
+    }
+  } else {
+    for (uint32_t x : v) {
+      U32(x);
+    }
   }
 }
 
 void SnapshotWriter::VecU64(const std::vector<uint64_t>& v) {
   U64(v.size());
-  for (uint64_t x : v) {
-    U64(x);
+  if constexpr (std::endian::native == std::endian::little) {
+    if (!v.empty()) {
+      const size_t at = buf_.size();
+      buf_.resize(at + v.size() * 8);
+      std::memcpy(buf_.data() + at, v.data(), v.size() * 8);
+    }
+  } else {
+    for (uint64_t x : v) {
+      U64(x);
+    }
   }
 }
 
@@ -126,6 +164,28 @@ void SnapshotReader::Fail(const std::string& message) {
   }
 }
 
+std::vector<uint8_t> SnapshotReader::TakeBuffer() {
+  pos_ = 0;
+  section_ends_.clear();
+  return std::move(data_);
+}
+
+// Bounds check for `count` elements of `elem_size` bytes. The division form
+// matters: `count` comes straight from the file, so `count * elem_size`
+// could wrap and pass a plain Need().
+bool SnapshotReader::NeedCount(uint64_t count, size_t elem_size) {
+  if (!error_.ok()) {
+    return false;
+  }
+  const size_t limit = section_ends_.empty() ? data_.size() : section_ends_.back();
+  const size_t avail = pos_ > limit ? 0 : limit - pos_;
+  if (count > avail / elem_size) {
+    Fail("truncated (vector count past end)");
+    return false;
+  }
+  return true;
+}
+
 bool SnapshotReader::Need(size_t bytes) {
   if (!error_.ok()) {
     return false;
@@ -198,25 +258,39 @@ void SnapshotReader::VecU8(std::vector<uint8_t>* out) {
 
 void SnapshotReader::VecU32(std::vector<uint32_t>* out) {
   const uint64_t n = U64();
-  if (!Need(n * 4)) {
+  if (!NeedCount(n, 4)) {
     out->clear();
     return;
   }
   out->resize(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    (*out)[i] = U32();
+  if constexpr (std::endian::native == std::endian::little) {
+    if (n != 0) {
+      std::memcpy(out->data(), data_.data() + pos_, n * 4);
+      pos_ += n * 4;
+    }
+  } else {
+    for (uint64_t i = 0; i < n; ++i) {
+      (*out)[i] = U32();
+    }
   }
 }
 
 void SnapshotReader::VecU64(std::vector<uint64_t>* out) {
   const uint64_t n = U64();
-  if (!Need(n * 8)) {
+  if (!NeedCount(n, 8)) {
     out->clear();
     return;
   }
   out->resize(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    (*out)[i] = U64();
+  if constexpr (std::endian::native == std::endian::little) {
+    if (n != 0) {
+      std::memcpy(out->data(), data_.data() + pos_, n * 8);
+      pos_ += n * 8;
+    }
+  } else {
+    for (uint64_t i = 0; i < n; ++i) {
+      (*out)[i] = U64();
+    }
   }
 }
 

@@ -49,6 +49,10 @@ class SnapshotWriter {
  public:
   SnapshotWriter();  // writes the header
 
+  // Rewinds to a fresh header while keeping the buffer's capacity, so one
+  // writer can serialize many snapshots without steady-state allocation.
+  void Reset();
+
   void U8(uint8_t v) { buf_.push_back(v); }
   void Bool(bool v) { U8(v ? 1 : 0); }
   void U32(uint32_t v);
@@ -98,9 +102,15 @@ class SnapshotReader {
   bool ok() const { return error_.ok(); }
   Status status() const { return error_; }
 
+  // Moves the underlying buffer back out (e.g. to keep the raw snapshot as
+  // a delta base after loading from it). Check status() first; the reader
+  // must not be used afterwards.
+  std::vector<uint8_t> TakeBuffer();
+
  private:
   void Fail(const std::string& message);
   bool Need(size_t bytes);
+  bool NeedCount(uint64_t count, size_t elem_size);
 
   std::vector<uint8_t> data_;
   size_t pos_ = 0;

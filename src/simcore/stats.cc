@@ -110,10 +110,21 @@ uint64_t CounterSet::Get(const std::string& name) const {
 void CounterSet::Reset() { counters_.clear(); }
 
 void CounterSet::SaveState(SnapshotWriter& w) const {
-  w.U32(static_cast<uint32_t>(counters_.size()));
+  // Canonical form: zero-valued counters are omitted (Get() cannot tell a
+  // zero from an absence). This keeps the snapshot byte-exact even when the
+  // set carries zeroed residue keys from a LoadState into a reused instance.
+  uint32_t nonzero = 0;
   for (const auto& [name, value] : counters_) {
-    w.Str(name);
-    w.U64(value);
+    if (value != 0) {
+      ++nonzero;
+    }
+  }
+  w.U32(nonzero);
+  for (const auto& [name, value] : counters_) {
+    if (value != 0) {
+      w.Str(name);
+      w.U64(value);
+    }
   }
 }
 

@@ -107,7 +107,9 @@ class CounterSet {
 
   // Device snapshot support. LoadState zeroes every existing counter and
   // then applies the saved values in place, so pre-resolved Slot() pointers
-  // stay valid across a restore.
+  // stay valid across a restore. SaveState omits zero-valued counters, so
+  // the serialized bytes are a pure function of the logical counter values
+  // (zeroed residue keys in a reused instance never leak into a snapshot).
   void SaveState(SnapshotWriter& w) const;
   Status LoadState(SnapshotReader& r);
 

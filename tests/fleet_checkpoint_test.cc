@@ -89,6 +89,63 @@ TEST(FleetCheckpointTest, KillAtCheckpointThenResumeIsBitExact) {
   std::remove(cp_path.c_str());
 }
 
+// Satellite: delta-parked devices crossing a checkpoint kill+resume. The
+// checkpoint canonicalizes every parked device to a self-contained kParkFull
+// blob, so (a) a single-threaded checkpoint file is byte-identical whichever
+// park mode produced it, (b) a checkpoint written under one mode resumes
+// under the other, and (c) the resumed report matches a never-checkpointed
+// run bit-for-bit.
+TEST(FleetCheckpointTest, DeltaParkedKillResumeIsBitExactAcrossModes) {
+  const CampaignSpec spec = ParseTestSpec();
+  const FleetSpec* base = spec.FindFleet("pop");
+  ASSERT_NE(base, nullptr);
+  FleetSpec delta_fleet = *base;
+  delta_fleet.park_mode = FleetParkMode::kDelta;
+  FleetSpec full_fleet = *base;
+  full_fleet.park_mode = FleetParkMode::kFull;
+
+  FleetRunOptions plain;
+  plain.threads = 2;
+  Result<FleetOutcome> uninterrupted = RunFleet(spec, delta_fleet, plain);
+  ASSERT_TRUE(uninterrupted.ok()) << uninterrupted.status().ToString();
+  std::ostringstream plain_os;
+  WriteFleetJson(uninterrupted.value(), plain_os);
+
+  // Controlled kill under each park mode, single-threaded so the checkpoint
+  // files themselves are comparable (deterministic schedule).
+  auto kill_run = [&](const FleetSpec& fleet, const std::string& cp_path) {
+    FleetRunOptions killed;
+    killed.threads = 1;
+    killed.checkpoint_path = cp_path;
+    killed.checkpoint_every_shards = 2;
+    killed.stop_after_checkpoints = 1;
+    Result<FleetOutcome> partial = RunFleet(spec, fleet, killed);
+    ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+    EXPECT_FALSE(partial.value().completed);
+  };
+  const std::string cp_delta = TempPath("fleet_cp_delta.fsnp");
+  const std::string cp_full = TempPath("fleet_cp_full.fsnp");
+  kill_run(delta_fleet, cp_delta);
+  kill_run(full_fleet, cp_full);
+  EXPECT_EQ(ReadFileBytes(cp_delta), ReadFileBytes(cp_full))
+      << "checkpoint files must be canonical across park modes";
+
+  // Cross-mode resume: the delta-mode checkpoint resumed under both modes
+  // (and at a different thread count) reproduces the uninterrupted report.
+  for (const FleetSpec* resume_fleet : {&delta_fleet, &full_fleet}) {
+    FleetRunOptions resume;
+    resume.threads = 3;
+    resume.resume_path = cp_delta;
+    Result<FleetOutcome> resumed = RunFleet(spec, *resume_fleet, resume);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    std::ostringstream os;
+    WriteFleetJson(resumed.value(), os);
+    EXPECT_EQ(os.str(), plain_os.str());
+  }
+  std::remove(cp_delta.c_str());
+  std::remove(cp_full.c_str());
+}
+
 TEST(FleetCheckpointTest, RejectsCheckpointFromDifferentSpec) {
   const CampaignSpec spec = ParseTestSpec();
   const FleetSpec* fleet = spec.FindFleet("pop");

@@ -110,10 +110,65 @@ TEST(FleetRunnerTest, OutcomeCountsAreConsistent) {
   EXPECT_GE(outcome.acc.DevicesBricked(), 3u);
   EXPECT_LT(outcome.acc.DevicesBricked(), 12u);
   // Parked-state samples were collected (devices parked at least once), and
-  // packing never inflated a blob.
-  EXPECT_GT(outcome.acc.parked_packed_bytes().count(), 0u);
-  EXPECT_LE(outcome.acc.parked_packed_bytes().max(),
-            outcome.acc.parked_raw_bytes().max());
+  // the stored blobs average smaller than the raw snapshots they encode.
+  EXPECT_GT(outcome.acc.parked_raw_bytes().count(), 0u);
+  EXPECT_EQ(outcome.park.park_events, outcome.acc.parked_raw_bytes().count());
+  EXPECT_LT(outcome.park.StoredMean(), outcome.acc.parked_raw_bytes().Mean());
+  // Every shard reports its slice count into the imbalance digest.
+  EXPECT_EQ(outcome.acc.shard_slices().count(), outcome.shard_count);
+  EXPECT_EQ(static_cast<uint64_t>(outcome.acc.shard_slices().sum()),
+            outcome.sched.slices);
+}
+
+TEST(FleetRunnerTest, DeltaAndFullParkingProduceIdenticalReports) {
+  const CampaignSpec spec = ParseTestSpec();
+  const FleetSpec* base = spec.FindFleet("pop");
+  ASSERT_NE(base, nullptr);
+
+  FleetSpec delta_fleet = *base;
+  delta_fleet.park_mode = FleetParkMode::kDelta;
+  FleetSpec full_fleet = *base;
+  full_fleet.park_mode = FleetParkMode::kFull;
+
+  FleetRunOptions options;
+  options.threads = 2;
+  Result<FleetOutcome> delta_run = RunFleet(spec, delta_fleet, options);
+  Result<FleetOutcome> full_run = RunFleet(spec, full_fleet, options);
+  ASSERT_TRUE(delta_run.ok()) << delta_run.status().ToString();
+  ASSERT_TRUE(full_run.ok()) << full_run.status().ToString();
+
+  std::ostringstream delta_os;
+  std::ostringstream full_os;
+  WriteFleetJson(delta_run.value(), delta_os);
+  WriteFleetJson(full_run.value(), full_os);
+  EXPECT_EQ(delta_os.str(), full_os.str());
+
+  // Delta mode actually chained deltas and stored fewer bytes per park.
+  EXPECT_GT(delta_run.value().park.delta_parks, 0u);
+  EXPECT_EQ(full_run.value().park.delta_parks, 0u);
+  EXPECT_LT(delta_run.value().park.StoredMean(),
+            full_run.value().park.StoredMean());
+}
+
+TEST(FleetRunnerTest, WorkerScratchDoesNotGrowInSteadyState) {
+  // After the first slice of the largest device has sized the scratch
+  // buffers, subsequent slices must not reallocate. A single-threaded run
+  // uses one scratch for the whole fleet, so a handful of early grows is
+  // expected and the count must stay flat as devices multiply: running 12
+  // devices must not grow the scratch more than running the same population
+  // once warmed. (Exact bound: grows scale with distinct buffer sizes, not
+  // slice count.)
+  const CampaignSpec spec = ParseTestSpec();
+  const FleetSpec* fleet = spec.FindFleet("pop");
+  ASSERT_NE(fleet, nullptr);
+  FleetRunOptions options;
+  options.threads = 1;
+  Result<FleetOutcome> run = RunFleet(spec, *fleet, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const FleetOutcome& outcome = run.value();
+  ASSERT_GT(outcome.sched.slices, 20u);  // enough slices to be meaningful
+  // Warm-up growth only: far fewer grows than slices.
+  EXPECT_LT(outcome.park.scratch_grows, outcome.sched.slices / 2);
 }
 
 TEST(FleetRunnerTest, ReportMentionsEveryModel) {
