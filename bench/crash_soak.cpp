@@ -129,6 +129,10 @@ int main(int argc, char** argv) {
     } else if (FlagValue(arg, "--cut-op", &v)) {
       base.cut_op = std::strtoull(v.c_str(), nullptr, 10);
       single = true;
+    } else if (FlagValue(arg, "--channels", &v)) {
+      base.channels = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (FlagValue(arg, "--queue-depth", &v)) {
+      base.queue_depth = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (FlagValue(arg, "--runs-per-config", &v)) {
       runs_per_config = std::strtoull(v.c_str(), nullptr, 10);
     } else {

@@ -14,6 +14,14 @@
 #                           run's metrics feed a deterministic >=3x parked
 #                           stored/raw gate and (unless skipped, same env
 #                           var) an 85% devices/sec gate vs BENCH_fleet.json.
+#   * latency --ci        — event-engine gates: degenerate C=1/D=1 must be
+#                           bit-exact with the flat model, random-write p99
+#                           must stay >= 2x sequential p99 (uFLIP envelope),
+#                           and the emitted BENCH_latency.json (simulated
+#                           metrics only) must byte-match the committed
+#                           baseline.
+#   * latency-campaign    — the latency_smoke campaign's latency digests must
+#                           be byte-identical at --threads 1 and --threads 4.
 # Long-running benches are registered under the "bench" ctest configuration/
 # label and are NOT run here — opt in locally with:
 #   cmake --preset release && cmake --build --preset release -j
@@ -99,5 +107,29 @@ if [[ "${FLASHSIM_SKIP_PERF_GATE:-0}" != "1" ]]; then
     printf "fleet perf gate ok: %.1f dev/s >= 85%% of baseline %.1f\n", m, b
   }'
 fi
+
+echo "=== latency smoke: event-engine equivalence + p99 envelope gates ==="
+(cd build-release && ./bench/latency --ci)
+if ! diff BENCH_latency.json build-release/BENCH_latency.json; then
+  echo "latency gate FAIL: BENCH_latency.json drifted from committed baseline" >&2
+  echo "(simulated metrics only — if the drift is intentional, recommit it)" >&2
+  exit 1
+fi
+echo "latency baseline ok: BENCH_latency.json matches committed baseline"
+
+echo "=== latency campaign: digests byte-identical across thread counts ==="
+mkdir -p build-release/latency_out
+./build-release/bench/campaign --spec examples/specs/latency_smoke.spec \
+  --threads 1 --out build-release/latency_out/t1 --quiet
+./build-release/bench/campaign --spec examples/specs/latency_smoke.spec \
+  --threads 4 --out build-release/latency_out/t4 --quiet
+if ! diff build-release/latency_out/t1/latency_smoke.json \
+          build-release/latency_out/t4/latency_smoke.json ||
+   ! diff build-release/latency_out/t1/latency_smoke.csv \
+          build-release/latency_out/t4/latency_smoke.csv; then
+  echo "latency campaign FAIL: latency digests differ across thread count" >&2
+  exit 1
+fi
+echo "latency campaign ok: reports byte-identical across threads 1 and 4"
 
 echo "CI OK"

@@ -1,0 +1,45 @@
+#include "src/blockdev/io_queue.h"
+
+#include <algorithm>
+
+namespace flashsim {
+
+IoQueue::IoQueue(uint32_t channels, uint32_t depth)
+    : channels_(std::max(1u, channels)), depth_(std::max(1u, depth)) {
+  channel_free_ns_.resize(channels_);
+  inflight_heap_.reserve(depth_);
+}
+
+SimDuration IoQueue::Run(const QueuedOp* ops, size_t count,
+                         SimDuration* latencies) {
+  std::fill(channel_free_ns_.begin(), channel_free_ns_.end(), int64_t{0});
+  inflight_heap_.clear();
+  // std::*_heap with std::greater<> keeps the earliest completion on top.
+  const auto earlier = [](int64_t a, int64_t b) { return a > b; };
+
+  int64_t makespan = 0;
+  for (size_t i = 0; i < count; ++i) {
+    // Queue-slot admission: block until the earliest in-flight op completes
+    // when all `depth_` slots are taken.
+    int64_t submit = 0;
+    if (inflight_heap_.size() == depth_) {
+      submit = inflight_heap_.front();
+      std::pop_heap(inflight_heap_.begin(), inflight_heap_.end(), earlier);
+      inflight_heap_.pop_back();
+    }
+    const uint32_t channel =
+        static_cast<uint32_t>(ops[i].channel_key % channels_);
+    const int64_t start = std::max(submit, channel_free_ns_[channel]);
+    const int64_t complete = start + ops[i].service.nanos();
+    channel_free_ns_[channel] = complete;
+    inflight_heap_.push_back(complete);
+    std::push_heap(inflight_heap_.begin(), inflight_heap_.end(), earlier);
+    if (latencies != nullptr) {
+      latencies[i] = SimDuration::Nanos(complete - submit);
+    }
+    makespan = std::max(makespan, complete);
+  }
+  return SimDuration::Nanos(makespan);
+}
+
+}  // namespace flashsim

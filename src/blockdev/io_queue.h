@@ -1,0 +1,77 @@
+// NCQ-style bounded device queue: the discrete-event scheduling core of the
+// latency-aware device model (DESIGN.md §15).
+//
+// The host hands the device a group of requests (a SubmitBatch call); each
+// request carries a precomputed service time (the calibrated flat formula,
+// src/blockdev/perf_model.h) and a channel key. The queue then plays the
+// group out in simulated time:
+//
+//   - at most `depth` requests are in flight at once — submission of the
+//     next request blocks until the earliest in-flight completion frees a
+//     slot (native-command-queueing semantics);
+//   - each request dispatches to channel `key % channels`; an idle channel
+//     starts it immediately, a busy one serializes it behind the request it
+//     is serving (address-striped, not availability-based, so the schedule
+//     is a pure function of the request sequence);
+//   - requests complete in simulated-time order; the group's makespan (last
+//     completion) is how long the device was busy.
+//
+// Degenerate-mode invariant (enforced by tests/latency_equivalence_test.cc):
+// with channels=1 and depth=1 every request starts exactly when its
+// predecessor completes, so the makespan is the plain sum of service times
+// and each per-request latency equals its service time — bit-exactly the
+// flat synchronous model. Monotonicity: a deeper queue never increases the
+// makespan (submissions only move earlier), and doubling a power-of-two
+// channel count never increases it either (keys colliding mod 2C also
+// collide mod C, so splitting only removes conflicts).
+//
+// The queue is drained at every submission boundary — the host is
+// synchronous above the device — so it holds no cross-call state and
+// snapshots are quiesced by construction.
+
+#ifndef SRC_BLOCKDEV_IO_QUEUE_H_
+#define SRC_BLOCKDEV_IO_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/simcore/sim_time.h"
+
+namespace flashsim {
+
+// One request as the queue sees it: where it goes and how long it holds its
+// channel. `channel_key` is the request's first logical page number, so
+// consecutive addresses stripe across channels.
+struct QueuedOp {
+  uint64_t channel_key = 0;
+  SimDuration service;
+};
+
+class IoQueue {
+ public:
+  // `channels` and `depth` must be >= 1 (clamped if 0).
+  IoQueue(uint32_t channels, uint32_t depth);
+
+  uint32_t channels() const { return channels_; }
+  uint32_t depth() const { return depth_; }
+
+  // Schedules `count` ops that all become available at group time zero, in
+  // submission order. Returns the group makespan (time of last completion).
+  // When `latencies` is non-null it receives, per op in submission order,
+  // completion minus submission — channel wait plus service, excluding the
+  // time the op waited for a queue slot (the host-side block).
+  SimDuration Run(const QueuedOp* ops, size_t count,
+                  SimDuration* latencies = nullptr);
+
+ private:
+  uint32_t channels_;
+  uint32_t depth_;
+  // Scratch reused across Run calls (cleared on entry; sized by config).
+  std::vector<int64_t> channel_free_ns_;
+  std::vector<int64_t> inflight_heap_;  // min-heap of completion times (ns)
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_BLOCKDEV_IO_QUEUE_H_

@@ -1,28 +1,47 @@
 #include "src/blockdev/perf_model.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace flashsim {
 
 SimDuration PerfModel::ServiceTime(uint64_t bytes, SimDuration array_time,
                                    bool sequential) const {
+  // A non-positive bandwidth means "no transfer stage" (zero-latency test
+  // configs) rather than a division blow-up.
   const double transfer_seconds =
-      static_cast<double>(bytes) / (config_.bus_mib_per_sec * 1024.0 * 1024.0);
+      config_.bus_mib_per_sec > 0.0
+          ? static_cast<double>(bytes) / (config_.bus_mib_per_sec * 1024.0 * 1024.0)
+          : 0.0;
   // Bus transfer and array programming pipeline: data for the next die
   // transfers while the previous one programs, so the slower of the two
-  // stages dominates rather than their sum.
-  const SimDuration transfer = SimDuration::FromSecondsF(transfer_seconds);
+  // stages dominates rather than their sum. Saturate instead of overflowing
+  // the ns cast for absurd byte counts (EOL sweeps on scaled devices), and
+  // saturate the additions too so overhead on top of a clamped transfer
+  // cannot wrap negative.
+  constexpr int64_t kMaxNanos = std::numeric_limits<int64_t>::max();
+  const double transfer_nanos = transfer_seconds * 1e9;
+  const SimDuration transfer =
+      transfer_nanos >= static_cast<double>(kMaxNanos)
+          ? SimDuration::Nanos(kMaxNanos)
+          : SimDuration::FromSecondsF(transfer_seconds);
   const SimDuration array(array_time.nanos() /
                           static_cast<int64_t>(std::max(1u, config_.effective_parallelism)));
-  SimDuration t = config_.per_request_overhead;
-  t += std::max(transfer, array);
+  const auto saturating_add = [](int64_t a, int64_t b) {
+    return a > kMaxNanos - b ? kMaxNanos : a + b;
+  };
+  int64_t t = saturating_add(config_.per_request_overhead.nanos(),
+                             std::max(transfer, array).nanos());
   if (!sequential) {
-    t += config_.random_write_penalty;
+    t = saturating_add(t, config_.random_write_penalty.nanos());
   }
-  return t;
+  return SimDuration::Nanos(t);
 }
 
 double PerfModel::PlateauMiBPerSec(uint32_t page_bytes, SimDuration program_time) const {
+  if (program_time.nanos() <= 0) {
+    return config_.bus_mib_per_sec;  // array stage is free; bus is the limit
+  }
   // Array-side limit: parallel pages per program time.
   const double array_limit =
       static_cast<double>(page_bytes) * config_.effective_parallelism /

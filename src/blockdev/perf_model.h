@@ -39,6 +39,18 @@ struct PerfModelConfig {
   // — models block-mapped/simple-controller devices (MicroSD) whose random
   // writes trigger partial-block merges. Zero for page-mapped eMMC/UFS.
   SimDuration random_write_penalty = SimDuration::Nanos(0);
+
+  // Queued-submission topology (src/blockdev/io_queue.h). `channels` is the
+  // number of independent host-visible channels requests stripe across;
+  // `queue_depth` bounds how many requests may be in flight at once. With
+  // channels=1 and queue_depth=1 the device serves requests synchronously
+  // through the flat formula above — the calibrated Figure 1 behaviour — and
+  // the event engine is bypassed entirely unless `force_event_engine` asks
+  // for it (the degenerate event model is bit-exact with the flat path; the
+  // flag exists so the equivalence tests can prove that).
+  uint32_t channels = 1;
+  uint32_t queue_depth = 1;
+  bool force_event_engine = false;
 };
 
 class PerfModel {

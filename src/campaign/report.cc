@@ -130,6 +130,14 @@ void CampaignJsonStream::AddRun(const RunRecord& run) {
       << ",\n";
   os_ << "      \"level_a\": " << JsonNum(static_cast<uint64_t>(run.level_a)) << ",\n";
   os_ << "      \"level_b\": " << JsonNum(static_cast<uint64_t>(run.level_b)) << ",\n";
+  os_ << "      \"write_lat_count\": " << JsonNum(run.write_lat_count) << ",\n";
+  os_ << "      \"write_lat_p50_us\": " << JsonNum(run.write_lat_p50_us) << ",\n";
+  os_ << "      \"write_lat_p95_us\": " << JsonNum(run.write_lat_p95_us) << ",\n";
+  os_ << "      \"write_lat_p99_us\": " << JsonNum(run.write_lat_p99_us) << ",\n";
+  os_ << "      \"read_lat_count\": " << JsonNum(run.read_lat_count) << ",\n";
+  os_ << "      \"read_lat_p50_us\": " << JsonNum(run.read_lat_p50_us) << ",\n";
+  os_ << "      \"read_lat_p95_us\": " << JsonNum(run.read_lat_p95_us) << ",\n";
+  os_ << "      \"read_lat_p99_us\": " << JsonNum(run.read_lat_p99_us) << ",\n";
   os_ << "      \"reached_target\": " << JsonBool(run.reached_target) << ",\n";
   os_ << "      \"bricked\": " << JsonBool(run.bricked) << ",\n";
   os_ << "      \"volume_factor\": " << JsonNum(run.volume_factor) << ",\n";
@@ -177,7 +185,11 @@ void CampaignCsvStream::Begin() {
                     "sim_seconds", "write_mib_per_sec", "device_wa", "fs_wa",
                     "gc_picks", "gc_candidates_examined", "victim_index_rebuilds",
                     "cleaner_picks", "cleaner_candidates_examined",
-                    "level_a", "level_b", "reached_target", "bricked",
+                    "level_a", "level_b",
+                    "write_lat_count", "write_lat_p50_us", "write_lat_p95_us",
+                    "write_lat_p99_us", "read_lat_count", "read_lat_p50_us",
+                    "read_lat_p95_us", "read_lat_p99_us",
+                    "reached_target", "bricked",
                     "volume_factor"});
 }
 
@@ -194,6 +206,10 @@ void CampaignCsvStream::AddRun(const RunRecord& run) {
             JsonNum(run.cleaner_picks), JsonNum(run.cleaner_candidates),
             JsonNum(static_cast<uint64_t>(run.level_a)),
             JsonNum(static_cast<uint64_t>(run.level_b)),
+            JsonNum(run.write_lat_count), JsonNum(run.write_lat_p50_us),
+            JsonNum(run.write_lat_p95_us), JsonNum(run.write_lat_p99_us),
+            JsonNum(run.read_lat_count), JsonNum(run.read_lat_p50_us),
+            JsonNum(run.read_lat_p95_us), JsonNum(run.read_lat_p99_us),
             run.reached_target ? "1" : "0", run.bricked ? "1" : "0",
             JsonNum(run.volume_factor)});
 }

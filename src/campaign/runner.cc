@@ -54,6 +54,18 @@ void FillCommon(const RunSpec& run, const WorkloadRunResult& result,
     record->level_a = health.life_time_est_a;
     record->level_b = health.life_time_est_b;
   }
+  if (const WearDigest* wd = device.write_latency_digest()) {
+    record->write_lat_count = wd->count();
+    record->write_lat_p50_us = wd->Quantile(0.50);
+    record->write_lat_p95_us = wd->Quantile(0.95);
+    record->write_lat_p99_us = wd->Quantile(0.99);
+  }
+  if (const WearDigest* rd = device.read_latency_digest()) {
+    record->read_lat_count = rd->count();
+    record->read_lat_p50_us = rd->Quantile(0.50);
+    record->read_lat_p95_us = rd->Quantile(0.95);
+    record->read_lat_p99_us = rd->Quantile(0.99);
+  }
   record->volume_factor = run.scale.VolumeFactor();
 }
 
@@ -78,6 +90,8 @@ RunRecord ExecuteRun(const RunSpec& run) {
     return record;
   }
   std::unique_ptr<FlashDevice> device = entry->make(run.scale, DeriveSeed(run.seed, 0));
+  device->ConfigureQueue(run.channels, run.queue_depth, run.force_event_engine);
+  device->EnableLatencyDigests();
   SyntheticWorkload workload(run.workload);
   const WorkloadDriveOptions opts = DriveOptionsFor(run);
 

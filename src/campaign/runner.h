@@ -48,6 +48,17 @@ struct RunRecord {
   uint64_t cleaner_candidates = 0;
   uint32_t level_a = 0;
   uint32_t level_b = 0;
+  // Per-request latency percentiles (microseconds) from the device's
+  // digests, recorded in submission order — deterministic at any thread
+  // count (DESIGN.md §15).
+  uint64_t write_lat_count = 0;
+  double write_lat_p50_us = 0.0;
+  double write_lat_p95_us = 0.0;
+  double write_lat_p99_us = 0.0;
+  uint64_t read_lat_count = 0;
+  double read_lat_p50_us = 0.0;
+  double read_lat_p95_us = 0.0;
+  double read_lat_p99_us = 0.0;
   bool reached_target = false;
   bool bricked = false;
   std::vector<WorkloadLevelRow> levels;  // wear transitions, sim-scale units

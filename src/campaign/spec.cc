@@ -277,6 +277,22 @@ Status ApplyGridKey(const KeyValue& kv, size_t line_no, GridSpec* g) {
     ok = ParseBool(v, &g->sync);
   } else if (k == "batch") {
     ok = ParseU64(v, &g->batch_requests) && g->batch_requests > 0;
+  } else if (k == "depth") {
+    uint64_t depth = 0;
+    ok = ParseU64(v, &depth) && depth >= 1 && depth <= 4096;
+    g->queue_depth = static_cast<uint32_t>(depth);
+  } else if (k == "channels") {
+    uint64_t ch = 0;
+    ok = ParseU64(v, &ch) && ch >= 1 && ch <= 64;
+    g->channels = static_cast<uint32_t>(ch);
+  } else if (k == "engine") {
+    if (v == "event") {
+      g->force_event_engine = true;
+    } else if (v == "flat") {
+      g->force_event_engine = false;
+    } else {
+      ok = false;
+    }
   } else {
     return LineError(line_no, "unknown grid key '" + k + "'");
   }
@@ -568,6 +584,9 @@ std::vector<RunSpec> ExpandRuns(const CampaignSpec& spec) {
           run.file_bytes = grid.file_bytes;
           run.sync = grid.sync;
           run.batch_requests = grid.batch_requests;
+          run.queue_depth = grid.queue_depth;
+          run.channels = grid.channels;
+          run.force_event_engine = grid.force_event_engine;
           run.seed = DeriveSeed(spec.seed, run.index);
           runs.push_back(std::move(run));
         }

@@ -10,7 +10,8 @@
 //   grid <name> layer=<block|phone> metric=<bandwidth|wear>
 //        devices=<slug,...> workloads=<name,...> [fs=<ext4,f2fs>]
 //        [scale=CAPxEND] [utilization=F] [target_level=N] [max_bytes=SIZE]
-//        [files=<count>x<SIZE>] [sync=0|1] [batch=N]
+//        [files=<count>x<SIZE>] [sync=0|1] [batch=N] [depth=N] [channels=N]
+//        [engine=<event|flat>]
 //   fleet <name> count=N devices=<slug,...> workloads=<name,...>
 //        [scale=CAPxEND] [shard=N] [slice=SIZE] [target_level=N]
 //        [max_device_bytes=SIZE] [batch=N] [survival_bin_hours=F]
@@ -60,6 +61,12 @@ struct GridSpec {
   uint64_t file_bytes = 100ull * 1024 * 1024;  // full-size; runner re-scales
   bool sync = true;
   uint64_t batch_requests = 32;
+  // Queued-submission knobs (src/blockdev/io_queue.h). Zero keeps the
+  // device's calibrated defaults; `force_event_engine` routes even C=1/D=1
+  // runs through the event engine (equivalence gating in CI).
+  uint32_t queue_depth = 0;
+  uint32_t channels = 0;
+  bool force_event_engine = false;
 };
 
 // A device population for src/fleet: `count` simulated devices striped over
@@ -125,6 +132,9 @@ struct RunSpec {
   uint64_t file_bytes = 100ull * 1024 * 1024;
   bool sync = true;
   uint64_t batch_requests = 32;
+  uint32_t queue_depth = 0;  // 0 = device default
+  uint32_t channels = 0;     // 0 = device default
+  bool force_event_engine = false;
   uint64_t seed = 0;  // DeriveSeed(campaign seed, index)
 };
 

@@ -177,6 +177,10 @@ CrashRunResult RunCrashScenario(const CrashSpec& spec) {
   CrashRunResult result;
 
   std::unique_ptr<FlashDevice> device = MakeCrashDevice(spec.ftl, spec.seed);
+  if (spec.channels > 0 || spec.queue_depth > 0) {
+    device->ConfigureQueue(spec.channels, spec.queue_depth,
+                           /*force_event_engine=*/false);
+  }
   std::unique_ptr<Filesystem> fs = MakeFs(spec.fs, *device);
   const DurabilityContract contract = spec.fs == FsKind::kLogFs
                                           ? DurabilityContract::kLogFs
@@ -202,6 +206,12 @@ CrashRunResult RunCrashScenario(const CrashSpec& spec) {
                  " --ops=" + std::to_string(spec.ops) +
                  (spec.no_cut ? std::string(" --no-cut")
                               : " --cut-op=" + std::to_string(result.resolved_cut_op));
+  if (spec.channels > 0) {
+    result.repro += " --channels=" + std::to_string(spec.channels);
+  }
+  if (spec.queue_depth > 0) {
+    result.repro += " --queue-depth=" + std::to_string(spec.queue_depth);
+  }
 
   // --- Workload, mirrored into the shadow op by op -------------------------
   Rng rng(DeriveSeed(spec.seed, 1));

@@ -57,6 +57,13 @@ struct CrashSpec {
   // No cut at all: run the workload, fsync everything, then remount — the
   // clean-shutdown recovery path must restore the namespace exactly.
   bool no_cut = false;
+  // Queue topology for the device under test (0 = keep the flat default).
+  // The event engine is a timing overlay: the power cut triggers on a
+  // destructive-NAND-op *index*, not a wall-clock time, so the same
+  // (seed, cut) scenario must recover to the identical state at any
+  // channel count or queue depth.
+  uint32_t channels = 0;
+  uint32_t queue_depth = 0;
 };
 
 struct CrashRunResult {

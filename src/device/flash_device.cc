@@ -7,10 +7,47 @@
 namespace flashsim {
 
 FlashDevice::FlashDevice(FlashDeviceConfig config, std::unique_ptr<FtlInterface> ftl)
-    : config_(std::move(config)), ftl_(std::move(ftl)), perf_(config_.perf) {
+    : config_(std::move(config)),
+      ftl_(std::move(ftl)),
+      perf_(config_.perf),
+      queue_(config_.perf.channels, config_.perf.queue_depth) {
   assert(ftl_ != nullptr);
   page_size_ = ftl_->PageSizeBytes();
   capacity_bytes_ = ftl_->LogicalPageCount() * page_size_;
+}
+
+void FlashDevice::ConfigureQueue(uint32_t channels, uint32_t depth,
+                                 bool force_event_engine) {
+  PerfModelConfig cfg = perf_.config();
+  if (channels != 0) {
+    cfg.channels = channels;
+  }
+  if (depth != 0) {
+    cfg.queue_depth = depth;
+  }
+  cfg.force_event_engine = force_event_engine || cfg.force_event_engine;
+  config_.perf = cfg;
+  perf_ = PerfModel(cfg);
+  queue_ = IoQueue(cfg.channels, cfg.queue_depth);
+}
+
+void FlashDevice::EnableLatencyDigests(uint32_t compression) {
+  if (write_lat_ == nullptr) {
+    write_lat_ = std::make_unique<WearDigest>(compression);
+    read_lat_ = std::make_unique<WearDigest>(compression);
+  }
+}
+
+void FlashDevice::RecordLatency(IoKind kind, SimDuration latency) {
+  if (write_lat_ == nullptr) {
+    return;
+  }
+  const double micros = static_cast<double>(latency.nanos()) / 1000.0;
+  if (kind == IoKind::kWrite) {
+    write_lat_->Add(micros);
+  } else if (kind == IoKind::kRead) {
+    read_lat_->Add(micros);
+  }
 }
 
 Status FlashDevice::CheckRange(const IoRequest& request) const {
@@ -120,6 +157,10 @@ Result<IoCompletion> FlashDevice::Submit(const IoRequest& request) {
   } else if (request.kind == IoKind::kRead) {
     read_meter_.Record(request.length, service);
   }
+  // A lone request is a group of one under the event engine: it admits
+  // immediately to an idle device, so its latency is its service time on
+  // both paths — no scheduling needed.
+  RecordLatency(request.kind, service);
   return IoCompletion{service, request.length};
 }
 
@@ -174,6 +215,7 @@ BatchCompletion FlashDevice::SubmitBatch(const IoRequest* requests, size_t count
     SimDuration batch_service;
     size_t group_completed = 0;
     size_t page_idx = 0;
+    std::vector<QueuedOp>& group_ops = batch_ops_.AcquireEmpty();
     for (size_t r = i; r < g; ++r) {
       const uint64_t pages = requests[r].length / page;
       if (page_idx + pages > pages_done) {
@@ -189,15 +231,33 @@ BatchCompletion FlashDevice::SubmitBatch(const IoRequest* requests, size_t count
       const SimDuration service =
           perf_.ServiceTime(requests[r].length, array_time, sequential);
       write_meter_.Record(requests[r].length, service);
+      group_ops.push_back(QueuedOp{requests[r].offset / page, service});
       batch_service += service;
       out.bytes_transferred += requests[r].length;
       ++out.requests_completed;
       ++group_completed;
     }
+    // The device was busy for the group's makespan: under the event engine
+    // the queue schedules the whole group (requests overlap across channels
+    // up to the queue depth); on the flat synchronous path requests serve
+    // back to back, so the makespan is the plain sum of service times —
+    // which is exactly what the degenerate C=1/D=1 schedule produces.
+    SimDuration group_busy = batch_service;
     if (group_completed > 0) {
-      clock_.AdvanceWithCategory(batch_service, IoKindName(IoKind::kWrite));
+      if (UsesEventEngine()) {
+        SimDuration* lat = batch_latencies_.AcquireZeroed(group_completed);
+        group_busy = queue_.Run(group_ops.data(), group_completed, lat);
+        for (size_t r = 0; r < group_completed; ++r) {
+          RecordLatency(IoKind::kWrite, lat[r]);
+        }
+      } else {
+        for (size_t r = 0; r < group_completed; ++r) {
+          RecordLatency(IoKind::kWrite, group_ops[r].service);
+        }
+      }
+      clock_.AdvanceWithCategory(group_busy, IoKindName(IoKind::kWrite));
     }
-    out.service_time += batch_service;
+    out.service_time += group_busy;
     if (!st.ok()) {
       out.status = st;
       return out;
@@ -227,6 +287,14 @@ void FlashDevice::SaveState(SnapshotWriter& w) const {
   write_meter_.SaveState(w);
   read_meter_.SaveState(w);
   w.U64(last_write_end_);
+  // Latency digests (appended fields; absent state restores as disabled).
+  // The queue itself has no state to save: it drains at every submission
+  // boundary, so snapshots between requests are quiesced by construction.
+  w.Bool(write_lat_ != nullptr);
+  if (write_lat_ != nullptr) {
+    write_lat_->Save(w);
+    read_lat_->Save(w);
+  }
   w.EndSection();
 }
 
@@ -241,6 +309,14 @@ Status FlashDevice::LoadState(SnapshotReader& r) {
   FLASHSIM_RETURN_IF_ERROR(write_meter_.LoadState(r));
   FLASHSIM_RETURN_IF_ERROR(read_meter_.LoadState(r));
   last_write_end_ = r.U64();
+  if (r.U8() != 0) {
+    EnableLatencyDigests();
+    FLASHSIM_RETURN_IF_ERROR(write_lat_->Load(r));
+    FLASHSIM_RETURN_IF_ERROR(read_lat_->Load(r));
+  } else {
+    write_lat_.reset();
+    read_lat_.reset();
+  }
   r.LeaveSection();
   return r.status();
 }

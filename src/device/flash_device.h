@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "src/blockdev/block_device.h"
+#include "src/blockdev/io_queue.h"
 #include "src/blockdev/iotrace.h"
 #include "src/blockdev/perf_model.h"
+#include "src/fleet/sketch.h"
 #include "src/ftl/ftl_interface.h"
 #include "src/simcore/clock.h"
 #include "src/simcore/event_log.h"
@@ -70,6 +72,33 @@ class FlashDevice : public BlockDevice {
   const RateMeter& write_meter() const { return write_meter_; }
   const RateMeter& read_meter() const { return read_meter_; }
 
+  // True when requests route through the discrete-event queue
+  // (src/blockdev/io_queue.h) instead of the synchronous flat path: a
+  // multi-channel or deep-queue perf config, or force_event_engine (the
+  // equivalence tests force the degenerate C=1/D=1 event model to prove it
+  // is bit-exact with the flat path).
+  bool UsesEventEngine() const {
+    return perf_.config().channels > 1 || perf_.config().queue_depth > 1 ||
+           perf_.config().force_event_engine;
+  }
+
+  // Per-request latency percentile sketches, off by default (they cost ~2KiB
+  // each, which fleet park budgets care about). Enable before submitting;
+  // the campaign runner turns them on for every run it executes. Latencies
+  // are recorded in microseconds, in submission order (deterministic at any
+  // thread count). On the flat path a request's latency is its service time;
+  // under the event engine it is completion minus queue admission, so
+  // channel conflicts and queue waits surface in the tails.
+  void EnableLatencyDigests(uint32_t compression = 128);
+  const WearDigest* write_latency_digest() const { return write_lat_.get(); }
+  const WearDigest* read_latency_digest() const { return read_lat_.get(); }
+
+  // Overrides the queued-submission topology after construction (campaign
+  // grids carry depth/channels knobs the catalog factories do not know
+  // about). Zero keeps the corresponding configured value. Call before
+  // submitting any I/O; service-time calibration is unaffected.
+  void ConfigureQueue(uint32_t channels, uint32_t depth, bool force_event_engine);
+
   // Host bytes written since construction (requested lengths, not page-
   // rounded) — the "I/O amount" axis of Figures 2 and 4.
   uint64_t HostBytesWritten() const { return write_meter_.total_bytes(); }
@@ -102,14 +131,18 @@ class FlashDevice : public BlockDevice {
   Result<SimDuration> ReadPages(const IoRequest& request);
   Result<SimDuration> DiscardPages(const IoRequest& request);
   Status CheckRange(const IoRequest& request) const;
+  void RecordLatency(IoKind kind, SimDuration latency);
 
   FlashDeviceConfig config_;
   std::unique_ptr<FtlInterface> ftl_;
   PerfModel perf_;
+  IoQueue queue_;
   SimClock clock_;
   EventLog event_log_;
   RateMeter write_meter_;
   RateMeter read_meter_;
+  std::unique_ptr<WearDigest> write_lat_;
+  std::unique_ptr<WearDigest> read_lat_;
   TraceRecorder* trace_ = nullptr;
   uint32_t page_size_ = 0;
   uint64_t capacity_bytes_ = 0;
@@ -118,6 +151,8 @@ class FlashDevice : public BlockDevice {
   // Scratch buffers for the batched submission path, reused across calls.
   ScratchBuffer<uint64_t> batch_lpns_;
   ScratchBuffer<SimDuration> batch_page_times_;
+  ScratchBuffer<QueuedOp> batch_ops_;
+  ScratchBuffer<SimDuration> batch_latencies_;
 };
 
 }  // namespace flashsim

@@ -29,6 +29,10 @@ NandChip::NandChip(NandChipConfig config, uint64_t seed)
     blocks_.emplace_back(planes_, static_cast<uint64_t>(i) * ppb, ppb);
   }
   reads_since_erase_.assign(config_.total_blocks(), 0);
+  plane_programs_.assign(config_.planes(), 0);
+  plane_reads_.assign(config_.planes(), 0);
+  plane_erases_.assign(config_.planes(), 0);
+  plane_busy_ns_.assign(config_.planes(), 0);
   programs_counter_ = counters_.Slot("nand.programs");
   erases_counter_ = counters_.Slot("nand.erases");
   reads_counter_ = counters_.Slot("nand.reads");
@@ -70,6 +74,14 @@ Status NandChip::CheckPowered() const {
     return PowerLossError("power is off");
   }
   return Status::Ok();
+}
+
+void NandChip::NotePlaneOp(BlockId block, std::vector<uint64_t>& counter,
+                           SimDuration per_op, uint64_t ops) {
+  const uint32_t plane = PlaneOfBlock(block);
+  counter[plane] += ops;
+  plane_busy_ns_[plane] +=
+      static_cast<uint64_t>(per_op.nanos()) * ops;
 }
 
 void NandChip::NoteWear(uint32_t pe_after, uint32_t wear_weight) {
@@ -124,6 +136,7 @@ Result<SimDuration> NandChip::EraseBlock(BlockId id, uint32_t wear_weight) {
     return PowerLossError("power lost mid-erase; block torn");
   }
   ++*erases_counter_;
+  NotePlaneOp(id, plane_erases_, config_.timings.erase_block);
   ++wear_version_;
   // The erase itself always consumes the cycle; failure is detected by the
   // erase-verify step afterwards.
@@ -151,6 +164,7 @@ Result<SimDuration> NandChip::ProgramPage(PhysPageAddr addr, uint64_t tag) {
   }
   (void)blk.ProgramPage(addr.page, tag, NextSeq());
   ++*programs_counter_;
+  NotePlaneOp(addr.block, plane_programs_, config_.timings.program_page);
   if (rng_.Bernoulli(
           WearFailureProbability(blk.pe_cycles(), kProgramFailureScale))) {
     blk.MarkBad();
@@ -193,6 +207,7 @@ Result<NandProgramRunOutcome> NandChip::ProgramRun(BlockId block,
     out.pages_done = count;
     out.latency = config_.timings.program_page * static_cast<int64_t>(count);
     *programs_counter_ += count;
+    NotePlaneOp(block, plane_programs_, config_.timings.program_page, count);
     return out;
   }
   for (uint32_t i = 0; i < count; ++i) {
@@ -201,6 +216,7 @@ Result<NandProgramRunOutcome> NandChip::ProgramRun(BlockId block,
     if (rail_ != nullptr && rail_->OnDestructiveOp()) {
       (void)blk.ProgramTorn(wp);
       *programs_counter_ += i;
+      NotePlaneOp(block, plane_programs_, config_.timings.program_page, i);
       counters_.Increment("nand.torn_programs");
       out.power_lost = true;
       return out;
@@ -211,6 +227,7 @@ Result<NandProgramRunOutcome> NandChip::ProgramRun(BlockId block,
       ++bad_blocks_count_;
       ++wear_version_;
       *programs_counter_ += i + 1;  // the failed program counts
+      NotePlaneOp(block, plane_programs_, config_.timings.program_page, i + 1);
       counters_.Increment("nand.program_failures");
       out.block_failed = true;
       return out;
@@ -219,6 +236,7 @@ Result<NandProgramRunOutcome> NandChip::ProgramRun(BlockId block,
     out.latency += config_.timings.program_page;
   }
   *programs_counter_ += count;
+  NotePlaneOp(block, plane_programs_, config_.timings.program_page, count);
   return out;
 }
 
@@ -263,6 +281,7 @@ Result<NandReadOutcome> NandChip::ReadPage(PhysPageAddr addr) {
     return tag.status();
   }
   ++*reads_counter_;
+  NotePlaneOp(addr.block, plane_reads_, config_.timings.read_page);
   ++reads_since_erase_[addr.block];
   const EccOutcome ecc = ecc_.DecodePage(BlockRber(addr.block), rng_);
   if (!ecc.correctable) {
@@ -337,6 +356,10 @@ void NandChip::SaveState(SnapshotWriter& w) const {
   w.U64(wear_version_);
   w.U64(next_seq_);
   counters_.SaveState(w);
+  w.VecU64(plane_programs_);
+  w.VecU64(plane_reads_);
+  w.VecU64(plane_erases_);
+  w.VecU64(plane_busy_ns_);
   w.EndSection();
 }
 
@@ -364,12 +387,19 @@ Status NandChip::LoadState(SnapshotReader& r) {
   const uint64_t wear_version = r.U64();
   const uint64_t next_seq = r.U64();
   FLASHSIM_RETURN_IF_ERROR(counters_.LoadState(r));
+  std::vector<uint64_t> pprog, pread, perase, pbusy;
+  r.VecU64(&pprog);
+  r.VecU64(&pread);
+  r.VecU64(&perase);
+  r.VecU64(&pbusy);
   r.LeaveSection();
   FLASHSIM_RETURN_IF_ERROR(r.status());
   if (tags.size() != planes_.tags.size() || seqs.size() != planes_.seqs.size() ||
       torn.size() != planes_.torn.size() || wps.size() != blocks_.size() ||
       pes.size() != blocks_.size() || flags.size() != blocks_.size() ||
-      reads.size() != blocks_.size()) {
+      reads.size() != blocks_.size() || pprog.size() != plane_programs_.size() ||
+      pread.size() != plane_reads_.size() || perase.size() != plane_erases_.size() ||
+      pbusy.size() != plane_busy_ns_.size()) {
     return DataLossError("snapshot chip state has inconsistent sizes");
   }
   rng_.set_state(rng_state);
@@ -386,6 +416,10 @@ Status NandChip::LoadState(SnapshotReader& r) {
     blk.erase_torn_ = (flags[i] & 2) != 0;
   }
   reads_since_erase_ = std::move(reads);
+  plane_programs_ = std::move(pprog);
+  plane_reads_ = std::move(pread);
+  plane_erases_ = std::move(perase);
+  plane_busy_ns_ = std::move(pbusy);
   wear_version_ = wear_version;
   next_seq_ = next_seq;
   RebuildWearAggregates();

@@ -44,6 +44,18 @@ struct NandProgramRunOutcome {
   bool power_lost = false;   // run stopped on a power cut; next page is torn
 };
 
+// Cumulative array activity of one plane (see NandChip plane accessors):
+// how many array ops executed there and how long the plane was busy in
+// simulated array time. Mirrors the chip-wide nand.programs/reads/erases
+// counters exactly — failed-verify ops count (the array was busy), torn ops
+// do not (the op never completed).
+struct PlaneOccupancy {
+  uint64_t programs = 0;
+  uint64_t reads = 0;
+  uint64_t erases = 0;
+  SimDuration busy;
+};
+
 // Aggregate wear state across the array.
 struct WearSummary {
   uint32_t min_pe = 0;
@@ -100,6 +112,23 @@ class NandChip {
   const NandBlock& block(BlockId id) const { return blocks_[id]; }
   uint32_t DieOfBlock(BlockId id) const { return id % config_.dies(); }
   uint32_t ChannelOfBlock(BlockId id) const { return DieOfBlock(id) % config_.channels; }
+
+  // Channel/die/plane topology: blocks stripe across dies (DieOfBlock) and,
+  // within a die, across its planes. Chip-wide plane ids are die-major so
+  // PlaneOfBlock(b) / planes_per_die recovers the die.
+  uint32_t PlaneCount() const { return config_.planes(); }
+  uint32_t PlaneOfBlock(BlockId id) const {
+    return DieOfBlock(id) * config_.planes_per_die +
+           (id / config_.dies()) % config_.planes_per_die;
+  }
+  // Per-plane occupancy: updated by every array op as it executes. This is
+  // pure observability for the device-level event engine and benches — it
+  // models no contention itself and never touches RNG or wear state.
+  PlaneOccupancy PlaneUsage(uint32_t plane) const {
+    return PlaneOccupancy{plane_programs_[plane], plane_reads_[plane],
+                          plane_erases_[plane],
+                          SimDuration::Nanos(plane_busy_ns_[plane])};
+  }
 
   // Batch OOB view of one block's metadata planes: contiguous tag/seq arrays
   // for pages [0, block.write_pointer()). Pure metadata access — the FTL
@@ -171,6 +200,11 @@ class NandChip {
   // anneal, snapshot load).
   void RebuildWearAggregates();
 
+  // Charges `ops` array ops of `per_op` each to `block`'s plane, bumping the
+  // given per-plane op counter vector.
+  void NotePlaneOp(BlockId block, std::vector<uint64_t>& counter,
+                   SimDuration per_op, uint64_t ops = 1);
+
   NandChipConfig config_;
   RberModel rber_model_;
   EccEngine ecc_;
@@ -178,6 +212,11 @@ class NandChip {
   PageMetaPlanes planes_;
   std::vector<NandBlock> blocks_;
   std::vector<uint32_t> reads_since_erase_;
+  // Per-plane occupancy (SoA, indexed by chip-wide plane id).
+  std::vector<uint64_t> plane_programs_;
+  std::vector<uint64_t> plane_reads_;
+  std::vector<uint64_t> plane_erases_;
+  std::vector<uint64_t> plane_busy_ns_;
   CounterSet counters_;
   // Hot-path counter slots (see CounterSet::Slot); cold counters keep using
   // Increment by name.

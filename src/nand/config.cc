@@ -37,9 +37,12 @@ NandTimings DefaultTimingsFor(CellType type) {
 }
 
 Status NandChipConfig::Validate() const {
-  if (channels == 0 || dies_per_channel == 0 || blocks_per_die == 0 ||
-      pages_per_block == 0 || page_size_bytes == 0) {
+  if (channels == 0 || dies_per_channel == 0 || planes_per_die == 0 ||
+      blocks_per_die == 0 || pages_per_block == 0 || page_size_bytes == 0) {
     return InvalidArgumentError("NAND geometry fields must all be nonzero");
+  }
+  if (timings.bus_transfer_page.nanos() < 0) {
+    return InvalidArgumentError("bus_transfer_page must be non-negative");
   }
   if (!IsPowerOfTwo(page_size_bytes)) {
     return InvalidArgumentError("page_size_bytes must be a power of two");

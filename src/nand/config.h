@@ -23,12 +23,18 @@ enum class CellType { kSlc = 1, kMlc = 2, kTlc = 3 };
 
 const char* CellTypeName(CellType type);
 
-// Per-operation NAND array timings (exclusive of bus transfer and controller
-// overhead, which belong to the device-level performance model).
+// Per-operation NAND array timings. read_page/program_page/erase_block are
+// the array-side tR/tProg/tBERS; bus_transfer_page is the per-page channel
+// transfer time consumed by the device-level event engine's channel model
+// (src/blockdev/io_queue.h). It defaults to zero, which folds per-page
+// transfer into the device's aggregate bus bandwidth — the calibrated flat
+// behaviour — while letting uFLIP-style experiments charge an explicit
+// per-page bus hold.
 struct NandTimings {
-  SimDuration read_page = SimDuration::Micros(50);
-  SimDuration program_page = SimDuration::Micros(800);
-  SimDuration erase_block = SimDuration::Millis(3);
+  SimDuration read_page = SimDuration::Micros(50);       // tR
+  SimDuration program_page = SimDuration::Micros(800);   // tProg
+  SimDuration erase_block = SimDuration::Millis(3);      // tBERS
+  SimDuration bus_transfer_page = SimDuration::Nanos(0);
 };
 
 // Returns typical array timings for a cell technology.
@@ -57,9 +63,14 @@ struct NandChipConfig {
   CellType cell_type = CellType::kMlc;
 
   // Geometry. Total capacity = channels * dies_per_channel * blocks_per_die *
-  // pages_per_block * page_size_bytes.
+  // pages_per_block * page_size_bytes. Each die is further divided into
+  // planes_per_die planes; blocks stripe across planes within a die, and the
+  // chip tracks per-plane occupancy so the device-level event engine and
+  // benches can observe how array work spreads (planes do not change
+  // capacity: blocks_per_die counts all of a die's blocks).
   uint32_t channels = 2;
   uint32_t dies_per_channel = 2;
+  uint32_t planes_per_die = 1;
   uint32_t blocks_per_die = 512;
   uint32_t pages_per_block = 128;
   uint32_t page_size_bytes = 4096;
@@ -78,6 +89,7 @@ struct NandChipConfig {
   EccConfig ecc;
 
   uint32_t dies() const { return channels * dies_per_channel; }
+  uint32_t planes() const { return dies() * planes_per_die; }
   uint32_t total_blocks() const { return dies() * blocks_per_die; }
   uint64_t block_size_bytes() const {
     return static_cast<uint64_t>(pages_per_block) * page_size_bytes;

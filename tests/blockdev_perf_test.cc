@@ -1,8 +1,11 @@
 #include "src/blockdev/perf_model.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "src/blockdev/block_device.h"
+#include "src/blockdev/io_queue.h"
 
 namespace flashsim {
 namespace {
@@ -108,6 +111,73 @@ TEST_P(PerfMonotoneSize, ServiceGrowsWithSize) {
 
 INSTANTIATE_TEST_SUITE_P(Parallelism, PerfMonotoneSize,
                          ::testing::Values(1u, 4u, 16u, 64u));
+
+TEST(PerfModelTest, ZeroLatencyConfigIsSafe) {
+  // A free device: no overhead, no bus stage, no array time. Must not divide
+  // by zero and must return exactly zero service.
+  PerfModelConfig cfg;
+  cfg.per_request_overhead = SimDuration();
+  cfg.bus_mib_per_sec = 0.0;
+  cfg.effective_parallelism = 1;
+  PerfModel model(cfg);
+  EXPECT_EQ(model.ServiceTime(1 * 1024 * 1024, SimDuration(), true).nanos(), 0);
+  EXPECT_EQ(model.ServiceTime(0, SimDuration(), false).nanos(), 0);
+  // The plateau of a zero-program-time array is the bus limit, not inf/NaN.
+  cfg.bus_mib_per_sec = 100.0;
+  EXPECT_DOUBLE_EQ(PerfModel(cfg).PlateauMiBPerSec(4096, SimDuration()), 100.0);
+}
+
+TEST(PerfModelTest, HugeTransferSaturatesInsteadOfOverflowing) {
+  // ~18.4 EB at 1 MiB/s is ~5.6e14 seconds: the ns cast would overflow
+  // int64 (UB) without the saturation clamp. Near-EOL sweeps on scaled
+  // devices accumulate byte counts this large.
+  PerfModelConfig cfg = BaseConfig();
+  cfg.bus_mib_per_sec = 1.0;
+  PerfModel model(cfg);
+  const uint64_t huge = ~uint64_t{0};
+  const SimDuration t = model.ServiceTime(huge, SimDuration::Micros(1), true);
+  EXPECT_GT(t.nanos(), 0);
+  // Saturated, and adding the overhead on top must not wrap negative.
+  const SimDuration bigger = model.ServiceTime(huge, SimDuration::Hours(1), false);
+  EXPECT_GT(bigger.nanos(), 0);
+}
+
+TEST(PerfModelTest, QueueTopologyDefaultsAreFlat) {
+  // Catalog devices never opt into the event engine implicitly: the flat
+  // C=1/D=1 calibration stays the default.
+  PerfModelConfig cfg;
+  EXPECT_EQ(cfg.channels, 1u);
+  EXPECT_EQ(cfg.queue_depth, 1u);
+  EXPECT_FALSE(cfg.force_event_engine);
+}
+
+TEST(IoQueueOverflowTest, GroupLargerThanQueueDepthCompletes) {
+  // A submission group far exceeding the queue depth must schedule every op
+  // (admission blocks, nothing is dropped) and keep the serial-sum bound.
+  IoQueue q(2, 4);
+  std::vector<QueuedOp> ops;
+  SimDuration sum;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const SimDuration s = SimDuration::Micros(50 + (i * 37) % 200);
+    ops.push_back(QueuedOp{i, s});
+    sum += s;
+  }
+  std::vector<SimDuration> lat(ops.size());
+  const SimDuration makespan = q.Run(ops.data(), ops.size(), lat.data());
+  EXPECT_GT(makespan.nanos(), 0);
+  EXPECT_LE(makespan.nanos(), sum.nanos());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_GE(lat[i].nanos(), ops[i].service.nanos());
+  }
+}
+
+TEST(IoQueueOverflowTest, ZeroConfigClampsToOne) {
+  IoQueue q(0, 0);
+  EXPECT_EQ(q.channels(), 1u);
+  EXPECT_EQ(q.depth(), 1u);
+  QueuedOp op{0, SimDuration::Micros(10)};
+  EXPECT_EQ(q.Run(&op, 1).nanos(), SimDuration::Micros(10).nanos());
+}
 
 TEST(BlockDeviceTest, IoKindNames) {
   EXPECT_STREQ(IoKindName(IoKind::kRead), "read");

@@ -95,5 +95,76 @@ TEST(CrashRecoveryPropertyTest, RandomizedSweepFiveHundredRuns) {
   EXPECT_GT(torn_pages, 0u);
 }
 
+// Crash under queued submission: the event engine is a timing overlay, and
+// the power cut triggers on a destructive-NAND-op index, not a wall-clock
+// time. The same (seed, cut) scenario must therefore recover to the
+// *identical* post-recovery state whether the device runs the flat model or
+// a multi-channel deep queue — same resolved cut, same acknowledged-op
+// count, same torn-page accounting, same recovery counters.
+TEST(CrashRecoveryPropertyTest, QueuedCrashRecoversToSameStateAsFlat) {
+  uint64_t cuts_fired = 0;
+  for (const FtlKind ftl : kFtls) {
+    for (const FsKind fs : kFss) {
+      for (uint64_t i = 0; i < 12; ++i) {
+        CrashSpec flat;
+        flat.ftl = ftl;
+        flat.fs = fs;
+        flat.workload = kWorkloads[i % 3];
+        flat.seed = 7000 + i;
+        flat.ops = 200;
+        flat.cut_window = 2000;
+        CrashSpec queued = flat;
+        queued.channels = 2;
+        queued.queue_depth = 8;
+        const CrashRunResult a = RunCrashScenario(flat);
+        const CrashRunResult b = RunCrashScenario(queued);
+        ASSERT_TRUE(a.ok) << a.failure << "\n  repro: " << a.repro;
+        ASSERT_TRUE(b.ok) << b.failure << "\n  repro: " << b.repro;
+        EXPECT_EQ(a.cut_fired, b.cut_fired);
+        EXPECT_EQ(a.resolved_cut_op, b.resolved_cut_op);
+        EXPECT_EQ(a.ops_acknowledged, b.ops_acknowledged);
+        EXPECT_EQ(RecoveryReportJson(a.report), RecoveryReportJson(b.report))
+            << FtlKindName(ftl) << "/" << FsKindName(fs) << " seed "
+            << flat.seed;
+        cuts_fired += b.cut_fired ? 1 : 0;
+      }
+    }
+  }
+  // The differential must be exercising real crashes, not clean runs.
+  EXPECT_GT(cuts_fired, 0u);
+}
+
+// Randomized queued-crash sweep: all three properties (durability, integrity,
+// wear monotonicity) hold when power is cut under async multi-channel
+// submission, including cuts landing inside a queued batch.
+TEST(CrashRecoveryPropertyTest, QueuedSubmissionRandomizedSweep) {
+  uint64_t runs = 0;
+  uint64_t cuts_fired = 0;
+  for (const FtlKind ftl : kFtls) {
+    for (const FsKind fs : kFss) {
+      for (uint64_t i = 0; i < 16; ++i) {
+        CrashSpec spec;
+        spec.ftl = ftl;
+        spec.fs = fs;
+        spec.workload = kWorkloads[i % 3];
+        spec.seed = 8000 + i;
+        spec.ops = 250;
+        spec.cut_window = 2500;
+        spec.channels = 1 + static_cast<uint32_t>(i % 4);
+        spec.queue_depth = 1u << (i % 6);  // 1..32
+        const CrashRunResult r = RunCrashScenario(spec);
+        ASSERT_TRUE(r.ok) << FtlKindName(ftl) << "/" << FsKindName(fs)
+                          << " seed " << spec.seed << " channels "
+                          << spec.channels << " depth " << spec.queue_depth
+                          << ": " << r.failure << "\n  repro: " << r.repro;
+        ++runs;
+        cuts_fired += r.cut_fired ? 1 : 0;
+      }
+    }
+  }
+  EXPECT_GE(runs, 64u);
+  EXPECT_GT(cuts_fired, runs / 2);
+}
+
 }  // namespace
 }  // namespace flashsim

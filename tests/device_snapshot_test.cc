@@ -357,5 +357,98 @@ TEST(DeviceSnapshotTest, FileRoundTrip) {
       restored->LoadSnapshotFile(testing::TempDir() + "/missing.fsnp").ok());
 }
 
+// Batched write stream for the queued-submission paths: groups of 16
+// single-page writes from the same LCG family as WritePages.
+void WriteBatches(FlashDevice& device, uint64_t seed, int batches) {
+  const uint64_t page = device.PageSizeBytes();
+  const uint64_t logical_pages = device.CapacityBytes() / page;
+  uint64_t x = seed;
+  std::vector<IoRequest> group;
+  for (int b = 0; b < batches; ++b) {
+    group.clear();
+    for (int i = 0; i < 16; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      const uint64_t lpn = (x >> 33) % logical_pages;
+      group.push_back(IoRequest{IoKind::kWrite, lpn * page, page});
+    }
+    const BatchCompletion done = device.SubmitBatch(group.data(), group.size());
+    ASSERT_TRUE(done.status.ok()) << done.status.message();
+  }
+}
+
+TEST(DeviceSnapshotTest, QueuedDeviceRoundTripContinuesBitExact) {
+  // Event engine active (channels=2, depth=8) with latency digests on: a
+  // mid-campaign snapshot must capture the digests and the quiesced queue
+  // (drained at every submission boundary, so there is nothing in flight to
+  // lose), and the restored device must continue bit-exactly.
+  const auto make = [] {
+    auto device = MakeTinyDevice(/*seed=*/21);
+    device->ConfigureQueue(2, 8, /*force_event_engine=*/false);
+    return device;
+  };
+  auto continuous = make();
+  auto interrupted = make();
+  continuous->EnableLatencyDigests();
+  interrupted->EnableLatencyDigests();
+  WriteBatches(*continuous, 99, 200);
+  WriteBatches(*interrupted, 99, 200);
+  ASSERT_TRUE(continuous->UsesEventEngine());
+
+  SnapshotWriter w;
+  interrupted->SaveState(w);
+  auto restored = make();  // same queue config; digests restored by load
+  SnapshotReader r(w.buffer());
+  ASSERT_TRUE(restored->LoadState(r).ok());
+  EXPECT_EQ(Serialize(*restored), w.buffer());
+  ASSERT_NE(restored->write_latency_digest(), nullptr);
+  EXPECT_EQ(restored->write_latency_digest()->count(),
+            continuous->write_latency_digest()->count());
+
+  WriteBatches(*continuous, 1234, 300);
+  WriteBatches(*restored, 1234, 300);
+  EXPECT_EQ(continuous->clock().Now().nanos(), restored->clock().Now().nanos());
+  EXPECT_EQ(continuous->write_latency_digest()->Quantile(0.99),
+            restored->write_latency_digest()->Quantile(0.99));
+  EXPECT_EQ(Serialize(*continuous), Serialize(*restored));
+}
+
+TEST(DeviceSnapshotTest, LatencyDigestStateRestoresExactly) {
+  auto device = MakeTinyDevice(/*seed=*/8);
+  device->EnableLatencyDigests();
+  ASSERT_EQ(WritePages(*device, 55, 500), 500u);
+  const uint64_t count = device->write_latency_digest()->count();
+  ASSERT_GT(count, 0u);
+
+  SnapshotWriter w;
+  device->SaveState(w);
+  // Restore into a device that never enabled digests: the load creates them.
+  auto restored = MakeTinyDevice(/*seed=*/8);
+  ASSERT_EQ(restored->write_latency_digest(), nullptr);
+  SnapshotReader r(w.buffer());
+  ASSERT_TRUE(restored->LoadState(r).ok());
+  ASSERT_NE(restored->write_latency_digest(), nullptr);
+  EXPECT_EQ(restored->write_latency_digest()->count(), count);
+  EXPECT_EQ(restored->write_latency_digest()->Quantile(0.5),
+            device->write_latency_digest()->Quantile(0.5));
+}
+
+TEST(DeviceSnapshotTest, SnapshotWithoutDigestsRestoresDisabled) {
+  // Restoring a digest-free snapshot into a device that had digests enabled
+  // must disable them: restored state matches saved state, not the target's
+  // pre-load configuration.
+  auto plain = MakeTinyDevice(/*seed=*/9);
+  ASSERT_EQ(WritePages(*plain, 3, 100), 100u);
+  SnapshotWriter w;
+  plain->SaveState(w);
+
+  auto target = MakeTinyDevice(/*seed=*/9);
+  target->EnableLatencyDigests();
+  ASSERT_EQ(WritePages(*target, 4, 50), 50u);
+  SnapshotReader r(w.buffer());
+  ASSERT_TRUE(target->LoadState(r).ok());
+  EXPECT_EQ(target->write_latency_digest(), nullptr);
+  EXPECT_EQ(Serialize(*target), w.buffer());
+}
+
 }  // namespace
 }  // namespace flashsim

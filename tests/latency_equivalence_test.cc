@@ -1,0 +1,279 @@
+// Test-first harness for the event-engine degenerate-mode invariant
+// (DESIGN.md §15): with channels=1 and depth=1 the discrete-event queue
+// model must be bit-exactly the flat synchronous model — same simulated
+// clock, same wear, same meters, same latency digests, same campaign report
+// bytes — and scaling the topology must never slow a workload down (more
+// channels and deeper queues are monotone improvements for independent ops).
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/blockdev/io_queue.h"
+#include "src/campaign/report.h"
+#include "src/campaign/runner.h"
+#include "src/campaign/spec.h"
+#include "src/device/flash_device.h"
+#include "src/simcore/snapshot.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+std::vector<uint8_t> Serialize(const FlashDevice& device) {
+  SnapshotWriter w;
+  device.SaveState(w);
+  return w.buffer();
+}
+
+// Deterministic mixed workload: page-aligned write batches (the bulk path),
+// scattered single writes, reads, discards, and sub-page writes, all from
+// one LCG stream so two devices can be driven identically.
+class RequestStream {
+ public:
+  explicit RequestStream(uint64_t seed) : state_(seed * 2654435761u + 1) {}
+
+  uint64_t Next(uint64_t bound) {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return (state_ >> 17) % bound;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Drives `device` with `ops` randomized operations from `seed`. Every
+// mutation of the stream depends only on the seed, never on the device, so
+// flat and event devices see identical request sequences.
+void DriveRandomWorkload(FlashDevice& device, uint64_t seed, int ops) {
+  RequestStream rng(seed);
+  const uint64_t capacity = device.CapacityBytes();
+  const uint64_t page = device.PageSizeBytes();
+  const uint64_t pages = capacity / page;
+  std::vector<IoRequest> batch;
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t kind = rng.Next(10);
+    if (kind < 5) {
+      // Page-aligned write batch of 1..32 requests, 1..4 pages each.
+      const size_t n = 1 + rng.Next(32);
+      batch.clear();
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t len = (1 + rng.Next(4)) * page;
+        const uint64_t off = rng.Next(pages - 4) * page;
+        batch.push_back(IoRequest{IoKind::kWrite, off, len});
+      }
+      const BatchCompletion done = device.SubmitBatch(batch.data(), batch.size());
+      ASSERT_TRUE(done.status.ok()) << done.status.message();
+    } else if (kind < 7) {
+      // Sub-page write (read-modify-write path).
+      const uint64_t off = rng.Next(capacity - 512);
+      ASSERT_TRUE(device.Submit(IoRequest{IoKind::kWrite, off, 512}).ok());
+    } else if (kind < 9) {
+      const uint64_t off = rng.Next(pages - 2) * page;
+      ASSERT_TRUE(device.Submit(IoRequest{IoKind::kRead, off, 2 * page}).ok());
+    } else {
+      const uint64_t off = rng.Next(pages - 2) * page;
+      ASSERT_TRUE(device.Submit(IoRequest{IoKind::kDiscard, off, page}).ok());
+    }
+  }
+}
+
+TEST(LatencyEquivalenceTest, DegenerateEventEngineIsBitExactWithFlatModel) {
+  for (uint64_t seed : {1ull, 7ull, 99ull}) {
+    std::unique_ptr<FlashDevice> flat = MakeTinyDevice(seed);
+    std::unique_ptr<FlashDevice> event = MakeTinyDevice(seed);
+    event->ConfigureQueue(1, 1, /*force_event_engine=*/true);
+    ASSERT_TRUE(event->UsesEventEngine());
+    ASSERT_FALSE(flat->UsesEventEngine());
+    flat->EnableLatencyDigests();
+    event->EnableLatencyDigests();
+
+    DriveRandomWorkload(*flat, seed, 300);
+    DriveRandomWorkload(*event, seed, 300);
+
+    // The full serialized device state — FTL mapping, NAND wear planes, RNG,
+    // clock, meters, latency digests — must agree byte for byte.
+    EXPECT_EQ(Serialize(*flat), Serialize(*event)) << "seed " << seed;
+    EXPECT_EQ(flat->clock().Now().nanos(), event->clock().Now().nanos());
+    EXPECT_EQ(flat->write_latency_digest()->count(),
+              event->write_latency_digest()->count());
+    EXPECT_EQ(flat->write_latency_digest()->Quantile(0.99),
+              event->write_latency_digest()->Quantile(0.99));
+  }
+}
+
+TEST(LatencyEquivalenceTest, HybridDeviceDegenerateEquivalence) {
+  // The hybrid FTL takes a different WriteBatch path (SLC cache + merges);
+  // the timing overlay must still be bit-exact.
+  for (uint64_t seed : {3ull, 11ull}) {
+    FlashDeviceConfig cfg;
+    cfg.name = "tiny-hybrid";
+    cfg.perf.per_request_overhead = SimDuration::Micros(100);
+    cfg.perf.bus_mib_per_sec = 100.0;
+    cfg.perf.effective_parallelism = 4;
+    auto flat = std::make_unique<FlashDevice>(cfg, MakeTinyHybrid(seed));
+    auto event = std::make_unique<FlashDevice>(cfg, MakeTinyHybrid(seed));
+    event->ConfigureQueue(1, 1, /*force_event_engine=*/true);
+    DriveRandomWorkload(*flat, seed, 200);
+    DriveRandomWorkload(*event, seed, 200);
+    EXPECT_EQ(Serialize(*flat), Serialize(*event)) << "seed " << seed;
+  }
+}
+
+// Wear, mapping, and request accounting are a pure function of the request
+// stream — the queue is a timing overlay — so any topology must leave
+// identical wear state; only the clock may differ.
+TEST(LatencyEquivalenceTest, TopologyChangesTimingOnly) {
+  std::unique_ptr<FlashDevice> base = MakeTinyDevice(5);
+  std::unique_ptr<FlashDevice> wide = MakeTinyDevice(5);
+  wide->ConfigureQueue(4, 16, false);
+  DriveRandomWorkload(*base, 5, 200);
+  DriveRandomWorkload(*wide, 5, 200);
+  const FtlStats a = base->ftl().Stats();
+  const FtlStats b = wide->ftl().Stats();
+  EXPECT_EQ(a.host_pages_written, b.host_pages_written);
+  EXPECT_EQ(a.nand_pages_written, b.nand_pages_written);
+  EXPECT_EQ(base->HostBytesWritten(), wide->HostBytesWritten());
+  // The wide device overlaps requests, so it can only be faster.
+  EXPECT_LE(wide->clock().Now().nanos(), base->clock().Now().nanos());
+}
+
+SimTime FinalClockFor(uint32_t channels, uint32_t depth, uint64_t seed) {
+  std::unique_ptr<FlashDevice> device = MakeTinyDevice(seed);
+  device->ConfigureQueue(channels, depth, /*force_event_engine=*/true);
+  DriveRandomWorkload(*device, seed, 200);
+  return device->clock().Now();
+}
+
+TEST(LatencyEquivalenceTest, MoreChannelsNeverSlower) {
+  for (uint64_t seed : {2ull, 13ull}) {
+    const int64_t c1 = FinalClockFor(1, 8, seed).nanos();
+    const int64_t c2 = FinalClockFor(2, 8, seed).nanos();
+    const int64_t c4 = FinalClockFor(4, 8, seed).nanos();
+    EXPECT_LE(c2, c1) << "seed " << seed;
+    EXPECT_LE(c4, c2) << "seed " << seed;
+  }
+}
+
+TEST(LatencyEquivalenceTest, DeeperQueueNeverSlower) {
+  for (uint64_t seed : {2ull, 13ull}) {
+    const int64_t d1 = FinalClockFor(4, 1, seed).nanos();
+    const int64_t d4 = FinalClockFor(4, 4, seed).nanos();
+    const int64_t d16 = FinalClockFor(4, 16, seed).nanos();
+    EXPECT_LE(d4, d1) << "seed " << seed;
+    EXPECT_LE(d16, d4) << "seed " << seed;
+  }
+}
+
+// Direct IoQueue properties over randomized op sets, independent of the
+// device stack.
+TEST(IoQueueTest, DegenerateScheduleIsSerialSum) {
+  RequestStream rng(17);
+  std::vector<QueuedOp> ops;
+  SimDuration sum;
+  for (int i = 0; i < 200; ++i) {
+    const SimDuration s = SimDuration::Micros(1 + rng.Next(500));
+    ops.push_back(QueuedOp{rng.Next(1 << 20), s});
+    sum += s;
+  }
+  IoQueue q(1, 1);
+  std::vector<SimDuration> lat(ops.size());
+  const SimDuration makespan = q.Run(ops.data(), ops.size(), lat.data());
+  EXPECT_EQ(makespan.nanos(), sum.nanos());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(lat[i].nanos(), ops[i].service.nanos()) << "op " << i;
+  }
+}
+
+TEST(IoQueueTest, MakespanMonotoneInDepthAndPowerOfTwoChannels) {
+  for (uint64_t seed : {1ull, 23ull, 42ull}) {
+    RequestStream rng(seed);
+    std::vector<QueuedOp> ops;
+    for (int i = 0; i < 300; ++i) {
+      ops.push_back(
+          QueuedOp{rng.Next(1 << 16), SimDuration::Micros(1 + rng.Next(900))});
+    }
+    for (uint32_t channels : {1u, 2u, 4u, 8u}) {
+      int64_t prev = -1;
+      for (uint32_t depth : {1u, 2u, 4u, 8u, 32u}) {
+        IoQueue q(channels, depth);
+        const int64_t makespan = q.Run(ops.data(), ops.size()).nanos();
+        if (prev >= 0) {
+          EXPECT_LE(makespan, prev)
+              << "channels " << channels << " depth " << depth;
+        }
+        prev = makespan;
+      }
+    }
+    for (uint32_t depth : {8u, 64u}) {
+      int64_t prev = -1;
+      for (uint32_t channels : {1u, 2u, 4u, 8u, 16u}) {
+        IoQueue q(channels, depth);
+        const int64_t makespan = q.Run(ops.data(), ops.size()).nanos();
+        if (prev >= 0) {
+          EXPECT_LE(makespan, prev)
+              << "channels " << channels << " depth " << depth;
+        }
+        prev = makespan;
+      }
+    }
+  }
+}
+
+TEST(IoQueueTest, QueueDepthBoundsConcurrency) {
+  // depth D on one channel cannot beat serial (channel conflict), but D
+  // ops on D channels with D slots all run concurrently: makespan = max.
+  std::vector<QueuedOp> ops;
+  for (uint64_t i = 0; i < 8; ++i) {
+    ops.push_back(QueuedOp{i, SimDuration::Micros(100)});
+  }
+  IoQueue wide(8, 8);
+  EXPECT_EQ(wide.Run(ops.data(), ops.size()).nanos(),
+            SimDuration::Micros(100).nanos());
+  // With depth 2 the 8 independent ops pipeline two at a time.
+  IoQueue narrow(8, 2);
+  EXPECT_EQ(narrow.Run(ops.data(), ops.size()).nanos(),
+            SimDuration::Micros(400).nanos());
+}
+
+const char* kEquivalenceSpec = R"(
+campaign latency_equiv seed=11 scale=64x64
+workload wsmall pattern=random request=8KiB total=24MiB span=40%
+workload wseq pattern=sequential request=64KiB total=24MiB span=40%
+grid g layer=block metric=bandwidth devices=emmc8 workloads=wsmall,wseq batch=16ENGINE
+)";
+
+std::string CampaignReportFor(const std::string& engine_suffix) {
+  std::string text = kEquivalenceSpec;
+  const std::string needle = "ENGINE";
+  text.replace(text.find(needle), needle.size(), engine_suffix);
+  Result<CampaignSpec> spec = ParseCampaignSpec(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().message();
+  CampaignRunOptions options;
+  options.threads = 2;
+  const CampaignOutcome outcome = RunCampaign(spec.value(), options);
+  std::ostringstream json;
+  CampaignJsonStream stream(json);
+  stream.Begin(spec.value().name, spec.value().seed);
+  for (const RunRecord& run : outcome.runs) {
+    stream.AddRun(run);
+  }
+  stream.Finish();
+  return json.str();
+}
+
+TEST(LatencyEquivalenceTest, CampaignReportsByteIdenticalAcrossEngines) {
+  // engine=event forces the degenerate C=1/D=1 event path; the JSON report
+  // (including the new latency percentile fields) must be byte-identical
+  // with the flat default.
+  const std::string flat = CampaignReportFor("");
+  const std::string event = CampaignReportFor(" engine=event");
+  EXPECT_EQ(flat, event);
+  EXPECT_NE(flat.find("write_lat_p99_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flashsim
