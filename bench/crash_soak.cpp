@@ -7,7 +7,7 @@
 //   one-line replay command; exit status is non-zero if any run violates a
 //   durability, integrity, or wear property. Emits BENCH_crash_soak.json
 //   with per-configuration aggregates and summed RecoveryReport counters.
-//     ./build-release/bench/crash_soak                # 504 runs
+//     ./build-release/bench/crash_soak                # 756 runs
 //     ./build-release/bench/crash_soak --ci           # short fixed-seed smoke
 //     ./build-release/bench/crash_soak --runs-per-config=250
 //
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
   CrashSpec base;
   bool single = false;
   bool ci = false;
-  uint64_t runs_per_config = 42;  // x12 configs = 504 runs
+  uint64_t runs_per_config = 42;  // x18 configs = 756 runs
   std::string v;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -145,11 +145,11 @@ int main(int argc, char** argv) {
     return RunSingle(base);
   }
   if (ci) {
-    runs_per_config = 10;  // x12 configs = 120 fixed-seed smoke runs
+    runs_per_config = 10;  // x18 configs = 180 fixed-seed smoke runs
   }
 
   const FtlKind ftls[] = {FtlKind::kPageMap, FtlKind::kHybrid};
-  const FsKind fss[] = {FsKind::kLogFs, FsKind::kExtFs};
+  const FsKind fss[] = {FsKind::kLogFs, FsKind::kExtFs, FsKind::kCowFs};
   const CrashWorkload workloads[] = {CrashWorkload::kMixed,
                                      CrashWorkload::kOverwrite,
                                      CrashWorkload::kSyncHeavy};

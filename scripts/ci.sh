@@ -22,6 +22,11 @@
 #                           baseline.
 #   * latency-campaign    — the latency_smoke campaign's latency digests must
 #                           be byte-identical at --threads 1 and --threads 4.
+#   * cowfs crash gate    — crash_soak --ci under the sanitize tree; any
+#                           cowfs config reporting fsck_repairs/orphans > 0
+#                           fails (the zero-repair contract, DESIGN.md §16).
+#   * cowfs-campaign      — the cowfs_smoke three-filesystem campaign must be
+#                           byte-identical at --threads 1 and --threads 4.
 # Long-running benches are registered under the "bench" ctest configuration/
 # label and are NOT run here — opt in locally with:
 #   cmake --preset release && cmake --build --preset release -j
@@ -131,5 +136,34 @@ if ! diff build-release/latency_out/t1/latency_smoke.json \
   exit 1
 fi
 echo "latency campaign ok: reports byte-identical across threads 1 and 4"
+
+echo "=== cowfs crash gate: sanitize soak must report zero repairs ==="
+(cd build-sanitize && ./bench/crash_soak --ci)
+cowfs_configs=$(grep -c '"config": "[^"]*cowfs' build-sanitize/BENCH_crash_soak.json)
+if [[ "${cowfs_configs}" -lt 6 ]]; then
+  echo "cowfs crash gate FAIL: only ${cowfs_configs} cowfs configs in sweep (want 6)" >&2
+  exit 1
+fi
+if grep '"config": "[^"]*cowfs' build-sanitize/BENCH_crash_soak.json |
+   grep -E '"(fsck_repairs|orphan_files|orphan_blocks)": [1-9]'; then
+  echo "cowfs crash gate FAIL: a cowfs mount reported repairs (above)" >&2
+  exit 1
+fi
+echo "cowfs crash gate ok: ${cowfs_configs} configs, zero repairs everywhere"
+
+echo "=== cowfs campaign: three-way reports byte-identical across thread counts ==="
+mkdir -p build-release/cowfs_out
+./build-release/bench/campaign --spec examples/specs/cowfs_smoke.spec \
+  --threads 1 --out build-release/cowfs_out/t1 --quiet
+./build-release/bench/campaign --spec examples/specs/cowfs_smoke.spec \
+  --threads 4 --out build-release/cowfs_out/t4 --quiet
+if ! diff build-release/cowfs_out/t1/cowfs_smoke.json \
+          build-release/cowfs_out/t4/cowfs_smoke.json ||
+   ! diff build-release/cowfs_out/t1/cowfs_smoke.csv \
+          build-release/cowfs_out/t4/cowfs_smoke.csv; then
+  echo "cowfs campaign FAIL: reports differ across thread count" >&2
+  exit 1
+fi
+echo "cowfs campaign ok: reports byte-identical across threads 1 and 4"
 
 echo "CI OK"

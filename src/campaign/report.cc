@@ -128,6 +128,7 @@ void CampaignJsonStream::AddRun(const RunRecord& run) {
   os_ << "      \"cleaner_picks\": " << JsonNum(run.cleaner_picks) << ",\n";
   os_ << "      \"cleaner_candidates_examined\": " << JsonNum(run.cleaner_candidates)
       << ",\n";
+  os_ << "      \"fs_commits\": " << JsonNum(run.fs_commits) << ",\n";
   os_ << "      \"level_a\": " << JsonNum(static_cast<uint64_t>(run.level_a)) << ",\n";
   os_ << "      \"level_b\": " << JsonNum(static_cast<uint64_t>(run.level_b)) << ",\n";
   os_ << "      \"write_lat_count\": " << JsonNum(run.write_lat_count) << ",\n";
@@ -184,7 +185,7 @@ void CampaignCsvStream::Begin() {
                     "seed", "status", "requests", "bytes_written", "bytes_read",
                     "sim_seconds", "write_mib_per_sec", "device_wa", "fs_wa",
                     "gc_picks", "gc_candidates_examined", "victim_index_rebuilds",
-                    "cleaner_picks", "cleaner_candidates_examined",
+                    "cleaner_picks", "cleaner_candidates_examined", "fs_commits",
                     "level_a", "level_b",
                     "write_lat_count", "write_lat_p50_us", "write_lat_p95_us",
                     "write_lat_p99_us", "read_lat_count", "read_lat_p50_us",
@@ -204,6 +205,7 @@ void CampaignCsvStream::AddRun(const RunRecord& run) {
             JsonNum(run.fs_wa), JsonNum(run.gc_picks),
             JsonNum(run.gc_candidates), JsonNum(run.victim_index_rebuilds),
             JsonNum(run.cleaner_picks), JsonNum(run.cleaner_candidates),
+            JsonNum(run.fs_commits),
             JsonNum(static_cast<uint64_t>(run.level_a)),
             JsonNum(static_cast<uint64_t>(run.level_b)),
             JsonNum(run.write_lat_count), JsonNum(run.write_lat_p50_us),

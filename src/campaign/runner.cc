@@ -123,6 +123,7 @@ RunRecord ExecuteRun(const RunSpec& run) {
   record.fs_wa = phone.fs().stats().FsWriteAmplification();
   record.cleaner_picks = phone.fs().stats().cleaner_picks;
   record.cleaner_candidates = phone.fs().stats().cleaner_candidates_examined;
+  record.fs_commits = phone.fs().stats().metadata_commits;
   return record;
 }
 

@@ -46,6 +46,9 @@ struct RunRecord {
   uint64_t victim_index_rebuilds = 0;
   uint64_t cleaner_picks = 0;       // phone-layer log-structured FS only
   uint64_t cleaner_candidates = 0;
+  // Durability-barrier commits the FS issued (journal commits / node writes /
+  // metadata-pair commits) — the per-FS metadata pressure behind fs_wa.
+  uint64_t fs_commits = 0;
   uint32_t level_a = 0;
   uint32_t level_b = 0;
   // Per-request latency percentiles (microseconds) from the device's

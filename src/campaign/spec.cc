@@ -254,6 +254,8 @@ Status ApplyGridKey(const KeyValue& kv, size_t line_no, GridSpec* g) {
         g->filesystems.push_back(PhoneFsType::kExtFs);
       } else if (fs_name == "f2fs" || fs_name == "logfs") {
         g->filesystems.push_back(PhoneFsType::kLogFs);
+      } else if (fs_name == "cowfs" || fs_name == "littlefs") {
+        g->filesystems.push_back(PhoneFsType::kCowFs);
       } else {
         ok = false;
       }

@@ -8,7 +8,7 @@
 //            [stride=SIZE] [theta=F] [hot_fraction=F] [hot_probability=F]
 //            [read_fraction=F] [burst=N] [idle=DURATION]
 //   grid <name> layer=<block|phone> metric=<bandwidth|wear>
-//        devices=<slug,...> workloads=<name,...> [fs=<ext4,f2fs>]
+//        devices=<slug,...> workloads=<name,...> [fs=<ext4,f2fs,cowfs>]
 //        [scale=CAPxEND] [utilization=F] [target_level=N] [max_bytes=SIZE]
 //        [files=<count>x<SIZE>] [sync=0|1] [batch=N] [depth=N] [channels=N]
 //        [engine=<event|flat>]

@@ -7,6 +7,7 @@
 
 #include "src/crashlab/shadow_fs.h"
 #include "src/device/flash_device.h"
+#include "src/fs/cowfs.h"
 #include "src/fs/extfs.h"
 #include "src/fs/logfs.h"
 #include "src/ftl/hybrid_ftl.h"
@@ -83,6 +84,9 @@ std::unique_ptr<Filesystem> MakeFs(FsKind kind, FlashDevice& device) {
     cfg.blocks_per_segment = 128;  // ~28 segments: the cleaner cycles
     return std::make_unique<LogFs>(device, cfg);
   }
+  if (kind == FsKind::kCowFs) {
+    return std::make_unique<CowFs>(device);
+  }
   ExtFsConfig cfg;
   cfg.journal_blocks = 1024;  // 4 MiB ring on the 16 MiB device
   cfg.journal_batch_bytes = kExtFsBatchBytes;
@@ -145,7 +149,12 @@ const char* FtlKindName(FtlKind kind) {
   return kind == FtlKind::kPageMap ? "pagemap" : "hybrid";
 }
 const char* FsKindName(FsKind kind) {
-  return kind == FsKind::kLogFs ? "logfs" : "extfs";
+  switch (kind) {
+    case FsKind::kLogFs: return "logfs";
+    case FsKind::kCowFs: return "cowfs";
+    case FsKind::kExtFs:
+    default: return "extfs";
+  }
 }
 const char* CrashWorkloadName(CrashWorkload workload) {
   switch (workload) {
@@ -164,6 +173,7 @@ bool ParseFtlKind(const std::string& s, FtlKind* out) {
 bool ParseFsKind(const std::string& s, FsKind* out) {
   if (s == "logfs") { *out = FsKind::kLogFs; return true; }
   if (s == "extfs") { *out = FsKind::kExtFs; return true; }
+  if (s == "cowfs") { *out = FsKind::kCowFs; return true; }
   return false;
 }
 bool ParseCrashWorkload(const std::string& s, CrashWorkload* out) {
@@ -182,9 +192,10 @@ CrashRunResult RunCrashScenario(const CrashSpec& spec) {
                            /*force_event_engine=*/false);
   }
   std::unique_ptr<Filesystem> fs = MakeFs(spec.fs, *device);
-  const DurabilityContract contract = spec.fs == FsKind::kLogFs
-                                          ? DurabilityContract::kLogFs
-                                          : DurabilityContract::kExtFs;
+  const DurabilityContract contract =
+      spec.fs == FsKind::kLogFs   ? DurabilityContract::kLogFs
+      : spec.fs == FsKind::kCowFs ? DurabilityContract::kCowFs
+                                  : DurabilityContract::kExtFs;
   ShadowFs shadow(contract, kExtFsBatchBytes);
 
   PowerRail rail;
@@ -236,6 +247,13 @@ CrashRunResult RunCrashScenario(const CrashSpec& spec) {
         const std::string name = free[rng.UniformU64(free.size())];
         const Status st = fs->Create(name);
         if (!st.ok()) {
+          // CowFs commits namespace ops synchronously, so a cut can land
+          // inside them (the other file systems do no I/O here).
+          if (st.code() == StatusCode::kPowerLoss) {
+            shadow.OnPowerCutDuringCreate(name);
+            result.cut_fired = true;
+            break;
+          }
           unexpected("create", st);
           return result;
         }
@@ -306,6 +324,11 @@ CrashRunResult RunCrashScenario(const CrashSpec& spec) {
         const uint64_t new_size = rng.UniformU64(size + 1);  // shrink only
         const Status st = fs->Truncate(name, new_size);
         if (!st.ok()) {
+          if (st.code() == StatusCode::kPowerLoss) {
+            shadow.OnPowerCutDuringTruncate(name, new_size);
+            result.cut_fired = true;
+            break;
+          }
           unexpected("truncate", st);
           return result;
         }
@@ -321,6 +344,11 @@ CrashRunResult RunCrashScenario(const CrashSpec& spec) {
         const std::string to = free[rng.UniformU64(free.size())];
         const Status st = fs->Rename(from, to);
         if (!st.ok()) {
+          if (st.code() == StatusCode::kPowerLoss) {
+            shadow.OnPowerCutDuringRename(from, to);
+            result.cut_fired = true;
+            break;
+          }
           unexpected("rename", st);
           return result;
         }
@@ -331,6 +359,11 @@ CrashRunResult RunCrashScenario(const CrashSpec& spec) {
         const std::string name = existing[rng.UniformU64(existing.size())];
         const Status st = fs->Unlink(name);
         if (!st.ok()) {
+          if (st.code() == StatusCode::kPowerLoss) {
+            shadow.OnPowerCutDuringUnlink(name);
+            result.cut_fired = true;
+            break;
+          }
           unexpected("unlink", st);
           return result;
         }
@@ -373,6 +406,21 @@ CrashRunResult RunCrashScenario(const CrashSpec& spec) {
     return result;
   }
   result.report.Merge(fs_rep.value());
+
+  // CowFs's contract is zero-repair by construction: every on-media state
+  // is a valid committed prefix, so a mount that rolled anything back,
+  // reclaimed a block, or orphaned a file is a bug, not recovery.
+  if (spec.fs == FsKind::kCowFs) {
+    const RecoveryReport& fsr = fs_rep.value();
+    if (fsr.fsck_repairs != 0 || fsr.orphan_files != 0 || fsr.orphan_blocks != 0) {
+      result.failure = "cowfs mount reported repairs (fsck_repairs=" +
+                       std::to_string(fsr.fsck_repairs) + " orphan_files=" +
+                       std::to_string(fsr.orphan_files) + " orphan_blocks=" +
+                       std::to_string(fsr.orphan_blocks) +
+                       "); the zero-repair contract forbids all three";
+      return result;
+    }
+  }
 
   // (b) integrity: invariants after mount.
   const Status inv = device->mutable_ftl().ValidateInvariants();
@@ -478,7 +526,8 @@ std::string RecoveryReportJson(const RecoveryReport& rep) {
   field("segments_replayed", rep.segments_replayed);
   field("journal_commits_scanned", rep.journal_commits_scanned);
   field("orphan_files", rep.orphan_files);
-  field("orphan_blocks", rep.orphan_blocks, /*last=*/true);
+  field("orphan_blocks", rep.orphan_blocks);
+  field("fsck_repairs", rep.fsck_repairs, /*last=*/true);
   out += "}";
   return out;
 }

@@ -29,7 +29,7 @@
 namespace flashsim {
 
 enum class FtlKind { kPageMap, kHybrid };
-enum class FsKind { kLogFs, kExtFs };
+enum class FsKind { kLogFs, kExtFs, kCowFs };
 
 // Operation mixes. kMixed exercises the whole namespace API; kOverwrite
 // hammers sync overwrites on few files (in-place / cache-eviction paths);

@@ -9,17 +9,20 @@ ShadowFs::ShadowFs(DurabilityContract contract, uint64_t commit_batch_bytes)
     : contract_(contract), commit_batch_bytes_(commit_batch_bytes) {}
 
 void ShadowFs::Barrier(const std::string& name) {
-  if (contract_ == DurabilityContract::kLogFs) {
-    durable_[name] = volatile_.at(name);
-  } else {
+  if (contract_ == DurabilityContract::kExtFs) {
     durable_ = volatile_;
     synced_since_commit_ = 0;
+  } else {
+    durable_[name] = volatile_.at(name);  // per-file: LogFs node / CowFs pair
   }
 }
 
 void ShadowFs::OnCreate(const std::string& name) {
   assert(volatile_.count(name) == 0);
   volatile_[name] = 0;
+  if (contract_ == DurabilityContract::kCowFs) {
+    durable_[name] = 0;  // Create commits its metadata pair synchronously
+  }
 }
 
 void ShadowFs::OnWrite(const std::string& name, uint64_t offset,
@@ -27,7 +30,7 @@ void ShadowFs::OnWrite(const std::string& name, uint64_t offset,
   auto it = volatile_.find(name);
   assert(it != volatile_.end());
   it->second = std::max(it->second, offset + length);
-  if (contract_ == DurabilityContract::kLogFs) {
+  if (contract_ != DurabilityContract::kExtFs) {
     if (sync) {
       Barrier(name);
     }
@@ -44,13 +47,17 @@ void ShadowFs::OnFsync(const std::string& name) { Barrier(name); }
 
 void ShadowFs::OnUnlink(const std::string& name) {
   volatile_.erase(name);
-  if (contract_ == DurabilityContract::kLogFs) {
+  if (contract_ != DurabilityContract::kExtFs) {
     durable_.erase(name);  // dentry removal is durable immediately
   }
 }
 
 void ShadowFs::OnTruncate(const std::string& name, uint64_t new_size) {
-  volatile_.at(name) = new_size;  // durable at the next barrier, both fs
+  volatile_.at(name) = new_size;
+  if (contract_ == DurabilityContract::kCowFs) {
+    durable_[name] = new_size;  // Truncate commits the exact new size
+  }
+  // LogFs/ExtFs: durable at the next barrier.
 }
 
 void ShadowFs::OnRename(const std::string& from, const std::string& to) {
@@ -58,7 +65,7 @@ void ShadowFs::OnRename(const std::string& from, const std::string& to) {
   assert(!node.empty());
   node.key() = to;
   volatile_.insert(std::move(node));
-  if (contract_ == DurabilityContract::kLogFs) {
+  if (contract_ != DurabilityContract::kExtFs) {
     // Durable immediately: the recovered file appears under the new name,
     // with its last-synced contents. Never-synced files have no entry.
     auto durable_node = durable_.extract(from);
@@ -75,7 +82,7 @@ void ShadowFs::OnPowerCutDuringWrite(const std::string& name, uint64_t offset,
   auto it = after_op.find(name);
   assert(it != after_op.end());
   it->second = std::max(it->second, offset + length);
-  if (contract_ == DurabilityContract::kLogFs) {
+  if (contract_ != DurabilityContract::kExtFs) {
     if (sync) {
       Namespace candidate = durable_;
       candidate[name] = it->second;
@@ -89,13 +96,55 @@ void ShadowFs::OnPowerCutDuringWrite(const std::string& name, uint64_t offset,
 }
 
 void ShadowFs::OnPowerCutDuringFsync(const std::string& name) {
-  if (contract_ == DurabilityContract::kLogFs) {
+  if (contract_ == DurabilityContract::kExtFs) {
+    inflight_candidate_ = volatile_;
+  } else {
     Namespace candidate = durable_;
     candidate[name] = volatile_.at(name);
     inflight_candidate_ = std::move(candidate);
-  } else {
-    inflight_candidate_ = volatile_;
   }
+}
+
+void ShadowFs::OnPowerCutDuringCreate(const std::string& name) {
+  if (contract_ != DurabilityContract::kCowFs) {
+    return;  // no barrier inside Create elsewhere — nothing could commit
+  }
+  Namespace candidate = durable_;
+  candidate[name] = 0;
+  inflight_candidate_ = std::move(candidate);
+}
+
+void ShadowFs::OnPowerCutDuringUnlink(const std::string& name) {
+  if (contract_ != DurabilityContract::kCowFs) {
+    return;
+  }
+  Namespace candidate = durable_;
+  candidate.erase(name);
+  inflight_candidate_ = std::move(candidate);
+}
+
+void ShadowFs::OnPowerCutDuringTruncate(const std::string& name,
+                                        uint64_t new_size) {
+  if (contract_ != DurabilityContract::kCowFs) {
+    return;
+  }
+  Namespace candidate = durable_;
+  candidate[name] = new_size;
+  inflight_candidate_ = std::move(candidate);
+}
+
+void ShadowFs::OnPowerCutDuringRename(const std::string& from,
+                                      const std::string& to) {
+  if (contract_ != DurabilityContract::kCowFs) {
+    return;
+  }
+  Namespace candidate = durable_;
+  auto node = candidate.extract(from);
+  if (!node.empty()) {
+    node.key() = to;
+    candidate.insert(std::move(node));
+  }
+  inflight_candidate_ = std::move(candidate);
 }
 
 std::vector<ShadowFs::Namespace> ShadowFs::AdmissibleAfterRecovery() const {

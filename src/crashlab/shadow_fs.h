@@ -15,6 +15,12 @@
 //           sync writes commit once the synced-byte batch threshold is
 //           reached. Unlink/Truncate/Rename/Create are volatile until the
 //           commit covering them.
+//   CowFs — strictly stronger than both: sync Write/Fsync are per-file
+//           barriers (as LogFs), and Create/Unlink/Truncate/Rename each
+//           carry their own metadata-pair commit, so every namespace
+//           operation is durable the moment it is acknowledged. The
+//           admissible post-crash namespaces are exactly the committed
+//           prefix, with zero repairs (DESIGN.md §16).
 //
 // A cut can land *inside* an operation that was never acknowledged; if that
 // operation carried a durability barrier (a node write, a journal commit)
@@ -34,7 +40,7 @@
 
 namespace flashsim {
 
-enum class DurabilityContract { kLogFs, kExtFs };
+enum class DurabilityContract { kLogFs, kExtFs, kCowFs };
 
 class ShadowFs {
  public:
@@ -60,6 +66,13 @@ class ShadowFs {
   void OnPowerCutDuringWrite(const std::string& name, uint64_t offset,
                              uint64_t length, bool sync);
   void OnPowerCutDuringFsync(const std::string& name);
+  // Namespace operations carry their own commit only under the CowFs
+  // contract; elsewhere they are pure RAM updates a cut cannot land inside,
+  // so these are no-ops for kLogFs/kExtFs.
+  void OnPowerCutDuringCreate(const std::string& name);
+  void OnPowerCutDuringUnlink(const std::string& name);
+  void OnPowerCutDuringTruncate(const std::string& name, uint64_t new_size);
+  void OnPowerCutDuringRename(const std::string& from, const std::string& to);
 
   const Namespace& durable() const { return durable_; }
   const Namespace& volatile_ns() const { return volatile_; }

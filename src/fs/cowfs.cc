@@ -1,0 +1,733 @@
+#include "src/fs/cowfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/simcore/units.h"
+
+namespace flashsim {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = {'C', 'W', 'F', 'S'};
+constexpr size_t kChecksumBytes = 8;
+
+uint64_t Fnv1a64(const uint8_t* data, size_t size) {
+  uint64_t hash = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(const uint8_t* in, size_t size, size_t* pos, uint64_t* v) {
+  uint64_t value = 0;
+  for (uint32_t shift = 0; shift < 64; shift += 7) {
+    if (*pos >= size) {
+      return false;
+    }
+    const uint8_t byte = in[(*pos)++];
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = value;
+      return true;
+    }
+  }
+  return false;  // unterminated / overlong
+}
+
+}  // namespace
+
+CowFs::CowFs(BlockDevice& device, CowFsConfig config)
+    : device_(device), config_(config), block_size_(device.PageSizeBytes()) {
+  total_blocks_ = device_.CapacityBytes() / block_size_;
+  uint32_t pairs = config_.dir_pairs;
+  if (pairs == 0) {
+    pairs = static_cast<uint32_t>(std::max<uint64_t>(4, total_blocks_ / 1024));
+  }
+  data_start_block_ = 2 + 2ull * pairs;  // superblock pair + metadata pairs
+  assert(data_start_block_ < total_blocks_);
+  const uint64_t data_blocks = total_blocks_ - data_start_block_;
+  committed_ref_.assign(data_blocks, 0);
+  volatile_ref_.assign(data_blocks, 0);
+  free_data_blocks_ = data_blocks;
+  pair_revisions_.assign(pairs, 0);
+  pair_entry_counts_.assign(pairs, 0);
+  pair_images_.resize(pairs);
+}
+
+void CowFs::SetVolatileRef(uint64_t addr, bool on) {
+  const uint64_t idx = DataIndex(addr);
+  const bool was_free = IsFree(idx);
+  volatile_ref_[idx] = on ? 1 : 0;
+  const bool is_free = IsFree(idx);
+  if (was_free && !is_free) {
+    --free_data_blocks_;
+  } else if (!was_free && is_free) {
+    ++free_data_blocks_;
+  }
+}
+
+void CowFs::SetCommittedRef(uint64_t addr, bool on) {
+  const uint64_t idx = DataIndex(addr);
+  const bool was_free = IsFree(idx);
+  committed_ref_[idx] = on ? 1 : 0;
+  const bool is_free = IsFree(idx);
+  if (was_free && !is_free) {
+    --free_data_blocks_;
+  } else if (!was_free && is_free) {
+    ++free_data_blocks_;
+  }
+}
+
+Result<uint64_t> CowFs::AllocateBlock() {
+  if (free_data_blocks_ == 0) {
+    return ResourceExhaustedError("cowfs: no free blocks");
+  }
+  const uint64_t n = committed_ref_.size();
+  for (uint64_t probe = 0; probe < n; ++probe) {
+    const uint64_t idx = (alloc_cursor_ + probe) % n;
+    if (IsFree(idx)) {
+      // The cursor never resets: allocation rotates round-robin over the
+      // whole data region, spreading erase load (littlefs lookahead model).
+      alloc_cursor_ = (idx + 1) % n;
+      const uint64_t addr = data_start_block_ + idx;
+      SetVolatileRef(addr, true);
+      return addr;
+    }
+  }
+  return InternalError("cowfs: reference maps inconsistent with free count");
+}
+
+Result<SimDuration> CowFs::SubmitBlocks(IoKind kind, const std::vector<uint64_t>& blocks,
+                                        uint64_t* bytes_out) {
+  SimDuration total;
+  uint64_t bytes = 0;
+  size_t i = 0;
+  while (i < blocks.size()) {
+    size_t j = i + 1;
+    while (j < blocks.size() && blocks[j] == blocks[j - 1] + 1) {
+      ++j;
+    }
+    IoRequest req;
+    req.kind = kind;
+    req.offset = blocks[i] * block_size_;
+    req.length = (j - i) * block_size_;
+    Result<IoCompletion> done = device_.Submit(req);
+    if (!done.ok()) {
+      return done.status();
+    }
+    total += done.value().service_time;
+    bytes += req.length;
+    i = j;
+  }
+  if (bytes_out != nullptr) {
+    *bytes_out = bytes;
+  }
+  return total;
+}
+
+Result<SimDuration> CowFs::WritePairSlot(uint32_t pair) {
+  // The atomic two-block update: the commit goes to the slot the *previous*
+  // revision does not occupy, so a torn write can only corrupt the copy that
+  // loses the revision race at mount.
+  const uint32_t slot = static_cast<uint32_t>((pair_revisions_[pair] + 1) & 1);
+  IoRequest req;
+  req.kind = IoKind::kWrite;
+  req.offset = PairBlockAddr(pair, slot) * block_size_;
+  req.length = block_size_;
+  Result<IoCompletion> done = device_.Submit(req);
+  if (!done.ok()) {
+    return done.status();
+  }
+  ++pair_revisions_[pair];
+  stats_.device_metadata_bytes += block_size_;
+  ++stats_.metadata_commits;
+  return done.value().service_time;
+}
+
+void CowFs::RefreshPairImage(uint32_t pair) {
+  std::vector<CowFsDecodedPair::Entry> entries;
+  for (const auto& [name, entry] : durable_files_) {
+    if (entry.pair != pair) {
+      continue;
+    }
+    CowFsDecodedPair::Entry e;
+    e.name = name;
+    e.id = entry.id;
+    e.size = entry.size;
+    e.blocks = entry.blocks;
+    entries.push_back(std::move(e));
+  }
+  const uint64_t rev = pair_revisions_[pair];
+  pair_images_[pair][rev & 1] = EncodePairBlock(pair, rev, entries);
+}
+
+Result<SimDuration> CowFs::DiscardBlocks(std::vector<uint64_t>& blocks) {
+  if (blocks.empty()) {
+    return SimDuration();
+  }
+  std::sort(blocks.begin(), blocks.end());
+  return SubmitBlocks(IoKind::kDiscard, blocks, nullptr);
+}
+
+Result<SimDuration> CowFs::CommitEntry(const std::string& name) {
+  FileMeta& file = files_.at(name);
+  const uint32_t pair = file.pair;
+  Result<SimDuration> t = WritePairSlot(pair);
+  if (!t.ok()) {
+    return t.status();  // torn commit: the durable record is unchanged
+  }
+
+  // Fold the volatile state into the committed snapshot and rediff block
+  // references; blocks only the old entry referenced become free — the
+  // copy-on-write replacement finally releases the originals.
+  auto it = durable_files_.find(name);
+  std::vector<uint64_t> old_blocks;
+  if (it == durable_files_.end()) {
+    ++pair_entry_counts_[pair];
+    it = durable_files_.emplace(name, CommittedEntry{}).first;
+  } else {
+    old_blocks = it->second.blocks;
+  }
+  it->second.id = file.id;
+  it->second.size = file.size;
+  it->second.blocks = file.blocks;
+  it->second.pair = pair;
+  file.entry_dirty = false;
+
+  for (const uint64_t addr : old_blocks) {
+    if (addr != 0) {
+      SetCommittedRef(addr, false);
+    }
+  }
+  for (const uint64_t addr : file.blocks) {
+    if (addr != 0) {
+      SetCommittedRef(addr, true);
+    }
+  }
+  std::vector<uint64_t> freed;
+  for (const uint64_t addr : old_blocks) {
+    if (addr != 0 && IsFree(DataIndex(addr))) {
+      freed.push_back(addr);
+    }
+  }
+  RefreshPairImage(pair);
+  Result<SimDuration> discard = DiscardBlocks(freed);
+  if (!discard.ok()) {
+    return discard.status();  // the commit itself already landed
+  }
+  return t.value() + discard.value();
+}
+
+Result<uint32_t> CowFs::AssignPair() const {
+  uint32_t best = 0;
+  uint32_t best_count = UINT32_MAX;
+  for (uint32_t p = 0; p < pair_entry_counts_.size(); ++p) {
+    if (pair_entry_counts_[p] < best_count) {
+      best = p;
+      best_count = pair_entry_counts_[p];
+    }
+  }
+  if (best_count >= config_.entries_per_pair) {
+    return ResourceExhaustedError("cowfs: all metadata pairs full");
+  }
+  return best;
+}
+
+Status CowFs::Create(const std::string& path) {
+  if (files_.count(path) != 0) {
+    return AlreadyExistsError("cowfs: file exists: " + path);
+  }
+  Result<uint32_t> pair = AssignPair();
+  if (!pair.ok()) {
+    return pair.status();
+  }
+  FileMeta meta;
+  meta.id = next_file_id_++;
+  meta.pair = pair.value();
+  files_[path] = std::move(meta);
+  Result<SimDuration> commit = CommitEntry(path);
+  if (!commit.ok()) {
+    files_.erase(path);  // namespace membership is always committed
+    return commit.status();
+  }
+  return Status::Ok();
+}
+
+Result<SimDuration> CowFs::Write(const std::string& path, uint64_t offset,
+                                 uint64_t length, bool sync) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("cowfs: no such file: " + path);
+  }
+  if (length == 0) {
+    return InvalidArgumentError("cowfs: zero-length write");
+  }
+  FileMeta& file = it->second;
+  const uint64_t first = offset / block_size_;
+  const uint64_t last = (offset + length - 1) / block_size_;
+  const uint64_t n = file.blocks.size();
+
+  // Plan every new address up front so a failed allocation unwinds cleanly.
+  // [first..last] carries the new data; when the write lands inside the
+  // existing extent list, the CTZ pointer chains of every later block are
+  // invalidated, so the suffix (last..n-1) is copied to fresh blocks too.
+  const bool rewrites_suffix = first < n && last + 1 < n;
+  std::vector<std::pair<uint64_t, uint64_t>> placements;  // (file block, addr)
+  std::vector<uint64_t> copy_reads;
+  uint64_t data_blocks_written = 0;
+  uint64_t copy_blocks_written = 0;
+  Status alloc_failure = Status::Ok();
+  for (uint64_t fb = first; fb <= last; ++fb) {
+    Result<uint64_t> addr = AllocateBlock();
+    if (!addr.ok()) {
+      alloc_failure = addr.status();
+      break;
+    }
+    placements.emplace_back(fb, addr.value());
+    ++data_blocks_written;
+  }
+  if (alloc_failure.ok() && rewrites_suffix) {
+    for (uint64_t fb = last + 1; fb < n; ++fb) {
+      if (file.blocks[fb] == 0) {
+        continue;  // holes have no pointer chain to relocate
+      }
+      Result<uint64_t> addr = AllocateBlock();
+      if (!addr.ok()) {
+        alloc_failure = addr.status();
+        break;
+      }
+      copy_reads.push_back(file.blocks[fb]);
+      placements.emplace_back(fb, addr.value());
+      ++copy_blocks_written;
+    }
+  }
+  if (!alloc_failure.ok()) {
+    for (const auto& [fb, addr] : placements) {
+      (void)fb;
+      SetVolatileRef(addr, false);
+    }
+    return alloc_failure;
+  }
+
+  SimDuration total;
+  if (!copy_reads.empty()) {
+    Result<SimDuration> rd = SubmitBlocks(IoKind::kRead, copy_reads, nullptr);
+    if (!rd.ok()) {
+      for (const auto& [fb, addr] : placements) {
+        (void)fb;
+        SetVolatileRef(addr, false);
+      }
+      return rd.status();
+    }
+    total += rd.value();
+  }
+  std::vector<uint64_t> writes;
+  writes.reserve(placements.size());
+  for (const auto& [fb, addr] : placements) {
+    (void)fb;
+    writes.push_back(addr);
+  }
+  Result<SimDuration> wr = SubmitBlocks(IoKind::kWrite, writes, nullptr);
+  if (!wr.ok()) {
+    for (const auto& [fb, addr] : placements) {
+      (void)fb;
+      SetVolatileRef(addr, false);
+    }
+    return wr.status();
+  }
+  total += wr.value();
+
+  // Install the new addresses; originals that were never committed are free
+  // for reuse immediately, committed ones stay pinned until the next commit
+  // drops them (the copy-on-write invariant).
+  if (last >= file.blocks.size()) {
+    file.blocks.resize(last + 1, 0);
+  }
+  for (const auto& [fb, addr] : placements) {
+    const uint64_t old = file.blocks[fb];
+    file.blocks[fb] = addr;
+    if (old != 0) {
+      SetVolatileRef(old, false);
+    }
+  }
+  stats_.device_data_bytes += data_blocks_written * block_size_;
+  stats_.cleaner_bytes_moved += copy_blocks_written * block_size_;
+  stats_.app_bytes_written += length;
+  file.size = std::max(file.size, offset + length);
+  file.entry_dirty = true;
+
+  if (sync) {
+    Result<SimDuration> commit = CommitEntry(path);
+    if (!commit.ok()) {
+      return commit.status();
+    }
+    total += commit.value();
+  }
+  return total;
+}
+
+Result<SimDuration> CowFs::Fsync(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("cowfs: no such file: " + path);
+  }
+  ++stats_.fsyncs;
+  if (!it->second.entry_dirty) {
+    return SimDuration();  // the committed entry is already current
+  }
+  return CommitEntry(path);
+}
+
+Result<SimDuration> CowFs::Read(const std::string& path, uint64_t offset,
+                                uint64_t length) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("cowfs: no such file: " + path);
+  }
+  if (offset + length > it->second.size) {
+    return OutOfRangeError("cowfs: read past end of file");
+  }
+  if (length == 0) {
+    return SimDuration();
+  }
+  const uint64_t first = offset / block_size_;
+  const uint64_t last = (offset + length - 1) / block_size_;
+  std::vector<uint64_t> blocks;
+  for (uint64_t fb = first; fb <= last && fb < it->second.blocks.size(); ++fb) {
+    if (it->second.blocks[fb] != 0) {
+      blocks.push_back(it->second.blocks[fb]);
+    }
+  }
+  return SubmitBlocks(IoKind::kRead, blocks, nullptr);
+}
+
+Status CowFs::Unlink(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("cowfs: no such file: " + path);
+  }
+  const uint32_t pair = it->second.pair;
+  Result<SimDuration> t = WritePairSlot(pair);
+  if (!t.ok()) {
+    return t.status();
+  }
+  // The commit landed: the entry is gone from the durable namespace, so both
+  // its committed and volatile blocks lose their references now.
+  auto durable = durable_files_.find(path);
+  assert(durable != durable_files_.end());
+  std::vector<uint64_t> committed_blocks = durable->second.blocks;
+  std::vector<uint64_t> volatile_blocks = it->second.blocks;
+  durable_files_.erase(durable);
+  files_.erase(it);
+  --pair_entry_counts_[pair];
+
+  for (const uint64_t addr : volatile_blocks) {
+    if (addr != 0) {
+      SetVolatileRef(addr, false);
+    }
+  }
+  std::vector<uint64_t> freed;
+  for (const uint64_t addr : committed_blocks) {
+    if (addr != 0) {
+      SetCommittedRef(addr, false);
+      if (IsFree(DataIndex(addr))) {
+        freed.push_back(addr);
+      }
+    }
+  }
+  RefreshPairImage(pair);
+  Result<SimDuration> discard = DiscardBlocks(freed);
+  if (!discard.ok()) {
+    return discard.status();
+  }
+  return Status::Ok();
+}
+
+Status CowFs::Truncate(const std::string& path, uint64_t new_size) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("cowfs: no such file: " + path);
+  }
+  FileMeta& file = it->second;
+  if (new_size >= file.size) {
+    // Sparse extension: the CTZ list is untouched, only the committed size
+    // changes — one commit block, no data-region allocation.
+    file.size = new_size;
+  } else {
+    // The list is backward-linked from the head, so truncation keeps the
+    // prefix as-is: O(1), no copying, just release the dropped tail.
+    const uint64_t keep = CeilDiv(new_size, block_size_);
+    for (uint64_t fb = keep; fb < file.blocks.size(); ++fb) {
+      if (file.blocks[fb] != 0) {
+        SetVolatileRef(file.blocks[fb], false);
+      }
+    }
+    file.blocks.resize(keep);
+    file.size = new_size;
+  }
+  file.entry_dirty = true;
+  Result<SimDuration> commit = CommitEntry(path);
+  if (!commit.ok()) {
+    return commit.status();
+  }
+  return Status::Ok();
+}
+
+Status CowFs::Rename(const std::string& from, const std::string& to) {
+  if (files_.count(to) != 0) {
+    return AlreadyExistsError("cowfs: destination exists: " + to);
+  }
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return NotFoundError("cowfs: no such file: " + from);
+  }
+  const uint32_t pair = it->second.pair;
+  Result<SimDuration> t = WritePairSlot(pair);
+  if (!t.ok()) {
+    return t.status();
+  }
+  // The commit rewrites the pair with the entry under its new name, at its
+  // last *committed* state — uncommitted data stays volatile across a
+  // rename, exactly like an unsynced file keeping its dirty cache.
+  auto durable_node = durable_files_.extract(from);
+  assert(!durable_node.empty());
+  durable_node.key() = to;
+  durable_files_.insert(std::move(durable_node));
+  auto node = files_.extract(from);
+  node.key() = to;
+  files_.insert(std::move(node));
+  RefreshPairImage(pair);
+  return Status::Ok();
+}
+
+Result<uint64_t> CowFs::FileSize(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("cowfs: no such file: " + path);
+  }
+  return it->second.size;
+}
+
+bool CowFs::Exists(const std::string& path) const { return files_.count(path) != 0; }
+
+std::vector<std::string> CowFs::List() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, meta] : files_) {
+    (void)meta;
+    names.push_back(name);
+  }
+  return names;
+}
+
+uint64_t CowFs::FreeBytes() const { return free_data_blocks_ * block_size_; }
+
+Result<RecoveryReport> CowFs::Mount() {
+  RecoveryReport rep;
+  const uint32_t pairs = dir_pairs();
+  const uint64_t data_blocks = total_blocks_ - data_start_block_;
+
+  // Decode every pair from its slot images: highest valid revision wins; a
+  // torn commit left at most one bad slot, so a pair with *no* decodable
+  // slot means external corruption, not a crash artifact.
+  std::map<std::string, CommittedEntry> decoded;
+  std::vector<uint64_t> revisions(pairs, 0);
+  std::vector<uint32_t> entry_counts(pairs, 0);
+  std::vector<uint8_t> seen_block(data_blocks, 0);
+  uint32_t max_id = 0;
+  for (uint32_t pair = 0; pair < pairs; ++pair) {
+    Result<CowFsDecodedPair> a = DecodePairBlock(pair_images_[pair][0], pair);
+    Result<CowFsDecodedPair> b = DecodePairBlock(pair_images_[pair][1], pair);
+    const CowFsDecodedPair* winner = nullptr;
+    if (a.ok() && (!b.ok() || a.value().revision >= b.value().revision)) {
+      winner = &a.value();
+    } else if (b.ok()) {
+      winner = &b.value();
+    } else {
+      return DataLossError("cowfs: metadata pair " + std::to_string(pair) +
+                           " has no decodable block");
+    }
+    revisions[pair] = winner->revision;
+    entry_counts[pair] = static_cast<uint32_t>(winner->entries.size());
+    for (const CowFsDecodedPair::Entry& e : winner->entries) {
+      for (const uint64_t addr : e.blocks) {
+        if (addr == 0) {
+          continue;
+        }
+        if (addr < data_start_block_ || addr >= total_blocks_) {
+          return DataLossError("cowfs: entry " + e.name +
+                               " references block outside the data region");
+        }
+        if (seen_block[addr - data_start_block_] != 0) {
+          return DataLossError("cowfs: block " + std::to_string(addr) +
+                               " referenced by two entries");
+        }
+        seen_block[addr - data_start_block_] = 1;
+      }
+      CommittedEntry entry;
+      entry.id = e.id;
+      entry.size = e.size;
+      entry.blocks = e.blocks;
+      entry.pair = pair;
+      if (!decoded.emplace(e.name, std::move(entry)).second) {
+        return DataLossError("cowfs: duplicate entry name: " + e.name);
+      }
+      max_id = std::max(max_id, e.id);
+    }
+  }
+
+  // Install: the decoded committed state IS the namespace — nothing to roll
+  // back, no orphans to reclaim, no repairs. The free set is the complement
+  // of the committed references by definition, and the rotation cursor is
+  // re-derived from the commit history so allocation keeps rotating instead
+  // of restarting at zero.
+  durable_files_ = std::move(decoded);
+  files_.clear();
+  committed_ref_.assign(data_blocks, 0);
+  volatile_ref_.assign(data_blocks, 0);
+  free_data_blocks_ = data_blocks;
+  uint64_t revision_sum = 0;
+  for (uint32_t pair = 0; pair < pairs; ++pair) {
+    revision_sum += revisions[pair];
+  }
+  pair_revisions_ = std::move(revisions);
+  pair_entry_counts_ = std::move(entry_counts);
+  for (const auto& [name, entry] : durable_files_) {
+    FileMeta meta;
+    meta.id = entry.id;
+    meta.size = entry.size;
+    meta.blocks = entry.blocks;
+    meta.pair = entry.pair;
+    meta.entry_dirty = false;
+    for (const uint64_t addr : meta.blocks) {
+      if (addr != 0) {
+        SetCommittedRef(addr, true);
+        SetVolatileRef(addr, true);
+        ++rep.mapped_pages_recovered;
+      }
+    }
+    files_.emplace(name, std::move(meta));
+    ++rep.files_recovered;
+  }
+  alloc_cursor_ = data_blocks == 0 ? 0 : revision_sum % data_blocks;
+  next_file_id_ = max_id + 1;
+  return rep;
+}
+
+std::vector<uint8_t> CowFs::EncodePairBlock(
+    uint32_t pair, uint64_t revision,
+    const std::vector<CowFsDecodedPair::Entry>& entries) {
+  std::vector<uint8_t> out(kMagic, kMagic + 4);
+  PutVarint(&out, pair);
+  PutVarint(&out, revision);
+  PutVarint(&out, entries.size());
+  for (const CowFsDecodedPair::Entry& e : entries) {
+    PutVarint(&out, e.name.size());
+    out.insert(out.end(), e.name.begin(), e.name.end());
+    PutVarint(&out, e.id);
+    PutVarint(&out, e.size);
+    PutVarint(&out, e.blocks.size());
+    for (const uint64_t addr : e.blocks) {
+      PutVarint(&out, addr);
+    }
+  }
+  const uint64_t sum = Fnv1a64(out.data(), out.size());
+  for (size_t i = 0; i < kChecksumBytes; ++i) {
+    out.push_back(static_cast<uint8_t>(sum >> (8 * i)));
+  }
+  return out;
+}
+
+Result<CowFsDecodedPair> CowFs::DecodePairBlock(const std::vector<uint8_t>& image,
+                                                uint32_t expected_pair) {
+  CowFsDecodedPair out;
+  if (image.empty()) {
+    return out;  // unprogrammed slot: valid, revision 0, no entries
+  }
+  if (image.size() < 4 + kChecksumBytes) {
+    return DataLossError("cowfs: pair block too short");
+  }
+  if (!std::equal(kMagic, kMagic + 4, image.begin())) {
+    return DataLossError("cowfs: bad pair-block magic");
+  }
+  const size_t payload = image.size() - kChecksumBytes;
+  uint64_t stored_sum = 0;
+  for (size_t i = 0; i < kChecksumBytes; ++i) {
+    stored_sum |= static_cast<uint64_t>(image[payload + i]) << (8 * i);
+  }
+  if (Fnv1a64(image.data(), payload) != stored_sum) {
+    return DataLossError("cowfs: pair-block checksum mismatch");
+  }
+  size_t pos = 4;
+  uint64_t pair = 0;
+  uint64_t entry_count = 0;
+  if (!GetVarint(image.data(), payload, &pos, &pair) ||
+      !GetVarint(image.data(), payload, &pos, &out.revision) ||
+      !GetVarint(image.data(), payload, &pos, &entry_count)) {
+    return DataLossError("cowfs: truncated pair-block header");
+  }
+  if (pair != expected_pair) {
+    return DataLossError("cowfs: pair block belongs to pair " +
+                         std::to_string(pair));
+  }
+  // Every entry needs at least 4 header bytes, so a huge count cannot pass
+  // the remaining-bytes bound (this also caps the reserve below).
+  if (entry_count > payload - pos) {
+    return DataLossError("cowfs: entry count overruns block");
+  }
+  out.entries.reserve(entry_count);
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    CowFsDecodedPair::Entry e;
+    uint64_t name_len = 0;
+    if (!GetVarint(image.data(), payload, &pos, &name_len) ||
+        name_len > payload - pos) {
+      return DataLossError("cowfs: entry name overruns block");
+    }
+    e.name.assign(reinterpret_cast<const char*>(image.data()) + pos, name_len);
+    pos += name_len;
+    uint64_t id = 0;
+    uint64_t block_count = 0;
+    if (!GetVarint(image.data(), payload, &pos, &id) ||
+        !GetVarint(image.data(), payload, &pos, &e.size) ||
+        !GetVarint(image.data(), payload, &pos, &block_count)) {
+      return DataLossError("cowfs: truncated entry");
+    }
+    if (id > UINT32_MAX) {
+      return DataLossError("cowfs: entry id out of range");
+    }
+    e.id = static_cast<uint32_t>(id);
+    if (block_count > payload - pos) {
+      return DataLossError("cowfs: block list overruns block");
+    }
+    e.blocks.reserve(block_count);
+    for (uint64_t b = 0; b < block_count; ++b) {
+      uint64_t addr = 0;
+      if (!GetVarint(image.data(), payload, &pos, &addr)) {
+        return DataLossError("cowfs: truncated block list");
+      }
+      e.blocks.push_back(addr);
+    }
+    // The committed size must fit the extent list (holes allowed).
+    if (e.size > e.blocks.size() * 4096ull * 1024) {
+      return DataLossError("cowfs: entry size inconsistent with extents");
+    }
+    out.entries.push_back(std::move(e));
+  }
+  if (pos != payload) {
+    return DataLossError("cowfs: trailing bytes after last entry");
+  }
+  return out;
+}
+
+}  // namespace flashsim

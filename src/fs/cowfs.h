@@ -1,0 +1,207 @@
+// CowFs: a littlefs-style bounded-RAM copy-on-write file system model.
+//
+// Layout (block-granular, block size == device page size):
+//   [ superblock pair (2 blocks) | metadata pairs (2 blocks each) | data ]
+//
+// There is no journal and no fsck repair path: every on-media state is valid
+// by construction. The namespace lives in a fixed set of *metadata pairs* —
+// two alternating blocks per pair, each commit rewriting the non-current
+// block with an incremented revision counter. Mount picks the block with the
+// highest valid revision per pair; a torn commit simply leaves the older
+// revision as the winner. A commit persists exactly the committing file's
+// entry (other entries are re-encoded at their last committed state), so the
+// durability barrier is per file, like LogFs — but Create, Unlink, Truncate
+// and Rename each carry their own commit, making namespace operations
+// durable immediately (a strictly stronger contract than either ExtFs or
+// LogFs; see DESIGN.md §16).
+//
+// File extents are CTZ-skip-list style: append is O(1) — one data-block
+// write, no metadata traffic until the next commit — and truncation is O(1)
+// (the list is backward-linked from the head). The price is overwrite:
+// because block k's address is baked into the pointer chains of every later
+// block, rewriting block k copies the whole suffix k..n-1 to fresh blocks
+// (accounted as cleaner_bytes_moved). That asymmetry is CowFs's structural
+// write-amplification signature in the three-way Figure 4 shootout: ~1.0 for
+// appends, O(file length) for random sync overwrites.
+//
+// Allocation is wear-aware free-block rotation (the littlefs lookahead
+// model): a cursor walks the data region round-robin and never resets, so
+// erase load spreads over the whole device; blocks freed by a commit are
+// discarded (TRIM) at that commit. Copy-on-write never overwrites a block
+// referenced by committed metadata, so recovery needs no rollback, no orphan
+// scan, and no repairs — Mount() decodes the pair images and reports
+// fsck_repairs == 0 by construction.
+
+#ifndef SRC_FS_COWFS_H_
+#define SRC_FS_COWFS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/fs/filesystem.h"
+
+namespace flashsim {
+
+struct CowFsConfig {
+  // Number of metadata pairs (2 blocks each). 0 = auto: one pair per 1024
+  // device blocks, minimum 4.
+  uint32_t dir_pairs = 0;
+  // Directory entries a single metadata pair can hold.
+  uint32_t entries_per_pair = 64;
+};
+
+// One decoded metadata-pair block: the committed directory slice it held.
+struct CowFsDecodedPair {
+  uint64_t revision = 0;
+  struct Entry {
+    std::string name;
+    uint32_t id = 0;
+    uint64_t size = 0;
+    std::vector<uint64_t> blocks;  // absolute device block; 0 = hole
+  };
+  std::vector<Entry> entries;
+};
+
+class CowFs : public Filesystem {
+ public:
+  CowFs(BlockDevice& device, CowFsConfig config = {});
+
+  // Filesystem:
+  Status Create(const std::string& path) override;
+  Result<SimDuration> Write(const std::string& path, uint64_t offset, uint64_t length,
+                            bool sync) override;
+  Result<SimDuration> Fsync(const std::string& path) override;
+  Result<SimDuration> Read(const std::string& path, uint64_t offset,
+                           uint64_t length) override;
+  Status Unlink(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t new_size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<uint64_t> FileSize(const std::string& path) const override;
+  bool Exists(const std::string& path) const override;
+  std::vector<std::string> List() const override;
+  uint64_t FreeBytes() const override;
+  const FsStats& stats() const override { return stats_; }
+  const char* fs_type() const override { return "cowfs"; }
+  BlockDevice& device() override { return device_; }
+
+  // Crash recovery: decodes every metadata pair (highest valid revision
+  // wins), rebuilds the namespace and the free set from the committed
+  // entries alone, and re-derives the rotation cursor. Nothing is rolled
+  // back, reclaimed, or repaired — fsck_repairs, orphan_files and
+  // orphan_blocks are all zero on every mount. Fails with kDataLoss only if
+  // a pair has no decodable block (possible only under external corruption,
+  // never from a power cut mid-commit).
+  Result<RecoveryReport> Mount() override;
+
+  // --- On-media commit-block codec, exposed for the decoder fuzz test -----
+  // Encoding: "CWFS" magic, then varints (pair, revision, entry count), then
+  // per entry (name length, name bytes, id, size, block count, one varint
+  // per block address), sealed by a little-endian FNV-1a 64 checksum.
+  static std::vector<uint8_t> EncodePairBlock(uint32_t pair, uint64_t revision,
+                                              const std::vector<CowFsDecodedPair::Entry>& entries);
+  // Clean kDataLoss on any malformed input (bad magic, truncated varint,
+  // overrun, checksum mismatch) — never UB. An empty image decodes as a
+  // valid revision-0 block with no entries (an unprogrammed pair slot).
+  static Result<CowFsDecodedPair> DecodePairBlock(const std::vector<uint8_t>& image,
+                                                  uint32_t expected_pair);
+
+  // Raw pair-slot images, for the fuzz test to read and corrupt. Mount()
+  // decodes exactly these.
+  const std::vector<uint8_t>& PairImageForTest(uint32_t pair, uint32_t slot) const {
+    return pair_images_[pair][slot];
+  }
+  void CorruptPairImageForTest(uint32_t pair, uint32_t slot,
+                               std::vector<uint8_t> image) {
+    pair_images_[pair][slot] = std::move(image);
+  }
+  uint32_t dir_pairs() const { return static_cast<uint32_t>(pair_revisions_.size()); }
+
+ private:
+  struct FileMeta {
+    uint32_t id = 0;
+    uint64_t size = 0;
+    std::vector<uint64_t> blocks;  // absolute device block per file block; 0 = hole
+    uint32_t pair = 0;             // metadata pair holding this entry
+    bool entry_dirty = false;      // size/extents newer than the committed entry
+  };
+  struct CommittedEntry {
+    uint32_t id = 0;
+    uint64_t size = 0;
+    std::vector<uint64_t> blocks;
+    uint32_t pair = 0;
+  };
+
+  // Reference tracking: a data block is free iff neither the committed
+  // namespace nor the volatile one references it; the allocator may never
+  // hand out a committed block (the copy-on-write invariant).
+  void SetVolatileRef(uint64_t addr, bool on);
+  void SetCommittedRef(uint64_t addr, bool on);
+  bool IsFree(uint64_t idx) const {
+    return !committed_ref_[idx] && !volatile_ref_[idx];
+  }
+
+  // Wear-aware rotation: next free block at/after the cursor; the cursor
+  // only ever advances (mod data region), never resets.
+  Result<uint64_t> AllocateBlock();
+
+  Result<SimDuration> SubmitBlocks(IoKind kind, const std::vector<uint64_t>& blocks,
+                                   uint64_t* bytes_out);
+
+  // One commit-block write into `pair`'s non-current slot; bumps the
+  // revision on success. On a power cut the durable record is unchanged —
+  // the torn block loses the revision race at mount.
+  Result<SimDuration> WritePairSlot(uint32_t pair);
+
+  // The durability barrier for one file: WritePairSlot, then fold `name`'s
+  // current volatile state into the committed snapshot, rediff block
+  // references, and discard newly-free blocks.
+  Result<SimDuration> CommitEntry(const std::string& name);
+
+  // Re-encode `pair`'s committed directory slice into its current slot image.
+  void RefreshPairImage(uint32_t pair);
+
+  // Sorted discard of blocks that just lost their last reference.
+  Result<SimDuration> DiscardBlocks(std::vector<uint64_t>& blocks);
+
+  // Picks the least-loaded metadata pair for a new entry.
+  Result<uint32_t> AssignPair() const;
+
+  uint64_t PairBlockAddr(uint32_t pair, uint32_t slot) const {
+    return 2 + 2ull * pair + slot;
+  }
+  uint64_t DataIndex(uint64_t addr) const { return addr - data_start_block_; }
+
+  BlockDevice& device_;
+  CowFsConfig config_;
+  uint32_t block_size_;
+
+  uint64_t data_start_block_ = 0;
+  uint64_t total_blocks_ = 0;
+
+  std::vector<uint8_t> committed_ref_;  // per data-region block
+  std::vector<uint8_t> volatile_ref_;
+  uint64_t free_data_blocks_ = 0;
+  uint64_t alloc_cursor_ = 0;
+
+  std::map<std::string, FileMeta> files_;
+  // Namespace as of the last commit per entry — always key-identical to
+  // files_ (namespace operations commit synchronously); only sizes/extents
+  // can be newer in files_.
+  std::map<std::string, CommittedEntry> durable_files_;
+
+  std::vector<uint64_t> pair_revisions_;
+  std::vector<uint32_t> pair_entry_counts_;
+  // The two on-media slot images per pair; slot (revision & 1) is current.
+  std::vector<std::array<std::vector<uint8_t>, 2>> pair_images_;
+
+  uint32_t next_file_id_ = 1;
+
+  FsStats stats_;
+};
+
+}  // namespace flashsim
+
+#endif  // SRC_FS_COWFS_H_

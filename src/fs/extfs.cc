@@ -91,6 +91,7 @@ Result<SimDuration> ExtFs::CommitJournal() {
     return t.status();
   }
   stats_.device_journal_bytes += bytes;
+  ++stats_.metadata_commits;
   dirty_metadata_blocks_ = 0;
   synced_since_commit_ = 0;
   ++commits_;
@@ -314,6 +315,9 @@ Result<RecoveryReport> ExtFs::Mount() {
   }
   free_data_blocks_ = data_bitmap_.size() - used_after;
   rep.orphan_blocks = used_before > used_after ? used_before - used_after : 0;
+  // Journal replay repairs: every rolled-back file and reclaimed block is
+  // state the fsck pass had to discard to reach the last commit.
+  rep.fsck_repairs = rep.orphan_files + rep.orphan_blocks;
   pending_free_.clear();
   dirty_metadata_blocks_ = 0;
   synced_since_commit_ = 0;

@@ -31,7 +31,11 @@ struct FsStats {
   uint64_t device_metadata_bytes = 0;  // inode/node/NAT/bitmap traffic
   uint64_t device_journal_bytes = 0;   // journal / checkpoint traffic
   uint64_t fsyncs = 0;
-  uint64_t cleaner_bytes_moved = 0;    // log-structured segment cleaning
+  uint64_t cleaner_bytes_moved = 0;    // log-structured segment cleaning /
+                                       // copy-on-write suffix relocation
+  // Durability-barrier commits: journal commits (ExtFs), node-block writes
+  // (LogFs), metadata-pair commits (CowFs).
+  uint64_t metadata_commits = 0;
 
   // Segment-cleaner victim-selection observability (log-structured FS only);
   // same semantics as the FtlStats GC counters.

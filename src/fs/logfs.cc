@@ -330,6 +330,7 @@ Result<SimDuration> LogFs::WriteNodeBlock(FileMeta& file, bool allow_clean) {
     return t.status();
   }
   stats_.device_metadata_bytes += bytes;
+  ++stats_.metadata_commits;
   // Durability point: the node block now on the device carries this file's
   // size and mappings, so the durable snapshot advances to the current state
   // (and the previous snapshot's pins are dropped).
@@ -611,6 +612,9 @@ Result<RecoveryReport> LogFs::Mount() {
       ++rep.orphan_files;
     }
   }
+  // Roll-forward recovery discards files with no durable node block — each
+  // one is a repair the mount performed to reach a consistent namespace.
+  rep.fsck_repairs = rep.orphan_files;
 
   std::fill(valid_counts_.begin(), valid_counts_.end(), 0u);
   std::fill(segment_in_use_.begin(), segment_in_use_.end(), false);

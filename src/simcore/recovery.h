@@ -28,6 +28,11 @@ struct RecoveryReport {
   uint64_t journal_commits_scanned = 0; // extfs: commits in the journal ring
   uint64_t orphan_files = 0;            // files lost (never made durable)
   uint64_t orphan_blocks = 0;           // blocks reclaimed by rollback / fsck
+  // State the mount had to discard or rewrite to reach a consistent
+  // namespace (rolled-back files, reclaimed blocks). A copy-on-write design
+  // where every on-media state is valid by construction reports zero here —
+  // the CowFs crash contract, gated in CI.
+  uint64_t fsck_repairs = 0;
 
   RecoveryReport& Merge(const RecoveryReport& o) {
     scanned_pages += o.scanned_pages;
@@ -42,6 +47,7 @@ struct RecoveryReport {
     journal_commits_scanned += o.journal_commits_scanned;
     orphan_files += o.orphan_files;
     orphan_blocks += o.orphan_blocks;
+    fsck_repairs += o.fsck_repairs;
     return *this;
   }
 };

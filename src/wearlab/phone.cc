@@ -13,7 +13,12 @@ constexpr int64_t kPollMinutes = 10;
 }  // namespace
 
 const char* PhoneFsTypeName(PhoneFsType type) {
-  return type == PhoneFsType::kExtFs ? "Ext4" : "F2FS";
+  switch (type) {
+    case PhoneFsType::kExtFs: return "Ext4";
+    case PhoneFsType::kCowFs: return "CowFs";
+    case PhoneFsType::kLogFs:
+    default: return "F2FS";
+  }
 }
 
 Phone::Phone(std::unique_ptr<FlashDevice> device, PhoneFsType fs_type,
@@ -21,6 +26,8 @@ Phone::Phone(std::unique_ptr<FlashDevice> device, PhoneFsType fs_type,
     : device_(std::move(device)), fs_type_(fs_type) {
   if (fs_type_ == PhoneFsType::kExtFs) {
     fs_ = std::make_unique<ExtFs>(*device_);
+  } else if (fs_type_ == PhoneFsType::kCowFs) {
+    fs_ = std::make_unique<CowFs>(*device_);
   } else {
     fs_ = std::make_unique<LogFs>(*device_);
   }

@@ -1,5 +1,6 @@
 // Phone: a complete simulated smartphone storage stack — flash device, file
-// system (Ext4-like or F2FS-like), Android layer — plus drivers for the
+// system (Ext4-like, F2FS-like, or littlefs-like CowFs), Android layer —
+// plus drivers for the
 // paper's phone experiments (Figures 3 and 4, the §4.4 detection study, and
 // the BLU bricking runs).
 
@@ -14,12 +15,13 @@
 #include "src/android/android_system.h"
 #include "src/android/attack_app.h"
 #include "src/device/flash_device.h"
+#include "src/fs/cowfs.h"
 #include "src/fs/extfs.h"
 #include "src/fs/logfs.h"
 
 namespace flashsim {
 
-enum class PhoneFsType { kExtFs, kLogFs };
+enum class PhoneFsType { kExtFs, kLogFs, kCowFs };
 
 const char* PhoneFsTypeName(PhoneFsType type);
 

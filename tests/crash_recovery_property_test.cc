@@ -7,8 +7,9 @@
 // data intact, FTL/fs invariants hold, wear accounting monotonic. A failing
 // run prints the one-line crash_soak command that replays it exactly.
 //
-// The sweep covers {PageMapFtl, HybridFtl} x {LogFs, ExtFs} x all three
-// workload mixes for >= 500 randomized runs in total.
+// The sweep covers {PageMapFtl, HybridFtl} x {LogFs, ExtFs, CowFs} x all
+// three workload mixes for >= 500 randomized runs in total, plus a dedicated
+// 504-run CowFs sweep asserting its stronger zero-repair contract.
 
 #include <gtest/gtest.h>
 
@@ -18,7 +19,7 @@ namespace flashsim {
 namespace {
 
 constexpr FtlKind kFtls[] = {FtlKind::kPageMap, FtlKind::kHybrid};
-constexpr FsKind kFss[] = {FsKind::kLogFs, FsKind::kExtFs};
+constexpr FsKind kFss[] = {FsKind::kLogFs, FsKind::kExtFs, FsKind::kCowFs};
 constexpr CrashWorkload kWorkloads[] = {CrashWorkload::kMixed,
                                         CrashWorkload::kOverwrite,
                                         CrashWorkload::kSyncHeavy};
@@ -163,6 +164,45 @@ TEST(CrashRecoveryPropertyTest, QueuedSubmissionRandomizedSweep) {
     }
   }
   EXPECT_GE(runs, 64u);
+  EXPECT_GT(cuts_fired, runs / 2);
+}
+
+// CowFs's contract is strictly stronger than ExtFs/LogFs: every on-media
+// state is a valid committed prefix, so no mount may ever repair anything —
+// zero fsck repairs, zero orphan files, zero reclaimed blocks — and the
+// recovered namespace must be exactly an admissible committed prefix (the
+// harness checks admissibility; a repair count > 0 fails the run inside
+// RunCrashScenario too). 504 randomized (seed, cut) runs across both FTLs
+// and all workload mixes, every fourth run under a multi-channel deep queue.
+TEST(CrashRecoveryPropertyTest, CowFsZeroRepairSweepFiveHundredRuns) {
+  uint64_t runs = 0;
+  uint64_t cuts_fired = 0;
+  for (const FtlKind ftl : kFtls) {
+    for (uint64_t i = 0; i < 252; ++i) {
+      CrashSpec spec;
+      spec.ftl = ftl;
+      spec.fs = FsKind::kCowFs;
+      spec.workload = kWorkloads[i % 3];
+      spec.seed = 20000 + i;
+      spec.ops = 300;
+      spec.cut_window = 3000;
+      if (i % 4 == 3) {
+        spec.channels = 2;
+        spec.queue_depth = 8;
+      }
+      const CrashRunResult r = RunCrashScenario(spec);
+      ASSERT_TRUE(r.ok) << FtlKindName(ftl) << "/cowfs seed " << spec.seed
+                        << ": " << r.failure << "\n  repro: " << r.repro;
+      EXPECT_EQ(r.report.fsck_repairs, 0u) << r.repro;
+      EXPECT_EQ(r.report.orphan_files, 0u) << r.repro;
+      EXPECT_EQ(r.report.orphan_blocks, 0u) << r.repro;
+      ++runs;
+      cuts_fired += r.cut_fired ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(runs, 504u);
+  // Most cut windows must land inside the workload: this is a crash sweep,
+  // not a clean-shutdown sweep.
   EXPECT_GT(cuts_fired, runs / 2);
 }
 

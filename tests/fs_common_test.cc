@@ -1,43 +1,15 @@
-// Interface-contract tests run against BOTH file systems via TEST_P: any
-// Filesystem implementation must satisfy these.
+// Interface-contract tests run against every file system via TEST_P: any
+// Filesystem implementation registered in tests/fs_param.h must satisfy
+// these.
 
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <memory>
 
-#include "src/fs/extfs.h"
-#include "src/fs/logfs.h"
-#include "tests/test_util.h"
+#include "tests/fs_param.h"
 
 namespace flashsim {
 namespace {
-
-struct FsFixture {
-  std::unique_ptr<FlashDevice> device;
-  std::unique_ptr<Filesystem> fs;
-};
-
-using FsFactory = std::function<FsFixture()>;
-
-FsFixture MakeExt() {
-  FsFixture f;
-  f.device = MakeDurableDevice();
-  f.fs = std::make_unique<ExtFs>(*f.device);
-  return f;
-}
-
-FsFixture MakeLog() {
-  FsFixture f;
-  f.device = MakeDurableDevice();
-  f.fs = std::make_unique<LogFs>(*f.device);
-  return f;
-}
-
-struct FsCase {
-  const char* name;
-  FsFactory factory;
-};
 
 class FsContract : public ::testing::TestWithParam<FsCase> {
  protected:
@@ -167,12 +139,8 @@ TEST_P(FsContract, OutOfSpaceSurfacesCleanly) {
   EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
 }
 
-INSTANTIATE_TEST_SUITE_P(BothFilesystems, FsContract,
-                         ::testing::Values(FsCase{"ExtFs", MakeExt},
-                                           FsCase{"LogFs", MakeLog}),
-                         [](const ::testing::TestParamInfo<FsCase>& param_info) {
-                           return param_info.param.name;
-                         });
+INSTANTIATE_TEST_SUITE_P(AllFilesystems, FsContract,
+                         ::testing::ValuesIn(AllFsCases()), FsCaseName);
 
 }  // namespace
 }  // namespace flashsim

@@ -1,0 +1,297 @@
+// CowFs-specific semantics: the metadata-pair commit protocol, the on-media
+// commit-block codec (including the decoder fuzz sweep), suffix
+// copy-on-write accounting, wear rotation, and the zero-repair mount.
+// Generic Filesystem-contract coverage lives in fs_common_test /
+// fs_truncate_rename_test via the shared parameterized suite.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/fs/cowfs.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+namespace {
+
+struct CowFixture {
+  std::unique_ptr<FlashDevice> device;
+  std::unique_ptr<CowFs> fs;
+};
+
+CowFixture MakeCow() {
+  CowFixture f;
+  f.device = MakeDurableDevice();
+  f.fs = std::make_unique<CowFs>(*f.device);
+  return f;
+}
+
+TEST(CowFsCodecTest, RoundtripsEntriesWithHoles) {
+  std::vector<CowFsDecodedPair::Entry> entries(2);
+  entries[0].name = "alpha";
+  entries[0].id = 7;
+  entries[0].size = 123456;
+  entries[0].blocks = {40, 0, 41, 99};  // hole at file block 1
+  entries[1].name = "b";
+  entries[1].id = 8;
+  entries[1].size = 0;
+  const std::vector<uint8_t> image = CowFs::EncodePairBlock(3, 42, entries);
+
+  const Result<CowFsDecodedPair> decoded = CowFs::DecodePairBlock(image, 3);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().revision, 42u);
+  ASSERT_EQ(decoded.value().entries.size(), 2u);
+  EXPECT_EQ(decoded.value().entries[0].name, "alpha");
+  EXPECT_EQ(decoded.value().entries[0].id, 7u);
+  EXPECT_EQ(decoded.value().entries[0].size, 123456u);
+  EXPECT_EQ(decoded.value().entries[0].blocks, (std::vector<uint64_t>{40, 0, 41, 99}));
+  EXPECT_EQ(decoded.value().entries[1].blocks.size(), 0u);
+
+  // The pair id is part of the sealed payload: a block from another pair is
+  // data loss, not a silent cross-wire.
+  EXPECT_EQ(CowFs::DecodePairBlock(image, 2).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CowFsCodecTest, EmptyImageIsValidRevisionZero) {
+  const Result<CowFsDecodedPair> decoded = CowFs::DecodePairBlock({}, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().revision, 0u);
+  EXPECT_TRUE(decoded.value().entries.empty());
+}
+
+TEST(CowFsCodecTest, RejectsHugeClaimedCountsWithoutAllocating) {
+  // A corrupt varint entry count claiming ~2^62 entries must be rejected
+  // by the remaining-bytes bound before any reserve is attempted.
+  std::vector<CowFsDecodedPair::Entry> none;
+  std::vector<uint8_t> image = CowFs::EncodePairBlock(0, 1, none);
+  // Rewrite the entry-count varint (offset 6: magic + pair + revision) to a
+  // 9-byte maximal varint and reseal nothing — the checksum now fails, which
+  // is also fine; the property is "clean error", checked on both paths.
+  image[6] = 0xff;
+  EXPECT_EQ(CowFs::DecodePairBlock(image, 0).status().code(), StatusCode::kDataLoss);
+}
+
+// Commit protocol: each barrier writes exactly one commit block into the
+// pair's alternating non-current slot and bumps the revision.
+TEST(CowFsCommitTest, AlternatingSlotsCarryIncreasingRevisions) {
+  CowFixture f = MakeCow();
+  ASSERT_TRUE(f.fs->Create("f").ok());  // commit 1
+  ASSERT_TRUE(f.fs->Write("f", 0, 4096, /*sync=*/true).ok());   // commit 2
+  ASSERT_TRUE(f.fs->Write("f", 4096, 4096, /*sync=*/true).ok());  // commit 3
+  EXPECT_EQ(f.fs->stats().metadata_commits, 3u);
+
+  const Result<CowFsDecodedPair> slot0 =
+      CowFs::DecodePairBlock(f.fs->PairImageForTest(0, 0), 0);
+  const Result<CowFsDecodedPair> slot1 =
+      CowFs::DecodePairBlock(f.fs->PairImageForTest(0, 1), 0);
+  ASSERT_TRUE(slot0.ok());
+  ASSERT_TRUE(slot1.ok());
+  // Commits 2 and 3 landed in slots 0 and 1 respectively (slot = rev & 1).
+  EXPECT_EQ(slot0.value().revision, 2u);
+  EXPECT_EQ(slot1.value().revision, 3u);
+  EXPECT_EQ(slot1.value().entries.size(), 1u);
+  EXPECT_EQ(slot1.value().entries[0].size, 8192u);
+}
+
+// The structural WA signature: overwriting the head of a file relocates the
+// whole CTZ suffix; appending relocates nothing.
+TEST(CowFsCowTest, HeadOverwriteMovesSuffixAppendMovesNothing) {
+  CowFixture f = MakeCow();
+  ASSERT_TRUE(f.fs->Create("f").ok());
+  ASSERT_TRUE(f.fs->Write("f", 0, 64 * 4096, /*sync=*/false).ok());
+  EXPECT_EQ(f.fs->stats().cleaner_bytes_moved, 0u);
+
+  // Append: O(1), no relocation.
+  ASSERT_TRUE(f.fs->Write("f", 64 * 4096, 4096, /*sync=*/false).ok());
+  EXPECT_EQ(f.fs->stats().cleaner_bytes_moved, 0u);
+
+  // Overwrite block 0: the remaining 64 blocks are copied to fresh blocks.
+  ASSERT_TRUE(f.fs->Write("f", 0, 4096, /*sync=*/false).ok());
+  EXPECT_EQ(f.fs->stats().cleaner_bytes_moved, 64u * 4096);
+
+  // Overwrite the tail block: nothing after it, nothing moves.
+  ASSERT_TRUE(f.fs->Write("f", 64 * 4096, 4096, /*sync=*/false).ok());
+  EXPECT_EQ(f.fs->stats().cleaner_bytes_moved, 64u * 4096);
+}
+
+// Wear rotation: the allocator's cursor never resets, so rewriting the same
+// file block lands on fresh device blocks each time instead of ping-ponging
+// over a hot set.
+TEST(CowFsCowTest, AllocationRotatesAcrossTheDataRegion) {
+  CowFixture f = MakeCow();
+  ASSERT_TRUE(f.fs->Create("f").ok());
+  uint64_t before = f.device->ftl().Stats().nand_pages_written;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(f.fs->Write("f", 0, 4096, /*sync=*/true).ok());
+  }
+  // 32 single-block rewrites on a ~16k-block data region: rotation spreads
+  // them over distinct physical pages (no in-place overwrite shortcut).
+  const uint64_t after = f.device->ftl().Stats().nand_pages_written;
+  EXPECT_GE(after - before, 32u);
+}
+
+TEST(CowFsMountTest, MountIsZeroRepairByConstruction) {
+  CowFixture f = MakeCow();
+  ASSERT_TRUE(f.fs->Create("a").ok());
+  ASSERT_TRUE(f.fs->Write("a", 0, 32 * 4096, /*sync=*/true).ok());
+  ASSERT_TRUE(f.fs->Create("b").ok());
+  ASSERT_TRUE(f.fs->Write("b", 0, 4096, /*sync=*/false).ok());  // volatile
+
+  ASSERT_TRUE(f.device->Remount().ok());
+  const Result<RecoveryReport> rep = f.fs->Mount();
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep.value().fsck_repairs, 0u);
+  EXPECT_EQ(rep.value().orphan_files, 0u);
+  EXPECT_EQ(rep.value().orphan_blocks, 0u);
+  EXPECT_EQ(rep.value().files_recovered, 2u);
+  // "a" recovers in full; "b" exists (Create committed) at its committed
+  // size 0 — the unsynced write was never promised.
+  EXPECT_EQ(f.fs->FileSize("a").value(), 32u * 4096);
+  EXPECT_EQ(f.fs->FileSize("b").value(), 0u);
+}
+
+// A torn commit block must lose the revision race: zapping the current slot
+// recovers the previous committed state, bit-exact.
+TEST(CowFsMountTest, TornCurrentSlotRecoversOlderRevision) {
+  CowFixture f = MakeCow();
+  ASSERT_TRUE(f.fs->Create("f").ok());                            // rev 1
+  ASSERT_TRUE(f.fs->Write("f", 0, 8 * 4096, /*sync=*/true).ok());  // rev 2
+  ASSERT_TRUE(f.fs->Write("f", 8 * 4096, 8 * 4096, /*sync=*/true).ok());  // rev 3
+
+  // rev 3 sits in slot 1; tear it (arbitrary garbage, as an interrupted
+  // program would leave).
+  std::vector<uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x11};
+  f.fs->CorruptPairImageForTest(0, 1, garbage);
+  ASSERT_TRUE(f.device->Remount().ok());
+  const Result<RecoveryReport> rep = f.fs->Mount();
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep.value().fsck_repairs, 0u);
+  EXPECT_EQ(f.fs->FileSize("f").value(), 8u * 4096);  // rev 2 state
+
+  // Both slots gone means external corruption, which IS data loss.
+  f.fs->CorruptPairImageForTest(0, 0, garbage);
+  f.fs->CorruptPairImageForTest(0, 1, garbage);
+  ASSERT_TRUE(f.device->Remount().ok());
+  EXPECT_EQ(f.fs->Mount().status().code(), StatusCode::kDataLoss);
+}
+
+// Satellite: decoder fuzz, same mutation harness as the fleet park-blob
+// fuzz. Every mutation of a real commit block either fails with a clean
+// DataLossError or still decodes — never UB, a crash, or an unbounded
+// allocation. Runs under ASan/UBSan in CI via the sanitize suite.
+TEST(CowFsFuzzTest, MutatedCommitBlocksDecodeCleanlyOrFail) {
+  CowFixture f = MakeCow();
+  ASSERT_TRUE(f.fs->Create("alpha-longer-name").ok());                      // rev 1
+  ASSERT_TRUE(f.fs->Write("alpha-longer-name", 0, 24 * 4096, true).ok());   // rev 2
+  ASSERT_TRUE(f.fs->Write("alpha-longer-name", 24 * 4096, 4096, true).ok());  // rev 3
+  const uint32_t pair = 0;
+  // Revision 3 sits in slot 1 and carries the full 25-block extent list.
+  const std::vector<uint8_t> valid = f.fs->PairImageForTest(pair, 1);
+  const Result<CowFsDecodedPair> sanity = CowFs::DecodePairBlock(valid, pair);
+  ASSERT_TRUE(sanity.ok());
+  ASSERT_EQ(sanity.value().revision, 3u);
+  ASSERT_EQ(sanity.value().entries.at(0).blocks.size(), 25u);
+
+  std::mt19937_64 rng(0xc0f5);
+  const auto check_decode = [&](const std::vector<uint8_t>& image) {
+    const Result<CowFsDecodedPair> r = CowFs::DecodePairBlock(image, pair);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << r.status().ToString();
+    }
+  };
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> image = valid;
+    switch (trial % 4) {
+      case 0: {  // single byte flip
+        image[rng() % image.size()] ^= static_cast<uint8_t>(1 + rng() % 255);
+        break;
+      }
+      case 1: {  // truncate
+        image.resize(rng() % (image.size() + 1));
+        break;
+      }
+      case 2: {  // append garbage
+        const size_t extra = 1 + rng() % 16;
+        for (size_t i = 0; i < extra; ++i) {
+          image.push_back(static_cast<uint8_t>(rng()));
+        }
+        break;
+      }
+      default: {  // burst of flips
+        for (int k = 0; k < 8; ++k) {
+          image[rng() % image.size()] ^= static_cast<uint8_t>(rng());
+        }
+        break;
+      }
+    }
+    check_decode(image);
+  }
+
+  // Pure-garbage inputs of every small size.
+  for (size_t size = 0; size < 64; ++size) {
+    std::vector<uint8_t> garbage(size);
+    for (auto& b : garbage) {
+      b = static_cast<uint8_t>(rng());
+    }
+    check_decode(garbage);
+  }
+}
+
+// Mount-level fuzz: a mutated commit block reaching the real recovery path
+// yields either a clean DataLossError or a valid *older* revision — never a
+// crash and never silent acceptance of a state that was never committed.
+TEST(CowFsFuzzTest, MutatedMountRecoversOlderRevisionOrFailsCleanly) {
+  CowFixture f = MakeCow();
+  ASSERT_TRUE(f.fs->Create("f").ok());                             // rev 1
+  ASSERT_TRUE(f.fs->Write("f", 0, 8 * 4096, /*sync=*/true).ok());   // rev 2
+  const uint64_t older_size = f.fs->FileSize("f").value();
+  ASSERT_TRUE(f.fs->Write("f", 8 * 4096, 4 * 4096, /*sync=*/true).ok());  // rev 3
+  const uint64_t newer_size = f.fs->FileSize("f").value();
+  const std::vector<uint8_t> current = f.fs->PairImageForTest(0, 1);  // rev 3
+
+  std::mt19937_64 rng(0x5eed);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<uint8_t> image = current;
+    switch (trial % 4) {
+      case 0:
+        image[rng() % image.size()] ^= static_cast<uint8_t>(1 + rng() % 255);
+        break;
+      case 1:
+        image.resize(rng() % (image.size() + 1));
+        break;
+      case 2:
+        image.push_back(static_cast<uint8_t>(rng()));
+        break;
+      default:
+        for (int k = 0; k < 8; ++k) {
+          image[rng() % image.size()] ^= static_cast<uint8_t>(rng());
+        }
+        break;
+    }
+    f.fs->CorruptPairImageForTest(0, 1, image);
+    ASSERT_TRUE(f.device->Remount().ok());
+    const Result<RecoveryReport> rep = f.fs->Mount();
+    if (rep.ok()) {
+      // The mutation either left the block intact (checksum still valid) or
+      // the older slot won: the recovered size must be a committed one.
+      const uint64_t size = f.fs->FileSize("f").value();
+      EXPECT_TRUE(size == older_size || size == newer_size)
+          << "trial " << trial << " recovered uncommitted size " << size;
+      EXPECT_EQ(rep.value().fsck_repairs, 0u);
+    } else {
+      EXPECT_EQ(rep.status().code(), StatusCode::kDataLoss)
+          << rep.status().ToString();
+    }
+    // Restore the true image for the next trial.
+    f.fs->CorruptPairImageForTest(0, 1, current);
+    ASSERT_TRUE(f.device->Remount().ok());
+    ASSERT_TRUE(f.fs->Mount().ok());
+  }
+}
+
+}  // namespace
+}  // namespace flashsim

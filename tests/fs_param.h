@@ -1,0 +1,82 @@
+// Shared value-parameterized fixture for the Filesystem contract suites.
+//
+// Every generic FS test instantiates over AllFsCases(): a new implementation
+// added here inherits the whole shared contract suite (fs_common_test,
+// fs_truncate_rename_test) for free. The per-case flags describe where each
+// file system's durability barriers sit, so crash-atomicity tests can assert
+// contract-specific outcomes without naming implementations.
+
+#ifndef TESTS_FS_PARAM_H_
+#define TESTS_FS_PARAM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fs/cowfs.h"
+#include "src/fs/extfs.h"
+#include "src/fs/logfs.h"
+#include "tests/test_util.h"
+
+namespace flashsim {
+
+struct FsFixture {
+  std::unique_ptr<FlashDevice> device;
+  std::unique_ptr<Filesystem> fs;
+};
+
+struct FsCase {
+  const char* name;
+  std::function<FsFixture()> factory;
+  // Unlink/Rename act on the durable namespace the moment they return
+  // (LogFs dentry model, CowFs commit) — a post-crash mount shows the new
+  // name even if no later barrier ran.
+  bool dentry_durable_immediately = false;
+  // Create/Unlink/Truncate/Rename each carry their own device-level commit
+  // (CowFs metadata pairs): the op itself is the barrier, can observe a
+  // power cut, and needs no following Fsync to become durable.
+  bool namespace_ops_commit = false;
+};
+
+inline std::vector<FsCase> AllFsCases() {
+  return {
+      FsCase{"ExtFs",
+             [] {
+               FsFixture f;
+               f.device = MakeDurableDevice();
+               f.fs = std::make_unique<ExtFs>(*f.device);
+               return f;
+             },
+             /*dentry_durable_immediately=*/false,
+             /*namespace_ops_commit=*/false},
+      FsCase{"LogFs",
+             [] {
+               FsFixture f;
+               f.device = MakeDurableDevice();
+               f.fs = std::make_unique<LogFs>(*f.device);
+               return f;
+             },
+             /*dentry_durable_immediately=*/true,
+             /*namespace_ops_commit=*/false},
+      FsCase{"CowFs",
+             [] {
+               FsFixture f;
+               f.device = MakeDurableDevice();
+               f.fs = std::make_unique<CowFs>(*f.device);
+               return f;
+             },
+             /*dentry_durable_immediately=*/true,
+             /*namespace_ops_commit=*/true},
+  };
+}
+
+inline std::string FsCaseName(const ::testing::TestParamInfo<FsCase>& info) {
+  return info.param.name;
+}
+
+}  // namespace flashsim
+
+#endif  // TESTS_FS_PARAM_H_

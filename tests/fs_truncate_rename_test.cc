@@ -1,28 +1,15 @@
-// Truncate/rename contract, run against both file systems.
+// Truncate/rename contract, run against every registered file system.
 
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <memory>
 #include <string>
 
-#include "src/fs/extfs.h"
-#include "src/fs/logfs.h"
 #include "src/simcore/fault_plan.h"
-#include "tests/test_util.h"
+#include "tests/fs_param.h"
 
 namespace flashsim {
 namespace {
-
-struct FsFixture {
-  std::unique_ptr<FlashDevice> device;
-  std::unique_ptr<Filesystem> fs;
-};
-
-struct FsCase {
-  const char* name;
-  std::function<FsFixture()> factory;
-};
 
 class FsTruncRename : public ::testing::TestWithParam<FsCase> {
  protected:
@@ -103,29 +90,43 @@ TEST_P(FsTruncRename, RenamedFileSurvivesChurn) {
 // --- Crash atomicity -------------------------------------------------------
 //
 // Power is cut at the Nth destructive NAND op inside the durability barrier
-// (LogFs: the node-block write; ExtFs: the journal commit) that follows a
-// rename or shrinking truncate. Whatever the cut position, recovery must land
-// on one of the two pre-declared states — old or new — fully intact, never a
+// that covers a rename or shrinking truncate. Where that barrier sits is the
+// per-case contract: for ExtFs/LogFs it is the Fsync after the (RAM-only)
+// namespace op; under the CowFs contract (namespace_ops_commit) the op
+// itself carries the commit, so the cut is armed around the op and surfaces
+// as kPowerLoss from it. Whatever the cut position, recovery must land on
+// one of the two pre-declared states — old or new — fully intact, never a
 // mix and never neither. Cut positions past the barrier's op count simply
 // never fire, which doubles as the post-barrier (fully durable) case.
 
 TEST_P(FsTruncRename, RenameCrashLandsOnOldOrNewNeverNeither) {
   constexpr uint64_t kBytes = 256 * 1024;
-  const bool log_structured = std::string(fs().fs_type()) == "logfs";
+  const FsCase& fs_case = GetParam();
   for (const uint64_t cut : {1ull, 2ull, 3ull, 5ull, 9ull, 1ull << 30}) {
-    fixture_ = GetParam().factory();
+    fixture_ = fs_case.factory();
     ASSERT_TRUE(fs().Create("old").ok());
     ASSERT_TRUE(fs().Write("old", 0, kBytes, true).ok());
     ASSERT_TRUE(fs().Fsync("old").ok());  // durable under the old name
-    ASSERT_TRUE(fs().Rename("old", "new").ok());
 
     PowerRail rail;
     rail.AttachClock(&fixture_.device->clock());
     fixture_.device->AttachPowerRail(&rail);
-    rail.Arm(FaultPlan::AtOpCount(cut));
-    const Result<SimDuration> barrier = fs().Fsync("new");
-    const bool cut_fired = rail.cuts_delivered() > 0;
-    EXPECT_EQ(barrier.ok(), !cut_fired) << "cut=" << cut;
+    bool cut_fired = false;
+    if (fs_case.namespace_ops_commit) {
+      rail.Arm(FaultPlan::AtOpCount(cut));
+      const Status st = fs().Rename("old", "new");
+      cut_fired = rail.cuts_delivered() > 0;
+      EXPECT_EQ(st.ok(), !cut_fired) << "cut=" << cut;
+      if (!st.ok()) {
+        EXPECT_EQ(st.code(), StatusCode::kPowerLoss) << "cut=" << cut;
+      }
+    } else {
+      ASSERT_TRUE(fs().Rename("old", "new").ok());
+      rail.Arm(FaultPlan::AtOpCount(cut));
+      const Result<SimDuration> barrier = fs().Fsync("new");
+      cut_fired = rail.cuts_delivered() > 0;
+      EXPECT_EQ(barrier.ok(), !cut_fired) << "cut=" << cut;
+    }
     rail.Restore();
 
     ASSERT_TRUE(fixture_.device->Remount().ok()) << "cut=" << cut;
@@ -138,7 +139,11 @@ TEST_P(FsTruncRename, RenameCrashLandsOnOldOrNewNeverNeither) {
         << " new=" << has_new << ")";
     if (!cut_fired) {
       EXPECT_TRUE(has_new) << "cut=" << cut << ": barrier completed";
-    } else if (log_structured) {
+    } else if (fs_case.namespace_ops_commit) {
+      // The torn pair commit loses the revision race at mount: the rename
+      // never happened.
+      EXPECT_TRUE(has_old) << "cut=" << cut;
+    } else if (fs_case.dentry_durable_immediately) {
       // LogFs models dentry updates as durable immediately.
       EXPECT_TRUE(has_new) << "cut=" << cut;
     } else if (cut == 1) {
@@ -157,20 +162,32 @@ TEST_P(FsTruncRename, RenameCrashLandsOnOldOrNewNeverNeither) {
 TEST_P(FsTruncRename, TruncateCrashRecoversAtOldOrNewSizeNeverBetween) {
   constexpr uint64_t kOldSize = 512 * 1024;
   constexpr uint64_t kNewSize = 64 * 1024;
+  const FsCase& fs_case = GetParam();
   for (const uint64_t cut : {1ull, 2ull, 3ull, 5ull, 9ull, 1ull << 30}) {
-    fixture_ = GetParam().factory();
+    fixture_ = fs_case.factory();
     ASSERT_TRUE(fs().Create("f").ok());
     ASSERT_TRUE(fs().Write("f", 0, kOldSize, true).ok());
     ASSERT_TRUE(fs().Fsync("f").ok());  // durable at the old size
-    ASSERT_TRUE(fs().Truncate("f", kNewSize).ok());
 
     PowerRail rail;
     rail.AttachClock(&fixture_.device->clock());
     fixture_.device->AttachPowerRail(&rail);
-    rail.Arm(FaultPlan::AtOpCount(cut));
-    const Result<SimDuration> barrier = fs().Fsync("f");
-    const bool cut_fired = rail.cuts_delivered() > 0;
-    EXPECT_EQ(barrier.ok(), !cut_fired) << "cut=" << cut;
+    bool cut_fired = false;
+    if (fs_case.namespace_ops_commit) {
+      rail.Arm(FaultPlan::AtOpCount(cut));
+      const Status st = fs().Truncate("f", kNewSize);
+      cut_fired = rail.cuts_delivered() > 0;
+      EXPECT_EQ(st.ok(), !cut_fired) << "cut=" << cut;
+      if (!st.ok()) {
+        EXPECT_EQ(st.code(), StatusCode::kPowerLoss) << "cut=" << cut;
+      }
+    } else {
+      ASSERT_TRUE(fs().Truncate("f", kNewSize).ok());
+      rail.Arm(FaultPlan::AtOpCount(cut));
+      const Result<SimDuration> barrier = fs().Fsync("f");
+      cut_fired = rail.cuts_delivered() > 0;
+      EXPECT_EQ(barrier.ok(), !cut_fired) << "cut=" << cut;
+    }
     rail.Restore();
 
     ASSERT_TRUE(fixture_.device->Remount().ok()) << "cut=" << cut;
@@ -184,6 +201,9 @@ TEST_P(FsTruncRename, TruncateCrashRecoversAtOldOrNewSizeNeverBetween) {
         << " is neither the pre-truncate nor the post-truncate size";
     if (!cut_fired) {
       EXPECT_EQ(size.value(), kNewSize) << "cut=" << cut;
+    } else if (fs_case.namespace_ops_commit) {
+      // Torn commit: the truncate rolls forward to nothing — old size wins.
+      EXPECT_EQ(size.value(), kOldSize) << "cut=" << cut;
     } else if (cut == 1) {
       // Both barriers start with a device write (node block / journal
       // descriptor), so op 1 always kills the truncate's durability.
@@ -200,26 +220,8 @@ TEST_P(FsTruncRename, TruncateCrashRecoversAtOldOrNewSizeNeverBetween) {
   }
 }
 
-FsFixture MakeExt() {
-  FsFixture f;
-  f.device = MakeDurableDevice();
-  f.fs = std::make_unique<ExtFs>(*f.device);
-  return f;
-}
-
-FsFixture MakeLog() {
-  FsFixture f;
-  f.device = MakeDurableDevice();
-  f.fs = std::make_unique<LogFs>(*f.device);
-  return f;
-}
-
-INSTANTIATE_TEST_SUITE_P(BothFilesystems, FsTruncRename,
-                         ::testing::Values(FsCase{"ExtFs", MakeExt},
-                                           FsCase{"LogFs", MakeLog}),
-                         [](const ::testing::TestParamInfo<FsCase>& param_info) {
-                           return param_info.param.name;
-                         });
+INSTANTIATE_TEST_SUITE_P(AllFilesystems, FsTruncRename,
+                         ::testing::ValuesIn(AllFsCases()), FsCaseName);
 
 }  // namespace
 }  // namespace flashsim
